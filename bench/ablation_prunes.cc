@@ -1,0 +1,103 @@
+// Ablation (beyond the paper's figures): the contribution of each closed-
+// miner ingredient — P1 (sound adjacent in-alphabet prefix prune), P2
+// (heuristic adjacent out-of-alphabet prefix prune), and the infix
+// profile check — plus the episode-mining contrast from Sections 1-2:
+// windowed baselines cannot see far-apart lock/unlock constraints.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/episode/gap_episodes.h"
+#include "src/episode/minepi.h"
+#include "src/episode/winepi.h"
+#include "src/itermine/closed_miner.h"
+#include "src/itermine/qre_verifier.h"
+#include "src/support/random.h"
+
+namespace specmine {
+namespace {
+
+void RunConfig(const SequenceDatabase& db, uint64_t min_sup, bool p1, bool p2,
+               bool p3, const char* label) {
+  ClosedIterMinerOptions options;
+  options.min_support = min_sup;
+  options.prefix_prune = p1;
+  options.aggressive_prefix_prune = p2;
+  options.infix_prune = p3;
+  Stopwatch sw;
+  IterMinerStats stats;
+  PatternSet out = MineClosedIterative(db, options, &stats);
+  std::printf("%-24s %10.3f %10zu %10zu %10zu\n", label, sw.ElapsedSeconds(),
+              out.size(), stats.nodes_visited, stats.subtrees_pruned);
+}
+
+int Run() {
+  std::printf("=== Ablation: closed-miner pruning ingredients ===\n");
+  SequenceDatabase db = bench::MakeBenchDatabase();
+  const uint64_t min_sup = static_cast<uint64_t>(
+      (bench::PaperScale() ? 0.0025 : 0.030) * db.size());
+
+  std::printf("%-24s %10s %10s %10s %10s\n", "config", "time(s)", "patterns",
+              "nodes", "pruned");
+  bench::PrintRule(70);
+  RunConfig(db, min_sup, false, false, false, "no subtree prunes");
+  RunConfig(db, min_sup, true, false, false, "P1 (prefix) only");
+  RunConfig(db, min_sup, true, true, false, "P1 + P2 (prefix)");
+  RunConfig(db, min_sup, false, false, true, "P3 (infix) only");
+  RunConfig(db, min_sup, true, true, true, "P1 + P2 + P3 (default)");
+
+  std::printf(
+      "\n=== Baseline contrast: far-apart constraints vs windowed episode "
+      "mining ===\n");
+  // lock .. unlock separated by a long critical section.
+  SequenceDatabase far;
+  Rng rng(99);
+  for (int t = 0; t < 50; ++t) {
+    Sequence seq;
+    EventId lock = far.mutable_dictionary()->Intern("lock");
+    EventId unlock = far.mutable_dictionary()->Intern("unlock");
+    for (int r = 0; r < 2; ++r) {
+      seq.Append(lock);
+      int body = 8 + static_cast<int>(rng.Uniform(5));
+      for (int i = 0; i < body; ++i) {
+        seq.Append(far.mutable_dictionary()->Intern(
+            "work" + std::to_string(rng.Uniform(20))));
+      }
+      seq.Append(unlock);
+    }
+    far.AddSequence(std::move(seq));
+  }
+  EventId lock = far.dictionary().Lookup("lock");
+  EventId unlock = far.dictionary().Lookup("unlock");
+  Pattern lock_unlock{lock, unlock};
+
+  std::printf("traces: %zu, <lock, unlock> iterative support: %llu\n",
+              far.size(),
+              static_cast<unsigned long long>(CountInstances(lock_unlock, far)));
+  std::printf("%-40s %12s\n", "method", "sees it?");
+  bench::PrintRule(54);
+  std::printf("%-40s %12s\n", "iterative patterns (no window)",
+              CountInstances(lock_unlock, far) >= 100 ? "yes" : "NO");
+  std::printf("%-40s %12s\n", "WINEPI, window 4",
+              CountSupportingWindows(lock_unlock, far, 4) > 0 ? "yes" : "no");
+  MinepiOptions minepi;
+  minepi.max_window = 4;
+  auto mos = FindMinimalOccurrences(lock_unlock, far);
+  size_t bounded = 0;
+  for (const auto& mo : mos) {
+    if (mo.end - mo.start + 1 <= minepi.max_window) ++bounded;
+  }
+  std::printf("%-40s %12s\n", "MINEPI, window 4", bounded > 0 ? "yes" : "no");
+  std::printf("%-40s %12s\n", "gap-constrained episodes, gap 4",
+              CountGapOccurrences(lock_unlock, far, 4) > 0 ? "yes" : "no");
+  std::printf(
+      "\npaper reference (Secs. 1-2): iterative patterns 'break the window\n"
+      "barrier'; episode mining misses events separated by arbitrary "
+      "distance.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace specmine
+
+int main() { return specmine::Run(); }

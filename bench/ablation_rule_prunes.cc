@@ -1,0 +1,86 @@
+// Ablation (beyond the paper's figures): the contribution of the rule
+// miner's pruning ingredients — Step-1 generator (premise) pruning and
+// Step-3 closed (consequent) pruning — measured independently. The final
+// Definition-5.2 sweep is kept on in all configurations so every run
+// produces the same non-redundant output; what changes is how much
+// intermediate work the pipeline does.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/rulemine/consequent_miner.h"
+#include "src/rulemine/premise_miner.h"
+#include "src/rulemine/redundancy.h"
+#include "src/rulemine/rule_miner.h"
+#include "src/seqmine/occurrence_engine.h"
+
+namespace specmine {
+namespace {
+
+// A rule-mining pipeline with independently switchable prunes (the public
+// MineRecurrentRules couples them through `non_redundant`).
+void RunConfig(const SequenceDatabase& db, uint64_t min_s_sup, double conf,
+               bool maximality_pruning, bool closed_pruning,
+               const char* label) {
+  Stopwatch sw;
+  PremiseMinerOptions premise_options;
+  premise_options.min_s_support = min_s_sup;
+  premise_options.maximality_pruning = maximality_pruning;
+  ConsequentMinerOptions consequent_options;
+  consequent_options.min_confidence = conf;
+  consequent_options.closed_pruning = closed_pruning;
+
+  size_t premises = 0;
+  size_t candidates = 0;
+  RuleSet rules;
+  ScanPremises(db, premise_options,
+               [&](const Pattern& pre, const TemporalPointSet& points) {
+                 ++premises;
+                 PatternSet posts =
+                     MineConsequents(db, points, consequent_options);
+                 for (const MinedPattern& post : posts.items()) {
+                   Rule rule;
+                   rule.premise = pre;
+                   rule.consequent = post.pattern;
+                   rule.s_support = points.SupportingSequences();
+                   rule.premise_points = points.TotalPoints();
+                   rule.satisfied_points = post.support;
+                   rule.i_support =
+                       CountOccurrences(rule.Concatenation(), db);
+                   rules.Add(std::move(rule));
+                   ++candidates;
+                 }
+                 return true;
+               });
+  RuleSet nr = RemoveRedundantRules(rules, RedundancyOptions{});
+  std::printf("%-32s %10.3f %10zu %12zu %10zu\n", label, sw.ElapsedSeconds(),
+              premises, candidates, nr.size());
+}
+
+int Run() {
+  std::printf("=== Ablation: rule-miner pruning ingredients ===\n");
+  SequenceDatabase db = bench::MakeBenchDatabase();
+  const uint64_t min_s_sup = static_cast<uint64_t>(
+      (bench::PaperScale() ? 0.0060 : 0.070) * db.size());
+  const double conf = 0.5;
+  std::printf("min_s-sup=%llu, min_conf=%.0f%%\n",
+              static_cast<unsigned long long>(min_s_sup), conf * 100);
+
+  std::printf("%-32s %10s %10s %12s %10s\n", "config", "time(s)", "premises",
+              "candidates", "NR rules");
+  bench::PrintRule(80);
+  RunConfig(db, min_s_sup, conf, false, false, "no pruning (late filter)");
+  RunConfig(db, min_s_sup, conf, true, false, "maximal premises only");
+  RunConfig(db, min_s_sup, conf, false, true, "closed consequents only");
+  RunConfig(db, min_s_sup, conf, true, true, "both (default NR pipeline)");
+  std::printf(
+      "\nAll configurations end with the same Definition-5.2 sweep; early\n"
+      "pruning pays off in intermediate candidate counts and runtime\n"
+      "(the paper's 'late removal of redundant rules is inefficient').\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace specmine
+
+int main() { return specmine::Run(); }

@@ -1,0 +1,90 @@
+// Shared helpers for the figure-regeneration benchmarks.
+//
+// Every bench binary prints a self-contained table to stdout and exits 0.
+// The dataset scale is selected with the SPECMINE_BENCH_SCALE environment
+// variable:
+//   (unset) / "ci"  — a scaled-down QUEST dataset so the whole suite runs
+//                     in seconds (the default used by test_output /
+//                     bench_output capture);
+//   "paper"         — the paper's D5C20N10S20 dataset (Section 6); the
+//                     full-set miners then take minutes at the lowest
+//                     thresholds, as in the original study.
+
+#ifndef SPECMINE_BENCH_BENCH_UTIL_H_
+#define SPECMINE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/support/stopwatch.h"
+#include "src/synth/quest_generator.h"
+#include "src/trace/database_stats.h"
+
+namespace specmine {
+namespace bench {
+
+/// \brief True iff SPECMINE_BENCH_SCALE=paper.
+inline bool PaperScale() {
+  const char* env = std::getenv("SPECMINE_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "paper";
+}
+
+/// \brief The QUEST dataset used by the synthetic benchmarks: the paper's
+/// D5C20N10S20 at paper scale, a proportionally shaped smaller instance
+/// otherwise.
+inline QuestParams BenchQuestParams() {
+  if (PaperScale()) {
+    QuestParams p = QuestParams::D5C20N10S20();
+    // Near-verbatim planted patterns: the redundancy regime of the paper's
+    // experiments (a planted pattern's subsequences all share its support
+    // and are absorbed by the closed/NR representation).
+    p.corruption_probability = 0.03;
+    p.interleave_probability = 0.15;
+    p.zipf_exponent = 0.5;
+    return p;
+  }
+  QuestParams p;
+  p.d_sequences_thousands = 0.5;   // 500 sequences.
+  p.c_avg_sequence_length = 25.0;
+  p.n_events_thousands = 1.0;      // 1000 distinct events.
+  p.s_avg_pattern_length = 10.0;
+  p.num_seed_patterns = 150;
+  p.corruption_probability = 0.03;
+  p.interleave_probability = 0.15;
+  p.zipf_exponent = 0.5;
+  return p;
+}
+
+/// \brief Generates the benchmark dataset, printing its shape.
+inline SequenceDatabase MakeBenchDatabase() {
+  QuestParams params = BenchQuestParams();
+  Result<SequenceDatabase> db = GenerateQuest(params);
+  if (!db.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("dataset %s: %s\n", params.Label().c_str(),
+              ComputeStats(*db).ToString().c_str());
+  return db.TakeValueOrDie();
+}
+
+/// \brief Times a callable returning a size (pattern/rule count).
+template <typename Fn>
+inline std::pair<double, size_t> TimedCount(Fn&& fn) {
+  Stopwatch sw;
+  size_t count = fn();
+  return {sw.ElapsedSeconds(), count};
+}
+
+/// \brief Prints a horizontal separator sized for the figure tables.
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace specmine
+
+#endif  // SPECMINE_BENCH_BENCH_UTIL_H_

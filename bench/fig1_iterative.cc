@@ -1,0 +1,93 @@
+// Figure 1 — performance of iterative pattern mining: runtime (a) and
+// number of mined patterns (b) for the Full and Closed miners across a
+// min_sup sweep on the QUEST dataset (paper: D5C20N10S20, min_sup 0.10%
+// .. 0.34% of sequences).
+//
+// Expected shape (paper Section 6): the closed miner dominates the full
+// miner in both runtime and output size, with the gap widening as the
+// threshold drops — the paper reports up to 92x (runtime) and 1250x
+// (pattern count).
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/itermine/closed_miner.h"
+#include "src/itermine/full_miner.h"
+#include "src/specmine/visualize.h"
+
+namespace specmine {
+namespace {
+
+int Run() {
+  using bench::TimedCount;
+  std::printf("=== Figure 1: iterative pattern mining, Full vs Closed ===\n");
+  SequenceDatabase db = bench::MakeBenchDatabase();
+
+  // Thresholds relative to |DB|, highest to lowest as in the paper's
+  // x-axes (0.34% .. 0.10% at paper scale; proportionally higher on the
+  // small CI dataset so the full set stays materializable).
+  std::vector<double> fractions =
+      bench::PaperScale()
+          ? std::vector<double>{0.0034, 0.0031, 0.0028, 0.0025, 0.0010}
+          : std::vector<double>{0.040, 0.030, 0.020, 0.014, 0.010};
+
+  std::printf("%-10s %12s %12s %12s %12s %9s %9s\n", "min_sup", "full(s)",
+              "closed(s)", "|Full|", "|Closed|", "t-ratio", "n-ratio");
+  bench::PrintRule(82);
+  std::vector<std::string> labels;
+  ChartSeries full_time{"Full", {}}, closed_time{"Closed", {}};
+  ChartSeries full_count{"Full", {}}, closed_count{"Closed", {}};
+  for (double fraction : fractions) {
+    uint64_t min_sup = static_cast<uint64_t>(fraction * db.size());
+    if (min_sup == 0) min_sup = 1;
+
+    IterMinerOptions full_options;
+    full_options.min_support = min_sup;
+    full_options.max_patterns = 20'000'000;
+    IterMinerStats full_stats;
+    auto [full_time_s, full_count_n] = TimedCount([&] {
+      return MineFrequentIterative(db, full_options, &full_stats).size();
+    });
+
+    ClosedIterMinerOptions closed_options;
+    closed_options.min_support = min_sup;
+    IterMinerStats closed_stats;
+    auto [closed_time_s, closed_count_n] = TimedCount([&] {
+      return MineClosedIterative(db, closed_options, &closed_stats).size();
+    });
+
+    std::printf("%-9.3f%% %12.3f %12.3f %12zu %12zu %8.1fx %8.1fx%s\n",
+                fraction * 100.0, full_time_s, closed_time_s, full_count_n,
+                closed_count_n,
+                closed_time_s > 0 ? full_time_s / closed_time_s : 0.0,
+                closed_count_n > 0
+                    ? static_cast<double>(full_count_n) /
+                          static_cast<double>(closed_count_n)
+                    : 0.0,
+                full_stats.truncated ? "  [full truncated]" : "");
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.2f%%", fraction * 100.0);
+    labels.push_back(label);
+    full_time.values.push_back(full_time_s);
+    closed_time.values.push_back(closed_time_s);
+    full_count.values.push_back(static_cast<double>(full_count_n));
+    closed_count.values.push_back(static_cast<double>(closed_count_n));
+  }
+  std::printf("\n%s", RenderLogChart("Figure 1(a): runtime (s)", labels,
+                                       {full_time, closed_time})
+                           .c_str());
+  std::printf("\n%s", RenderLogChart("Figure 1(b): |patterns|", labels,
+                                       {full_count, closed_count})
+                           .c_str());
+  std::printf(
+      "\npaper reference: closed mining up to 92x faster, up to 1250x fewer\n"
+      "patterns than the full set, gap widening at low supports.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace specmine
+
+int main() { return specmine::Run(); }

@@ -1,0 +1,91 @@
+// Figure 2 — performance of recurrent rule mining while varying min_s-sup
+// at min_conf = 50% and min_i-sup = 1: runtime (a) and number of mined
+// rules (b), Full vs Non-Redundant.
+//
+// Expected shape (paper Section 6): NR mining dominates in both runtime
+// and output size, with the gap widening as min_s-sup drops — the paper
+// reports up to 147x (runtime) and 8500x (rule count).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/specmine/visualize.h"
+#include "src/rulemine/rule_miner.h"
+
+namespace specmine {
+namespace {
+
+int Run() {
+  using bench::TimedCount;
+  std::printf(
+      "=== Figure 2: recurrent rules, Full vs NR (min_conf=50%%, "
+      "min_i-sup=1) ===\n");
+  SequenceDatabase db = bench::MakeBenchDatabase();
+
+  // Paper sweep: 0.40% .. 0.60% of sequences.
+  std::vector<double> fractions =
+      bench::PaperScale()
+          ? std::vector<double>{0.0060, 0.0055, 0.0050, 0.0045, 0.0040}
+          : std::vector<double>{0.080, 0.070, 0.060, 0.050, 0.040};
+
+  std::printf("%-12s %12s %12s %12s %12s %9s %9s\n", "min_s-sup", "full(s)",
+              "NR(s)", "|Full|", "|NR|", "t-ratio", "n-ratio");
+  bench::PrintRule(84);
+  std::vector<std::string> chart_labels;
+  ChartSeries full_time_series{"Full", {}}, nr_time_series{"NR", {}};
+  ChartSeries full_count_series{"Full", {}}, nr_count_series{"NR", {}};
+  for (double fraction : fractions) {
+    uint64_t min_s_sup = static_cast<uint64_t>(fraction * db.size());
+    if (min_s_sup == 0) min_s_sup = 1;
+
+    RuleMinerOptions full_options;
+    full_options.min_s_support = min_s_sup;
+    full_options.min_confidence = 0.5;
+    full_options.min_i_support = 1;
+    full_options.non_redundant = false;
+    full_options.max_rules = 5'000'000;
+    RuleMinerStats full_stats;
+    auto [full_time, full_count] = TimedCount([&] {
+      return MineRecurrentRules(db, full_options, &full_stats).size();
+    });
+
+    RuleMinerOptions nr_options = full_options;
+    nr_options.non_redundant = true;
+    nr_options.max_rules = 0;
+    RuleMinerStats nr_stats;
+    auto [nr_time, nr_count] = TimedCount([&] {
+      return MineRecurrentRules(db, nr_options, &nr_stats).size();
+    });
+
+    std::printf("%-11.3f%% %12.3f %12.3f %12zu %12zu %8.1fx %8.1fx%s\n",
+                fraction * 100.0, full_time, nr_time, full_count, nr_count,
+                nr_time > 0 ? full_time / nr_time : 0.0,
+                nr_count > 0 ? static_cast<double>(full_count) /
+                                   static_cast<double>(nr_count)
+                             : 0.0,
+                full_stats.truncated ? "  [full truncated]" : "");
+    char chart_label[16];
+    std::snprintf(chart_label, sizeof(chart_label), "%.2f%%", fraction * 100.0);
+    chart_labels.push_back(chart_label);
+    full_time_series.values.push_back(full_time);
+    nr_time_series.values.push_back(nr_time);
+    full_count_series.values.push_back(static_cast<double>(full_count));
+    nr_count_series.values.push_back(static_cast<double>(nr_count));
+  }
+  std::printf("\n%s", RenderLogChart("Figure 2(a): runtime (s)", chart_labels,
+                                       {full_time_series, nr_time_series})
+                           .c_str());
+  std::printf("\n%s", RenderLogChart("Figure 2(b): |rules|", chart_labels,
+                                       {full_count_series, nr_count_series})
+                           .c_str());
+  std::printf(
+      "\npaper reference: NR mining up to 147x faster, up to 8500x fewer\n"
+      "rules than the full set, gap widening at low supports.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace specmine
+
+int main() { return specmine::Run(); }

@@ -1,0 +1,85 @@
+// Figure 3 — performance of recurrent rule mining while varying min_conf
+// at min_s-sup = 0.4% and min_i-sup = 1: runtime (a) and number of mined
+// rules (b), Full vs Non-Redundant.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/specmine/visualize.h"
+#include "src/rulemine/rule_miner.h"
+
+namespace specmine {
+namespace {
+
+int Run() {
+  using bench::TimedCount;
+  std::printf(
+      "=== Figure 3: recurrent rules, Full vs NR (min_s-sup fixed, "
+      "min_i-sup=1) ===\n");
+  SequenceDatabase db = bench::MakeBenchDatabase();
+
+  const double s_sup_fraction = bench::PaperScale() ? 0.0040 : 0.050;
+  uint64_t min_s_sup = static_cast<uint64_t>(s_sup_fraction * db.size());
+  if (min_s_sup == 0) min_s_sup = 1;
+  std::printf("min_s-sup = %.3f%% (%llu sequences)\n", s_sup_fraction * 100.0,
+              static_cast<unsigned long long>(min_s_sup));
+
+  // Paper sweep: 50% .. 90% confidence.
+  const std::vector<double> confidences{0.9, 0.8, 0.7, 0.6, 0.5};
+
+  std::printf("%-10s %12s %12s %12s %12s %9s %9s\n", "min_conf", "full(s)",
+              "NR(s)", "|Full|", "|NR|", "t-ratio", "n-ratio");
+  bench::PrintRule(82);
+  std::vector<std::string> chart_labels;
+  ChartSeries full_time_series{"Full", {}}, nr_time_series{"NR", {}};
+  ChartSeries full_count_series{"Full", {}}, nr_count_series{"NR", {}};
+  for (double conf : confidences) {
+    RuleMinerOptions full_options;
+    full_options.min_s_support = min_s_sup;
+    full_options.min_confidence = conf;
+    full_options.min_i_support = 1;
+    full_options.non_redundant = false;
+    full_options.max_rules = 5'000'000;
+    RuleMinerStats full_stats;
+    auto [full_time, full_count] = TimedCount([&] {
+      return MineRecurrentRules(db, full_options, &full_stats).size();
+    });
+
+    RuleMinerOptions nr_options = full_options;
+    nr_options.non_redundant = true;
+    nr_options.max_rules = 0;
+    auto [nr_time, nr_count] = TimedCount(
+        [&] { return MineRecurrentRules(db, nr_options).size(); });
+
+    std::printf("%-9.0f%% %12.3f %12.3f %12zu %12zu %8.1fx %8.1fx%s\n",
+                conf * 100.0, full_time, nr_time, full_count, nr_count,
+                nr_time > 0 ? full_time / nr_time : 0.0,
+                nr_count > 0 ? static_cast<double>(full_count) /
+                                   static_cast<double>(nr_count)
+                             : 0.0,
+                full_stats.truncated ? "  [full truncated]" : "");
+    char chart_label[16];
+    std::snprintf(chart_label, sizeof(chart_label), "%.0f%%", conf * 100.0);
+    chart_labels.push_back(chart_label);
+    full_time_series.values.push_back(full_time);
+    nr_time_series.values.push_back(nr_time);
+    full_count_series.values.push_back(static_cast<double>(full_count));
+    nr_count_series.values.push_back(static_cast<double>(nr_count));
+  }
+  std::printf("\n%s", RenderLogChart("Figure 3(a): runtime (s)", chart_labels,
+                                       {full_time_series, nr_time_series})
+                           .c_str());
+  std::printf("\n%s", RenderLogChart("Figure 3(b): |rules|", chart_labels,
+                                       {full_count_series, nr_count_series})
+                           .c_str());
+  std::printf(
+      "\npaper reference: rule counts and runtimes grow as min_conf drops;\n"
+      "NR stays orders of magnitude below Full throughout the sweep.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace specmine
+
+int main() { return specmine::Run(); }

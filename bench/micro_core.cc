@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark) of the hot paths shared by every
+// miner: position-index construction, QRE instance projection, temporal
+// point computation, subsequence embedding, and instance verification.
+
+#include <benchmark/benchmark.h>
+
+#include "src/itermine/projection.h"
+#include "src/itermine/qre_verifier.h"
+#include "src/rulemine/temporal_points.h"
+#include "src/seqmine/occurrence_engine.h"
+#include "src/synth/quest_generator.h"
+
+namespace specmine {
+namespace {
+
+const SequenceDatabase& Db() {
+  static SequenceDatabase* db = [] {
+    QuestParams p;
+    p.d_sequences_thousands = 0.2;
+    p.c_avg_sequence_length = 25;
+    p.n_events_thousands = 0.3;
+    p.s_avg_pattern_length = 6;
+    p.num_seed_patterns = 60;
+    return new SequenceDatabase(GenerateQuest(p).TakeValueOrDie());
+  }();
+  return *db;
+}
+
+// The most frequent event and a frequent two-event pattern, discovered
+// once and reused by the benchmarks below.
+EventId HottestEvent() {
+  static EventId ev = [] {
+    PositionIndex index(Db());
+    EventId best = 0;
+    for (EventId e = 0; e < Db().dictionary().size(); ++e) {
+      if (index.TotalCount(e) > index.TotalCount(best)) best = e;
+    }
+    return best;
+  }();
+  return ev;
+}
+
+Pattern HotPattern() {
+  PositionIndex index(Db());
+  Pattern p{HottestEvent()};
+  auto ext = ForwardExtensions(index, p, SingleEventInstances(index, p[0]));
+  EventId best = kInvalidEvent;
+  size_t best_count = 0;
+  for (const auto& [ev, instances] : ext) {
+    if (instances.size() > best_count) {
+      best = ev;
+      best_count = instances.size();
+    }
+  }
+  return best == kInvalidEvent ? p : p.Extend(best);
+}
+
+void BM_PositionIndexBuild(benchmark::State& state) {
+  const SequenceDatabase& db = Db();
+  for (auto _ : state) {
+    PositionIndex index(db);
+    benchmark::DoNotOptimize(index.num_events());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.TotalEvents()));
+}
+BENCHMARK(BM_PositionIndexBuild);
+
+void BM_SingleEventInstances(benchmark::State& state) {
+  PositionIndex index(Db());
+  EventId ev = HottestEvent();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SingleEventInstances(index, ev).size());
+  }
+}
+BENCHMARK(BM_SingleEventInstances);
+
+void BM_ForwardExtensions(benchmark::State& state) {
+  PositionIndex index(Db());
+  Pattern p = HotPattern();
+  InstanceList instances = FindAllInstances(p, Db());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ForwardExtensions(index, p, instances).size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(instances.size()));
+}
+BENCHMARK(BM_ForwardExtensions);
+
+void BM_BackwardExtensions(benchmark::State& state) {
+  PositionIndex index(Db());
+  Pattern p = HotPattern();
+  InstanceList instances = FindAllInstances(p, Db());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BackwardExtensions(index, p, instances).size());
+  }
+}
+BENCHMARK(BM_BackwardExtensions);
+
+void BM_QreFindInstances(benchmark::State& state) {
+  Pattern p = HotPattern();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindAllInstances(p, Db()).size());
+  }
+}
+BENCHMARK(BM_QreFindInstances);
+
+void BM_TemporalPoints(benchmark::State& state) {
+  Pattern p = HotPattern();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeTemporalPoints(p, Db()).TotalPoints());
+  }
+}
+BENCHMARK(BM_TemporalPoints);
+
+void BM_EarliestEmbedding(benchmark::State& state) {
+  Pattern p = HotPattern();
+  const SequenceDatabase& db = Db();
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const Sequence& seq : db.sequences()) {
+      if (EmbedsAt(p, seq, 0)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.size()));
+}
+BENCHMARK(BM_EarliestEmbedding);
+
+void BM_CountOccurrences(benchmark::State& state) {
+  Pattern p = HotPattern();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountOccurrences(p, Db()));
+  }
+}
+BENCHMARK(BM_CountOccurrences);
+
+}  // namespace
+}  // namespace specmine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// WINEPI-style episode rules (Mannila, Toivonen & Verkamo, DMKD 1997) —
+// the "episode rule" related-work baseline of Section 2.
+//
+// A serial episode rule alpha => beta takes a frequent episode beta and a
+// proper prefix alpha of it: "when the events of alpha occur (in order)
+// inside a width-w window, the whole of beta occurs in that window", with
+//
+//     confidence = fr(beta, w) / fr(alpha, w)
+//
+// where fr is the number of width-w windows containing the episode. The
+// contrast with recurrent rules (Section 2): both the premise and the
+// consequent must fit in one window, so constraints spanning arbitrary
+// distances are invisible here regardless of thresholds.
+
+#ifndef SPECMINE_EPISODE_EPISODE_RULES_H_
+#define SPECMINE_EPISODE_EPISODE_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/episode/winepi.h"
+
+namespace specmine {
+
+/// \brief A mined serial episode rule: antecedent => antecedent++consequent.
+struct EpisodeRule {
+  /// The prefix episode alpha.
+  Pattern antecedent;
+  /// The remaining events of beta (so beta = antecedent ++ consequent).
+  Pattern consequent;
+  /// Windows containing alpha.
+  uint64_t antecedent_windows = 0;
+  /// Windows containing beta.
+  uint64_t full_windows = 0;
+
+  double confidence() const {
+    return antecedent_windows == 0
+               ? 0.0
+               : static_cast<double>(full_windows) /
+                     static_cast<double>(antecedent_windows);
+  }
+
+  /// \brief "<alpha> => <beta rest> [w] (fr=.., conf=..)" rendering.
+  std::string ToString(const EventDictionary& dict) const;
+};
+
+/// \brief Options for episode rule mining.
+struct EpisodeRuleOptions {
+  /// Window width in events.
+  size_t window_width = 10;
+  /// Minimum window count of the full episode beta.
+  uint64_t min_window_count = 1;
+  /// Minimum confidence in [0, 1].
+  double min_confidence = 0.5;
+  /// Maximum episode length; 0 means unbounded.
+  size_t max_length = 0;
+};
+
+/// \brief Mines all serial episode rules meeting the thresholds.
+std::vector<EpisodeRule> MineEpisodeRules(const SequenceDatabase& db,
+                                          const EpisodeRuleOptions& options);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_EPISODE_EPISODE_RULES_H_

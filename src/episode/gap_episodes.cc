@@ -1,0 +1,95 @@
+#include "src/episode/gap_episodes.h"
+
+#include <vector>
+
+namespace specmine {
+
+namespace {
+
+// Earliest end position of a gap-constrained occurrence of `episode`
+// located entirely within seq[from..], or kNoPos. Dynamic program over
+// (position, matched-prefix-length); naive greedy is incomplete under gap
+// constraints (an earlier match of event k can strand event k+1).
+Pos EarliestGapOccurrenceEnd(const Pattern& episode, const Sequence& seq,
+                             Pos from, size_t max_gap) {
+  const size_t m = episode.size();
+  const size_t n = seq.size();
+  if (m == 0 || from >= n) return kNoPos;
+  // last_reach[k] = most recent position where the first k events matched
+  // (within the gap windows); valid while p - last_reach[k] <= max_gap.
+  // Scanning left to right and keeping only the latest reach per k is
+  // sufficient: a later reach dominates an earlier one for all future gap
+  // checks.
+  std::vector<Pos> last_reach(m + 1, kNoPos);
+  for (Pos p = from; p < n; ++p) {
+    EventId x = seq[p];
+    for (size_t k = m; k >= 1; --k) {
+      if (episode[k - 1] != x) continue;
+      if (k == 1) {
+        last_reach[1] = p;
+      } else if (last_reach[k - 1] != kNoPos &&
+                 p - last_reach[k - 1] <= max_gap) {
+        last_reach[k] = p;
+        if (k == m) return p;
+      }
+    }
+    if (m == 1 && last_reach[1] != kNoPos) return last_reach[1];
+  }
+  return kNoPos;
+}
+
+}  // namespace
+
+uint64_t CountGapOccurrences(const Pattern& episode,
+                             const SequenceDatabase& db, size_t max_gap) {
+  if (episode.empty()) return 0;
+  uint64_t count = 0;
+  for (const Sequence& seq : db.sequences()) {
+    Pos pos = 0;
+    while (pos < seq.size()) {
+      Pos end = EarliestGapOccurrenceEnd(episode, seq, pos, max_gap);
+      if (end == kNoPos) break;
+      ++count;
+      pos = end + 1;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+void GrowGap(const SequenceDatabase& db, const GapEpisodeOptions& options,
+             const std::vector<EventId>& alphabet, const Pattern& episode,
+             PatternSet* out) {
+  if (options.max_length != 0 && episode.size() >= options.max_length) return;
+  for (EventId ev : alphabet) {
+    Pattern candidate = episode.Extend(ev);
+    uint64_t support = CountGapOccurrences(candidate, db, options.max_gap);
+    if (support < options.min_support) continue;
+    out->Add(candidate, support);
+    GrowGap(db, options, alphabet, candidate, out);
+  }
+}
+
+}  // namespace
+
+PatternSet MineGapEpisodes(const SequenceDatabase& db,
+                           const GapEpisodeOptions& options) {
+  PatternSet out;
+  std::vector<EventId> alphabet;
+  for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+    Pattern single{ev};
+    uint64_t support = CountGapOccurrences(single, db, options.max_gap);
+    if (support >= options.min_support) {
+      out.Add(single, support);
+      alphabet.push_back(ev);
+    }
+  }
+  std::vector<MinedPattern> singles = out.items();
+  for (const MinedPattern& s : singles) {
+    GrowGap(db, options, alphabet, s.pattern, &out);
+  }
+  return out;
+}
+
+}  // namespace specmine

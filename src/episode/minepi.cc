@@ -1,0 +1,105 @@
+#include "src/episode/minepi.h"
+
+#include <algorithm>
+
+namespace specmine {
+
+namespace {
+
+// mo(episode ++ ev) from mo(episode): each minimal occurrence [s, e]
+// extends to [s, p] with p the first `ev` after e; keeping, per end
+// position, only the window with the largest start restores minimality
+// (starts are increasing and extended ends are non-decreasing).
+std::vector<MinimalOccurrence> ExtendOccurrences(
+    const std::vector<MinimalOccurrence>& parent, EventId ev,
+    const SequenceDatabase& db) {
+  std::vector<MinimalOccurrence> out;
+  for (const MinimalOccurrence& mo : parent) {
+    const Sequence& seq = db[mo.seq];
+    Pos p = kNoPos;
+    for (Pos q = mo.end + 1; q < seq.size(); ++q) {
+      if (seq[q] == ev) {
+        p = q;
+        break;
+      }
+    }
+    if (p == kNoPos) continue;
+    MinimalOccurrence ext{mo.seq, mo.start, p};
+    if (!out.empty() && out.back().seq == ext.seq &&
+        out.back().end == ext.end) {
+      out.back() = ext;  // Same end, larger start: keep the tighter window.
+    } else {
+      out.push_back(ext);
+    }
+  }
+  return out;
+}
+
+uint64_t CountBounded(const std::vector<MinimalOccurrence>& mos,
+                      size_t max_window) {
+  uint64_t n = 0;
+  for (const MinimalOccurrence& mo : mos) {
+    if (mo.end - mo.start + 1 <= max_window) ++n;
+  }
+  return n;
+}
+
+void GrowMinepi(const SequenceDatabase& db, const MinepiOptions& options,
+                const std::vector<EventId>& alphabet, const Pattern& episode,
+                const std::vector<MinimalOccurrence>& mos, PatternSet* out) {
+  if (options.max_length != 0 && episode.size() >= options.max_length) return;
+  for (EventId ev : alphabet) {
+    Pattern candidate = episode.Extend(ev);
+    std::vector<MinimalOccurrence> ext = ExtendOccurrences(mos, ev, db);
+    if (ext.empty()) continue;
+    uint64_t support = CountBounded(ext, options.max_window);
+    if (support >= options.min_support) out->Add(candidate, support);
+    // Minimal-occurrence counts are not anti-monotone in general, so the
+    // subtree is grown whenever occurrences remain (bounded by max_length).
+    GrowMinepi(db, options, alphabet, candidate, ext, out);
+  }
+}
+
+}  // namespace
+
+std::vector<MinimalOccurrence> FindMinimalOccurrences(
+    const Pattern& episode, const SequenceDatabase& db) {
+  std::vector<MinimalOccurrence> mos;
+  if (episode.empty()) return mos;
+  for (SeqId s = 0; s < db.size(); ++s) {
+    const Sequence& seq = db[s];
+    for (Pos p = 0; p < seq.size(); ++p) {
+      if (seq[p] == episode[0]) mos.push_back(MinimalOccurrence{s, p, p});
+    }
+  }
+  // Sorted by (seq, start) by construction.
+  std::vector<MinimalOccurrence> result = mos;
+  for (size_t k = 1; k < episode.size(); ++k) {
+    result = ExtendOccurrences(result, episode[k], db);
+  }
+  return result;
+}
+
+PatternSet MineMinepi(const SequenceDatabase& db,
+                      const MinepiOptions& options) {
+  PatternSet out;
+  std::vector<EventId> alphabet;
+  std::vector<std::pair<Pattern, std::vector<MinimalOccurrence>>> singles;
+  for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+    Pattern single{ev};
+    std::vector<MinimalOccurrence> mos = FindMinimalOccurrences(single, db);
+    if (mos.empty()) continue;
+    uint64_t support = CountBounded(mos, options.max_window);
+    if (support >= options.min_support) {
+      out.Add(single, support);
+      alphabet.push_back(ev);
+      singles.emplace_back(std::move(single), std::move(mos));
+    }
+  }
+  for (const auto& [pattern, mos] : singles) {
+    GrowMinepi(db, options, alphabet, pattern, mos, &out);
+  }
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,95 @@
+#include "src/episode/winepi.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace specmine {
+
+namespace {
+
+// For each end position e of seq, the latest start s such that `episode`
+// embeds into seq[s..e] (kNoPos when it does not embed). O(len * m).
+std::vector<Pos> LatestStartPerEnd(const Pattern& episode,
+                                   const Sequence& seq) {
+  const size_t m = episode.size();
+  std::vector<Pos> latest(m + 1, kNoPos);  // latest[k]: first k events.
+  std::vector<Pos> result(seq.size(), kNoPos);
+  for (Pos e = 0; e < seq.size(); ++e) {
+    EventId x = seq[e];
+    for (size_t k = m; k >= 1; --k) {
+      if (episode[k - 1] != x) continue;
+      if (k == 1) {
+        latest[1] = e;
+      } else if (latest[k - 1] != kNoPos) {
+        latest[k] = latest[k - 1];
+      }
+    }
+    result[e] = latest[m];
+  }
+  return result;
+}
+
+}  // namespace
+
+uint64_t CountSupportingWindows(const Pattern& episode,
+                                const SequenceDatabase& db, size_t width) {
+  if (episode.empty() || width == 0) return 0;
+  uint64_t count = 0;
+  for (const Sequence& seq : db.sequences()) {
+    if (seq.empty()) continue;
+    std::vector<Pos> ms = LatestStartPerEnd(episode, seq);
+    const int64_t len = static_cast<int64_t>(seq.size());
+    const int64_t w = static_cast<int64_t>(width);
+    for (int64_t t = -(w - 1); t <= len - 1; ++t) {
+      int64_t lo = std::max<int64_t>(0, t);
+      int64_t hi = std::min<int64_t>(len - 1, t + w - 1);
+      if (hi < lo) continue;
+      Pos s = ms[static_cast<size_t>(hi)];
+      if (s != kNoPos && static_cast<int64_t>(s) >= lo) ++count;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+void GrowEpisode(const SequenceDatabase& db, const WinepiOptions& options,
+                 const std::vector<EventId>& alphabet, const Pattern& episode,
+                 PatternSet* out) {
+  if (options.max_length != 0 && episode.size() >= options.max_length) return;
+  for (EventId ev : alphabet) {
+    Pattern candidate = episode.Extend(ev);
+    uint64_t windows =
+        CountSupportingWindows(candidate, db, options.window_width);
+    if (windows < options.min_window_count) continue;
+    out->Add(candidate, windows);
+    GrowEpisode(db, options, alphabet, candidate, out);
+  }
+}
+
+}  // namespace
+
+PatternSet MineWinepi(const SequenceDatabase& db,
+                      const WinepiOptions& options) {
+  PatternSet out;
+  std::vector<EventId> alphabet;
+  for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+    Pattern single{ev};
+    uint64_t windows =
+        CountSupportingWindows(single, db, options.window_width);
+    if (windows >= options.min_window_count) {
+      out.Add(single, windows);
+      alphabet.push_back(ev);
+    }
+  }
+  // Depth-first growth; window counts are anti-monotone under extension,
+  // and an extension's events are frequent singletons, so restricting
+  // candidates to `alphabet` is complete.
+  std::vector<MinedPattern> singles = out.items();
+  for (const MinedPattern& s : singles) {
+    GrowEpisode(db, options, alphabet, s.pattern, &out);
+  }
+  return out;
+}
+
+}  // namespace specmine

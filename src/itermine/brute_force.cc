@@ -1,0 +1,85 @@
+#include "src/itermine/brute_force.h"
+
+#include <vector>
+
+#include "src/itermine/qre_verifier.h"
+
+namespace specmine {
+
+PatternSet BruteForceFrequentIterative(const SequenceDatabase& db,
+                                       uint64_t min_support,
+                                       size_t max_length) {
+  PatternSet out;
+  const size_t num_events = db.dictionary().size();
+  std::vector<Pattern> frontier;
+  for (EventId ev = 0; ev < num_events; ++ev) {
+    Pattern p{ev};
+    uint64_t sup = CountInstances(p, db);
+    if (sup >= min_support) {
+      out.Add(p, sup);
+      frontier.push_back(p);
+    }
+  }
+  while (!frontier.empty() &&
+         (max_length == 0 || frontier.front().size() < max_length)) {
+    std::vector<Pattern> next;
+    for (const Pattern& p : frontier) {
+      for (EventId ev = 0; ev < num_events; ++ev) {
+        Pattern q = p.Extend(ev);
+        uint64_t sup = CountInstances(q, db);
+        if (sup >= min_support) {
+          out.Add(q, sup);
+          next.push_back(q);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+bool HasTotalInstanceCorrespondence(const SequenceDatabase& db,
+                                    const Pattern& sub, const Pattern& super) {
+  InstanceList sub_instances = FindAllInstances(sub, db);
+  InstanceList super_instances = FindAllInstances(super, db);
+  // Both lists are sorted by (seq, start) and instances of one pattern
+  // never nest, so ends are sorted too; greedy first-fit matching is exact.
+  std::vector<bool> used(super_instances.size(), false);
+  for (const IterInstance& si : sub_instances) {
+    bool matched = false;
+    for (size_t j = 0; j < super_instances.size(); ++j) {
+      const IterInstance& qj = super_instances[j];
+      if (used[j]) continue;
+      if (qj.seq != si.seq) continue;
+      if (qj.start <= si.start && qj.end >= si.end) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+PatternSet BruteForceClosedIterative(const SequenceDatabase& db,
+                                     uint64_t min_support) {
+  PatternSet full = BruteForceFrequentIterative(db, min_support, 0);
+  PatternSet out;
+  for (const MinedPattern& cand : full.items()) {
+    bool closed = true;
+    for (const MinedPattern& other : full.items()) {
+      if (other.pattern.size() <= cand.pattern.size()) continue;
+      if (other.support != cand.support) continue;
+      if (!cand.pattern.IsSubsequenceOf(other.pattern)) continue;
+      if (HasTotalInstanceCorrespondence(db, cand.pattern, other.pattern)) {
+        closed = false;
+        break;
+      }
+    }
+    if (closed) out.Add(cand.pattern, cand.support);
+  }
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,39 @@
+// Brute-force reference miners used as test oracles. These share no code
+// with the production miners: support counting goes through the independent
+// QRE verifier and enumeration is breadth-first over the apriori lattice.
+// Intended for small databases only.
+
+#ifndef SPECMINE_ITERMINE_BRUTE_FORCE_H_
+#define SPECMINE_ITERMINE_BRUTE_FORCE_H_
+
+#include "src/patterns/pattern_set.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Enumerates every frequent iterative pattern by breadth-first
+/// candidate extension, counting instances with the QRE verifier.
+/// \p max_length of 0 means unbounded.
+PatternSet BruteForceFrequentIterative(const SequenceDatabase& db,
+                                       uint64_t min_support,
+                                       size_t max_length = 0);
+
+/// \brief Computes the closed set at the level of Definition 4.2: a
+/// frequent pattern is dropped iff some frequent proper super-sequence has
+/// equal support and a total one-to-one instance correspondence.
+///
+/// Enumerates the full frequent set unbounded in length (any absorber has
+/// support equal to an above-threshold pattern, hence is itself frequent
+/// and enumerated).
+PatternSet BruteForceClosedIterative(const SequenceDatabase& db,
+                                     uint64_t min_support);
+
+/// \brief True iff every instance of \p sub corresponds to a distinct
+/// instance of \p super (containment in the same sequence), i.e. the
+/// correspondence half of Definition 4.2. Exposed for tests.
+bool HasTotalInstanceCorrespondence(const SequenceDatabase& db,
+                                    const Pattern& sub, const Pattern& super);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ITERMINE_BRUTE_FORCE_H_

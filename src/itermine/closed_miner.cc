@@ -1,0 +1,94 @@
+#include "src/itermine/closed_miner.h"
+
+#include "src/itermine/projection.h"
+
+namespace specmine {
+
+namespace {
+
+struct Ctx {
+  const SequenceDatabase* db;
+  const PositionIndex* index;
+  const ClosedIterMinerOptions* options;
+  PatternSet* out;
+  IterMinerStats* stats;
+};
+
+void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
+  ++ctx->stats->nodes_visited;
+  const uint64_t support = instances.size();
+
+  // Backward extensions first: they both decide backward absorption and
+  // drive the subtree prunes, letting us skip the (costlier) forward
+  // projection for pruned subtrees.
+  auto backward = BackwardExtensions(*ctx->index, pattern, instances);
+  bool backward_absorbed = false;
+  for (const auto& [ev, ext] : backward) {
+    if (ext.support != support) continue;
+    backward_absorbed = true;
+    if (!ext.all_adjacent) continue;
+    const bool in_alphabet = pattern.Contains(ev);
+    if ((in_alphabet && ctx->options->prefix_prune) ||
+        (!in_alphabet && ctx->options->aggressive_prefix_prune)) {
+      ++ctx->stats->subtrees_pruned;
+      return;  // No closed pattern anywhere in this subtree.
+    }
+  }
+
+  auto forward = ForwardExtensions(*ctx->index, pattern, instances);
+  bool forward_absorbed = false;
+  for (const auto& [ev, ext_instances] : forward) {
+    if (ext_instances.size() == support) {
+      forward_absorbed = true;
+      break;
+    }
+  }
+
+  bool infix_absorbed = false;
+  if (pattern.size() >= 2 &&
+      (ctx->options->infix_prune ||
+       (ctx->options->infix_check && !backward_absorbed &&
+        !forward_absorbed))) {
+    infix_absorbed = HasUniformInfixAbsorber(*ctx->db, pattern, instances);
+    if (infix_absorbed && ctx->options->infix_prune) {
+      ++ctx->stats->subtrees_pruned;
+      return;  // P3: the subtree contains no closed pattern.
+    }
+    if (!ctx->options->infix_check) infix_absorbed = false;
+  }
+
+  if (!backward_absorbed && !forward_absorbed && !infix_absorbed) {
+    ctx->out->Add(pattern, support);
+    ++ctx->stats->patterns_emitted;
+  }
+
+  if (ctx->options->max_length != 0 &&
+      pattern.size() >= ctx->options->max_length) {
+    return;
+  }
+  for (auto& [ev, ext_instances] : forward) {
+    if (ext_instances.size() < ctx->options->min_support) continue;
+    Grow(ctx, pattern.Extend(ev), ext_instances);
+  }
+}
+
+}  // namespace
+
+PatternSet MineClosedIterative(const SequenceDatabase& db,
+                               const ClosedIterMinerOptions& options,
+                               IterMinerStats* stats) {
+  IterMinerStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = IterMinerStats{};
+  PatternSet out;
+  PositionIndex index(db);
+  Ctx ctx{&db, &index, &options, &out, stats};
+  for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+    if (index.TotalCount(ev) < options.min_support) continue;
+    Pattern p{ev};
+    Grow(&ctx, p, SingleEventInstances(index, ev));
+  }
+  return out;
+}
+
+}  // namespace specmine

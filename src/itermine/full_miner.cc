@@ -1,0 +1,74 @@
+#include "src/itermine/full_miner.h"
+
+#include "src/itermine/projection.h"
+
+namespace specmine {
+
+namespace {
+
+struct Ctx {
+  const PositionIndex* index;
+  const IterMinerOptions* options;
+  const std::function<bool(const Pattern&, uint64_t)>* sink;
+  IterMinerStats* stats;
+  bool stop = false;
+};
+
+void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
+  if (ctx->stop) return;
+  ++ctx->stats->nodes_visited;
+  ++ctx->stats->patterns_emitted;
+  bool grow_subtree = (*ctx->sink)(pattern, instances.size());
+  if (ctx->options->max_patterns != 0 &&
+      ctx->stats->patterns_emitted >= ctx->options->max_patterns) {
+    ctx->stats->truncated = true;
+    ctx->stop = true;
+    return;
+  }
+  if (!grow_subtree) return;
+  if (ctx->options->max_length != 0 &&
+      pattern.size() >= ctx->options->max_length) {
+    return;
+  }
+  auto extensions = ForwardExtensions(*ctx->index, pattern, instances);
+  for (auto& [ev, ext_instances] : extensions) {
+    if (ctx->stop) return;
+    if (ext_instances.size() < ctx->options->min_support) continue;
+    Grow(ctx, pattern.Extend(ev), ext_instances);
+  }
+}
+
+}  // namespace
+
+void ScanFrequentIterative(
+    const SequenceDatabase& db, const IterMinerOptions& options,
+    const std::function<bool(const Pattern&, uint64_t)>& sink,
+    IterMinerStats* stats) {
+  IterMinerStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = IterMinerStats{};
+  PositionIndex index(db);
+  Ctx ctx{&index, &options, &sink, stats};
+  for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+    if (ctx.stop) break;
+    if (index.TotalCount(ev) < options.min_support) continue;
+    Pattern p{ev};
+    Grow(&ctx, p, SingleEventInstances(index, ev));
+  }
+}
+
+PatternSet MineFrequentIterative(const SequenceDatabase& db,
+                                 const IterMinerOptions& options,
+                                 IterMinerStats* stats) {
+  PatternSet out;
+  ScanFrequentIterative(
+      db, options,
+      [&out](const Pattern& p, uint64_t support) {
+        out.Add(p, support);
+        return true;
+      },
+      stats);
+  return out;
+}
+
+}  // namespace specmine

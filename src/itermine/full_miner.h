@@ -1,0 +1,53 @@
+// Full-set frequent iterative pattern mining (the "Full" series of Figure 1
+// in the paper): depth-first pattern growth over the instance projection,
+// pruned only by the apriori property (Theorem 1).
+
+#ifndef SPECMINE_ITERMINE_FULL_MINER_H_
+#define SPECMINE_ITERMINE_FULL_MINER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/patterns/pattern_set.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Options shared by the iterative pattern miners.
+struct IterMinerOptions {
+  /// Minimum number of instances (absolute).
+  uint64_t min_support = 1;
+  /// Maximum pattern length; 0 means unbounded.
+  size_t max_length = 0;
+  /// Safety valve for the full miner at very low thresholds: stop after
+  /// emitting this many patterns (0 = unbounded). The benchmark harness
+  /// sets a generous cap and reports when it is hit.
+  size_t max_patterns = 0;
+};
+
+/// \brief Statistics describing one miner run.
+struct IterMinerStats {
+  size_t nodes_visited = 0;     ///< DFS nodes expanded.
+  size_t patterns_emitted = 0;  ///< Patterns written to the output.
+  size_t subtrees_pruned = 0;   ///< Closed miner: P1/P2 subtree prunes.
+  bool truncated = false;       ///< True iff max_patterns stopped the run.
+};
+
+/// \brief Mines every frequent iterative pattern of \p db.
+///
+/// Support of P = number of QRE instances, counted within and across
+/// sequences. Patterns of length >= 1 are emitted.
+PatternSet MineFrequentIterative(const SequenceDatabase& db,
+                                 const IterMinerOptions& options,
+                                 IterMinerStats* stats = nullptr);
+
+/// \brief Callback variant: \p sink receives (pattern, support); return
+/// false to skip growing that pattern's subtree.
+void ScanFrequentIterative(
+    const SequenceDatabase& db, const IterMinerOptions& options,
+    const std::function<bool(const Pattern&, uint64_t)>& sink,
+    IterMinerStats* stats = nullptr);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ITERMINE_FULL_MINER_H_

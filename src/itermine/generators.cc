@@ -1,0 +1,37 @@
+#include "src/itermine/generators.h"
+
+#include "src/itermine/qre_verifier.h"
+
+namespace specmine {
+
+bool IsIterativeGenerator(const SequenceDatabase& db, const Pattern& pattern,
+                          uint64_t support) {
+  for (size_t k = 0; k < pattern.size(); ++k) {
+    Pattern deleted = pattern.Erase(k);
+    if (deleted.empty()) continue;  // Length-1 patterns are generators.
+    if (CountInstances(deleted, db) == support) return false;
+  }
+  return true;
+}
+
+PatternSet MineIterativeGenerators(const SequenceDatabase& db,
+                                   const IterGeneratorMinerOptions& options,
+                                   IterMinerStats* stats) {
+  PatternSet out;
+  IterMinerOptions scan;
+  scan.min_support = options.min_support;
+  scan.max_length = options.max_length;
+  ScanFrequentIterative(
+      db, scan,
+      [&](const Pattern& p, uint64_t support) {
+        if (IsIterativeGenerator(db, p, support)) out.Add(p, support);
+        // Unlike the sequential case, support equality with a deletion
+        // does not propagate structurally to extensions under QRE
+        // semantics, so subtrees are always grown.
+        return true;
+      },
+      stats);
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,45 @@
+// Iterative pattern *generator* mining — the first extension sketched in
+// the paper's future work (Section 8): "The set of frequent patterns can
+// be grouped into equivalence classes. Simply put, each class contains
+// patterns having the same support. Generators are minimal members of
+// equivalence classes of frequent patterns."
+//
+// Operational definition used here (mirroring the closed miner's
+// single-event checks): a frequent pattern P is a generator iff no
+// one-event deletion of P is itself a pattern with the same support whose
+// instances each contain a distinct instance of P... inverted: iff no
+// one-event deletion D of P has sup(D) == sup(P) with every instance of D
+// corresponding to an instance of P — i.e. P adds no information over D.
+// As with closedness, QRE support is not monotone along arbitrary
+// super-sequence chains, so the one-event check is the tractable
+// single-step reading of the equivalence-class definition; the property
+// suite compares it against a brute-force variant on random databases.
+
+#ifndef SPECMINE_ITERMINE_GENERATORS_H_
+#define SPECMINE_ITERMINE_GENERATORS_H_
+
+#include "src/itermine/full_miner.h"
+
+namespace specmine {
+
+/// \brief Options for the iterative generator miner.
+struct IterGeneratorMinerOptions {
+  /// Minimum number of instances (absolute).
+  uint64_t min_support = 1;
+  /// Maximum pattern length; 0 means unbounded.
+  size_t max_length = 0;
+};
+
+/// \brief Mines the frequent iterative generators of \p db.
+PatternSet MineIterativeGenerators(const SequenceDatabase& db,
+                                   const IterGeneratorMinerOptions& options,
+                                   IterMinerStats* stats = nullptr);
+
+/// \brief True iff the one-event deletion check declares \p pattern a
+/// generator (exposed for tests and the ranking module).
+bool IsIterativeGenerator(const SequenceDatabase& db, const Pattern& pattern,
+                          uint64_t support);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ITERMINE_GENERATORS_H_

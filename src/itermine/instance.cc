@@ -1,0 +1,13 @@
+#include "src/itermine/instance.h"
+
+#include <sstream>
+
+namespace specmine {
+
+std::string IterInstance::ToString() const {
+  std::ostringstream os;
+  os << '(' << seq << ", " << start << ", " << end << ')';
+  return os.str();
+}
+
+}  // namespace specmine

@@ -1,0 +1,141 @@
+#include "src/itermine/projection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace specmine {
+
+InstanceList SingleEventInstances(const PositionIndex& index, EventId ev) {
+  InstanceList out;
+  const SequenceDatabase& db = index.db();
+  for (SeqId s = 0; s < db.size(); ++s) {
+    for (Pos p : index.Positions(ev, s)) {
+      out.push_back(IterInstance{s, p, p});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// True iff `ev` (not in the pattern alphabet) occurs strictly inside the
+// instance span — necessarily inside a gap, which would invalidate any
+// extension whose alphabet includes `ev`.
+bool OccursInGaps(const PositionIndex& index, EventId ev,
+                  const IterInstance& inst) {
+  if (inst.end <= inst.start + 1) return false;
+  return index.CountInRange(ev, inst.seq, inst.start + 1, inst.end - 1) > 0;
+}
+
+}  // namespace
+
+std::map<EventId, InstanceList> ForwardExtensions(
+    const PositionIndex& index, const Pattern& pattern,
+    const InstanceList& instances) {
+  std::map<EventId, InstanceList> out;
+  const SequenceDatabase& db = index.db();
+  const auto alphabet = pattern.Alphabet();
+  std::unordered_set<EventId> seen;
+  for (const IterInstance& inst : instances) {
+    const Sequence& seq = db[inst.seq];
+    seen.clear();
+    for (Pos p = inst.end + 1; p < seq.size(); ++p) {
+      EventId ev = seq[p];
+      if (alphabet.count(ev) != 0) {
+        // First alphabet event after the instance: `ev` itself is a valid
+        // extension (its exclusion set is exactly the alphabet and the
+        // scanned segment contains none of it); nothing beyond it can be.
+        out[ev].push_back(IterInstance{inst.seq, inst.start, p});
+        break;
+      }
+      if (!seen.insert(ev).second) continue;  // Only the first occurrence.
+      if (OccursInGaps(index, ev, inst)) continue;
+      out[ev].push_back(IterInstance{inst.seq, inst.start, p});
+    }
+  }
+  return out;
+}
+
+std::map<EventId, BackwardExtension> BackwardExtensions(
+    const PositionIndex& index, const Pattern& pattern,
+    const InstanceList& instances) {
+  std::map<EventId, BackwardExtension> out;
+  const SequenceDatabase& db = index.db();
+  const auto alphabet = pattern.Alphabet();
+  std::unordered_set<EventId> seen;
+  for (const IterInstance& inst : instances) {
+    const Sequence& seq = db[inst.seq];
+    seen.clear();
+    for (Pos p = inst.start; p-- > 0;) {
+      EventId ev = seq[p];
+      bool adjacent = (p + 1 == inst.start);
+      if (alphabet.count(ev) != 0) {
+        BackwardExtension& ext = out[ev];
+        ++ext.support;
+        ext.all_adjacent = ext.all_adjacent && adjacent;
+        break;
+      }
+      if (!seen.insert(ev).second) continue;
+      if (OccursInGaps(index, ev, inst)) continue;
+      BackwardExtension& ext = out[ev];
+      ++ext.support;
+      ext.all_adjacent = ext.all_adjacent && adjacent;
+    }
+  }
+  return out;
+}
+
+bool HasUniformInfixAbsorber(const SequenceDatabase& db,
+                             const Pattern& pattern,
+                             const InstanceList& instances) {
+  assert(pattern.size() >= 2);
+  if (instances.empty()) return false;
+  const auto alphabet = pattern.Alphabet();
+  const size_t num_gaps = pattern.size() - 1;
+
+  // Profile of the first instance; then intersect with each later one.
+  // profile[ev] = per-gap occurrence counts of ev inside the instance.
+  std::unordered_map<EventId, std::vector<uint32_t>> common;
+  std::unordered_map<EventId, std::vector<uint32_t>> current;
+
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const IterInstance& inst = instances[i];
+    const Sequence& seq = db[inst.seq];
+    current.clear();
+    size_t gap = 0;  // Index of the gap we are currently inside.
+    size_t matched = 1;  // pattern[0] is at inst.start.
+    for (Pos p = inst.start + 1; p <= inst.end; ++p) {
+      EventId ev = seq[p];
+      if (alphabet.count(ev) != 0) {
+        // By the QRE this must be the next pattern event.
+        ++matched;
+        ++gap;
+        continue;
+      }
+      auto [it, inserted] = current.try_emplace(ev);
+      if (inserted) it->second.assign(num_gaps, 0);
+      ++it->second[gap];
+    }
+    (void)matched;
+    if (i == 0) {
+      common = std::move(current);
+      current = {};
+    } else {
+      // Keep only events whose profile matches exactly.
+      for (auto it = common.begin(); it != common.end();) {
+        auto found = current.find(it->first);
+        if (found == current.end() || found->second != it->second) {
+          it = common.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (common.empty()) return false;
+  }
+  return !common.empty();
+}
+
+}  // namespace specmine

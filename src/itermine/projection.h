@@ -1,0 +1,73 @@
+// The projection engine for iterative pattern growth: given the instances
+// of a pattern P, compute the instances of every one-event extension, the
+// supports of every one-event backward extension, and the closure
+// information used by the closed miner.
+//
+// Correctness notes (referenced from DESIGN.md):
+//
+//  * Forward growth. An instance of Q = P++<e> spans [start, q] where
+//    [start, end] is an instance of P, q is the first occurrence of e after
+//    `end` with no alphabet(P) event in between, and additionally e does not
+//    occur inside any gap of the P-instance when e is not in alphabet(P)
+//    (the exclusion alphabet of Q contains e, so the old gaps must be free
+//    of it). Scanning forward from end+1 and stopping at the first
+//    alphabet(P) event enumerates every candidate e in one pass; gap
+//    freedom is a position-index range count.
+//
+//  * Backward growth mirrors this on [0, start-1].
+//
+//  * Every instance of Q restricts to the P-instance with the same start
+//    (forward) or to the canonical P-instance beginning at its second
+//    pattern event (backward); both maps are injective, so
+//    sup(Q) == sup(P) implies a total one-to-one correspondence — the
+//    absorption condition of Definition 4.2.
+
+#ifndef SPECMINE_ITERMINE_PROJECTION_H_
+#define SPECMINE_ITERMINE_PROJECTION_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/itermine/instance.h"
+#include "src/patterns/pattern.h"
+
+namespace specmine {
+
+/// \brief Instances of the single-event pattern <ev>: every occurrence.
+InstanceList SingleEventInstances(const PositionIndex& index, EventId ev);
+
+/// \brief Instances of every one-event forward extension P++<e>.
+///
+/// Returns a map from extension event to the (sorted) instances of the
+/// extended pattern. Events with no valid extension are absent. The map is
+/// ordered so iteration is deterministic.
+std::map<EventId, InstanceList> ForwardExtensions(
+    const PositionIndex& index, const Pattern& pattern,
+    const InstanceList& instances);
+
+/// \brief Summary of a one-event backward extension <e>++P.
+struct BackwardExtension {
+  /// Number of instances of <e>++P.
+  uint64_t support = 0;
+  /// True iff in every extension the new event sits immediately before the
+  /// original instance start (no gap). Drives the P1/P2 subtree prunes.
+  bool all_adjacent = true;
+};
+
+/// \brief Supports (and adjacency) of every one-event backward extension.
+std::map<EventId, BackwardExtension> BackwardExtensions(
+    const PositionIndex& index, const Pattern& pattern,
+    const InstanceList& instances);
+
+/// \brief True iff some event e outside alphabet(pattern) occurs with an
+/// identical, somewhere-non-zero per-gap count profile in every instance —
+/// in which case inserting e with those multiplicities yields a
+/// super-sequence with equal support and total instance correspondence
+/// (pattern is not closed). Requires pattern.size() >= 2.
+bool HasUniformInfixAbsorber(const SequenceDatabase& db,
+                             const Pattern& pattern,
+                             const InstanceList& instances);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ITERMINE_PROJECTION_H_

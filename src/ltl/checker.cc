@@ -1,0 +1,79 @@
+#include "src/ltl/checker.h"
+
+namespace specmine {
+
+namespace {
+
+// Generic finite-trace evaluation; AtomFn(name, position) -> bool,
+// length = trace length.
+template <typename AtomFn>
+bool Eval(const LtlPtr& f, size_t position, size_t length,
+          const AtomFn& atom_holds) {
+  switch (f->op()) {
+    case LtlOp::kAtom:
+      return position < length && atom_holds(f->name(), position);
+    case LtlOp::kAnd:
+      return Eval(f->left(), position, length, atom_holds) &&
+             Eval(f->right(), position, length, atom_holds);
+    case LtlOp::kImplies:
+      return !Eval(f->left(), position, length, atom_holds) ||
+             Eval(f->right(), position, length, atom_holds);
+    case LtlOp::kNext:
+      // Strong next: there must be a successor position.
+      return position + 1 < length &&
+             Eval(f->left(), position + 1, length, atom_holds);
+    case LtlOp::kWeakNext:
+      // Weak next: vacuously true without a successor position.
+      return position + 1 >= length ||
+             Eval(f->left(), position + 1, length, atom_holds);
+    case LtlOp::kFinally:
+      for (size_t j = position; j < length; ++j) {
+        if (Eval(f->left(), j, length, atom_holds)) return true;
+      }
+      return false;
+    case LtlOp::kGlobally:
+      for (size_t j = position; j < length; ++j) {
+        if (!Eval(f->left(), j, length, atom_holds)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvaluateLtl(const LtlPtr& formula, const std::vector<std::string>& trace,
+                 size_t position) {
+  return Eval(formula, position, trace.size(),
+              [&trace](const std::string& name, size_t pos) {
+                return trace[pos] == name;
+              });
+}
+
+bool EvaluateLtl(const LtlPtr& formula, const SequenceDatabase& db,
+                 SeqId seq) {
+  const Sequence& s = db[seq];
+  const EventDictionary& dict = db.dictionary();
+  return Eval(formula, 0, s.size(),
+              [&s, &dict](const std::string& name, size_t pos) {
+                EventId id = dict.Lookup(name);
+                return id != kInvalidEvent && s[pos] == id;
+              });
+}
+
+bool HoldsOnAll(const LtlPtr& formula, const SequenceDatabase& db) {
+  for (SeqId s = 0; s < db.size(); ++s) {
+    if (!EvaluateLtl(formula, db, s)) return false;
+  }
+  return true;
+}
+
+size_t CountHolding(const LtlPtr& formula, const SequenceDatabase& db) {
+  size_t n = 0;
+  for (SeqId s = 0; s < db.size(); ++s) {
+    if (EvaluateLtl(formula, db, s)) ++n;
+  }
+  return n;
+}
+
+}  // namespace specmine

@@ -1,0 +1,36 @@
+// Finite-trace LTL evaluation — an implementation of rule semantics that is
+// independent of the mining code, used for cross-validation: a rule with
+// confidence 1.0 must have its Table-2 LTL formula hold on every trace.
+
+#ifndef SPECMINE_LTL_CHECKER_H_
+#define SPECMINE_LTL_CHECKER_H_
+
+#include "src/ltl/formula.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Evaluates \p formula on \p trace (named events) at \p position
+/// using finite-trace semantics:
+///  * atom a       — position < length and trace[position] == a;
+///  * X f          — strong next: position+1 < length and f holds there;
+///  * F f          — f holds at some j >= position;
+///  * G f          — f holds at every j >= position (vacuously true past
+///                   the end).
+bool EvaluateLtl(const LtlPtr& formula, const std::vector<std::string>& trace,
+                 size_t position = 0);
+
+/// \brief Evaluates \p formula on database sequence \p seq, resolving atoms
+/// through the database dictionary.
+bool EvaluateLtl(const LtlPtr& formula, const SequenceDatabase& db,
+                 SeqId seq);
+
+/// \brief True iff \p formula holds on every sequence of \p db.
+bool HoldsOnAll(const LtlPtr& formula, const SequenceDatabase& db);
+
+/// \brief Number of sequences of \p db on which \p formula holds.
+size_t CountHolding(const LtlPtr& formula, const SequenceDatabase& db);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_LTL_CHECKER_H_

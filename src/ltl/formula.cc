@@ -1,0 +1,147 @@
+#include "src/ltl/formula.h"
+
+#include <cassert>
+
+namespace specmine {
+
+LtlPtr LtlFormula::Atom(std::string name) {
+  return LtlPtr(
+      new LtlFormula(LtlOp::kAtom, std::move(name), nullptr, nullptr));
+}
+
+LtlPtr LtlFormula::And(LtlPtr left, LtlPtr right) {
+  assert(left && right);
+  return LtlPtr(
+      new LtlFormula(LtlOp::kAnd, "", std::move(left), std::move(right)));
+}
+
+LtlPtr LtlFormula::Implies(LtlPtr left, LtlPtr right) {
+  assert(left && right);
+  return LtlPtr(
+      new LtlFormula(LtlOp::kImplies, "", std::move(left), std::move(right)));
+}
+
+LtlPtr LtlFormula::Globally(LtlPtr child) {
+  assert(child);
+  return LtlPtr(
+      new LtlFormula(LtlOp::kGlobally, "", std::move(child), nullptr));
+}
+
+LtlPtr LtlFormula::Finally(LtlPtr child) {
+  assert(child);
+  return LtlPtr(
+      new LtlFormula(LtlOp::kFinally, "", std::move(child), nullptr));
+}
+
+LtlPtr LtlFormula::Next(LtlPtr child) {
+  assert(child);
+  return LtlPtr(new LtlFormula(LtlOp::kNext, "", std::move(child), nullptr));
+}
+
+LtlPtr LtlFormula::WeakNext(LtlPtr child) {
+  assert(child);
+  return LtlPtr(
+      new LtlFormula(LtlOp::kWeakNext, "", std::move(child), nullptr));
+}
+
+namespace {
+bool IsUnary(LtlOp op) {
+  return op == LtlOp::kGlobally || op == LtlOp::kFinally ||
+         op == LtlOp::kNext || op == LtlOp::kWeakNext;
+}
+const char* UnaryToken(LtlOp op) {
+  switch (op) {
+    case LtlOp::kGlobally:
+      return "G";
+    case LtlOp::kFinally:
+      return "F";
+    case LtlOp::kNext:
+      return "X";
+    case LtlOp::kWeakNext:
+      return "WX";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+namespace {
+// Precedence: implication (lowest, right associative) < conjunction
+// (associative) < unary operators < atoms.
+int Precedence(LtlOp op) {
+  switch (op) {
+    case LtlOp::kImplies:
+      return 1;
+    case LtlOp::kAnd:
+      return 2;
+    default:
+      return 3;
+  }
+}
+}  // namespace
+
+void LtlFormula::Render(std::string* out, bool parenthesize_binary) const {
+  switch (op_) {
+    case LtlOp::kAtom:
+      out->append(name_);
+      return;
+    case LtlOp::kAnd:
+    case LtlOp::kImplies: {
+      if (parenthesize_binary) out->push_back('(');
+      // A left operand needs parentheses when its precedence is lower, or
+      // equal for the non-associative implication ("(a -> b) -> c").
+      const int prec = Precedence(op_);
+      const int left_prec = Precedence(left_->op());
+      bool paren_left = left_prec < prec ||
+                        (left_prec == prec && op_ == LtlOp::kImplies &&
+                         left_->op() == LtlOp::kImplies);
+      left_->Render(out, paren_left);
+      out->append(op_ == LtlOp::kAnd ? " && " : " -> ");
+      // Right operands only need parentheses at lower precedence; chains
+      // of the same operator reparse identically (-> is right associative,
+      // && is associative).
+      bool paren_right = Precedence(right_->op()) < prec;
+      right_->Render(out, paren_right);
+      if (parenthesize_binary) out->push_back(')');
+      return;
+    }
+    case LtlOp::kGlobally:
+    case LtlOp::kFinally:
+    case LtlOp::kNext:
+    case LtlOp::kWeakNext: {
+      out->append(UnaryToken(op_));
+      if (IsUnary(left_->op())) {
+        // Juxtapose chains of unary operators: XG(...), XF(...).
+        left_->Render(out, parenthesize_binary);
+      } else {
+        out->push_back('(');
+        left_->Render(out, /*parenthesize_binary=*/false);
+        out->push_back(')');
+      }
+      return;
+    }
+  }
+}
+
+std::string LtlFormula::ToString() const {
+  std::string out;
+  Render(&out, /*parenthesize_binary=*/false);
+  return out;
+}
+
+bool LtlFormula::Equal(const LtlPtr& a, const LtlPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->op() != b->op()) return false;
+  switch (a->op()) {
+    case LtlOp::kAtom:
+      return a->name() == b->name();
+    case LtlOp::kAnd:
+    case LtlOp::kImplies:
+      return Equal(a->left(), b->left()) && Equal(a->right(), b->right());
+    default:
+      return Equal(a->left(), b->left());
+  }
+}
+
+}  // namespace specmine

@@ -1,0 +1,83 @@
+// Linear Temporal Logic formulas over event atoms — the fragment of
+// Section 3.3 (operators G, X, F plus conjunction and implication).
+//
+// Atoms are event *names* (strings), so formulas are independent of any
+// particular database's dictionary.
+
+#ifndef SPECMINE_LTL_FORMULA_H_
+#define SPECMINE_LTL_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specmine {
+
+/// \brief Node kinds of the LTL fragment.
+enum class LtlOp {
+  kAtom,      ///< An event name; true at position i iff trace[i] == name.
+  kAnd,       ///< left && right.
+  kImplies,   ///< left -> right.
+  kGlobally,  ///< G child: child holds at every position from here on.
+  kFinally,   ///< F child: child holds now or at some later position.
+  kNext,      ///< X child: child holds at the next position (strong next).
+  kWeakNext,  ///< WX child: no next position, or child holds there. On
+              ///< finite traces X and WX differ only at the last event;
+              ///< the Table-2 translation uses WX for the XG recursion so
+              ///< rules stay vacuously true at trace ends, matching the
+              ///< temporal-point semantics (strong X stays correct for XF:
+              ///< the consequent must occur strictly afterwards).
+};
+
+class LtlFormula;
+using LtlPtr = std::shared_ptr<const LtlFormula>;
+
+/// \brief An immutable LTL formula node.
+class LtlFormula {
+ public:
+  /// \brief Atom node.
+  static LtlPtr Atom(std::string name);
+  /// \brief left && right.
+  static LtlPtr And(LtlPtr left, LtlPtr right);
+  /// \brief left -> right.
+  static LtlPtr Implies(LtlPtr left, LtlPtr right);
+  /// \brief G child.
+  static LtlPtr Globally(LtlPtr child);
+  /// \brief F child.
+  static LtlPtr Finally(LtlPtr child);
+  /// \brief X child.
+  static LtlPtr Next(LtlPtr child);
+  /// \brief WX child (weak next).
+  static LtlPtr WeakNext(LtlPtr child);
+
+  LtlOp op() const { return op_; }
+  /// \brief Atom name; only for kAtom nodes.
+  const std::string& name() const { return name_; }
+  /// \brief Left child (or the only child of unary nodes).
+  const LtlPtr& left() const { return left_; }
+  /// \brief Right child of binary nodes.
+  const LtlPtr& right() const { return right_; }
+
+  /// \brief ASCII rendering, e.g. "G(a -> XF(b && XF(c)))". Consecutive
+  /// unary operators are juxtaposed (XG, XF) as in the paper.
+  std::string ToString() const;
+
+  /// \brief Structural equality.
+  static bool Equal(const LtlPtr& a, const LtlPtr& b);
+
+ private:
+  LtlFormula(LtlOp op, std::string name, LtlPtr left, LtlPtr right)
+      : op_(op), name_(std::move(name)), left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  void Render(std::string* out, bool parenthesize_binary) const;
+
+  LtlOp op_;
+  std::string name_;
+  LtlPtr left_;
+  LtlPtr right_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_LTL_FORMULA_H_

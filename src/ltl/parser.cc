@@ -1,0 +1,139 @@
+#include "src/ltl/parser.h"
+
+#include <cctype>
+
+namespace specmine {
+
+namespace {
+
+bool IsAtomChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '$' || c == '<' || c == '>' || c == ':';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<LtlPtr> Parse() {
+    Result<LtlPtr> f = ParseImplies();
+    if (!f.ok()) return f;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("trailing input");
+    }
+    return f;
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_) +
+                              " in LTL formula");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(std::string_view token) {
+    SkipSpace();
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+  bool Consume(std::string_view token) {
+    if (!Peek(token)) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  Result<LtlPtr> ParseImplies() {
+    Result<LtlPtr> left = ParseAnd();
+    if (!left.ok()) return left;
+    if (Consume("->")) {
+      Result<LtlPtr> right = ParseImplies();
+      if (!right.ok()) return right;
+      return LtlPtr(LtlFormula::Implies(*left, *right));
+    }
+    return left;
+  }
+
+  Result<LtlPtr> ParseAnd() {
+    Result<LtlPtr> left = ParseUnary();
+    if (!left.ok()) return left;
+    LtlPtr acc = *left;
+    while (Consume("&&")) {
+      Result<LtlPtr> right = ParseUnary();
+      if (!right.ok()) return right;
+      acc = LtlFormula::And(acc, *right);
+    }
+    return acc;
+  }
+
+  // True iff `pos` begins a unary operator application: G/F/X (or the
+  // two-letter weak next WX) immediately followed by another operator or
+  // '('. `len` receives the operator's length.
+  bool AtUnaryOperator(size_t* len) {
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    size_t op_len = 1;
+    if (c == 'W') {
+      if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != 'X') return false;
+      op_len = 2;
+    } else if (c != 'G' && c != 'F' && c != 'X') {
+      return false;
+    }
+    size_t next = pos_ + op_len;
+    if (next >= text_.size()) return false;
+    char n = text_[next];
+    *len = op_len;
+    if (n == '(' || n == 'G' || n == 'F' || n == 'X') return true;
+    // "...W X(" — a WX chain following this operator.
+    return n == 'W' && next + 1 < text_.size() && text_[next + 1] == 'X';
+  }
+
+  Result<LtlPtr> ParseUnary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    size_t op_len = 0;
+    if (AtUnaryOperator(&op_len)) {
+      char op = text_[pos_];
+      pos_ += op_len;
+      Result<LtlPtr> child = ParseUnary();
+      if (!child.ok()) return child;
+      switch (op) {
+        case 'G':
+          return LtlPtr(LtlFormula::Globally(*child));
+        case 'F':
+          return LtlPtr(LtlFormula::Finally(*child));
+        case 'W':
+          return LtlPtr(LtlFormula::WeakNext(*child));
+        default:
+          return LtlPtr(LtlFormula::Next(*child));
+      }
+    }
+    if (Consume("(")) {
+      Result<LtlPtr> inner = ParseImplies();
+      if (!inner.ok()) return inner;
+      if (!Consume(")")) return Err("expected ')'");
+      return inner;
+    }
+    // Atom.
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsAtomChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Err("expected atom, operator or '('");
+    return LtlPtr(LtlFormula::Atom(std::string(text_.substr(
+        start, pos_ - start))));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<LtlPtr> ParseLtl(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace specmine

@@ -1,0 +1,28 @@
+// Parser for the ASCII LTL rendering produced by LtlFormula::ToString.
+//
+// Grammar (precedence low to high):
+//   implies := and ( "->" implies )?           (right associative)
+//   and     := unary ( "&&" unary )*           (left associative)
+//   unary   := ("G" | "F" | "X") unary | "(" implies ")" | atom
+//   atom    := [A-Za-z0-9_.$<>]+ not equal to a unary operator letter
+//
+// Atoms may contain dots (method names like "TxManager.begin"). The single
+// capital letters G, F, X act as operators only when followed by another
+// unary operator or '('; otherwise they parse as atoms.
+
+#ifndef SPECMINE_LTL_PARSER_H_
+#define SPECMINE_LTL_PARSER_H_
+
+#include <string_view>
+
+#include "src/ltl/formula.h"
+#include "src/support/status.h"
+
+namespace specmine {
+
+/// \brief Parses \p text into an LTL formula.
+Result<LtlPtr> ParseLtl(std::string_view text);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_LTL_PARSER_H_

@@ -1,0 +1,72 @@
+#include "src/ltl/translate.h"
+
+#include <cassert>
+
+namespace specmine {
+
+namespace {
+
+// post := XF(event) | XF(event && XF(post))
+LtlPtr BuildPost(const Pattern& post, size_t i, const EventDictionary& dict) {
+  LtlPtr atom = LtlFormula::Atom(dict.NameOrPlaceholder(post[i]));
+  if (i + 1 == post.size()) {
+    return LtlFormula::Next(LtlFormula::Finally(atom));
+  }
+  return LtlFormula::Next(LtlFormula::Finally(
+      LtlFormula::And(atom, BuildPost(post, i + 1, dict))));
+}
+
+// prepost := event -> post | event -> XG(prepost)
+LtlPtr BuildPrePost(const Pattern& pre, size_t i, const Pattern& post,
+                    const EventDictionary& dict) {
+  LtlPtr atom = LtlFormula::Atom(dict.NameOrPlaceholder(pre[i]));
+  if (i + 1 == pre.size()) {
+    return LtlFormula::Implies(atom, BuildPost(post, 0, dict));
+  }
+  return LtlFormula::Implies(
+      atom, LtlFormula::WeakNext(LtlFormula::Globally(
+                BuildPrePost(pre, i + 1, post, dict))));
+}
+
+// Recognizers for the BNF fragment.
+bool IsPost(const LtlPtr& f) {
+  // XF(event) | XF(event && XF(post))
+  if (!f || f->op() != LtlOp::kNext) return false;
+  const LtlPtr& fin = f->left();
+  if (fin->op() != LtlOp::kFinally) return false;
+  const LtlPtr& body = fin->left();
+  if (body->op() == LtlOp::kAtom) return true;
+  if (body->op() != LtlOp::kAnd) return false;
+  return body->left()->op() == LtlOp::kAtom && IsPost(body->right());
+}
+
+bool IsPrePost(const LtlPtr& f) {
+  // event -> post | event -> XG(prepost)
+  if (!f || f->op() != LtlOp::kImplies) return false;
+  if (f->left()->op() != LtlOp::kAtom) return false;
+  const LtlPtr& rhs = f->right();
+  if (IsPost(rhs)) return true;
+  if (rhs->op() != LtlOp::kWeakNext) return false;
+  const LtlPtr& glob = rhs->left();
+  if (glob->op() != LtlOp::kGlobally) return false;
+  return IsPrePost(glob->left());
+}
+
+}  // namespace
+
+LtlPtr RuleToLtl(const Pattern& premise, const Pattern& consequent,
+                 const EventDictionary& dict) {
+  assert(!premise.empty() && !consequent.empty());
+  return LtlFormula::Globally(BuildPrePost(premise, 0, consequent, dict));
+}
+
+LtlPtr RuleToLtl(const Rule& rule, const EventDictionary& dict) {
+  return RuleToLtl(rule.premise, rule.consequent, dict);
+}
+
+bool InMinableFragment(const LtlPtr& formula) {
+  if (!formula || formula->op() != LtlOp::kGlobally) return false;
+  return IsPrePost(formula->left());
+}
+
+}  // namespace specmine

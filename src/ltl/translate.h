@@ -1,0 +1,41 @@
+// Rule -> LTL translation (Table 2 of the paper) and the BNF of the
+// minable fragment:
+//
+//   rules   := G(prepost)
+//   prepost := event -> post | event -> XG(prepost)
+//   post    := XF(event)     | XF(event && XF(post))
+//
+// Finite-trace note: the paper's XG recursion is rendered with *weak*
+// next (WX) so a premise whose last event sits at the end of a trace
+// leaves the rule vacuously true — exactly the temporal-point semantics
+// of Definition 5.1. On infinite traces WX coincides with X, so the
+// translation matches Table 2:
+//   <a>    -> <b>      |  G(a -> XF(b))
+//   <a,b>  -> <c>      |  G(a -> WXG(b -> XF(c)))
+//   <a>    -> <b,c>    |  G(a -> XF(b && XF(c)))
+//   <a,b>  -> <c,d>    |  G(a -> WXG(b -> XF(c && XF(d))))
+
+#ifndef SPECMINE_LTL_TRANSLATE_H_
+#define SPECMINE_LTL_TRANSLATE_H_
+
+#include "src/ltl/formula.h"
+#include "src/rulemine/rule.h"
+#include "src/trace/event_dictionary.h"
+
+namespace specmine {
+
+/// \brief Translates a recurrent rule into its LTL expression (Table 2).
+/// Both premise and consequent must be non-empty. Atoms are the event
+/// names from \p dict.
+LtlPtr RuleToLtl(const Rule& rule, const EventDictionary& dict);
+
+/// \brief Variant taking raw premise / consequent patterns.
+LtlPtr RuleToLtl(const Pattern& premise, const Pattern& consequent,
+                 const EventDictionary& dict);
+
+/// \brief True iff \p formula lies within the minable BNF fragment above.
+bool InMinableFragment(const LtlPtr& formula);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_LTL_TRANSLATE_H_

@@ -1,0 +1,105 @@
+#include "src/patterns/pattern.h"
+
+#include <sstream>
+
+namespace specmine {
+
+Pattern Pattern::Extend(EventId ev) const {
+  std::vector<EventId> out = events_;
+  out.push_back(ev);
+  return Pattern(std::move(out));
+}
+
+Pattern Pattern::Prepend(EventId ev) const {
+  std::vector<EventId> out;
+  out.reserve(events_.size() + 1);
+  out.push_back(ev);
+  out.insert(out.end(), events_.begin(), events_.end());
+  return Pattern(std::move(out));
+}
+
+Pattern Pattern::Concat(const Pattern& other) const {
+  std::vector<EventId> out = events_;
+  out.insert(out.end(), other.events_.begin(), other.events_.end());
+  return Pattern(std::move(out));
+}
+
+Pattern Pattern::Insert(size_t at, EventId ev) const {
+  std::vector<EventId> out = events_;
+  out.insert(out.begin() + static_cast<ptrdiff_t>(at), ev);
+  return Pattern(std::move(out));
+}
+
+Pattern Pattern::Erase(size_t at) const {
+  std::vector<EventId> out = events_;
+  out.erase(out.begin() + static_cast<ptrdiff_t>(at));
+  return Pattern(std::move(out));
+}
+
+namespace {
+template <typename Container>
+bool SubsequenceImpl(const std::vector<EventId>& small,
+                     const Container& big) {
+  size_t i = 0;
+  for (EventId ev : big) {
+    if (i == small.size()) return true;
+    if (ev == small[i]) ++i;
+  }
+  return i == small.size();
+}
+}  // namespace
+
+bool Pattern::IsSubsequenceOf(const Pattern& other) const {
+  if (size() > other.size()) return false;
+  return SubsequenceImpl(events_, other.events_);
+}
+
+bool Pattern::IsSubsequenceOf(const Sequence& seq) const {
+  if (size() > seq.size()) return false;
+  return SubsequenceImpl(events_, seq.events());
+}
+
+std::unordered_set<EventId> Pattern::Alphabet() const {
+  return std::unordered_set<EventId>(events_.begin(), events_.end());
+}
+
+bool Pattern::Contains(EventId ev) const {
+  for (EventId e : events_) {
+    if (e == ev) return true;
+  }
+  return false;
+}
+
+std::string Pattern::ToString(const EventDictionary& dict) const {
+  std::ostringstream os;
+  os << '<';
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dict.NameOrPlaceholder(events_[i]);
+  }
+  os << '>';
+  return os.str();
+}
+
+std::string Pattern::ToString() const {
+  std::ostringstream os;
+  os << '<';
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << events_[i];
+  }
+  os << '>';
+  return os.str();
+}
+
+size_t PatternHash::operator()(const Pattern& p) const {
+  // FNV-1a over the event ids.
+  uint64_t h = 1469598103934665603ULL;
+  for (EventId ev : p) {
+    h ^= ev;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace specmine

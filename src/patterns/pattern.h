@@ -1,0 +1,93 @@
+// Pattern: a series of events (Section 3.1 of the paper) plus the
+// sub-sequence / super-sequence relations and concatenation operator.
+
+#ifndef SPECMINE_PATTERNS_PATTERN_H_
+#define SPECMINE_PATTERNS_PATTERN_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/trace/event_dictionary.h"
+#include "src/trace/sequence.h"
+
+namespace specmine {
+
+/// \brief A series of events <e1, e2, ..., en>.
+///
+/// Patterns are ordered lists (not sets); the same event may repeat. The
+/// sub-sequence relation (paper notation P1 ⊑ P2) is implemented by
+/// IsSubsequenceOf.
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::vector<EventId> events) : events_(std::move(events)) {}
+  Pattern(std::initializer_list<EventId> events) : events_(events) {}
+
+  /// \brief Number of events in the pattern.
+  size_t size() const { return events_.size(); }
+  /// \brief True iff the pattern is empty.
+  bool empty() const { return events_.empty(); }
+  /// \brief Event at index \p i (0-based, unchecked).
+  EventId operator[](size_t i) const { return events_[i]; }
+  /// \brief First event; pattern must be non-empty.
+  EventId first() const { return events_.front(); }
+  /// \brief Last event; pattern must be non-empty.
+  EventId last() const { return events_.back(); }
+
+  /// \brief Underlying events.
+  const std::vector<EventId>& events() const { return events_; }
+
+  /// \brief Appends \p ev (returns a new pattern; the paper's P++<ev>).
+  Pattern Extend(EventId ev) const;
+  /// \brief Prepends \p ev (the paper's <ev>++P).
+  Pattern Prepend(EventId ev) const;
+  /// \brief Concatenation P1++P2.
+  Pattern Concat(const Pattern& other) const;
+  /// \brief Inserts \p ev before index \p at (0 <= at <= size()).
+  Pattern Insert(size_t at, EventId ev) const;
+  /// \brief Removes the event at index \p at (0 <= at < size()).
+  Pattern Erase(size_t at) const;
+
+  /// \brief True iff this pattern is a (not necessarily contiguous)
+  /// sub-sequence of \p other (P ⊑ other).
+  bool IsSubsequenceOf(const Pattern& other) const;
+
+  /// \brief True iff this pattern is a sub-sequence of the sequence \p seq.
+  bool IsSubsequenceOf(const Sequence& seq) const;
+
+  /// \brief The set of distinct events in the pattern (the QRE exclusion
+  /// alphabet of Definition 4.1).
+  std::unordered_set<EventId> Alphabet() const;
+
+  /// \brief True iff \p ev occurs in the pattern.
+  bool Contains(EventId ev) const;
+
+  /// \brief Renders as "<name1, name2, ...>" using \p dict.
+  std::string ToString(const EventDictionary& dict) const;
+  /// \brief Renders as "<id1, id2, ...>".
+  std::string ToString() const;
+
+  bool operator==(const Pattern& other) const = default;
+  /// \brief Lexicographic order (for canonical output ordering).
+  bool operator<(const Pattern& other) const {
+    return events_ < other.events_;
+  }
+
+  std::vector<EventId>::const_iterator begin() const { return events_.begin(); }
+  std::vector<EventId>::const_iterator end() const { return events_.end(); }
+
+ private:
+  std::vector<EventId> events_;
+};
+
+/// \brief Hash functor so patterns can key unordered containers.
+struct PatternHash {
+  size_t operator()(const Pattern& p) const;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_PATTERNS_PATTERN_H_

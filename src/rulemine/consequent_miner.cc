@@ -1,0 +1,46 @@
+#include "src/rulemine/consequent_miner.h"
+
+#include <cmath>
+
+#include "src/seqmine/closed_sequential_miner.h"
+#include "src/seqmine/prefixspan.h"
+
+namespace specmine {
+
+uint64_t ConfidenceSupportThreshold(double min_confidence,
+                                    uint64_t total_points) {
+  if (min_confidence <= 0.0) return 1;
+  // Smallest k with k / total >= min_conf, guarding float error.
+  double raw = min_confidence * static_cast<double>(total_points);
+  uint64_t k = static_cast<uint64_t>(std::ceil(raw - 1e-9));
+  return k == 0 ? 1 : k;
+}
+
+PatternSet MineConsequents(const SequenceDatabase& db,
+                           const TemporalPointSet& points,
+                           const ConsequentMinerOptions& options) {
+  std::vector<Unit> units;
+  for (SeqId s = 0; s < points.per_seq.size(); ++s) {
+    for (Pos j : points.per_seq[s]) {
+      // The consequent must occur strictly after the temporal point.
+      units.push_back(Unit{s, j + 1});
+    }
+  }
+  UnitDatabase unit_db(db, std::move(units));
+  const uint64_t threshold = ConfidenceSupportThreshold(
+      options.min_confidence, points.TotalPoints());
+
+  if (options.closed_pruning) {
+    ClosedSeqMinerOptions closed_options;
+    closed_options.min_support = threshold;
+    closed_options.max_length = options.max_length;
+    return MineClosedSequential(unit_db, closed_options);
+  }
+  SeqMinerOptions full_options;
+  full_options.min_support = threshold;
+  full_options.max_length = options.max_length;
+  full_options.max_patterns = options.max_consequents;
+  return MineFrequentSequential(unit_db, full_options);
+}
+
+}  // namespace specmine

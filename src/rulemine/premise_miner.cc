@@ -1,0 +1,122 @@
+#include "src/rulemine/premise_miner.h"
+
+#include <unordered_set>
+
+#include "src/seqmine/occurrence_engine.h"
+
+namespace specmine {
+
+namespace {
+
+// Earliest embedding end of `stem` in seq, where an empty stem "ends
+// before position 0". Returns true iff embeddable, with *end = position of
+// the stem's last event (or kNoPos for the empty stem).
+bool StemEnd(const Pattern& stem, const Sequence& seq, Pos* end) {
+  if (stem.empty()) {
+    *end = kNoPos;  // Interpreted as "points may start at position 0".
+    return true;
+  }
+  *end = EarliestEmbeddingEnd(stem, seq, 0);
+  return *end != kNoPos;
+}
+
+// True iff occ(premise-with-x-inserted-at-slot) == occ(premise) in every
+// sequence. `stem` is premise minus its last event; the insertion slot is
+// encoded in `stem_ins` (stem with x inserted). Equality holds iff, in
+// every sequence with points, the modified stem still embeds and no
+// occurrence of the last event falls in (stem_end, modified_stem_end].
+bool InsertionPreservesPoints(const SequenceDatabase& db,
+                              const Pattern& stem, const Pattern& stem_ins,
+                              EventId last, const TemporalPointSet& points) {
+  for (SeqId s = 0; s < db.size(); ++s) {
+    if (points.per_seq[s].empty()) continue;  // occ subset of empty: fine.
+    const Sequence& seq = db[s];
+    Pos t = kNoPos;
+    if (!StemEnd(stem, seq, &t)) return false;  // Defensive.
+    Pos t_ins = EarliestEmbeddingEnd(stem_ins, seq, 0);
+    if (t_ins == kNoPos) return false;
+    // Any occurrence of `last` in (t, t_ins] is a point of the premise
+    // that the extended premise loses.
+    Pos from = (t == kNoPos) ? 0 : t + 1;
+    for (Pos p = from; p <= t_ins && p < seq.size(); ++p) {
+      if (seq[p] == last) return false;
+    }
+  }
+  return true;
+}
+
+// True iff some one-event insertion (anywhere before the last event)
+// yields a premise with identical temporal points — i.e. this premise is
+// not ⊑-maximal in its occurrence-equivalence class, so every rule it
+// forms is Definition-5.2-redundant to the extended premise's rule, and
+// (because forward growth preserves the equivalence) so are all rules of
+// its extensions.
+bool InsertionEquivalentExists(const SequenceDatabase& db,
+                               const Pattern& premise,
+                               const TemporalPointSet& points) {
+  const size_t n = premise.size();
+  const EventId last = premise.last();
+  Pattern stem(std::vector<EventId>(premise.events().begin(),
+                                    premise.events().end() - 1));
+
+  // The first sequence with points bounds the candidate events: the
+  // modified stem must fully embed before that sequence's first point.
+  SeqId probe = 0;
+  while (probe < db.size() && points.per_seq[probe].empty()) ++probe;
+  if (probe == db.size()) return false;
+  const Sequence& probe_seq = db[probe];
+  const Pos first_point = points.per_seq[probe].front();
+
+  for (size_t slot = 0; slot < n; ++slot) {
+    // Candidates: events of the probe sequence strictly before its first
+    // point and after the embedding of stem[0..slot-1].
+    Pos from = 0;
+    if (slot > 0) {
+      Pattern head(std::vector<EventId>(stem.events().begin(),
+                                        stem.events().begin() + slot));
+      Pos head_end = EarliestEmbeddingEnd(head, probe_seq, 0);
+      if (head_end == kNoPos) continue;
+      from = head_end + 1;
+    }
+    std::unordered_set<EventId> candidates;
+    for (Pos p = from; p < first_point && p < probe_seq.size(); ++p) {
+      candidates.insert(probe_seq[p]);
+    }
+    for (EventId x : candidates) {
+      Pattern stem_ins = stem.Insert(slot, x);
+      if (InsertionPreservesPoints(db, stem, stem_ins, last, points)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ScanPremises(
+    const SequenceDatabase& db, const PremiseMinerOptions& options,
+    const std::function<bool(const Pattern&, const TemporalPointSet&)>& sink,
+    SeqMinerStats* stats) {
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  SeqMinerOptions scan_options;
+  scan_options.min_support = options.min_s_support;
+  scan_options.max_length = options.max_length;
+  ScanFrequentSequential(
+      units, scan_options,
+      [&](const Pattern& p, uint64_t /*support*/,
+          const std::vector<uint32_t>& /*supporting*/) {
+        TemporalPointSet points = ComputeTemporalPoints(p, db);
+        if (options.maximality_pruning &&
+            InsertionEquivalentExists(db, p, points)) {
+          // A point-equivalent longer premise exists; its rules dominate
+          // this premise's rules under Definition 5.2, and the equivalence
+          // propagates to every forward extension — prune the subtree.
+          return false;
+        }
+        return sink(p, points);
+      },
+      stats);
+}
+
+}  // namespace specmine

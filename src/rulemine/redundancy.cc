@@ -1,0 +1,70 @@
+#include "src/rulemine/redundancy.h"
+
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+namespace specmine {
+
+bool IsRedundantTo(const Rule& rx, const Rule& ry,
+                   const RedundancyOptions& options) {
+  if (rx.s_support != ry.s_support) return false;
+  if (!rx.SameConfidenceAs(ry)) return false;
+  if (options.require_equal_i_support && rx.i_support != ry.i_support) {
+    return false;
+  }
+  Pattern cx = rx.Concatenation();
+  Pattern cy = ry.Concatenation();
+  if (cx == cy) {
+    // Equal concatenations: keep the rule with the shorter premise
+    // (longer consequent).
+    return rx.premise.size() > ry.premise.size();
+  }
+  return cx.IsSubsequenceOf(cy);
+}
+
+namespace {
+
+// Rules can only dominate one another when s-support, confidence and
+// (optionally) i-support coincide, so the quadratic scan runs per
+// equal-stat group. Confidence is keyed by its reduced fraction.
+using StatsKey = std::tuple<uint64_t, uint64_t, uint64_t, uint64_t>;
+
+StatsKey KeyOf(const Rule& r, const RedundancyOptions& options) {
+  uint64_t num = r.satisfied_points;
+  uint64_t den = r.premise_points;
+  uint64_t g = std::gcd(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  return {r.s_support, num, den,
+          options.require_equal_i_support ? r.i_support : 0};
+}
+
+}  // namespace
+
+RuleSet RemoveRedundantRules(const RuleSet& rules,
+                             const RedundancyOptions& options) {
+  std::map<StatsKey, std::vector<size_t>> groups;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    groups[KeyOf(rules[i], options)].push_back(i);
+  }
+  RuleSet out;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const std::vector<size_t>& group = groups[KeyOf(rules[i], options)];
+    bool redundant = false;
+    for (size_t j : group) {
+      if (i == j) continue;
+      if (IsRedundantTo(rules[i], rules[j], options)) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) out.Add(rules[i]);
+  }
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,38 @@
+// Rule redundancy (Definition 5.2) and the final filtering sweep (Step 5).
+
+#ifndef SPECMINE_RULEMINE_REDUNDANCY_H_
+#define SPECMINE_RULEMINE_REDUNDANCY_H_
+
+#include "src/rulemine/rule.h"
+
+namespace specmine {
+
+/// \brief Options controlling the redundancy relation.
+struct RedundancyOptions {
+  /// Require equal i-support for redundancy.
+  ///
+  /// Definition 5.2 asks for "the same supports and confidence values".
+  /// The pruning pipeline naturally establishes equal s-support and equal
+  /// confidence; i-supports of a rule and its super-sequence rule can
+  /// differ even when the rules convey the same constraint (the instance
+  /// count of pre++post depends on the concatenation's embedding
+  /// structure). The library's default (false) treats i-support as a
+  /// filter threshold only — matching the pipeline's pruning — while true
+  /// gives the strict reading. Both interpretations are exercised in tests.
+  bool require_equal_i_support = false;
+};
+
+/// \brief True iff \p rx is redundant with respect to \p ry:
+/// concat(rx) ⊑ concat(ry) (proper, or equal with a longer premise), equal
+/// s-support, equal confidence, and — if required — equal i-support.
+bool IsRedundantTo(const Rule& rx, const Rule& ry,
+                   const RedundancyOptions& options);
+
+/// \brief Removes every rule that is redundant to another rule of \p rules
+/// (Step 5). Order-independent: dominance is acyclic by the tie-break.
+RuleSet RemoveRedundantRules(const RuleSet& rules,
+                             const RedundancyOptions& options);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_RULEMINE_REDUNDANCY_H_

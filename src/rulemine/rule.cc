@@ -1,0 +1,51 @@
+#include "src/rulemine/rule.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace specmine {
+
+std::string Rule::ToString(const EventDictionary& dict) const {
+  std::ostringstream os;
+  os << premise.ToString(dict) << " -> " << consequent.ToString(dict)
+     << "  (s-sup=" << s_support << ", i-sup=" << i_support << ", conf="
+     << std::fixed << std::setprecision(3) << confidence() << ')';
+  return os.str();
+}
+
+void RuleSet::SortByQuality() {
+  std::sort(rules_.begin(), rules_.end(), [](const Rule& a, const Rule& b) {
+    double ca = a.confidence();
+    double cb = b.confidence();
+    if (ca != cb) return ca > cb;
+    if (a.s_support != b.s_support) return a.s_support > b.s_support;
+    Pattern pa = a.Concatenation();
+    Pattern pb = b.Concatenation();
+    if (!(pa == pb)) return pa < pb;
+    return a.premise.size() < b.premise.size();
+  });
+}
+
+void RuleSet::SortLexicographic() {
+  std::sort(rules_.begin(), rules_.end(), [](const Rule& a, const Rule& b) {
+    if (!(a.premise == b.premise)) return a.premise < b.premise;
+    return a.consequent < b.consequent;
+  });
+}
+
+const Rule* RuleSet::Find(const Pattern& premise,
+                          const Pattern& consequent) const {
+  for (const Rule& r : rules_) {
+    if (r.premise == premise && r.consequent == consequent) return &r;
+  }
+  return nullptr;
+}
+
+std::string RuleSet::ToString(const EventDictionary& dict) const {
+  std::ostringstream os;
+  for (const Rule& r : rules_) os << r.ToString(dict) << '\n';
+  return os.str();
+}
+
+}  // namespace specmine

@@ -1,0 +1,91 @@
+// Recurrent rules (Section 5 of the paper): pre -> post with sequence
+// support, instance support and confidence statistics.
+
+#ifndef SPECMINE_RULEMINE_RULE_H_
+#define SPECMINE_RULEMINE_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/patterns/pattern.h"
+
+namespace specmine {
+
+/// \brief A mined recurrent rule "pre -> post" with its statistics.
+///
+/// Semantics: whenever the series `premise` has just occurred at a temporal
+/// point, eventually the series `consequent` occurs (Definition 5.1 fixes
+/// temporal points; DESIGN.md §1.2 fixes the statistics).
+struct Rule {
+  Pattern premise;
+  Pattern consequent;
+
+  /// Number of sequences in which the premise occurs (s-support).
+  uint64_t s_support = 0;
+  /// Number of occurrences of premise++consequent (i-support).
+  uint64_t i_support = 0;
+  /// Total temporal points of the premise across the database.
+  uint64_t premise_points = 0;
+  /// Temporal points whose suffix contains the consequent.
+  uint64_t satisfied_points = 0;
+
+  /// \brief Confidence = satisfied_points / premise_points.
+  double confidence() const {
+    return premise_points == 0
+               ? 0.0
+               : static_cast<double>(satisfied_points) /
+                     static_cast<double>(premise_points);
+  }
+
+  /// \brief premise ++ consequent.
+  Pattern Concatenation() const { return premise.Concat(consequent); }
+
+  /// \brief Exact confidence equality via cross multiplication.
+  bool SameConfidenceAs(const Rule& other) const {
+    return static_cast<unsigned __int128>(satisfied_points) *
+               other.premise_points ==
+           static_cast<unsigned __int128>(other.satisfied_points) *
+               premise_points;
+  }
+
+  /// \brief "<pre> -> <post> (s=.., i=.., conf=..)" rendering.
+  std::string ToString(const EventDictionary& dict) const;
+
+  bool operator==(const Rule& other) const = default;
+};
+
+/// \brief An ordered collection of mined rules.
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  void Add(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const Rule& operator[](size_t i) const { return rules_[i]; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>* mutable_rules() { return &rules_; }
+
+  /// \brief Sorts by (descending confidence, descending s-support,
+  /// lexicographic concatenation) — the canonical report order.
+  void SortByQuality();
+
+  /// \brief Sorts by (premise, consequent) lexicographically — the
+  /// canonical order for set comparisons in tests.
+  void SortLexicographic();
+
+  /// \brief Finds a rule with the given premise and consequent, or nullptr.
+  const Rule* Find(const Pattern& premise, const Pattern& consequent) const;
+
+  /// \brief Multi-line rendering.
+  std::string ToString(const EventDictionary& dict) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_RULEMINE_RULE_H_

@@ -1,0 +1,75 @@
+#include "src/rulemine/rule_miner.h"
+
+#include "src/rulemine/consequent_miner.h"
+#include "src/rulemine/premise_miner.h"
+#include "src/seqmine/occurrence_engine.h"
+
+namespace specmine {
+
+RuleSet MineRecurrentRules(const SequenceDatabase& db,
+                           const RuleMinerOptions& options,
+                           RuleMinerStats* stats) {
+  RuleMinerStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = RuleMinerStats{};
+
+  PremiseMinerOptions premise_options;
+  premise_options.min_s_support = options.min_s_support;
+  premise_options.max_length = options.max_premise_length;
+  premise_options.maximality_pruning = options.non_redundant;
+
+  ConsequentMinerOptions consequent_options;
+  consequent_options.min_confidence = options.min_confidence;
+  consequent_options.max_length = options.max_consequent_length;
+  consequent_options.closed_pruning = options.non_redundant;
+
+  RuleSet candidates;
+  // Step 1: enumerate premises; Step 2: their temporal points arrive with
+  // each premise.
+  ScanPremises(
+      db, premise_options,
+      [&](const Pattern& premise, const TemporalPointSet& points) {
+        if (stats->truncated) return false;
+        ++stats->premises_enumerated;
+        const uint64_t total_points = points.TotalPoints();
+        const uint64_t s_support = points.SupportingSequences();
+        if (total_points == 0) return true;
+
+        // Step 3: consequents above the confidence-derived threshold.
+        PatternSet consequents =
+            MineConsequents(db, points, consequent_options);
+        for (const MinedPattern& post : consequents.items()) {
+          Rule rule;
+          rule.premise = premise;
+          rule.consequent = post.pattern;
+          rule.s_support = s_support;
+          rule.premise_points = total_points;
+          rule.satisfied_points = post.support;
+          // Step 4 input: the i-support of the concatenation.
+          rule.i_support = CountOccurrences(rule.Concatenation(), db);
+          candidates.Add(std::move(rule));
+          ++stats->candidate_rules;
+          if (options.max_rules != 0 &&
+              stats->candidate_rules >= options.max_rules) {
+            stats->truncated = true;
+            return false;
+          }
+        }
+        return !stats->truncated;
+      });
+
+  // Step 4: instance-support filter.
+  RuleSet filtered;
+  for (const Rule& r : candidates.rules()) {
+    if (r.i_support >= options.min_i_support) filtered.Add(r);
+  }
+
+  // Step 5: final redundancy sweep (NR only).
+  RuleSet out = options.non_redundant
+                    ? RemoveRedundantRules(filtered, options.redundancy)
+                    : std::move(filtered);
+  stats->rules_emitted = out.size();
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,52 @@
+// The recurrent-rule miner: Steps 1-5 of Section 5, in Full and
+// Non-Redundant (NR) configurations — the two series of Figures 2 and 3.
+
+#ifndef SPECMINE_RULEMINE_RULE_MINER_H_
+#define SPECMINE_RULEMINE_RULE_MINER_H_
+
+#include <cstdint>
+
+#include "src/rulemine/redundancy.h"
+#include "src/rulemine/rule.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Options for recurrent rule mining.
+struct RuleMinerOptions {
+  /// Minimum sequence support of the premise (absolute).
+  uint64_t min_s_support = 1;
+  /// Minimum confidence in [0, 1].
+  double min_confidence = 0.5;
+  /// Minimum instance support of premise++consequent (absolute). The paper
+  /// runs its experiments at 1; there is no pruning property for it
+  /// (Section 6), so it is applied as a post-filter (Step 4).
+  uint64_t min_i_support = 1;
+  /// Maximum premise / consequent lengths; 0 means unbounded.
+  size_t max_premise_length = 0;
+  size_t max_consequent_length = 0;
+  /// NR pipeline (generator premises, closed consequents, Step-5 sweep)
+  /// versus Full pipeline (every significant rule).
+  bool non_redundant = true;
+  /// Redundancy interpretation for the Step-5 sweep (see redundancy.h).
+  RedundancyOptions redundancy;
+  /// Safety valve: stop after this many candidate rules (0 = unbounded).
+  size_t max_rules = 0;
+};
+
+/// \brief Statistics describing one rule-miner run.
+struct RuleMinerStats {
+  size_t premises_enumerated = 0;
+  size_t candidate_rules = 0;   ///< Rules before Steps 4-5.
+  size_t rules_emitted = 0;     ///< Final output size.
+  bool truncated = false;       ///< True iff max_rules stopped the run.
+};
+
+/// \brief Mines recurrent rules from \p db per \p options.
+RuleSet MineRecurrentRules(const SequenceDatabase& db,
+                           const RuleMinerOptions& options,
+                           RuleMinerStats* stats = nullptr);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_RULEMINE_RULE_MINER_H_

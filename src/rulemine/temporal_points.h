@@ -1,0 +1,36 @@
+// Temporal point computation (Definition 5.1): the positions at which a
+// premise "has just occurred".
+
+#ifndef SPECMINE_RULEMINE_TEMPORAL_POINTS_H_
+#define SPECMINE_RULEMINE_TEMPORAL_POINTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/patterns/pattern.h"
+#include "src/trace/position_index.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief The occurrence points of a pattern, grouped by sequence.
+struct TemporalPointSet {
+  /// per_seq[s] = sorted occurrence points of the pattern in sequence s.
+  std::vector<std::vector<Pos>> per_seq;
+
+  /// \brief Total number of points.
+  size_t TotalPoints() const;
+  /// \brief Number of sequences with at least one point (the s-support of
+  /// any rule with this premise).
+  size_t SupportingSequences() const;
+
+  bool operator==(const TemporalPointSet& other) const = default;
+};
+
+/// \brief Computes the temporal points of \p pattern over \p db.
+TemporalPointSet ComputeTemporalPoints(const Pattern& pattern,
+                                       const SequenceDatabase& db);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_RULEMINE_TEMPORAL_POINTS_H_

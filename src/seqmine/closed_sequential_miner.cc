@@ -1,0 +1,204 @@
+#include "src/seqmine/closed_sequential_miner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+#include "src/seqmine/occurrence_engine.h"
+
+namespace specmine {
+
+namespace {
+
+struct Entry {
+  uint32_t unit;
+  Pos last_match;
+};
+
+struct Ctx {
+  const UnitDatabase* units;
+  const ClosedSeqMinerOptions* options;
+  PatternSet* out;
+  SeqMinerStats* stats;
+};
+
+// Greedy earliest embedding of `pattern` into seq[begin..]; fills ee[i] with
+// the position matching pattern[i]. Returns false if not embeddable.
+bool EarliestEmbedding(const Pattern& pattern, const Sequence& seq, Pos begin,
+                       std::vector<Pos>* ee) {
+  ee->clear();
+  size_t k = 0;
+  for (Pos p = begin; p < seq.size() && k < pattern.size(); ++p) {
+    if (seq[p] == pattern[k]) {
+      ee->push_back(p);
+      ++k;
+    }
+  }
+  return k == pattern.size();
+}
+
+// Greedy latest embedding of `pattern` into seq[begin..]; fills ls[i] with
+// the position matching pattern[i]. Returns false if not embeddable.
+bool LatestEmbedding(const Pattern& pattern, const Sequence& seq, Pos begin,
+                     std::vector<Pos>* ls) {
+  ls->assign(pattern.size(), kNoPos);
+  size_t k = pattern.size();
+  for (Pos p = static_cast<Pos>(seq.size()); p-- > begin && k > 0;) {
+    if (seq[p] == pattern[k - 1]) {
+      (*ls)[k - 1] = p;
+      --k;
+    }
+    if (p == 0) break;
+  }
+  return k == 0;
+}
+
+// Returns true iff some event occurs inside (lo_exclusive, hi_exclusive) of
+// every supporting unit. `periods` holds one (lo, hi) interval per unit, in
+// the same order as `entries`. Implemented with stamp counting so the cost
+// is the sum of interval lengths.
+bool HasCommonPeriodEvent(const Ctx& ctx, const std::vector<Entry>& entries,
+                          const std::vector<std::pair<Pos, Pos>>& periods) {
+  std::unordered_map<EventId, uint32_t> stamp;
+  const SequenceDatabase& db = ctx.units->db();
+  for (uint32_t idx = 0; idx < entries.size(); ++idx) {
+    const Unit& unit = ctx.units->units()[entries[idx].unit];
+    const Sequence& seq = db[unit.seq];
+    auto [lo, hi] = periods[idx];
+    bool any = false;
+    if (hi != kNoPos) {
+      Pos from = (lo == kNoPos) ? unit.start : lo + 1;
+      for (Pos p = from; p < hi && p < seq.size(); ++p) {
+        EventId ev = seq[p];
+        auto it = stamp.find(ev);
+        if (idx == 0) {
+          stamp.emplace(ev, 1);
+          any = true;
+        } else if (it != stamp.end() && it->second == idx) {
+          it->second = idx + 1;
+          any = true;
+        }
+      }
+    }
+    if (idx == 0 && stamp.empty()) return false;
+    (void)any;
+  }
+  for (const auto& [ev, count] : stamp) {
+    if (count == entries.size()) return true;
+  }
+  return false;
+}
+
+// True iff some slot i in [0, n) has an event common to the slot-i periods
+// of all supporting units, where the slot-i period of a unit is
+//  * maximum period      (ee[i-1], ls[i])  when semi == false (closure),
+//  * semi-maximum period (ee[i-1], ee[i])  when semi == true  (BackScan).
+// Embeddings are computed once per unit and reused across slots.
+bool HasPeriodExtension(const Ctx& ctx, const Pattern& pattern,
+                        const std::vector<Entry>& entries, bool semi) {
+  const SequenceDatabase& db = ctx.units->db();
+  const size_t n = pattern.size();
+  // per-unit earliest / latest embedding position arrays.
+  std::vector<std::vector<Pos>> ee(entries.size());
+  std::vector<std::vector<Pos>> ls(entries.size());
+  for (size_t idx = 0; idx < entries.size(); ++idx) {
+    const Unit& unit = ctx.units->units()[entries[idx].unit];
+    const Sequence& seq = db[unit.seq];
+    if (!EarliestEmbedding(pattern, seq, unit.start, &ee[idx])) return false;
+    if (!semi && !LatestEmbedding(pattern, seq, unit.start, &ls[idx])) {
+      return false;
+    }
+  }
+  std::vector<std::pair<Pos, Pos>> periods(entries.size());
+  for (size_t slot = 0; slot < n; ++slot) {
+    for (size_t idx = 0; idx < entries.size(); ++idx) {
+      Pos lo = (slot == 0) ? kNoPos : ee[idx][slot - 1];
+      Pos hi = semi ? ee[idx][slot] : ls[idx][slot];
+      periods[idx] = {lo, hi};
+    }
+    if (HasCommonPeriodEvent(ctx, entries, periods)) return true;
+  }
+  return false;
+}
+
+// True iff `pattern` has a backward extension event common to all units
+// (maximum periods) — i.e. it is NOT closed on the backward side.
+bool HasBackwardExtension(const Ctx& ctx, const Pattern& pattern,
+                          const std::vector<Entry>& entries) {
+  return HasPeriodExtension(ctx, pattern, entries, /*semi=*/false);
+}
+
+// BackScan: true iff the subtree rooted at `pattern` can be pruned.
+bool BackScanPrunable(const Ctx& ctx, const Pattern& pattern,
+                      const std::vector<Entry>& entries) {
+  return HasPeriodExtension(ctx, pattern, entries, /*semi=*/true);
+}
+
+void Grow(Ctx* ctx, const Pattern& prefix, const std::vector<Entry>& entries,
+          bool at_root) {
+  ++ctx->stats->nodes_visited;
+  const SequenceDatabase& db = ctx->units->db();
+  std::map<EventId, std::vector<Entry>> extensions;
+  for (const Entry& entry : entries) {
+    const Unit& unit = ctx->units->units()[entry.unit];
+    const Sequence& seq = db[unit.seq];
+    Pos from = at_root ? unit.start : entry.last_match + 1;
+    for (Pos p = from; p < seq.size(); ++p) {
+      EventId ev = seq[p];
+      std::vector<Entry>& proj = extensions[ev];
+      if (!proj.empty() && proj.back().unit == entry.unit) continue;
+      proj.push_back(Entry{entry.unit, p});
+    }
+  }
+
+  // A pattern is closed on the forward side iff no extension has equal
+  // support.
+  bool forward_closed = true;
+  if (!at_root) {
+    for (const auto& [ev, proj] : extensions) {
+      if (proj.size() == entries.size()) {
+        forward_closed = false;
+        break;
+      }
+    }
+    if (forward_closed && !HasBackwardExtension(*ctx, prefix, entries)) {
+      ctx->out->Add(prefix, entries.size());
+      ++ctx->stats->patterns_emitted;
+    }
+  }
+
+  for (const auto& [ev, proj] : extensions) {
+    if (proj.size() < ctx->options->min_support) continue;
+    Pattern candidate = prefix.Extend(ev);
+    if (ctx->options->max_length != 0 &&
+        candidate.size() > ctx->options->max_length) {
+      continue;
+    }
+    if (ctx->options->backscan_pruning &&
+        BackScanPrunable(*ctx, candidate, proj)) {
+      continue;
+    }
+    Grow(ctx, candidate, proj, /*at_root=*/false);
+  }
+}
+
+}  // namespace
+
+PatternSet MineClosedSequential(const UnitDatabase& units,
+                                const ClosedSeqMinerOptions& options,
+                                SeqMinerStats* stats) {
+  SeqMinerStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = SeqMinerStats{};
+  PatternSet out;
+  Ctx ctx{&units, &options, &out, stats};
+  std::vector<Entry> root;
+  root.reserve(units.size());
+  for (uint32_t u = 0; u < units.size(); ++u) root.push_back(Entry{u, 0});
+  Pattern empty;
+  Grow(&ctx, empty, root, /*at_root=*/true);
+  return out;
+}
+
+}  // namespace specmine

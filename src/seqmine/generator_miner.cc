@@ -1,0 +1,78 @@
+#include "src/seqmine/generator_miner.h"
+
+#include <optional>
+
+#include "src/seqmine/occurrence_engine.h"
+
+namespace specmine {
+
+namespace {
+
+// For each unit, the earliest embedding end of `pattern` in the unit's
+// suffix, or kNoPos if the unit does not support it. Also reports the
+// support count.
+std::vector<Pos> EmbeddingEnds(const UnitDatabase& units,
+                               const Pattern& pattern, uint64_t* support) {
+  std::vector<Pos> ends(units.size(), kNoPos);
+  uint64_t sup = 0;
+  for (size_t u = 0; u < units.size(); ++u) {
+    const Unit& unit = units.units()[u];
+    const Sequence& seq = units.db()[unit.seq];
+    Pos end = EarliestEmbeddingEnd(pattern, seq, unit.start);
+    ends[u] = end;
+    if (end != kNoPos) ++sup;
+  }
+  if (support != nullptr) *support = sup;
+  return ends;
+}
+
+}  // namespace
+
+PatternSet MineSequentialGenerators(const UnitDatabase& units,
+                                    const GeneratorMinerOptions& options,
+                                    SeqMinerStats* stats) {
+  PatternSet out;
+  SeqMinerOptions scan_options;
+  scan_options.min_support = options.min_support;
+  scan_options.max_length = options.max_length;
+  ScanFrequentSequential(
+      units, scan_options,
+      [&](const Pattern& p, uint64_t support, const std::vector<uint32_t>&) {
+        // Check every one-event deletion.
+        bool is_generator = true;
+        bool prune_subtree = false;
+        uint64_t full_sup = 0;
+        std::optional<std::vector<Pos>> full_ends;
+        for (size_t k = 0; k < p.size() && !prune_subtree; ++k) {
+          Pattern deleted = p.Erase(k);
+          if (deleted.empty()) {
+            // The empty pattern "supports" every unit; equal support means
+            // p (a single event) occurs in all units. The projected
+            // databases can never coincide (the empty projection starts at
+            // the unit start), so this case never prunes the subtree.
+            if (support == units.size()) is_generator = false;
+            continue;
+          }
+          uint64_t del_sup = 0;
+          std::vector<Pos> del_ends =
+              EmbeddingEnds(units, deleted, &del_sup);
+          if (del_sup != support) continue;
+          is_generator = false;
+          if (options.projection_pruning) {
+            if (!full_ends.has_value()) {
+              full_ends = EmbeddingEnds(units, p, &full_sup);
+            }
+            // Identical projected databases: the deletion embeds in exactly
+            // the same units at the same earliest ends, so every descendant
+            // of p has an equivalent shorter counterpart.
+            if (del_ends == *full_ends) prune_subtree = true;
+          }
+        }
+        if (is_generator) out.Add(p, support);
+        return !prune_subtree;
+      },
+      stats);
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,38 @@
+// Sequential *generator* mining: the minimal members of the support
+// equivalence classes of frequent sequential patterns.
+//
+// A frequent pattern P is a generator iff no proper subsequence of P has the
+// same unit support. Because unit support is anti-monotone under the
+// subsequence relation, it suffices to check the |P| single-event deletions.
+//
+// The paper's future-work section proposes combining generators (minimal
+// pre-conditions) with closed patterns (maximal post-conditions); the
+// recurrent-rule miner uses the same minimality idea — via occurrence-point
+// equivalence — to prune premise search (Section 5, Step 1).
+
+#ifndef SPECMINE_SEQMINE_GENERATOR_MINER_H_
+#define SPECMINE_SEQMINE_GENERATOR_MINER_H_
+
+#include "src/seqmine/prefixspan.h"
+
+namespace specmine {
+
+/// \brief Options for the generator miner.
+struct GeneratorMinerOptions {
+  /// Minimum number of supporting units (absolute).
+  uint64_t min_support = 1;
+  /// Maximum pattern length; 0 means unbounded.
+  size_t max_length = 0;
+  /// Prune subtrees whose projected database coincides with that of a
+  /// one-event deletion (sound: every descendant is then a non-generator).
+  bool projection_pruning = true;
+};
+
+/// \brief Mines the frequent sequential generators over \p units.
+PatternSet MineSequentialGenerators(const UnitDatabase& units,
+                                    const GeneratorMinerOptions& options,
+                                    SeqMinerStats* stats = nullptr);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SEQMINE_GENERATOR_MINER_H_

@@ -1,0 +1,71 @@
+#include "src/seqmine/occurrence_engine.h"
+
+#include <cassert>
+
+namespace specmine {
+
+Pos EarliestEmbeddingEnd(const Pattern& pattern, const Sequence& seq,
+                         Pos begin) {
+  assert(!pattern.empty());
+  size_t k = 0;
+  for (Pos p = begin; p < seq.size(); ++p) {
+    if (seq[p] == pattern[k]) {
+      ++k;
+      if (k == pattern.size()) return p;
+    }
+  }
+  return kNoPos;
+}
+
+bool EmbedsAt(const Pattern& pattern, const Sequence& seq, Pos begin) {
+  if (pattern.empty()) return true;
+  return EarliestEmbeddingEnd(pattern, seq, begin) != kNoPos;
+}
+
+std::vector<Pos> OccurrencePoints(const Pattern& pattern, const Sequence& seq,
+                                  Pos begin) {
+  std::vector<Pos> points;
+  if (pattern.empty()) return points;
+  const EventId last = pattern.last();
+  Pos prefix_end;
+  if (pattern.size() == 1) {
+    // Every occurrence of the single event at or after begin is a point.
+    prefix_end = begin == 0 ? kNoPos : begin - 1;  // "ends before begin"
+  } else {
+    Pattern prefix(std::vector<EventId>(pattern.events().begin(),
+                                        pattern.events().end() - 1));
+    prefix_end = EarliestEmbeddingEnd(prefix, seq, begin);
+    if (prefix_end == kNoPos) return points;
+  }
+  Pos from = (pattern.size() == 1) ? begin : prefix_end + 1;
+  for (Pos p = from; p < seq.size(); ++p) {
+    if (seq[p] == last) points.push_back(p);
+  }
+  return points;
+}
+
+size_t CountOccurrences(const Pattern& pattern, const SequenceDatabase& db) {
+  size_t n = 0;
+  for (const Sequence& seq : db.sequences()) {
+    n += OccurrencePoints(pattern, seq).size();
+  }
+  return n;
+}
+
+Pos LatestEmbeddingStart(const Pattern& pattern, const Sequence& seq,
+                         Pos begin, Pos end_inclusive) {
+  assert(!pattern.empty());
+  if (end_inclusive == kNoPos || begin >= seq.size()) return kNoPos;
+  if (end_inclusive >= seq.size()) end_inclusive = static_cast<Pos>(seq.size()) - 1;
+  size_t k = pattern.size();
+  for (Pos p = end_inclusive + 1; p-- > begin;) {
+    if (seq[p] == pattern[k - 1]) {
+      --k;
+      if (k == 0) return p;
+    }
+    if (p == 0) break;
+  }
+  return kNoPos;
+}
+
+}  // namespace specmine

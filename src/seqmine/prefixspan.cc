@@ -1,0 +1,120 @@
+#include "src/seqmine/prefixspan.h"
+
+#include <algorithm>
+#include <map>
+
+namespace specmine {
+
+UnitDatabase UnitDatabase::WholeSequences(const SequenceDatabase& db) {
+  std::vector<Unit> units;
+  units.reserve(db.size());
+  for (SeqId s = 0; s < db.size(); ++s) units.push_back(Unit{s, 0});
+  return UnitDatabase(db, std::move(units));
+}
+
+namespace {
+
+// One live unit within the current projection: the unit index and the
+// absolute position in its sequence just *after* which the next pattern
+// event must be found. kNoPos at the root means "scan from unit.start".
+struct Entry {
+  uint32_t unit;
+  Pos last_match;  // Position of the last matched event.
+};
+
+struct MinerContext {
+  const UnitDatabase* units;
+  const SeqMinerOptions* options;
+  const std::function<bool(const Pattern&, uint64_t,
+                           const std::vector<uint32_t>&)>* sink;
+  SeqMinerStats* stats;
+  bool stop = false;
+};
+
+// Collects, for every event e, the projected entries of P++<e>.
+// std::map keeps the extension order deterministic (ascending event id).
+void CollectExtensions(const MinerContext& ctx,
+                       const std::vector<Entry>& projection, bool at_root,
+                       std::map<EventId, std::vector<Entry>>* extensions) {
+  const SequenceDatabase& db = ctx.units->db();
+  for (const Entry& entry : projection) {
+    const Unit& unit = ctx.units->units()[entry.unit];
+    const Sequence& seq = db[unit.seq];
+    Pos from = at_root ? unit.start : entry.last_match + 1;
+    // Record only the first occurrence of each event in the suffix: one
+    // projected entry per unit per extension event. Entries for a given
+    // unit are appended consecutively, so checking the tail suffices.
+    for (Pos p = from; p < seq.size(); ++p) {
+      EventId ev = seq[p];
+      std::vector<Entry>& proj = (*extensions)[ev];
+      if (!proj.empty() && proj.back().unit == entry.unit) continue;
+      proj.push_back(Entry{entry.unit, p});
+    }
+  }
+}
+
+void Grow(MinerContext* ctx, Pattern* prefix,
+          const std::vector<Entry>& projection, bool at_root) {
+  if (ctx->stop) return;
+  ++ctx->stats->nodes_visited;
+  std::map<EventId, std::vector<Entry>> extensions;
+  CollectExtensions(*ctx, projection, at_root, &extensions);
+  for (auto& [ev, proj] : extensions) {
+    if (ctx->stop) return;
+    uint64_t support = proj.size();
+    if (support < ctx->options->min_support) continue;
+    Pattern candidate = prefix->Extend(ev);
+    std::vector<uint32_t> supporting;
+    supporting.reserve(proj.size());
+    for (const Entry& e : proj) supporting.push_back(e.unit);
+    ++ctx->stats->patterns_emitted;
+    bool grow_subtree = (*ctx->sink)(candidate, support, supporting);
+    if (ctx->options->max_patterns != 0 &&
+        ctx->stats->patterns_emitted >= ctx->options->max_patterns) {
+      ctx->stats->truncated = true;
+      ctx->stop = true;
+      return;
+    }
+    if (!grow_subtree) continue;
+    if (ctx->options->max_length != 0 &&
+        candidate.size() >= ctx->options->max_length) {
+      continue;
+    }
+    Grow(ctx, &candidate, proj, /*at_root=*/false);
+  }
+}
+
+}  // namespace
+
+void ScanFrequentSequential(
+    const UnitDatabase& units, const SeqMinerOptions& options,
+    const std::function<bool(const Pattern&, uint64_t,
+                             const std::vector<uint32_t>&)>& sink,
+    SeqMinerStats* stats) {
+  SeqMinerStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = SeqMinerStats{};
+  MinerContext ctx{&units, &options, &sink, stats};
+  std::vector<Entry> root;
+  root.reserve(units.size());
+  for (uint32_t u = 0; u < units.size(); ++u) root.push_back(Entry{u, 0});
+  Pattern empty;
+  Grow(&ctx, &empty, root, /*at_root=*/true);
+}
+
+PatternSet MineFrequentSequential(const UnitDatabase& units,
+                                  const SeqMinerOptions& options,
+                                  SeqMinerStats* stats) {
+  PatternSet out;
+  ScanFrequentSequential(
+      units, options,
+      [&out](const Pattern& p, uint64_t support,
+             const std::vector<uint32_t>&) {
+        out.Add(p, support);
+        return true;
+      },
+      stats);
+  return out;
+}
+
+}  // namespace specmine

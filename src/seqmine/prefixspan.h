@@ -1,0 +1,88 @@
+// PrefixSpan (Pei et al., ICDE 2001): full-set sequential pattern mining by
+// prefix-projected pattern growth, over a database of *units*.
+//
+// A unit is a (sequence, start offset) pair denoting the suffix
+// seq[start..]. With one unit per sequence at offset 0 this is classic
+// sequential pattern mining with sequence-count support; the recurrent-rule
+// miner instead builds one unit per temporal point to mine consequents with
+// confidence-derived support (paper Section 5, Step 3).
+
+#ifndef SPECMINE_SEQMINE_PREFIXSPAN_H_
+#define SPECMINE_SEQMINE_PREFIXSPAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/patterns/pattern_set.h"
+#include "src/trace/position_index.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief A suffix view seq[start..] of one database sequence.
+struct Unit {
+  SeqId seq = 0;
+  Pos start = 0;
+};
+
+/// \brief The projection units a sequential miner runs over.
+///
+/// The referenced database must outlive the UnitDatabase.
+class UnitDatabase {
+ public:
+  /// \brief One unit per sequence, at offset 0 (classic sequence support).
+  static UnitDatabase WholeSequences(const SequenceDatabase& db);
+
+  /// \brief Explicit unit list (e.g. one unit per temporal point).
+  UnitDatabase(const SequenceDatabase& db, std::vector<Unit> units)
+      : db_(&db), units_(std::move(units)) {}
+
+  const SequenceDatabase& db() const { return *db_; }
+  const std::vector<Unit>& units() const { return units_; }
+  size_t size() const { return units_.size(); }
+
+ private:
+  const SequenceDatabase* db_;
+  std::vector<Unit> units_;
+};
+
+/// \brief Options shared by the sequential miners.
+struct SeqMinerOptions {
+  /// Minimum number of supporting units (absolute).
+  uint64_t min_support = 1;
+  /// Maximum pattern length; 0 means unbounded.
+  size_t max_length = 0;
+  /// Safety valve: stop after emitting this many patterns (0 = unbounded).
+  /// Full-set miners can explode at low thresholds; the benchmark harness
+  /// sets a generous cap and reports when it is hit.
+  size_t max_patterns = 0;
+};
+
+/// \brief Statistics describing one miner run.
+struct SeqMinerStats {
+  size_t nodes_visited = 0;    ///< DFS nodes expanded.
+  size_t patterns_emitted = 0; ///< Patterns written to the output set.
+  bool truncated = false;      ///< True iff max_patterns stopped the run.
+};
+
+/// \brief Mines the full set of frequent sequential patterns over \p units.
+///
+/// Support of P = number of units whose suffix contains P as a subsequence.
+/// Patterns of length >= 1 are emitted.
+PatternSet MineFrequentSequential(const UnitDatabase& units,
+                                  const SeqMinerOptions& options,
+                                  SeqMinerStats* stats = nullptr);
+
+/// \brief Callback-based variant used by the rule miner: \p sink is invoked
+/// with (pattern, support, supporting-unit indexes). Return false from the
+/// sink to skip growing that pattern's subtree (confidence-style pruning).
+void ScanFrequentSequential(
+    const UnitDatabase& units, const SeqMinerOptions& options,
+    const std::function<bool(const Pattern&, uint64_t,
+                             const std::vector<uint32_t>&)>& sink,
+    SeqMinerStats* stats = nullptr);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SEQMINE_PREFIXSPAN_H_

@@ -1,0 +1,143 @@
+#include "src/sim/security_component.h"
+
+namespace specmine {
+namespace sim {
+
+std::string XmlLoginConfig::GetConfEntry(bool entry_present) {
+  trace_->Enter("XmlLoginCI.getConfEntry");
+  if (!entry_present) {
+    trace_->Enter("SecurityConfig.useDefaults");
+    return "";
+  }
+  return GetAuthenInfoName();
+}
+
+std::string XmlLoginConfig::GetAuthenInfoName() {
+  trace_->Enter("AuthenInfo.getName");
+  return "ClientLoginModule";
+}
+
+void ClientLoginModule::Initialize() {
+  trace_->Enter("ClientLoginMod.initialize");
+}
+
+bool ClientLoginModule::Login(bool will_succeed) {
+  trace_->Enter("ClientLoginMod.login");
+  return will_succeed;
+}
+
+void ClientLoginModule::Commit() { trace_->Enter("ClientLoginMod.commit"); }
+
+void ClientLoginModule::Abort() { trace_->Enter("ClientLoginMod.abort"); }
+
+void SecurityAssociation::SetPrincipalInfo() {
+  trace_->Enter("SecAssocActs.setPrincipalInfo");
+  // Privileged action that performs the actual binding.
+  trace_->Enter("SetPrincipalInfoAction.run");
+}
+
+void SecurityAssociation::PushSubjectContext() {
+  trace_->Enter("SecAssocActs.pushSubjectCtxt");
+  trace_->Enter("SubjectThreadLocalStack.push");
+  trace_->Enter("SimplePrincipal.toString");
+}
+
+std::string SecurityAssociation::GetPrincipal() {
+  trace_->Enter("SecAssoc.getPrincipal");
+  return "principal";
+}
+
+std::string SecurityAssociation::GetCredential() {
+  trace_->Enter("SecAssoc.getCredential");
+  return "credential";
+}
+
+namespace {
+
+const char* const kNoiseEvents[] = {
+    "Logger.log",
+    "NamingCtxt.lookup",
+    "Invocation.getArguments",
+    "Clock.currentTime",
+};
+
+void MaybeNoise(TraceCollector* trace, Rng* rng, double probability) {
+  while (rng->Bernoulli(probability)) {
+    trace->Enter(kNoiseEvents[rng->Uniform(std::size(kNoiseEvents))]);
+  }
+}
+
+}  // namespace
+
+bool RunAuthenticationScenario(TraceCollector* trace, Rng* rng,
+                               const SecurityScenarioOptions& options) {
+  XmlLoginConfig config(trace);
+  ClientLoginModule module(trace);
+  SecurityAssociation assoc(trace);
+
+  MaybeNoise(trace, rng, options.noise_probability);
+  if (rng->Bernoulli(options.direct_name_lookup_probability)) {
+    // Principal listing: reads the authentication info name directly;
+    // no configuration lookup, no authentication.
+    trace->Enter("PrincipalLister.list");
+    config.GetAuthenInfoName();
+    MaybeNoise(trace, rng, options.noise_probability);
+    return false;
+  }
+  // Premise: configuration consulted for the authentication service.
+  bool entry_present = !rng->Bernoulli(options.missing_entry_probability);
+  if (config.GetConfEntry(entry_present).empty()) {
+    MaybeNoise(trace, rng, options.noise_probability);
+    return false;
+  }
+  MaybeNoise(trace, rng, options.noise_probability);
+
+  bool succeed = !rng->Bernoulli(options.login_failure_probability);
+  module.Initialize();
+  if (!module.Login(succeed)) {
+    module.Abort();
+    MaybeNoise(trace, rng, options.noise_probability);
+    return false;
+  }
+  module.Commit();
+  // Bind principal information to the authenticated subject.
+  assoc.SetPrincipalInfo();
+  assoc.PushSubjectContext();
+  MaybeNoise(trace, rng, options.noise_probability);
+  // Downstream use of the subject's principal and credentials.
+  for (size_t i = 0; i < options.downstream_uses; ++i) {
+    assoc.GetPrincipal();
+    assoc.GetCredential();
+    MaybeNoise(trace, rng, options.noise_probability);
+  }
+  return true;
+}
+
+const std::vector<std::string>& Figure5Premise() {
+  static const std::vector<std::string> kPremise = {
+      "XmlLoginCI.getConfEntry",
+      "AuthenInfo.getName",
+  };
+  return kPremise;
+}
+
+const std::vector<std::string>& Figure5Consequent() {
+  static const std::vector<std::string> kConsequent = {
+      "ClientLoginMod.initialize",
+      "ClientLoginMod.login",
+      "ClientLoginMod.commit",
+      "SecAssocActs.setPrincipalInfo",
+      "SetPrincipalInfoAction.run",
+      "SecAssocActs.pushSubjectCtxt",
+      "SubjectThreadLocalStack.push",
+      "SimplePrincipal.toString",
+      "SecAssoc.getPrincipal",
+      "SecAssoc.getCredential",
+      "SecAssoc.getPrincipal",
+      "SecAssoc.getCredential",
+  };
+  return kConsequent;
+}
+
+}  // namespace sim
+}  // namespace specmine

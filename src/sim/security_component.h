@@ -1,0 +1,119 @@
+// Simulated JBoss security component (JAAS authentication for EJB). The
+// vocabulary mirrors Figure 5 of the paper — the recurrent rule mined from
+// JBoss-Security:
+//
+//   premise   : XmlLoginCI.getConfEntry, AuthenInfo.getName
+//   consequent: ClientLoginMod.initialize, ClientLoginMod.login,
+//               ClientLoginMod.commit, SecAssocActs.setPrincipalInfo,
+//               SetPrincipalInfoAction.run, SecAssocActs.pushSubjectCtxt,
+//               SubjectThreadLocalStack.push, SimplePrincipal.toString,
+//               SecAssoc.getPrincipal, SecAssoc.getCredential,
+//               SecAssoc.getPrincipal, SecAssoc.getCredential
+//
+// i.e. whenever configuration is consulted to locate an authentication
+// service, eventually the login module runs, principal information is
+// bound to the subject, and principal/credential are used downstream.
+// Scenarios include login failures (premise without consequent — the
+// confidence dial), repeated authentications per trace (recurrence), and
+// unrelated interleaved activity.
+
+#ifndef SPECMINE_SIM_SECURITY_COMPONENT_H_
+#define SPECMINE_SIM_SECURITY_COMPONENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/trace_collector.h"
+#include "src/support/random.h"
+
+namespace specmine {
+namespace sim {
+
+/// \brief Simulated XML login configuration.
+class XmlLoginConfig {
+ public:
+  explicit XmlLoginConfig(TraceCollector* trace) : trace_(trace) {}
+
+  /// \brief Consults configuration for the authentication entry; when the
+  /// entry exists its name is read (the Figure-5 premise pair), otherwise
+  /// the defaults are applied and the lookup returns empty.
+  std::string GetConfEntry(bool entry_present = true);
+
+  /// \brief Direct AuthenInfo.getName access without a configuration
+  /// lookup (used by principal-listing style scenarios; this is what makes
+  /// the two-event premise a genuine generator).
+  std::string GetAuthenInfoName();
+
+ private:
+  TraceCollector* trace_;
+};
+
+/// \brief Simulated client login module (the JAAS module).
+class ClientLoginModule {
+ public:
+  explicit ClientLoginModule(TraceCollector* trace) : trace_(trace) {}
+
+  void Initialize();
+  /// \brief Returns false on authentication failure.
+  bool Login(bool will_succeed);
+  /// \brief Commits the authentication: binds principal info to the
+  /// subject and pushes the subject context.
+  void Commit();
+  /// \brief Abort path after a failed login.
+  void Abort();
+
+ private:
+  TraceCollector* trace_;
+};
+
+/// \brief Simulated security association (principal/credential storage).
+class SecurityAssociation {
+ public:
+  explicit SecurityAssociation(TraceCollector* trace) : trace_(trace) {}
+
+  void SetPrincipalInfo();
+  void PushSubjectContext();
+  std::string GetPrincipal();
+  std::string GetCredential();
+
+ private:
+  TraceCollector* trace_;
+};
+
+/// \brief Knobs for one simulated authentication run.
+struct SecurityScenarioOptions {
+  /// Probability that the login attempt fails (premise occurs, consequent
+  /// does not — lowers the mined rule's confidence).
+  double login_failure_probability = 0.0;
+  /// Probability that the configuration lookup finds no authentication
+  /// entry: XmlLoginCI.getConfEntry occurs *without* AuthenInfo.getName or
+  /// any authentication. Distinguishes the one-event premise
+  /// <getConfEntry> from the Figure-5 premise pair.
+  double missing_entry_probability = 0.0;
+  /// Probability that the run is a principal-listing scenario touching
+  /// AuthenInfo.getName directly, with no configuration lookup and no
+  /// authentication. Makes <getConfEntry, getName> a premise generator.
+  double direct_name_lookup_probability = 0.0;
+  /// Probability of an unrelated framework event between phases.
+  double noise_probability = 0.3;
+  /// Number of downstream principal/credential uses (Figure 5 shows two
+  /// getPrincipal/getCredential pairs).
+  size_t downstream_uses = 2;
+};
+
+/// \brief Runs one EJB authentication against the simulated component,
+/// appending events to the collector's current trace. Returns true iff
+/// authentication succeeded.
+bool RunAuthenticationScenario(TraceCollector* trace, Rng* rng,
+                               const SecurityScenarioOptions& options);
+
+/// \brief The Figure-5 premise event names.
+const std::vector<std::string>& Figure5Premise();
+
+/// \brief The Figure-5 consequent event names.
+const std::vector<std::string>& Figure5Consequent();
+
+}  // namespace sim
+}  // namespace specmine
+
+#endif  // SPECMINE_SIM_SECURITY_COMPONENT_H_

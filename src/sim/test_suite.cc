@@ -1,0 +1,46 @@
+#include "src/sim/test_suite.h"
+
+namespace specmine {
+namespace sim {
+
+namespace {
+
+size_t RunsForTrace(const TestSuiteOptions& options, Rng* rng) {
+  size_t lo = options.min_runs_per_trace;
+  size_t hi = options.max_runs_per_trace;
+  if (hi < lo) hi = lo;
+  return lo + static_cast<size_t>(rng->Uniform(hi - lo + 1));
+}
+
+}  // namespace
+
+SequenceDatabase GenerateTransactionTraces(const TestSuiteOptions& options) {
+  Rng rng(options.seed);
+  TraceCollector collector;
+  for (size_t t = 0; t < options.num_traces; ++t) {
+    collector.BeginTrace();
+    size_t runs = RunsForTrace(options, &rng);
+    for (size_t r = 0; r < runs; ++r) {
+      RunTransactionScenario(&collector, &rng, options.transaction);
+    }
+    collector.EndTrace();
+  }
+  return collector.TakeDatabase();
+}
+
+SequenceDatabase GenerateSecurityTraces(const TestSuiteOptions& options) {
+  Rng rng(options.seed);
+  TraceCollector collector;
+  for (size_t t = 0; t < options.num_traces; ++t) {
+    collector.BeginTrace();
+    size_t runs = RunsForTrace(options, &rng);
+    for (size_t r = 0; r < runs; ++r) {
+      RunAuthenticationScenario(&collector, &rng, options.security);
+    }
+    collector.EndTrace();
+  }
+  return collector.TakeDatabase();
+}
+
+}  // namespace sim
+}  // namespace specmine

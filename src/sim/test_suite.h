@@ -1,0 +1,39 @@
+// The simulated "test suite": drives the instrumented components the way
+// the paper runs the JBoss test suite to produce traces (Section 7).
+
+#ifndef SPECMINE_SIM_TEST_SUITE_H_
+#define SPECMINE_SIM_TEST_SUITE_H_
+
+#include <cstdint>
+
+#include "src/sim/security_component.h"
+#include "src/sim/transaction_component.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+namespace sim {
+
+/// \brief Knobs for the simulated test-suite run.
+struct TestSuiteOptions {
+  /// Number of test cases (traces) to run.
+  size_t num_traces = 100;
+  /// Scenario executions per trace, uniform in [min, max] — transactions
+  /// and authentications repeat *within* a trace, the recurrence iterative
+  /// patterns and recurrent rules target.
+  size_t min_runs_per_trace = 1;
+  size_t max_runs_per_trace = 4;
+  uint64_t seed = 42;
+  TransactionScenarioOptions transaction;
+  SecurityScenarioOptions security;
+};
+
+/// \brief Runs the transaction test suite; one trace per test case.
+SequenceDatabase GenerateTransactionTraces(const TestSuiteOptions& options);
+
+/// \brief Runs the security (authentication) test suite.
+SequenceDatabase GenerateSecurityTraces(const TestSuiteOptions& options);
+
+}  // namespace sim
+}  // namespace specmine
+
+#endif  // SPECMINE_SIM_TEST_SUITE_H_

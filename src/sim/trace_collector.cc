@@ -1,0 +1,29 @@
+#include "src/sim/trace_collector.h"
+
+namespace specmine {
+
+void TraceCollector::BeginTrace() {
+  EndTrace();
+  open_ = true;
+}
+
+void TraceCollector::Enter(std::string_view method) {
+  if (!open_) open_ = true;
+  current_.Append(db_.mutable_dictionary()->Intern(method));
+}
+
+void TraceCollector::EndTrace() {
+  if (open_ && !current_.empty()) {
+    db_.AddSequence(std::move(current_));
+    current_ = Sequence();
+  }
+  current_ = Sequence();
+  open_ = false;
+}
+
+SequenceDatabase TraceCollector::TakeDatabase() {
+  EndTrace();
+  return std::move(db_);
+}
+
+}  // namespace specmine

@@ -1,0 +1,47 @@
+// AOP-style instrumentation substitute: the paper instruments JBoss AS with
+// JBoss-AOP and records method entries while the test suite runs; here the
+// simulated components report method entries to a TraceCollector, which
+// assembles the SequenceDatabase (substitution #1 in DESIGN.md §4).
+
+#ifndef SPECMINE_SIM_TRACE_COLLECTOR_H_
+#define SPECMINE_SIM_TRACE_COLLECTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Collects method-entry events into traces, one trace per test
+/// case.
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+
+  /// \brief Starts a new trace (a new test case execution).
+  void BeginTrace();
+
+  /// \brief Records entry into \p method ("Class.method") on the current
+  /// trace; a trace is started implicitly if none is open.
+  void Enter(std::string_view method);
+
+  /// \brief Finishes the current trace; empty traces are dropped.
+  void EndTrace();
+
+  /// \brief Number of completed traces.
+  size_t NumTraces() const { return db_.size(); }
+
+  /// \brief The collected database (finishes any open trace).
+  SequenceDatabase TakeDatabase();
+
+ private:
+  SequenceDatabase db_;
+  Sequence current_;
+  bool open_ = false;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SIM_TRACE_COLLECTOR_H_

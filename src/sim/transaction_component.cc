@@ -1,0 +1,257 @@
+#include "src/sim/transaction_component.h"
+
+namespace specmine {
+namespace sim {
+
+uint64_t XidImpl::GetTrulyGlobalId() {
+  trace_->Enter("XidImpl.getTrulyGlobalId");
+  return id_ << 16;
+}
+
+uint64_t XidImpl::GetLocalId() {
+  trace_->Enter("XidImpl.getLocalId");
+  return id_;
+}
+
+uint64_t XidImpl::GetLocalIdValue() {
+  trace_->Enter("XidImpl.getLocalIdValue");
+  return id_;
+}
+
+uint64_t LocalId::HashCode() {
+  trace_->Enter("LocalId.hashCode");
+  return value_ * 0x9e3779b97f4a7c15ULL;
+}
+
+bool LocalId::Equals(const LocalId& other) {
+  trace_->Enter("LocalId.equals");
+  return value_ == other.value_;
+}
+
+uint64_t XidFactory::GetNextId() {
+  trace_->Enter("XidFactory.getNextId");
+  return next_id_++;
+}
+
+XidImpl XidFactory::NewXid() {
+  trace_->Enter("XidFactory.newXid");
+  return XidImpl(trace_, GetNextId());
+}
+
+void TransactionImpl::AssociateCurrentThread() {
+  trace_->Enter("TransactionImpl.associateCurrentThread");
+}
+
+uint64_t TransactionImpl::GetLocalId() {
+  trace_->Enter("TransactionImpl.getLocalId");
+  return xid_.GetLocalId();
+}
+
+uint64_t TransactionImpl::GetLocalIdValue() {
+  trace_->Enter("TransactionImpl.getLocalIdValue");
+  return xid_.GetLocalIdValue();
+}
+
+bool TransactionImpl::Equals(TransactionImpl* other) {
+  trace_->Enter("TransactionImpl.equals");
+  // Identity comparison reads both transactions' local id values — the
+  // doubled getLocalIdValue pair visible in Figure 4.
+  uint64_t mine = GetLocalIdValue();
+  uint64_t theirs = other->GetLocalIdValue();
+  return mine == theirs;
+}
+
+void TransactionImpl::BeforePrepare() {
+  trace_->Enter("TransactionImpl.beforePrepare");
+  CheckIntegrity();
+  CheckBeforeStatus();
+}
+
+void TransactionImpl::CheckIntegrity() {
+  trace_->Enter("TransactionImpl.checkIntegrity");
+}
+
+void TransactionImpl::CheckBeforeStatus() {
+  trace_->Enter("TransactionImpl.checkBeforeStatus");
+}
+
+void TransactionImpl::EndResources() {
+  trace_->Enter("TransactionImpl.endResources");
+}
+
+void TransactionImpl::CompleteTransaction() {
+  trace_->Enter("TransactionImpl.completeTransaction");
+  CancelTimeout();
+  DoAfterCompletion();
+  InstanceDone();
+}
+
+void TransactionImpl::CancelTimeout() {
+  trace_->Enter("TransactionImpl.cancelTimeout");
+}
+
+void TransactionImpl::DoAfterCompletion() {
+  trace_->Enter("TransactionImpl.doAfterCompletion");
+}
+
+void TransactionImpl::InstanceDone() {
+  trace_->Enter("TransactionImpl.instanceDone");
+}
+
+void TransactionImpl::Commit() {
+  trace_->Enter("TransactionImpl.commit");
+  BeforePrepare();
+  EndResources();
+  CompleteTransaction();
+  committed_ = true;
+}
+
+void TransactionImpl::Rollback() {
+  trace_->Enter("TransactionImpl.rollback");
+  EndResources();
+  CompleteTransaction();
+  committed_ = false;
+}
+
+void TransactionImpl::DisposeChecks() {
+  // Removal from the manager's transaction map: key recomputation and
+  // identity check, as in the Figure-4 disposal block.
+  LocalId key(trace_, GetLocalId());
+  key.HashCode();
+  key.Equals(key);
+}
+
+void TransactionManagerLocator::GetInstance() {
+  trace_->Enter("TransactionManagerLocator.getInstance");
+  Locate();
+}
+
+void TransactionManagerLocator::Locate() {
+  trace_->Enter("TransactionManagerLocator.locate");
+  TryJndi();
+  UsePrivateApi();
+}
+
+void TransactionManagerLocator::TryJndi() {
+  trace_->Enter("TransactionManagerLocator.tryJNDI");
+}
+
+void TransactionManagerLocator::UsePrivateApi() {
+  trace_->Enter("TransactionManagerLocator.usePrivateAPI");
+}
+
+TransactionImpl TxManager::Begin() {
+  trace_->Enter("TxManager.begin");
+  XidImpl xid = factory_.NewXid();
+  xid.GetTrulyGlobalId();
+  TransactionImpl tx(trace_, xid);
+  // Transaction set-up: thread association plus registration in the
+  // manager's transaction map (hash + identity check on the local id).
+  tx.AssociateCurrentThread();
+  LocalId key(trace_, tx.GetLocalId());
+  key.HashCode();
+  tx.Equals(&tx);
+  return tx;
+}
+
+void TxManager::Commit(TransactionImpl* tx) {
+  trace_->Enter("TxManager.commit");
+  tx->Commit();
+}
+
+void TxManager::Rollback(TransactionImpl* tx) {
+  trace_->Enter("TxManager.rollback");
+  tx->Rollback();
+}
+
+void TxManager::ReleaseTransactionImpl(TransactionImpl* tx) {
+  trace_->Enter("TxManager.releaseTransactionImpl");
+  tx->DisposeChecks();
+}
+
+namespace {
+
+const char* const kNoiseEvents[] = {
+    "Logger.log",
+    "ConnectionPool.acquire",
+    "ConnectionPool.release",
+    "Cache.lookup",
+    "Clock.currentTime",
+};
+
+void MaybeNoise(TraceCollector* trace, Rng* rng, double probability) {
+  while (rng->Bernoulli(probability)) {
+    trace->Enter(kNoiseEvents[rng->Uniform(std::size(kNoiseEvents))]);
+  }
+}
+
+}  // namespace
+
+bool RunTransactionScenario(TraceCollector* trace, Rng* rng,
+                            const TransactionScenarioOptions& options) {
+  TransactionManagerLocator locator(trace);
+  TxManager manager(trace);
+
+  MaybeNoise(trace, rng, options.noise_probability);
+  locator.GetInstance();
+  MaybeNoise(trace, rng, options.noise_probability);
+  TransactionImpl tx = manager.Begin();
+  MaybeNoise(trace, rng, options.noise_probability);
+
+  bool commit = !rng->Bernoulli(options.rollback_probability);
+  if (commit) {
+    manager.Commit(&tx);
+  } else {
+    manager.Rollback(&tx);
+  }
+  MaybeNoise(trace, rng, options.noise_probability);
+  manager.ReleaseTransactionImpl(&tx);
+  MaybeNoise(trace, rng, options.noise_probability);
+  return commit;
+}
+
+const std::vector<std::string>& Figure4Pattern() {
+  static const std::vector<std::string> kPattern = {
+      // Connection set up.
+      "TransactionManagerLocator.getInstance",
+      "TransactionManagerLocator.locate",
+      "TransactionManagerLocator.tryJNDI",
+      "TransactionManagerLocator.usePrivateAPI",
+      // Tx manager set up.
+      "TxManager.begin",
+      "XidFactory.newXid",
+      "XidFactory.getNextId",
+      "XidImpl.getTrulyGlobalId",
+      // Transaction set up.
+      "TransactionImpl.associateCurrentThread",
+      "TransactionImpl.getLocalId",
+      "XidImpl.getLocalId",
+      "LocalId.hashCode",
+      "TransactionImpl.equals",
+      "TransactionImpl.getLocalIdValue",
+      "XidImpl.getLocalIdValue",
+      "TransactionImpl.getLocalIdValue",
+      "XidImpl.getLocalIdValue",
+      // Transaction commit.
+      "TxManager.commit",
+      "TransactionImpl.commit",
+      "TransactionImpl.beforePrepare",
+      "TransactionImpl.checkIntegrity",
+      "TransactionImpl.checkBeforeStatus",
+      "TransactionImpl.endResources",
+      "TransactionImpl.completeTransaction",
+      "TransactionImpl.cancelTimeout",
+      "TransactionImpl.doAfterCompletion",
+      "TransactionImpl.instanceDone",
+      // Transaction dispose.
+      "TxManager.releaseTransactionImpl",
+      "TransactionImpl.getLocalId",
+      "XidImpl.getLocalId",
+      "LocalId.hashCode",
+      "LocalId.equals",
+  };
+  return kPattern;
+}
+
+}  // namespace sim
+}  // namespace specmine

@@ -1,0 +1,168 @@
+// Simulated JBoss transaction component. The classes and methods mirror the
+// vocabulary visible in Figure 4 of the paper (the longest iterative
+// pattern mined from the JBoss transaction component): connection set-up
+// via TransactionManagerLocator, transaction-manager set-up via
+// TxManager.begin / XidFactory, transaction set-up on TransactionImpl,
+// commit (or rollback) processing, and disposal.
+//
+// Every method reports its entry to the TraceCollector, imitating the
+// JBoss-AOP instrumentation of the case study. The call structure is real:
+// TxManager.commit invokes TransactionImpl.commit, which runs the
+// before-prepare / end-resources / completion chain, etc., so the emitted
+// event order arises from the simulated control flow rather than from a
+// hard-coded string list.
+
+#ifndef SPECMINE_SIM_TRANSACTION_COMPONENT_H_
+#define SPECMINE_SIM_TRANSACTION_COMPONENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/trace_collector.h"
+#include "src/support/random.h"
+
+namespace specmine {
+namespace sim {
+
+/// \brief Simulated global transaction id.
+class XidImpl {
+ public:
+  XidImpl(TraceCollector* trace, uint64_t id) : trace_(trace), id_(id) {}
+
+  uint64_t GetTrulyGlobalId();
+  uint64_t GetLocalId();
+  uint64_t GetLocalIdValue();
+
+ private:
+  TraceCollector* trace_;
+  uint64_t id_;
+};
+
+/// \brief Simulated local transaction id with identity operations.
+class LocalId {
+ public:
+  LocalId(TraceCollector* trace, uint64_t value)
+      : trace_(trace), value_(value) {}
+
+  uint64_t HashCode();
+  bool Equals(const LocalId& other);
+
+ private:
+  TraceCollector* trace_;
+  uint64_t value_;
+};
+
+/// \brief Simulated Xid factory.
+class XidFactory {
+ public:
+  explicit XidFactory(TraceCollector* trace) : trace_(trace) {}
+
+  XidImpl NewXid();
+
+ private:
+  uint64_t GetNextId();
+
+  TraceCollector* trace_;
+  uint64_t next_id_ = 1;
+};
+
+/// \brief Simulated transaction: set-up, commit / rollback processing.
+class TransactionImpl {
+ public:
+  TransactionImpl(TraceCollector* trace, XidImpl xid)
+      : trace_(trace), xid_(xid) {}
+
+  /// Transaction set-up block of Figure 4.
+  void AssociateCurrentThread();
+  uint64_t GetLocalId();
+  uint64_t GetLocalIdValue();
+  bool Equals(TransactionImpl* other);
+
+  /// Commit processing block of Figure 4.
+  void Commit();
+  /// Rollback processing (the abort path of the protocol).
+  void Rollback();
+
+  /// Disposal interactions (invoked by TxManager).
+  void DisposeChecks();
+
+  bool committed() const { return committed_; }
+
+ private:
+  void BeforePrepare();
+  void CheckIntegrity();
+  void CheckBeforeStatus();
+  void EndResources();
+  void CompleteTransaction();
+  void CancelTimeout();
+  void DoAfterCompletion();
+  void InstanceDone();
+
+  TraceCollector* trace_;
+  XidImpl xid_;
+  bool committed_ = false;
+};
+
+/// \brief Simulated transaction manager locator (connection set-up).
+class TransactionManagerLocator {
+ public:
+  explicit TransactionManagerLocator(TraceCollector* trace) : trace_(trace) {}
+
+  /// getInstance -> locate -> tryJNDI -> usePrivateAPI, as in Figure 4.
+  void GetInstance();
+
+ private:
+  void Locate();
+  void TryJndi();
+  void UsePrivateApi();
+
+  TraceCollector* trace_;
+};
+
+/// \brief Simulated transaction manager.
+class TxManager {
+ public:
+  explicit TxManager(TraceCollector* trace) : trace_(trace), factory_(trace) {}
+
+  /// \brief Begins a transaction: TxManager.begin + Xid creation + the
+  /// transaction set-up block.
+  TransactionImpl Begin();
+
+  /// \brief Commits via the transaction's commit chain.
+  void Commit(TransactionImpl* tx);
+
+  /// \brief Rolls back via the transaction's rollback chain.
+  void Rollback(TransactionImpl* tx);
+
+  /// \brief Disposes the transaction (release + identity checks).
+  void ReleaseTransactionImpl(TransactionImpl* tx);
+
+ private:
+  TraceCollector* trace_;
+  XidFactory factory_;
+};
+
+/// \brief Knobs for one simulated transaction client run.
+struct TransactionScenarioOptions {
+  /// Probability that a transaction aborts (rollback path).
+  double rollback_probability = 0.15;
+  /// Probability of an unrelated framework event (logging, caching)
+  /// between protocol phases.
+  double noise_probability = 0.3;
+};
+
+/// \brief Runs one client transaction against the simulated component,
+/// appending its events to the collector's current trace. Returns true if
+/// the transaction committed.
+bool RunTransactionScenario(TraceCollector* trace, Rng* rng,
+                            const TransactionScenarioOptions& options);
+
+/// \brief The Figure-4 event sequence (the longest iterative pattern of
+/// the paper's transaction case study) as method names — the expected
+/// mining result on clean commit runs.
+const std::vector<std::string>& Figure4Pattern();
+
+}  // namespace sim
+}  // namespace specmine
+
+#endif  // SPECMINE_SIM_TRANSACTION_COMPONENT_H_

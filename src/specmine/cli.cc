@@ -1,0 +1,269 @@
+#include "src/specmine/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "src/ltl/checker.h"
+#include "src/ltl/parser.h"
+#include "src/ltl/translate.h"
+#include "src/rulemine/backward_rules.h"
+#include "src/specmine/ranking.h"
+#include "src/itermine/generators.h"
+#include "src/specmine/spec_miner.h"
+#include "src/synth/quest_generator.h"
+#include "src/trace/csv_trace_reader.h"
+#include "src/trace/database_stats.h"
+#include "src/trace/trace_io.h"
+
+namespace specmine {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: specmine <command> [options]
+
+commands:
+  stats <traces>                    print database shape statistics
+  mine-patterns <traces> [options]  mine iterative patterns
+  mine-rules <traces> [options]     mine recurrent rules (with LTL forms)
+  check <traces> --ltl <formula>    evaluate an LTL formula on every trace
+  gen-quest <out> [options]         generate a QUEST-style dataset
+
+common options:
+  --csv [--group-col N] [--event-col N] [--delim C] [--header]
+
+mine-patterns: --min-sup F (0.5) | --full | --generators | --max-len N
+mine-rules:    --min-ssup F (0.5) --min-conf F (0.9) --min-isup N (1)
+               --full | --backward | --rank
+               --max-pre N --max-post N
+gen-quest:     --d F --c F --n F --s F --seed N
+)";
+
+// Minimal flag parser: positional arguments plus --flag [value] pairs.
+class Args {
+ public:
+  Args(const std::vector<std::string>& args, size_t from) {
+    for (size_t i = from; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a.size() >= 2 && a[0] == '-' && a[1] == '-') {
+        std::string name = a.substr(2);
+        if (i + 1 < args.size() && (args[i + 1].empty() ||
+                                    args[i + 1][0] != '-' ||
+                                    args[i + 1].size() < 2 ||
+                                    args[i + 1][1] != '-')) {
+          flags_[name] = args[i + 1];
+          ++i;
+        } else {
+          flags_[name] = "";
+        }
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::string Get(const std::string& name, const std::string& def) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty()) return def;
+    return std::stod(it->second);
+  }
+
+  uint64_t GetUint(const std::string& name, uint64_t def) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty()) return def;
+    return std::stoull(it->second);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+Result<SequenceDatabase> LoadTraces(const Args& args, const std::string& path) {
+  if (args.Has("csv")) {
+    CsvTraceOptions options;
+    options.group_column = args.GetUint("group-col", 0);
+    options.event_column = args.GetUint("event-col", 1);
+    std::string delim = args.Get("delim", ",");
+    options.delimiter = delim.empty() ? ',' : delim[0];
+    options.has_header = args.Has("header");
+    return ReadCsvTraceFile(path, options);
+  }
+  return ReadTextTraceFile(path);
+}
+
+int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "stats: missing trace file\n";
+    return 2;
+  }
+  Result<SequenceDatabase> db = LoadTraces(args, args.positional()[0]);
+  if (!db.ok()) {
+    err << db.status().ToString() << '\n';
+    return 1;
+  }
+  out << ComputeStats(*db).ToString() << '\n';
+  return 0;
+}
+
+int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "mine-patterns: missing trace file\n";
+    return 2;
+  }
+  Result<SequenceDatabase> db = LoadTraces(args, args.positional()[0]);
+  if (!db.ok()) {
+    err << db.status().ToString() << '\n';
+    return 1;
+  }
+  SpecMiner miner(db.TakeValueOrDie());
+  PatternSet patterns;
+  if (args.Has("generators")) {
+    IterGeneratorMinerOptions options;
+    options.min_support =
+        miner.AbsoluteSupport(args.GetDouble("min-sup", 0.5));
+    options.max_length = args.GetUint("max-len", 0);
+    patterns = MineIterativeGenerators(miner.database(), options);
+    patterns.SortBySupport();
+  } else {
+    PatternMiningConfig config;
+    config.min_support_fraction = args.GetDouble("min-sup", 0.5);
+    config.closed = !args.Has("full");
+    config.max_length = args.GetUint("max-len", 0);
+    patterns = miner.MinePatterns(config);
+  }
+  out << patterns.size() << " patterns\n";
+  out << patterns.ToString(miner.database().dictionary());
+  return 0;
+}
+
+int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "mine-rules: missing trace file\n";
+    return 2;
+  }
+  Result<SequenceDatabase> loaded = LoadTraces(args, args.positional()[0]);
+  if (!loaded.ok()) {
+    err << loaded.status().ToString() << '\n';
+    return 1;
+  }
+  SpecMiner miner(loaded.TakeValueOrDie());
+  const SequenceDatabase& db = miner.database();
+
+  RuleMinerOptions options;
+  options.min_s_support =
+      miner.AbsoluteSupport(args.GetDouble("min-ssup", 0.5));
+  options.min_confidence = args.GetDouble("min-conf", 0.9);
+  options.min_i_support = args.GetUint("min-isup", 1);
+  options.non_redundant = !args.Has("full");
+  options.max_premise_length = args.GetUint("max-pre", 0);
+  options.max_consequent_length = args.GetUint("max-post", 0);
+
+  const bool backward = args.Has("backward");
+  RuleSet rules = backward ? MineBackwardRules(db, options)
+                           : MineRecurrentRules(db, options);
+  out << rules.size() << (backward ? " backward" : "") << " rules\n";
+  if (args.Has("rank") && !backward) {
+    for (const RankedRule& rr : RankRules(rules, db)) {
+      out << rr.rule.ToString(db.dictionary()) << "  lift="
+          << rr.lift << '\n';
+      out << "    LTL: " << RuleToLtl(rr.rule, db.dictionary())->ToString()
+          << '\n';
+    }
+    return 0;
+  }
+  rules.SortByQuality();
+  for (const Rule& r : rules.rules()) {
+    if (backward) {
+      out << BackwardRuleToString(r, db.dictionary()) << '\n';
+    } else {
+      out << r.ToString(db.dictionary()) << '\n';
+      out << "    LTL: " << RuleToLtl(r, db.dictionary())->ToString() << '\n';
+    }
+  }
+  return 0;
+}
+
+int CmdCheck(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty() || !args.Has("ltl")) {
+    err << "check: usage: check <traces> --ltl <formula>\n";
+    return 2;
+  }
+  Result<SequenceDatabase> db = LoadTraces(args, args.positional()[0]);
+  if (!db.ok()) {
+    err << db.status().ToString() << '\n';
+    return 1;
+  }
+  Result<LtlPtr> formula = ParseLtl(args.Get("ltl", ""));
+  if (!formula.ok()) {
+    err << formula.status().ToString() << '\n';
+    return 1;
+  }
+  size_t holding = 0;
+  for (SeqId s = 0; s < db->size(); ++s) {
+    bool ok = EvaluateLtl(*formula, *db, s);
+    if (ok) ++holding;
+    out << "trace " << s << ": " << (ok ? "holds" : "VIOLATED") << '\n';
+  }
+  out << holding << " / " << db->size() << " traces satisfy "
+      << (*formula)->ToString() << '\n';
+  return holding == db->size() ? 0 : 1;
+}
+
+int CmdGenQuest(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "gen-quest: missing output file\n";
+    return 2;
+  }
+  QuestParams params;
+  params.d_sequences_thousands = args.GetDouble("d", 0.1);
+  params.c_avg_sequence_length = args.GetDouble("c", 15.0);
+  params.n_events_thousands = args.GetDouble("n", 0.2);
+  params.s_avg_pattern_length = args.GetDouble("s", 6.0);
+  params.seed = args.GetUint("seed", params.seed);
+  Result<SequenceDatabase> db = GenerateQuest(params);
+  if (!db.ok()) {
+    err << db.status().ToString() << '\n';
+    return 1;
+  }
+  Status written = WriteTextTraceFile(*db, args.positional()[0]);
+  if (!written.ok()) {
+    err << written.ToString() << '\n';
+    return 1;
+  }
+  out << "wrote " << params.Label() << ": " << ComputeStats(*db).ToString()
+      << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  Args parsed(args, 1);
+  if (command == "stats") return CmdStats(parsed, out, err);
+  if (command == "mine-patterns") return CmdMinePatterns(parsed, out, err);
+  if (command == "mine-rules") return CmdMineRules(parsed, out, err);
+  if (command == "check") return CmdCheck(parsed, out, err);
+  if (command == "gen-quest") return CmdGenQuest(parsed, out, err);
+  err << "unknown command: " << command << '\n' << kUsage;
+  return 2;
+}
+
+}  // namespace specmine

@@ -1,0 +1,47 @@
+// The specmine command-line interface, factored as a library function so
+// the test suite can drive it with captured streams. The thin binary in
+// tools/specmine_cli.cc forwards argv.
+//
+// Commands:
+//   stats <traces>                        database shape statistics
+//   mine-patterns <traces> [options]      iterative patterns
+//   mine-rules <traces> [options]         recurrent rules (+LTL)
+//   check <traces> --ltl <formula>        evaluate an LTL formula per trace
+//   gen-quest <out> [options]             synthesize a QUEST dataset
+//
+// Common options:
+//   --csv [--group-col N] [--event-col N] [--delim C] [--header]
+//       read <traces> as grouped CSV instead of one-trace-per-line text
+// Pattern options:
+//   --min-sup F      support threshold as a fraction of |DB|   (0.5)
+//   --full           mine the full frequent set instead of the closed set
+//   --generators     mine generators instead of the closed set
+//   --max-len N      maximum pattern length
+// Rule options:
+//   --min-ssup F     s-support threshold as a fraction of |DB| (0.5)
+//   --min-conf F     confidence threshold                      (0.9)
+//   --min-isup N     i-support threshold                       (1)
+//   --full           mine all significant rules (no NR pruning)
+//   --backward       mine backward ("must have happened before") rules
+//   --rank           order output by lift instead of confidence
+// gen-quest options:
+//   --d --c --n --s  QUEST parameters (thousands / averages)
+//   --seed N         PRNG seed
+
+#ifndef SPECMINE_SPECMINE_CLI_H_
+#define SPECMINE_SPECMINE_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace specmine {
+
+/// \brief Runs the CLI; returns the process exit code. \p args excludes
+/// the program name.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SPECMINE_CLI_H_

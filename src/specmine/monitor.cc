@@ -1,0 +1,87 @@
+#include "src/specmine/monitor.h"
+
+namespace specmine {
+
+size_t SpecificationMonitor::AddRule(Rule rule) {
+  RuleState state;
+  state.rule = std::move(rule);
+  rules_.push_back(std::move(state));
+  return rules_.size() - 1;
+}
+
+void SpecificationMonitor::BeginTrace() {
+  EndTrace();
+  open_ = true;
+}
+
+void SpecificationMonitor::OnEvent(EventId ev) {
+  if (!open_) open_ = true;
+  for (RuleState& state : rules_) {
+    const Pattern& pre = state.rule.premise;
+    const Pattern& post = state.rule.consequent;
+
+    // Advance open obligations first: a point's consequent starts strictly
+    // *after* the point, so the current event must not feed an obligation
+    // created by itself below.
+    size_t write = 0;
+    for (size_t read = 0; read < state.obligations.size(); ++read) {
+      size_t progress = state.obligations[read];
+      if (progress < post.size() && post[progress] == ev) ++progress;
+      if (progress == post.size()) {
+        ++state.stats.discharged;
+      } else {
+        state.obligations[write++] = progress;
+      }
+    }
+    state.obligations.resize(write);
+
+    // Premise: complete the stem greedily; once complete, every occurrence
+    // of the last premise event is a temporal point.
+    const size_t stem_size = pre.size() - 1;
+    if (state.stem_progress < stem_size) {
+      if (pre[state.stem_progress] == ev) ++state.stem_progress;
+      // The same event may both extend the stem and be a point only when
+      // it completes the stem and equals the last premise event — but a
+      // point needs the stem complete *before* it (Definition 5.1 embeds
+      // the premise within the prefix ending at the point), so falling
+      // through here only when the stem was already complete is correct.
+      if (state.stem_progress < stem_size) continue;
+      // Stem just completed at this event: this event cannot also serve
+      // as the point (it is part of the stem embedding).
+      continue;
+    }
+    if (pre.last() == ev) {
+      ++state.stats.points;
+      if (post.empty()) {
+        ++state.stats.discharged;
+      } else {
+        state.obligations.push_back(0);
+      }
+    }
+  }
+}
+
+void SpecificationMonitor::OnEventName(const std::string& name) {
+  EventId id = dict_->Lookup(name);
+  if (id == kInvalidEvent) {
+    // An event the mined vocabulary has never seen: use an id beyond every
+    // rule's alphabet so no state advances.
+    id = static_cast<EventId>(dict_->size());
+  }
+  OnEvent(id);
+}
+
+void SpecificationMonitor::EndTrace() {
+  if (!open_) return;
+  for (RuleState& state : rules_) {
+    if (!state.obligations.empty()) {
+      state.stats.violations += state.obligations.size();
+      ++state.stats.violating_traces;
+    }
+    state.obligations.clear();
+    state.stem_progress = 0;
+  }
+  open_ = false;
+}
+
+}  // namespace specmine

@@ -1,0 +1,94 @@
+// Online runtime monitoring of mined recurrent rules — the paper's second
+// motivating application ("aid program verification (also runtime
+// monitoring)...", Section 1, and the future-work integration item).
+//
+// A SpecificationMonitor consumes events one at a time (no trace buffering)
+// and tracks, per rule:
+//   * premise progress — the earliest subsequence embedding of the premise
+//     stem; once complete, every later occurrence of the premise's last
+//     event is a temporal point (Definition 5.1);
+//   * obligations — one per temporal point: the earliest embedding of the
+//     consequent started strictly after the point; an obligation still
+//     open at trace end is a violation.
+//
+// The counts reproduce the miner's statistics exactly: points == |occ(pre)|
+// and discharged == satisfied points (property-tested against the miner).
+
+#ifndef SPECMINE_SPECMINE_MONITOR_H_
+#define SPECMINE_SPECMINE_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rulemine/rule.h"
+#include "src/trace/event_dictionary.h"
+
+namespace specmine {
+
+/// \brief Cumulative monitoring statistics for one rule.
+struct MonitorRuleStats {
+  /// Temporal points of the premise seen so far (across finished traces
+  /// plus the current one).
+  uint64_t points = 0;
+  /// Points whose consequent obligation completed.
+  uint64_t discharged = 0;
+  /// Obligations left open at a trace end.
+  uint64_t violations = 0;
+  /// Traces that ended with at least one open obligation.
+  uint64_t violating_traces = 0;
+};
+
+/// \brief Streaming monitor for a set of recurrent rules.
+class SpecificationMonitor {
+ public:
+  /// \brief Monitors rules against events named through \p dict (the
+  /// dictionary used when the rules were mined). The dictionary must
+  /// outlive the monitor.
+  explicit SpecificationMonitor(const EventDictionary& dict) : dict_(&dict) {}
+
+  /// \brief Registers a rule; returns its index.
+  size_t AddRule(Rule rule);
+
+  /// \brief Starts a new trace (implicitly finishes any open one).
+  void BeginTrace();
+
+  /// \brief Feeds one event by id.
+  void OnEvent(EventId ev);
+
+  /// \brief Feeds one event by name; unknown names are fed as a fresh id
+  /// (they can never advance any rule).
+  void OnEventName(const std::string& name);
+
+  /// \brief Ends the current trace, counting open obligations as
+  /// violations.
+  void EndTrace();
+
+  /// \brief Number of registered rules.
+  size_t NumRules() const { return rules_.size(); }
+  /// \brief The rule at \p index.
+  const Rule& rule(size_t index) const { return rules_[index].rule; }
+  /// \brief Statistics for the rule at \p index.
+  const MonitorRuleStats& stats(size_t index) const {
+    return rules_[index].stats;
+  }
+
+ private:
+  struct RuleState {
+    Rule rule;
+    MonitorRuleStats stats;
+    /// Events of the premise stem (premise minus last) matched so far.
+    size_t stem_progress = 0;
+    /// Open obligations: each entry is the number of consequent events
+    /// already matched (earliest embedding per obligation).
+    std::vector<size_t> obligations;
+  };
+
+  const EventDictionary* dict_;
+  std::vector<RuleState> rules_;
+  bool open_ = false;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SPECMINE_MONITOR_H_

@@ -1,0 +1,73 @@
+#include "src/specmine/ranking.h"
+
+#include <algorithm>
+
+#include "src/seqmine/occurrence_engine.h"
+
+namespace specmine {
+
+std::vector<RankedPattern> RankPatterns(const PatternSet& patterns) {
+  std::vector<RankedPattern> out;
+  out.reserve(patterns.size());
+  for (const MinedPattern& p : patterns.items()) {
+    RankedPattern rp;
+    rp.item = p;
+    rp.score = static_cast<double>(p.support) *
+               static_cast<double>(p.pattern.size() - 1);
+    out.push_back(std::move(rp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedPattern& a, const RankedPattern& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.item.support != b.item.support) {
+                return a.item.support > b.item.support;
+              }
+              return a.item.pattern < b.item.pattern;
+            });
+  return out;
+}
+
+double ConsequentBaseline(const Pattern& consequent,
+                          const SequenceDatabase& db) {
+  size_t positions = 0;
+  size_t satisfied = 0;
+  for (const Sequence& seq : db.sequences()) {
+    for (Pos j = 0; j < seq.size(); ++j) {
+      ++positions;
+      if (EmbedsAt(consequent, seq, j + 1)) ++satisfied;
+    }
+  }
+  return positions == 0
+             ? 0.0
+             : static_cast<double>(satisfied) / static_cast<double>(positions);
+}
+
+std::vector<RankedRule> RankRules(const RuleSet& rules,
+                                  const SequenceDatabase& db) {
+  constexpr double kEpsilon = 1e-9;
+  std::vector<RankedRule> out;
+  out.reserve(rules.size());
+  for (const Rule& r : rules.rules()) {
+    RankedRule rr;
+    rr.rule = r;
+    rr.baseline = ConsequentBaseline(r.consequent, db);
+    rr.lift = r.confidence() / std::max(rr.baseline, kEpsilon);
+    out.push_back(std::move(rr));
+  }
+  std::sort(out.begin(), out.end(), [](const RankedRule& a,
+                                       const RankedRule& b) {
+    if (a.lift != b.lift) return a.lift > b.lift;
+    double ca = a.rule.confidence();
+    double cb = b.rule.confidence();
+    if (ca != cb) return ca > cb;
+    if (a.rule.s_support != b.rule.s_support) {
+      return a.rule.s_support > b.rule.s_support;
+    }
+    Pattern pa = a.rule.Concatenation();
+    Pattern pb = b.rule.Concatenation();
+    return pa < pb;
+  });
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,58 @@
+// Ranking of mined patterns and rules — a future-work item of Section 8
+// ("It will also be interesting to develop a method to rank mined patterns
+// and rules").
+//
+// Patterns are scored by how surprising their support is given their
+// length (support alone favours short trivial patterns; length alone
+// favours barely-frequent giants). Rules are scored by a lift-style
+// measure: the mined confidence divided by the probability that the
+// consequent follows a *random* position of the database, so rules whose
+// consequents are simply ubiquitous rank low even at confidence 1.0.
+
+#ifndef SPECMINE_SPECMINE_RANKING_H_
+#define SPECMINE_SPECMINE_RANKING_H_
+
+#include <vector>
+
+#include "src/patterns/pattern_set.h"
+#include "src/rulemine/rule.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief A pattern with its ranking score.
+struct RankedPattern {
+  MinedPattern item;
+  /// support * (length - 1): 0 for singletons, growing with both the
+  /// amount of evidence and the specificity of the behaviour.
+  double score = 0.0;
+};
+
+/// \brief A rule with its ranking scores.
+struct RankedRule {
+  Rule rule;
+  /// Probability that the consequent embeds after a uniformly random
+  /// position of the database (the "by chance" baseline).
+  double baseline = 0.0;
+  /// confidence / max(baseline, epsilon); > 1 means the premise genuinely
+  /// predicts the consequent.
+  double lift = 0.0;
+};
+
+/// \brief Ranks \p patterns by score (descending; ties by support then
+/// lexicographic pattern — deterministic).
+std::vector<RankedPattern> RankPatterns(const PatternSet& patterns);
+
+/// \brief Ranks \p rules by lift (descending; ties by confidence,
+/// s-support, then lexicographic concatenation).
+std::vector<RankedRule> RankRules(const RuleSet& rules,
+                                  const SequenceDatabase& db);
+
+/// \brief The chance baseline used by RankRules: the fraction of event
+/// positions of \p db whose strict suffix contains \p consequent.
+double ConsequentBaseline(const Pattern& consequent,
+                          const SequenceDatabase& db);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SPECMINE_RANKING_H_

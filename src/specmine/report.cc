@@ -1,0 +1,22 @@
+#include "src/specmine/report.h"
+
+#include <sstream>
+
+namespace specmine {
+
+std::string SpecificationReport::ToText(const EventDictionary& dict) const {
+  std::ostringstream os;
+  os << "=== Trace database ===\n" << stats.ToString() << "\n\n";
+  os << "=== Iterative patterns (" << patterns.size() << ") ===\n";
+  for (const MinedPattern& p : patterns.items()) {
+    os << "  " << p.pattern.ToString(dict) << "  sup=" << p.support << '\n';
+  }
+  os << "\n=== Recurrent rules (" << rules.size() << ") ===\n";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    os << "  " << rules[i].ToString(dict) << '\n';
+    if (i < ltl.size()) os << "      LTL: " << ltl[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace specmine

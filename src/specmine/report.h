@@ -1,0 +1,31 @@
+// SpecificationReport: the rendered result of a mining run — patterns,
+// rules, their LTL forms, and database statistics.
+
+#ifndef SPECMINE_SPECMINE_REPORT_H_
+#define SPECMINE_SPECMINE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/patterns/pattern_set.h"
+#include "src/rulemine/rule.h"
+#include "src/trace/database_stats.h"
+
+namespace specmine {
+
+/// \brief The combined output of a SpecMiner run.
+struct SpecificationReport {
+  DatabaseStats stats;
+  PatternSet patterns;
+  RuleSet rules;
+  /// ltl[i] = Table-2 LTL rendering of rules[i].
+  std::vector<std::string> ltl;
+
+  /// \brief Multi-line human-readable rendering (the case-study style:
+  /// patterns first, then rules with their LTL forms).
+  std::string ToText(const EventDictionary& dict) const;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SPECMINE_REPORT_H_

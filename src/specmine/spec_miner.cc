@@ -1,0 +1,69 @@
+#include "src/specmine/spec_miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/itermine/full_miner.h"
+#include "src/ltl/translate.h"
+#include "src/trace/trace_io.h"
+
+namespace specmine {
+
+Result<SpecMiner> SpecMiner::FromTraceFile(const std::string& path) {
+  Result<SequenceDatabase> db = ReadTextTraceFile(path);
+  if (!db.ok()) return db.status();
+  return SpecMiner(db.TakeValueOrDie());
+}
+
+uint64_t SpecMiner::AbsoluteSupport(double fraction) const {
+  double raw = fraction * static_cast<double>(db_.size());
+  uint64_t abs = static_cast<uint64_t>(std::ceil(raw - 1e-9));
+  return std::max<uint64_t>(abs, 1);
+}
+
+PatternSet SpecMiner::MinePatterns(const PatternMiningConfig& config) const {
+  PatternSet out;
+  if (config.closed) {
+    ClosedIterMinerOptions options;
+    options.min_support = AbsoluteSupport(config.min_support_fraction);
+    options.max_length = config.max_length;
+    out = MineClosedIterative(db_, options);
+  } else {
+    IterMinerOptions options;
+    options.min_support = AbsoluteSupport(config.min_support_fraction);
+    options.max_length = config.max_length;
+    options.max_patterns = config.max_patterns;
+    out = MineFrequentIterative(db_, options);
+  }
+  out.SortBySupport();
+  return out;
+}
+
+RuleSet SpecMiner::MineRules(const RuleMiningConfig& config) const {
+  RuleMinerOptions options;
+  options.min_s_support = AbsoluteSupport(config.min_s_support_fraction);
+  options.min_confidence = config.min_confidence;
+  options.min_i_support = config.min_i_support;
+  options.non_redundant = config.non_redundant;
+  options.max_premise_length = config.max_premise_length;
+  options.max_consequent_length = config.max_consequent_length;
+  options.max_rules = config.max_rules;
+  RuleSet rules = MineRecurrentRules(db_, options);
+  rules.SortByQuality();
+  return rules;
+}
+
+SpecificationReport SpecMiner::Mine(const PatternMiningConfig& pattern_config,
+                                    const RuleMiningConfig& rule_config) const {
+  SpecificationReport report;
+  report.stats = ComputeStats(db_);
+  report.patterns = MinePatterns(pattern_config);
+  report.rules = MineRules(rule_config);
+  report.ltl.reserve(report.rules.size());
+  for (const Rule& rule : report.rules.rules()) {
+    report.ltl.push_back(RuleToLtl(rule, db_.dictionary())->ToString());
+  }
+  return report;
+}
+
+}  // namespace specmine

@@ -1,0 +1,82 @@
+// SpecMiner: the library's high-level entry point. Wraps trace loading,
+// iterative pattern mining and recurrent rule mining behind relative
+// thresholds, producing a SpecificationReport — the workflow of the
+// paper's case studies (Section 7).
+
+#ifndef SPECMINE_SPECMINE_SPEC_MINER_H_
+#define SPECMINE_SPECMINE_SPEC_MINER_H_
+
+#include <string>
+
+#include "src/itermine/closed_miner.h"
+#include "src/rulemine/rule_miner.h"
+#include "src/specmine/report.h"
+#include "src/support/status.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Pattern-mining configuration with database-relative thresholds.
+struct PatternMiningConfig {
+  /// Minimum support as a fraction of the number of sequences (the paper
+  /// reports thresholds this way, e.g. 0.0025 for 0.25%).
+  double min_support_fraction = 0.5;
+  /// Mine the closed set (true) or the full set (false).
+  bool closed = true;
+  /// Maximum pattern length; 0 means unbounded.
+  size_t max_length = 0;
+  /// Cap on emitted patterns for the full set; 0 means unbounded.
+  size_t max_patterns = 0;
+};
+
+/// \brief Rule-mining configuration with database-relative thresholds.
+struct RuleMiningConfig {
+  /// Minimum s-support as a fraction of the number of sequences.
+  double min_s_support_fraction = 0.5;
+  /// Minimum confidence in [0, 1].
+  double min_confidence = 0.9;
+  /// Minimum i-support (absolute; the paper's experiments use 1).
+  uint64_t min_i_support = 1;
+  /// Mine the non-redundant set (true) or the full set (false).
+  bool non_redundant = true;
+  /// Maximum premise / consequent lengths; 0 means unbounded.
+  size_t max_premise_length = 0;
+  size_t max_consequent_length = 0;
+  /// Cap on candidate rules; 0 means unbounded.
+  size_t max_rules = 0;
+};
+
+/// \brief Facade over the mining pipelines.
+class SpecMiner {
+ public:
+  /// \brief Takes ownership of the trace database.
+  explicit SpecMiner(SequenceDatabase db) : db_(std::move(db)) {}
+
+  /// \brief Loads traces in the plain-text format from \p path.
+  static Result<SpecMiner> FromTraceFile(const std::string& path);
+
+  /// \brief The wrapped database.
+  const SequenceDatabase& database() const { return db_; }
+
+  /// \brief Mines iterative patterns per \p config (support sorted).
+  PatternSet MinePatterns(const PatternMiningConfig& config) const;
+
+  /// \brief Mines recurrent rules per \p config (quality sorted).
+  RuleSet MineRules(const RuleMiningConfig& config) const;
+
+  /// \brief Runs both miners and assembles the full report, including the
+  /// LTL rendering of every rule.
+  SpecificationReport Mine(const PatternMiningConfig& pattern_config,
+                           const RuleMiningConfig& rule_config) const;
+
+  /// \brief Converts a fraction-of-sequences threshold to an absolute one
+  /// (at least 1).
+  uint64_t AbsoluteSupport(double fraction) const;
+
+ private:
+  SequenceDatabase db_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SPECMINE_SPEC_MINER_H_

@@ -1,0 +1,173 @@
+#include "src/specmine/visualize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace specmine {
+
+namespace {
+
+// "Class.method" -> "Class"; no dot -> "<global>".
+std::string LifelineOf(const std::string& event_name) {
+  size_t dot = event_name.find('.');
+  if (dot == std::string::npos || dot == 0) return "<global>";
+  return event_name.substr(0, dot);
+}
+
+std::string MethodOf(const std::string& event_name) {
+  size_t dot = event_name.find('.');
+  if (dot == std::string::npos) return event_name;
+  return event_name.substr(dot + 1);
+}
+
+}  // namespace
+
+std::string RenderMscChart(const Pattern& pattern,
+                           const EventDictionary& dict) {
+  // Collect lifelines in first-appearance order.
+  std::vector<std::string> lifelines;
+  std::vector<size_t> lane_of_event(pattern.size());
+  std::vector<std::string> methods(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    std::string name = dict.NameOrPlaceholder(pattern[i]);
+    std::string lifeline = LifelineOf(name);
+    methods[i] = MethodOf(name);
+    auto it = std::find(lifelines.begin(), lifelines.end(), lifeline);
+    if (it == lifelines.end()) {
+      lane_of_event[i] = lifelines.size();
+      lifelines.push_back(lifeline);
+    } else {
+      lane_of_event[i] = static_cast<size_t>(it - lifelines.begin());
+    }
+  }
+  size_t lane_width = 4;
+  for (const std::string& l : lifelines) {
+    lane_width = std::max(lane_width, l.size() + 2);
+  }
+
+  std::ostringstream os;
+  // Header: lifeline names.
+  for (const std::string& l : lifelines) {
+    os << ' ' << l;
+    os << std::string(lane_width - l.size() - 1, ' ');
+  }
+  os << '\n';
+  // Lifeline rails.
+  auto rail_row = [&](size_t active_lane, const std::string& label) {
+    for (size_t lane = 0; lane < lifelines.size(); ++lane) {
+      size_t mid = lane_width / 2;
+      for (size_t c = 0; c < lane_width; ++c) {
+        if (c == mid) {
+          os << (lane == active_lane ? '*' : '|');
+        } else {
+          os << ' ';
+        }
+      }
+    }
+    if (!label.empty()) os << ' ' << label;
+    os << '\n';
+  };
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    rail_row(lane_of_event[i],
+             std::to_string(i + 1) + ". " + methods[i]);
+  }
+  return os.str();
+}
+
+std::string RenderRuleCard(const Rule& rule, const EventDictionary& dict) {
+  size_t width = 10;  // "Premise" header floor.
+  for (EventId ev : rule.premise) {
+    width = std::max(width, dict.NameOrPlaceholder(ev).size());
+  }
+  std::ostringstream os;
+  os << "+-" << std::string(width, '-') << "-+-" << std::string(width, '-')
+     << "-+\n";
+  auto row = [&](const std::string& a, const std::string& b) {
+    os << "| " << a << std::string(width - std::min(width, a.size()), ' ')
+       << " | " << b << std::string(width - std::min(width, b.size()), ' ')
+       << " |\n";
+  };
+  row("Premise", "Consequent");
+  os << "+-" << std::string(width, '-') << "-+-" << std::string(width, '-')
+     << "-+\n";
+  size_t rows = std::max(rule.premise.size(), rule.consequent.size());
+  for (size_t i = 0; i < rows; ++i) {
+    std::string a = i < rule.premise.size()
+                        ? dict.NameOrPlaceholder(rule.premise[i])
+                        : "";
+    std::string b = i < rule.consequent.size()
+                        ? dict.NameOrPlaceholder(rule.consequent[i])
+                        : "";
+    if (a.size() > width) a.resize(width);
+    if (b.size() > width) b.resize(width);
+    row(a, b);
+  }
+  os << "+-" << std::string(width, '-') << "-+-" << std::string(width, '-')
+     << "-+\n";
+  std::ostringstream stats;
+  stats << "s-sup=" << rule.s_support << " i-sup=" << rule.i_support
+        << " conf=" << rule.confidence();
+  os << stats.str() << '\n';
+  return os.str();
+}
+
+std::string RenderLogChart(const std::string& title,
+                           const std::vector<std::string>& x_labels,
+                           const std::vector<ChartSeries>& series,
+                           size_t height) {
+  std::ostringstream os;
+  os << title << "  (log10 scale; ";
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << static_cast<char>('A' + i) << " = " << series[i].name;
+  }
+  os << ")\n";
+
+  double max_log = 1.0;
+  double min_log = 0.0;
+  for (const ChartSeries& s : series) {
+    for (double v : s.values) {
+      if (v > 0) {
+        max_log = std::max(max_log, std::log10(v));
+        min_log = std::min(min_log, std::log10(v));
+      }
+    }
+  }
+  const double span = std::max(max_log - min_log, 1e-9);
+  // Column-group width: room for the series bars and the x label.
+  size_t group = series.size() + 1;
+  for (const std::string& xl : x_labels) {
+    group = std::max(group, xl.size() + 1);
+  }
+
+  for (size_t row = 0; row < height; ++row) {
+    double level = max_log - span * static_cast<double>(row) /
+                                 static_cast<double>(height - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%6.1f |", level);
+    os << label;
+    for (size_t x = 0; x < x_labels.size(); ++x) {
+      for (size_t si = 0; si < series.size(); ++si) {
+        double v = x < series[si].values.size() ? series[si].values[x] : 0.0;
+        bool filled = v > 0 && std::log10(v) >= level - 1e-12;
+        os << (filled ? static_cast<char>('A' + si) : ' ');
+      }
+      os << std::string(group - series.size(), ' ');
+    }
+    os << '\n';
+  }
+  os << "       +";
+  os << std::string(x_labels.size() * group, '-');
+  os << '\n';
+  os << "        ";
+  for (const std::string& xl : x_labels) {
+    std::string shown = xl.size() > group - 1 ? xl.substr(0, group - 1) : xl;
+    os << shown << std::string(group - shown.size(), ' ');
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace specmine

@@ -1,0 +1,49 @@
+// Text visualization of mined specifications — the "visualization tool to
+// help user in navigating and visualizing the mined specifications" of the
+// paper's future work (Section 8).
+//
+// Three renderers:
+//  * MSC-style chart of an iterative pattern: one lifeline per class
+//    (derived from "Class.method" event names), events in temporal order —
+//    a text-mode cousin of the paper's Figure 4 layout;
+//  * the two-column premise/consequent rule card of Figure 5;
+//  * a log-scale ASCII chart for benchmark series, used to render the
+//    Figure 1-3 sweeps the way the paper plots them.
+
+#ifndef SPECMINE_SPECMINE_VISUALIZE_H_
+#define SPECMINE_SPECMINE_VISUALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/patterns/pattern.h"
+#include "src/rulemine/rule.h"
+
+namespace specmine {
+
+/// \brief Renders \p pattern as an MSC-style chart: lifelines are the
+/// class prefixes of "Class.method" event names (events without a dot get
+/// a "<global>" lifeline); each row marks the lifeline receiving the call.
+std::string RenderMscChart(const Pattern& pattern,
+                           const EventDictionary& dict);
+
+/// \brief Renders a rule as the paper's Figure-5-style two-column card.
+std::string RenderRuleCard(const Rule& rule, const EventDictionary& dict);
+
+/// \brief One series of an AsciiChart.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> values;  // One per x label; must match labels size.
+};
+
+/// \brief Renders a log10-scale column chart (the paper's Figures 1-3 are
+/// log-scale): one column group per x label, one letter-coded bar column
+/// per series. Values <= 0 render as blank.
+std::string RenderLogChart(const std::string& title,
+                           const std::vector<std::string>& x_labels,
+                           const std::vector<ChartSeries>& series,
+                           size_t height = 12);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SPECMINE_VISUALIZE_H_

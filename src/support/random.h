@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation and the samplers used by the
+// synthetic data generators (uniform, Poisson, geometric, Zipf).
+//
+// All generators in specmine are seeded explicitly so that every dataset,
+// test, and benchmark is reproducible bit-for-bit across runs and platforms.
+
+#ifndef SPECMINE_SUPPORT_RANDOM_H_
+#define SPECMINE_SUPPORT_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace specmine {
+
+/// \brief SplitMix64: tiny, fast, high-quality 64-bit mixer.
+///
+/// Used both directly and to seed Xoshiro256**. Reference: Steele, Lea &
+/// Flood, "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// \brief Returns the next 64-bit value.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Xoshiro256** 1.0 — the library's workhorse PRNG.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+/// with <random> distributions, though specmine ships its own samplers for
+/// cross-platform determinism.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator whose stream is fully determined by \p seed.
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// \brief Returns the next raw 64-bit value.
+  uint64_t operator()() { return Next64(); }
+  /// \brief Returns the next raw 64-bit value.
+  uint64_t Next64();
+
+  /// \brief Uniform integer in [0, bound); bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+  /// \brief Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+  /// \brief True with probability \p p (clamped to [0,1]).
+  bool Bernoulli(double p);
+  /// \brief Poisson sample with the given mean (> 0); Knuth for small means,
+  /// normal approximation (rounded, clamped at 0) for mean > 64.
+  int Poisson(double mean);
+  /// \brief Geometric sample (number of failures before first success),
+  /// success probability \p p in (0, 1].
+  int Geometric(double p);
+
+  /// \brief Fisher-Yates shuffle of \p values.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf(s) sampler over {0, 1, ..., n-1} via inverse-CDF binary search.
+///
+/// Rank 0 is the most probable element. Used to give synthetic event
+/// alphabets the skewed usage profile of real API call distributions.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for \p n elements with exponent \p s (s >= 0; s == 0 is
+  /// uniform). n must be >= 1.
+  ZipfSampler(size_t n, double s);
+
+  /// \brief Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// \brief Number of elements.
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_RANDOM_H_

@@ -1,0 +1,138 @@
+// Minimal Status / Result error model used across the specmine library.
+//
+// The library does not throw exceptions across its public API. Operations
+// that can fail return a Status (or a Result<T> carrying a value on success).
+// This mirrors the error-handling idiom of Arrow / RocksDB / LevelDB.
+
+#ifndef SPECMINE_SUPPORT_STATUS_H_
+#define SPECMINE_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace specmine {
+
+/// \brief Machine-readable error category of a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kParseError = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK", "IOError"...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of an operation that can fail; cheap to copy when OK.
+///
+/// A Status is either OK (no payload) or an error code plus a message.
+/// Use the static factory functions to construct errors:
+///
+///     Status s = Status::InvalidArgument("min_sup must be positive");
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+  /// \brief Returns an InvalidArgument error with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// \brief Returns an IOError with the given message.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// \brief Returns a NotFound error with the given message.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// \brief Returns a ParseError with the given message.
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  /// \brief Returns an OutOfRange error with the given message.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// \brief Returns an Internal error with the given message.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// \brief True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// \brief The status code.
+  StatusCode code() const { return code_; }
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief A Status with a value of type T attached on success.
+///
+/// Construct from a T (success) or from a non-OK Status (failure).
+/// Access the value with ValueOrDie() / operator* only after checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result from a non-OK \p status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// \brief True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// \brief The carried status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the value; the result must be OK.
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+  /// \brief Moves the value out; the result must be OK.
+  T TakeValueOrDie() {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// \brief Propagates a non-OK status to the caller.
+#define SPECMINE_RETURN_NOT_OK(expr)          \
+  do {                                        \
+    ::specmine::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_STATUS_H_

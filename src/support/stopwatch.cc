@@ -1,0 +1,21 @@
+#include "src/support/stopwatch.h"
+
+namespace specmine {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+int64_t Stopwatch::ElapsedNanos() const {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedNanos()) * 1e-9;
+}
+
+double Stopwatch::ElapsedMillis() const {
+  return static_cast<double>(ElapsedNanos()) * 1e-6;
+}
+
+}  // namespace specmine

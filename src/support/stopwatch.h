@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by the benchmark harness.
+
+#ifndef SPECMINE_SUPPORT_STOPWATCH_H_
+#define SPECMINE_SUPPORT_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace specmine {
+
+/// \brief Simple monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; Elapsed* report time since construction
+/// or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// \brief Resets the start point to now.
+  void Restart();
+  /// \brief Elapsed time in seconds.
+  double ElapsedSeconds() const;
+  /// \brief Elapsed time in milliseconds.
+  double ElapsedMillis() const;
+  /// \brief Elapsed time in nanoseconds.
+  int64_t ElapsedNanos() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_STOPWATCH_H_

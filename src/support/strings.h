@@ -1,0 +1,27 @@
+// Small string helpers shared by the trace readers and report renderers.
+
+#ifndef SPECMINE_SUPPORT_STRINGS_H_
+#define SPECMINE_SUPPORT_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specmine {
+
+/// \brief Splits \p input on \p sep, dropping empty fields.
+std::vector<std::string> SplitAndTrim(std::string_view input, char sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// \brief Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// \brief True iff \p s starts with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_STRINGS_H_

@@ -1,0 +1,89 @@
+#include "src/synth/planted_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/itermine/qre_verifier.h"
+#include "src/support/random.h"
+
+namespace specmine {
+
+Result<PlantedDatabase> GeneratePlanted(const PlantedParams& params) {
+  if (params.num_sequences == 0) {
+    return Status::InvalidArgument("num_sequences must be positive");
+  }
+  for (const PlantedPattern& p : params.patterns) {
+    if (p.events.empty()) {
+      return Status::InvalidArgument("planted pattern must be non-empty");
+    }
+    if (p.sequence_fraction <= 0.0 || p.sequence_fraction > 1.0) {
+      return Status::InvalidArgument(
+          "sequence_fraction must be in (0, 1]");
+    }
+    if (p.repetitions_per_sequence == 0) {
+      return Status::InvalidArgument(
+          "repetitions_per_sequence must be positive");
+    }
+  }
+
+  Rng rng(params.seed);
+  PlantedDatabase out;
+  SequenceDatabase& db = out.db;
+
+  // Intern planted events first so their ids are stable, then the noise
+  // alphabet.
+  std::vector<std::vector<EventId>> planted_ids(params.patterns.size());
+  for (size_t i = 0; i < params.patterns.size(); ++i) {
+    for (const std::string& name : params.patterns[i].events) {
+      planted_ids[i].push_back(db.mutable_dictionary()->Intern(name));
+    }
+  }
+  std::vector<EventId> noise_ids;
+  for (size_t i = 0; i < params.noise_alphabet; ++i) {
+    noise_ids.push_back(
+        db.mutable_dictionary()->Intern("n" + std::to_string(i)));
+  }
+
+  auto append_noise = [&](Sequence* seq) {
+    if (noise_ids.empty() || params.max_noise_run == 0) return;
+    size_t run = static_cast<size_t>(
+        rng.Uniform(static_cast<uint64_t>(params.max_noise_run) + 1));
+    for (size_t k = 0; k < run; ++k) {
+      seq->Append(noise_ids[rng.Uniform(noise_ids.size())]);
+    }
+  };
+
+  for (size_t s = 0; s < params.num_sequences; ++s) {
+    Sequence seq;
+    append_noise(&seq);
+    for (size_t i = 0; i < params.patterns.size(); ++i) {
+      const PlantedPattern& p = params.patterns[i];
+      // Deterministic sequence selection: the first round(fraction * n)
+      // sequences receive the pattern (supports are then predictable).
+      size_t receiving = static_cast<size_t>(std::llround(
+          p.sequence_fraction * static_cast<double>(params.num_sequences)));
+      if (s >= receiving) continue;
+      for (size_t r = 0; r < p.repetitions_per_sequence; ++r) {
+        for (EventId ev : planted_ids[i]) {
+          seq.Append(ev);
+          append_noise(&seq);
+        }
+      }
+    }
+    db.AddSequence(std::move(seq));
+  }
+
+  // Ground truth via the independent QRE verifier / subsequence check.
+  for (size_t i = 0; i < params.patterns.size(); ++i) {
+    Pattern p(planted_ids[i]);
+    out.expected_instances.push_back(CountInstances(p, db));
+    uint64_t seqs = 0;
+    for (const Sequence& seq : db.sequences()) {
+      if (p.IsSubsequenceOf(seq)) ++seqs;
+    }
+    out.expected_sequences.push_back(seqs);
+  }
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,68 @@
+// Planted-pattern generator: databases with exactly known ground truth,
+// used by the test suite and the case-study-style examples.
+//
+// Unlike the QUEST generator (statistical shape, no exact ground truth),
+// this one plants chosen patterns verbatim a chosen number of times per
+// sequence, separated by noise drawn from a disjoint alphabet, so tests can
+// assert exact supports: each planting is one QRE instance, and noise can
+// never interfere (disjoint alphabets).
+
+#ifndef SPECMINE_SYNTH_PLANTED_GENERATOR_H_
+#define SPECMINE_SYNTH_PLANTED_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief One pattern to plant.
+struct PlantedPattern {
+  /// Event names of the pattern, in order.
+  std::vector<std::string> events;
+  /// Number of times to plant it in each selected sequence.
+  size_t repetitions_per_sequence = 1;
+  /// Fraction of sequences that receive the pattern, in (0, 1].
+  double sequence_fraction = 1.0;
+};
+
+/// \brief Parameters of the planted generator.
+struct PlantedParams {
+  size_t num_sequences = 100;
+  /// Number of noise events appended between consecutive planted events
+  /// (uniform in [0, max_noise_run]).
+  size_t max_noise_run = 3;
+  /// Size of the noise alphabet (names "n0".."nK", disjoint from planted
+  /// event names by convention — callers must not reuse them).
+  size_t noise_alphabet = 20;
+  uint64_t seed = 7;
+  std::vector<PlantedPattern> patterns;
+};
+
+/// \brief The generated database plus per-pattern expected supports.
+///
+/// Self-overlapping patterns (e.g. <a,a>) and patterns sharing events can
+/// form instances straddling plantings, so the expected counts are
+/// computed on the generated database with the independent QRE verifier
+/// (not analytically); the value of the generator for tests is that the
+/// *production* miners — which share no counting code with the verifier —
+/// must reproduce these numbers and must rank planted patterns above noise.
+struct PlantedDatabase {
+  SequenceDatabase db;
+  /// expected_instances[i] = number of QRE instances of patterns[i].
+  std::vector<uint64_t> expected_instances;
+  /// expected_sequences[i] = number of sequences containing patterns[i]
+  /// as a subsequence.
+  std::vector<uint64_t> expected_sequences;
+};
+
+/// \brief Generates a database per \p params. Fails on empty patterns or
+/// out-of-range fractions.
+Result<PlantedDatabase> GeneratePlanted(const PlantedParams& params);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SYNTH_PLANTED_GENERATOR_H_

@@ -1,0 +1,113 @@
+#include "src/synth/quest_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/support/random.h"
+
+namespace specmine {
+
+std::string QuestParams::Label() const {
+  auto fmt = [](double v) {
+    std::ostringstream os;
+    if (v == std::floor(v)) {
+      os << static_cast<int64_t>(v);
+    } else {
+      os << v;
+    }
+    return os.str();
+  };
+  return "D" + fmt(d_sequences_thousands) + "C" + fmt(c_avg_sequence_length) +
+         "N" + fmt(n_events_thousands) + "S" + fmt(s_avg_pattern_length);
+}
+
+QuestParams QuestParams::D5C20N10S20() {
+  QuestParams p;
+  p.d_sequences_thousands = 5.0;
+  p.c_avg_sequence_length = 20.0;
+  p.n_events_thousands = 10.0;
+  p.s_avg_pattern_length = 20.0;
+  p.num_seed_patterns = 1000;
+  return p;
+}
+
+Result<SequenceDatabase> GenerateQuest(const QuestParams& params) {
+  if (params.d_sequences_thousands <= 0 || params.c_avg_sequence_length <= 0 ||
+      params.n_events_thousands <= 0 || params.s_avg_pattern_length <= 0) {
+    return Status::InvalidArgument(
+        "QUEST parameters D, C, N, S must all be positive");
+  }
+  if (params.num_seed_patterns == 0) {
+    return Status::InvalidArgument("num_seed_patterns must be positive");
+  }
+  const size_t num_sequences =
+      static_cast<size_t>(std::lround(params.d_sequences_thousands * 1000.0));
+  const size_t num_events =
+      static_cast<size_t>(std::lround(params.n_events_thousands * 1000.0));
+  if (num_sequences == 0 || num_events == 0) {
+    return Status::InvalidArgument("D and N must round to at least 1 element");
+  }
+
+  Rng rng(params.seed);
+  ZipfSampler zipf(num_events, params.zipf_exponent);
+
+  SequenceDatabase db;
+  for (size_t i = 0; i < num_events; ++i) {
+    db.mutable_dictionary()->Intern("e" + std::to_string(i));
+  }
+
+  // Seed pattern pool with exponential-ish weights (a few hot patterns).
+  std::vector<std::vector<EventId>> seeds(params.num_seed_patterns);
+  for (auto& seed : seeds) {
+    int len =
+        std::max(1, rng.Poisson(params.s_avg_pattern_length));
+    seed.reserve(static_cast<size_t>(len));
+    for (int k = 0; k < len; ++k) {
+      seed.push_back(static_cast<EventId>(zipf.Sample(&rng)));
+    }
+  }
+  std::vector<double> weight_cdf(seeds.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    acc += std::exp(-static_cast<double>(i) * 4.0 /
+                    static_cast<double>(seeds.size()));
+    weight_cdf[i] = acc;
+  }
+  for (auto& w : weight_cdf) w /= acc;
+  weight_cdf.back() = 1.0;
+  auto pick_seed = [&]() -> const std::vector<EventId>& {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(weight_cdf.begin(), weight_cdf.end(), u);
+    size_t idx = it == weight_cdf.end()
+                     ? weight_cdf.size() - 1
+                     : static_cast<size_t>(it - weight_cdf.begin());
+    return seeds[idx];
+  };
+
+  for (size_t s = 0; s < num_sequences; ++s) {
+    const size_t target_len = static_cast<size_t>(
+        std::max(1, rng.Poisson(params.c_avg_sequence_length)));
+    Sequence seq;
+    while (seq.size() < target_len) {
+      if (rng.Bernoulli(params.pattern_probability)) {
+        const std::vector<EventId>& seed = pick_seed();
+        for (EventId ev : seed) {
+          if (rng.Bernoulli(params.corruption_probability)) continue;
+          if (rng.Bernoulli(params.interleave_probability)) {
+            seq.Append(static_cast<EventId>(zipf.Sample(&rng)));
+          }
+          seq.Append(ev);
+          if (seq.size() >= target_len + seed.size()) break;
+        }
+      } else {
+        seq.Append(static_cast<EventId>(zipf.Sample(&rng)));
+      }
+    }
+    db.AddSequence(std::move(seq));
+  }
+  return db;
+}
+
+}  // namespace specmine

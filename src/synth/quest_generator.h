@@ -1,0 +1,74 @@
+// QUEST-style synthetic sequence generator.
+//
+// The paper's performance study (Section 6) uses the IBM QUEST synthetic
+// data generator "with modification to ensure generation of sequences of
+// events", parameterised by D (number of sequences, in thousands), C
+// (average events per sequence), N (number of distinct events, in
+// thousands) and S (average number of events in the maximal sequences);
+// the evaluated dataset is D5C20N10S20. QUEST is closed source, so this is
+// a reimplementation honouring the same parameterisation (substitution #2
+// in DESIGN.md §4):
+//
+//  * a pool of "maximal" seed patterns is drawn first, with Poisson(S)
+//    lengths and Zipf-skewed events;
+//  * each sequence is filled to a Poisson(C) length by repeatedly either
+//    embedding a randomly chosen seed pattern — with per-event corruption
+//    and random interleaved noise, and possibly several times per sequence
+//    (the within-sequence repetition iterative patterns target) — or
+//    appending noise events.
+//
+// Everything is deterministic given the seed.
+
+#ifndef SPECMINE_SYNTH_QUEST_GENERATOR_H_
+#define SPECMINE_SYNTH_QUEST_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/status.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Parameters of the QUEST-style generator. Defaults give the
+/// benchmark's CI-scale dataset; the paper-scale dataset is
+/// QuestParams::D5C20N10S20().
+struct QuestParams {
+  /// Number of sequences in thousands (paper's D).
+  double d_sequences_thousands = 1.0;
+  /// Average events per sequence (paper's C).
+  double c_avg_sequence_length = 15.0;
+  /// Number of distinct events in thousands (paper's N).
+  double n_events_thousands = 0.5;
+  /// Average seed ("maximal") pattern length (paper's S).
+  double s_avg_pattern_length = 8.0;
+
+  /// Number of seed patterns in the pool.
+  size_t num_seed_patterns = 200;
+  /// Probability that the next filler is a seed pattern embedding rather
+  /// than a single noise event.
+  double pattern_probability = 0.7;
+  /// Per-event drop probability while embedding a pattern.
+  double corruption_probability = 0.15;
+  /// Probability of interleaving a noise event between consecutive pattern
+  /// events while embedding.
+  double interleave_probability = 0.25;
+  /// Zipf exponent of the event-usage distribution.
+  double zipf_exponent = 0.8;
+  /// PRNG seed.
+  uint64_t seed = 20080824;  // VLDB'08 opening day.
+
+  /// \brief "D<d>C<c>N<n>S<s>" dataset label as used in the paper.
+  std::string Label() const;
+
+  /// \brief The paper's dataset parameters.
+  static QuestParams D5C20N10S20();
+};
+
+/// \brief Generates a database per \p params. Event names are "e0".."eK".
+/// Fails if parameters are non-positive or inconsistent.
+Result<SequenceDatabase> GenerateQuest(const QuestParams& params);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SYNTH_QUEST_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "src/trace/csv_trace_reader.h"
+
+#include <fstream>
+#include <istream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/strings.h"
+
+namespace specmine {
+
+namespace {
+
+// Splits a CSV row; fields are trimmed but empty fields are *kept* (column
+// positions matter here, unlike SplitAndTrim).
+std::vector<std::string> SplitRow(std::string_view row, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= row.size()) {
+    size_t pos = row.find(delimiter, start);
+    std::string_view field = pos == std::string_view::npos
+                                 ? row.substr(start)
+                                 : row.substr(start, pos - start);
+    fields.emplace_back(StripWhitespace(field));
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+Result<SequenceDatabase> ReadCsvTraces(std::istream& in,
+                                       const CsvTraceOptions& options) {
+  SequenceDatabase db;
+  // Group key -> sequence under construction, in first-appearance order.
+  std::unordered_map<std::string, size_t> group_index;
+  std::vector<std::string> group_order;
+  std::vector<Sequence> groups;
+
+  const size_t needed_columns =
+      std::max(options.group_column, options.event_column) + 1;
+  std::string line;
+  size_t line_no = 0;
+  bool header_pending = options.has_header;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+    std::vector<std::string> fields = SplitRow(stripped, options.delimiter);
+    if (fields.size() < needed_columns ||
+        fields[options.event_column].empty() ||
+        fields[options.group_column].empty()) {
+      if (options.strict) {
+        return Status::ParseError("malformed CSV trace record at line " +
+                                  std::to_string(line_no));
+      }
+      continue;
+    }
+    const std::string& key = fields[options.group_column];
+    auto [it, inserted] = group_index.try_emplace(key, groups.size());
+    if (inserted) {
+      group_order.push_back(key);
+      groups.emplace_back();
+    }
+    groups[it->second].Append(
+        db.mutable_dictionary()->Intern(fields[options.event_column]));
+  }
+  if (in.bad()) {
+    return Status::IOError("stream error while reading CSV traces at line " +
+                           std::to_string(line_no));
+  }
+  for (Sequence& seq : groups) db.AddSequence(std::move(seq));
+  return db;
+}
+
+Result<SequenceDatabase> ReadCsvTraceFile(const std::string& path,
+                                          const CsvTraceOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open CSV trace file: " + path);
+  return ReadCsvTraces(in, options);
+}
+
+}  // namespace specmine

@@ -1,0 +1,57 @@
+// CSV trace reader: the trace-handling front end for instrumentation logs.
+//
+// Real instrumentation (JBoss-AOP in the paper's case study) emits one
+// record per method entry, tagged with the test case / thread that
+// produced it; a sequence database is obtained by grouping records and
+// keeping their order. This reader handles that shape:
+//
+//     # comment
+//     test_id,method[,extra columns ignored]
+//     t1,TxManager.begin
+//     t1,TxManager.commit
+//     t2,TxManager.begin
+//
+// Options select the delimiter, which columns hold the grouping key and
+// the event name, whether a header row is present, and how out-of-order
+// groups are handled (records of a group need not be contiguous; groups
+// become sequences in order of first appearance).
+
+#ifndef SPECMINE_TRACE_CSV_TRACE_READER_H_
+#define SPECMINE_TRACE_CSV_TRACE_READER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/support/status.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Options for the CSV trace reader.
+struct CsvTraceOptions {
+  /// Field delimiter.
+  char delimiter = ',';
+  /// 0-based index of the column holding the grouping key (test case id).
+  size_t group_column = 0;
+  /// 0-based index of the column holding the event (method) name.
+  size_t event_column = 1;
+  /// Skip the first non-comment row (a header).
+  bool has_header = false;
+  /// Reject rows with fewer columns than needed (true) or skip them
+  /// silently (false).
+  bool strict = true;
+};
+
+/// \brief Parses CSV trace records from \p in into a sequence database;
+/// one sequence per distinct grouping key, in order of first appearance.
+/// Lines that are empty or start with '#' are ignored.
+Result<SequenceDatabase> ReadCsvTraces(std::istream& in,
+                                       const CsvTraceOptions& options);
+
+/// \brief Reads the CSV trace format from the file at \p path.
+Result<SequenceDatabase> ReadCsvTraceFile(const std::string& path,
+                                          const CsvTraceOptions& options);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_CSV_TRACE_READER_H_

@@ -1,0 +1,33 @@
+#include "src/trace/database_stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace specmine {
+
+DatabaseStats ComputeStats(const SequenceDatabase& db) {
+  DatabaseStats st;
+  st.num_sequences = db.size();
+  st.num_distinct_events = db.dictionary().size();
+  st.min_length = db.empty() ? 0 : std::numeric_limits<size_t>::max();
+  for (const Sequence& s : db.sequences()) {
+    st.total_events += s.size();
+    st.min_length = std::min(st.min_length, s.size());
+    st.max_length = std::max(st.max_length, s.size());
+  }
+  st.avg_length = db.empty() ? 0.0
+                             : static_cast<double>(st.total_events) /
+                                   static_cast<double>(db.size());
+  return st;
+}
+
+std::string DatabaseStats::ToString() const {
+  std::ostringstream os;
+  os << num_sequences << " sequences, " << num_distinct_events
+     << " distinct events, " << total_events << " total events, length "
+     << min_length << ".." << max_length << " (avg " << avg_length << ")";
+  return os.str();
+}
+
+}  // namespace specmine

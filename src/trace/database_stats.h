@@ -1,0 +1,31 @@
+// Summary statistics of a sequence database (used by reports and examples).
+
+#ifndef SPECMINE_TRACE_DATABASE_STATS_H_
+#define SPECMINE_TRACE_DATABASE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Shape statistics of a SequenceDatabase.
+struct DatabaseStats {
+  size_t num_sequences = 0;
+  size_t num_distinct_events = 0;
+  size_t total_events = 0;
+  size_t min_length = 0;
+  size_t max_length = 0;
+  double avg_length = 0.0;
+
+  /// \brief One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// \brief Computes shape statistics for \p db.
+DatabaseStats ComputeStats(const SequenceDatabase& db);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_DATABASE_STATS_H_

@@ -1,0 +1,58 @@
+// Interning of event names (method invocations) to dense integer ids.
+//
+// Program traces name events by strings such as "TxManager.begin". All
+// mining code works on dense EventId integers; the dictionary provides the
+// bijection and survives round-trips through the trace readers/writers.
+
+#ifndef SPECMINE_TRACE_EVENT_DICTIONARY_H_
+#define SPECMINE_TRACE_EVENT_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace specmine {
+
+/// \brief Dense integer identifier of an interned event name.
+using EventId = uint32_t;
+
+/// \brief Sentinel for "no event".
+inline constexpr EventId kInvalidEvent = ~EventId{0};
+
+/// \brief Bidirectional map between event names and dense EventIds.
+///
+/// Ids are assigned in first-intern order starting at 0, so a dictionary is
+/// deterministic given the intern call sequence. Lookup by name is O(1)
+/// expected; lookup by id is O(1).
+class EventDictionary {
+ public:
+  /// \brief Returns the id of \p name, interning it if new.
+  EventId Intern(std::string_view name);
+
+  /// \brief Returns the id of \p name, or kInvalidEvent if never interned.
+  EventId Lookup(std::string_view name) const;
+
+  /// \brief Returns the name for \p id; id must be < size().
+  const std::string& Name(EventId id) const;
+
+  /// \brief Returns the name for \p id, or "<ev{id}>" if out of range.
+  std::string NameOrPlaceholder(EventId id) const;
+
+  /// \brief Number of distinct interned events.
+  size_t size() const { return names_.size(); }
+
+  /// \brief True iff no event has been interned.
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, EventId> ids_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_EVENT_DICTIONARY_H_

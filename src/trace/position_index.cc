@@ -1,0 +1,67 @@
+#include "src/trace/position_index.h"
+
+#include <algorithm>
+
+namespace specmine {
+
+PositionIndex::PositionIndex(const SequenceDatabase& db) : db_(&db) {
+  const size_t num_events = db.dictionary().size();
+  const size_t num_seqs = db.size();
+  total_counts_.assign(num_events, 0);
+  sequence_counts_.assign(num_events, 0);
+  cells_.reserve(db.TotalEvents() / 2 + 16);
+  for (SeqId s = 0; s < num_seqs; ++s) {
+    const Sequence& seq = db[s];
+    for (Pos p = 0; p < seq.size(); ++p) {
+      EventId ev = seq[p];
+      if (ev >= num_events) continue;  // Defensive; ids come from dictionary.
+      auto& positions = cells_[Key(ev, s)];
+      if (positions.empty()) ++sequence_counts_[ev];
+      positions.push_back(p);
+      ++total_counts_[ev];
+    }
+  }
+}
+
+const std::vector<Pos>& PositionIndex::Positions(EventId ev, SeqId seq) const {
+  auto it = cells_.find(Key(ev, seq));
+  return it == cells_.end() ? empty_ : it->second;
+}
+
+Pos PositionIndex::FirstAfter(EventId ev, SeqId seq, Pos after) const {
+  const auto& ps = Positions(ev, seq);
+  auto it = std::upper_bound(ps.begin(), ps.end(), after);
+  return it == ps.end() ? kNoPos : *it;
+}
+
+Pos PositionIndex::FirstAtOrAfter(EventId ev, SeqId seq, Pos at) const {
+  const auto& ps = Positions(ev, seq);
+  auto it = std::lower_bound(ps.begin(), ps.end(), at);
+  return it == ps.end() ? kNoPos : *it;
+}
+
+Pos PositionIndex::LastBefore(EventId ev, SeqId seq, Pos before) const {
+  const auto& ps = Positions(ev, seq);
+  auto it = std::lower_bound(ps.begin(), ps.end(), before);
+  if (it == ps.begin()) return kNoPos;
+  return *(it - 1);
+}
+
+size_t PositionIndex::CountInRange(EventId ev, SeqId seq, Pos lo,
+                                   Pos hi) const {
+  if (lo > hi) return 0;
+  const auto& ps = Positions(ev, seq);
+  auto b = std::lower_bound(ps.begin(), ps.end(), lo);
+  auto e = std::upper_bound(ps.begin(), ps.end(), hi);
+  return static_cast<size_t>(e - b);
+}
+
+size_t PositionIndex::TotalCount(EventId ev) const {
+  return ev < total_counts_.size() ? total_counts_[ev] : 0;
+}
+
+size_t PositionIndex::SequenceCount(EventId ev) const {
+  return ev < sequence_counts_.size() ? sequence_counts_[ev] : 0;
+}
+
+}  // namespace specmine

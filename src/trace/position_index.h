@@ -1,0 +1,78 @@
+// PositionIndex: per-event sorted position lists, the core lookup structure
+// behind instance projection and temporal-point computation.
+
+#ifndef SPECMINE_TRACE_POSITION_INDEX_H_
+#define SPECMINE_TRACE_POSITION_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Position within a sequence (0-based).
+using Pos = uint32_t;
+
+/// \brief Sentinel for "no position".
+inline constexpr Pos kNoPos = ~Pos{0};
+
+/// \brief For each (event, sequence), the sorted list of positions at which
+/// the event occurs.
+///
+/// Built once per database in O(total events); all queries are binary
+/// searches. The miners use it to (a) find the first occurrence of an event
+/// after/before a position, and (b) count occurrences inside a span.
+class PositionIndex {
+ public:
+  /// \brief Builds the index over \p db. The database must outlive the index.
+  explicit PositionIndex(const SequenceDatabase& db);
+
+  /// \brief Sorted positions of \p ev in sequence \p seq (empty if none).
+  const std::vector<Pos>& Positions(EventId ev, SeqId seq) const;
+
+  /// \brief First position of \p ev in \p seq that is > \p after,
+  /// or kNoPos.
+  Pos FirstAfter(EventId ev, SeqId seq, Pos after) const;
+
+  /// \brief First position of \p ev in \p seq that is >= \p at, or kNoPos.
+  Pos FirstAtOrAfter(EventId ev, SeqId seq, Pos at) const;
+
+  /// \brief Last position of \p ev in \p seq that is < \p before, or kNoPos.
+  Pos LastBefore(EventId ev, SeqId seq, Pos before) const;
+
+  /// \brief Number of occurrences of \p ev in \p seq within [lo, hi]
+  /// inclusive. Returns 0 when lo > hi.
+  size_t CountInRange(EventId ev, SeqId seq, Pos lo, Pos hi) const;
+
+  /// \brief Total occurrences of \p ev across the database.
+  size_t TotalCount(EventId ev) const;
+
+  /// \brief Number of sequences containing \p ev at least once.
+  size_t SequenceCount(EventId ev) const;
+
+  /// \brief Number of distinct events the index knows about.
+  size_t num_events() const { return total_counts_.size(); }
+
+  /// \brief The indexed database.
+  const SequenceDatabase& db() const { return *db_; }
+
+ private:
+  const SequenceDatabase* db_;
+  // Sparse storage keyed by (event, sequence): only pairs with at least one
+  // occurrence hold an entry. A dense events x sequences layout would be
+  // quadratic in memory on paper-scale inputs (10k events x 5k sequences).
+  std::unordered_map<uint64_t, std::vector<Pos>> cells_;
+  std::vector<size_t> total_counts_;
+  std::vector<size_t> sequence_counts_;
+  std::vector<Pos> empty_;
+
+  static uint64_t Key(EventId ev, SeqId seq) {
+    return (static_cast<uint64_t>(ev) << 32) | seq;
+  }
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_POSITION_INDEX_H_

@@ -1,0 +1,3 @@
+#include "src/trace/sequence.h"
+
+// Sequence is header-only; this translation unit anchors the target.

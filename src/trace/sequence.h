@@ -1,0 +1,48 @@
+// A Sequence is one program execution trace: an ordered list of events.
+
+#ifndef SPECMINE_TRACE_SEQUENCE_H_
+#define SPECMINE_TRACE_SEQUENCE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "src/trace/event_dictionary.h"
+
+namespace specmine {
+
+/// \brief An ordered list of events; one program execution trace.
+///
+/// Positions are 0-based throughout the library (the paper indexes from 1;
+/// the translation is made only when printing).
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(std::vector<EventId> events) : events_(std::move(events)) {}
+  Sequence(std::initializer_list<EventId> events) : events_(events) {}
+
+  /// \brief Number of events.
+  size_t size() const { return events_.size(); }
+  /// \brief True iff the trace has no events.
+  bool empty() const { return events_.empty(); }
+  /// \brief Event at position \p i (0-based, unchecked).
+  EventId operator[](size_t i) const { return events_[i]; }
+
+  /// \brief Appends one event.
+  void Append(EventId ev) { events_.push_back(ev); }
+
+  /// \brief Underlying storage (read-only).
+  const std::vector<EventId>& events() const { return events_; }
+
+  bool operator==(const Sequence& other) const = default;
+
+  std::vector<EventId>::const_iterator begin() const { return events_.begin(); }
+  std::vector<EventId>::const_iterator end() const { return events_.end(); }
+
+ private:
+  std::vector<EventId> events_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_SEQUENCE_H_

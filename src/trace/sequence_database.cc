@@ -1,0 +1,32 @@
+#include "src/trace/sequence_database.h"
+
+#include "src/support/strings.h"
+
+namespace specmine {
+
+SeqId SequenceDatabase::AddTrace(const std::vector<std::string>& event_names) {
+  Sequence seq;
+  for (const auto& name : event_names) seq.Append(dictionary_.Intern(name));
+  return AddSequence(std::move(seq));
+}
+
+SeqId SequenceDatabase::AddSequence(Sequence seq) {
+  sequences_.push_back(std::move(seq));
+  return static_cast<SeqId>(sequences_.size() - 1);
+}
+
+SeqId SequenceDatabase::AddTraceFromString(std::string_view line) {
+  Sequence seq;
+  for (const auto& tok : SplitAndTrim(line, ' ')) {
+    seq.Append(dictionary_.Intern(tok));
+  }
+  return AddSequence(std::move(seq));
+}
+
+size_t SequenceDatabase::TotalEvents() const {
+  size_t n = 0;
+  for (const auto& s : sequences_) n += s.size();
+  return n;
+}
+
+}  // namespace specmine

@@ -1,0 +1,63 @@
+// SequenceDatabase: the SeqDB of the paper — a set of program traces plus
+// the event dictionary naming their events.
+
+#ifndef SPECMINE_TRACE_SEQUENCE_DATABASE_H_
+#define SPECMINE_TRACE_SEQUENCE_DATABASE_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/event_dictionary.h"
+#include "src/trace/sequence.h"
+
+namespace specmine {
+
+/// \brief Index of a sequence within a database.
+using SeqId = uint32_t;
+
+/// \brief A database of event sequences (program traces).
+///
+/// Owns both the sequences and the EventDictionary used to name events.
+/// This is the input type of every miner in the library.
+class SequenceDatabase {
+ public:
+  SequenceDatabase() = default;
+
+  /// \brief Adds a trace given by event names, interning new names.
+  /// Returns the id of the added sequence.
+  SeqId AddTrace(const std::vector<std::string>& event_names);
+
+  /// \brief Adds a trace of already-interned event ids.
+  SeqId AddSequence(Sequence seq);
+
+  /// \brief Convenience: parses a whitespace-free arrow-less string of
+  /// space-separated event names ("a b a c") and adds it as a trace.
+  SeqId AddTraceFromString(std::string_view line);
+
+  /// \brief Number of sequences.
+  size_t size() const { return sequences_.size(); }
+  /// \brief True iff the database holds no sequences.
+  bool empty() const { return sequences_.empty(); }
+  /// \brief Sequence by id (unchecked).
+  const Sequence& operator[](SeqId id) const { return sequences_[id]; }
+  /// \brief All sequences.
+  const std::vector<Sequence>& sequences() const { return sequences_; }
+
+  /// \brief Total number of events over all sequences.
+  size_t TotalEvents() const;
+
+  /// \brief The dictionary naming this database's events.
+  const EventDictionary& dictionary() const { return dictionary_; }
+  /// \brief Mutable dictionary (used by generators that pre-intern names).
+  EventDictionary* mutable_dictionary() { return &dictionary_; }
+
+ private:
+  EventDictionary dictionary_;
+  std::vector<Sequence> sequences_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_SEQUENCE_DATABASE_H_

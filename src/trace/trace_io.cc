@@ -1,0 +1,123 @@
+#include "src/trace/trace_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/support/strings.h"
+
+namespace specmine {
+
+Result<SequenceDatabase> ReadTextTraces(std::istream& in) {
+  SequenceDatabase db;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    db.AddTraceFromString(stripped);
+  }
+  if (in.bad()) {
+    return Status::IOError("stream error while reading traces at line " +
+                           std::to_string(line_no));
+  }
+  return db;
+}
+
+Result<SequenceDatabase> ReadTextTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open trace file: " + path);
+  return ReadTextTraces(in);
+}
+
+Status WriteTextTraces(const SequenceDatabase& db, std::ostream& out) {
+  for (const Sequence& seq : db.sequences()) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << db.dictionary().NameOrPlaceholder(seq[i]);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("stream error while writing traces");
+  return Status::OK();
+}
+
+Status WriteTextTraceFile(const SequenceDatabase& db,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open output file: " + path);
+  return WriteTextTraces(db, out);
+}
+
+Result<SequenceDatabase> ReadSpmTraces(std::istream& in) {
+  std::string line;
+  size_t line_no = 0;
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!StripWhitespace(line).empty()) return true;
+    }
+    return false;
+  };
+  auto err = [&](const std::string& msg) {
+    return Status::ParseError(msg + " (line " + std::to_string(line_no) + ")");
+  };
+
+  if (!next_line() || StripWhitespace(line) != "!specmine-traces v1") {
+    return err("missing '!specmine-traces v1' header");
+  }
+  if (!next_line()) return err("missing '!events' section");
+  std::istringstream hdr{line};
+  std::string tag;
+  size_t num_events = 0;
+  hdr >> tag >> num_events;
+  if (tag != "!events" || hdr.fail()) return err("malformed '!events' line");
+
+  SequenceDatabase db;
+  for (size_t i = 0; i < num_events; ++i) {
+    if (!std::getline(in, line)) return err("truncated event table");
+    ++line_no;
+    std::string_view name = StripWhitespace(line);
+    if (name.empty()) return err("empty event name");
+    EventId id = db.mutable_dictionary()->Intern(name);
+    if (id != i) return err("duplicate event name: " + std::string(name));
+  }
+
+  while (next_line()) {
+    std::istringstream row{line};
+    row >> tag;
+    if (tag != "!trace") return err("expected '!trace'");
+    size_t declared = 0;
+    row >> declared;
+    if (row.fail()) return err("malformed '!trace' count");
+    Sequence seq;
+    uint64_t id = 0;
+    while (row >> id) {
+      if (id >= num_events) return err("event id out of range");
+      seq.Append(static_cast<EventId>(id));
+    }
+    if (seq.size() != declared) return err("trace length mismatch");
+    db.AddSequence(std::move(seq));
+  }
+  if (in.bad()) return Status::IOError("stream error while reading traces");
+  return db;
+}
+
+Status WriteSpmTraces(const SequenceDatabase& db, std::ostream& out) {
+  out << "!specmine-traces v1\n";
+  out << "!events " << db.dictionary().size() << '\n';
+  for (size_t i = 0; i < db.dictionary().size(); ++i) {
+    out << db.dictionary().Name(static_cast<EventId>(i)) << '\n';
+  }
+  for (const Sequence& seq : db.sequences()) {
+    out << "!trace " << seq.size();
+    for (EventId ev : seq) out << ' ' << ev;
+    out << '\n';
+  }
+  if (!out) return Status::IOError("stream error while writing traces");
+  return Status::OK();
+}
+
+}  // namespace specmine

@@ -1,0 +1,51 @@
+// Readers and writers for trace files.
+//
+// Two formats are supported:
+//
+//  * Plain text ("txt"): one trace per line, events are whitespace-separated
+//    tokens. Lines starting with '#' are comments. This is the interchange
+//    format used by the examples.
+//
+//  * Structured ("spm"): a small self-describing format that persists the
+//    event dictionary explicitly so ids survive round trips:
+//
+//        !specmine-traces v1
+//        !events <n>
+//        <name 0>
+//        ...
+//        !trace <k> <id id id ...>
+//
+// Both readers validate input and return ParseError with line numbers.
+
+#ifndef SPECMINE_TRACE_TRACE_IO_H_
+#define SPECMINE_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/support/status.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief Parses the plain-text trace format from \p in.
+Result<SequenceDatabase> ReadTextTraces(std::istream& in);
+
+/// \brief Reads the plain-text trace format from the file at \p path.
+Result<SequenceDatabase> ReadTextTraceFile(const std::string& path);
+
+/// \brief Writes \p db in the plain-text trace format.
+Status WriteTextTraces(const SequenceDatabase& db, std::ostream& out);
+
+/// \brief Writes \p db in the plain-text trace format to \p path.
+Status WriteTextTraceFile(const SequenceDatabase& db, const std::string& path);
+
+/// \brief Parses the structured "spm" format from \p in.
+Result<SequenceDatabase> ReadSpmTraces(std::istream& in);
+
+/// \brief Writes \p db in the structured "spm" format.
+Status WriteSpmTraces(const SequenceDatabase& db, std::ostream& out);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_TRACE_IO_H_

@@ -1,0 +1,167 @@
+#include "src/twoevent/perracotta.h"
+
+#include <sstream>
+
+namespace specmine {
+
+const char* PairTemplateName(PairTemplate t) {
+  switch (t) {
+    case PairTemplate::kResponse:
+      return "Response";
+    case PairTemplate::kAlternation:
+      return "Alternation";
+    case PairTemplate::kMultiEffect:
+      return "MultiEffect";
+    case PairTemplate::kMultiCause:
+      return "MultiCause";
+    case PairTemplate::kEffectFirst:
+      return "EffectFirst";
+    case PairTemplate::kCauseFirst:
+      return "CauseFirst";
+    case PairTemplate::kOneCause:
+      return "OneCause";
+    case PairTemplate::kOneEffect:
+      return "OneEffect";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// The projection of a sequence onto {a, b} as a string of 'a'/'b' chars.
+std::string Project(const Sequence& seq, EventId a, EventId b) {
+  std::string s;
+  for (EventId ev : seq) {
+    if (ev == a) s.push_back('a');
+    if (ev == b) s.push_back('b');
+  }
+  return s;
+}
+
+bool NoSubstring(const std::string& s, const char* sub) {
+  return s.find(sub) == std::string::npos;
+}
+
+// Matchers for the template regular languages over the projected string.
+bool MatchProjected(const std::string& s, PairTemplate t) {
+  if (s.empty()) return true;  // Every template accepts the empty string.
+  switch (t) {
+    case PairTemplate::kResponse:
+      // b*(a+b+)* : every a-run is eventually closed by a b.
+      return s.back() == 'b';
+    case PairTemplate::kAlternation: {
+      // (ab)* : strict alternation starting with a, ending with b.
+      if (s.size() % 2 != 0) return false;
+      for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != (i % 2 == 0 ? 'a' : 'b')) return false;
+      }
+      return true;
+    }
+    case PairTemplate::kMultiEffect:
+      // (ab+)* : starts with a, ends with b, no "aa".
+      return s.front() == 'a' && s.back() == 'b' && NoSubstring(s, "aa");
+    case PairTemplate::kMultiCause:
+      // (a+b)* : starts with a, ends with b, no "bb".
+      return s.front() == 'a' && s.back() == 'b' && NoSubstring(s, "bb");
+    case PairTemplate::kEffectFirst: {
+      // b*(ab)* : optional b prefix, then strict alternation.
+      size_t i = 0;
+      while (i < s.size() && s[i] == 'b') ++i;
+      std::string rest = s.substr(i);
+      return rest.empty() || MatchProjected(rest, PairTemplate::kAlternation);
+    }
+    case PairTemplate::kCauseFirst:
+      // (a+b+)* : starts with a, ends with b.
+      return s.front() == 'a' && s.back() == 'b';
+    case PairTemplate::kOneCause: {
+      // b*(ab+)* : after the b prefix, no "aa" and ends with b.
+      size_t i = 0;
+      while (i < s.size() && s[i] == 'b') ++i;
+      std::string rest = s.substr(i);
+      return rest.empty() ||
+             MatchProjected(rest, PairTemplate::kMultiEffect);
+    }
+    case PairTemplate::kOneEffect: {
+      // b*(a+b)* : after the b prefix, no "bb" and ends with b.
+      size_t i = 0;
+      while (i < s.size() && s[i] == 'b') ++i;
+      std::string rest = s.substr(i);
+      return rest.empty() || MatchProjected(rest, PairTemplate::kMultiCause);
+    }
+  }
+  return false;
+}
+
+// Strictness order used to report the strongest satisfied template:
+// Alternation first, Response last.
+constexpr PairTemplate kByStrictness[] = {
+    PairTemplate::kAlternation, PairTemplate::kMultiEffect,
+    PairTemplate::kMultiCause,  PairTemplate::kEffectFirst,
+    PairTemplate::kOneCause,    PairTemplate::kOneEffect,
+    PairTemplate::kCauseFirst,  PairTemplate::kResponse,
+};
+
+}  // namespace
+
+bool MatchesTemplate(const Sequence& seq, EventId a, EventId b,
+                     PairTemplate t) {
+  return MatchProjected(Project(seq, a, b), t);
+}
+
+std::string TwoEventRule::ToString(const EventDictionary& dict) const {
+  std::ostringstream os;
+  os << dict.NameOrPlaceholder(cause) << " -> "
+     << dict.NameOrPlaceholder(effect) << " [" << PairTemplateName(strongest)
+     << "] (sat=" << satisfaction() << ", traces=" << relevant_traces << ')';
+  return os.str();
+}
+
+std::vector<TwoEventRule> MinePerracotta(const SequenceDatabase& db,
+                                         const PerracottaOptions& options) {
+  std::vector<TwoEventRule> out;
+  const size_t num_events = db.dictionary().size();
+  for (EventId a = 0; a < num_events; ++a) {
+    for (EventId b = 0; b < num_events; ++b) {
+      if (a == b) continue;
+      uint64_t relevant = 0;
+      uint64_t base_satisfying = 0;
+      std::vector<std::string> projections;
+      for (const Sequence& seq : db.sequences()) {
+        std::string proj = Project(seq, a, b);
+        if (proj.empty()) continue;
+        ++relevant;
+        if (MatchProjected(proj, options.base_template)) ++base_satisfying;
+        projections.push_back(std::move(proj));
+      }
+      if (relevant < options.min_relevant_traces) continue;
+      double sat = relevant == 0 ? 0.0
+                                 : static_cast<double>(base_satisfying) /
+                                       static_cast<double>(relevant);
+      if (sat < options.min_satisfaction) continue;
+      // Find the strictest template satisfied at the same threshold.
+      TwoEventRule rule;
+      rule.cause = a;
+      rule.effect = b;
+      rule.relevant_traces = relevant;
+      rule.strongest = options.base_template;
+      rule.satisfying_traces = base_satisfying;
+      for (PairTemplate t : kByStrictness) {
+        uint64_t satisfying = 0;
+        for (const std::string& proj : projections) {
+          if (MatchProjected(proj, t)) ++satisfying;
+        }
+        double score = static_cast<double>(satisfying) /
+                       static_cast<double>(relevant);
+        if (score >= options.min_satisfaction) {
+          rule.strongest = t;
+          rule.satisfying_traces = satisfying;
+          break;
+        }
+      }
+      out.push_back(rule);
+    }
+  }
+  return out;
+}
+
+}  // namespace specmine

@@ -1,0 +1,90 @@
+// Perracotta-style two-event temporal rule mining (Yang et al., ICSE 2006)
+// — the related-work baseline the paper generalizes (Section 2): rules are
+// limited to two events, enumerated pairwise and checked per template.
+//
+// For an ordered event pair (a, b) a trace is projected onto {a, b} and
+// matched against a template language. The eight templates of the original
+// hierarchy are supported; Alternation is the strictest, Response the most
+// permissive:
+//
+//   Response    b*(a+b+)*   MultiEffect (ab+)*    MultiCause (a+b)*
+//   Alternation (ab)*       EffectFirst b*(ab)*   CauseFirst (a+b+)*
+//   OneCause    b*(ab+)*    OneEffect   b*(a+b)*
+//
+// The satisfaction score of (a, b, template) is the fraction of traces
+// containing a or b whose projection matches the template. This module
+// exists to demonstrate what the recurrent-rule miner adds: multi-event
+// premises/consequents and instance-based statistics.
+
+#ifndef SPECMINE_TWOEVENT_PERRACOTTA_H_
+#define SPECMINE_TWOEVENT_PERRACOTTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief The Perracotta template hierarchy.
+enum class PairTemplate {
+  kResponse,
+  kAlternation,
+  kMultiEffect,
+  kMultiCause,
+  kEffectFirst,
+  kCauseFirst,
+  kOneCause,
+  kOneEffect,
+};
+
+/// \brief Human-readable template name ("Alternation", ...).
+const char* PairTemplateName(PairTemplate t);
+
+/// \brief True iff the projection of \p seq onto {a, b} matches \p t.
+bool MatchesTemplate(const Sequence& seq, EventId a, EventId b,
+                     PairTemplate t);
+
+/// \brief A mined two-event rule.
+struct TwoEventRule {
+  EventId cause = 0;
+  EventId effect = 0;
+  PairTemplate strongest = PairTemplate::kResponse;
+  /// Traces containing cause or effect.
+  uint64_t relevant_traces = 0;
+  /// Relevant traces whose projection matches `strongest`.
+  uint64_t satisfying_traces = 0;
+
+  double satisfaction() const {
+    return relevant_traces == 0
+               ? 0.0
+               : static_cast<double>(satisfying_traces) /
+                     static_cast<double>(relevant_traces);
+  }
+
+  /// \brief "a -> b [Template] (sat=..)" rendering.
+  std::string ToString(const EventDictionary& dict) const;
+};
+
+/// \brief Options for the pairwise miner.
+struct PerracottaOptions {
+  /// Minimum satisfaction score in [0, 1].
+  double min_satisfaction = 1.0;
+  /// Minimum number of relevant traces.
+  uint64_t min_relevant_traces = 1;
+  /// Template to check; the miner reports the strictest satisfied template
+  /// at or above this one in permissiveness.
+  PairTemplate base_template = PairTemplate::kResponse;
+};
+
+/// \brief Enumerates all ordered pairs of events and reports those whose
+/// satisfaction meets the threshold, labelled with the strictest satisfied
+/// template. O(|alphabet|^2 x total events): the scalability wall the
+/// paper's Section 2 ascribes to two-event approaches.
+std::vector<TwoEventRule> MinePerracotta(const SequenceDatabase& db,
+                                         const PerracottaOptions& options);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TWOEVENT_PERRACOTTA_H_

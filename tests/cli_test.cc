@@ -1,0 +1,136 @@
+// Tests for the specmine CLI (driven through RunCli with captured
+// streams; files go through a per-test temp directory).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/specmine/cli.h"
+
+namespace specmine {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cli_test_traces.txt";
+    std::ofstream out(path_);
+    out << "lock use unlock\n";
+    out << "lock unlock lock unlock\n";
+    out << "x lock y unlock\n";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  int Run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return RunCli(args, out_, err_);
+  }
+
+  std::string path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsageAndFails) {
+  EXPECT_EQ(Run({}), 2);
+  EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("mine-rules"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(Run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsPrintsShape) {
+  EXPECT_EQ(Run({"stats", path_}), 0);
+  EXPECT_NE(out_.str().find("3 sequences"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsMissingFileFails) {
+  EXPECT_EQ(Run({"stats", "/no/such/file"}), 1);
+  EXPECT_NE(err_.str().find("IOError"), std::string::npos);
+}
+
+TEST_F(CliTest, MinePatternsClosed) {
+  EXPECT_EQ(Run({"mine-patterns", path_, "--min-sup", "0.9"}), 0);
+  EXPECT_NE(out_.str().find("<lock, unlock>"), std::string::npos);
+}
+
+TEST_F(CliTest, MinePatternsGenerators) {
+  EXPECT_EQ(Run({"mine-patterns", path_, "--min-sup", "0.9",
+                 "--generators"}),
+            0);
+  // Singletons are generators; the absorbed pair is not reported as one
+  // unless its support drops.
+  EXPECT_NE(out_.str().find("<lock>"), std::string::npos);
+}
+
+TEST_F(CliTest, MineRulesWithLtl) {
+  EXPECT_EQ(Run({"mine-rules", path_, "--min-ssup", "0.9", "--min-conf",
+                 "0.9"}),
+            0);
+  EXPECT_NE(out_.str().find("<lock> -> <unlock>"), std::string::npos);
+  EXPECT_NE(out_.str().find("G(lock -> XF(unlock))"), std::string::npos);
+}
+
+TEST_F(CliTest, MineRulesBackward) {
+  EXPECT_EQ(Run({"mine-rules", path_, "--min-ssup", "0.9", "--min-conf",
+                 "0.9", "--backward"}),
+            0);
+  EXPECT_NE(out_.str().find("previously"), std::string::npos);
+}
+
+TEST_F(CliTest, MineRulesRanked) {
+  EXPECT_EQ(Run({"mine-rules", path_, "--min-ssup", "0.9", "--min-conf",
+                 "0.9", "--rank"}),
+            0);
+  EXPECT_NE(out_.str().find("lift="), std::string::npos);
+}
+
+TEST_F(CliTest, CheckHoldsReturnsZero) {
+  EXPECT_EQ(Run({"check", path_, "--ltl", "G(lock -> XF(unlock))"}), 0);
+  EXPECT_NE(out_.str().find("3 / 3"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckViolationReturnsOne) {
+  EXPECT_EQ(Run({"check", path_, "--ltl", "G(lock -> XF(use))"}), 1);
+  EXPECT_NE(out_.str().find("VIOLATED"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckBadFormulaFails) {
+  EXPECT_EQ(Run({"check", path_, "--ltl", "G(lock -> "}), 1);
+  EXPECT_NE(err_.str().find("ParseError"), std::string::npos);
+}
+
+TEST_F(CliTest, GenQuestWritesDataset) {
+  std::string out_path = ::testing::TempDir() + "cli_test_quest.txt";
+  EXPECT_EQ(Run({"gen-quest", out_path, "--d", "0.05", "--c", "10", "--n",
+                 "0.05", "--s", "4"}),
+            0);
+  EXPECT_NE(out_.str().find("wrote D0.05C10N0.05S4"), std::string::npos);
+  EXPECT_EQ(Run({"stats", out_path}), 0);
+  EXPECT_NE(out_.str().find("50 sequences"), std::string::npos);
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliTest, CsvInput) {
+  std::string csv_path = ::testing::TempDir() + "cli_test_traces.csv";
+  {
+    std::ofstream out(csv_path);
+    out << "t1,lock\nt1,unlock\nt2,lock\nt2,unlock\n";
+  }
+  EXPECT_EQ(Run({"stats", csv_path, "--csv"}), 0);
+  EXPECT_NE(out_.str().find("2 sequences"), std::string::npos);
+  std::remove(csv_path.c_str());
+}
+
+}  // namespace
+}  // namespace specmine

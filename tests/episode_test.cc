@@ -1,0 +1,266 @@
+// Unit tests for src/episode: WINEPI window counting, MINEPI minimal
+// occurrences, gap-constrained episodes — plus the contrast with iterative
+// patterns the paper draws (windowed methods miss far-apart constraints).
+
+#include <gtest/gtest.h>
+
+#include "src/episode/episode_rules.h"
+#include "src/episode/gap_episodes.h"
+#include "src/episode/minepi.h"
+#include "src/episode/winepi.h"
+#include "src/itermine/qre_verifier.h"
+#include "src/support/strings.h"
+
+namespace specmine {
+namespace {
+
+SequenceDatabase MakeDb(const std::vector<std::string>& traces) {
+  SequenceDatabase db;
+  for (const auto& t : traces) db.AddTraceFromString(t);
+  return db;
+}
+
+Pattern P(const SequenceDatabase& db, const std::string& names) {
+  Pattern p;
+  for (const auto& tok : SplitAndTrim(names, ' ')) {
+    EventId id = db.dictionary().Lookup(tok);
+    EXPECT_NE(id, kInvalidEvent) << tok;
+    p = p.Extend(id);
+  }
+  return p;
+}
+
+// Oracle: count windows [t, t+w) containing the episode by direct check.
+uint64_t OracleWindows(const Pattern& episode, const SequenceDatabase& db,
+                       size_t w) {
+  uint64_t count = 0;
+  for (const Sequence& seq : db.sequences()) {
+    int64_t len = static_cast<int64_t>(seq.size());
+    for (int64_t t = -(static_cast<int64_t>(w) - 1); t <= len - 1; ++t) {
+      int64_t lo = std::max<int64_t>(0, t);
+      int64_t hi = std::min<int64_t>(len - 1, t + static_cast<int64_t>(w) - 1);
+      size_t k = 0;
+      for (int64_t i = lo; i <= hi && k < episode.size(); ++i) {
+        if (seq[static_cast<size_t>(i)] == episode[k]) ++k;
+      }
+      if (k == episode.size()) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(WinepiTest, WindowCountHandExample) {
+  // "a b" with w=2 over "a b a b": windows containing <a,b> are exactly
+  // [0,1] and [2,3].
+  SequenceDatabase db = MakeDb({"a b a b"});
+  EXPECT_EQ(CountSupportingWindows(P(db, "a b"), db, 2), 2u);
+  // w=4: starts -3..3; windows [0..3],[ -1..2]->[0,2], etc.
+  EXPECT_EQ(CountSupportingWindows(P(db, "a b"), db, 4),
+            OracleWindows(P(db, "a b"), db, 4));
+}
+
+TEST(WinepiTest, MatchesOracleOnManyPatterns) {
+  SequenceDatabase db = MakeDb({"a b c a b", "b a a c", "c c c"});
+  for (const char* pat : {"a", "b", "a b", "b a", "a b c", "c c", "a a"}) {
+    for (size_t w : {1u, 2u, 3u, 5u, 10u}) {
+      EXPECT_EQ(CountSupportingWindows(P(db, pat), db, w),
+                OracleWindows(P(db, pat), db, w))
+          << pat << " w=" << w;
+    }
+  }
+}
+
+TEST(WinepiTest, SingleEventWindowCount) {
+  // One occurrence, width w -> w windows cover it (clipped at edges
+  // contribute too since partial windows count).
+  SequenceDatabase db = MakeDb({"x a x"});
+  EXPECT_EQ(CountSupportingWindows(P(db, "a"), db, 1), 1u);
+  EXPECT_EQ(CountSupportingWindows(P(db, "a"), db, 2), 2u);
+  EXPECT_EQ(CountSupportingWindows(P(db, "a"), db, 3), 3u);
+}
+
+TEST(WinepiTest, MineFindsFrequentEpisodes) {
+  SequenceDatabase db = MakeDb({"a b x a b", "a b y"});
+  WinepiOptions options;
+  options.window_width = 2;
+  options.min_window_count = 3;
+  PatternSet out = MineWinepi(db, options);
+  EXPECT_TRUE(out.Contains(P(db, "a b")));
+  EXPECT_EQ(out.SupportOf(P(db, "a b")), 3u);
+}
+
+TEST(WinepiTest, WindowedMiningMissesFarApartPairs) {
+  // The paper's core argument (Sections 1-2): lock .. unlock separated by
+  // more than the window is invisible to WINEPI but trivial for iterative
+  // patterns.
+  SequenceDatabase db = MakeDb({
+      "lock u1 u2 u3 u4 u5 u6 u7 unlock",
+      "lock v1 v2 v3 v4 v5 v6 v7 unlock",
+  });
+  WinepiOptions options;
+  options.window_width = 4;
+  options.min_window_count = 1;
+  PatternSet episodes = MineWinepi(db, options);
+  EXPECT_FALSE(episodes.Contains(P(db, "lock unlock")));
+  // Iterative pattern support sees both.
+  EXPECT_EQ(CountInstances(P(db, "lock unlock"), db), 2u);
+}
+
+TEST(MinepiTest, MinimalOccurrencesSingleEvent) {
+  SequenceDatabase db = MakeDb({"a x a"});
+  auto mos = FindMinimalOccurrences(P(db, "a"), db);
+  ASSERT_EQ(mos.size(), 2u);
+  EXPECT_EQ(mos[0], (MinimalOccurrence{0, 0, 0}));
+  EXPECT_EQ(mos[1], (MinimalOccurrence{0, 2, 2}));
+}
+
+TEST(MinepiTest, MinimalOccurrencesDropNonMinimalWindows) {
+  // "a a b": [1,2] is minimal for <a, b>; [0,2] contains it.
+  SequenceDatabase db = MakeDb({"a a b"});
+  auto mos = FindMinimalOccurrences(P(db, "a b"), db);
+  ASSERT_EQ(mos.size(), 1u);
+  EXPECT_EQ(mos[0], (MinimalOccurrence{0, 1, 2}));
+}
+
+TEST(MinepiTest, MinimalOccurrencesMultiple) {
+  SequenceDatabase db = MakeDb({"a b a b"});
+  auto mos = FindMinimalOccurrences(P(db, "a b"), db);
+  ASSERT_EQ(mos.size(), 2u);
+  EXPECT_EQ(mos[0], (MinimalOccurrence{0, 0, 1}));
+  EXPECT_EQ(mos[1], (MinimalOccurrence{0, 2, 3}));
+}
+
+TEST(MinepiTest, WindowBoundFiltersWideOccurrences) {
+  SequenceDatabase db = MakeDb({"a x x x b a b"});
+  MinepiOptions options;
+  options.max_window = 2;
+  options.min_support = 1;
+  options.max_length = 2;
+  PatternSet out = MineMinepi(db, options);
+  // Only the tight <a, b> at [5, 6] fits in a width-2 window.
+  EXPECT_EQ(out.SupportOf(P(db, "a b")), 1u);
+}
+
+TEST(MinepiTest, MiningRespectsMaxLength) {
+  SequenceDatabase db = MakeDb({"a b c a b c"});
+  MinepiOptions options;
+  options.max_window = 3;
+  options.min_support = 1;
+  options.max_length = 2;
+  PatternSet out = MineMinepi(db, options);
+  for (const auto& it : out.items()) EXPECT_LE(it.pattern.size(), 2u);
+  EXPECT_TRUE(out.Contains(P(db, "a b")));
+  EXPECT_EQ(out.SupportOf(P(db, "a b")), 2u);
+}
+
+TEST(GapEpisodesTest, CountRespectsGapConstraint) {
+  SequenceDatabase db = MakeDb({"a x x b", "a b"});
+  // Gap 1: a..b three apart fails in trace 0.
+  EXPECT_EQ(CountGapOccurrences(P(db, "a b"), db, 1), 1u);
+  EXPECT_EQ(CountGapOccurrences(P(db, "a b"), db, 3), 2u);
+}
+
+TEST(GapEpisodesTest, GreedyIncompletenessHandled) {
+  // Naive greedy takes b@1 and strands c (5 - 1 > 3); the DP must route
+  // through b@2: a@0 -> b@2 -> c@5, all gaps <= 3.
+  SequenceDatabase db = MakeDb({"a b b x x c"});
+  EXPECT_EQ(CountGapOccurrences(P(db, "a b c"), db, 3), 1u);
+  // And when no routing helps, zero.
+  SequenceDatabase db2 = MakeDb({"a b x x c"});
+  EXPECT_EQ(CountGapOccurrences(P(db2, "a b c"), db2, 2), 0u);
+}
+
+TEST(GapEpisodesTest, NonOverlappingCounting) {
+  SequenceDatabase db = MakeDb({"a b a b a b"});
+  EXPECT_EQ(CountGapOccurrences(P(db, "a b"), db, 1), 3u);
+  // <a, b, a, b> occupies [0..3]; next starts at 4 -> only one complete.
+  EXPECT_EQ(CountGapOccurrences(P(db, "a b a b"), db, 1), 1u);
+}
+
+TEST(GapEpisodesTest, MineFindsGapRespectingEpisodes) {
+  SequenceDatabase db = MakeDb({"a b c", "a b x c", "a x b c"});
+  GapEpisodeOptions options;
+  options.max_gap = 2;
+  options.min_support = 3;
+  options.max_length = 3;
+  PatternSet out = MineGapEpisodes(db, options);
+  EXPECT_TRUE(out.Contains(P(db, "a b")));
+  EXPECT_TRUE(out.Contains(P(db, "a b c")));
+  EXPECT_EQ(out.SupportOf(P(db, "a b c")), 3u);
+}
+
+TEST(GapEpisodesTest, SupportAntiMonotoneUnderExtension) {
+  SequenceDatabase db = MakeDb({"a b c a b", "b c a b c a"});
+  for (size_t gap : {1u, 2u, 4u}) {
+    uint64_t ab = CountGapOccurrences(P(db, "a b"), db, gap);
+    uint64_t abc = CountGapOccurrences(P(db, "a b c"), db, gap);
+    EXPECT_LE(abc, ab) << "gap=" << gap;
+    uint64_t a = CountGapOccurrences(P(db, "a"), db, gap);
+    EXPECT_LE(ab, a) << "gap=" << gap;
+  }
+}
+
+TEST(EpisodeRulesTest, HandComputedConfidence) {
+  // w=2 over "a b a c": windows with <a>: a@0 covered by 2 windows, a@2 by
+  // 2 -> fr(<a>)=4; <a, b>: window [0,1] only -> fr=1.
+  SequenceDatabase db = MakeDb({"a b a c"});
+  EpisodeRuleOptions options;
+  options.window_width = 2;
+  options.min_window_count = 1;
+  options.min_confidence = 0.2;
+  auto rules = MineEpisodeRules(db, options);
+  bool found = false;
+  for (const EpisodeRule& r : rules) {
+    if (r.antecedent == P(db, "a") && r.consequent == P(db, "b")) {
+      found = true;
+      EXPECT_EQ(r.antecedent_windows, 4u);
+      EXPECT_EQ(r.full_windows, 1u);
+      EXPECT_DOUBLE_EQ(r.confidence(), 0.25);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EpisodeRulesTest, ConfidenceThresholdFilters) {
+  SequenceDatabase db = MakeDb({"a b", "a b", "a c"});
+  EpisodeRuleOptions options;
+  options.window_width = 2;
+  options.min_confidence = 0.9;
+  auto rules = MineEpisodeRules(db, options);
+  for (const EpisodeRule& r : rules) {
+    EXPECT_GE(r.confidence(), 0.9) << r.ToString(db.dictionary());
+  }
+}
+
+TEST(EpisodeRulesTest, WindowBoundMissesFarApartRules) {
+  // The Section-2 contrast at rule level: lock => unlock is invisible to
+  // windowed episode rules when the pair exceeds the window.
+  SequenceDatabase db = MakeDb({
+      "lock u1 u2 u3 u4 u5 u6 u7 unlock",
+      "lock v1 v2 v3 v4 v5 v6 v7 unlock",
+  });
+  EpisodeRuleOptions options;
+  options.window_width = 4;
+  options.min_window_count = 1;
+  options.min_confidence = 0.01;
+  auto rules = MineEpisodeRules(db, options);
+  for (const EpisodeRule& r : rules) {
+    EXPECT_FALSE(r.antecedent == P(db, "lock") &&
+                 r.consequent == P(db, "unlock"));
+  }
+}
+
+TEST(EpisodeRulesTest, RuleStringRendersParts) {
+  SequenceDatabase db = MakeDb({"a b"});
+  EpisodeRule r;
+  r.antecedent = P(db, "a");
+  r.consequent = P(db, "b");
+  r.antecedent_windows = 4;
+  r.full_windows = 2;
+  std::string s = r.ToString(db.dictionary());
+  EXPECT_NE(s.find("<a> => <b>"), std::string::npos);
+  EXPECT_NE(s.find("conf=0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace specmine

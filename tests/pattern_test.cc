@@ -1,0 +1,150 @@
+// Unit tests for src/patterns: Pattern relations and PatternSet.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/patterns/pattern.h"
+#include "src/patterns/pattern_set.h"
+
+namespace specmine {
+namespace {
+
+TEST(PatternTest, BasicAccessors) {
+  Pattern p{3, 1, 4};
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.first(), 3u);
+  EXPECT_EQ(p.last(), 4u);
+  EXPECT_EQ(p[1], 1u);
+  EXPECT_TRUE(Pattern().empty());
+}
+
+TEST(PatternTest, ExtendPrependConcatInsertErase) {
+  Pattern p{1, 2};
+  EXPECT_EQ(p.Extend(3), (Pattern{1, 2, 3}));
+  EXPECT_EQ(p.Prepend(0), (Pattern{0, 1, 2}));
+  EXPECT_EQ(p.Concat(Pattern{7, 8}), (Pattern{1, 2, 7, 8}));
+  EXPECT_EQ(p.Insert(0, 9), (Pattern{9, 1, 2}));
+  EXPECT_EQ(p.Insert(1, 9), (Pattern{1, 9, 2}));
+  EXPECT_EQ(p.Insert(2, 9), (Pattern{1, 2, 9}));
+  EXPECT_EQ((Pattern{1, 2, 3}).Erase(1), (Pattern{1, 3}));
+  // Originals untouched (value semantics).
+  EXPECT_EQ(p, (Pattern{1, 2}));
+}
+
+TEST(PatternTest, SubsequenceOfPattern) {
+  Pattern abc{1, 2, 3};
+  EXPECT_TRUE((Pattern{1, 3}).IsSubsequenceOf(abc));
+  EXPECT_TRUE((Pattern{2}).IsSubsequenceOf(abc));
+  EXPECT_TRUE(abc.IsSubsequenceOf(abc));
+  EXPECT_TRUE(Pattern().IsSubsequenceOf(abc));
+  EXPECT_FALSE((Pattern{3, 1}).IsSubsequenceOf(abc));  // Order matters.
+  EXPECT_FALSE((Pattern{1, 1}).IsSubsequenceOf(abc));  // Multiplicity.
+  EXPECT_FALSE((Pattern{1, 2, 3, 4}).IsSubsequenceOf(abc));
+}
+
+TEST(PatternTest, SubsequenceOfSequence) {
+  Sequence seq{5, 1, 9, 2, 9, 3};
+  EXPECT_TRUE((Pattern{1, 2, 3}).IsSubsequenceOf(seq));
+  EXPECT_TRUE((Pattern{9, 9}).IsSubsequenceOf(seq));
+  EXPECT_FALSE((Pattern{3, 2}).IsSubsequenceOf(seq));
+}
+
+TEST(PatternTest, SubsequenceWithRepeats) {
+  Pattern big{1, 1, 2, 1};
+  EXPECT_TRUE((Pattern{1, 1, 1}).IsSubsequenceOf(big));
+  EXPECT_FALSE((Pattern{1, 1, 1, 1}).IsSubsequenceOf(big));
+  EXPECT_TRUE((Pattern{1, 2, 1}).IsSubsequenceOf(big));
+  EXPECT_FALSE((Pattern{2, 2}).IsSubsequenceOf(big));
+}
+
+TEST(PatternTest, AlphabetAndContains) {
+  Pattern p{4, 4, 2};
+  auto alpha = p.Alphabet();
+  EXPECT_EQ(alpha.size(), 2u);
+  EXPECT_TRUE(alpha.count(4));
+  EXPECT_TRUE(alpha.count(2));
+  EXPECT_TRUE(p.Contains(2));
+  EXPECT_FALSE(p.Contains(7));
+}
+
+TEST(PatternTest, ToStringWithDictionary) {
+  EventDictionary dict;
+  dict.Intern("lock");
+  dict.Intern("unlock");
+  Pattern p{0, 1};
+  EXPECT_EQ(p.ToString(dict), "<lock, unlock>");
+  EXPECT_EQ(p.ToString(), "<0, 1>");
+  EXPECT_EQ(Pattern().ToString(), "<>");
+}
+
+TEST(PatternTest, LexicographicOrder) {
+  EXPECT_LT(Pattern({1}), Pattern({1, 1}));
+  EXPECT_LT(Pattern({1, 2}), Pattern({2}));
+  EXPECT_FALSE(Pattern({2}) < Pattern({1, 9}));
+}
+
+TEST(PatternTest, HashEqualPatternsCollide) {
+  PatternHash h;
+  EXPECT_EQ(h(Pattern{1, 2, 3}), h(Pattern{1, 2, 3}));
+  std::unordered_set<Pattern, PatternHash> set;
+  set.insert(Pattern{1, 2});
+  set.insert(Pattern{1, 2});
+  set.insert(Pattern{2, 1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PatternSetTest, AddAndLookup) {
+  PatternSet set;
+  set.Add(Pattern{1, 2}, 10);
+  set.Add(Pattern{3}, 5);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(Pattern{1, 2}));
+  EXPECT_FALSE(set.Contains(Pattern{2, 1}));
+  EXPECT_EQ(set.SupportOf(Pattern{1, 2}), 10u);
+  EXPECT_EQ(set.SupportOf(Pattern{9}), 0u);
+}
+
+TEST(PatternSetTest, SortBySupportDescendingThenLex) {
+  PatternSet set;
+  set.Add(Pattern{5}, 1);
+  set.Add(Pattern{2}, 9);
+  set.Add(Pattern{1}, 9);
+  set.SortBySupport();
+  EXPECT_EQ(set[0].pattern, Pattern{1});
+  EXPECT_EQ(set[1].pattern, Pattern{2});
+  EXPECT_EQ(set[2].pattern, Pattern{5});
+}
+
+TEST(PatternSetTest, SortLexicographic) {
+  PatternSet set;
+  set.Add(Pattern{2}, 1);
+  set.Add(Pattern{1, 2}, 2);
+  set.Add(Pattern{1}, 3);
+  set.SortLexicographic();
+  EXPECT_EQ(set[0].pattern, Pattern{1});
+  EXPECT_EQ(set[1].pattern, (Pattern{1, 2}));
+  EXPECT_EQ(set[2].pattern, Pattern{2});
+}
+
+TEST(PatternSetTest, Longest) {
+  PatternSet set;
+  set.Add(Pattern{1}, 100);
+  set.Add(Pattern{1, 2, 3}, 2);
+  set.Add(Pattern{4, 5}, 50);
+  EXPECT_EQ(set.Longest().pattern, (Pattern{1, 2, 3}));
+}
+
+TEST(PatternSetTest, ToStringRendersEveryPattern) {
+  EventDictionary dict;
+  dict.Intern("a");
+  dict.Intern("b");
+  PatternSet set;
+  set.Add(Pattern{0, 1}, 3);
+  std::string s = set.ToString(dict);
+  EXPECT_NE(s.find("<a, b>"), std::string::npos);
+  EXPECT_NE(s.find("sup=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace specmine

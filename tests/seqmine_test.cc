@@ -1,0 +1,396 @@
+// Unit + oracle tests for src/seqmine: occurrence engine, PrefixSpan,
+// BIDE-style closed miner, generator miner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/seqmine/closed_sequential_miner.h"
+#include "src/seqmine/generator_miner.h"
+#include "src/seqmine/occurrence_engine.h"
+#include "src/seqmine/prefixspan.h"
+#include "src/support/strings.h"
+#include "src/support/random.h"
+
+namespace specmine {
+namespace {
+
+SequenceDatabase MakeDb(const std::vector<std::string>& traces) {
+  SequenceDatabase db;
+  for (const auto& t : traces) db.AddTraceFromString(t);
+  return db;
+}
+
+Pattern P(const SequenceDatabase& db, const std::string& names) {
+  Pattern p;
+  for (const auto& tok : SplitAndTrim(names, ' ')) {
+    EventId id = db.dictionary().Lookup(tok);
+    EXPECT_NE(id, kInvalidEvent) << tok;
+    p = p.Extend(id);
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Occurrence engine.
+
+TEST(OccurrenceEngineTest, EarliestEmbeddingEnd) {
+  SequenceDatabase db = MakeDb({"a x b x a b"});
+  const Sequence& s = db[0];
+  EXPECT_EQ(EarliestEmbeddingEnd(P(db, "a b"), s), 2u);
+  EXPECT_EQ(EarliestEmbeddingEnd(P(db, "a b a"), s), 4u);
+  EXPECT_EQ(EarliestEmbeddingEnd(P(db, "b a b"), s), 5u);
+  EXPECT_EQ(EarliestEmbeddingEnd(P(db, "b b b"), s), kNoPos);
+  EXPECT_EQ(EarliestEmbeddingEnd(P(db, "a"), s, 1), 4u);  // Offset.
+  EXPECT_EQ(EmbedsAt(P(db, "a b"), s, 3), true);
+  EXPECT_EQ(EmbedsAt(P(db, "a b"), s, 5), false);
+}
+
+TEST(OccurrenceEngineTest, OccurrencePointsDefinition51) {
+  // occ(P, S): positions j with S[j] = last(P) and prefix S[0..j] ⊒ P.
+  SequenceDatabase db = MakeDb({"a b b a b"});
+  const Sequence& s = db[0];
+  // <a, b>: prefix must contain a before the b. b's at 1, 2, 4; all after
+  // the first a at 0.
+  EXPECT_EQ(OccurrencePoints(P(db, "a b"), s), (std::vector<Pos>{1, 2, 4}));
+  // <b>: every b.
+  EXPECT_EQ(OccurrencePoints(P(db, "b"), s), (std::vector<Pos>{1, 2, 4}));
+  // <b, a>: a's after the first b -> position 3 only.
+  EXPECT_EQ(OccurrencePoints(P(db, "b a"), s), (std::vector<Pos>{3}));
+  // <a, b, b>: earliest end of <a, b> prefix is 1; b's after -> 2, 4.
+  EXPECT_EQ(OccurrencePoints(P(db, "a b b"), s), (std::vector<Pos>{2, 4}));
+  // Absent premise.
+  EXPECT_TRUE(OccurrencePoints(P(db, "b b b b"), s).empty());
+}
+
+TEST(OccurrenceEngineTest, OccurrencePointsWithOffset) {
+  SequenceDatabase db = MakeDb({"a b a b"});
+  const Sequence& s = db[0];
+  EXPECT_EQ(OccurrencePoints(P(db, "a b"), s, 1), (std::vector<Pos>{3}));
+  EXPECT_EQ(OccurrencePoints(P(db, "a"), s, 1), (std::vector<Pos>{2}));
+}
+
+TEST(OccurrenceEngineTest, CountOccurrencesAcrossSequences) {
+  SequenceDatabase db = MakeDb({"a b b", "b a b", "x"});
+  EXPECT_EQ(CountOccurrences(P(db, "a b"), db), 3u);  // 2 + 1 + 0.
+}
+
+TEST(OccurrenceEngineTest, LatestEmbeddingStart) {
+  SequenceDatabase db = MakeDb({"a b a b a"});
+  const Sequence& s = db[0];
+  EXPECT_EQ(LatestEmbeddingStart(P(db, "a b"), s, 0, 4), 2u);
+  EXPECT_EQ(LatestEmbeddingStart(P(db, "a b"), s, 0, 3), 2u);
+  EXPECT_EQ(LatestEmbeddingStart(P(db, "a b"), s, 0, 2), 0u);
+  EXPECT_EQ(LatestEmbeddingStart(P(db, "a b"), s, 3, 4), kNoPos);
+  EXPECT_EQ(LatestEmbeddingStart(P(db, "a"), s, 0, 4), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force oracle for sequential mining over units.
+
+uint64_t OracleSupport(const UnitDatabase& units, const Pattern& p) {
+  uint64_t n = 0;
+  for (const Unit& u : units.units()) {
+    if (EmbedsAt(p, units.db()[u.seq], u.start)) ++n;
+  }
+  return n;
+}
+
+// Enumerates all frequent patterns by BFS (complete under apriori).
+std::map<Pattern, uint64_t> OracleFrequent(const UnitDatabase& units,
+                                           uint64_t min_sup,
+                                           size_t max_len = 0) {
+  std::map<Pattern, uint64_t> out;
+  std::vector<Pattern> frontier;
+  const size_t num_events = units.db().dictionary().size();
+  for (EventId e = 0; e < num_events; ++e) {
+    Pattern p{e};
+    uint64_t sup = OracleSupport(units, p);
+    if (sup >= min_sup) {
+      out[p] = sup;
+      frontier.push_back(p);
+    }
+  }
+  while (!frontier.empty() &&
+         (max_len == 0 || frontier.front().size() < max_len)) {
+    std::vector<Pattern> next;
+    for (const Pattern& p : frontier) {
+      for (EventId e = 0; e < num_events; ++e) {
+        Pattern q = p.Extend(e);
+        uint64_t sup = OracleSupport(units, q);
+        if (sup >= min_sup) {
+          out[q] = sup;
+          next.push_back(q);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+std::map<Pattern, uint64_t> ToMap(const PatternSet& set) {
+  std::map<Pattern, uint64_t> out;
+  for (const auto& it : set.items()) out[it.pattern] = it.support;
+  return out;
+}
+
+SequenceDatabase RandomDb(uint64_t seed, size_t num_seqs, size_t max_len,
+                          size_t alphabet) {
+  Rng rng(seed);
+  SequenceDatabase db;
+  for (size_t i = 0; i < alphabet; ++i) {
+    db.mutable_dictionary()->Intern("e" + std::to_string(i));
+  }
+  for (size_t s = 0; s < num_seqs; ++s) {
+    Sequence seq;
+    size_t len = 1 + rng.Uniform(max_len);
+    for (size_t k = 0; k < len; ++k) {
+      seq.Append(static_cast<EventId>(rng.Uniform(alphabet)));
+    }
+    db.AddSequence(std::move(seq));
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// PrefixSpan.
+
+TEST(PrefixSpanTest, SimpleHandComputedExample) {
+  SequenceDatabase db = MakeDb({"a b c", "a c", "b c"});
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  SeqMinerOptions options;
+  options.min_support = 2;
+  PatternSet out = MineFrequentSequential(units, options);
+  auto m = ToMap(out);
+  EXPECT_EQ(m.at(P(db, "a")), 2u);
+  EXPECT_EQ(m.at(P(db, "b")), 2u);
+  EXPECT_EQ(m.at(P(db, "c")), 3u);
+  EXPECT_EQ(m.at(P(db, "a c")), 2u);
+  EXPECT_EQ(m.at(P(db, "b c")), 2u);
+  // <a, b> occurs in trace 0 only: below min_support, not emitted.
+  EXPECT_EQ(m.count(P(db, "a b")), 0u);
+}
+
+TEST(PrefixSpanTest, SupportCountsUnitsNotOccurrences) {
+  SequenceDatabase db = MakeDb({"a a a"});
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  SeqMinerOptions options;
+  options.min_support = 1;
+  auto m = ToMap(MineFrequentSequential(units, options));
+  EXPECT_EQ(m.at(P(db, "a")), 1u);
+  EXPECT_EQ(m.at(P(db, "a a")), 1u);
+  EXPECT_EQ(m.at(P(db, "a a a")), 1u);
+  EXPECT_EQ(m.count(P(db, "a a a a")), 0u);
+}
+
+TEST(PrefixSpanTest, RespectsMaxLength) {
+  SequenceDatabase db = MakeDb({"a b c d"});
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  SeqMinerOptions options;
+  options.min_support = 1;
+  options.max_length = 2;
+  PatternSet out = MineFrequentSequential(units, options);
+  for (const auto& it : out.items()) {
+    EXPECT_LE(it.pattern.size(), 2u);
+  }
+}
+
+TEST(PrefixSpanTest, MaxPatternsTruncates) {
+  SequenceDatabase db = MakeDb({"a b c d e f"});
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  SeqMinerOptions options;
+  options.min_support = 1;
+  options.max_patterns = 5;
+  SeqMinerStats stats;
+  PatternSet out = MineFrequentSequential(units, options, &stats);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(PrefixSpanTest, UnitsWithOffsetsRestrictMatching) {
+  SequenceDatabase db = MakeDb({"a b a b"});
+  // Two units into the same sequence at different offsets.
+  UnitDatabase units(db, {Unit{0, 0}, Unit{0, 2}});
+  SeqMinerOptions options;
+  options.min_support = 2;
+  auto m = ToMap(MineFrequentSequential(units, options));
+  EXPECT_EQ(m.at(P(db, "a b")), 2u);   // Embeds in both suffixes.
+  EXPECT_EQ(m.count(P(db, "a b a")), 0u);  // Only in the first.
+}
+
+TEST(PrefixSpanTest, MatchesOracleOnRandomDatabases) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SequenceDatabase db = RandomDb(seed, 6, 8, 4);
+    UnitDatabase units = UnitDatabase::WholeSequences(db);
+    for (uint64_t min_sup : {1u, 2u, 3u}) {
+      SeqMinerOptions options;
+      options.min_support = min_sup;
+      auto got = ToMap(MineFrequentSequential(units, options));
+      auto want = OracleFrequent(units, min_sup);
+      EXPECT_EQ(got, want) << "seed=" << seed << " min_sup=" << min_sup;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closed sequential miner.
+
+// Oracle: closed = frequent with no frequent proper super-sequence of equal
+// support.
+std::map<Pattern, uint64_t> OracleClosed(const UnitDatabase& units,
+                                         uint64_t min_sup) {
+  auto all = OracleFrequent(units, min_sup);
+  std::map<Pattern, uint64_t> out;
+  for (const auto& [p, sup] : all) {
+    bool closed = true;
+    for (const auto& [q, qsup] : all) {
+      if (q.size() <= p.size() || qsup != sup) continue;
+      if (p.IsSubsequenceOf(q)) {
+        closed = false;
+        break;
+      }
+    }
+    if (closed) out[p] = sup;
+  }
+  return out;
+}
+
+TEST(ClosedSequentialTest, HandExample) {
+  // Classic: "c a a b c", "a b c b", "a b b c a" with min_sup 2.
+  SequenceDatabase db = MakeDb({"c a a b c", "a b c b", "a b b c a"});
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  ClosedSeqMinerOptions options;
+  options.min_support = 2;
+  auto got = ToMap(MineClosedSequential(units, options));
+  auto want = OracleClosed(units, 2);
+  EXPECT_EQ(got, want);
+  // <a, b> is absorbed by <a, b, c> (both support 3).
+  EXPECT_EQ(got.count(P(db, "a b")), 0u);
+  EXPECT_EQ(got.at(P(db, "a b c")), 3u);
+}
+
+TEST(ClosedSequentialTest, SingleTraceEmitsOnlyMaximal) {
+  SequenceDatabase db = MakeDb({"a b c"});
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  ClosedSeqMinerOptions options;
+  options.min_support = 1;
+  auto got = ToMap(MineClosedSequential(units, options));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got.begin()->first, P(db, "a b c"));
+}
+
+TEST(ClosedSequentialTest, MatchesOracleOnRandomDatabases) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SequenceDatabase db = RandomDb(seed + 100, 6, 8, 4);
+    UnitDatabase units = UnitDatabase::WholeSequences(db);
+    for (uint64_t min_sup : {1u, 2u, 3u}) {
+      ClosedSeqMinerOptions options;
+      options.min_support = min_sup;
+      auto got = ToMap(MineClosedSequential(units, options));
+      auto want = OracleClosed(units, min_sup);
+      EXPECT_EQ(got, want) << "seed=" << seed << " min_sup=" << min_sup;
+    }
+  }
+}
+
+TEST(ClosedSequentialTest, BackScanDoesNotChangeOutput) {
+  for (uint64_t seed = 200; seed <= 210; ++seed) {
+    SequenceDatabase db = RandomDb(seed, 7, 9, 4);
+    UnitDatabase units = UnitDatabase::WholeSequences(db);
+    ClosedSeqMinerOptions with, without;
+    with.min_support = 2;
+    without.min_support = 2;
+    without.backscan_pruning = false;
+    auto a = ToMap(MineClosedSequential(units, with));
+    auto b = ToMap(MineClosedSequential(units, without));
+    EXPECT_EQ(a, b) << "seed=" << seed;
+  }
+}
+
+TEST(ClosedSequentialTest, BackScanPrunesNodes) {
+  SequenceDatabase db = RandomDb(77, 20, 12, 3);
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  ClosedSeqMinerOptions with, without;
+  with.min_support = 2;
+  without.min_support = 2;
+  without.backscan_pruning = false;
+  SeqMinerStats sw, swo;
+  MineClosedSequential(units, with, &sw);
+  MineClosedSequential(units, without, &swo);
+  EXPECT_LT(sw.nodes_visited, swo.nodes_visited);
+}
+
+// ---------------------------------------------------------------------------
+// Generator miner.
+
+std::map<Pattern, uint64_t> OracleGenerators(const UnitDatabase& units,
+                                             uint64_t min_sup) {
+  auto all = OracleFrequent(units, min_sup);
+  std::map<Pattern, uint64_t> out;
+  for (const auto& [p, sup] : all) {
+    bool generator = true;
+    // Check all proper subsequences via single deletions (sufficient by
+    // support monotonicity).
+    for (size_t k = 0; k < p.size() && generator; ++k) {
+      Pattern d = p.Erase(k);
+      uint64_t dsup =
+          d.empty() ? units.size() : OracleSupport(units, d);
+      if (dsup == sup) generator = false;
+    }
+    if (generator) out[p] = sup;
+  }
+  return out;
+}
+
+TEST(GeneratorMinerTest, HandExample) {
+  SequenceDatabase db = MakeDb({"a b c", "a b c", "b c a"});
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  GeneratorMinerOptions options;
+  options.min_support = 2;
+  auto got = ToMap(MineSequentialGenerators(units, options));
+  auto want = OracleGenerators(units, 2);
+  EXPECT_EQ(got, want);
+  // <b, c> has support 3, same as <b> and <c> -> not a generator.
+  EXPECT_EQ(got.count(P(db, "b c")), 0u);
+}
+
+TEST(GeneratorMinerTest, MatchesOracleOnRandomDatabases) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SequenceDatabase db = RandomDb(seed + 300, 6, 8, 4);
+    UnitDatabase units = UnitDatabase::WholeSequences(db);
+    for (uint64_t min_sup : {1u, 2u}) {
+      GeneratorMinerOptions options;
+      options.min_support = min_sup;
+      auto got = ToMap(MineSequentialGenerators(units, options));
+      auto want = OracleGenerators(units, min_sup);
+      EXPECT_EQ(got, want) << "seed=" << seed << " min_sup=" << min_sup;
+    }
+  }
+}
+
+TEST(GeneratorMinerTest, EveryFrequentPatternDominatedByGenerator) {
+  // Structural property: for every frequent pattern there is a generator
+  // subsequence with the same support.
+  SequenceDatabase db = RandomDb(55, 8, 8, 4);
+  UnitDatabase units = UnitDatabase::WholeSequences(db);
+  auto all = OracleFrequent(units, 2);
+  GeneratorMinerOptions options;
+  options.min_support = 2;
+  auto gens = ToMap(MineSequentialGenerators(units, options));
+  for (const auto& [p, sup] : all) {
+    bool covered = false;
+    for (const auto& [g, gsup] : gens) {
+      if (gsup == sup && g.IsSubsequenceOf(p)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace specmine

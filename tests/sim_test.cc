@@ -1,0 +1,192 @@
+// Unit tests for src/sim: trace collector, transaction & security
+// components, test-suite generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/itermine/qre_verifier.h"
+#include "src/sim/test_suite.h"
+
+namespace specmine {
+namespace {
+
+using sim::Figure4Pattern;
+using sim::Figure5Consequent;
+using sim::Figure5Premise;
+
+TEST(TraceCollectorTest, CollectsPerTraceEvents) {
+  TraceCollector collector;
+  collector.BeginTrace();
+  collector.Enter("A.f");
+  collector.Enter("B.g");
+  collector.EndTrace();
+  collector.BeginTrace();
+  collector.Enter("A.f");
+  collector.EndTrace();
+  SequenceDatabase db = collector.TakeDatabase();
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].size(), 2u);
+  EXPECT_EQ(db[1].size(), 1u);
+  EXPECT_EQ(db.dictionary().size(), 2u);
+}
+
+TEST(TraceCollectorTest, DropsEmptyTracesAndImplicitBegin) {
+  TraceCollector collector;
+  collector.BeginTrace();
+  collector.EndTrace();  // Empty: dropped.
+  collector.Enter("X.y");  // Implicit begin.
+  SequenceDatabase db = collector.TakeDatabase();
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].size(), 1u);
+}
+
+Pattern NamesToPattern(const SequenceDatabase& db,
+                       const std::vector<std::string>& names) {
+  Pattern p;
+  for (const auto& n : names) {
+    EventId id = db.dictionary().Lookup(n);
+    EXPECT_NE(id, kInvalidEvent) << n;
+    p = p.Extend(id);
+  }
+  return p;
+}
+
+TEST(TransactionComponentTest, CleanCommitEmitsFigure4Sequence) {
+  TraceCollector collector;
+  Rng rng(1);
+  sim::TransactionScenarioOptions options;
+  options.rollback_probability = 0.0;
+  options.noise_probability = 0.0;
+  collector.BeginTrace();
+  EXPECT_TRUE(sim::RunTransactionScenario(&collector, &rng, options));
+  SequenceDatabase db = collector.TakeDatabase();
+  ASSERT_EQ(db.size(), 1u);
+  const auto& want = Figure4Pattern();
+  ASSERT_EQ(db[0].size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(db.dictionary().Name(db[0][i]), want[i]) << "position " << i;
+  }
+}
+
+TEST(TransactionComponentTest, RollbackPathOmitsCommitChain) {
+  TraceCollector collector;
+  Rng rng(1);
+  sim::TransactionScenarioOptions options;
+  options.rollback_probability = 1.0;
+  options.noise_probability = 0.0;
+  collector.BeginTrace();
+  EXPECT_FALSE(sim::RunTransactionScenario(&collector, &rng, options));
+  SequenceDatabase db = collector.TakeDatabase();
+  EXPECT_EQ(db.dictionary().Lookup("TxManager.commit"), kInvalidEvent);
+  EXPECT_NE(db.dictionary().Lookup("TxManager.rollback"), kInvalidEvent);
+  EXPECT_NE(db.dictionary().Lookup("TransactionImpl.rollback"),
+            kInvalidEvent);
+}
+
+TEST(TransactionComponentTest, NoiseDoesNotBreakPatternInstances) {
+  sim::TestSuiteOptions options;
+  options.num_traces = 30;
+  options.min_runs_per_trace = 2;
+  options.max_runs_per_trace = 3;
+  options.transaction.rollback_probability = 0.0;
+  options.transaction.noise_probability = 0.5;
+  SequenceDatabase db = sim::GenerateTransactionTraces(options);
+  Pattern fig4 = NamesToPattern(db, Figure4Pattern());
+  // Every run is a commit run: at least 2 instances per trace.
+  uint64_t instances = CountInstances(fig4, db);
+  EXPECT_GE(instances, 60u);
+}
+
+TEST(TransactionComponentTest, CommitRateFollowsProbability) {
+  sim::TestSuiteOptions options;
+  options.num_traces = 200;
+  options.min_runs_per_trace = 1;
+  options.max_runs_per_trace = 1;
+  options.transaction.rollback_probability = 0.3;
+  SequenceDatabase db = sim::GenerateTransactionTraces(options);
+  size_t commits = 0;
+  EventId commit_ev = db.dictionary().Lookup("TxManager.commit");
+  ASSERT_NE(commit_ev, kInvalidEvent);
+  for (const Sequence& seq : db.sequences()) {
+    commits += std::count(seq.begin(), seq.end(), commit_ev) > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(commits) / 200.0, 0.7, 0.1);
+}
+
+TEST(SecurityComponentTest, SuccessfulAuthEmitsPremiseThenConsequent) {
+  TraceCollector collector;
+  Rng rng(2);
+  sim::SecurityScenarioOptions options;
+  options.login_failure_probability = 0.0;
+  options.noise_probability = 0.0;
+  collector.BeginTrace();
+  EXPECT_TRUE(sim::RunAuthenticationScenario(&collector, &rng, options));
+  SequenceDatabase db = collector.TakeDatabase();
+  ASSERT_EQ(db.size(), 1u);
+  std::vector<std::string> expected = Figure5Premise();
+  for (const auto& n : Figure5Consequent()) expected.push_back(n);
+  ASSERT_EQ(db[0].size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(db.dictionary().Name(db[0][i]), expected[i]) << i;
+  }
+}
+
+TEST(SecurityComponentTest, FailedLoginStopsBeforeCommit) {
+  TraceCollector collector;
+  Rng rng(3);
+  sim::SecurityScenarioOptions options;
+  options.login_failure_probability = 1.0;
+  options.noise_probability = 0.0;
+  collector.BeginTrace();
+  EXPECT_FALSE(sim::RunAuthenticationScenario(&collector, &rng, options));
+  SequenceDatabase db = collector.TakeDatabase();
+  EXPECT_NE(db.dictionary().Lookup("ClientLoginMod.login"), kInvalidEvent);
+  EXPECT_NE(db.dictionary().Lookup("ClientLoginMod.abort"), kInvalidEvent);
+  EXPECT_EQ(db.dictionary().Lookup("ClientLoginMod.commit"), kInvalidEvent);
+  EXPECT_EQ(db.dictionary().Lookup("SecAssoc.getPrincipal"), kInvalidEvent);
+}
+
+TEST(TestSuiteTest, GeneratesRequestedTraceCounts) {
+  sim::TestSuiteOptions options;
+  options.num_traces = 25;
+  SequenceDatabase txn = sim::GenerateTransactionTraces(options);
+  SequenceDatabase sec = sim::GenerateSecurityTraces(options);
+  EXPECT_EQ(txn.size(), 25u);
+  EXPECT_EQ(sec.size(), 25u);
+}
+
+TEST(TestSuiteTest, DeterministicForSeed) {
+  sim::TestSuiteOptions options;
+  options.num_traces = 10;
+  SequenceDatabase a = sim::GenerateTransactionTraces(options);
+  SequenceDatabase b = sim::GenerateTransactionTraces(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (SeqId s = 0; s < a.size(); ++s) EXPECT_EQ(a[s], b[s]);
+  options.seed += 1;
+  SequenceDatabase c = sim::GenerateTransactionTraces(options);
+  bool any_diff = false;
+  for (SeqId s = 0; s < a.size() && !any_diff; ++s) {
+    any_diff = !(a[s] == c[s]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TestSuiteTest, RunsPerTraceWithinBounds) {
+  sim::TestSuiteOptions options;
+  options.num_traces = 50;
+  options.min_runs_per_trace = 2;
+  options.max_runs_per_trace = 4;
+  options.transaction.rollback_probability = 0.0;
+  options.transaction.noise_probability = 0.0;
+  SequenceDatabase db = sim::GenerateTransactionTraces(options);
+  const size_t run_len = Figure4Pattern().size();
+  for (const Sequence& seq : db.sequences()) {
+    EXPECT_GE(seq.size(), 2 * run_len);
+    EXPECT_LE(seq.size(), 4 * run_len);
+    EXPECT_EQ(seq.size() % run_len, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace specmine

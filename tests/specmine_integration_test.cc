@@ -1,0 +1,225 @@
+// End-to-end integration tests: the SpecMiner facade recovers the planted
+// Figure-4 pattern and Figure-5 rule from the simulated JBoss components,
+// and the trace-file workflow round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/ltl/checker.h"
+#include "src/ltl/parser.h"
+#include "src/sim/test_suite.h"
+#include "src/specmine/spec_miner.h"
+#include "src/trace/trace_io.h"
+
+namespace specmine {
+namespace {
+
+Pattern NamesToPattern(const SequenceDatabase& db,
+                       const std::vector<std::string>& names) {
+  Pattern p;
+  for (const auto& n : names) {
+    EventId id = db.dictionary().Lookup(n);
+    EXPECT_NE(id, kInvalidEvent) << n;
+    p = p.Extend(id);
+  }
+  return p;
+}
+
+TEST(SpecMinerIntegrationTest, AbsoluteSupportConversion) {
+  SequenceDatabase db;
+  for (int i = 0; i < 100; ++i) db.AddTraceFromString("a b");
+  SpecMiner miner(std::move(db));
+  EXPECT_EQ(miner.AbsoluteSupport(0.5), 50u);
+  EXPECT_EQ(miner.AbsoluteSupport(0.001), 1u);   // Floors at 1.
+  EXPECT_EQ(miner.AbsoluteSupport(0.0), 1u);
+  EXPECT_EQ(miner.AbsoluteSupport(0.255), 26u);  // Ceil.
+}
+
+TEST(SpecMinerIntegrationTest, RecoversFigure4LongestPattern) {
+  // The paper's transaction case study: the longest closed iterative
+  // pattern over commit-only traces is the full Figure-4 protocol run.
+  sim::TestSuiteOptions suite;
+  suite.num_traces = 60;
+  suite.min_runs_per_trace = 1;
+  // At most 2 runs per trace: with more, two-run concatenations of the
+  // protocol (64-event patterns spanning consecutive transactions) become
+  // frequent too and legitimately outrank Figure 4 as "longest".
+  suite.max_runs_per_trace = 2;
+  suite.transaction.rollback_probability = 0.0;
+  suite.transaction.noise_probability = 0.4;
+  SequenceDatabase db = sim::GenerateTransactionTraces(suite);
+  Pattern fig4 = NamesToPattern(db, sim::Figure4Pattern());
+
+  SpecMiner miner(std::move(db));
+  PatternMiningConfig config;
+  config.min_support_fraction = 0.9;
+  config.closed = true;
+  PatternSet closed = miner.MinePatterns(config);
+  ASSERT_FALSE(closed.empty());
+  const MinedPattern& longest = closed.Longest();
+  EXPECT_EQ(longest.pattern, fig4)
+      << "longest = " << longest.pattern.ToString(miner.database().dictionary());
+  EXPECT_TRUE(closed.Contains(fig4));
+}
+
+TEST(SpecMinerIntegrationTest, RollbackVariantAlsoMined) {
+  sim::TestSuiteOptions suite;
+  suite.num_traces = 80;
+  suite.min_runs_per_trace = 2;
+  suite.max_runs_per_trace = 4;
+  suite.transaction.rollback_probability = 0.5;
+  suite.transaction.noise_probability = 0.2;
+  SequenceDatabase db = sim::GenerateTransactionTraces(suite);
+  EventId begin = db.dictionary().Lookup("TxManager.begin");
+  EventId rollback = db.dictionary().Lookup("TxManager.rollback");
+  ASSERT_NE(begin, kInvalidEvent);
+  ASSERT_NE(rollback, kInvalidEvent);
+
+  SpecMiner miner(std::move(db));
+  PatternMiningConfig config;
+  config.min_support_fraction = 0.5;
+  config.closed = true;
+  PatternSet closed = miner.MinePatterns(config);
+  // Some closed pattern embeds the JTA abort motif <begin, ..., rollback>.
+  Pattern motif{begin, rollback};
+  bool found = false;
+  for (const auto& it : closed.items()) {
+    if (motif.IsSubsequenceOf(it.pattern)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpecMinerIntegrationTest, RecoversFigure5Rule) {
+  sim::TestSuiteOptions suite;
+  suite.num_traces = 60;
+  suite.min_runs_per_trace = 1;
+  suite.max_runs_per_trace = 3;
+  suite.security.login_failure_probability = 0.0;
+  // Config lookups that find no entry and direct AuthenInfo.getName reads
+  // keep the Figure-5 two-event premise non-redundant (without them the
+  // Definition-5.2 tie-break folds it into a shorter-premise rule).
+  suite.security.missing_entry_probability = 0.1;
+  suite.security.direct_name_lookup_probability = 0.1;
+  suite.security.noise_probability = 0.4;
+  SequenceDatabase db = sim::GenerateSecurityTraces(suite);
+  Pattern premise = NamesToPattern(db, sim::Figure5Premise());
+  Pattern consequent = NamesToPattern(db, sim::Figure5Consequent());
+
+  SpecMiner miner(std::move(db));
+  RuleMiningConfig config;
+  config.min_s_support_fraction = 0.8;
+  // Under subsequence semantics a direct AuthenInfo.getName read occurring
+  // after an earlier config lookup in the same trace is also a temporal
+  // point of the premise pair (and is not followed by a login), so the
+  // rule's confidence sits below 1.0 — exactly the "imperfect traces"
+  // regime the paper mines in.
+  config.min_confidence = 0.8;
+  config.non_redundant = true;
+  RuleSet rules = miner.MineRules(config);
+  const Rule* rule = rules.Find(premise, consequent);
+  ASSERT_NE(rule, nullptr) << rules.ToString(miner.database().dictionary());
+  EXPECT_GE(rule->confidence(), 0.8);
+  EXPECT_GE(rule->s_support, 48u);
+}
+
+TEST(SpecMinerIntegrationTest, LoginFailuresLowerConfidence) {
+  sim::TestSuiteOptions suite;
+  suite.num_traces = 120;
+  suite.min_runs_per_trace = 1;
+  suite.max_runs_per_trace = 2;
+  suite.security.login_failure_probability = 0.2;
+  suite.security.noise_probability = 0.2;
+  SequenceDatabase db = sim::GenerateSecurityTraces(suite);
+  Pattern premise = NamesToPattern(db, sim::Figure5Premise());
+  Pattern consequent = NamesToPattern(db, sim::Figure5Consequent());
+  SpecMiner miner(std::move(db));
+  RuleMiningConfig config;
+  config.min_s_support_fraction = 0.5;
+  config.min_confidence = 0.5;
+  config.non_redundant = false;
+  RuleSet rules = miner.MineRules(config);
+  const Rule* rule = rules.Find(premise, consequent);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_LT(rule->confidence(), 1.0);
+  EXPECT_GT(rule->confidence(), 0.5);
+}
+
+TEST(SpecMinerIntegrationTest, FullReportIncludesLtlForms) {
+  sim::TestSuiteOptions suite;
+  suite.num_traces = 30;
+  suite.security.login_failure_probability = 0.0;
+  SequenceDatabase db = sim::GenerateSecurityTraces(suite);
+  SpecMiner miner(std::move(db));
+  PatternMiningConfig pattern_config;
+  pattern_config.min_support_fraction = 0.9;
+  RuleMiningConfig rule_config;
+  rule_config.min_s_support_fraction = 0.9;
+  rule_config.min_confidence = 0.9;
+  SpecificationReport report = miner.Mine(pattern_config, rule_config);
+  EXPECT_GT(report.patterns.size(), 0u);
+  EXPECT_GT(report.rules.size(), 0u);
+  ASSERT_EQ(report.ltl.size(), report.rules.size());
+  // Every LTL string parses back and, for confidence-1 rules, holds on all
+  // traces.
+  for (size_t i = 0; i < report.rules.size(); ++i) {
+    Result<LtlPtr> parsed = ParseLtl(report.ltl[i]);
+    ASSERT_TRUE(parsed.ok()) << report.ltl[i];
+    if (report.rules[i].confidence() >= 1.0) {
+      EXPECT_TRUE(HoldsOnAll(*parsed, miner.database()));
+    }
+  }
+  std::string text = report.ToText(miner.database().dictionary());
+  EXPECT_NE(text.find("Iterative patterns"), std::string::npos);
+  EXPECT_NE(text.find("Recurrent rules"), std::string::npos);
+  EXPECT_NE(text.find("LTL:"), std::string::npos);
+}
+
+TEST(SpecMinerIntegrationTest, TraceFileWorkflow) {
+  const char* path = "specmine_itest_traces.txt";
+  {
+    std::ofstream out(path);
+    out << "# test traces\n";
+    out << "lock use unlock\n";
+    out << "lock unlock lock unlock\n";
+    out << "lock x unlock\n";
+  }
+  Result<SpecMiner> miner = SpecMiner::FromTraceFile(path);
+  ASSERT_TRUE(miner.ok()) << miner.status().ToString();
+  EXPECT_EQ(miner->database().size(), 3u);
+  RuleMiningConfig config;
+  config.min_s_support_fraction = 1.0;
+  config.min_confidence = 1.0;
+  RuleSet rules = miner->MineRules(config);
+  EventId lock = miner->database().dictionary().Lookup("lock");
+  EventId unlock = miner->database().dictionary().Lookup("unlock");
+  EXPECT_NE(rules.Find(Pattern{lock}, Pattern{unlock}), nullptr);
+  std::remove(path);
+}
+
+TEST(SpecMinerIntegrationTest, MissingTraceFileIsError) {
+  Result<SpecMiner> miner = SpecMiner::FromTraceFile("/no/such/file");
+  EXPECT_FALSE(miner.ok());
+}
+
+TEST(SpecMinerIntegrationTest, FullVsClosedPatternCounts) {
+  sim::TestSuiteOptions suite;
+  suite.num_traces = 20;
+  suite.transaction.rollback_probability = 0.0;
+  SequenceDatabase db = sim::GenerateTransactionTraces(suite);
+  SpecMiner miner(std::move(db));
+  PatternMiningConfig closed_config;
+  closed_config.min_support_fraction = 0.9;
+  closed_config.closed = true;
+  PatternMiningConfig full_config = closed_config;
+  full_config.closed = false;
+  full_config.max_length = 6;  // Bound the explosion.
+  closed_config.max_length = 6;
+  size_t closed_count = miner.MinePatterns(closed_config).size();
+  size_t full_count = miner.MinePatterns(full_config).size();
+  EXPECT_LT(closed_count, full_count);
+}
+
+}  // namespace
+}  // namespace specmine

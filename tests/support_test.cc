@@ -1,0 +1,259 @@
+// Unit tests for src/support: Status/Result, RNG & samplers, strings,
+// stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/support/random.h"
+#include "src/support/status.h"
+#include "src/support/stopwatch.h"
+#include "src/support/strings.h"
+
+namespace specmine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::IOError("io").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ParseError("pe").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("int").code(), StatusCode::kInternal);
+  Status s = Status::InvalidArgument("threshold must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "threshold must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: threshold must be positive");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::NotFound("x"));
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, TakeValueMovesOut) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string v = r.TakeValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ReturnNotOkMacroTest, PropagatesErrors) {
+  auto fails = []() { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    SPECMINE_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  SplitMix64 a(1234567), b(1234567), c(7654321);
+  uint64_t a1 = a.Next();
+  uint64_t a2 = a.Next();
+  EXPECT_EQ(a1, b.Next());
+  EXPECT_EQ(a2, b.Next());
+  EXPECT_NE(a1, a2);
+  EXPECT_NE(a1, c.Next());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99), c(100);
+  bool all_equal = true;
+  bool any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next64();
+    uint64_t vb = b.Next64();
+    uint64_t vc = c.Next64();
+    all_equal = all_equal && (va == vb);
+    any_diff_c = any_diff_c || (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(21);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyNearP) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  double freq = static_cast<double>(hits) / n;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanIsClose) {
+  Rng rng(11);
+  for (double mean : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.Poisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.1) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, GeometricMeanIsClose) {
+  Rng rng(13);
+  const double p = 0.25;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Geometric(p);
+  // Mean of failures-before-success is (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.25);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  Rng rng(23);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewFavoursLowRanks) {
+  Rng rng(29);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  Rng rng(31);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(StopwatchTest, ReportsNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  int64_t a = sw.ElapsedNanos();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  int64_t b = sw.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedNanos(), b);
+}
+
+TEST(StringsTest, SplitAndTrimDropsEmptyFields) {
+  auto out = SplitAndTrim("  a  b   c ", ' ');
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "a");
+  EXPECT_EQ(out[1], "b");
+  EXPECT_EQ(out[2], "c");
+  EXPECT_TRUE(SplitAndTrim("", ' ').empty());
+  EXPECT_TRUE(SplitAndTrim("   ", ' ').empty());
+}
+
+TEST(StringsTest, SplitOnCommas) {
+  auto out = SplitAndTrim("x, y,,z", ',');
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "x");
+  EXPECT_EQ(out[1], "y");
+  EXPECT_EQ(out[2], "z");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("  \t "), "");
+  EXPECT_EQ(StripWhitespace("no-op"), "no-op");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("TxManager.begin", "TxManager"));
+  EXPECT_FALSE(StartsWith("Tx", "TxManager"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+}  // namespace
+}  // namespace specmine

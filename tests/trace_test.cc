@@ -1,0 +1,223 @@
+// Unit tests for src/trace: dictionary, sequences, database, position
+// index, IO round trips, stats.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/database_stats.h"
+#include "src/trace/event_dictionary.h"
+#include "src/trace/position_index.h"
+#include "src/trace/sequence_database.h"
+#include "src/trace/trace_io.h"
+
+namespace specmine {
+namespace {
+
+TEST(EventDictionaryTest, InternAssignsDenseIdsInOrder) {
+  EventDictionary dict;
+  EXPECT_EQ(dict.Intern("lock"), 0u);
+  EXPECT_EQ(dict.Intern("unlock"), 1u);
+  EXPECT_EQ(dict.Intern("lock"), 0u);  // Idempotent.
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(0), "lock");
+  EXPECT_EQ(dict.Name(1), "unlock");
+}
+
+TEST(EventDictionaryTest, LookupMissReturnsInvalid) {
+  EventDictionary dict;
+  dict.Intern("a");
+  EXPECT_EQ(dict.Lookup("a"), 0u);
+  EXPECT_EQ(dict.Lookup("zz"), kInvalidEvent);
+}
+
+TEST(EventDictionaryTest, NameOrPlaceholderForUnknownIds) {
+  EventDictionary dict;
+  dict.Intern("a");
+  EXPECT_EQ(dict.NameOrPlaceholder(0), "a");
+  EXPECT_EQ(dict.NameOrPlaceholder(17), "<ev17>");
+}
+
+TEST(SequenceTest, BasicAccessors) {
+  Sequence s{1, 2, 1};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[2], 1u);
+  s.Append(9);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[3], 9u);
+  EXPECT_TRUE(Sequence().empty());
+}
+
+TEST(SequenceDatabaseTest, AddTraceInternsNames) {
+  SequenceDatabase db;
+  SeqId id = db.AddTrace({"a", "b", "a"});
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].size(), 3u);
+  EXPECT_EQ(db[0][0], db[0][2]);
+  EXPECT_EQ(db.dictionary().size(), 2u);
+  EXPECT_EQ(db.TotalEvents(), 3u);
+}
+
+TEST(SequenceDatabaseTest, AddTraceFromString) {
+  SequenceDatabase db;
+  db.AddTraceFromString("  lock   use unlock ");
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].size(), 3u);
+  EXPECT_EQ(db.dictionary().Name(db[0][0]), "lock");
+  EXPECT_EQ(db.dictionary().Name(db[0][2]), "unlock");
+}
+
+SequenceDatabase MakeDb() {
+  SequenceDatabase db;
+  db.AddTraceFromString("a b a c a");
+  db.AddTraceFromString("b b c");
+  db.AddTraceFromString("c");
+  return db;
+}
+
+TEST(PositionIndexTest, PositionsAreSortedAndComplete) {
+  SequenceDatabase db = MakeDb();
+  PositionIndex index(db);
+  EventId a = db.dictionary().Lookup("a");
+  EventId b = db.dictionary().Lookup("b");
+  EventId c = db.dictionary().Lookup("c");
+  EXPECT_EQ(index.Positions(a, 0), (std::vector<Pos>{0, 2, 4}));
+  EXPECT_TRUE(index.Positions(a, 1).empty());
+  EXPECT_EQ(index.Positions(b, 1), (std::vector<Pos>{0, 1}));
+  EXPECT_EQ(index.Positions(c, 2), (std::vector<Pos>{0}));
+}
+
+TEST(PositionIndexTest, Counts) {
+  SequenceDatabase db = MakeDb();
+  PositionIndex index(db);
+  EventId a = db.dictionary().Lookup("a");
+  EventId b = db.dictionary().Lookup("b");
+  EventId c = db.dictionary().Lookup("c");
+  EXPECT_EQ(index.TotalCount(a), 3u);
+  EXPECT_EQ(index.TotalCount(b), 3u);
+  EXPECT_EQ(index.TotalCount(c), 3u);
+  EXPECT_EQ(index.SequenceCount(a), 1u);
+  EXPECT_EQ(index.SequenceCount(b), 2u);
+  EXPECT_EQ(index.SequenceCount(c), 3u);
+}
+
+TEST(PositionIndexTest, FirstAfterAndAtOrAfter) {
+  SequenceDatabase db = MakeDb();
+  PositionIndex index(db);
+  EventId a = db.dictionary().Lookup("a");
+  EXPECT_EQ(index.FirstAfter(a, 0, 0), 2u);
+  EXPECT_EQ(index.FirstAfter(a, 0, 2), 4u);
+  EXPECT_EQ(index.FirstAfter(a, 0, 4), kNoPos);
+  EXPECT_EQ(index.FirstAtOrAfter(a, 0, 0), 0u);
+  EXPECT_EQ(index.FirstAtOrAfter(a, 0, 3), 4u);
+  EXPECT_EQ(index.FirstAtOrAfter(a, 1, 0), kNoPos);
+}
+
+TEST(PositionIndexTest, LastBefore) {
+  SequenceDatabase db = MakeDb();
+  PositionIndex index(db);
+  EventId a = db.dictionary().Lookup("a");
+  EXPECT_EQ(index.LastBefore(a, 0, 4), 2u);
+  EXPECT_EQ(index.LastBefore(a, 0, 1), 0u);
+  EXPECT_EQ(index.LastBefore(a, 0, 0), kNoPos);
+}
+
+TEST(PositionIndexTest, CountInRange) {
+  SequenceDatabase db = MakeDb();
+  PositionIndex index(db);
+  EventId a = db.dictionary().Lookup("a");
+  EXPECT_EQ(index.CountInRange(a, 0, 0, 4), 3u);
+  EXPECT_EQ(index.CountInRange(a, 0, 1, 3), 1u);
+  EXPECT_EQ(index.CountInRange(a, 0, 3, 3), 0u);
+  EXPECT_EQ(index.CountInRange(a, 0, 3, 1), 0u);  // lo > hi.
+}
+
+TEST(TraceIoTest, TextRoundTrip) {
+  SequenceDatabase db = MakeDb();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTextTraces(db, out).ok());
+  std::istringstream in(out.str());
+  Result<SequenceDatabase> rt = ReadTextTraces(in);
+  ASSERT_TRUE(rt.ok());
+  ASSERT_EQ(rt->size(), db.size());
+  for (SeqId s = 0; s < db.size(); ++s) {
+    ASSERT_EQ((*rt)[s].size(), db[s].size());
+    for (Pos p = 0; p < db[s].size(); ++p) {
+      EXPECT_EQ(rt->dictionary().Name((*rt)[s][p]),
+                db.dictionary().Name(db[s][p]));
+    }
+  }
+}
+
+TEST(TraceIoTest, TextReaderSkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n a b \n# mid\nc\n");
+  Result<SequenceDatabase> db = ReadTextTraces(in);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ((*db)[0].size(), 2u);
+  EXPECT_EQ((*db)[1].size(), 1u);
+}
+
+TEST(TraceIoTest, ReadMissingFileFails) {
+  Result<SequenceDatabase> r = ReadTextTraceFile("/nonexistent/file.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(TraceIoTest, SpmRoundTripPreservesIds) {
+  SequenceDatabase db = MakeDb();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSpmTraces(db, out).ok());
+  std::istringstream in(out.str());
+  Result<SequenceDatabase> rt = ReadSpmTraces(in);
+  ASSERT_TRUE(rt.ok());
+  ASSERT_EQ(rt->size(), db.size());
+  for (SeqId s = 0; s < db.size(); ++s) {
+    EXPECT_EQ((*rt)[s], db[s]);  // Ids are preserved exactly.
+  }
+  EXPECT_EQ(rt->dictionary().size(), db.dictionary().size());
+}
+
+TEST(TraceIoTest, SpmRejectsMissingHeader) {
+  std::istringstream in("!events 1\na\n");
+  EXPECT_FALSE(ReadSpmTraces(in).ok());
+}
+
+TEST(TraceIoTest, SpmRejectsOutOfRangeId) {
+  std::istringstream in("!specmine-traces v1\n!events 1\na\n!trace 1 5\n");
+  Result<SequenceDatabase> r = ReadSpmTraces(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(TraceIoTest, SpmRejectsLengthMismatch) {
+  std::istringstream in("!specmine-traces v1\n!events 1\na\n!trace 2 0\n");
+  EXPECT_FALSE(ReadSpmTraces(in).ok());
+}
+
+TEST(DatabaseStatsTest, ComputesShape) {
+  SequenceDatabase db = MakeDb();
+  DatabaseStats st = ComputeStats(db);
+  EXPECT_EQ(st.num_sequences, 3u);
+  EXPECT_EQ(st.num_distinct_events, 3u);
+  EXPECT_EQ(st.total_events, 9u);
+  EXPECT_EQ(st.min_length, 1u);
+  EXPECT_EQ(st.max_length, 5u);
+  EXPECT_DOUBLE_EQ(st.avg_length, 3.0);
+  EXPECT_NE(st.ToString().find("3 sequences"), std::string::npos);
+}
+
+TEST(DatabaseStatsTest, EmptyDatabase) {
+  SequenceDatabase db;
+  DatabaseStats st = ComputeStats(db);
+  EXPECT_EQ(st.num_sequences, 0u);
+  EXPECT_EQ(st.total_events, 0u);
+  EXPECT_EQ(st.min_length, 0u);
+  EXPECT_DOUBLE_EQ(st.avg_length, 0.0);
+}
+
+}  // namespace
+}  // namespace specmine

@@ -1,0 +1,178 @@
+// Unit tests for src/twoevent: the Perracotta-style template matchers and
+// pairwise miner.
+
+#include <gtest/gtest.h>
+
+#include "src/twoevent/perracotta.h"
+
+namespace specmine {
+namespace {
+
+SequenceDatabase MakeDb(const std::vector<std::string>& traces) {
+  SequenceDatabase db;
+  for (const auto& t : traces) db.AddTraceFromString(t);
+  return db;
+}
+
+// Helper: check a template against the projection of a single trace.
+bool Matches(const std::string& trace, PairTemplate t) {
+  SequenceDatabase db = MakeDb({trace, "a b"});  // Ensure both interned.
+  EventId a = db.dictionary().Lookup("a");
+  EventId b = db.dictionary().Lookup("b");
+  return MatchesTemplate(db[0], a, b, t);
+}
+
+TEST(TemplateTest, ResponseAcceptsNoTrailingCause) {
+  EXPECT_TRUE(Matches("x y", PairTemplate::kResponse));     // Empty proj.
+  EXPECT_TRUE(Matches("b b", PairTemplate::kResponse));
+  EXPECT_TRUE(Matches("a b", PairTemplate::kResponse));
+  EXPECT_TRUE(Matches("a a b", PairTemplate::kResponse));
+  EXPECT_TRUE(Matches("b a b a b", PairTemplate::kResponse));
+  EXPECT_FALSE(Matches("a b a", PairTemplate::kResponse));
+  EXPECT_FALSE(Matches("a", PairTemplate::kResponse));
+}
+
+TEST(TemplateTest, AlternationStrict) {
+  EXPECT_TRUE(Matches("a b a b", PairTemplate::kAlternation));
+  EXPECT_TRUE(Matches("x a y b", PairTemplate::kAlternation));
+  EXPECT_FALSE(Matches("a a b", PairTemplate::kAlternation));
+  EXPECT_FALSE(Matches("b a b", PairTemplate::kAlternation));
+  EXPECT_FALSE(Matches("a b a", PairTemplate::kAlternation));
+  EXPECT_TRUE(Matches("x y", PairTemplate::kAlternation));  // Empty.
+}
+
+TEST(TemplateTest, MultiEffect) {
+  // (ab+)*: one cause, many effects.
+  EXPECT_TRUE(Matches("a b b a b", PairTemplate::kMultiEffect));
+  EXPECT_FALSE(Matches("a a b", PairTemplate::kMultiEffect));
+  EXPECT_FALSE(Matches("b a b", PairTemplate::kMultiEffect));
+}
+
+TEST(TemplateTest, MultiCause) {
+  // (a+b)*: many causes, one effect.
+  EXPECT_TRUE(Matches("a a b a b", PairTemplate::kMultiCause));
+  EXPECT_FALSE(Matches("a b b", PairTemplate::kMultiCause));
+  EXPECT_FALSE(Matches("b a b", PairTemplate::kMultiCause));
+}
+
+TEST(TemplateTest, EffectFirstAllowsPrefix) {
+  EXPECT_TRUE(Matches("b a b a b", PairTemplate::kEffectFirst));
+  EXPECT_TRUE(Matches("b b", PairTemplate::kEffectFirst));
+  EXPECT_FALSE(Matches("b a a b", PairTemplate::kEffectFirst));
+}
+
+TEST(TemplateTest, CauseFirst) {
+  EXPECT_TRUE(Matches("a b a a b b", PairTemplate::kCauseFirst));
+  EXPECT_FALSE(Matches("b a b", PairTemplate::kCauseFirst));
+  EXPECT_FALSE(Matches("a b a", PairTemplate::kCauseFirst));
+}
+
+TEST(TemplateTest, OneCauseOneEffect) {
+  EXPECT_TRUE(Matches("b a b b", PairTemplate::kOneCause));
+  EXPECT_FALSE(Matches("b a a b", PairTemplate::kOneCause));
+  EXPECT_TRUE(Matches("b a a b", PairTemplate::kOneEffect));
+  EXPECT_FALSE(Matches("b a b b", PairTemplate::kOneEffect));
+}
+
+TEST(TemplateTest, HierarchyAlternationImpliesAll) {
+  // Any projection matching Alternation matches every other template.
+  for (const char* trace : {"a b", "a b a b", "x a y b a b"}) {
+    for (PairTemplate t :
+         {PairTemplate::kResponse, PairTemplate::kMultiEffect,
+          PairTemplate::kMultiCause, PairTemplate::kEffectFirst,
+          PairTemplate::kCauseFirst, PairTemplate::kOneCause,
+          PairTemplate::kOneEffect}) {
+      ASSERT_TRUE(Matches(trace, PairTemplate::kAlternation)) << trace;
+      EXPECT_TRUE(Matches(trace, t))
+          << trace << " should match " << PairTemplateName(t);
+    }
+  }
+}
+
+TEST(PerracottaTest, MinesLockUnlockAlternation) {
+  SequenceDatabase db = MakeDb({
+      "lock unlock lock unlock",
+      "lock unlock",
+      "x lock y unlock z",
+  });
+  PerracottaOptions options;
+  options.min_satisfaction = 1.0;
+  std::vector<TwoEventRule> rules = MinePerracotta(db, options);
+  EventId lock = db.dictionary().Lookup("lock");
+  EventId unlock = db.dictionary().Lookup("unlock");
+  bool found = false;
+  for (const TwoEventRule& r : rules) {
+    if (r.cause == lock && r.effect == unlock) {
+      found = true;
+      EXPECT_EQ(r.strongest, PairTemplate::kAlternation);
+      EXPECT_EQ(r.relevant_traces, 3u);
+      EXPECT_DOUBLE_EQ(r.satisfaction(), 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerracottaTest, SatisfactionThresholdFilters) {
+  SequenceDatabase db = MakeDb({
+      "open close",
+      "open close",
+      "open",  // Violation: open never closed.
+  });
+  PerracottaOptions strict;
+  strict.min_satisfaction = 1.0;
+  EventId open = db.dictionary().Lookup("open");
+  EventId close = db.dictionary().Lookup("close");
+  bool found_strict = false;
+  for (const TwoEventRule& r : MinePerracotta(db, strict)) {
+    if (r.cause == open && r.effect == close) found_strict = true;
+  }
+  EXPECT_FALSE(found_strict);
+  PerracottaOptions lax;
+  lax.min_satisfaction = 0.6;
+  bool found_lax = false;
+  for (const TwoEventRule& r : MinePerracotta(db, lax)) {
+    if (r.cause == open && r.effect == close) {
+      found_lax = true;
+      EXPECT_NEAR(r.satisfaction(), 2.0 / 3.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_lax);
+}
+
+TEST(PerracottaTest, MinRelevantTracesFilters) {
+  SequenceDatabase db = MakeDb({"a b", "x y", "x y"});
+  PerracottaOptions options;
+  options.min_satisfaction = 1.0;
+  options.min_relevant_traces = 2;
+  EventId a = db.dictionary().Lookup("a");
+  for (const TwoEventRule& r : MinePerracotta(db, options)) {
+    EXPECT_NE(r.cause, a) << "pair with one relevant trace kept";
+  }
+}
+
+TEST(PerracottaTest, ToStringRendersNames) {
+  SequenceDatabase db = MakeDb({"a b"});
+  TwoEventRule r;
+  r.cause = db.dictionary().Lookup("a");
+  r.effect = db.dictionary().Lookup("b");
+  r.strongest = PairTemplate::kAlternation;
+  r.relevant_traces = 2;
+  r.satisfying_traces = 2;
+  std::string s = r.ToString(db.dictionary());
+  EXPECT_NE(s.find("a -> b"), std::string::npos);
+  EXPECT_NE(s.find("Alternation"), std::string::npos);
+}
+
+TEST(PairTemplateNameTest, AllNamed) {
+  EXPECT_STREQ(PairTemplateName(PairTemplate::kResponse), "Response");
+  EXPECT_STREQ(PairTemplateName(PairTemplate::kAlternation), "Alternation");
+  EXPECT_STREQ(PairTemplateName(PairTemplate::kMultiEffect), "MultiEffect");
+  EXPECT_STREQ(PairTemplateName(PairTemplate::kMultiCause), "MultiCause");
+  EXPECT_STREQ(PairTemplateName(PairTemplate::kEffectFirst), "EffectFirst");
+  EXPECT_STREQ(PairTemplateName(PairTemplate::kCauseFirst), "CauseFirst");
+  EXPECT_STREQ(PairTemplateName(PairTemplate::kOneCause), "OneCause");
+  EXPECT_STREQ(PairTemplateName(PairTemplate::kOneEffect), "OneEffect");
+}
+
+}  // namespace
+}  // namespace specmine

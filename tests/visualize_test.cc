@@ -1,0 +1,98 @@
+// Tests for the text visualization module (future-work item: a tool to
+// navigate and visualize mined specifications).
+
+#include <gtest/gtest.h>
+
+#include "src/specmine/visualize.h"
+
+namespace specmine {
+namespace {
+
+TEST(MscChartTest, LifelinesDerivedFromClassPrefixes) {
+  EventDictionary dict;
+  Pattern p{dict.Intern("TxManager.begin"), dict.Intern("XidFactory.newXid"),
+            dict.Intern("TxManager.commit")};
+  std::string chart = RenderMscChart(p, dict);
+  // Header names both lifelines once.
+  EXPECT_NE(chart.find("TxManager"), std::string::npos);
+  EXPECT_NE(chart.find("XidFactory"), std::string::npos);
+  // Rows list the method names in order.
+  size_t begin_pos = chart.find("1. begin");
+  size_t newxid_pos = chart.find("2. newXid");
+  size_t commit_pos = chart.find("3. commit");
+  ASSERT_NE(begin_pos, std::string::npos);
+  ASSERT_NE(newxid_pos, std::string::npos);
+  ASSERT_NE(commit_pos, std::string::npos);
+  EXPECT_LT(begin_pos, newxid_pos);
+  EXPECT_LT(newxid_pos, commit_pos);
+  // Each event row marks exactly one lifeline.
+  size_t stars = 0;
+  for (char c : chart) stars += (c == '*') ? 1 : 0;
+  EXPECT_EQ(stars, 3u);
+}
+
+TEST(MscChartTest, EventsWithoutDotGetGlobalLifeline) {
+  EventDictionary dict;
+  Pattern p{dict.Intern("lock"), dict.Intern("unlock")};
+  std::string chart = RenderMscChart(p, dict);
+  EXPECT_NE(chart.find("<global>"), std::string::npos);
+  EXPECT_NE(chart.find("1. lock"), std::string::npos);
+  EXPECT_NE(chart.find("2. unlock"), std::string::npos);
+}
+
+TEST(RuleCardTest, TwoColumnLayoutWithStats) {
+  EventDictionary dict;
+  Rule rule;
+  rule.premise = Pattern{dict.Intern("XmlLoginCI.getConfEntry"),
+                         dict.Intern("AuthenInfo.getName")};
+  rule.consequent = Pattern{dict.Intern("ClientLoginMod.login"),
+                            dict.Intern("ClientLoginMod.commit"),
+                            dict.Intern("SecAssoc.getPrincipal")};
+  rule.s_support = 60;
+  rule.i_support = 170;
+  rule.premise_points = 100;
+  rule.satisfied_points = 95;
+  std::string card = RenderRuleCard(rule, dict);
+  EXPECT_NE(card.find("Premise"), std::string::npos);
+  EXPECT_NE(card.find("Consequent"), std::string::npos);
+  EXPECT_NE(card.find("XmlLoginCI.getConfEntry"), std::string::npos);
+  EXPECT_NE(card.find("ClientLoginMod.commit"), std::string::npos);
+  EXPECT_NE(card.find("s-sup=60"), std::string::npos);
+  // Consequent longer than premise: empty premise cells render fine.
+  size_t lines = 0;
+  for (char c : card) lines += (c == '\n') ? 1 : 0;
+  EXPECT_GE(lines, 3u + 2u);  // 3 body rows + borders.
+}
+
+TEST(LogChartTest, RendersSeriesAndLabels) {
+  std::vector<ChartSeries> series = {
+      {"Full", {1000.0, 100.0, 10.0}},
+      {"Closed", {10.0, 5.0, 2.0}},
+  };
+  std::string chart =
+      RenderLogChart("Figure 1(a)", {"0.1%", "0.2%", "0.3%"}, series, 8);
+  EXPECT_NE(chart.find("Figure 1(a)"), std::string::npos);
+  EXPECT_NE(chart.find("A = Full"), std::string::npos);
+  EXPECT_NE(chart.find("B = Closed"), std::string::npos);
+  EXPECT_NE(chart.find("0.1%"), std::string::npos);
+  // The larger series must paint at least as many cells as the smaller.
+  size_t a_cells = 0, b_cells = 0;
+  for (char c : chart) {
+    a_cells += (c == 'A') ? 1 : 0;
+    b_cells += (c == 'B') ? 1 : 0;
+  }
+  EXPECT_GT(a_cells, 0u);
+  EXPECT_GT(b_cells, 0u);
+  EXPECT_GE(a_cells, b_cells);
+}
+
+TEST(LogChartTest, HandlesZerosAndSingleSeries) {
+  std::vector<ChartSeries> series = {{"only", {0.0, 50.0}}};
+  std::string chart = RenderLogChart("t", {"x0", "x1"}, series, 5);
+  EXPECT_NE(chart.find("A = only"), std::string::npos);
+  // Zero values paint nothing in their column group but do not crash.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace specmine

@@ -1,0 +1,12 @@
+// Thin entry point for the specmine CLI (logic in src/specmine/cli.*).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/specmine/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return specmine::RunCli(args, std::cout, std::cerr);
+}
