@@ -13,9 +13,12 @@
 #ifndef SPECMINE_BENCH_BENCH_UTIL_H_
 #define SPECMINE_BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/support/stopwatch.h"
 #include "src/synth/quest_generator.h"
@@ -82,6 +85,77 @@ inline std::pair<double, size_t> TimedCount(Fn&& fn) {
 inline void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// \brief Compiler barrier so timed expressions are not optimized away.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// \brief Machine-readable per-benchmark results, written as a JSON file so
+/// successive PRs have a perf trajectory to compare against
+/// (BENCH_core.json for the micro benchmarks).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  /// \brief Records one benchmark result in nanoseconds per operation.
+  void Record(const std::string& name, double ns_per_op) {
+    entries_.emplace_back(name, ns_per_op);
+  }
+
+  /// \brief Writes {"benchmarks": [{"name": ..., "ns_per_op": ...}, ...]}.
+  /// Returns false (with a message on stderr) on IO failure.
+  bool Write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.1f}%s\n",
+                   entries_[i].first.c_str(), entries_[i].second,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu benchmarks)\n", path_.c_str(),
+                entries_.size());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// \brief Times \p fn (ns per call), auto-calibrating the iteration count
+/// to fill ~\p budget_seconds of wall clock. Prints a table row and records
+/// the result in \p report when non-null.
+template <typename Fn>
+inline double RunMicroBenchmark(const std::string& name, Fn&& fn,
+                                JsonReport* report,
+                                double budget_seconds = 0.25) {
+  // Warm up and estimate the per-call cost.
+  Stopwatch sw;
+  int64_t calls = 0;
+  do {
+    fn();
+    ++calls;
+  } while (sw.ElapsedSeconds() < 0.01);
+  double estimate = sw.ElapsedSeconds() / static_cast<double>(calls);
+  int64_t iters = static_cast<int64_t>(budget_seconds / estimate);
+  if (iters < 1) iters = 1;
+
+  sw.Restart();
+  for (int64_t i = 0; i < iters; ++i) fn();
+  double ns = sw.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+  std::printf("%-28s %14.1f ns/op %12" PRId64 " iters\n", name.c_str(), ns,
+              iters);
+  if (report != nullptr) report->Record(name, ns);
+  return ns;
 }
 
 }  // namespace bench

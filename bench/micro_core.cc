@@ -1,9 +1,12 @@
-// Microbenchmarks (google-benchmark) of the hot paths shared by every
-// miner: position-index construction, QRE instance projection, temporal
-// point computation, subsequence embedding, and instance verification.
+// Microbenchmarks of the hot paths shared by every miner: position-index
+// construction, QRE instance projection, temporal point computation,
+// subsequence embedding, and instance verification.
+//
+// Results are printed as a table and written to BENCH_core.json (ns/op per
+// benchmark) so successive changes have a perf trajectory to compare
+// against.
 
-#include <benchmark/benchmark.h>
-
+#include "bench/bench_util.h"
 #include "src/itermine/projection.h"
 #include "src/itermine/qre_verifier.h"
 #include "src/rulemine/temporal_points.h"
@@ -12,6 +15,10 @@
 
 namespace specmine {
 namespace {
+
+using bench::DoNotOptimize;
+using bench::JsonReport;
+using bench::RunMicroBenchmark;
 
 const SequenceDatabase& Db() {
   static SequenceDatabase* db = [] {
@@ -55,88 +62,92 @@ Pattern HotPattern() {
   return best == kInvalidEvent ? p : p.Extend(best);
 }
 
-void BM_PositionIndexBuild(benchmark::State& state) {
+int Run() {
   const SequenceDatabase& db = Db();
-  for (auto _ : state) {
-    PositionIndex index(db);
-    benchmark::DoNotOptimize(index.num_events());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(db.TotalEvents()));
-}
-BENCHMARK(BM_PositionIndexBuild);
+  PositionIndex index(db);
+  const EventId hottest = HottestEvent();
+  const Pattern hot = HotPattern();
+  const InstanceList hot_instances = FindAllInstances(hot, db);
 
-void BM_SingleEventInstances(benchmark::State& state) {
-  PositionIndex index(Db());
-  EventId ev = HottestEvent();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SingleEventInstances(index, ev).size());
-  }
-}
-BENCHMARK(BM_SingleEventInstances);
+  std::printf("=== micro_core: shared hot-path benchmarks ===\n");
+  JsonReport report("BENCH_core.json");
 
-void BM_ForwardExtensions(benchmark::State& state) {
-  PositionIndex index(Db());
-  Pattern p = HotPattern();
-  InstanceList instances = FindAllInstances(p, Db());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ForwardExtensions(index, p, instances).size());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(instances.size()));
-}
-BENCHMARK(BM_ForwardExtensions);
+  RunMicroBenchmark(
+      "PositionIndexBuild",
+      [&] {
+        PositionIndex ix(db);
+        DoNotOptimize(ix.num_events());
+      },
+      &report);
 
-void BM_BackwardExtensions(benchmark::State& state) {
-  PositionIndex index(Db());
-  Pattern p = HotPattern();
-  InstanceList instances = FindAllInstances(p, Db());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BackwardExtensions(index, p, instances).size());
-  }
-}
-BENCHMARK(BM_BackwardExtensions);
+  RunMicroBenchmark(
+      "SingleEventInstances",
+      [&] { DoNotOptimize(SingleEventInstances(index, hottest).size()); },
+      &report);
 
-void BM_QreFindInstances(benchmark::State& state) {
-  Pattern p = HotPattern();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(FindAllInstances(p, Db()).size());
-  }
-}
-BENCHMARK(BM_QreFindInstances);
+  RunMicroBenchmark(
+      "ForwardExtensions",
+      [&] {
+        DoNotOptimize(ForwardExtensions(index, hot, hot_instances).size());
+      },
+      &report);
 
-void BM_TemporalPoints(benchmark::State& state) {
-  Pattern p = HotPattern();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeTemporalPoints(p, Db()).TotalPoints());
-  }
-}
-BENCHMARK(BM_TemporalPoints);
+  RunMicroBenchmark(
+      "BackwardExtensions",
+      [&] {
+        DoNotOptimize(BackwardExtensions(index, hot, hot_instances).size());
+      },
+      &report);
 
-void BM_EarliestEmbedding(benchmark::State& state) {
-  Pattern p = HotPattern();
-  const SequenceDatabase& db = Db();
-  for (auto _ : state) {
-    size_t hits = 0;
-    for (const Sequence& seq : db.sequences()) {
-      if (EmbedsAt(p, seq, 0)) ++hits;
-    }
-    benchmark::DoNotOptimize(hits);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(db.size()));
-}
-BENCHMARK(BM_EarliestEmbedding);
+  // The miners' steady state: one workspace reused across every node, so
+  // the projection runs allocation-free.
+  ProjectionWorkspace ws;
+  ForwardExtensionMap forward_out;
+  RunMicroBenchmark(
+      "ForwardExtensionsReuse",
+      [&] {
+        ForwardExtensions(index, hot, hot_instances, &ws, &forward_out);
+        DoNotOptimize(forward_out.size());
+        ws.forward.Recycle(std::move(forward_out));
+      },
+      &report);
 
-void BM_CountOccurrences(benchmark::State& state) {
-  Pattern p = HotPattern();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(CountOccurrences(p, Db()));
-  }
+  RunMicroBenchmark(
+      "BackwardExtensionsReuse",
+      [&] {
+        DoNotOptimize(
+            BackwardExtensions(index, hot, hot_instances, &ws).size());
+      },
+      &report);
+
+  RunMicroBenchmark(
+      "QreFindInstances",
+      [&] { DoNotOptimize(FindAllInstances(hot, db).size()); }, &report);
+
+  RunMicroBenchmark(
+      "TemporalPoints",
+      [&] { DoNotOptimize(ComputeTemporalPoints(hot, db).TotalPoints()); },
+      &report);
+
+  RunMicroBenchmark(
+      "EarliestEmbedding",
+      [&] {
+        size_t hits = 0;
+        for (const Sequence& seq : db.sequences()) {
+          if (EmbedsAt(hot, seq, 0)) ++hits;
+        }
+        DoNotOptimize(hits);
+      },
+      &report);
+
+  RunMicroBenchmark(
+      "CountOccurrences", [&] { DoNotOptimize(CountOccurrences(hot, db)); },
+      &report);
+
+  return report.Write() ? 0 : 1;
 }
-BENCHMARK(BM_CountOccurrences);
 
 }  // namespace
 }  // namespace specmine
 
-BENCHMARK_MAIN();
+int main() { return specmine::Run(); }

@@ -1,6 +1,10 @@
 #include "src/itermine/closed_miner.h"
 
+#include <memory>
+
 #include "src/itermine/projection.h"
+#include "src/support/stopwatch.h"
+#include "src/support/thread_pool.h"
 
 namespace specmine {
 
@@ -12,6 +16,7 @@ struct Ctx {
   const ClosedIterMinerOptions* options;
   PatternSet* out;
   IterMinerStats* stats;
+  ProjectionWorkspace* ws;
 };
 
 void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
@@ -20,8 +25,10 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
 
   // Backward extensions first: they both decide backward absorption and
   // drive the subtree prunes, letting us skip the (costlier) forward
-  // projection for pruned subtrees.
-  auto backward = BackwardExtensions(*ctx->index, pattern, instances);
+  // projection for pruned subtrees. The result buffer lives in the
+  // workspace and is fully consumed before any recursive call.
+  const BackwardExtensionMap& backward =
+      BackwardExtensions(*ctx->index, pattern, instances, ctx->ws);
   bool backward_absorbed = false;
   for (const auto& [ev, ext] : backward) {
     if (ext.support != support) continue;
@@ -35,7 +42,8 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
     }
   }
 
-  auto forward = ForwardExtensions(*ctx->index, pattern, instances);
+  ForwardExtensionMap forward = ctx->ws->AcquireMap();
+  ForwardExtensions(*ctx->index, pattern, instances, ctx->ws, &forward);
   bool forward_absorbed = false;
   for (const auto& [ev, ext_instances] : forward) {
     if (ext_instances.size() == support) {
@@ -49,9 +57,11 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
       (ctx->options->infix_prune ||
        (ctx->options->infix_check && !backward_absorbed &&
         !forward_absorbed))) {
-    infix_absorbed = HasUniformInfixAbsorber(*ctx->db, pattern, instances);
+    infix_absorbed =
+        HasUniformInfixAbsorber(*ctx->db, pattern, instances, ctx->ws);
     if (infix_absorbed && ctx->options->infix_prune) {
       ++ctx->stats->subtrees_pruned;
+      ctx->ws->ReleaseMap(std::move(forward));
       return;  // P3: the subtree contains no closed pattern.
     }
     if (!ctx->options->infix_check) infix_absorbed = false;
@@ -62,14 +72,14 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
     ++ctx->stats->patterns_emitted;
   }
 
-  if (ctx->options->max_length != 0 &&
-      pattern.size() >= ctx->options->max_length) {
-    return;
+  if (ctx->options->max_length == 0 ||
+      pattern.size() < ctx->options->max_length) {
+    for (auto& [ev, ext_instances] : forward) {
+      if (ext_instances.size() < ctx->options->min_support) continue;
+      Grow(ctx, pattern.Extend(ev), ext_instances);
+    }
   }
-  for (auto& [ev, ext_instances] : forward) {
-    if (ext_instances.size() < ctx->options->min_support) continue;
-    Grow(ctx, pattern.Extend(ev), ext_instances);
-  }
+  ctx->ws->ReleaseMap(std::move(forward));
 }
 
 }  // namespace
@@ -81,13 +91,52 @@ PatternSet MineClosedIterative(const SequenceDatabase& db,
   if (stats == nullptr) stats = &local_stats;
   *stats = IterMinerStats{};
   PatternSet out;
+  Stopwatch sw;
   PositionIndex index(db);
-  Ctx ctx{&db, &index, &options, &out, stats};
+  stats->index_build_seconds = sw.ElapsedSeconds();
+  sw.Restart();
+  const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
+  if (num_threads > 1) {
+    // One job per frequent root; each worker owns a PatternSet, stats and
+    // workspace. Merging in root order reproduces the sequential DFS
+    // emission order (and stats) exactly — the closed miner has no
+    // truncation or external pruning callback.
+    const std::vector<EventId> roots =
+        FrequentRoots(index, options.min_support);
+    struct Job {
+      PatternSet out;
+      IterMinerStats stats;
+      ProjectionWorkspace ws;
+    };
+    std::vector<std::unique_ptr<Job>> jobs(roots.size());
+    for (size_t i = 0; i < roots.size(); ++i) {
+      jobs[i] = std::make_unique<Job>();
+    }
+    ThreadPool::ParallelFor(num_threads, roots.size(), [&](size_t i) {
+      Job& job = *jobs[i];
+      Ctx ctx{&db, &index, &options, &job.out, &job.stats, &job.ws};
+      Pattern p{roots[i]};
+      Grow(&ctx, p, SingleEventInstances(index, roots[i]));
+    });
+    for (const auto& job : jobs) {
+      stats->nodes_visited += job->stats.nodes_visited;
+      stats->patterns_emitted += job->stats.patterns_emitted;
+      stats->subtrees_pruned += job->stats.subtrees_pruned;
+      for (const MinedPattern& item : job->out.items()) {
+        out.Add(item.pattern, item.support);
+      }
+    }
+    stats->mine_seconds = sw.ElapsedSeconds();
+    return out;
+  }
+  ProjectionWorkspace ws;
+  Ctx ctx{&db, &index, &options, &out, stats, &ws};
   for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
     if (index.TotalCount(ev) < options.min_support) continue;
     Pattern p{ev};
     Grow(&ctx, p, SingleEventInstances(index, ev));
   }
+  stats->mine_seconds = sw.ElapsedSeconds();
   return out;
 }
 

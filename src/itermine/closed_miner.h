@@ -59,6 +59,10 @@ struct ClosedIterMinerOptions {
   /// deterministic protocol traces (the JBoss case study shape): every
   /// "skip one call of the protocol" subtree is entirely non-closed.
   bool infix_prune = true;
+  /// Worker threads for first-level subtree parallelism; 0 = hardware
+  /// concurrency, 1 = sequential. Output and stats are identical at every
+  /// setting (per-worker results merge deterministically in root order).
+  size_t num_threads = 0;
 };
 
 /// \brief Mines the closed frequent iterative patterns of \p db.

@@ -1,6 +1,10 @@
 #include "src/itermine/full_miner.h"
 
+#include <memory>
+
 #include "src/itermine/projection.h"
+#include "src/support/stopwatch.h"
+#include "src/support/thread_pool.h"
 
 namespace specmine {
 
@@ -11,6 +15,7 @@ struct Ctx {
   const IterMinerOptions* options;
   const std::function<bool(const Pattern&, uint64_t)>* sink;
   IterMinerStats* stats;
+  ProjectionWorkspace* ws;
   bool stop = false;
 };
 
@@ -30,11 +35,95 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
       pattern.size() >= ctx->options->max_length) {
     return;
   }
-  auto extensions = ForwardExtensions(*ctx->index, pattern, instances);
+  ForwardExtensionMap extensions = ctx->ws->AcquireMap();
+  ForwardExtensions(*ctx->index, pattern, instances, ctx->ws, &extensions);
   for (auto& [ev, ext_instances] : extensions) {
-    if (ctx->stop) return;
+    if (ctx->stop) break;
     if (ext_instances.size() < ctx->options->min_support) continue;
     Grow(ctx, pattern.Extend(ev), ext_instances);
+  }
+  ctx->ws->ReleaseMap(std::move(extensions));
+}
+
+// --------------------------------------------------------------------------
+// Parallel path: one job per frequent root event. Workers mine whole
+// subtrees into private buffers; the sink then replays the buffers on the
+// calling thread in root order, reproducing the sequential emission
+// sequence exactly (including sink-driven subtree skips and max_patterns
+// truncation), so user callbacks need no synchronization and the output
+// is identical at every thread count.
+
+struct Emission {
+  Pattern pattern;
+  uint64_t support;
+};
+
+struct SubtreeJob {
+  const PositionIndex* index;
+  const IterMinerOptions* options;
+  ProjectionWorkspace ws;
+  std::vector<Emission> emitted;  // DFS preorder.
+  size_t nodes_visited = 0;
+
+  void Grow(const Pattern& pattern, const InstanceList& instances) {
+    // No single job can contribute more emissions than the global cap, so
+    // stop buffering there — this bounds memory exactly like sequential
+    // truncation does for the non-pruning sinks that use max_patterns.
+    if (options->max_patterns != 0 &&
+        emitted.size() >= options->max_patterns) {
+      return;
+    }
+    ++nodes_visited;
+    emitted.push_back(Emission{pattern, instances.size()});
+    if (options->max_length != 0 && pattern.size() >= options->max_length) {
+      return;
+    }
+    ForwardExtensionMap extensions = ws.AcquireMap();
+    ForwardExtensions(*index, pattern, instances, &ws, &extensions);
+    for (auto& [ev, ext_instances] : extensions) {
+      if (ext_instances.size() < options->min_support) continue;
+      Grow(pattern.Extend(ev), ext_instances);
+    }
+    ws.ReleaseMap(std::move(extensions));
+  }
+};
+
+void ScanParallel(const PositionIndex& index, const IterMinerOptions& options,
+                  size_t num_threads,
+                  const std::function<bool(const Pattern&, uint64_t)>& sink,
+                  IterMinerStats* stats) {
+  const std::vector<EventId> roots = FrequentRoots(index, options.min_support);
+  std::vector<std::unique_ptr<SubtreeJob>> jobs(roots.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    jobs[i] = std::make_unique<SubtreeJob>();
+    jobs[i]->index = &index;
+    jobs[i]->options = &options;
+  }
+  ThreadPool::ParallelFor(num_threads, roots.size(), [&](size_t i) {
+    jobs[i]->Grow(Pattern{roots[i]}, SingleEventInstances(index, roots[i]));
+  });
+  // Replay: a sink returning false skips every deeper emission that
+  // follows (its subtree — preorder depth equals pattern length). Each
+  // job's buffer is freed as soon as it is replayed, so peak memory is
+  // the not-yet-replayed buffers, not the whole run's emissions.
+  size_t skip_below = 0;  // 0 = not skipping.
+  for (auto& job : jobs) {
+    stats->nodes_visited += job->nodes_visited;
+    for (const Emission& e : job->emitted) {
+      if (skip_below != 0) {
+        if (e.pattern.size() > skip_below) continue;
+        skip_below = 0;
+      }
+      ++stats->patterns_emitted;
+      bool grow_subtree = sink(e.pattern, e.support);
+      if (options.max_patterns != 0 &&
+          stats->patterns_emitted >= options.max_patterns) {
+        stats->truncated = true;
+        return;
+      }
+      if (!grow_subtree) skip_below = e.pattern.size();
+    }
+    job.reset();
   }
 }
 
@@ -47,14 +136,25 @@ void ScanFrequentIterative(
   IterMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = IterMinerStats{};
+  Stopwatch sw;
   PositionIndex index(db);
-  Ctx ctx{&index, &options, &sink, stats};
+  stats->index_build_seconds = sw.ElapsedSeconds();
+  sw.Restart();
+  const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
+  if (num_threads > 1) {
+    ScanParallel(index, options, num_threads, sink, stats);
+    stats->mine_seconds = sw.ElapsedSeconds();
+    return;
+  }
+  ProjectionWorkspace ws;
+  Ctx ctx{&index, &options, &sink, stats, &ws};
   for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
     if (ctx.stop) break;
     if (index.TotalCount(ev) < options.min_support) continue;
     Pattern p{ev};
     Grow(&ctx, p, SingleEventInstances(index, ev));
   }
+  stats->mine_seconds = sw.ElapsedSeconds();
 }
 
 PatternSet MineFrequentIterative(const SequenceDatabase& db,

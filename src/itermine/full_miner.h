@@ -23,6 +23,18 @@ struct IterMinerOptions {
   /// emitting this many patterns (0 = unbounded). The benchmark harness
   /// sets a generous cap and reports when it is hit.
   size_t max_patterns = 0;
+  /// Worker threads for first-level subtree parallelism; 0 = hardware
+  /// concurrency, 1 = today's exact sequential behavior. Emitted pattern
+  /// sets are identical at every setting (sinks run on the calling
+  /// thread, in sequential order); only nodes_visited can differ when a
+  /// sink prunes or max_patterns truncates, because workers may have
+  /// expanded nodes the sequential run never reached. One caveat: with
+  /// num_threads > 1, a sink that *prunes* (returns false) combined with
+  /// max_patterns may truncate earlier than the sequential run, because
+  /// each worker buffers at most max_patterns emissions per subtree
+  /// before replay-side skips are known (no in-tree caller combines the
+  /// two; set num_threads = 1 if you must).
+  size_t num_threads = 0;
 };
 
 /// \brief Statistics describing one miner run.
@@ -31,6 +43,8 @@ struct IterMinerStats {
   size_t patterns_emitted = 0;  ///< Patterns written to the output.
   size_t subtrees_pruned = 0;   ///< Closed miner: P1/P2 subtree prunes.
   bool truncated = false;       ///< True iff max_patterns stopped the run.
+  double index_build_seconds = 0.0;  ///< PositionIndex construction time.
+  double mine_seconds = 0.0;         ///< Pattern-growth time.
 };
 
 /// \brief Mines every frequent iterative pattern of \p db.

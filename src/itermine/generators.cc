@@ -21,6 +21,7 @@ PatternSet MineIterativeGenerators(const SequenceDatabase& db,
   IterMinerOptions scan;
   scan.min_support = options.min_support;
   scan.max_length = options.max_length;
+  scan.num_threads = options.num_threads;
   ScanFrequentIterative(
       db, scan,
       [&](const Pattern& p, uint64_t support) {

@@ -28,6 +28,9 @@ struct IterGeneratorMinerOptions {
   uint64_t min_support = 1;
   /// Maximum pattern length; 0 means unbounded.
   size_t max_length = 0;
+  /// Worker threads for the underlying scan (0 = hardware concurrency,
+  /// 1 = sequential); output is identical at every setting.
+  size_t num_threads = 0;
 };
 
 /// \brief Mines the frequent iterative generators of \p db.

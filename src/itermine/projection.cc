@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace specmine {
 
 InstanceList SingleEventInstances(const PositionIndex& index, EventId ev) {
   InstanceList out;
+  out.reserve(index.TotalCount(ev));
   const SequenceDatabase& db = index.db();
   for (SeqId s = 0; s < db.size(); ++s) {
     for (Pos p : index.Positions(ev, s)) {
@@ -16,6 +15,15 @@ InstanceList SingleEventInstances(const PositionIndex& index, EventId ev) {
     }
   }
   return out;
+}
+
+std::vector<EventId> FrequentRoots(const PositionIndex& index,
+                                   uint64_t min_support) {
+  std::vector<EventId> roots;
+  for (EventId ev = 0; ev < index.num_events(); ++ev) {
+    if (index.TotalCount(ev) >= min_support) roots.push_back(ev);
+  }
+  return roots;
 }
 
 namespace {
@@ -29,113 +37,161 @@ bool OccursInGaps(const PositionIndex& index, EventId ev,
   return index.CountInRange(ev, inst.seq, inst.start + 1, inst.end - 1) > 0;
 }
 
+// Stamps the pattern's alphabet into ws->alphabet and sizes the mark sets.
+void PrepareAlphabet(const Pattern& pattern, size_t num_events,
+                     ProjectionWorkspace* ws) {
+  ws->alphabet.EnsureSize(num_events);
+  ws->seen.EnsureSize(num_events);
+  ws->alphabet.Clear();
+  for (EventId ev : pattern) ws->alphabet.Set(ev);
+}
+
 }  // namespace
 
-std::map<EventId, InstanceList> ForwardExtensions(
-    const PositionIndex& index, const Pattern& pattern,
-    const InstanceList& instances) {
-  std::map<EventId, InstanceList> out;
+void ForwardExtensions(const PositionIndex& index, const Pattern& pattern,
+                       const InstanceList& instances,
+                       ProjectionWorkspace* ws, ForwardExtensionMap* out) {
   const SequenceDatabase& db = index.db();
-  const auto alphabet = pattern.Alphabet();
-  std::unordered_set<EventId> seen;
+  const size_t num_events = index.num_events();
+  PrepareAlphabet(pattern, num_events, ws);
+  ws->forward.Reset(num_events);
   for (const IterInstance& inst : instances) {
     const Sequence& seq = db[inst.seq];
-    seen.clear();
+    ws->seen.Clear();
     for (Pos p = inst.end + 1; p < seq.size(); ++p) {
       EventId ev = seq[p];
-      if (alphabet.count(ev) != 0) {
+      if (ev >= num_events) continue;  // Defensive; ids come from dict.
+      if (ws->alphabet.Test(ev)) {
         // First alphabet event after the instance: `ev` itself is a valid
         // extension (its exclusion set is exactly the alphabet and the
         // scanned segment contains none of it); nothing beyond it can be.
-        out[ev].push_back(IterInstance{inst.seq, inst.start, p});
+        ws->forward.Bucket(ev).push_back(IterInstance{inst.seq, inst.start, p});
         break;
       }
-      if (!seen.insert(ev).second) continue;  // Only the first occurrence.
+      if (!ws->seen.TestAndSet(ev)) continue;  // Only the first occurrence.
       if (OccursInGaps(index, ev, inst)) continue;
-      out[ev].push_back(IterInstance{inst.seq, inst.start, p});
+      ws->forward.Bucket(ev).push_back(IterInstance{inst.seq, inst.start, p});
     }
   }
-  return out;
+  ws->forward.Drain(out);
 }
 
-std::map<EventId, BackwardExtension> BackwardExtensions(
-    const PositionIndex& index, const Pattern& pattern,
-    const InstanceList& instances) {
-  std::map<EventId, BackwardExtension> out;
+const BackwardExtensionMap& BackwardExtensions(const PositionIndex& index,
+                                               const Pattern& pattern,
+                                               const InstanceList& instances,
+                                               ProjectionWorkspace* ws) {
   const SequenceDatabase& db = index.db();
-  const auto alphabet = pattern.Alphabet();
-  std::unordered_set<EventId> seen;
+  const size_t num_events = index.num_events();
+  PrepareAlphabet(pattern, num_events, ws);
+  ws->back.Reset(num_events);
   for (const IterInstance& inst : instances) {
     const Sequence& seq = db[inst.seq];
-    seen.clear();
+    ws->seen.Clear();
     for (Pos p = inst.start; p-- > 0;) {
       EventId ev = seq[p];
+      if (ev >= num_events) continue;  // Defensive; ids come from dict.
       bool adjacent = (p + 1 == inst.start);
-      if (alphabet.count(ev) != 0) {
-        BackwardExtension& ext = out[ev];
+      if (ws->alphabet.Test(ev)) {
+        BackwardExtension& ext = ws->back.Slot(ev);
         ++ext.support;
         ext.all_adjacent = ext.all_adjacent && adjacent;
         break;
       }
-      if (!seen.insert(ev).second) continue;
+      if (!ws->seen.TestAndSet(ev)) continue;
       if (OccursInGaps(index, ev, inst)) continue;
-      BackwardExtension& ext = out[ev];
+      BackwardExtension& ext = ws->back.Slot(ev);
       ++ext.support;
       ext.all_adjacent = ext.all_adjacent && adjacent;
     }
   }
+  std::vector<EventId>& touched = ws->back.touched();
+  std::sort(touched.begin(), touched.end());
+  ws->back_result.clear();
+  for (EventId ev : touched) {
+    ws->back_result.emplace_back(ev, ws->back.At(ev));
+  }
+  return ws->back_result;
+}
+
+bool HasUniformInfixAbsorber(const SequenceDatabase& db,
+                             const Pattern& pattern,
+                             const InstanceList& instances,
+                             ProjectionWorkspace* ws) {
+  assert(pattern.size() >= 2);
+  if (instances.empty()) return false;
+  const size_t num_events = db.dictionary().size();
+  PrepareAlphabet(pattern, num_events, ws);
+  const size_t num_gaps = pattern.size() - 1;
+
+  // Profile of the first instance; then intersect with each later one.
+  // A profile is the per-gap occurrence count vector of one out-of-alphabet
+  // event inside the instance span.
+  auto& common = ws->common;
+  bool result = false;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const IterInstance& inst = instances[i];
+    const Sequence& seq = db[inst.seq];
+    ws->profiles.Reset(num_events);
+    size_t gap = 0;  // Index of the gap we are currently inside.
+    for (Pos p = inst.start + 1; p <= inst.end; ++p) {
+      EventId ev = seq[p];
+      if (ev >= num_events) continue;  // Defensive; ids come from dict.
+      if (ws->alphabet.Test(ev)) {
+        // By the QRE this must be the next pattern event.
+        ++gap;
+        continue;
+      }
+      auto& profile = ws->profiles.Bucket(ev);
+      if (profile.empty()) profile.assign(num_gaps, 0);
+      ++profile[gap];
+    }
+    if (i == 0) {
+      ws->profiles.Drain(&common);
+    } else {
+      // Keep only events whose profile matches exactly.
+      auto& entries = common.entries();
+      size_t kept = 0;
+      for (auto& entry : entries) {
+        const auto* current = ws->profiles.FindTouched(entry.first);
+        if (current != nullptr && *current == entry.second) {
+          if (kept != static_cast<size_t>(&entry - entries.data())) {
+            entries[kept] = std::move(entry);
+          }
+          ++kept;
+        } else {
+          ws->profiles.Recycle(std::move(entry.second));
+        }
+      }
+      entries.resize(kept);
+    }
+    if (common.empty()) break;
+  }
+  result = !common.empty();
+  ws->profiles.Recycle(std::move(common));
+  return result;
+}
+
+ForwardExtensionMap ForwardExtensions(const PositionIndex& index,
+                                      const Pattern& pattern,
+                                      const InstanceList& instances) {
+  ProjectionWorkspace ws;
+  ForwardExtensionMap out;
+  ForwardExtensions(index, pattern, instances, &ws, &out);
   return out;
+}
+
+BackwardExtensionMap BackwardExtensions(const PositionIndex& index,
+                                        const Pattern& pattern,
+                                        const InstanceList& instances) {
+  ProjectionWorkspace ws;
+  return BackwardExtensions(index, pattern, instances, &ws);
 }
 
 bool HasUniformInfixAbsorber(const SequenceDatabase& db,
                              const Pattern& pattern,
                              const InstanceList& instances) {
-  assert(pattern.size() >= 2);
-  if (instances.empty()) return false;
-  const auto alphabet = pattern.Alphabet();
-  const size_t num_gaps = pattern.size() - 1;
-
-  // Profile of the first instance; then intersect with each later one.
-  // profile[ev] = per-gap occurrence counts of ev inside the instance.
-  std::unordered_map<EventId, std::vector<uint32_t>> common;
-  std::unordered_map<EventId, std::vector<uint32_t>> current;
-
-  for (size_t i = 0; i < instances.size(); ++i) {
-    const IterInstance& inst = instances[i];
-    const Sequence& seq = db[inst.seq];
-    current.clear();
-    size_t gap = 0;  // Index of the gap we are currently inside.
-    size_t matched = 1;  // pattern[0] is at inst.start.
-    for (Pos p = inst.start + 1; p <= inst.end; ++p) {
-      EventId ev = seq[p];
-      if (alphabet.count(ev) != 0) {
-        // By the QRE this must be the next pattern event.
-        ++matched;
-        ++gap;
-        continue;
-      }
-      auto [it, inserted] = current.try_emplace(ev);
-      if (inserted) it->second.assign(num_gaps, 0);
-      ++it->second[gap];
-    }
-    (void)matched;
-    if (i == 0) {
-      common = std::move(current);
-      current = {};
-    } else {
-      // Keep only events whose profile matches exactly.
-      for (auto it = common.begin(); it != common.end();) {
-        auto found = current.find(it->first);
-        if (found == current.end() || found->second != it->second) {
-          it = common.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-    if (common.empty()) return false;
-  }
-  return !common.empty();
+  ProjectionWorkspace ws;
+  return HasUniformInfixAbsorber(db, pattern, instances, &ws);
 }
 
 }  // namespace specmine

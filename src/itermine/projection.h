@@ -21,29 +21,29 @@
 //    pattern event (backward); both maps are injective, so
 //    sup(Q) == sup(P) implies a total one-to-one correspondence — the
 //    absorption condition of Definition 4.2.
+//
+// Hot-path design (README.md, "Index layout & threading"): every query
+// runs over dense epoch-stamped mark sets and per-event buckets held in a
+// reusable ProjectionWorkspace — no hashing, no std::map nodes, and in
+// steady state no heap allocation. The workspace-free overloads exist for
+// tests and one-off callers; the miners thread one workspace per worker.
 
 #ifndef SPECMINE_ITERMINE_PROJECTION_H_
 #define SPECMINE_ITERMINE_PROJECTION_H_
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "src/itermine/instance.h"
 #include "src/patterns/pattern.h"
+#include "src/support/event_marks.h"
+#include "src/support/extension_accumulator.h"
+#include "src/support/flat_event_map.h"
 
 namespace specmine {
 
-/// \brief Instances of the single-event pattern <ev>: every occurrence.
-InstanceList SingleEventInstances(const PositionIndex& index, EventId ev);
-
-/// \brief Instances of every one-event forward extension P++<e>.
-///
-/// Returns a map from extension event to the (sorted) instances of the
-/// extended pattern. Events with no valid extension are absent. The map is
-/// ordered so iteration is deterministic.
-std::map<EventId, InstanceList> ForwardExtensions(
-    const PositionIndex& index, const Pattern& pattern,
-    const InstanceList& instances);
+/// \brief Instances of every one-event forward extension, sorted by event.
+using ForwardExtensionMap = EventMap<InstanceList>;
 
 /// \brief Summary of a one-event backward extension <e>++P.
 struct BackwardExtension {
@@ -54,16 +54,84 @@ struct BackwardExtension {
   bool all_adjacent = true;
 };
 
+/// \brief Supports of every one-event backward extension, sorted by event.
+using BackwardExtensionMap = EventMap<BackwardExtension>;
+
+/// \brief Reusable scratch space for the projection queries: dense mark
+/// sets, extension buckets and result buffers. One per mining thread;
+/// never shared concurrently.
+struct ProjectionWorkspace {
+  EventMarkSet alphabet;
+  EventMarkSet seen;
+  ExtensionAccumulator<IterInstance> forward;
+
+  // Backward extensions: dense per-event slots, epoch-stamped, plus the
+  // reused result buffer (consumed before the next call by construction).
+  EpochSlots<BackwardExtension> back;
+  BackwardExtensionMap back_result;
+
+  // Infix-absorber profiles: per-event per-gap occurrence counts.
+  ExtensionAccumulator<uint32_t> profiles;
+  ExtensionAccumulator<uint32_t>::Map common;
+
+  // Free pool for ForwardExtensionMap shells (the entry vectors).
+  std::vector<ForwardExtensionMap> map_pool;
+
+  /// \brief Takes a cleared ForwardExtensionMap, reusing pooled capacity.
+  ForwardExtensionMap AcquireMap() {
+    if (map_pool.empty()) return ForwardExtensionMap();
+    ForwardExtensionMap m = std::move(map_pool.back());
+    map_pool.pop_back();
+    return m;
+  }
+
+  /// \brief Recycles a consumed extension map (buckets and shell).
+  void ReleaseMap(ForwardExtensionMap&& m) {
+    forward.Recycle(std::move(m));
+    map_pool.push_back(std::move(m));
+  }
+};
+
+/// \brief Instances of the single-event pattern <ev>: every occurrence.
+InstanceList SingleEventInstances(const PositionIndex& index, EventId ev);
+
+/// \brief The events frequent enough to root a pattern subtree, ascending
+/// — the job list of the miners' first-level parallelism.
+std::vector<EventId> FrequentRoots(const PositionIndex& index,
+                                   uint64_t min_support);
+
+/// \brief Instances of every one-event forward extension P++<e>, written
+/// into \p out (cleared first). Events with no valid extension are absent;
+/// iteration order is ascending event id, so it is deterministic.
+void ForwardExtensions(const PositionIndex& index, const Pattern& pattern,
+                       const InstanceList& instances,
+                       ProjectionWorkspace* ws, ForwardExtensionMap* out);
+
 /// \brief Supports (and adjacency) of every one-event backward extension.
-std::map<EventId, BackwardExtension> BackwardExtensions(
-    const PositionIndex& index, const Pattern& pattern,
-    const InstanceList& instances);
+/// The returned reference lives in \p ws and is valid until the next
+/// BackwardExtensions call on the same workspace.
+const BackwardExtensionMap& BackwardExtensions(const PositionIndex& index,
+                                               const Pattern& pattern,
+                                               const InstanceList& instances,
+                                               ProjectionWorkspace* ws);
 
 /// \brief True iff some event e outside alphabet(pattern) occurs with an
 /// identical, somewhere-non-zero per-gap count profile in every instance —
 /// in which case inserting e with those multiplicities yields a
 /// super-sequence with equal support and total instance correspondence
 /// (pattern is not closed). Requires pattern.size() >= 2.
+bool HasUniformInfixAbsorber(const SequenceDatabase& db,
+                             const Pattern& pattern,
+                             const InstanceList& instances,
+                             ProjectionWorkspace* ws);
+
+/// \brief Workspace-free conveniences for tests and one-off callers.
+ForwardExtensionMap ForwardExtensions(const PositionIndex& index,
+                                      const Pattern& pattern,
+                                      const InstanceList& instances);
+BackwardExtensionMap BackwardExtensions(const PositionIndex& index,
+                                        const Pattern& pattern,
+                                        const InstanceList& instances);
 bool HasUniformInfixAbsorber(const SequenceDatabase& db,
                              const Pattern& pattern,
                              const InstanceList& instances);

@@ -1,8 +1,7 @@
 #include "src/rulemine/premise_miner.h"
 
-#include <unordered_set>
-
 #include "src/seqmine/occurrence_engine.h"
+#include "src/support/event_marks.h"
 
 namespace specmine {
 
@@ -51,9 +50,18 @@ bool InsertionPreservesPoints(const SequenceDatabase& db,
 // forms is Definition-5.2-redundant to the extended premise's rule, and
 // (because forward growth preserves the equivalence) so are all rules of
 // its extensions.
+// Reusable scratch for InsertionEquivalentExists: a dense mark set plus
+// the candidate list it deduplicates, shared across every premise of one
+// scan so the hot path allocates nothing.
+struct InsertionScratch {
+  EventMarkSet seen;
+  std::vector<EventId> candidates;
+};
+
 bool InsertionEquivalentExists(const SequenceDatabase& db,
                                const Pattern& premise,
-                               const TemporalPointSet& points) {
+                               const TemporalPointSet& points,
+                               InsertionScratch* scratch) {
   const size_t n = premise.size();
   const EventId last = premise.last();
   Pattern stem(std::vector<EventId>(premise.events().begin(),
@@ -78,11 +86,17 @@ bool InsertionEquivalentExists(const SequenceDatabase& db,
       if (head_end == kNoPos) continue;
       from = head_end + 1;
     }
-    std::unordered_set<EventId> candidates;
+    const size_t num_events = db.dictionary().size();
+    scratch->seen.EnsureSize(num_events);
+    scratch->seen.Clear();
+    scratch->candidates.clear();
     for (Pos p = from; p < first_point && p < probe_seq.size(); ++p) {
-      candidates.insert(probe_seq[p]);
+      if (probe_seq[p] >= num_events) continue;  // Defensive.
+      if (scratch->seen.TestAndSet(probe_seq[p])) {
+        scratch->candidates.push_back(probe_seq[p]);
+      }
     }
-    for (EventId x : candidates) {
+    for (EventId x : scratch->candidates) {
       Pattern stem_ins = stem.Insert(slot, x);
       if (InsertionPreservesPoints(db, stem, stem_ins, last, points)) {
         return true;
@@ -102,13 +116,14 @@ void ScanPremises(
   SeqMinerOptions scan_options;
   scan_options.min_support = options.min_s_support;
   scan_options.max_length = options.max_length;
+  InsertionScratch scratch;
   ScanFrequentSequential(
       units, scan_options,
       [&](const Pattern& p, uint64_t /*support*/,
           const std::vector<uint32_t>& /*supporting*/) {
         TemporalPointSet points = ComputeTemporalPoints(p, db);
         if (options.maximality_pruning &&
-            InsertionEquivalentExists(db, p, points)) {
+            InsertionEquivalentExists(db, p, points, &scratch)) {
           // A point-equivalent longer premise exists; its rules dominate
           // this premise's rules under Definition 5.2, and the equivalence
           // propagates to every forward extension — prune the subtree.

@@ -1,10 +1,46 @@
 #include "src/rulemine/rule_miner.h"
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "src/rulemine/consequent_miner.h"
 #include "src/rulemine/premise_miner.h"
 #include "src/seqmine/occurrence_engine.h"
+#include "src/support/thread_pool.h"
 
 namespace specmine {
+
+namespace {
+
+// Steps 3-4 input for one premise, mined by a worker: every candidate
+// rule of the premise, fully populated. Merging job outputs in premise
+// order reproduces the sequential candidate order exactly.
+struct PremiseJob {
+  Pattern premise;
+  TemporalPointSet points;
+  std::vector<Rule> rules;
+
+  void Mine(const SequenceDatabase& db,
+            const ConsequentMinerOptions& consequent_options) {
+    const uint64_t total_points = points.TotalPoints();
+    const uint64_t s_support = points.SupportingSequences();
+    PatternSet consequents = MineConsequents(db, points, consequent_options);
+    rules.reserve(consequents.size());
+    for (const MinedPattern& post : consequents.items()) {
+      Rule rule;
+      rule.premise = premise;
+      rule.consequent = post.pattern;
+      rule.s_support = s_support;
+      rule.premise_points = total_points;
+      rule.satisfied_points = post.support;
+      rule.i_support = CountOccurrences(rule.Concatenation(), db);
+      rules.push_back(std::move(rule));
+    }
+  }
+};
+
+}  // namespace
 
 RuleSet MineRecurrentRules(const SequenceDatabase& db,
                            const RuleMinerOptions& options,
@@ -23,40 +59,67 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
   consequent_options.max_length = options.max_consequent_length;
   consequent_options.closed_pruning = options.non_redundant;
 
+  const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
   RuleSet candidates;
-  // Step 1: enumerate premises; Step 2: their temporal points arrive with
-  // each premise.
-  ScanPremises(
-      db, premise_options,
-      [&](const Pattern& premise, const TemporalPointSet& points) {
-        if (stats->truncated) return false;
-        ++stats->premises_enumerated;
-        const uint64_t total_points = points.TotalPoints();
-        const uint64_t s_support = points.SupportingSequences();
-        if (total_points == 0) return true;
+  if (num_threads > 1 && options.max_rules == 0) {
+    // Steps 1-2 stay sequential (the premise scan's maximality pruning is
+    // interactive); the per-premise Steps 3-4 — the dominant cost — fan
+    // out across the pool and merge in premise order.
+    std::vector<std::unique_ptr<PremiseJob>> jobs;
+    ScanPremises(
+        db, premise_options,
+        [&](const Pattern& premise, const TemporalPointSet& points) {
+          ++stats->premises_enumerated;
+          if (points.TotalPoints() == 0) return true;
+          jobs.push_back(std::make_unique<PremiseJob>(
+              PremiseJob{premise, points, {}}));
+          return true;
+        });
+    ThreadPool::ParallelFor(num_threads, jobs.size(), [&](size_t i) {
+      jobs[i]->Mine(db, consequent_options);
+    });
+    for (auto& job : jobs) {
+      for (Rule& rule : job->rules) {
+        candidates.Add(std::move(rule));
+        ++stats->candidate_rules;
+      }
+    }
+  } else {
+    // Step 1: enumerate premises; Step 2: their temporal points arrive
+    // with each premise.
+    ScanPremises(
+        db, premise_options,
+        [&](const Pattern& premise, const TemporalPointSet& points) {
+          if (stats->truncated) return false;
+          ++stats->premises_enumerated;
+          const uint64_t total_points = points.TotalPoints();
+          const uint64_t s_support = points.SupportingSequences();
+          if (total_points == 0) return true;
 
-        // Step 3: consequents above the confidence-derived threshold.
-        PatternSet consequents =
-            MineConsequents(db, points, consequent_options);
-        for (const MinedPattern& post : consequents.items()) {
-          Rule rule;
-          rule.premise = premise;
-          rule.consequent = post.pattern;
-          rule.s_support = s_support;
-          rule.premise_points = total_points;
-          rule.satisfied_points = post.support;
-          // Step 4 input: the i-support of the concatenation.
-          rule.i_support = CountOccurrences(rule.Concatenation(), db);
-          candidates.Add(std::move(rule));
-          ++stats->candidate_rules;
-          if (options.max_rules != 0 &&
-              stats->candidate_rules >= options.max_rules) {
-            stats->truncated = true;
-            return false;
+          // Step 3: consequents above the confidence-derived threshold.
+          // The i-support scan (the expensive part of Step 4's input) is
+          // computed per rule so max_rules truncation stops it early.
+          PatternSet consequents =
+              MineConsequents(db, points, consequent_options);
+          for (const MinedPattern& post : consequents.items()) {
+            Rule rule;
+            rule.premise = premise;
+            rule.consequent = post.pattern;
+            rule.s_support = s_support;
+            rule.premise_points = total_points;
+            rule.satisfied_points = post.support;
+            rule.i_support = CountOccurrences(rule.Concatenation(), db);
+            candidates.Add(std::move(rule));
+            ++stats->candidate_rules;
+            if (options.max_rules != 0 &&
+                stats->candidate_rules >= options.max_rules) {
+              stats->truncated = true;
+              return false;
+            }
           }
-        }
-        return !stats->truncated;
-      });
+          return !stats->truncated;
+        });
+  }
 
   // Step 4: instance-support filter.
   RuleSet filtered;

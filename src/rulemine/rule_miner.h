@@ -32,6 +32,11 @@ struct RuleMinerOptions {
   RedundancyOptions redundancy;
   /// Safety valve: stop after this many candidate rules (0 = unbounded).
   size_t max_rules = 0;
+  /// Worker threads for per-premise consequent mining; 0 = hardware
+  /// concurrency, 1 = sequential. Rule sets are identical at every
+  /// setting; the parallel path is used only when max_rules == 0 (the
+  /// truncating path stays sequential to preserve its early stop).
+  size_t num_threads = 0;
 };
 
 /// \brief Statistics describing one rule-miner run.

@@ -27,17 +27,26 @@ std::vector<Pos> OccurrencePoints(const Pattern& pattern, const Sequence& seq,
   std::vector<Pos> points;
   if (pattern.empty()) return points;
   const EventId last = pattern.last();
-  Pos prefix_end;
-  if (pattern.size() == 1) {
-    // Every occurrence of the single event at or after begin is a point.
-    prefix_end = begin == 0 ? kNoPos : begin - 1;  // "ends before begin"
-  } else {
-    Pattern prefix(std::vector<EventId>(pattern.events().begin(),
-                                        pattern.events().end() - 1));
-    prefix_end = EarliestEmbeddingEnd(prefix, seq, begin);
+  Pos from = begin;
+  if (pattern.size() > 1) {
+    // Earliest embedding of the prefix (all events but the last), matched
+    // in place against pattern.events() — no temporary Pattern.
+    const std::vector<EventId>& events = pattern.events();
+    const size_t prefix_len = events.size() - 1;
+    size_t k = 0;
+    Pos prefix_end = kNoPos;
+    for (Pos p = begin; p < seq.size(); ++p) {
+      if (seq[p] == events[k]) {
+        ++k;
+        if (k == prefix_len) {
+          prefix_end = p;
+          break;
+        }
+      }
+    }
     if (prefix_end == kNoPos) return points;
+    from = prefix_end + 1;
   }
-  Pos from = (pattern.size() == 1) ? begin : prefix_end + 1;
   for (Pos p = from; p < seq.size(); ++p) {
     if (seq[p] == last) points.push_back(p);
   }

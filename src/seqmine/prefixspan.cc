@@ -1,7 +1,9 @@
 #include "src/seqmine/prefixspan.h"
 
 #include <algorithm>
-#include <map>
+
+#include "src/support/extension_accumulator.h"
+#include "src/support/flat_event_map.h"
 
 namespace specmine {
 
@@ -22,23 +24,45 @@ struct Entry {
   Pos last_match;  // Position of the last matched event.
 };
 
+using ExtensionMap = EventMap<std::vector<Entry>>;
+
 struct MinerContext {
   const UnitDatabase* units;
   const SeqMinerOptions* options;
   const std::function<bool(const Pattern&, uint64_t,
                            const std::vector<uint32_t>&)>* sink;
   SeqMinerStats* stats;
+  // Dense reusable grouping buckets plus a shell pool: after warmup the
+  // projection loop performs no heap allocation (README.md, "Index layout
+  // & threading").
+  ExtensionAccumulator<Entry> acc;
+  std::vector<ExtensionMap> map_pool;
+  std::vector<uint32_t> supporting;  // Reused sink argument buffer.
   bool stop = false;
+
+  ExtensionMap AcquireMap() {
+    if (map_pool.empty()) return ExtensionMap();
+    ExtensionMap m = std::move(map_pool.back());
+    map_pool.pop_back();
+    return m;
+  }
+  void ReleaseMap(ExtensionMap&& m) {
+    acc.Recycle(std::move(m));
+    map_pool.push_back(std::move(m));
+  }
 };
 
-// Collects, for every event e, the projected entries of P++<e>.
-// std::map keeps the extension order deterministic (ascending event id).
-void CollectExtensions(const MinerContext& ctx,
+// Collects, for every event e, the projected entries of P++<e>. Iteration
+// over the drained map is in ascending event id, so extension order stays
+// deterministic.
+void CollectExtensions(MinerContext* ctx,
                        const std::vector<Entry>& projection, bool at_root,
-                       std::map<EventId, std::vector<Entry>>* extensions) {
-  const SequenceDatabase& db = ctx.units->db();
+                       ExtensionMap* extensions) {
+  const SequenceDatabase& db = ctx->units->db();
+  const size_t num_events = db.dictionary().size();
+  ctx->acc.Reset(num_events);
   for (const Entry& entry : projection) {
-    const Unit& unit = ctx.units->units()[entry.unit];
+    const Unit& unit = ctx->units->units()[entry.unit];
     const Sequence& seq = db[unit.seq];
     Pos from = at_root ? unit.start : entry.last_match + 1;
     // Record only the first occurrence of each event in the suffix: one
@@ -46,34 +70,36 @@ void CollectExtensions(const MinerContext& ctx,
     // unit are appended consecutively, so checking the tail suffices.
     for (Pos p = from; p < seq.size(); ++p) {
       EventId ev = seq[p];
-      std::vector<Entry>& proj = (*extensions)[ev];
+      if (ev >= num_events) continue;  // Defensive; ids come from dict.
+      std::vector<Entry>& proj = ctx->acc.Bucket(ev);
       if (!proj.empty() && proj.back().unit == entry.unit) continue;
       proj.push_back(Entry{entry.unit, p});
     }
   }
+  ctx->acc.Drain(extensions);
 }
 
 void Grow(MinerContext* ctx, Pattern* prefix,
           const std::vector<Entry>& projection, bool at_root) {
   if (ctx->stop) return;
   ++ctx->stats->nodes_visited;
-  std::map<EventId, std::vector<Entry>> extensions;
-  CollectExtensions(*ctx, projection, at_root, &extensions);
+  ExtensionMap extensions = ctx->AcquireMap();
+  CollectExtensions(ctx, projection, at_root, &extensions);
   for (auto& [ev, proj] : extensions) {
-    if (ctx->stop) return;
+    if (ctx->stop) break;
     uint64_t support = proj.size();
     if (support < ctx->options->min_support) continue;
     Pattern candidate = prefix->Extend(ev);
-    std::vector<uint32_t> supporting;
-    supporting.reserve(proj.size());
-    for (const Entry& e : proj) supporting.push_back(e.unit);
+    ctx->supporting.clear();
+    ctx->supporting.reserve(proj.size());
+    for (const Entry& e : proj) ctx->supporting.push_back(e.unit);
     ++ctx->stats->patterns_emitted;
-    bool grow_subtree = (*ctx->sink)(candidate, support, supporting);
+    bool grow_subtree = (*ctx->sink)(candidate, support, ctx->supporting);
     if (ctx->options->max_patterns != 0 &&
         ctx->stats->patterns_emitted >= ctx->options->max_patterns) {
       ctx->stats->truncated = true;
       ctx->stop = true;
-      return;
+      break;
     }
     if (!grow_subtree) continue;
     if (ctx->options->max_length != 0 &&
@@ -82,6 +108,7 @@ void Grow(MinerContext* ctx, Pattern* prefix,
     }
     Grow(ctx, &candidate, proj, /*at_root=*/false);
   }
+  ctx->ReleaseMap(std::move(extensions));
 }
 
 }  // namespace
@@ -94,7 +121,11 @@ void ScanFrequentSequential(
   SeqMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = SeqMinerStats{};
-  MinerContext ctx{&units, &options, &sink, stats};
+  MinerContext ctx;
+  ctx.units = &units;
+  ctx.options = &options;
+  ctx.sink = &sink;
+  ctx.stats = stats;
   std::vector<Entry> root;
   root.reserve(units.size());
   for (uint32_t u = 0; u < units.size(); ++u) root.push_back(Entry{u, 0});

@@ -35,9 +35,10 @@ common options:
   --csv [--group-col N] [--event-col N] [--delim C] [--header]
 
 mine-patterns: --min-sup F (0.5) | --full | --generators | --max-len N
+               --threads N (0 = all cores)
 mine-rules:    --min-ssup F (0.5) --min-conf F (0.9) --min-isup N (1)
                --full | --backward | --rank
-               --max-pre N --max-post N
+               --max-pre N --max-post N --threads N (0 = all cores)
 gen-quest:     --d F --c F --n F --s F --seed N
 )";
 
@@ -74,13 +75,24 @@ class Args {
   double GetDouble(const std::string& name, double def) const {
     auto it = flags_.find(name);
     if (it == flags_.end() || it->second.empty()) return def;
-    return std::stod(it->second);
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      return def;  // Unparseable value: fall back instead of aborting.
+    }
   }
 
   uint64_t GetUint(const std::string& name, uint64_t def) const {
     auto it = flags_.find(name);
     if (it == flags_.end() || it->second.empty()) return def;
-    return std::stoull(it->second);
+    // stoull silently wraps negatives ("-1" -> 2^64-1); treat them as
+    // unparseable too and fall back instead of aborting downstream.
+    if (it->second[0] == '-') return def;
+    try {
+      return std::stoull(it->second);
+    } catch (const std::exception&) {
+      return def;  // Unparseable value: fall back instead of aborting.
+    }
   }
 
   const std::vector<std::string>& positional() const { return positional_; }
@@ -129,21 +141,26 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
   }
   SpecMiner miner(db.TakeValueOrDie());
   PatternSet patterns;
+  IterMinerStats stats;
   if (args.Has("generators")) {
     IterGeneratorMinerOptions options;
     options.min_support =
         miner.AbsoluteSupport(args.GetDouble("min-sup", 0.5));
     options.max_length = args.GetUint("max-len", 0);
-    patterns = MineIterativeGenerators(miner.database(), options);
+    options.num_threads = args.GetUint("threads", 0);
+    patterns = MineIterativeGenerators(miner.database(), options, &stats);
     patterns.SortBySupport();
   } else {
     PatternMiningConfig config;
     config.min_support_fraction = args.GetDouble("min-sup", 0.5);
     config.closed = !args.Has("full");
     config.max_length = args.GetUint("max-len", 0);
-    patterns = miner.MinePatterns(config);
+    config.num_threads = args.GetUint("threads", 0);
+    patterns = miner.MinePatterns(config, &stats);
   }
   out << patterns.size() << " patterns\n";
+  out << "timing: index build " << stats.index_build_seconds
+      << " s, mine " << stats.mine_seconds << " s\n";
   out << patterns.ToString(miner.database().dictionary());
   return 0;
 }
@@ -169,6 +186,7 @@ int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
   options.non_redundant = !args.Has("full");
   options.max_premise_length = args.GetUint("max-pre", 0);
   options.max_consequent_length = args.GetUint("max-post", 0);
+  options.num_threads = args.GetUint("threads", 0);
 
   const bool backward = args.Has("backward");
   RuleSet rules = backward ? MineBackwardRules(db, options)

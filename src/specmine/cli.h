@@ -17,6 +17,9 @@
 //   --full           mine the full frequent set instead of the closed set
 //   --generators     mine generators instead of the closed set
 //   --max-len N      maximum pattern length
+//   --threads N      worker threads (0 = all cores); output is identical
+//                    at every setting. The timing line reports the index
+//                    build / mine wall-clock split.
 // Rule options:
 //   --min-ssup F     s-support threshold as a fraction of |DB| (0.5)
 //   --min-conf F     confidence threshold                      (0.9)
@@ -24,6 +27,7 @@
 //   --full           mine all significant rules (no NR pruning)
 //   --backward       mine backward ("must have happened before") rules
 //   --rank           order output by lift instead of confidence
+//   --threads N      worker threads for consequent mining (0 = all cores)
 // gen-quest options:
 //   --d --c --n --s  QUEST parameters (thousands / averages)
 //   --seed N         PRNG seed

@@ -21,19 +21,22 @@ uint64_t SpecMiner::AbsoluteSupport(double fraction) const {
   return std::max<uint64_t>(abs, 1);
 }
 
-PatternSet SpecMiner::MinePatterns(const PatternMiningConfig& config) const {
+PatternSet SpecMiner::MinePatterns(const PatternMiningConfig& config,
+                                   IterMinerStats* stats) const {
   PatternSet out;
   if (config.closed) {
     ClosedIterMinerOptions options;
     options.min_support = AbsoluteSupport(config.min_support_fraction);
     options.max_length = config.max_length;
-    out = MineClosedIterative(db_, options);
+    options.num_threads = config.num_threads;
+    out = MineClosedIterative(db_, options, stats);
   } else {
     IterMinerOptions options;
     options.min_support = AbsoluteSupport(config.min_support_fraction);
     options.max_length = config.max_length;
     options.max_patterns = config.max_patterns;
-    out = MineFrequentIterative(db_, options);
+    options.num_threads = config.num_threads;
+    out = MineFrequentIterative(db_, options, stats);
   }
   out.SortBySupport();
   return out;
@@ -48,6 +51,7 @@ RuleSet SpecMiner::MineRules(const RuleMiningConfig& config) const {
   options.max_premise_length = config.max_premise_length;
   options.max_consequent_length = config.max_consequent_length;
   options.max_rules = config.max_rules;
+  options.num_threads = config.num_threads;
   RuleSet rules = MineRecurrentRules(db_, options);
   rules.SortByQuality();
   return rules;

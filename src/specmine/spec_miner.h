@@ -27,6 +27,9 @@ struct PatternMiningConfig {
   size_t max_length = 0;
   /// Cap on emitted patterns for the full set; 0 means unbounded.
   size_t max_patterns = 0;
+  /// Worker threads (0 = hardware concurrency, 1 = sequential). The mined
+  /// set is identical at every setting.
+  size_t num_threads = 0;
 };
 
 /// \brief Rule-mining configuration with database-relative thresholds.
@@ -44,6 +47,9 @@ struct RuleMiningConfig {
   size_t max_consequent_length = 0;
   /// Cap on candidate rules; 0 means unbounded.
   size_t max_rules = 0;
+  /// Worker threads (0 = hardware concurrency, 1 = sequential). The mined
+  /// set is identical at every setting.
+  size_t num_threads = 0;
 };
 
 /// \brief Facade over the mining pipelines.
@@ -59,7 +65,10 @@ class SpecMiner {
   const SequenceDatabase& database() const { return db_; }
 
   /// \brief Mines iterative patterns per \p config (support sorted).
-  PatternSet MinePatterns(const PatternMiningConfig& config) const;
+  /// \p stats, when non-null, receives the run's counters and the
+  /// index-build / mine wall-clock split.
+  PatternSet MinePatterns(const PatternMiningConfig& config,
+                          IterMinerStats* stats = nullptr) const;
 
   /// \brief Mines recurrent rules per \p config (quality sorted).
   RuleSet MineRules(const RuleMiningConfig& config) const;

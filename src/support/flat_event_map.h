@@ -1,0 +1,72 @@
+// EventMap: a flat, event-id-sorted association list — the return type of
+// the projection engine's extension queries.
+//
+// Replaces std::map in the miners' hot paths: one contiguous vector
+// instead of a node allocation per key, with the same deterministic
+// ascending-id iteration order. Lookups (count/at) are binary searches and
+// exist for tests and spot checks; the miners only iterate.
+
+#ifndef SPECMINE_SUPPORT_FLAT_EVENT_MAP_H_
+#define SPECMINE_SUPPORT_FLAT_EVENT_MAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "src/trace/event_dictionary.h"
+
+namespace specmine {
+
+/// \brief Flat (event id -> T) map sorted by event id.
+template <typename T>
+class EventMap {
+ public:
+  using value_type = std::pair<EventId, T>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// \brief Appends an entry; keys must arrive in ascending order.
+  void emplace_back(EventId ev, T value) {
+    assert(entries_.empty() || entries_.back().first < ev);
+    entries_.emplace_back(ev, std::move(value));
+  }
+
+  /// \brief Pointer to the value for \p ev, or nullptr.
+  const T* find(EventId ev) const {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), ev,
+        [](const value_type& e, EventId key) { return e.first < key; });
+    if (it == entries_.end() || it->first != ev) return nullptr;
+    return &it->second;
+  }
+
+  /// \brief 1 iff \p ev is present (std::map-compatible spelling).
+  size_t count(EventId ev) const { return find(ev) == nullptr ? 0 : 1; }
+
+  /// \brief Value for \p ev; the key must be present.
+  const T& at(EventId ev) const {
+    const T* v = find(ev);
+    assert(v != nullptr);
+    return *v;
+  }
+
+  /// \brief Mutable access to the backing vector (drain/recycle paths).
+  std::vector<value_type>& entries() { return entries_; }
+
+ private:
+  std::vector<value_type> entries_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_FLAT_EVENT_MAP_H_

@@ -1,0 +1,81 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace specmine {
+
+size_t ThreadPool::HardwareThreads() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  queues_.resize(n);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t worker, std::function<void()>* task) {
+  // Callers hold mu_. Own queue first (front), then steal (back).
+  if (!queues_[worker].empty()) {
+    *task = std::move(queues_[worker].front());
+    queues_[worker].pop_front();
+    return true;
+  }
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    auto& victim = queues_[(worker + k) % queues_.size()];
+    if (!victim.empty()) {
+      *task = std::move(victim.back());
+      victim.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return TryPop(worker, &task) || shutdown_; });
+      if (!task) return;  // Shutdown with nothing left to run.
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+}  // namespace specmine

@@ -1,0 +1,83 @@
+// A small work-stealing thread pool for the miners' first-level subtree
+// parallelism (README.md, "Index layout & threading").
+//
+// Each worker owns a deque: tasks are submitted round-robin, a worker pops
+// its own queue from the front and, when empty, steals from the back of a
+// sibling's queue. Subtree jobs are coarse, so contention is negligible;
+// stealing only matters when the root fan-out is skewed.
+
+#ifndef SPECMINE_SUPPORT_THREAD_POOL_H_
+#define SPECMINE_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specmine {
+
+/// \brief Fixed-size work-stealing thread pool.
+class ThreadPool {
+ public:
+  /// \brief Spawns \p num_threads workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// \brief Drains remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues one task. Safe from any thread.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished.
+  void Wait();
+
+  /// \brief Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief The hardware concurrency, at least 1.
+  static size_t HardwareThreads();
+
+  /// \brief Resolves an options-style thread count: 0 = hardware
+  /// concurrency, anything else verbatim up to a sanity cap (a garbage
+  /// request must not translate into millions of threads).
+  static size_t ResolveThreads(size_t requested) {
+    constexpr size_t kMaxThreads = 1024;
+    if (requested == 0) return HardwareThreads();
+    return requested < kMaxThreads ? requested : kMaxThreads;
+  }
+
+  /// \brief Runs fn(i) for every i in [0, n) on a fresh pool of
+  /// \p num_threads workers and blocks until all calls finish — the
+  /// shared scaffold of the miners' per-root-job fan-out.
+  template <typename Fn>
+  static void ParallelFor(size_t num_threads, size_t n, Fn&& fn) {
+    ThreadPool pool(num_threads);
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([i, &fn] { fn(i); });
+    }
+    pool.Wait();
+  }
+
+ private:
+  void WorkerLoop(size_t worker);
+  bool TryPop(size_t worker, std::function<void()>* task);
+
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;                  // Guards queues_, pending_, shutdown_.
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  size_t pending_ = 0;             // Submitted but not yet finished.
+  size_t next_queue_ = 0;          // Round-robin submission cursor.
+  bool shutdown_ = false;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_THREAD_POOL_H_

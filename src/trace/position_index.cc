@@ -1,48 +1,162 @@
 #include "src/trace/position_index.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace specmine {
 
-PositionIndex::PositionIndex(const SequenceDatabase& db) : db_(&db) {
-  const size_t num_events = db.dictionary().size();
-  const size_t num_seqs = db.size();
-  total_counts_.assign(num_events, 0);
-  sequence_counts_.assign(num_events, 0);
-  cells_.reserve(db.TotalEvents() / 2 + 16);
-  for (SeqId s = 0; s < num_seqs; ++s) {
-    const Sequence& seq = db[s];
+PositionIndex::PositionIndex(const SequenceDatabase& db,
+                             size_t dense_cell_limit)
+    : db_(&db),
+      num_events_(db.dictionary().size()),
+      num_seqs_(db.size()) {
+  // The CSR offsets are uint32; past 2^32-1 total events the counting
+  // passes would wrap and scatter out of bounds. Fail loudly rather than
+  // corrupt (a real database this large needs a sharded index first).
+  if (db.TotalEvents() >= kNoPos) {
+    std::fprintf(stderr,
+                 "PositionIndex: database has %zu events, beyond the 2^32-1 "
+                 "the CSR offsets can address\n",
+                 db.TotalEvents());
+    std::abort();
+  }
+  total_counts_.assign(num_events_, 0);
+  sequence_counts_.assign(num_events_, 0);
+  dense_ = num_events_ * num_seqs_ <= dense_cell_limit;
+  if (dense_) {
+    BuildDense();
+  } else {
+    BuildSparse();
+  }
+}
+
+void PositionIndex::BuildDense() {
+  const size_t num_cells = num_events_ * num_seqs_;
+  // Pass 1: per-cell counts, stored one slot ahead so the inclusive prefix
+  // sum below turns cell_ends_[c] into the *start* of cell c.
+  cell_ends_.assign(num_cells + 1, 0);
+  for (SeqId s = 0; s < num_seqs_; ++s) {
+    const Sequence& seq = (*db_)[s];
     for (Pos p = 0; p < seq.size(); ++p) {
       EventId ev = seq[p];
-      if (ev >= num_events) continue;  // Defensive; ids come from dictionary.
-      auto& positions = cells_[Key(ev, s)];
-      if (positions.empty()) ++sequence_counts_[ev];
-      positions.push_back(p);
+      if (ev >= num_events_) continue;  // Defensive; ids come from dict.
+      ++cell_ends_[static_cast<size_t>(ev) * num_seqs_ + s + 1];
       ++total_counts_[ev];
+    }
+  }
+  for (size_t c = 1; c <= num_cells; ++c) cell_ends_[c] += cell_ends_[c - 1];
+  positions_.resize(cell_ends_[num_cells]);
+  // Pass 2: scatter. Writing through cell_ends_[c] advances each start to
+  // its cell's exclusive end, which is exactly the lookup invariant:
+  // cell c spans [cell_ends_[c-1], cell_ends_[c]).
+  for (SeqId s = 0; s < num_seqs_; ++s) {
+    const Sequence& seq = (*db_)[s];
+    for (Pos p = 0; p < seq.size(); ++p) {
+      EventId ev = seq[p];
+      if (ev >= num_events_) continue;
+      const size_t cell = static_cast<size_t>(ev) * num_seqs_ + s;
+      positions_[cell_ends_[cell]++] = p;
+    }
+  }
+  cell_ends_.pop_back();  // The sentinel is dead after the scatter.
+  for (EventId ev = 0; ev < num_events_; ++ev) {
+    // Distinct sequences containing ev = non-empty cells in its row.
+    size_t prev = static_cast<size_t>(ev) * num_seqs_;
+    size_t count = 0;
+    uint32_t last = prev == 0 ? 0 : cell_ends_[prev - 1];
+    for (size_t c = prev; c < prev + num_seqs_; ++c) {
+      if (cell_ends_[c] != last) ++count;
+      last = cell_ends_[c];
+    }
+    sequence_counts_[ev] = count;
+  }
+}
+
+void PositionIndex::BuildSparse() {
+  // Pass 1: per-event totals and distinct-sequence counts.
+  std::vector<SeqId> last_seq(num_events_, static_cast<SeqId>(-1));
+  for (SeqId s = 0; s < num_seqs_; ++s) {
+    const Sequence& seq = (*db_)[s];
+    for (Pos p = 0; p < seq.size(); ++p) {
+      EventId ev = seq[p];
+      if (ev >= num_events_) continue;
+      ++total_counts_[ev];
+      if (last_seq[ev] != s) {
+        last_seq[ev] = s;
+        ++sequence_counts_[ev];
+      }
+    }
+  }
+  entry_begin_.assign(num_events_ + 1, 0);
+  for (EventId ev = 0; ev < num_events_; ++ev) {
+    entry_begin_[ev + 1] =
+        entry_begin_[ev] + static_cast<uint32_t>(sequence_counts_[ev]);
+  }
+  entry_seq_.resize(entry_begin_[num_events_]);
+  entry_offset_.resize(entry_begin_[num_events_]);
+
+  // Pass 2: scatter. Per-event cursors; iterating sequences in order keeps
+  // each event's cells sorted by sequence and each cell sorted by position.
+  std::vector<uint32_t> pos_cursor(num_events_ + 1, 0);
+  for (EventId ev = 0; ev < num_events_; ++ev) {
+    pos_cursor[ev + 1] = pos_cursor[ev] + static_cast<uint32_t>(total_counts_[ev]);
+  }
+  positions_.resize(pos_cursor[num_events_]);
+  std::vector<uint32_t> entry_cursor(entry_begin_.begin(),
+                                     entry_begin_.end() - 1);
+  std::fill(last_seq.begin(), last_seq.end(), static_cast<SeqId>(-1));
+  for (SeqId s = 0; s < num_seqs_; ++s) {
+    const Sequence& seq = (*db_)[s];
+    for (Pos p = 0; p < seq.size(); ++p) {
+      EventId ev = seq[p];
+      if (ev >= num_events_) continue;
+      if (last_seq[ev] != s) {
+        last_seq[ev] = s;
+        entry_seq_[entry_cursor[ev]] = s;
+        entry_offset_[entry_cursor[ev]] = pos_cursor[ev];
+        ++entry_cursor[ev];
+      }
+      positions_[pos_cursor[ev]++] = p;
     }
   }
 }
 
-const std::vector<Pos>& PositionIndex::Positions(EventId ev, SeqId seq) const {
-  auto it = cells_.find(Key(ev, seq));
-  return it == cells_.end() ? empty_ : it->second;
+PosSpan PositionIndex::SparsePositions(EventId ev, SeqId seq) const {
+  if (ev >= num_events_ || seq >= num_seqs_) return PosSpan();
+  const uint32_t lo = entry_begin_[ev];
+  const uint32_t hi = entry_begin_[ev + 1];
+  const uint32_t* first = entry_seq_.data() + lo;
+  const uint32_t* last = entry_seq_.data() + hi;
+  const uint32_t* it = std::lower_bound(first, last, seq);
+  if (it == last || *it != seq) return PosSpan();
+  const size_t entry = static_cast<size_t>(it - entry_seq_.data());
+  const uint32_t begin = entry_offset_[entry];
+  // The cell ends where the event's next cell starts (or the event ends,
+  // which is the next event's first offset or the end of positions_).
+  const uint32_t end =
+      entry + 1 < hi ? entry_offset_[entry + 1]
+                     : (hi < entry_offset_.size()
+                            ? entry_offset_[hi]
+                            : static_cast<uint32_t>(positions_.size()));
+  return PosSpan(positions_.data() + begin, positions_.data() + end);
 }
 
 Pos PositionIndex::FirstAfter(EventId ev, SeqId seq, Pos after) const {
-  const auto& ps = Positions(ev, seq);
-  auto it = std::upper_bound(ps.begin(), ps.end(), after);
+  const PosSpan ps = Positions(ev, seq);
+  const Pos* it = std::upper_bound(ps.begin(), ps.end(), after);
   return it == ps.end() ? kNoPos : *it;
 }
 
 Pos PositionIndex::FirstAtOrAfter(EventId ev, SeqId seq, Pos at) const {
-  const auto& ps = Positions(ev, seq);
-  auto it = std::lower_bound(ps.begin(), ps.end(), at);
+  const PosSpan ps = Positions(ev, seq);
+  const Pos* it = std::lower_bound(ps.begin(), ps.end(), at);
   return it == ps.end() ? kNoPos : *it;
 }
 
 Pos PositionIndex::LastBefore(EventId ev, SeqId seq, Pos before) const {
-  const auto& ps = Positions(ev, seq);
-  auto it = std::lower_bound(ps.begin(), ps.end(), before);
+  const PosSpan ps = Positions(ev, seq);
+  const Pos* it = std::lower_bound(ps.begin(), ps.end(), before);
   if (it == ps.begin()) return kNoPos;
   return *(it - 1);
 }
@@ -50,18 +164,10 @@ Pos PositionIndex::LastBefore(EventId ev, SeqId seq, Pos before) const {
 size_t PositionIndex::CountInRange(EventId ev, SeqId seq, Pos lo,
                                    Pos hi) const {
   if (lo > hi) return 0;
-  const auto& ps = Positions(ev, seq);
-  auto b = std::lower_bound(ps.begin(), ps.end(), lo);
-  auto e = std::upper_bound(ps.begin(), ps.end(), hi);
+  const PosSpan ps = Positions(ev, seq);
+  const Pos* b = std::lower_bound(ps.begin(), ps.end(), lo);
+  const Pos* e = std::upper_bound(b, ps.end(), hi);
   return static_cast<size_t>(e - b);
-}
-
-size_t PositionIndex::TotalCount(EventId ev) const {
-  return ev < total_counts_.size() ? total_counts_[ev] : 0;
-}
-
-size_t PositionIndex::SequenceCount(EventId ev) const {
-  return ev < sequence_counts_.size() ? sequence_counts_[ev] : 0;
 }
 
 }  // namespace specmine

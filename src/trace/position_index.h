@@ -1,11 +1,18 @@
 // PositionIndex: per-event sorted position lists, the core lookup structure
 // behind instance projection and temporal-point computation.
+//
+// Layout (see README.md, "Index layout & threading"): a flat two-level CSR.
+// All positions live in one contiguous array grouped by (event, sequence);
+// a dense per-(event, sequence) offset table gives O(1) cell lookup with no
+// hashing and sequential memory within a cell. Databases whose
+// events x sequences product would make the dense table too large fall back
+// to a compact per-event CSR over only the sequences that contain the event
+// (O(log k) lookup, linear memory).
 
 #ifndef SPECMINE_TRACE_POSITION_INDEX_H_
 #define SPECMINE_TRACE_POSITION_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/trace/sequence_database.h"
@@ -18,19 +25,69 @@ using Pos = uint32_t;
 /// \brief Sentinel for "no position".
 inline constexpr Pos kNoPos = ~Pos{0};
 
+/// \brief A non-owning view of a sorted, contiguous run of positions —
+/// what PositionIndex::Positions returns. Iterable like a vector.
+class PosSpan {
+ public:
+  PosSpan() = default;
+  PosSpan(const Pos* begin, const Pos* end) : begin_(begin), end_(end) {}
+
+  const Pos* begin() const { return begin_; }
+  const Pos* end() const { return end_; }
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  Pos operator[](size_t i) const { return begin_[i]; }
+  Pos front() const { return *begin_; }
+  Pos back() const { return *(end_ - 1); }
+
+ private:
+  const Pos* begin_ = nullptr;
+  const Pos* end_ = nullptr;
+};
+
+inline bool operator==(const PosSpan& s, const PosSpan& t) {
+  if (s.size() != t.size()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != t[i]) return false;
+  }
+  return true;
+}
+inline bool operator==(const PosSpan& s, const std::vector<Pos>& v) {
+  return s == PosSpan(v.data(), v.data() + v.size());
+}
+inline bool operator==(const std::vector<Pos>& v, const PosSpan& s) {
+  return s == v;
+}
+
 /// \brief For each (event, sequence), the sorted list of positions at which
 /// the event occurs.
 ///
-/// Built once per database in O(total events); all queries are binary
-/// searches. The miners use it to (a) find the first occurrence of an event
-/// after/before a position, and (b) count occurrences inside a span.
+/// Built once per database in O(total events + events x sequences); all
+/// queries are O(1) cell lookups plus binary searches. The miners use it to
+/// (a) find the first occurrence of an event after/before a position, and
+/// (b) count occurrences inside a span.
 class PositionIndex {
  public:
-  /// \brief Builds the index over \p db. The database must outlive the index.
-  explicit PositionIndex(const SequenceDatabase& db);
+  /// \brief Cells above which the dense offset table is abandoned for the
+  /// compact per-event CSR (64M cells = 256 MB of offsets).
+  static constexpr size_t kDefaultDenseCellLimit = size_t{1} << 26;
+
+  /// \brief Builds the index over \p db. The database must outlive the
+  /// index. \p dense_cell_limit exists for tests; leave it defaulted.
+  explicit PositionIndex(const SequenceDatabase& db,
+                         size_t dense_cell_limit = kDefaultDenseCellLimit);
 
   /// \brief Sorted positions of \p ev in sequence \p seq (empty if none).
-  const std::vector<Pos>& Positions(EventId ev, SeqId seq) const;
+  PosSpan Positions(EventId ev, SeqId seq) const {
+    if (dense_) {
+      if (ev >= num_events_ || seq >= num_seqs_) return PosSpan();
+      const size_t cell = static_cast<size_t>(ev) * num_seqs_ + seq;
+      const Pos* base = positions_.data();
+      return PosSpan(base + (cell == 0 ? 0 : cell_ends_[cell - 1]),
+                     base + cell_ends_[cell]);
+    }
+    return SparsePositions(ev, seq);
+  }
 
   /// \brief First position of \p ev in \p seq that is > \p after,
   /// or kNoPos.
@@ -47,30 +104,52 @@ class PositionIndex {
   size_t CountInRange(EventId ev, SeqId seq, Pos lo, Pos hi) const;
 
   /// \brief Total occurrences of \p ev across the database.
-  size_t TotalCount(EventId ev) const;
+  size_t TotalCount(EventId ev) const {
+    return ev < total_counts_.size() ? total_counts_[ev] : 0;
+  }
 
   /// \brief Number of sequences containing \p ev at least once.
-  size_t SequenceCount(EventId ev) const;
+  size_t SequenceCount(EventId ev) const {
+    return ev < sequence_counts_.size() ? sequence_counts_[ev] : 0;
+  }
 
   /// \brief Number of distinct events the index knows about.
-  size_t num_events() const { return total_counts_.size(); }
+  size_t num_events() const { return num_events_; }
+
+  /// \brief True iff the dense O(1) offset table is in use (false = the
+  /// compact fallback for huge events x sequences products).
+  bool dense_layout() const { return dense_; }
 
   /// \brief The indexed database.
   const SequenceDatabase& db() const { return *db_; }
 
  private:
+  void BuildDense();
+  void BuildSparse();
+  PosSpan SparsePositions(EventId ev, SeqId seq) const;
+
   const SequenceDatabase* db_;
-  // Sparse storage keyed by (event, sequence): only pairs with at least one
-  // occurrence hold an entry. A dense events x sequences layout would be
-  // quadratic in memory on paper-scale inputs (10k events x 5k sequences).
-  std::unordered_map<uint64_t, std::vector<Pos>> cells_;
+  size_t num_events_ = 0;
+  size_t num_seqs_ = 0;
+  bool dense_ = true;
+
+  // All positions, grouped by event then sequence, sorted within a cell.
+  std::vector<Pos> positions_;
+
+  // Dense layout: cell_ends_[ev * num_seqs_ + seq] = exclusive end of the
+  // cell's run in positions_ (its begin is the previous cell's end). One
+  // uint32 per cell; no hashing, O(1) lookup.
+  std::vector<uint32_t> cell_ends_;
+
+  // Sparse layout: per event, the ids of the sequences containing it
+  // (sorted) and each such cell's start offset into positions_. Cell ends
+  // are the next cell's start (or the event's end).
+  std::vector<uint32_t> entry_begin_;   // size num_events_+1, into the two:
+  std::vector<uint32_t> entry_seq_;     // sequence id per (event, seq) cell
+  std::vector<uint32_t> entry_offset_;  // positions_ start per cell
+
   std::vector<size_t> total_counts_;
   std::vector<size_t> sequence_counts_;
-  std::vector<Pos> empty_;
-
-  static uint64_t Key(EventId ev, SeqId seq) {
-    return (static_cast<uint64_t>(ev) << 32) | seq;
-  }
 };
 
 }  // namespace specmine
