@@ -7,9 +7,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/engine/engine.h"
 #include "src/ltl/checker.h"
 #include "src/ltl/translate.h"
-#include "src/rulemine/rule_miner.h"
 #include "src/specmine/monitor.h"
 #include "src/support/random.h"
 #include "src/support/strings.h"
@@ -54,14 +54,26 @@ std::vector<std::pair<const char*, const char*>> TestTraces() {
 }  // namespace
 
 int main() {
-  SequenceDatabase training = TrainingTraces();
+  // Mining runs through one Engine session over the training traces.
+  Result<Engine> session = Engine::Create(TrainingTraces());
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const Engine& engine = *session;
+  const SequenceDatabase& training = engine.database();
 
   // Mine the specification: always-holding, non-redundant rules.
-  RuleMinerOptions options;
-  options.min_s_support = static_cast<uint64_t>(0.3 * training.size());
-  options.min_confidence = 1.0;
-  options.non_redundant = true;
-  RuleSet spec = MineRecurrentRules(training, options);
+  RulesTask task;
+  task.options.min_s_support = static_cast<uint64_t>(0.3 * training.size());
+  task.options.min_confidence = 1.0;
+  task.options.non_redundant = true;
+  Result<RuleSet> mined = engine.CollectRules(task);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  RuleSet spec = mined.TakeValueOrDie();
   spec.SortByQuality();
   std::printf("mined specification (%zu rules), first few:\n", spec.size());
   std::vector<LtlPtr> formulas;

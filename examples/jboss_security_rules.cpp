@@ -5,9 +5,9 @@
 
 #include <cstdio>
 
+#include "src/engine/engine.h"
 #include "src/ltl/checker.h"
 #include "src/ltl/translate.h"
-#include "src/rulemine/rule_miner.h"
 #include "src/sim/test_suite.h"
 #include "src/trace/database_stats.h"
 
@@ -22,18 +22,29 @@ int main() {
   suite.security.missing_entry_probability = 0.1;
   suite.security.direct_name_lookup_probability = 0.1;
   suite.security.noise_probability = 0.3;
-  SequenceDatabase db = sim::GenerateSecurityTraces(suite);
+  Result<Engine> session = Engine::Create(sim::GenerateSecurityTraces(suite));
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const Engine& engine = *session;
+  const SequenceDatabase& db = engine.database();
   std::printf("collected traces: %s\n\n", ComputeStats(db).ToString().c_str());
 
-  RuleMinerOptions options;
-  options.min_s_support = static_cast<uint64_t>(0.8 * db.size());
-  options.min_confidence = 0.8;
-  options.non_redundant = true;
-  RuleSet rules = MineRecurrentRules(db, options);
+  RulesTask task;
+  task.options.min_s_support = static_cast<uint64_t>(0.8 * db.size());
+  task.options.min_confidence = 0.8;
+  task.options.non_redundant = true;
+  Result<RuleSet> mined = engine.CollectRules(task);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  RuleSet rules = mined.TakeValueOrDie();
   rules.SortByQuality();
 
   std::printf("non-redundant recurrent rules (s-sup >= %llu, conf >= 90%%):\n",
-              static_cast<unsigned long long>(options.min_s_support));
+              static_cast<unsigned long long>(task.options.min_s_support));
   for (const Rule& rule : rules.rules()) {
     std::printf("\n  %s\n", rule.ToString(db.dictionary()).c_str());
     LtlPtr ltl = RuleToLtl(rule, db.dictionary());

@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "src/itermine/closed_miner.h"
+#include "src/engine/engine.h"
 #include "src/sim/test_suite.h"
 #include "src/trace/database_stats.h"
 
@@ -20,16 +20,28 @@ int main() {
   suite.max_runs_per_trace = 2;
   suite.transaction.rollback_probability = 0.15;
   suite.transaction.noise_probability = 0.3;
-  SequenceDatabase db = sim::GenerateTransactionTraces(suite);
+  Result<Engine> session =
+      Engine::Create(sim::GenerateTransactionTraces(suite));
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const Engine& engine = *session;
+  const SequenceDatabase& db = engine.database();
   std::printf("collected traces: %s\n\n", ComputeStats(db).ToString().c_str());
 
-  ClosedIterMinerOptions options;
-  options.min_support = static_cast<uint64_t>(0.6 * db.size());
-  PatternSet closed = MineClosedIterative(db, options);
+  ClosedTask task;
+  task.options.min_support = static_cast<uint64_t>(0.6 * db.size());
+  Result<PatternSet> mined = engine.CollectPatterns(task);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "error: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  PatternSet closed = mined.TakeValueOrDie();
   closed.SortBySupport();
 
   std::printf("closed iterative patterns (min_sup = %llu instances):\n\n",
-              static_cast<unsigned long long>(options.min_support));
+              static_cast<unsigned long long>(task.options.min_support));
   // Print the longest pattern in full (the Figure-4 protocol) and a
   // summary line for the rest.
   const MinedPattern& longest = closed.Longest();

@@ -1,5 +1,6 @@
-// Quickstart: mine iterative patterns and recurrent rules from a handful
-// of program traces using the SpecMiner facade.
+// Quickstart: one specmine::Engine session over a handful of program
+// traces — closed iterative patterns, then recurrent rules with their LTL
+// forms, sharing the session's cached position index across both tasks.
 //
 //   $ ./quickstart [trace_file]
 //
@@ -10,8 +11,8 @@
 #include <cstdio>
 #include <string>
 
-#include "src/specmine/spec_miner.h"
-#include "src/trace/trace_io.h"
+#include "src/engine/engine.h"
+#include "src/ltl/translate.h"
 
 namespace {
 
@@ -31,31 +32,55 @@ specmine::SequenceDatabase BuiltInTraces() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  specmine::SequenceDatabase db;
-  if (argc > 1) {
-    auto loaded = specmine::ReadTextTraceFile(argv[1]);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
-    db = loaded.TakeValueOrDie();
-  } else {
-    db = BuiltInTraces();
+  using namespace specmine;
+
+  // One session per immutable trace database. The factories validate the
+  // input (parse errors carry line numbers; oversized databases are
+  // rejected before the index's uint32 offsets could wrap).
+  Result<Engine> session = argc > 1 ? Engine::FromTextTraceFile(argv[1])
+                                    : Engine::Create(BuiltInTraces());
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().ToString().c_str());
+    return 1;
   }
+  const Engine& engine = *session;
+  const EventDictionary& dict = engine.database().dictionary();
 
-  specmine::SpecMiner miner(std::move(db));
+  // Task 1: closed iterative patterns at >= 60% of traces. This builds
+  // the session's position index.
+  ClosedTask patterns_task;
+  patterns_task.options.min_support = engine.AbsoluteSupport(0.6);
+  CollectingPatternSink patterns;
+  Result<RunReport> patterns_run = engine.Mine(patterns_task, patterns);
+  if (!patterns_run.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 patterns_run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("closed patterns (%s):\n%s",
+              patterns_run->ToString().c_str(),
+              patterns.set().ToString(dict).c_str());
 
-  specmine::PatternMiningConfig pattern_config;
-  pattern_config.min_support_fraction = 0.6;  // >= 60% of traces.
-  pattern_config.closed = true;
-
-  specmine::RuleMiningConfig rule_config;
-  rule_config.min_s_support_fraction = 0.6;
-  rule_config.min_confidence = 1.0;  // Only always-holding rules.
-  rule_config.non_redundant = true;
-
-  specmine::SpecificationReport report =
-      miner.Mine(pattern_config, rule_config);
-  std::printf("%s", report.ToText(miner.database().dictionary()).c_str());
+  // Task 2: always-holding non-redundant rules, in the same session. The
+  // rule miner works off occurrence scans (not the position index), so
+  // this run reports index_build_seconds == 0 and reuses the session's
+  // worker pool; any further pattern task would reuse the cached index.
+  RulesTask rules_task;
+  rules_task.options.min_s_support = engine.AbsoluteSupport(0.6);
+  rules_task.options.min_confidence = 1.0;
+  rules_task.options.non_redundant = true;
+  CollectingRuleSink rules;
+  Result<RunReport> rules_run = engine.Mine(rules_task, rules);
+  if (!rules_run.ok()) {
+    std::fprintf(stderr, "error: %s\n", rules_run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nrules (%s):\n", rules_run->ToString().c_str());
+  for (const Rule& rule : rules.set().rules()) {
+    std::printf("%s\n    LTL: %s\n", rule.ToString(dict).c_str(),
+                RuleToLtl(rule, dict)->ToString().c_str());
+  }
+  std::printf("\nindex built %zu time(s) across both tasks\n",
+              engine.index_builds());
   return 0;
 }

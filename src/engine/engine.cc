@@ -1,0 +1,314 @@
+#include "src/engine/engine.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/rulemine/backward_rules.h"
+#include "src/support/stopwatch.h"
+#include "src/trace/trace_io.h"
+
+namespace specmine {
+
+namespace {
+
+// Replays a materialized pattern set into a sink, honoring the sink's stop
+// request. Returns the number delivered; *stopped reports an early stop.
+size_t DeliverPatterns(const PatternSet& set, PatternSink& sink,
+                       bool* stopped) {
+  size_t delivered = 0;
+  for (const MinedPattern& item : set.items()) {
+    ++delivered;
+    if (!sink.Consume(item.pattern, item.support)) {
+      *stopped = true;
+      return delivered;
+    }
+  }
+  return delivered;
+}
+
+size_t DeliverRules(const RuleSet& set, RuleSink& sink, bool* stopped) {
+  size_t delivered = 0;
+  for (const Rule& rule : set.rules()) {
+    ++delivered;
+    if (!sink.Consume(rule)) {
+      *stopped = true;
+      return delivered;
+    }
+  }
+  return delivered;
+}
+
+RunReport FromIterStats(const char* task, const IterMinerStats& stats,
+                        double index_build_seconds) {
+  RunReport report;
+  report.task = task;
+  report.nodes_visited = stats.nodes_visited;
+  report.patterns_emitted = stats.patterns_emitted;
+  report.subtrees_pruned = stats.subtrees_pruned;
+  report.truncated = stats.truncated;
+  report.index_build_seconds = index_build_seconds;
+  report.mine_seconds = stats.mine_seconds;
+  return report;
+}
+
+RunReport FromSeqStats(const char* task, const SeqMinerStats& stats,
+                       double mine_seconds) {
+  RunReport report;
+  report.task = task;
+  report.nodes_visited = stats.nodes_visited;
+  report.patterns_emitted = stats.patterns_emitted;
+  report.truncated = stats.truncated;
+  report.mine_seconds = mine_seconds;
+  return report;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction.
+
+Result<Engine> Engine::Create(SequenceDatabase db) {
+  SPECMINE_RETURN_NOT_OK(CheckIndexable(db));
+  return Engine(std::move(db));
+}
+
+Result<Engine> Engine::FromTextTraceFile(const std::string& path) {
+  Result<SequenceDatabase> db = ReadTextTraceFile(path);
+  if (!db.ok()) return db.status();
+  return Create(db.TakeValueOrDie());
+}
+
+Result<Engine> Engine::FromCsvTraceFile(const std::string& path,
+                                        const CsvTraceOptions& options) {
+  Result<SequenceDatabase> db = ReadCsvTraceFile(path, options);
+  if (!db.ok()) return db.status();
+  return Create(db.TakeValueOrDie());
+}
+
+uint64_t Engine::AbsoluteSupport(double fraction) const {
+  double raw = fraction * static_cast<double>(db_->size());
+  uint64_t abs = static_cast<uint64_t>(std::ceil(raw - 1e-9));
+  return abs > 1 ? abs : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Cached infrastructure.
+
+Result<const PositionIndex*> Engine::EnsureIndex(double* build_seconds) const {
+  *build_seconds = 0.0;
+  if (index_ == nullptr) {
+    SPECMINE_RETURN_NOT_OK(CheckIndexable(*db_));
+    Stopwatch sw;
+    index_ = std::make_unique<PositionIndex>(*db_);
+    *build_seconds = sw.ElapsedSeconds();
+    ++index_builds_;
+  }
+  return index_.get();
+}
+
+const PositionIndex& Engine::index() const {
+  double unused = 0.0;
+  Result<const PositionIndex*> idx = EnsureIndex(&unused);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "Engine::index(): %s\n",
+                 idx.status().ToString().c_str());
+    std::abort();  // The checked factories make this unreachable.
+  }
+  return **idx;
+}
+
+const UnitDatabase& Engine::Units() const {
+  if (units_ == nullptr) {
+    units_ = std::make_unique<UnitDatabase>(
+        UnitDatabase::WholeSequences(*db_));
+  }
+  return *units_;
+}
+
+ThreadPool* Engine::PoolFor(size_t requested_threads) const {
+  const size_t resolved = ThreadPool::ResolveThreads(requested_threads);
+  if (resolved <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->num_threads() != resolved) {
+    pool_ = std::make_unique<ThreadPool>(resolved);
+  }
+  return pool_.get();
+}
+
+template <typename Task>
+Status Engine::Begin(const Task& task) const {
+  SPECMINE_RETURN_NOT_OK(Validate(task));
+  if (db_->empty()) {
+    return Status::InvalidArgument("database is empty; nothing to mine");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Iterative pattern tasks (index-backed).
+
+Result<RunReport> Engine::Mine(const FullPatternsTask& task,
+                               PatternSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  double build_seconds = 0.0;
+  Result<const PositionIndex*> index = EnsureIndex(&build_seconds);
+  if (!index.ok()) return index.status();
+  IterMinerStats stats;
+  ScanFrequentIterative(
+      **index, task.options,
+      [&sink](const Pattern& pattern, uint64_t support) {
+        return sink.Consume(pattern, support);
+      },
+      &stats, PoolFor(task.options.num_threads));
+  return FromIterStats("full-patterns", stats, build_seconds);
+}
+
+Result<RunReport> Engine::Mine(const ClosedTask& task,
+                               PatternSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  double build_seconds = 0.0;
+  Result<const PositionIndex*> index = EnsureIndex(&build_seconds);
+  if (!index.ok()) return index.status();
+  IterMinerStats stats;
+  PatternSet mined = MineClosedIterative(**index, task.options, &stats,
+                                         PoolFor(task.options.num_threads));
+  RunReport report = FromIterStats("closed-patterns", stats, build_seconds);
+  bool stopped = false;
+  report.patterns_emitted = DeliverPatterns(mined, sink, &stopped);
+  report.truncated = report.truncated || stopped;
+  return report;
+}
+
+Result<RunReport> Engine::Mine(const GeneratorsTask& task,
+                               PatternSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  double build_seconds = 0.0;
+  Result<const PositionIndex*> index = EnsureIndex(&build_seconds);
+  if (!index.ok()) return index.status();
+  IterMinerStats stats;
+  PatternSet mined = MineIterativeGenerators(
+      **index, task.options, &stats, PoolFor(task.options.num_threads));
+  RunReport report = FromIterStats("generators", stats, build_seconds);
+  bool stopped = false;
+  report.patterns_emitted = DeliverPatterns(mined, sink, &stopped);
+  report.truncated = report.truncated || stopped;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Rule tasks.
+
+Result<RunReport> Engine::Mine(const RulesTask& task, RuleSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  Stopwatch sw;
+  RuleMinerStats stats;
+  RuleSet mined =
+      task.backward
+          ? MineBackwardRules(*db_, task.options, &stats)
+          : MineRecurrentRules(*db_, task.options, &stats,
+                               PoolFor(task.options.num_threads));
+  RunReport report;
+  report.task = task.backward ? "backward-rules" : "rules";
+  report.premises_enumerated = stats.premises_enumerated;
+  report.candidate_rules = stats.candidate_rules;
+  report.truncated = stats.truncated;
+  report.mine_seconds = sw.ElapsedSeconds();
+  bool stopped = false;
+  report.rules_emitted = DeliverRules(mined, sink, &stopped);
+  report.truncated = report.truncated || stopped;
+  return report;
+}
+
+Result<RuleSet> Engine::CollectRules(const RulesTask& task,
+                                     RunReport* report) const {
+  CollectingRuleSink sink;
+  Result<RunReport> run = Mine(task, sink);
+  if (!run.ok()) return run.status();
+  if (report != nullptr) *report = *run;
+  return sink.TakeSet();
+}
+
+// ---------------------------------------------------------------------------
+// Sequential tasks (plain subsequence semantics over whole sequences).
+
+Result<RunReport> Engine::Mine(const SequentialTask& task,
+                               PatternSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  Stopwatch sw;
+  SeqMinerStats stats;
+  ScanFrequentSequential(
+      Units(), task.options,
+      [&sink](const Pattern& pattern, uint64_t support,
+              const std::vector<uint32_t>&) {
+        return sink.Consume(pattern, support);
+      },
+      &stats);
+  return FromSeqStats("sequential", stats, sw.ElapsedSeconds());
+}
+
+Result<RunReport> Engine::Mine(const ClosedSequentialTask& task,
+                               PatternSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  Stopwatch sw;
+  SeqMinerStats stats;
+  PatternSet mined = MineClosedSequential(Units(), task.options, &stats);
+  RunReport report =
+      FromSeqStats("closed-sequential", stats, sw.ElapsedSeconds());
+  bool stopped = false;
+  report.patterns_emitted = DeliverPatterns(mined, sink, &stopped);
+  report.truncated = report.truncated || stopped;
+  return report;
+}
+
+Result<RunReport> Engine::Mine(const SequentialGeneratorsTask& task,
+                               PatternSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  Stopwatch sw;
+  SeqMinerStats stats;
+  PatternSet mined = MineSequentialGenerators(Units(), task.options, &stats);
+  RunReport report =
+      FromSeqStats("sequential-generators", stats, sw.ElapsedSeconds());
+  bool stopped = false;
+  report.patterns_emitted = DeliverPatterns(mined, sink, &stopped);
+  report.truncated = report.truncated || stopped;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Related-work baselines.
+
+Result<RunReport> Engine::Mine(const EpisodeTask& task,
+                               PatternSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  Stopwatch sw;
+  const bool winepi = task.algorithm == EpisodeTask::Algorithm::kWinepi;
+  PatternSet mined =
+      winepi ? MineWinepi(*db_, task.winepi) : MineMinepi(*db_, task.minepi);
+  RunReport report;
+  report.task = winepi ? "episodes-winepi" : "episodes-minepi";
+  report.mine_seconds = sw.ElapsedSeconds();
+  bool stopped = false;
+  report.patterns_emitted = DeliverPatterns(mined, sink, &stopped);
+  report.truncated = stopped;
+  return report;
+}
+
+Result<RunReport> Engine::Mine(const TwoEventTask& task,
+                               TwoEventSink& sink) const {
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  Stopwatch sw;
+  std::vector<TwoEventRule> mined = MinePerracotta(*db_, task.options);
+  RunReport report;
+  report.task = "two-event";
+  report.mine_seconds = sw.ElapsedSeconds();
+  for (const TwoEventRule& rule : mined) {
+    ++report.rules_emitted;
+    if (!sink.Consume(rule)) {
+      report.truncated = true;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace specmine

@@ -1,0 +1,153 @@
+// specmine::Engine — the unified session API over every miner in the
+// library (the LogBase-style server seam: one long-lived handle per
+// immutable trace database).
+//
+// An Engine owns a SequenceDatabase and lazily builds — then caches — the
+// PositionIndex and a shared worker pool, so a session running many tasks
+// (a multi-scenario request stream) pays for index construction and thread
+// spawns once instead of per call. Every miner is exposed as a uniform
+// task object:
+//
+//     Result<Engine> engine = Engine::FromTextTraceFile("traces.txt");
+//     if (!engine.ok()) return engine.status();
+//     CollectingPatternSink patterns;
+//     Result<RunReport> report =
+//         engine->Mine(ClosedTask{{.min_support = 10}}, patterns);
+//
+// Failures are values: invalid options, an empty database, and
+// uint32-offset overflow all return Status instead of aborting or mining
+// garbage. Emission order and content are byte-identical to the legacy
+// per-miner free functions (which remain as thin deprecated wrappers).
+//
+// Thread-safety: an Engine serializes its own tasks; call Mine from one
+// thread at a time. The cached index is immutable once built, so separate
+// Engines over separate databases scale across threads freely.
+
+#ifndef SPECMINE_ENGINE_ENGINE_H_
+#define SPECMINE_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/engine/run_report.h"
+#include "src/engine/sinks.h"
+#include "src/engine/tasks.h"
+#include "src/seqmine/prefixspan.h"
+#include "src/support/status.h"
+#include "src/support/thread_pool.h"
+#include "src/trace/csv_trace_reader.h"
+#include "src/trace/position_index.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief A mining session over one immutable trace database.
+class Engine {
+ public:
+  /// \brief Wraps \p db. Prefer the checked factories below: they reject
+  /// databases the index layout cannot address up front; with this
+  /// constructor the same check happens (as an error) on first Mine.
+  explicit Engine(SequenceDatabase db)
+      : db_(std::make_unique<SequenceDatabase>(std::move(db))) {}
+
+  /// \brief Checked wrap: verifies the index's uint32 offset layout can
+  /// address \p db.
+  static Result<Engine> Create(SequenceDatabase db);
+
+  /// \brief Loads plain-text traces from \p path into a new session.
+  static Result<Engine> FromTextTraceFile(const std::string& path);
+
+  /// \brief Loads CSV instrumentation traces from \p path.
+  static Result<Engine> FromCsvTraceFile(const std::string& path,
+                                         const CsvTraceOptions& options);
+
+  /// \brief The wrapped database (immutable for the session's lifetime).
+  const SequenceDatabase& database() const { return *db_; }
+
+  /// \brief Converts a fraction-of-sequences threshold to an absolute one
+  /// (at least 1) — the paper reports thresholds as fractions.
+  uint64_t AbsoluteSupport(double fraction) const;
+
+  // -------------------------------------------------------------------------
+  // Tasks. Each validates its options, runs the miner against the cached
+  // index / shared pool, streams results into the sink in the legacy
+  // emission order, and returns the unified RunReport.
+  // report.index_build_seconds is non-zero only for the call that actually
+  // built the session's index.
+
+  Result<RunReport> Mine(const FullPatternsTask& task,
+                         PatternSink& sink) const;
+  Result<RunReport> Mine(const ClosedTask& task, PatternSink& sink) const;
+  Result<RunReport> Mine(const GeneratorsTask& task, PatternSink& sink) const;
+  Result<RunReport> Mine(const RulesTask& task, RuleSink& sink) const;
+  Result<RunReport> Mine(const SequentialTask& task, PatternSink& sink) const;
+  Result<RunReport> Mine(const ClosedSequentialTask& task,
+                         PatternSink& sink) const;
+  Result<RunReport> Mine(const SequentialGeneratorsTask& task,
+                         PatternSink& sink) const;
+  Result<RunReport> Mine(const EpisodeTask& task, PatternSink& sink) const;
+  Result<RunReport> Mine(const TwoEventTask& task, TwoEventSink& sink) const;
+
+  // -------------------------------------------------------------------------
+  // Collecting conveniences: run the task with a collecting sink and
+  // return the materialized set (unsorted, i.e. miner emission order).
+
+  template <typename Task>
+  Result<PatternSet> CollectPatterns(const Task& task,
+                                     RunReport* report = nullptr) const {
+    CollectingPatternSink sink;
+    Result<RunReport> run = Mine(task, sink);
+    if (!run.ok()) return run.status();
+    if (report != nullptr) *report = *run;
+    return sink.TakeSet();
+  }
+
+  Result<RuleSet> CollectRules(const RulesTask& task,
+                               RunReport* report = nullptr) const;
+
+  // -------------------------------------------------------------------------
+  // Cached infrastructure (exposed for advanced callers and tests).
+
+  /// \brief The session's position index, building it on first use. The
+  /// checked factories guarantee this cannot fail; after the unchecked
+  /// constructor, prefer Mine (which reports indexability errors as
+  /// Status) before touching this.
+  const PositionIndex& index() const;
+
+  /// \brief How many times this session has built its index (1 after any
+  /// index-backed task ran; never more — the cache assertion the tests
+  /// pin down).
+  size_t index_builds() const { return index_builds_; }
+
+ private:
+  // Builds (once) and returns the cached index; *build_seconds receives
+  // the construction time if this call built it, else 0.
+  Result<const PositionIndex*> EnsureIndex(double* build_seconds) const;
+
+  // The shared pool for \p requested_threads (options-style: 0 = hardware
+  // concurrency). Returns nullptr when the resolved count is 1
+  // (sequential). Rebuilt only when a task requests a different width.
+  ThreadPool* PoolFor(size_t requested_threads) const;
+
+  // The cached whole-sequence unit view the sequential miners run over,
+  // built on first use (one Unit per sequence — O(sequences), cached so a
+  // request stream doesn't re-materialize it per call).
+  const UnitDatabase& Units() const;
+
+  // Common preamble: task options valid, database non-empty.
+  template <typename Task>
+  Status Begin(const Task& task) const;
+
+  // unique_ptr keeps the database (and so the index's back-pointer)
+  // address-stable across Engine moves.
+  std::unique_ptr<SequenceDatabase> db_;
+  mutable std::unique_ptr<PositionIndex> index_;
+  mutable std::unique_ptr<UnitDatabase> units_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable size_t index_builds_ = 0;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ENGINE_ENGINE_H_

@@ -1,0 +1,21 @@
+#include "src/engine/run_report.h"
+
+#include <sstream>
+
+namespace specmine {
+
+std::string RunReport::ToString() const {
+  std::ostringstream os;
+  os << "task=" << task;
+  if (patterns_emitted != 0) os << " patterns=" << patterns_emitted;
+  if (rules_emitted != 0) os << " rules=" << rules_emitted;
+  if (nodes_visited != 0) os << " nodes=" << nodes_visited;
+  if (premises_enumerated != 0) os << " premises=" << premises_enumerated;
+  if (candidate_rules != 0) os << " candidates=" << candidate_rules;
+  if (subtrees_pruned != 0) os << " pruned=" << subtrees_pruned;
+  if (truncated) os << " truncated";
+  os << " index=" << index_build_seconds << "s mine=" << mine_seconds << "s";
+  return os.str();
+}
+
+}  // namespace specmine

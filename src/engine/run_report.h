@@ -1,0 +1,46 @@
+// RunReport: the uniform statistics record every Engine task returns,
+// unifying the per-miner stats structs (IterMinerStats, RuleMinerStats,
+// SeqMinerStats) behind one shape a server loop can log or bill against.
+
+#ifndef SPECMINE_ENGINE_RUN_REPORT_H_
+#define SPECMINE_ENGINE_RUN_REPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace specmine {
+
+/// \brief Statistics describing one Engine task run.
+///
+/// Counter fields not meaningful for a task stay 0 (a rules run has no
+/// patterns_emitted; an episode run has no premises_enumerated).
+struct RunReport {
+  /// Task identifier ("full-patterns", "closed-patterns", "generators",
+  /// "rules", "backward-rules", "sequential", "closed-sequential",
+  /// "sequential-generators", "episodes-winepi", "episodes-minepi",
+  /// "two-event").
+  std::string task;
+
+  size_t nodes_visited = 0;        ///< DFS nodes expanded.
+  size_t patterns_emitted = 0;     ///< Patterns delivered to the sink.
+  size_t rules_emitted = 0;        ///< Rules delivered to the sink.
+  size_t premises_enumerated = 0;  ///< Rule mining Step 1 count.
+  size_t candidate_rules = 0;      ///< Rules before Steps 4-5.
+  size_t subtrees_pruned = 0;      ///< Closed miner: P1-P3 subtree prunes.
+  bool truncated = false;          ///< A cap or the sink stopped the run.
+
+  /// PositionIndex construction time spent by *this* call. 0 when the
+  /// session's cached index was reused (or the task needs no index) — the
+  /// session-reuse signal the engine tests assert on.
+  double index_build_seconds = 0.0;
+  /// Mining wall-clock (everything after index construction).
+  double mine_seconds = 0.0;
+
+  /// \brief One-line "task=... patterns=... index=...s mine=...s" summary.
+  std::string ToString() const;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ENGINE_RUN_REPORT_H_

@@ -1,0 +1,111 @@
+#include "src/engine/sinks.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace specmine {
+
+namespace {
+
+// The canonical report orders (PatternSet::SortBySupport and
+// RuleSet::SortByQuality), as strict-weak comparators the top-k sinks can
+// apply incrementally.
+bool BetterPattern(const MinedPattern& a, const MinedPattern& b) {
+  if (a.support != b.support) return a.support > b.support;
+  return a.pattern < b.pattern;
+}
+
+bool BetterRule(const Rule& a, const Rule& b) {
+  const double ca = a.confidence();
+  const double cb = b.confidence();
+  if (ca != cb) return ca > cb;
+  if (a.s_support != b.s_support) return a.s_support > b.s_support;
+  Pattern pa = a.Concatenation();
+  Pattern pb = b.Concatenation();
+  if (!(pa == pb)) return pa < pb;
+  return a.premise.size() < b.premise.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pattern sinks.
+
+bool CountingPatternSink::Consume(const Pattern& pattern, uint64_t support) {
+  ++count_;
+  if (support > max_support_) max_support_ = support;
+  if (pattern.size() > longest_length_) longest_length_ = pattern.size();
+  return true;
+}
+
+bool TopKPatternSink::Consume(const Pattern& pattern, uint64_t support) {
+  if (k_ == 0) return false;
+  buffer_.push_back(MinedPattern{pattern, support});
+  // Amortized O(k): let the buffer grow to 2k, then keep the best k.
+  if (buffer_.size() >= 2 * k_) Shrink(k_);
+  return true;
+}
+
+void TopKPatternSink::Shrink(size_t limit) {
+  if (buffer_.size() <= limit) return;
+  std::nth_element(buffer_.begin(), buffer_.begin() + limit, buffer_.end(),
+                   BetterPattern);
+  buffer_.resize(limit);
+}
+
+PatternSet TopKPatternSink::TakeSorted() {
+  Shrink(k_);
+  std::sort(buffer_.begin(), buffer_.end(), BetterPattern);
+  PatternSet out;
+  for (MinedPattern& item : buffer_) {
+    out.Add(std::move(item.pattern), item.support);
+  }
+  buffer_.clear();
+  return out;
+}
+
+bool WriterPatternSink::Consume(const Pattern& pattern, uint64_t support) {
+  out_ << pattern.ToString(dict_) << "  sup=" << support << '\n';
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rule sinks.
+
+bool CountingRuleSink::Consume(const Rule& rule) {
+  ++count_;
+  if (rule.confidence() > best_confidence_) {
+    best_confidence_ = rule.confidence();
+  }
+  return true;
+}
+
+bool TopKRuleSink::Consume(const Rule& rule) {
+  if (k_ == 0) return false;
+  buffer_.push_back(rule);
+  if (buffer_.size() >= 2 * k_) Shrink(k_);
+  return true;
+}
+
+void TopKRuleSink::Shrink(size_t limit) {
+  if (buffer_.size() <= limit) return;
+  std::nth_element(buffer_.begin(), buffer_.begin() + limit, buffer_.end(),
+                   BetterRule);
+  buffer_.resize(limit);
+}
+
+RuleSet TopKRuleSink::TakeSorted() {
+  Shrink(k_);
+  std::sort(buffer_.begin(), buffer_.end(), BetterRule);
+  RuleSet out;
+  for (Rule& rule : buffer_) out.Add(std::move(rule));
+  buffer_.clear();
+  return out;
+}
+
+bool WriterRuleSink::Consume(const Rule& rule) {
+  out_ << rule.ToString(dict_) << '\n';
+  return true;
+}
+
+}  // namespace specmine

@@ -1,0 +1,98 @@
+#include "src/engine/tasks.h"
+
+#include <cmath>
+#include <string>
+
+namespace specmine {
+
+namespace {
+
+Status RequirePositive(uint64_t value, const char* field) {
+  if (value == 0) {
+    return Status::InvalidArgument(std::string(field) +
+                                   " must be >= 1 (got 0)");
+  }
+  return Status::OK();
+}
+
+Status RequireUnitInterval(double value, const char* field) {
+  if (std::isnan(value) || value < 0.0 || value > 1.0) {
+    return Status::InvalidArgument(std::string(field) +
+                                   " must be in [0, 1] (got " +
+                                   std::to_string(value) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Validate(const IterMinerOptions& options) {
+  return RequirePositive(options.min_support, "min_support");
+}
+
+Status Validate(const ClosedIterMinerOptions& options) {
+  return RequirePositive(options.min_support, "min_support");
+}
+
+Status Validate(const IterGeneratorMinerOptions& options) {
+  return RequirePositive(options.min_support, "min_support");
+}
+
+Status Validate(const RuleMinerOptions& options) {
+  SPECMINE_RETURN_NOT_OK(RequirePositive(options.min_s_support,
+                                         "min_s_support"));
+  // min_i_support == 0 is well-defined (the Step-4 post-filter trivially
+  // passes), so it is deliberately not rejected here.
+  return RequireUnitInterval(options.min_confidence, "min_confidence");
+}
+
+Status Validate(const SeqMinerOptions& options) {
+  return RequirePositive(options.min_support, "min_support");
+}
+
+Status Validate(const ClosedSeqMinerOptions& options) {
+  return RequirePositive(options.min_support, "min_support");
+}
+
+Status Validate(const GeneratorMinerOptions& options) {
+  return RequirePositive(options.min_support, "min_support");
+}
+
+Status Validate(const WinepiOptions& options) {
+  SPECMINE_RETURN_NOT_OK(RequirePositive(options.window_width,
+                                         "window_width"));
+  return RequirePositive(options.min_window_count, "min_window_count");
+}
+
+Status Validate(const MinepiOptions& options) {
+  SPECMINE_RETURN_NOT_OK(RequirePositive(options.max_window, "max_window"));
+  return RequirePositive(options.min_support, "min_support");
+}
+
+Status Validate(const PerracottaOptions& options) {
+  SPECMINE_RETURN_NOT_OK(RequireUnitInterval(options.min_satisfaction,
+                                             "min_satisfaction"));
+  return RequirePositive(options.min_relevant_traces, "min_relevant_traces");
+}
+
+Status Validate(const FullPatternsTask& task) {
+  return Validate(task.options);
+}
+Status Validate(const ClosedTask& task) { return Validate(task.options); }
+Status Validate(const GeneratorsTask& task) { return Validate(task.options); }
+Status Validate(const RulesTask& task) { return Validate(task.options); }
+Status Validate(const SequentialTask& task) { return Validate(task.options); }
+Status Validate(const ClosedSequentialTask& task) {
+  return Validate(task.options);
+}
+Status Validate(const SequentialGeneratorsTask& task) {
+  return Validate(task.options);
+}
+Status Validate(const EpisodeTask& task) {
+  return task.algorithm == EpisodeTask::Algorithm::kWinepi
+             ? Validate(task.winepi)
+             : Validate(task.minepi);
+}
+Status Validate(const TwoEventTask& task) { return Validate(task.options); }
+
+}  // namespace specmine

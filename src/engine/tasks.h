@@ -1,0 +1,104 @@
+// Engine task descriptors: one small struct per miner, each wrapping that
+// miner's existing option struct, plus the up-front Status validation the
+// legacy free functions never did. A task names *what* to mine; the Engine
+// supplies the database, the cached PositionIndex, and the shared pool.
+
+#ifndef SPECMINE_ENGINE_TASKS_H_
+#define SPECMINE_ENGINE_TASKS_H_
+
+#include "src/episode/minepi.h"
+#include "src/episode/winepi.h"
+#include "src/itermine/closed_miner.h"
+#include "src/itermine/full_miner.h"
+#include "src/itermine/generators.h"
+#include "src/rulemine/rule_miner.h"
+#include "src/seqmine/closed_sequential_miner.h"
+#include "src/seqmine/generator_miner.h"
+#include "src/seqmine/prefixspan.h"
+#include "src/support/status.h"
+#include "src/twoevent/perracotta.h"
+
+namespace specmine {
+
+/// \brief Mine every frequent iterative pattern (QRE instance support).
+struct FullPatternsTask {
+  IterMinerOptions options;
+};
+
+/// \brief Mine the closed frequent iterative patterns.
+struct ClosedTask {
+  ClosedIterMinerOptions options;
+};
+
+/// \brief Mine the frequent iterative generators.
+struct GeneratorsTask {
+  IterGeneratorMinerOptions options;
+};
+
+/// \brief Mine recurrent rules (forward), or past-time rules when
+/// \p backward is set (MineBackwardRules semantics).
+struct RulesTask {
+  RuleMinerOptions options;
+  bool backward = false;
+};
+
+/// \brief Mine the full set of frequent sequential patterns (classic
+/// sequence-count support over whole sequences).
+struct SequentialTask {
+  SeqMinerOptions options;
+};
+
+/// \brief Mine the closed frequent sequential patterns (BIDE-style).
+struct ClosedSequentialTask {
+  ClosedSeqMinerOptions options;
+};
+
+/// \brief Mine the frequent sequential generators.
+struct SequentialGeneratorsTask {
+  GeneratorMinerOptions options;
+};
+
+/// \brief Mine serial episodes, WINEPI (window counts) or MINEPI (minimal
+/// occurrences).
+struct EpisodeTask {
+  enum class Algorithm { kWinepi, kMinepi };
+  Algorithm algorithm = Algorithm::kWinepi;
+  WinepiOptions winepi;
+  MinepiOptions minepi;
+};
+
+/// \brief Mine Perracotta-style two-event temporal rules.
+struct TwoEventTask {
+  PerracottaOptions options;
+};
+
+// ---------------------------------------------------------------------------
+// Option validation. Each returns OK or InvalidArgument naming the bad
+// field — the Engine rejects a task before touching the database, so a
+// zero support threshold or an out-of-range confidence is an error value
+// instead of undefined mining behavior.
+
+Status Validate(const IterMinerOptions& options);
+Status Validate(const ClosedIterMinerOptions& options);
+Status Validate(const IterGeneratorMinerOptions& options);
+Status Validate(const RuleMinerOptions& options);
+Status Validate(const SeqMinerOptions& options);
+Status Validate(const ClosedSeqMinerOptions& options);
+Status Validate(const GeneratorMinerOptions& options);
+Status Validate(const WinepiOptions& options);
+Status Validate(const MinepiOptions& options);
+Status Validate(const PerracottaOptions& options);
+
+Status Validate(const FullPatternsTask& task);
+Status Validate(const ClosedTask& task);
+Status Validate(const GeneratorsTask& task);
+Status Validate(const RulesTask& task);
+Status Validate(const SequentialTask& task);
+Status Validate(const ClosedSequentialTask& task);
+Status Validate(const SequentialGeneratorsTask& task);
+Status Validate(const EpisodeTask& task);
+Status Validate(const TwoEventTask& task);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ENGINE_TASKS_H_

@@ -84,17 +84,15 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
 
 }  // namespace
 
-PatternSet MineClosedIterative(const SequenceDatabase& db,
+PatternSet MineClosedIterative(const PositionIndex& index,
                                const ClosedIterMinerOptions& options,
-                               IterMinerStats* stats) {
+                               IterMinerStats* stats, ThreadPool* pool) {
   IterMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = IterMinerStats{};
+  const SequenceDatabase& db = index.db();
   PatternSet out;
   Stopwatch sw;
-  PositionIndex index(db);
-  stats->index_build_seconds = sw.ElapsedSeconds();
-  sw.Restart();
   const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
   if (num_threads > 1) {
     // One job per frequent root; each worker owns a PatternSet, stats and
@@ -112,7 +110,8 @@ PatternSet MineClosedIterative(const SequenceDatabase& db,
     for (size_t i = 0; i < roots.size(); ++i) {
       jobs[i] = std::make_unique<Job>();
     }
-    ThreadPool::ParallelFor(num_threads, roots.size(), [&](size_t i) {
+    ThreadPool::ParallelForShared(pool, num_threads, roots.size(),
+                                  [&](size_t i) {
       Job& job = *jobs[i];
       Ctx ctx{&db, &index, &options, &job.out, &job.stats, &job.ws};
       Pattern p{roots[i]};
@@ -137,6 +136,19 @@ PatternSet MineClosedIterative(const SequenceDatabase& db,
     Grow(&ctx, p, SingleEventInstances(index, ev));
   }
   stats->mine_seconds = sw.ElapsedSeconds();
+  return out;
+}
+
+PatternSet MineClosedIterative(const SequenceDatabase& db,
+                               const ClosedIterMinerOptions& options,
+                               IterMinerStats* stats) {
+  IterMinerStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Stopwatch sw;
+  PositionIndex index(db);
+  const double index_build_seconds = sw.ElapsedSeconds();
+  PatternSet out = MineClosedIterative(index, options, stats, nullptr);
+  stats->index_build_seconds = index_build_seconds;
   return out;
 }
 

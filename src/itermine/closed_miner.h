@@ -66,9 +66,20 @@ struct ClosedIterMinerOptions {
 };
 
 /// \brief Mines the closed frequent iterative patterns of \p db.
+///
+/// Deprecated entry point: builds a fresh PositionIndex per call. New code
+/// should go through specmine::Engine (src/engine/engine.h).
 PatternSet MineClosedIterative(const SequenceDatabase& db,
                                const ClosedIterMinerOptions& options,
                                IterMinerStats* stats = nullptr);
+
+/// \brief Index-reusing variant: mines over a prebuilt \p index (its
+/// database). stats->index_build_seconds is left at 0; \p pool, when
+/// non-null and matching the resolved thread count, runs the fan-out.
+PatternSet MineClosedIterative(const PositionIndex& index,
+                               const ClosedIterMinerOptions& options,
+                               IterMinerStats* stats = nullptr,
+                               ThreadPool* pool = nullptr);
 
 }  // namespace specmine
 

@@ -89,7 +89,7 @@ struct SubtreeJob {
 };
 
 void ScanParallel(const PositionIndex& index, const IterMinerOptions& options,
-                  size_t num_threads,
+                  size_t num_threads, ThreadPool* pool,
                   const std::function<bool(const Pattern&, uint64_t)>& sink,
                   IterMinerStats* stats) {
   const std::vector<EventId> roots = FrequentRoots(index, options.min_support);
@@ -99,7 +99,7 @@ void ScanParallel(const PositionIndex& index, const IterMinerOptions& options,
     jobs[i]->index = &index;
     jobs[i]->options = &options;
   }
-  ThreadPool::ParallelFor(num_threads, roots.size(), [&](size_t i) {
+  ThreadPool::ParallelForShared(pool, num_threads, roots.size(), [&](size_t i) {
     jobs[i]->Grow(Pattern{roots[i]}, SingleEventInstances(index, roots[i]));
   });
   // Replay: a sink returning false skips every deeper emission that
@@ -130,22 +130,20 @@ void ScanParallel(const PositionIndex& index, const IterMinerOptions& options,
 }  // namespace
 
 void ScanFrequentIterative(
-    const SequenceDatabase& db, const IterMinerOptions& options,
+    const PositionIndex& index, const IterMinerOptions& options,
     const std::function<bool(const Pattern&, uint64_t)>& sink,
-    IterMinerStats* stats) {
+    IterMinerStats* stats, ThreadPool* pool) {
   IterMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = IterMinerStats{};
   Stopwatch sw;
-  PositionIndex index(db);
-  stats->index_build_seconds = sw.ElapsedSeconds();
-  sw.Restart();
   const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
   if (num_threads > 1) {
-    ScanParallel(index, options, num_threads, sink, stats);
+    ScanParallel(index, options, num_threads, pool, sink, stats);
     stats->mine_seconds = sw.ElapsedSeconds();
     return;
   }
+  const SequenceDatabase& db = index.db();
   ProjectionWorkspace ws;
   Ctx ctx{&index, &options, &sink, stats, &ws};
   for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
@@ -155,6 +153,33 @@ void ScanFrequentIterative(
     Grow(&ctx, p, SingleEventInstances(index, ev));
   }
   stats->mine_seconds = sw.ElapsedSeconds();
+}
+
+void ScanFrequentIterative(
+    const SequenceDatabase& db, const IterMinerOptions& options,
+    const std::function<bool(const Pattern&, uint64_t)>& sink,
+    IterMinerStats* stats) {
+  IterMinerStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Stopwatch sw;
+  PositionIndex index(db);
+  const double index_build_seconds = sw.ElapsedSeconds();
+  ScanFrequentIterative(index, options, sink, stats, nullptr);
+  stats->index_build_seconds = index_build_seconds;
+}
+
+PatternSet MineFrequentIterative(const PositionIndex& index,
+                                 const IterMinerOptions& options,
+                                 IterMinerStats* stats, ThreadPool* pool) {
+  PatternSet out;
+  ScanFrequentIterative(
+      index, options,
+      [&out](const Pattern& p, uint64_t support) {
+        out.Add(p, support);
+        return true;
+      },
+      stats, pool);
+  return out;
 }
 
 PatternSet MineFrequentIterative(const SequenceDatabase& db,

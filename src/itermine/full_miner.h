@@ -9,9 +9,12 @@
 #include <functional>
 
 #include "src/patterns/pattern_set.h"
+#include "src/trace/position_index.h"
 #include "src/trace/sequence_database.h"
 
 namespace specmine {
+
+class ThreadPool;
 
 /// \brief Options shared by the iterative pattern miners.
 struct IterMinerOptions {
@@ -51,16 +54,38 @@ struct IterMinerStats {
 ///
 /// Support of P = number of QRE instances, counted within and across
 /// sequences. Patterns of length >= 1 are emitted.
+///
+/// Deprecated entry point: builds a fresh PositionIndex per call. New code
+/// should go through specmine::Engine (src/engine/engine.h), which caches
+/// the index and a thread pool across tasks and reports errors as values.
 PatternSet MineFrequentIterative(const SequenceDatabase& db,
                                  const IterMinerOptions& options,
                                  IterMinerStats* stats = nullptr);
 
+/// \brief Index-reusing variant: mines over a prebuilt \p index (its
+/// database). stats->index_build_seconds is left at 0 — no build happened
+/// here. \p pool, when non-null and matching the resolved thread count, is
+/// used for the first-level fan-out instead of spawning a fresh pool.
+PatternSet MineFrequentIterative(const PositionIndex& index,
+                                 const IterMinerOptions& options,
+                                 IterMinerStats* stats = nullptr,
+                                 ThreadPool* pool = nullptr);
+
 /// \brief Callback variant: \p sink receives (pattern, support); return
 /// false to skip growing that pattern's subtree.
+///
+/// Deprecated entry point: builds a fresh PositionIndex per call (see
+/// MineFrequentIterative above).
 void ScanFrequentIterative(
     const SequenceDatabase& db, const IterMinerOptions& options,
     const std::function<bool(const Pattern&, uint64_t)>& sink,
     IterMinerStats* stats = nullptr);
+
+/// \brief Index-reusing callback variant (the Engine's workhorse).
+void ScanFrequentIterative(
+    const PositionIndex& index, const IterMinerOptions& options,
+    const std::function<bool(const Pattern&, uint64_t)>& sink,
+    IterMinerStats* stats = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace specmine
 

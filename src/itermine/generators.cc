@@ -1,6 +1,7 @@
 #include "src/itermine/generators.h"
 
 #include "src/itermine/qre_verifier.h"
+#include "src/support/stopwatch.h"
 
 namespace specmine {
 
@@ -14,16 +15,17 @@ bool IsIterativeGenerator(const SequenceDatabase& db, const Pattern& pattern,
   return true;
 }
 
-PatternSet MineIterativeGenerators(const SequenceDatabase& db,
+PatternSet MineIterativeGenerators(const PositionIndex& index,
                                    const IterGeneratorMinerOptions& options,
-                                   IterMinerStats* stats) {
+                                   IterMinerStats* stats, ThreadPool* pool) {
+  const SequenceDatabase& db = index.db();
   PatternSet out;
   IterMinerOptions scan;
   scan.min_support = options.min_support;
   scan.max_length = options.max_length;
   scan.num_threads = options.num_threads;
   ScanFrequentIterative(
-      db, scan,
+      index, scan,
       [&](const Pattern& p, uint64_t support) {
         if (IsIterativeGenerator(db, p, support)) out.Add(p, support);
         // Unlike the sequential case, support equality with a deletion
@@ -31,7 +33,20 @@ PatternSet MineIterativeGenerators(const SequenceDatabase& db,
         // semantics, so subtrees are always grown.
         return true;
       },
-      stats);
+      stats, pool);
+  return out;
+}
+
+PatternSet MineIterativeGenerators(const SequenceDatabase& db,
+                                   const IterGeneratorMinerOptions& options,
+                                   IterMinerStats* stats) {
+  IterMinerStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Stopwatch sw;
+  PositionIndex index(db);
+  const double index_build_seconds = sw.ElapsedSeconds();
+  PatternSet out = MineIterativeGenerators(index, options, stats, nullptr);
+  stats->index_build_seconds = index_build_seconds;
   return out;
 }
 

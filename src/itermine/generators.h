@@ -34,9 +34,20 @@ struct IterGeneratorMinerOptions {
 };
 
 /// \brief Mines the frequent iterative generators of \p db.
+///
+/// Deprecated entry point: builds a fresh PositionIndex per call. New code
+/// should go through specmine::Engine (src/engine/engine.h).
 PatternSet MineIterativeGenerators(const SequenceDatabase& db,
                                    const IterGeneratorMinerOptions& options,
                                    IterMinerStats* stats = nullptr);
+
+/// \brief Index-reusing variant: mines over a prebuilt \p index (its
+/// database). stats->index_build_seconds is left at 0; \p pool, when
+/// non-null and matching the resolved thread count, runs the fan-out.
+PatternSet MineIterativeGenerators(const PositionIndex& index,
+                                   const IterGeneratorMinerOptions& options,
+                                   IterMinerStats* stats = nullptr,
+                                   ThreadPool* pool = nullptr);
 
 /// \brief True iff the one-event deletion check declares \p pattern a
 /// generator (exposed for tests and the ranking module).

@@ -45,6 +45,12 @@ struct PremiseJob {
 RuleSet MineRecurrentRules(const SequenceDatabase& db,
                            const RuleMinerOptions& options,
                            RuleMinerStats* stats) {
+  return MineRecurrentRules(db, options, stats, nullptr);
+}
+
+RuleSet MineRecurrentRules(const SequenceDatabase& db,
+                           const RuleMinerOptions& options,
+                           RuleMinerStats* stats, ThreadPool* pool) {
   RuleMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = RuleMinerStats{};
@@ -75,7 +81,8 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
               PremiseJob{premise, points, {}}));
           return true;
         });
-    ThreadPool::ParallelFor(num_threads, jobs.size(), [&](size_t i) {
+    ThreadPool::ParallelForShared(pool, num_threads, jobs.size(),
+                                  [&](size_t i) {
       jobs[i]->Mine(db, consequent_options);
     });
     for (auto& job : jobs) {

@@ -47,10 +47,23 @@ struct RuleMinerStats {
   bool truncated = false;       ///< True iff max_rules stopped the run.
 };
 
+class ThreadPool;
+
 /// \brief Mines recurrent rules from \p db per \p options.
+///
+/// New code should go through specmine::Engine (src/engine/engine.h),
+/// which validates options up front and shares one thread pool across a
+/// session's tasks.
 RuleSet MineRecurrentRules(const SequenceDatabase& db,
                            const RuleMinerOptions& options,
                            RuleMinerStats* stats = nullptr);
+
+/// \brief Pool-reusing variant: \p pool, when non-null and matching the
+/// resolved thread count, runs the per-premise fan-out instead of a fresh
+/// pool per call.
+RuleSet MineRecurrentRules(const SequenceDatabase& db,
+                           const RuleMinerOptions& options,
+                           RuleMinerStats* stats, ThreadPool* pool);
 
 }  // namespace specmine
 

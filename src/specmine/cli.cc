@@ -6,13 +6,12 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/engine/engine.h"
 #include "src/ltl/checker.h"
 #include "src/ltl/parser.h"
 #include "src/ltl/translate.h"
 #include "src/rulemine/backward_rules.h"
 #include "src/specmine/ranking.h"
-#include "src/itermine/generators.h"
-#include "src/specmine/spec_miner.h"
 #include "src/synth/quest_generator.h"
 #include "src/trace/csv_trace_reader.h"
 #include "src/trace/database_stats.h"
@@ -28,6 +27,9 @@ commands:
   stats <traces>                    print database shape statistics
   mine-patterns <traces> [options]  mine iterative patterns
   mine-rules <traces> [options]     mine recurrent rules (with LTL forms)
+  mine-seq <traces> [options]       mine sequential patterns (PrefixSpan/BIDE)
+  mine-episodes <traces> [options]  mine serial episodes (WINEPI/MINEPI)
+  mine-pairs <traces> [options]     mine two-event rules (Perracotta)
   check <traces> --ltl <formula>    evaluate an LTL formula on every trace
   gen-quest <out> [options]         generate a QUEST-style dataset
 
@@ -39,7 +41,14 @@ mine-patterns: --min-sup F (0.5) | --full | --generators | --max-len N
 mine-rules:    --min-ssup F (0.5) --min-conf F (0.9) --min-isup N (1)
                --full | --backward | --rank
                --max-pre N --max-post N --threads N (0 = all cores)
+mine-seq:      --min-sup F (0.5) | --closed | --generators | --max-len N
+mine-episodes: --minepi | --window N (10) --min-count N (1) --max-len N
+mine-pairs:    --min-sat F (1.0) --min-relevant N (1)
 gen-quest:     --d F --c F --n F --s F --seed N
+
+All miners run through the specmine::Engine session API; invalid options
+and malformed trace files are reported as errors (non-zero exit), never
+mined around.
 )";
 
 // Minimal flag parser: positional arguments plus --flag [value] pairs.
@@ -102,7 +111,10 @@ class Args {
   std::vector<std::string> positional_;
 };
 
-Result<SequenceDatabase> LoadTraces(const Args& args, const std::string& path) {
+// Opens an Engine session over the trace file named by \p path —
+// plain-text by default, CSV instrumentation records with --csv. Parse
+// errors (with their line numbers) come back as a non-OK Result.
+Result<Engine> LoadEngine(const Args& args, const std::string& path) {
   if (args.Has("csv")) {
     CsvTraceOptions options;
     options.group_column = args.GetUint("group-col", 0);
@@ -110,9 +122,9 @@ Result<SequenceDatabase> LoadTraces(const Args& args, const std::string& path) {
     std::string delim = args.Get("delim", ",");
     options.delimiter = delim.empty() ? ',' : delim[0];
     options.has_header = args.Has("header");
-    return ReadCsvTraceFile(path, options);
+    return Engine::FromCsvTraceFile(path, options);
   }
-  return ReadTextTraceFile(path);
+  return Engine::FromTextTraceFile(path);
 }
 
 int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
@@ -120,12 +132,12 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
     err << "stats: missing trace file\n";
     return 2;
   }
-  Result<SequenceDatabase> db = LoadTraces(args, args.positional()[0]);
-  if (!db.ok()) {
-    err << db.status().ToString() << '\n';
+  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
+  if (!engine.ok()) {
+    err << engine.status().ToString() << '\n';
     return 1;
   }
-  out << ComputeStats(*db).ToString() << '\n';
+  out << ComputeStats(engine->database()).ToString() << '\n';
   return 0;
 }
 
@@ -134,34 +146,45 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
     err << "mine-patterns: missing trace file\n";
     return 2;
   }
-  Result<SequenceDatabase> db = LoadTraces(args, args.positional()[0]);
-  if (!db.ok()) {
-    err << db.status().ToString() << '\n';
+  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
+  if (!engine.ok()) {
+    err << engine.status().ToString() << '\n';
     return 1;
   }
-  SpecMiner miner(db.TakeValueOrDie());
-  PatternSet patterns;
-  IterMinerStats stats;
-  if (args.Has("generators")) {
-    IterGeneratorMinerOptions options;
-    options.min_support =
-        miner.AbsoluteSupport(args.GetDouble("min-sup", 0.5));
-    options.max_length = args.GetUint("max-len", 0);
-    options.num_threads = args.GetUint("threads", 0);
-    patterns = MineIterativeGenerators(miner.database(), options, &stats);
-    patterns.SortBySupport();
-  } else {
-    PatternMiningConfig config;
-    config.min_support_fraction = args.GetDouble("min-sup", 0.5);
-    config.closed = !args.Has("full");
-    config.max_length = args.GetUint("max-len", 0);
-    config.num_threads = args.GetUint("threads", 0);
-    patterns = miner.MinePatterns(config, &stats);
+  const uint64_t min_support =
+      engine->AbsoluteSupport(args.GetDouble("min-sup", 0.5));
+  RunReport report;
+  Result<PatternSet> mined = [&]() -> Result<PatternSet> {
+    if (args.Has("generators")) {
+      GeneratorsTask task;
+      task.options.min_support = min_support;
+      task.options.max_length = args.GetUint("max-len", 0);
+      task.options.num_threads = args.GetUint("threads", 0);
+      return engine->CollectPatterns(task, &report);
+    }
+    if (args.Has("full")) {
+      FullPatternsTask task;
+      task.options.min_support = min_support;
+      task.options.max_length = args.GetUint("max-len", 0);
+      task.options.num_threads = args.GetUint("threads", 0);
+      return engine->CollectPatterns(task, &report);
+    }
+    ClosedTask task;
+    task.options.min_support = min_support;
+    task.options.max_length = args.GetUint("max-len", 0);
+    task.options.num_threads = args.GetUint("threads", 0);
+    return engine->CollectPatterns(task, &report);
+  }();
+  if (!mined.ok()) {
+    err << mined.status().ToString() << '\n';
+    return 2;
   }
+  PatternSet patterns = mined.TakeValueOrDie();
+  patterns.SortBySupport();
   out << patterns.size() << " patterns\n";
-  out << "timing: index build " << stats.index_build_seconds
-      << " s, mine " << stats.mine_seconds << " s\n";
-  out << patterns.ToString(miner.database().dictionary());
+  out << "timing: index build " << report.index_build_seconds
+      << " s, mine " << report.mine_seconds << " s\n";
+  out << patterns.ToString(engine->database().dictionary());
   return 0;
 }
 
@@ -170,29 +193,33 @@ int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
     err << "mine-rules: missing trace file\n";
     return 2;
   }
-  Result<SequenceDatabase> loaded = LoadTraces(args, args.positional()[0]);
+  Result<Engine> loaded = LoadEngine(args, args.positional()[0]);
   if (!loaded.ok()) {
     err << loaded.status().ToString() << '\n';
     return 1;
   }
-  SpecMiner miner(loaded.TakeValueOrDie());
-  const SequenceDatabase& db = miner.database();
+  const Engine& engine = *loaded;
+  const SequenceDatabase& db = engine.database();
 
-  RuleMinerOptions options;
-  options.min_s_support =
-      miner.AbsoluteSupport(args.GetDouble("min-ssup", 0.5));
-  options.min_confidence = args.GetDouble("min-conf", 0.9);
-  options.min_i_support = args.GetUint("min-isup", 1);
-  options.non_redundant = !args.Has("full");
-  options.max_premise_length = args.GetUint("max-pre", 0);
-  options.max_consequent_length = args.GetUint("max-post", 0);
-  options.num_threads = args.GetUint("threads", 0);
+  RulesTask task;
+  task.options.min_s_support =
+      engine.AbsoluteSupport(args.GetDouble("min-ssup", 0.5));
+  task.options.min_confidence = args.GetDouble("min-conf", 0.9);
+  task.options.min_i_support = args.GetUint("min-isup", 1);
+  task.options.non_redundant = !args.Has("full");
+  task.options.max_premise_length = args.GetUint("max-pre", 0);
+  task.options.max_consequent_length = args.GetUint("max-post", 0);
+  task.options.num_threads = args.GetUint("threads", 0);
+  task.backward = args.Has("backward");
 
-  const bool backward = args.Has("backward");
-  RuleSet rules = backward ? MineBackwardRules(db, options)
-                           : MineRecurrentRules(db, options);
-  out << rules.size() << (backward ? " backward" : "") << " rules\n";
-  if (args.Has("rank") && !backward) {
+  Result<RuleSet> mined = engine.CollectRules(task);
+  if (!mined.ok()) {
+    err << mined.status().ToString() << '\n';
+    return 2;
+  }
+  RuleSet rules = mined.TakeValueOrDie();
+  out << rules.size() << (task.backward ? " backward" : "") << " rules\n";
+  if (args.Has("rank") && !task.backward) {
     for (const RankedRule& rr : RankRules(rules, db)) {
       out << rr.rule.ToString(db.dictionary()) << "  lift="
           << rr.lift << '\n';
@@ -203,7 +230,7 @@ int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
   }
   rules.SortByQuality();
   for (const Rule& r : rules.rules()) {
-    if (backward) {
+    if (task.backward) {
       out << BackwardRuleToString(r, db.dictionary()) << '\n';
     } else {
       out << r.ToString(db.dictionary()) << '\n';
@@ -213,30 +240,134 @@ int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int CmdMineSeq(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "mine-seq: missing trace file\n";
+    return 2;
+  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
+  if (!engine.ok()) {
+    err << engine.status().ToString() << '\n';
+    return 1;
+  }
+  const uint64_t min_support =
+      engine->AbsoluteSupport(args.GetDouble("min-sup", 0.5));
+  const size_t max_length = args.GetUint("max-len", 0);
+  RunReport report;
+  Result<PatternSet> mined = [&]() -> Result<PatternSet> {
+    if (args.Has("generators")) {
+      SequentialGeneratorsTask task;
+      task.options.min_support = min_support;
+      task.options.max_length = max_length;
+      return engine->CollectPatterns(task, &report);
+    }
+    if (args.Has("closed")) {
+      ClosedSequentialTask task;
+      task.options.min_support = min_support;
+      task.options.max_length = max_length;
+      return engine->CollectPatterns(task, &report);
+    }
+    SequentialTask task;
+    task.options.min_support = min_support;
+    task.options.max_length = max_length;
+    return engine->CollectPatterns(task, &report);
+  }();
+  if (!mined.ok()) {
+    err << mined.status().ToString() << '\n';
+    return 2;
+  }
+  PatternSet patterns = mined.TakeValueOrDie();
+  patterns.SortBySupport();
+  out << patterns.size() << " sequential patterns (" << report.task << ")\n";
+  out << patterns.ToString(engine->database().dictionary());
+  return 0;
+}
+
+int CmdMineEpisodes(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "mine-episodes: missing trace file\n";
+    return 2;
+  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
+  if (!engine.ok()) {
+    err << engine.status().ToString() << '\n';
+    return 1;
+  }
+  EpisodeTask task;
+  if (args.Has("minepi")) {
+    task.algorithm = EpisodeTask::Algorithm::kMinepi;
+    task.minepi.max_window = args.GetUint("window", 10);
+    task.minepi.min_support = args.GetUint("min-count", 1);
+    task.minepi.max_length = args.GetUint("max-len", 0);
+  } else {
+    task.winepi.window_width = args.GetUint("window", 10);
+    task.winepi.min_window_count = args.GetUint("min-count", 1);
+    task.winepi.max_length = args.GetUint("max-len", 0);
+  }
+  RunReport report;
+  Result<PatternSet> mined = engine->CollectPatterns(task, &report);
+  if (!mined.ok()) {
+    err << mined.status().ToString() << '\n';
+    return 2;
+  }
+  PatternSet episodes = mined.TakeValueOrDie();
+  episodes.SortBySupport();
+  out << episodes.size() << " episodes (" << report.task << ")\n";
+  out << episodes.ToString(engine->database().dictionary());
+  return 0;
+}
+
+int CmdMinePairs(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "mine-pairs: missing trace file\n";
+    return 2;
+  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
+  if (!engine.ok()) {
+    err << engine.status().ToString() << '\n';
+    return 1;
+  }
+  TwoEventTask task;
+  task.options.min_satisfaction = args.GetDouble("min-sat", 1.0);
+  task.options.min_relevant_traces = args.GetUint("min-relevant", 1);
+  CollectingTwoEventSink sink;
+  Result<RunReport> report = engine->Mine(task, sink);
+  if (!report.ok()) {
+    err << report.status().ToString() << '\n';
+    return 2;
+  }
+  out << sink.rules().size() << " two-event rules\n";
+  for (const TwoEventRule& rule : sink.rules()) {
+    out << rule.ToString(engine->database().dictionary()) << '\n';
+  }
+  return 0;
+}
+
 int CmdCheck(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.positional().empty() || !args.Has("ltl")) {
     err << "check: usage: check <traces> --ltl <formula>\n";
     return 2;
   }
-  Result<SequenceDatabase> db = LoadTraces(args, args.positional()[0]);
-  if (!db.ok()) {
-    err << db.status().ToString() << '\n';
+  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
+  if (!engine.ok()) {
+    err << engine.status().ToString() << '\n';
     return 1;
   }
+  const SequenceDatabase& db = engine->database();
   Result<LtlPtr> formula = ParseLtl(args.Get("ltl", ""));
   if (!formula.ok()) {
     err << formula.status().ToString() << '\n';
     return 1;
   }
   size_t holding = 0;
-  for (SeqId s = 0; s < db->size(); ++s) {
-    bool ok = EvaluateLtl(*formula, *db, s);
+  for (SeqId s = 0; s < db.size(); ++s) {
+    bool ok = EvaluateLtl(*formula, db, s);
     if (ok) ++holding;
     out << "trace " << s << ": " << (ok ? "holds" : "VIOLATED") << '\n';
   }
-  out << holding << " / " << db->size() << " traces satisfy "
+  out << holding << " / " << db.size() << " traces satisfy "
       << (*formula)->ToString() << '\n';
-  return holding == db->size() ? 0 : 1;
+  return holding == db.size() ? 0 : 1;
 }
 
 int CmdGenQuest(const Args& args, std::ostream& out, std::ostream& err) {
@@ -278,6 +409,9 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "stats") return CmdStats(parsed, out, err);
   if (command == "mine-patterns") return CmdMinePatterns(parsed, out, err);
   if (command == "mine-rules") return CmdMineRules(parsed, out, err);
+  if (command == "mine-seq") return CmdMineSeq(parsed, out, err);
+  if (command == "mine-episodes") return CmdMineEpisodes(parsed, out, err);
+  if (command == "mine-pairs") return CmdMinePairs(parsed, out, err);
   if (command == "check") return CmdCheck(parsed, out, err);
   if (command == "gen-quest") return CmdGenQuest(parsed, out, err);
   err << "unknown command: " << command << '\n' << kUsage;

@@ -1,73 +1,118 @@
 #include "src/specmine/spec_miner.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "src/itermine/full_miner.h"
 #include "src/ltl/translate.h"
-#include "src/trace/trace_io.h"
 
 namespace specmine {
 
+namespace {
+
+// The CLI and benches still consume IterMinerStats; mirror the unified
+// report back into the legacy shape.
+void ReportToStats(const RunReport& report, IterMinerStats* stats) {
+  if (stats == nullptr) return;
+  *stats = IterMinerStats{};
+  stats->nodes_visited = report.nodes_visited;
+  stats->patterns_emitted = report.patterns_emitted;
+  stats->subtrees_pruned = report.subtrees_pruned;
+  stats->truncated = report.truncated;
+  stats->index_build_seconds = report.index_build_seconds;
+  stats->mine_seconds = report.mine_seconds;
+}
+
+}  // namespace
+
 Result<SpecMiner> SpecMiner::FromTraceFile(const std::string& path) {
-  Result<SequenceDatabase> db = ReadTextTraceFile(path);
-  if (!db.ok()) return db.status();
-  return SpecMiner(db.TakeValueOrDie());
+  Result<Engine> engine = Engine::FromTextTraceFile(path);
+  if (!engine.ok()) return engine.status();
+  return SpecMiner(engine.TakeValueOrDie());
 }
 
-uint64_t SpecMiner::AbsoluteSupport(double fraction) const {
-  double raw = fraction * static_cast<double>(db_.size());
-  uint64_t abs = static_cast<uint64_t>(std::ceil(raw - 1e-9));
-  return std::max<uint64_t>(abs, 1);
-}
-
-PatternSet SpecMiner::MinePatterns(const PatternMiningConfig& config,
-                                   IterMinerStats* stats) const {
-  PatternSet out;
-  if (config.closed) {
-    ClosedIterMinerOptions options;
-    options.min_support = AbsoluteSupport(config.min_support_fraction);
-    options.max_length = config.max_length;
-    options.num_threads = config.num_threads;
-    out = MineClosedIterative(db_, options, stats);
-  } else {
-    IterMinerOptions options;
-    options.min_support = AbsoluteSupport(config.min_support_fraction);
-    options.max_length = config.max_length;
-    options.max_patterns = config.max_patterns;
-    options.num_threads = config.num_threads;
-    out = MineFrequentIterative(db_, options, stats);
-  }
+Result<PatternSet> SpecMiner::MinePatternsChecked(
+    const PatternMiningConfig& config, IterMinerStats* stats) const {
+  RunReport report;
+  Result<PatternSet> mined = [&]() -> Result<PatternSet> {
+    if (config.closed) {
+      ClosedTask task;
+      task.options.min_support = AbsoluteSupport(config.min_support_fraction);
+      task.options.max_length = config.max_length;
+      task.options.num_threads = config.num_threads;
+      return engine_.CollectPatterns(task, &report);
+    }
+    FullPatternsTask task;
+    task.options.min_support = AbsoluteSupport(config.min_support_fraction);
+    task.options.max_length = config.max_length;
+    task.options.max_patterns = config.max_patterns;
+    task.options.num_threads = config.num_threads;
+    return engine_.CollectPatterns(task, &report);
+  }();
+  if (!mined.ok()) return mined.status();
+  ReportToStats(report, stats);
+  PatternSet out = mined.TakeValueOrDie();
   out.SortBySupport();
   return out;
 }
 
-RuleSet SpecMiner::MineRules(const RuleMiningConfig& config) const {
-  RuleMinerOptions options;
-  options.min_s_support = AbsoluteSupport(config.min_s_support_fraction);
-  options.min_confidence = config.min_confidence;
-  options.min_i_support = config.min_i_support;
-  options.non_redundant = config.non_redundant;
-  options.max_premise_length = config.max_premise_length;
-  options.max_consequent_length = config.max_consequent_length;
-  options.max_rules = config.max_rules;
-  options.num_threads = config.num_threads;
-  RuleSet rules = MineRecurrentRules(db_, options);
+PatternSet SpecMiner::MinePatterns(const PatternMiningConfig& config,
+                                   IterMinerStats* stats) const {
+  Result<PatternSet> mined = MinePatternsChecked(config, stats);
+  if (!mined.ok()) return PatternSet{};
+  return mined.TakeValueOrDie();
+}
+
+Result<RuleSet> SpecMiner::MineRulesChecked(
+    const RuleMiningConfig& config) const {
+  RulesTask task;
+  task.options.min_s_support = AbsoluteSupport(config.min_s_support_fraction);
+  task.options.min_confidence = config.min_confidence;
+  task.options.min_i_support = config.min_i_support;
+  task.options.non_redundant = config.non_redundant;
+  task.options.max_premise_length = config.max_premise_length;
+  task.options.max_consequent_length = config.max_consequent_length;
+  task.options.max_rules = config.max_rules;
+  task.options.num_threads = config.num_threads;
+  Result<RuleSet> mined = engine_.CollectRules(task);
+  if (!mined.ok()) return mined.status();
+  RuleSet rules = mined.TakeValueOrDie();
   rules.SortByQuality();
   return rules;
 }
 
-SpecificationReport SpecMiner::Mine(const PatternMiningConfig& pattern_config,
-                                    const RuleMiningConfig& rule_config) const {
+RuleSet SpecMiner::MineRules(const RuleMiningConfig& config) const {
+  Result<RuleSet> mined = MineRulesChecked(config);
+  if (!mined.ok()) return RuleSet{};
+  return mined.TakeValueOrDie();
+}
+
+Result<SpecificationReport> SpecMiner::MineChecked(
+    const PatternMiningConfig& pattern_config,
+    const RuleMiningConfig& rule_config) const {
   SpecificationReport report;
-  report.stats = ComputeStats(db_);
-  report.patterns = MinePatterns(pattern_config);
-  report.rules = MineRules(rule_config);
+  report.stats = ComputeStats(database());
+  Result<PatternSet> patterns = MinePatternsChecked(pattern_config);
+  if (!patterns.ok()) return patterns.status();
+  report.patterns = patterns.TakeValueOrDie();
+  Result<RuleSet> rules = MineRulesChecked(rule_config);
+  if (!rules.ok()) return rules.status();
+  report.rules = rules.TakeValueOrDie();
   report.ltl.reserve(report.rules.size());
   for (const Rule& rule : report.rules.rules()) {
-    report.ltl.push_back(RuleToLtl(rule, db_.dictionary())->ToString());
+    report.ltl.push_back(RuleToLtl(rule, database().dictionary())->ToString());
   }
   return report;
+}
+
+SpecificationReport SpecMiner::Mine(const PatternMiningConfig& pattern_config,
+                                    const RuleMiningConfig& rule_config) const {
+  Result<SpecificationReport> report =
+      MineChecked(pattern_config, rule_config);
+  if (report.ok()) return report.TakeValueOrDie();
+  // Degrade contract: database stats survive, mined sets stay empty.
+  SpecificationReport degraded;
+  degraded.stats = ComputeStats(database());
+  return degraded;
 }
 
 }  // namespace specmine

@@ -1,13 +1,22 @@
-// SpecMiner: the library's high-level entry point. Wraps trace loading,
-// iterative pattern mining and recurrent rule mining behind relative
-// thresholds, producing a SpecificationReport — the workflow of the
-// paper's case studies (Section 7).
+// SpecMiner: the case-study workflow of the paper's Section 7 — trace
+// loading, iterative pattern mining and recurrent rule mining behind
+// database-relative thresholds, producing a SpecificationReport.
+//
+// SpecMiner is now a thin veneer over specmine::Engine (src/engine/):
+// one owned session whose PositionIndex and worker pool are built once and
+// reused across MinePatterns / MineRules / Mine calls. The legacy
+// PatternSet / RuleSet returning methods are byte-identical for every
+// valid configuration; on a configuration the Engine rejects (e.g. a
+// confidence outside [0, 1]) they degrade to an empty result instead of
+// mining with undefined thresholds. Use the *Checked variants to see the
+// rejection as a Status.
 
 #ifndef SPECMINE_SPECMINE_SPEC_MINER_H_
 #define SPECMINE_SPECMINE_SPEC_MINER_H_
 
 #include <string>
 
+#include "src/engine/engine.h"
 #include "src/itermine/closed_miner.h"
 #include "src/rulemine/rule_miner.h"
 #include "src/specmine/report.h"
@@ -52,38 +61,61 @@ struct RuleMiningConfig {
   size_t num_threads = 0;
 };
 
-/// \brief Facade over the mining pipelines.
+/// \brief Facade over the mining pipelines (one Engine session).
 class SpecMiner {
  public:
   /// \brief Takes ownership of the trace database.
-  explicit SpecMiner(SequenceDatabase db) : db_(std::move(db)) {}
+  explicit SpecMiner(SequenceDatabase db) : engine_(std::move(db)) {}
 
   /// \brief Loads traces in the plain-text format from \p path.
   static Result<SpecMiner> FromTraceFile(const std::string& path);
 
   /// \brief The wrapped database.
-  const SequenceDatabase& database() const { return db_; }
+  const SequenceDatabase& database() const { return engine_.database(); }
 
-  /// \brief Mines iterative patterns per \p config (support sorted).
-  /// \p stats, when non-null, receives the run's counters and the
-  /// index-build / mine wall-clock split.
+  /// \brief The underlying session (cached index, shared pool).
+  const Engine& engine() const { return engine_; }
+
+  /// \brief The ClosedTask / FullPatternsTask equivalent of \p config.
+  /// Mines iterative patterns, support sorted. \p stats, when non-null,
+  /// receives the run's counters and the index-build / mine wall-clock
+  /// split (index build time is charged to the session's first task only).
   PatternSet MinePatterns(const PatternMiningConfig& config,
                           IterMinerStats* stats = nullptr) const;
+
+  /// \brief Status-returning variant of MinePatterns.
+  Result<PatternSet> MinePatternsChecked(const PatternMiningConfig& config,
+                                         IterMinerStats* stats
+                                         = nullptr) const;
 
   /// \brief Mines recurrent rules per \p config (quality sorted).
   RuleSet MineRules(const RuleMiningConfig& config) const;
 
-  /// \brief Runs both miners and assembles the full report, including the
-  /// LTL rendering of every rule.
+  /// \brief Status-returning variant of MineRules.
+  Result<RuleSet> MineRulesChecked(const RuleMiningConfig& config) const;
+
+  /// \brief Runs both miners over the shared session index and assembles
+  /// the full report, including the LTL rendering of every rule. On a
+  /// rejected configuration the report carries the database stats but
+  /// empty pattern/rule sets (see MineChecked for the Status).
   SpecificationReport Mine(const PatternMiningConfig& pattern_config,
                            const RuleMiningConfig& rule_config) const;
 
+  /// \brief Status-returning variant of Mine.
+  Result<SpecificationReport> MineChecked(
+      const PatternMiningConfig& pattern_config,
+      const RuleMiningConfig& rule_config) const;
+
   /// \brief Converts a fraction-of-sequences threshold to an absolute one
   /// (at least 1).
-  uint64_t AbsoluteSupport(double fraction) const;
+  uint64_t AbsoluteSupport(double fraction) const {
+    return engine_.AbsoluteSupport(fraction);
+  }
 
  private:
-  SequenceDatabase db_;
+  explicit SpecMiner(Engine engine) : engine_(std::move(engine)) {}
+
+  Engine engine_;
 };
 
 }  // namespace specmine

@@ -15,6 +15,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace specmine {
@@ -52,16 +53,39 @@ class ThreadPool {
     return requested < kMaxThreads ? requested : kMaxThreads;
   }
 
+  /// \brief Runs fn(i) for every i in [0, n) on this pool's workers and
+  /// blocks until all calls finish. The pool must be otherwise idle (the
+  /// miners run one fan-out at a time; an Engine session serializes its
+  /// tasks).
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn) {
+    for (size_t i = 0; i < n; ++i) {
+      Submit([i, &fn] { fn(i); });
+    }
+    Wait();
+  }
+
   /// \brief Runs fn(i) for every i in [0, n) on a fresh pool of
   /// \p num_threads workers and blocks until all calls finish — the
   /// shared scaffold of the miners' per-root-job fan-out.
   template <typename Fn>
   static void ParallelFor(size_t num_threads, size_t n, Fn&& fn) {
     ThreadPool pool(num_threads);
-    for (size_t i = 0; i < n; ++i) {
-      pool.Submit([i, &fn] { fn(i); });
+    pool.ParallelFor(n, std::forward<Fn>(fn));
+  }
+
+  /// \brief ParallelFor on \p shared when it matches the requested worker
+  /// count (an Engine session's cached pool), else on a fresh pool. The
+  /// miners route every fan-out through this so a long-lived session
+  /// amortizes thread spawns across requests.
+  template <typename Fn>
+  static void ParallelForShared(ThreadPool* shared, size_t num_threads,
+                                size_t n, Fn&& fn) {
+    if (shared != nullptr && shared->num_threads() == num_threads) {
+      shared->ParallelFor(n, std::forward<Fn>(fn));
+      return;
     }
-    pool.Wait();
+    ParallelFor(num_threads, n, std::forward<Fn>(fn));
   }
 
  private:

@@ -28,6 +28,31 @@ std::vector<std::string> SplitRow(std::string_view row, char delimiter) {
   return fields;
 }
 
+// Names exactly what is wrong with a rejected row: too few columns, or an
+// empty key/event field. Includes the 1-based line number (the contract
+// the CLI error paths and tests pin) and a snippet of the offending line.
+Status MalformedRow(size_t line_no, std::string_view row,
+                    const std::vector<std::string>& fields,
+                    const CsvTraceOptions& options, size_t needed_columns) {
+  std::string what;
+  if (fields.size() < needed_columns) {
+    what = "expected at least " + std::to_string(needed_columns) +
+           " columns, got " + std::to_string(fields.size());
+  } else if (fields[options.group_column].empty()) {
+    what = "empty group field (column " +
+           std::to_string(options.group_column) + ")";
+  } else {
+    what = "empty event field (column " +
+           std::to_string(options.event_column) + ")";
+  }
+  constexpr size_t kSnippetLimit = 60;
+  std::string snippet(row.substr(0, kSnippetLimit));
+  if (row.size() > kSnippetLimit) snippet += "...";
+  return Status::ParseError("malformed CSV trace record at line " +
+                            std::to_string(line_no) + ": " + what + " in \"" +
+                            snippet + "\"");
+}
+
 }  // namespace
 
 Result<SequenceDatabase> ReadCsvTraces(std::istream& in,
@@ -56,10 +81,10 @@ Result<SequenceDatabase> ReadCsvTraces(std::istream& in,
         fields[options.event_column].empty() ||
         fields[options.group_column].empty()) {
       if (options.strict) {
-        return Status::ParseError("malformed CSV trace record at line " +
-                                  std::to_string(line_no));
+        return MalformedRow(line_no, stripped, fields, options,
+                            needed_columns);
       }
-      continue;
+      continue;  // Non-strict mode: tolerate and drop the row.
     }
     const std::string& key = fields[options.group_column];
     auto [it, inserted] = group_index.try_emplace(key, groups.size());

@@ -6,6 +6,26 @@
 
 namespace specmine {
 
+Status CheckIndexable(const SequenceDatabase& db) {
+  // The CSR offsets are uint32 (kNoPos reserved as a sentinel); past that
+  // the counting passes would wrap and scatter out of bounds. A database
+  // this large needs a sharded index first.
+  if (db.TotalEvents() >= kNoPos) {
+    return Status::OutOfRange(
+        "database has " + std::to_string(db.TotalEvents()) +
+        " events, beyond the 2^32-2 the index's uint32 offsets can address");
+  }
+  for (SeqId s = 0; s < db.size(); ++s) {
+    if (db[s].size() >= kNoPos) {
+      return Status::OutOfRange(
+          "sequence " + std::to_string(s) + " has " +
+          std::to_string(db[s].size()) +
+          " events, beyond the uint32 position range");
+    }
+  }
+  return Status::OK();
+}
+
 PositionIndex::PositionIndex(const SequenceDatabase& db,
                              size_t dense_cell_limit)
     : db_(&db),

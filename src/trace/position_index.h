@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/support/status.h"
 #include "src/trace/sequence_database.h"
 
 namespace specmine {
@@ -58,6 +59,15 @@ inline bool operator==(const PosSpan& s, const std::vector<Pos>& v) {
 inline bool operator==(const std::vector<Pos>& v, const PosSpan& s) {
   return s == v;
 }
+
+/// \brief Verifies that \p db fits the index's uint32 offset layout: every
+/// per-sequence position and every offset into the flat position array must
+/// be representable as a uint32 (with kNoPos reserved as a sentinel).
+/// Returns OutOfRange naming the violating quantity, else OK. PositionIndex
+/// construction assumes this holds; the Engine façade and the trace readers
+/// check it up front so oversized inputs surface as errors instead of
+/// silently wrapped offsets.
+Status CheckIndexable(const SequenceDatabase& db);
 
 /// \brief For each (event, sequence), the sorted list of positions at which
 /// the event occurs.

@@ -121,6 +121,50 @@ TEST_F(CliTest, GenQuestWritesDataset) {
   std::remove(out_path.c_str());
 }
 
+TEST_F(CliTest, MalformedCsvFailsWithLineNumber) {
+  std::string csv_path = ::testing::TempDir() + "cli_test_bad_traces.csv";
+  {
+    std::ofstream out(csv_path);
+    out << "t1,lock\nt1,unlock\nbroken-row\n";
+  }
+  EXPECT_EQ(Run({"stats", csv_path, "--csv"}), 1);
+  EXPECT_NE(err_.str().find("ParseError"), std::string::npos);
+  EXPECT_NE(err_.str().find("line 3"), std::string::npos);
+  std::remove(csv_path.c_str());
+}
+
+TEST_F(CliTest, OutOfRangeConfidenceFails) {
+  EXPECT_EQ(Run({"mine-rules", path_, "--min-ssup", "0.9", "--min-conf",
+                 "1.5"}),
+            2);
+  EXPECT_NE(err_.str().find("InvalidArgument"), std::string::npos);
+  EXPECT_NE(err_.str().find("min_confidence"), std::string::npos);
+}
+
+TEST_F(CliTest, MineSeqClosed) {
+  EXPECT_EQ(Run({"mine-seq", path_, "--min-sup", "0.9", "--closed"}), 0);
+  EXPECT_NE(out_.str().find("closed-sequential"), std::string::npos);
+  EXPECT_NE(out_.str().find("<lock, unlock>"), std::string::npos);
+}
+
+TEST_F(CliTest, MineEpisodes) {
+  EXPECT_EQ(Run({"mine-episodes", path_, "--window", "3", "--min-count",
+                 "4"}),
+            0);
+  EXPECT_NE(out_.str().find("episodes (episodes-winepi)"), std::string::npos);
+}
+
+TEST_F(CliTest, MineEpisodesZeroWindowFails) {
+  EXPECT_EQ(Run({"mine-episodes", path_, "--window", "0"}), 2);
+  EXPECT_NE(err_.str().find("window_width"), std::string::npos);
+}
+
+TEST_F(CliTest, MinePairs) {
+  EXPECT_EQ(Run({"mine-pairs", path_, "--min-sat", "1.0"}), 0);
+  EXPECT_NE(out_.str().find("two-event rules"), std::string::npos);
+  EXPECT_NE(out_.str().find("lock"), std::string::npos);
+}
+
 TEST_F(CliTest, CsvInput) {
   std::string csv_path = ::testing::TempDir() + "cli_test_traces.csv";
   {

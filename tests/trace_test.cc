@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "src/trace/csv_trace_reader.h"
 #include "src/trace/database_stats.h"
 #include "src/trace/event_dictionary.h"
 #include "src/trace/position_index.h"
@@ -208,6 +209,46 @@ TEST(DatabaseStatsTest, ComputesShape) {
   EXPECT_EQ(st.max_length, 5u);
   EXPECT_DOUBLE_EQ(st.avg_length, 3.0);
   EXPECT_NE(st.ToString().find("3 sequences"), std::string::npos);
+}
+
+TEST(CsvTraceReaderTest, GroupsRowsIntoSequences) {
+  std::istringstream in("# comment\nt1,lock\nt2,open\nt1,unlock\nt2,close\n");
+  Result<SequenceDatabase> db = ReadCsvTraces(in, CsvTraceOptions{});
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->size(), 2u);
+  EXPECT_EQ((*db)[0].size(), 2u);  // t1 in first-appearance order.
+  EXPECT_EQ(db->dictionary().Name((*db)[0][0]), "lock");
+  EXPECT_EQ(db->dictionary().Name((*db)[1][1]), "close");
+}
+
+TEST(CsvTraceReaderTest, StrictModeReportsOffendingLineNumber) {
+  // Line 1 is a comment, lines 2-3 are fine, line 4 has one column.
+  std::istringstream in("# instrumented\nt1,lock\nt1,unlock\nbroken-row\n");
+  Result<SequenceDatabase> db = ReadCsvTraces(in, CsvTraceOptions{});
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kParseError);
+  EXPECT_NE(db.status().message().find("line 4"), std::string::npos);
+  EXPECT_NE(db.status().message().find("broken-row"), std::string::npos);
+  EXPECT_NE(db.status().message().find("columns"), std::string::npos);
+}
+
+TEST(CsvTraceReaderTest, StrictModeReportsEmptyEventField) {
+  std::istringstream in("t1,lock\nt1,\n");
+  Result<SequenceDatabase> db = ReadCsvTraces(in, CsvTraceOptions{});
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kParseError);
+  EXPECT_NE(db.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(db.status().message().find("event"), std::string::npos);
+}
+
+TEST(CsvTraceReaderTest, NonStrictModeSkipsMalformedRows) {
+  std::istringstream in("t1,lock\nbroken-row\nt1,unlock\n");
+  CsvTraceOptions options;
+  options.strict = false;
+  Result<SequenceDatabase> db = ReadCsvTraces(in, options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->size(), 1u);
+  EXPECT_EQ((*db)[0].size(), 2u);
 }
 
 TEST(DatabaseStatsTest, EmptyDatabase) {

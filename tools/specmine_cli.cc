@@ -1,4 +1,5 @@
-// Thin entry point for the specmine CLI (logic in src/specmine/cli.*).
+// Thin entry point for the specmine CLI (logic in src/specmine/cli.*,
+// which drives every miner through the specmine::Engine session API).
 
 #include <iostream>
 #include <string>
