@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prunes.dir/bench/ablation_prunes.cc.o"
+  "CMakeFiles/bench_ablation_prunes.dir/bench/ablation_prunes.cc.o.d"
+  "bench_ablation_prunes"
+  "bench_ablation_prunes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prunes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

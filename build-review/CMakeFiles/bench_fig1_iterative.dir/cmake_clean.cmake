@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_iterative.dir/bench/fig1_iterative.cc.o"
+  "CMakeFiles/bench_fig1_iterative.dir/bench/fig1_iterative.cc.o.d"
+  "bench_fig1_iterative"
+  "bench_fig1_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rules_ssup.dir/bench/fig2_rules_ssup.cc.o"
+  "CMakeFiles/bench_fig2_rules_ssup.dir/bench/fig2_rules_ssup.cc.o.d"
+  "bench_fig2_rules_ssup"
+  "bench_fig2_rules_ssup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rules_ssup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

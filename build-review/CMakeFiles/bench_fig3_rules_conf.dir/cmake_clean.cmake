@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rules_conf.dir/bench/fig3_rules_conf.cc.o"
+  "CMakeFiles/bench_fig3_rules_conf.dir/bench/fig3_rules_conf.cc.o.d"
+  "bench_fig3_rules_conf"
+  "bench_fig3_rules_conf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rules_conf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_case_txn.dir/bench/fig4_case_txn.cc.o"
+  "CMakeFiles/bench_fig4_case_txn.dir/bench/fig4_case_txn.cc.o.d"
+  "bench_fig4_case_txn"
+  "bench_fig4_case_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_case_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

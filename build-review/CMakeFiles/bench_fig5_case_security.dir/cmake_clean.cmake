@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_case_security.dir/bench/fig5_case_security.cc.o"
+  "CMakeFiles/bench_fig5_case_security.dir/bench/fig5_case_security.cc.o.d"
+  "bench_fig5_case_security"
+  "bench_fig5_case_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_case_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ltl.dir/bench/table2_ltl.cc.o"
+  "CMakeFiles/bench_table2_ltl.dir/bench/table2_ltl.cc.o.d"
+  "bench_table2_ltl"
+  "bench_table2_ltl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/episode_test.dir/tests/episode_test.cc.o"
+  "CMakeFiles/episode_test.dir/tests/episode_test.cc.o.d"
+  "episode_test"
+  "episode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/episode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

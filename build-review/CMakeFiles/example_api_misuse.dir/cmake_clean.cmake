@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_api_misuse.dir/examples/api_misuse.cpp.o"
+  "CMakeFiles/example_api_misuse.dir/examples/api_misuse.cpp.o.d"
+  "example_api_misuse"
+  "example_api_misuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_api_misuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

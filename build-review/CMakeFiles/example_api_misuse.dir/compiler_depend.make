@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_api_misuse.
+# This may be replaced when dependencies are built.

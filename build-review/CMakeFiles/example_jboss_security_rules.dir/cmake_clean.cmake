@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_jboss_security_rules.dir/examples/jboss_security_rules.cpp.o"
+  "CMakeFiles/example_jboss_security_rules.dir/examples/jboss_security_rules.cpp.o.d"
+  "example_jboss_security_rules"
+  "example_jboss_security_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_jboss_security_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_jboss_security_rules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_jboss_txn_patterns.dir/examples/jboss_txn_patterns.cpp.o"
+  "CMakeFiles/example_jboss_txn_patterns.dir/examples/jboss_txn_patterns.cpp.o.d"
+  "example_jboss_txn_patterns"
+  "example_jboss_txn_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_jboss_txn_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

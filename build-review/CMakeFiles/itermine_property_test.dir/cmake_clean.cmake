@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itermine_property_test.dir/tests/itermine_property_test.cc.o"
+  "CMakeFiles/itermine_property_test.dir/tests/itermine_property_test.cc.o.d"
+  "itermine_property_test"
+  "itermine_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itermine_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itermine_test.dir/tests/itermine_test.cc.o"
+  "CMakeFiles/itermine_test.dir/tests/itermine_test.cc.o.d"
+  "itermine_test"
+  "itermine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itermine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

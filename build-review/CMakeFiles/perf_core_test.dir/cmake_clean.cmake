@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_core_test.dir/tests/perf_core_test.cc.o"
+  "CMakeFiles/perf_core_test.dir/tests/perf_core_test.cc.o.d"
+  "perf_core_test"
+  "perf_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

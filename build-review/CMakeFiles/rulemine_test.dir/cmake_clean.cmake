@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulemine_test.dir/tests/rulemine_test.cc.o"
+  "CMakeFiles/rulemine_test.dir/tests/rulemine_test.cc.o.d"
+  "rulemine_test"
+  "rulemine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulemine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqmine_test.dir/tests/seqmine_test.cc.o"
+  "CMakeFiles/seqmine_test.dir/tests/seqmine_test.cc.o.d"
+  "seqmine_test"
+  "seqmine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqmine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

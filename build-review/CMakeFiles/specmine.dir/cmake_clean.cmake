@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specmine.dir/tools/specmine_cli.cc.o"
+  "CMakeFiles/specmine.dir/tools/specmine_cli.cc.o.d"
+  "specmine"
+  "specmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

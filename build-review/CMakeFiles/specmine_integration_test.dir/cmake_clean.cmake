@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specmine_integration_test.dir/tests/specmine_integration_test.cc.o"
+  "CMakeFiles/specmine_integration_test.dir/tests/specmine_integration_test.cc.o.d"
+  "specmine_integration_test"
+  "specmine_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specmine_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

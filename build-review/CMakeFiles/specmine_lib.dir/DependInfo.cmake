@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/specmine_lib.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/engine/run_report.cc" "CMakeFiles/specmine_lib.dir/src/engine/run_report.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/engine/run_report.cc.o.d"
+  "/root/repo/src/engine/sinks.cc" "CMakeFiles/specmine_lib.dir/src/engine/sinks.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/engine/sinks.cc.o.d"
+  "/root/repo/src/engine/tasks.cc" "CMakeFiles/specmine_lib.dir/src/engine/tasks.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/engine/tasks.cc.o.d"
+  "/root/repo/src/episode/episode_rules.cc" "CMakeFiles/specmine_lib.dir/src/episode/episode_rules.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/episode/episode_rules.cc.o.d"
+  "/root/repo/src/episode/gap_episodes.cc" "CMakeFiles/specmine_lib.dir/src/episode/gap_episodes.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/episode/gap_episodes.cc.o.d"
+  "/root/repo/src/episode/minepi.cc" "CMakeFiles/specmine_lib.dir/src/episode/minepi.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/episode/minepi.cc.o.d"
+  "/root/repo/src/episode/winepi.cc" "CMakeFiles/specmine_lib.dir/src/episode/winepi.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/episode/winepi.cc.o.d"
+  "/root/repo/src/itermine/brute_force.cc" "CMakeFiles/specmine_lib.dir/src/itermine/brute_force.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/itermine/brute_force.cc.o.d"
+  "/root/repo/src/itermine/closed_miner.cc" "CMakeFiles/specmine_lib.dir/src/itermine/closed_miner.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/itermine/closed_miner.cc.o.d"
+  "/root/repo/src/itermine/full_miner.cc" "CMakeFiles/specmine_lib.dir/src/itermine/full_miner.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/itermine/full_miner.cc.o.d"
+  "/root/repo/src/itermine/generators.cc" "CMakeFiles/specmine_lib.dir/src/itermine/generators.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/itermine/generators.cc.o.d"
+  "/root/repo/src/itermine/instance.cc" "CMakeFiles/specmine_lib.dir/src/itermine/instance.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/itermine/instance.cc.o.d"
+  "/root/repo/src/itermine/projection.cc" "CMakeFiles/specmine_lib.dir/src/itermine/projection.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/itermine/projection.cc.o.d"
+  "/root/repo/src/itermine/qre_verifier.cc" "CMakeFiles/specmine_lib.dir/src/itermine/qre_verifier.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/itermine/qre_verifier.cc.o.d"
+  "/root/repo/src/ltl/checker.cc" "CMakeFiles/specmine_lib.dir/src/ltl/checker.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/ltl/checker.cc.o.d"
+  "/root/repo/src/ltl/formula.cc" "CMakeFiles/specmine_lib.dir/src/ltl/formula.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/ltl/formula.cc.o.d"
+  "/root/repo/src/ltl/parser.cc" "CMakeFiles/specmine_lib.dir/src/ltl/parser.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/ltl/parser.cc.o.d"
+  "/root/repo/src/ltl/translate.cc" "CMakeFiles/specmine_lib.dir/src/ltl/translate.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/ltl/translate.cc.o.d"
+  "/root/repo/src/patterns/pattern.cc" "CMakeFiles/specmine_lib.dir/src/patterns/pattern.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/patterns/pattern.cc.o.d"
+  "/root/repo/src/patterns/pattern_set.cc" "CMakeFiles/specmine_lib.dir/src/patterns/pattern_set.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/patterns/pattern_set.cc.o.d"
+  "/root/repo/src/rulemine/backward_rules.cc" "CMakeFiles/specmine_lib.dir/src/rulemine/backward_rules.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/rulemine/backward_rules.cc.o.d"
+  "/root/repo/src/rulemine/consequent_miner.cc" "CMakeFiles/specmine_lib.dir/src/rulemine/consequent_miner.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/rulemine/consequent_miner.cc.o.d"
+  "/root/repo/src/rulemine/premise_miner.cc" "CMakeFiles/specmine_lib.dir/src/rulemine/premise_miner.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/rulemine/premise_miner.cc.o.d"
+  "/root/repo/src/rulemine/redundancy.cc" "CMakeFiles/specmine_lib.dir/src/rulemine/redundancy.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/rulemine/redundancy.cc.o.d"
+  "/root/repo/src/rulemine/rule.cc" "CMakeFiles/specmine_lib.dir/src/rulemine/rule.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/rulemine/rule.cc.o.d"
+  "/root/repo/src/rulemine/rule_miner.cc" "CMakeFiles/specmine_lib.dir/src/rulemine/rule_miner.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/rulemine/rule_miner.cc.o.d"
+  "/root/repo/src/rulemine/temporal_points.cc" "CMakeFiles/specmine_lib.dir/src/rulemine/temporal_points.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/rulemine/temporal_points.cc.o.d"
+  "/root/repo/src/seqmine/closed_sequential_miner.cc" "CMakeFiles/specmine_lib.dir/src/seqmine/closed_sequential_miner.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/seqmine/closed_sequential_miner.cc.o.d"
+  "/root/repo/src/seqmine/generator_miner.cc" "CMakeFiles/specmine_lib.dir/src/seqmine/generator_miner.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/seqmine/generator_miner.cc.o.d"
+  "/root/repo/src/seqmine/occurrence_engine.cc" "CMakeFiles/specmine_lib.dir/src/seqmine/occurrence_engine.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/seqmine/occurrence_engine.cc.o.d"
+  "/root/repo/src/seqmine/prefixspan.cc" "CMakeFiles/specmine_lib.dir/src/seqmine/prefixspan.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/seqmine/prefixspan.cc.o.d"
+  "/root/repo/src/sim/security_component.cc" "CMakeFiles/specmine_lib.dir/src/sim/security_component.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/sim/security_component.cc.o.d"
+  "/root/repo/src/sim/test_suite.cc" "CMakeFiles/specmine_lib.dir/src/sim/test_suite.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/sim/test_suite.cc.o.d"
+  "/root/repo/src/sim/trace_collector.cc" "CMakeFiles/specmine_lib.dir/src/sim/trace_collector.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/sim/trace_collector.cc.o.d"
+  "/root/repo/src/sim/transaction_component.cc" "CMakeFiles/specmine_lib.dir/src/sim/transaction_component.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/sim/transaction_component.cc.o.d"
+  "/root/repo/src/specmine/cli.cc" "CMakeFiles/specmine_lib.dir/src/specmine/cli.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/specmine/cli.cc.o.d"
+  "/root/repo/src/specmine/monitor.cc" "CMakeFiles/specmine_lib.dir/src/specmine/monitor.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/specmine/monitor.cc.o.d"
+  "/root/repo/src/specmine/ranking.cc" "CMakeFiles/specmine_lib.dir/src/specmine/ranking.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/specmine/ranking.cc.o.d"
+  "/root/repo/src/specmine/report.cc" "CMakeFiles/specmine_lib.dir/src/specmine/report.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/specmine/report.cc.o.d"
+  "/root/repo/src/specmine/spec_miner.cc" "CMakeFiles/specmine_lib.dir/src/specmine/spec_miner.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/specmine/spec_miner.cc.o.d"
+  "/root/repo/src/specmine/visualize.cc" "CMakeFiles/specmine_lib.dir/src/specmine/visualize.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/specmine/visualize.cc.o.d"
+  "/root/repo/src/support/random.cc" "CMakeFiles/specmine_lib.dir/src/support/random.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/support/random.cc.o.d"
+  "/root/repo/src/support/status.cc" "CMakeFiles/specmine_lib.dir/src/support/status.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/support/status.cc.o.d"
+  "/root/repo/src/support/stopwatch.cc" "CMakeFiles/specmine_lib.dir/src/support/stopwatch.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/support/stopwatch.cc.o.d"
+  "/root/repo/src/support/strings.cc" "CMakeFiles/specmine_lib.dir/src/support/strings.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/support/strings.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "CMakeFiles/specmine_lib.dir/src/support/thread_pool.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/support/thread_pool.cc.o.d"
+  "/root/repo/src/synth/planted_generator.cc" "CMakeFiles/specmine_lib.dir/src/synth/planted_generator.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/synth/planted_generator.cc.o.d"
+  "/root/repo/src/synth/quest_generator.cc" "CMakeFiles/specmine_lib.dir/src/synth/quest_generator.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/synth/quest_generator.cc.o.d"
+  "/root/repo/src/trace/csv_trace_reader.cc" "CMakeFiles/specmine_lib.dir/src/trace/csv_trace_reader.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/trace/csv_trace_reader.cc.o.d"
+  "/root/repo/src/trace/database_stats.cc" "CMakeFiles/specmine_lib.dir/src/trace/database_stats.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/trace/database_stats.cc.o.d"
+  "/root/repo/src/trace/event_dictionary.cc" "CMakeFiles/specmine_lib.dir/src/trace/event_dictionary.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/trace/event_dictionary.cc.o.d"
+  "/root/repo/src/trace/position_index.cc" "CMakeFiles/specmine_lib.dir/src/trace/position_index.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/trace/position_index.cc.o.d"
+  "/root/repo/src/trace/sequence.cc" "CMakeFiles/specmine_lib.dir/src/trace/sequence.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/trace/sequence.cc.o.d"
+  "/root/repo/src/trace/sequence_database.cc" "CMakeFiles/specmine_lib.dir/src/trace/sequence_database.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/trace/sequence_database.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "CMakeFiles/specmine_lib.dir/src/trace/trace_io.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/trace/trace_io.cc.o.d"
+  "/root/repo/src/twoevent/perracotta.cc" "CMakeFiles/specmine_lib.dir/src/twoevent/perracotta.cc.o" "gcc" "CMakeFiles/specmine_lib.dir/src/twoevent/perracotta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

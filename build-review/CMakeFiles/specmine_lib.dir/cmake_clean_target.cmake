@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspecmine_lib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twoevent_test.dir/tests/twoevent_test.cc.o"
+  "CMakeFiles/twoevent_test.dir/tests/twoevent_test.cc.o.d"
+  "twoevent_test"
+  "twoevent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twoevent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_test.dir/tests/visualize_test.cc.o"
+  "CMakeFiles/visualize_test.dir/tests/visualize_test.cc.o.d"
+  "visualize_test"
+  "visualize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
