@@ -50,23 +50,24 @@ int Run() {
       "\n=== Baseline contrast: far-apart constraints vs windowed episode "
       "mining ===\n");
   // lock .. unlock separated by a long critical section.
-  SequenceDatabase far;
+  SequenceDatabaseBuilder far_builder;
   Rng rng(99);
   for (int t = 0; t < 50; ++t) {
     Sequence seq;
-    EventId lock = far.mutable_dictionary()->Intern("lock");
-    EventId unlock = far.mutable_dictionary()->Intern("unlock");
+    EventId lock = far_builder.mutable_dictionary()->Intern("lock");
+    EventId unlock = far_builder.mutable_dictionary()->Intern("unlock");
     for (int r = 0; r < 2; ++r) {
       seq.Append(lock);
       int body = 8 + static_cast<int>(rng.Uniform(5));
       for (int i = 0; i < body; ++i) {
-        seq.Append(far.mutable_dictionary()->Intern(
+        seq.Append(far_builder.mutable_dictionary()->Intern(
             "work" + std::to_string(rng.Uniform(20))));
       }
       seq.Append(unlock);
     }
-    far.AddSequence(std::move(seq));
+    far_builder.AddSequence(seq);
   }
+  SequenceDatabase far = far_builder.Build();
   EventId lock = far.dictionary().Lookup("lock");
   EventId unlock = far.dictionary().Lookup("unlock");
   Pattern lock_unlock{lock, unlock};

@@ -22,7 +22,9 @@
 
 #include "src/support/stopwatch.h"
 #include "src/synth/quest_generator.h"
+#include "src/trace/binary_format.h"
 #include "src/trace/database_stats.h"
+#include "src/trace/trace_io.h"
 
 namespace specmine {
 namespace bench {
@@ -71,6 +73,28 @@ inline SequenceDatabase MakeBenchDatabase() {
   std::printf("dataset %s: %s\n", params.Label().c_str(),
               ComputeStats(*db).ToString().c_str());
   return db.TakeValueOrDie();
+}
+
+/// \brief The on-disk twins of \p db for the load benchmarks: the same
+/// corpus as plain text and as a packed .smdb file.
+struct LoadBenchFiles {
+  std::string text_path;
+  std::string smdb_path;
+};
+
+/// \brief Writes \p db as <stem>.txt and <stem>.smdb in the working
+/// directory (exits on IO failure — benches have no error channel).
+inline LoadBenchFiles WriteLoadBenchFiles(const SequenceDatabase& db,
+                                          const std::string& stem) {
+  LoadBenchFiles files{stem + ".txt", stem + kSmdbExtension};
+  Status text = WriteTextTraceFile(db, files.text_path);
+  Status smdb = WriteBinaryDatabaseFile(db, files.smdb_path);
+  if (!text.ok() || !smdb.ok()) {
+    std::fprintf(stderr, "cannot write load-bench files: %s / %s\n",
+                 text.ToString().c_str(), smdb.ToString().c_str());
+    std::exit(1);
+  }
+  return files;
 }
 
 /// \brief Times a callable returning a size (pattern/rule count).

@@ -20,7 +20,7 @@ using namespace specmine;
 
 // Training traces: correct usage of a tiny file/lock API, with looping.
 SequenceDatabase TrainingTraces() {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   Rng rng(2024);
   for (int t = 0; t < 40; ++t) {
     std::string trace;
@@ -38,7 +38,7 @@ SequenceDatabase TrainingTraces() {
     }
     db.AddTraceFromString(trace);
   }
-  return db;
+  return db.Build();
 }
 
 // New traces to vet: two good, two buggy.
@@ -89,8 +89,9 @@ int main() {
   std::printf("\nchecking new traces:\n");
   int flagged_traces = 0;
   for (const auto& [name, text] : TestTraces()) {
-    SequenceDatabase probe;
-    probe.AddTraceFromString(text);
+    SequenceDatabaseBuilder probe_builder;
+    probe_builder.AddTraceFromString(text);
+    SequenceDatabase probe = probe_builder.Build();
     size_t violated = 0;
     const LtlPtr* example_formula = nullptr;
     for (size_t i = 0; i < formulas.size(); ++i) {

@@ -17,7 +17,7 @@
 namespace {
 
 specmine::SequenceDatabase BuiltInTraces() {
-  specmine::SequenceDatabase db;
+  specmine::SequenceDatabaseBuilder db;
   // A test suite exercising a tiny resource API: every lock is eventually
   // released, files are opened, read, and closed, and behaviours repeat
   // within traces (looping) and across traces.
@@ -26,7 +26,7 @@ specmine::SequenceDatabase BuiltInTraces() {
   db.AddTraceFromString("lock read unlock open read read close");
   db.AddTraceFromString("open write close open read close");
   db.AddTraceFromString("lock unlock lock read write unlock");
-  return db;
+  return db.Build();
 }
 
 }  // namespace

@@ -86,6 +86,18 @@ Result<Engine> Engine::FromCsvTraceFile(const std::string& path,
   return Create(db.TakeValueOrDie());
 }
 
+Result<Engine> Engine::FromBinaryFile(const std::string& path) {
+  Result<MappedDatabase> mapped = MappedDatabase::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  SPECMINE_RETURN_NOT_OK(CheckIndexable(mapped->db()));
+  // Copying a view database shares the mapped storage, so the session's
+  // db_ points straight into the mapping kept alive alongside it.
+  Engine engine(mapped->db());
+  engine.mapping_ =
+      std::make_unique<MappedDatabase>(mapped.TakeValueOrDie());
+  return engine;
+}
+
 uint64_t Engine::AbsoluteSupport(double fraction) const {
   double raw = fraction * static_cast<double>(db_->size());
   uint64_t abs = static_cast<uint64_t>(std::ceil(raw - 1e-9));

@@ -36,6 +36,7 @@
 #include "src/seqmine/prefixspan.h"
 #include "src/support/status.h"
 #include "src/support/thread_pool.h"
+#include "src/trace/binary_format.h"
 #include "src/trace/csv_trace_reader.h"
 #include "src/trace/position_index.h"
 #include "src/trace/sequence_database.h"
@@ -61,6 +62,20 @@ class Engine {
   /// \brief Loads CSV instrumentation traces from \p path.
   static Result<Engine> FromCsvTraceFile(const std::string& path,
                                          const CsvTraceOptions& options);
+
+  /// \brief Opens a packed .smdb database (see binary_format.h) as a
+  /// zero-copy mmap session: the event arena is never copied, so opening
+  /// is O(dictionary) and databases larger than RAM page in on demand.
+  static Result<Engine> FromBinaryFile(const std::string& path);
+
+  /// \brief Writes the session's database as a .smdb file at \p path.
+  Status SaveBinary(const std::string& path) const {
+    return WriteBinaryDatabaseFile(*db_, path);
+  }
+
+  /// \brief True iff this session mines straight out of an mmap'ed .smdb
+  /// file (FromBinaryFile) rather than an in-memory arena.
+  bool memory_mapped() const { return mapping_ != nullptr; }
 
   /// \brief The wrapped database (immutable for the session's lifetime).
   const SequenceDatabase& database() const { return *db_; }
@@ -140,7 +155,9 @@ class Engine {
   Status Begin(const Task& task) const;
 
   // unique_ptr keeps the database (and so the index's back-pointer)
-  // address-stable across Engine moves.
+  // address-stable across Engine moves. For FromBinaryFile sessions db_ is
+  // a view into mapping_, which must therefore outlive it.
+  std::unique_ptr<MappedDatabase> mapping_;
   std::unique_ptr<SequenceDatabase> db_;
   mutable std::unique_ptr<PositionIndex> index_;
   mutable std::unique_ptr<UnitDatabase> units_;

@@ -10,7 +10,7 @@ namespace {
 // located entirely within seq[from..], or kNoPos. Dynamic program over
 // (position, matched-prefix-length); naive greedy is incomplete under gap
 // constraints (an earlier match of event k can strand event k+1).
-Pos EarliestGapOccurrenceEnd(const Pattern& episode, const Sequence& seq,
+Pos EarliestGapOccurrenceEnd(const Pattern& episode, EventSpan seq,
                              Pos from, size_t max_gap) {
   const size_t m = episode.size();
   const size_t n = seq.size();
@@ -44,7 +44,7 @@ uint64_t CountGapOccurrences(const Pattern& episode,
                              const SequenceDatabase& db, size_t max_gap) {
   if (episode.empty()) return 0;
   uint64_t count = 0;
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     Pos pos = 0;
     while (pos < seq.size()) {
       Pos end = EarliestGapOccurrenceEnd(episode, seq, pos, max_gap);

@@ -15,7 +15,7 @@ std::vector<MinimalOccurrence> ExtendOccurrences(
     const SequenceDatabase& db) {
   std::vector<MinimalOccurrence> out;
   for (const MinimalOccurrence& mo : parent) {
-    const Sequence& seq = db[mo.seq];
+    const EventSpan seq = db[mo.seq];
     Pos p = kNoPos;
     for (Pos q = mo.end + 1; q < seq.size(); ++q) {
       if (seq[q] == ev) {
@@ -67,7 +67,7 @@ std::vector<MinimalOccurrence> FindMinimalOccurrences(
   std::vector<MinimalOccurrence> mos;
   if (episode.empty()) return mos;
   for (SeqId s = 0; s < db.size(); ++s) {
-    const Sequence& seq = db[s];
+    const EventSpan seq = db[s];
     for (Pos p = 0; p < seq.size(); ++p) {
       if (seq[p] == episode[0]) mos.push_back(MinimalOccurrence{s, p, p});
     }

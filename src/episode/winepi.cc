@@ -10,7 +10,7 @@ namespace {
 // For each end position e of seq, the latest start s such that `episode`
 // embeds into seq[s..e] (kNoPos when it does not embed). O(len * m).
 std::vector<Pos> LatestStartPerEnd(const Pattern& episode,
-                                   const Sequence& seq) {
+                                   EventSpan seq) {
   const size_t m = episode.size();
   std::vector<Pos> latest(m + 1, kNoPos);  // latest[k]: first k events.
   std::vector<Pos> result(seq.size(), kNoPos);
@@ -35,7 +35,7 @@ uint64_t CountSupportingWindows(const Pattern& episode,
                                 const SequenceDatabase& db, size_t width) {
   if (episode.empty() || width == 0) return 0;
   uint64_t count = 0;
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     if (seq.empty()) continue;
     std::vector<Pos> ms = LatestStartPerEnd(episode, seq);
     const int64_t len = static_cast<int64_t>(seq.size());

@@ -56,7 +56,7 @@ void ForwardExtensions(const PositionIndex& index, const Pattern& pattern,
   PrepareAlphabet(pattern, num_events, ws);
   ws->forward.Reset(num_events);
   for (const IterInstance& inst : instances) {
-    const Sequence& seq = db[inst.seq];
+    const EventSpan seq = db[inst.seq];
     ws->seen.Clear();
     for (Pos p = inst.end + 1; p < seq.size(); ++p) {
       EventId ev = seq[p];
@@ -85,7 +85,7 @@ const BackwardExtensionMap& BackwardExtensions(const PositionIndex& index,
   PrepareAlphabet(pattern, num_events, ws);
   ws->back.Reset(num_events);
   for (const IterInstance& inst : instances) {
-    const Sequence& seq = db[inst.seq];
+    const EventSpan seq = db[inst.seq];
     ws->seen.Clear();
     for (Pos p = inst.start; p-- > 0;) {
       EventId ev = seq[p];
@@ -130,7 +130,7 @@ bool HasUniformInfixAbsorber(const SequenceDatabase& db,
   bool result = false;
   for (size_t i = 0; i < instances.size(); ++i) {
     const IterInstance& inst = instances[i];
-    const Sequence& seq = db[inst.seq];
+    const EventSpan seq = db[inst.seq];
     ws->profiles.Reset(num_events);
     size_t gap = 0;  // Index of the gap we are currently inside.
     for (Pos p = inst.start + 1; p <= inst.end; ++p) {

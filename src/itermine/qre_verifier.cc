@@ -4,7 +4,7 @@
 
 namespace specmine {
 
-bool IsQreInstance(const Pattern& pattern, const Sequence& seq, Pos start,
+bool IsQreInstance(const Pattern& pattern, EventSpan seq, Pos start,
                    Pos end) {
   if (pattern.empty()) return false;
   if (end >= seq.size() || start > end) return false;
@@ -25,7 +25,7 @@ bool IsQreInstance(const Pattern& pattern, const Sequence& seq, Pos start,
          seq[end] == pattern[pattern.size() - 1];
 }
 
-InstanceList FindInstances(const Pattern& pattern, const Sequence& seq,
+InstanceList FindInstances(const Pattern& pattern, EventSpan seq,
                            SeqId seq_id) {
   InstanceList out;
   if (pattern.empty()) return out;

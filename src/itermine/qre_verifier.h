@@ -14,13 +14,13 @@ namespace specmine {
 /// \brief True iff seq[start..end] matches the QRE
 /// p1;[-alphabet]*;p2;...;[-alphabet]*;pn of \p pattern, checked by direct
 /// substring walk.
-bool IsQreInstance(const Pattern& pattern, const Sequence& seq, Pos start,
+bool IsQreInstance(const Pattern& pattern, EventSpan seq, Pos start,
                    Pos end);
 
 /// \brief All instances of \p pattern in \p seq, found by attempting the
 /// deterministic first-alphabet-event chain from every occurrence of the
 /// pattern's first event.
-InstanceList FindInstances(const Pattern& pattern, const Sequence& seq,
+InstanceList FindInstances(const Pattern& pattern, EventSpan seq,
                            SeqId seq_id);
 
 /// \brief All instances across the database, sorted by (seq, start).

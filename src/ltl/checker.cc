@@ -52,7 +52,7 @@ bool EvaluateLtl(const LtlPtr& formula, const std::vector<std::string>& trace,
 
 bool EvaluateLtl(const LtlPtr& formula, const SequenceDatabase& db,
                  SeqId seq) {
-  const Sequence& s = db[seq];
+  const EventSpan s = db[seq];
   const EventDictionary& dict = db.dictionary();
   return Eval(formula, 0, s.size(),
               [&s, &dict](const std::string& name, size_t pos) {

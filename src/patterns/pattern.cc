@@ -54,9 +54,9 @@ bool Pattern::IsSubsequenceOf(const Pattern& other) const {
   return SubsequenceImpl(events_, other.events_);
 }
 
-bool Pattern::IsSubsequenceOf(const Sequence& seq) const {
+bool Pattern::IsSubsequenceOf(EventSpan seq) const {
   if (size() > seq.size()) return false;
-  return SubsequenceImpl(events_, seq.events());
+  return SubsequenceImpl(events_, seq);
 }
 
 std::unordered_set<EventId> Pattern::Alphabet() const {

@@ -56,7 +56,7 @@ class Pattern {
   bool IsSubsequenceOf(const Pattern& other) const;
 
   /// \brief True iff this pattern is a sub-sequence of the sequence \p seq.
-  bool IsSubsequenceOf(const Sequence& seq) const;
+  bool IsSubsequenceOf(EventSpan seq) const;
 
   /// \brief The set of distinct events in the pattern (the QRE exclusion
   /// alphabet of Definition 4.1).

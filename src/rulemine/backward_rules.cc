@@ -15,16 +15,19 @@ namespace {
 // The database with every sequence reversed; event ids are shared with the
 // original (the dictionary is re-interned in identical order).
 SequenceDatabase ReverseDatabase(const SequenceDatabase& db) {
-  SequenceDatabase rev;
+  SequenceDatabaseBuilder rev;
+  rev.Reserve(db.size(), db.TotalEvents());
   for (size_t i = 0; i < db.dictionary().size(); ++i) {
     rev.mutable_dictionary()->Intern(
         db.dictionary().Name(static_cast<EventId>(i)));
   }
-  for (const Sequence& seq : db.sequences()) {
-    std::vector<EventId> events(seq.events().rbegin(), seq.events().rend());
-    rev.AddSequence(Sequence(std::move(events)));
+  std::vector<EventId> events;
+  for (EventSpan seq : db) {
+    events.assign(std::make_reverse_iterator(seq.end()),
+                  std::make_reverse_iterator(seq.begin()));
+    rev.AddSequence(EventSpan(events));
   }
-  return rev;
+  return rev.Build();
 }
 
 Pattern ReversePattern(const Pattern& p) {

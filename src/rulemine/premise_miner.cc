@@ -10,7 +10,7 @@ namespace {
 // Earliest embedding end of `stem` in seq, where an empty stem "ends
 // before position 0". Returns true iff embeddable, with *end = position of
 // the stem's last event (or kNoPos for the empty stem).
-bool StemEnd(const Pattern& stem, const Sequence& seq, Pos* end) {
+bool StemEnd(const Pattern& stem, EventSpan seq, Pos* end) {
   if (stem.empty()) {
     *end = kNoPos;  // Interpreted as "points may start at position 0".
     return true;
@@ -29,7 +29,7 @@ bool InsertionPreservesPoints(const SequenceDatabase& db,
                               EventId last, const TemporalPointSet& points) {
   for (SeqId s = 0; s < db.size(); ++s) {
     if (points.per_seq[s].empty()) continue;  // occ subset of empty: fine.
-    const Sequence& seq = db[s];
+    const EventSpan seq = db[s];
     Pos t = kNoPos;
     if (!StemEnd(stem, seq, &t)) return false;  // Defensive.
     Pos t_ins = EarliestEmbeddingEnd(stem_ins, seq, 0);
@@ -72,7 +72,7 @@ bool InsertionEquivalentExists(const SequenceDatabase& db,
   SeqId probe = 0;
   while (probe < db.size() && points.per_seq[probe].empty()) ++probe;
   if (probe == db.size()) return false;
-  const Sequence& probe_seq = db[probe];
+  const EventSpan probe_seq = db[probe];
   const Pos first_point = points.per_seq[probe].front();
 
   for (size_t slot = 0; slot < n; ++slot) {

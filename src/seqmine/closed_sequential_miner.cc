@@ -25,7 +25,7 @@ struct Ctx {
 
 // Greedy earliest embedding of `pattern` into seq[begin..]; fills ee[i] with
 // the position matching pattern[i]. Returns false if not embeddable.
-bool EarliestEmbedding(const Pattern& pattern, const Sequence& seq, Pos begin,
+bool EarliestEmbedding(const Pattern& pattern, EventSpan seq, Pos begin,
                        std::vector<Pos>* ee) {
   ee->clear();
   size_t k = 0;
@@ -40,7 +40,7 @@ bool EarliestEmbedding(const Pattern& pattern, const Sequence& seq, Pos begin,
 
 // Greedy latest embedding of `pattern` into seq[begin..]; fills ls[i] with
 // the position matching pattern[i]. Returns false if not embeddable.
-bool LatestEmbedding(const Pattern& pattern, const Sequence& seq, Pos begin,
+bool LatestEmbedding(const Pattern& pattern, EventSpan seq, Pos begin,
                      std::vector<Pos>* ls) {
   ls->assign(pattern.size(), kNoPos);
   size_t k = pattern.size();
@@ -64,7 +64,7 @@ bool HasCommonPeriodEvent(const Ctx& ctx, const std::vector<Entry>& entries,
   const SequenceDatabase& db = ctx.units->db();
   for (uint32_t idx = 0; idx < entries.size(); ++idx) {
     const Unit& unit = ctx.units->units()[entries[idx].unit];
-    const Sequence& seq = db[unit.seq];
+    const EventSpan seq = db[unit.seq];
     auto [lo, hi] = periods[idx];
     bool any = false;
     if (hi != kNoPos) {
@@ -104,7 +104,7 @@ bool HasPeriodExtension(const Ctx& ctx, const Pattern& pattern,
   std::vector<std::vector<Pos>> ls(entries.size());
   for (size_t idx = 0; idx < entries.size(); ++idx) {
     const Unit& unit = ctx.units->units()[entries[idx].unit];
-    const Sequence& seq = db[unit.seq];
+    const EventSpan seq = db[unit.seq];
     if (!EarliestEmbedding(pattern, seq, unit.start, &ee[idx])) return false;
     if (!semi && !LatestEmbedding(pattern, seq, unit.start, &ls[idx])) {
       return false;
@@ -142,7 +142,7 @@ void Grow(Ctx* ctx, const Pattern& prefix, const std::vector<Entry>& entries,
   std::map<EventId, std::vector<Entry>> extensions;
   for (const Entry& entry : entries) {
     const Unit& unit = ctx->units->units()[entry.unit];
-    const Sequence& seq = db[unit.seq];
+    const EventSpan seq = db[unit.seq];
     Pos from = at_root ? unit.start : entry.last_match + 1;
     for (Pos p = from; p < seq.size(); ++p) {
       EventId ev = seq[p];

@@ -17,7 +17,7 @@ std::vector<Pos> EmbeddingEnds(const UnitDatabase& units,
   uint64_t sup = 0;
   for (size_t u = 0; u < units.size(); ++u) {
     const Unit& unit = units.units()[u];
-    const Sequence& seq = units.db()[unit.seq];
+    const EventSpan seq = units.db()[unit.seq];
     Pos end = EarliestEmbeddingEnd(pattern, seq, unit.start);
     ends[u] = end;
     if (end != kNoPos) ++sup;

@@ -4,7 +4,7 @@
 
 namespace specmine {
 
-Pos EarliestEmbeddingEnd(const Pattern& pattern, const Sequence& seq,
+Pos EarliestEmbeddingEnd(const Pattern& pattern, EventSpan seq,
                          Pos begin) {
   assert(!pattern.empty());
   size_t k = 0;
@@ -17,12 +17,12 @@ Pos EarliestEmbeddingEnd(const Pattern& pattern, const Sequence& seq,
   return kNoPos;
 }
 
-bool EmbedsAt(const Pattern& pattern, const Sequence& seq, Pos begin) {
+bool EmbedsAt(const Pattern& pattern, EventSpan seq, Pos begin) {
   if (pattern.empty()) return true;
   return EarliestEmbeddingEnd(pattern, seq, begin) != kNoPos;
 }
 
-std::vector<Pos> OccurrencePoints(const Pattern& pattern, const Sequence& seq,
+std::vector<Pos> OccurrencePoints(const Pattern& pattern, EventSpan seq,
                                   Pos begin) {
   std::vector<Pos> points;
   if (pattern.empty()) return points;
@@ -55,13 +55,13 @@ std::vector<Pos> OccurrencePoints(const Pattern& pattern, const Sequence& seq,
 
 size_t CountOccurrences(const Pattern& pattern, const SequenceDatabase& db) {
   size_t n = 0;
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     n += OccurrencePoints(pattern, seq).size();
   }
   return n;
 }
 
-Pos LatestEmbeddingStart(const Pattern& pattern, const Sequence& seq,
+Pos LatestEmbeddingStart(const Pattern& pattern, EventSpan seq,
                          Pos begin, Pos end_inclusive) {
   assert(!pattern.empty());
   if (end_inclusive == kNoPos || begin >= seq.size()) return kNoPos;

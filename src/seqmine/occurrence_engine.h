@@ -23,11 +23,11 @@ namespace specmine {
 /// trivially "before begin": the function returns \p begin - 1 semantics via
 /// kNoPos-safe convention — callers pass empty patterns only through
 /// OccurrencePoints, which handles them explicitly.
-Pos EarliestEmbeddingEnd(const Pattern& pattern, const Sequence& seq,
+Pos EarliestEmbeddingEnd(const Pattern& pattern, EventSpan seq,
                          Pos begin = 0);
 
 /// \brief True iff \p pattern is a subsequence of seq[begin..].
-bool EmbedsAt(const Pattern& pattern, const Sequence& seq, Pos begin = 0);
+bool EmbedsAt(const Pattern& pattern, EventSpan seq, Pos begin = 0);
 
 /// \brief The occurrence (temporal) points of \p pattern in \p seq
 /// (Definition 5.1): all positions j >= \p begin with seq[j] == last(pattern)
@@ -35,7 +35,7 @@ bool EmbedsAt(const Pattern& pattern, const Sequence& seq, Pos begin = 0);
 ///
 /// For the empty pattern this returns an empty vector (the rule miner never
 /// asks for it). Positions are 0-based and sorted ascending.
-std::vector<Pos> OccurrencePoints(const Pattern& pattern, const Sequence& seq,
+std::vector<Pos> OccurrencePoints(const Pattern& pattern, EventSpan seq,
                                   Pos begin = 0);
 
 /// \brief Number of occurrence points of \p pattern summed over all
@@ -46,7 +46,7 @@ size_t CountOccurrences(const Pattern& pattern, const SequenceDatabase& db);
 /// into seq[begin..end_inclusive]; kNoPos if it does not embed.
 ///
 /// Used by the BIDE-style closure checks (maximum periods).
-Pos LatestEmbeddingStart(const Pattern& pattern, const Sequence& seq,
+Pos LatestEmbeddingStart(const Pattern& pattern, EventSpan seq,
                          Pos begin, Pos end_inclusive);
 
 }  // namespace specmine

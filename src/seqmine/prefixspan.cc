@@ -63,7 +63,7 @@ void CollectExtensions(MinerContext* ctx,
   ctx->acc.Reset(num_events);
   for (const Entry& entry : projection) {
     const Unit& unit = ctx->units->units()[entry.unit];
-    const Sequence& seq = db[unit.seq];
+    const EventSpan seq = db[unit.seq];
     Pos from = at_root ? unit.start : entry.last_match + 1;
     // Record only the first occurrence of each event in the suffix: one
     // projected entry per unit per extension event. Entries for a given

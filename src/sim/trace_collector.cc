@@ -9,21 +9,20 @@ void TraceCollector::BeginTrace() {
 
 void TraceCollector::Enter(std::string_view method) {
   if (!open_) open_ = true;
-  current_.Append(db_.mutable_dictionary()->Intern(method));
+  current_.Append(builder_.mutable_dictionary()->Intern(method));
 }
 
 void TraceCollector::EndTrace() {
   if (open_ && !current_.empty()) {
-    db_.AddSequence(std::move(current_));
-    current_ = Sequence();
+    builder_.AddSequence(current_);
   }
-  current_ = Sequence();
+  current_.Clear();
   open_ = false;
 }
 
 SequenceDatabase TraceCollector::TakeDatabase() {
   EndTrace();
-  return std::move(db_);
+  return builder_.Build();
 }
 
 }  // namespace specmine

@@ -31,13 +31,13 @@ class TraceCollector {
   void EndTrace();
 
   /// \brief Number of completed traces.
-  size_t NumTraces() const { return db_.size(); }
+  size_t NumTraces() const { return builder_.size(); }
 
   /// \brief The collected database (finishes any open trace).
   SequenceDatabase TakeDatabase();
 
  private:
-  SequenceDatabase db_;
+  SequenceDatabaseBuilder builder_;
   Sequence current_;
   bool open_ = false;
 };

@@ -1,6 +1,7 @@
 #include "src/specmine/cli.h"
 
 #include <fstream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -24,7 +25,8 @@ namespace {
 constexpr const char* kUsage = R"(usage: specmine <command> [options]
 
 commands:
-  stats <traces>                    print database shape statistics
+  stats <traces> [--trace N]        print database shape statistics
+  pack <traces> <out.smdb>          pack traces into a binary mmap database
   mine-patterns <traces> [options]  mine iterative patterns
   mine-rules <traces> [options]     mine recurrent rules (with LTL forms)
   mine-seq <traces> [options]       mine sequential patterns (PrefixSpan/BIDE)
@@ -35,6 +37,8 @@ commands:
 
 common options:
   --csv [--group-col N] [--event-col N] [--delim C] [--header]
+  <traces> ending in .smdb is opened as a packed binary database (zero-copy
+  mmap; see 'pack') in every command that accepts a trace file.
 
 mine-patterns: --min-sup F (0.5) | --full | --generators | --max-len N
                --threads N (0 = all cores)
@@ -112,9 +116,12 @@ class Args {
 };
 
 // Opens an Engine session over the trace file named by \p path —
-// plain-text by default, CSV instrumentation records with --csv. Parse
-// errors (with their line numbers) come back as a non-OK Result.
+// plain-text by default, CSV instrumentation records with --csv, a packed
+// binary database when the path ends in .smdb. Parse/validation errors
+// (with their line numbers or corrupt section) come back as a non-OK
+// Result.
 Result<Engine> LoadEngine(const Args& args, const std::string& path) {
+  if (IsSmdbPath(path)) return Engine::FromBinaryFile(path);
   if (args.Has("csv")) {
     CsvTraceOptions options;
     options.group_column = args.GetUint("group-col", 0);
@@ -137,7 +144,50 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
     err << engine.status().ToString() << '\n';
     return 1;
   }
-  out << ComputeStats(engine->database()).ToString() << '\n';
+  const SequenceDatabase& db = engine->database();
+  out << ComputeStats(db).ToString() << '\n';
+  if (args.Has("trace")) {
+    // Bounds-checked by design: a bad id is a user error, not a crash.
+    const uint64_t id = args.GetUint("trace", 0);
+    if (id > std::numeric_limits<SeqId>::max()) {
+      err << Status::OutOfRange("sequence id " + std::to_string(id) +
+                                " out of range (database has " +
+                                std::to_string(db.size()) + " sequences)")
+                 .ToString()
+          << '\n';
+      return 1;
+    }
+    Result<EventSpan> trace = db.at(static_cast<SeqId>(id));
+    if (!trace.ok()) {
+      err << trace.status().ToString() << '\n';
+      return 1;
+    }
+    out << "trace " << id << ':';
+    for (EventId ev : *trace) out << ' ' << db.dictionary().NameOrPlaceholder(ev);
+    out << '\n';
+  }
+  return 0;
+}
+
+int CmdPack(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().size() < 2) {
+    err << "pack: usage: pack <traces> <out.smdb> [--csv ...]\n";
+    return 2;
+  }
+  const std::string& in_path = args.positional()[0];
+  const std::string& out_path = args.positional()[1];
+  Result<Engine> engine = LoadEngine(args, in_path);
+  if (!engine.ok()) {
+    err << engine.status().ToString() << '\n';
+    return 1;
+  }
+  Status written = engine->SaveBinary(out_path);
+  if (!written.ok()) {
+    err << written.ToString() << '\n';
+    return 1;
+  }
+  out << "packed " << in_path << " -> " << out_path << ": "
+      << ComputeStats(engine->database()).ToString() << '\n';
   return 0;
 }
 
@@ -407,6 +457,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   Args parsed(args, 1);
   if (command == "stats") return CmdStats(parsed, out, err);
+  if (command == "pack") return CmdPack(parsed, out, err);
   if (command == "mine-patterns") return CmdMinePatterns(parsed, out, err);
   if (command == "mine-rules") return CmdMineRules(parsed, out, err);
   if (command == "mine-seq") return CmdMineSeq(parsed, out, err);

@@ -31,7 +31,7 @@ double ConsequentBaseline(const Pattern& consequent,
                           const SequenceDatabase& db) {
   size_t positions = 0;
   size_t satisfied = 0;
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     for (Pos j = 0; j < seq.size(); ++j) {
       ++positions;
       if (EmbedsAt(consequent, seq, j + 1)) ++satisfied;

@@ -28,20 +28,20 @@ Result<PlantedDatabase> GeneratePlanted(const PlantedParams& params) {
 
   Rng rng(params.seed);
   PlantedDatabase out;
-  SequenceDatabase& db = out.db;
+  SequenceDatabaseBuilder builder;
 
   // Intern planted events first so their ids are stable, then the noise
   // alphabet.
   std::vector<std::vector<EventId>> planted_ids(params.patterns.size());
   for (size_t i = 0; i < params.patterns.size(); ++i) {
     for (const std::string& name : params.patterns[i].events) {
-      planted_ids[i].push_back(db.mutable_dictionary()->Intern(name));
+      planted_ids[i].push_back(builder.mutable_dictionary()->Intern(name));
     }
   }
   std::vector<EventId> noise_ids;
   for (size_t i = 0; i < params.noise_alphabet; ++i) {
     noise_ids.push_back(
-        db.mutable_dictionary()->Intern("n" + std::to_string(i)));
+        builder.mutable_dictionary()->Intern("n" + std::to_string(i)));
   }
 
   auto append_noise = [&](Sequence* seq) {
@@ -70,15 +70,17 @@ Result<PlantedDatabase> GeneratePlanted(const PlantedParams& params) {
         }
       }
     }
-    db.AddSequence(std::move(seq));
+    builder.AddSequence(seq);
   }
+  out.db = builder.Build();
+  const SequenceDatabase& db = out.db;
 
   // Ground truth via the independent QRE verifier / subsequence check.
   for (size_t i = 0; i < params.patterns.size(); ++i) {
     Pattern p(planted_ids[i]);
     out.expected_instances.push_back(CountInstances(p, db));
     uint64_t seqs = 0;
-    for (const Sequence& seq : db.sequences()) {
+    for (EventSpan seq : db) {
       if (p.IsSubsequenceOf(seq)) ++seqs;
     }
     out.expected_sequences.push_back(seqs);

@@ -53,9 +53,9 @@ Result<SequenceDatabase> GenerateQuest(const QuestParams& params) {
   Rng rng(params.seed);
   ZipfSampler zipf(num_events, params.zipf_exponent);
 
-  SequenceDatabase db;
+  SequenceDatabaseBuilder builder;
   for (size_t i = 0; i < num_events; ++i) {
-    db.mutable_dictionary()->Intern("e" + std::to_string(i));
+    builder.mutable_dictionary()->Intern("e" + std::to_string(i));
   }
 
   // Seed pattern pool with exponential-ish weights (a few hot patterns).
@@ -105,9 +105,9 @@ Result<SequenceDatabase> GenerateQuest(const QuestParams& params) {
         seq.Append(static_cast<EventId>(zipf.Sample(&rng)));
       }
     }
-    db.AddSequence(std::move(seq));
+    builder.AddSequence(seq);
   }
-  return db;
+  return builder.Build();
 }
 
 }  // namespace specmine

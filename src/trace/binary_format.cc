@@ -1,0 +1,319 @@
+#include "src/trace/binary_format.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SPECMINE_HAVE_MMAP 1
+#endif
+
+namespace specmine {
+
+namespace {
+
+// Fixed 64-byte header. All multi-byte fields are little-endian; the
+// section offsets are derived from the counts, so corrupting a count can
+// only shrink/grow the expected file size, which is checked against the
+// real one.
+struct SmdbHeader {
+  unsigned char magic[8];
+  uint32_t version;
+  uint32_t reserved0;
+  uint64_t num_events;
+  uint64_t num_sequences;
+  uint64_t total_events;
+  uint64_t names_bytes;
+  uint64_t file_bytes;
+};
+static_assert(sizeof(SmdbHeader) == 56, "header packs to 56 + 8 pad");
+
+constexpr size_t kHeaderBytes = 64;
+
+// Field caps that make every section-offset computation below safe in
+// uint64 arithmetic (and reject nonsense counts early).
+constexpr uint64_t kMaxIds = uint64_t{1} << 32;    // EventId / SeqId are u32.
+constexpr uint64_t kMaxBytes = uint64_t{1} << 48;  // names / arena bytes.
+
+uint64_t PadTo8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+struct SectionLayout {
+  uint64_t name_offsets_off;  // (num_events + 1) x u64
+  uint64_t names_off;         // names_bytes, padded to 8
+  uint64_t seq_offsets_off;   // (num_sequences + 1) x u64
+  uint64_t arena_off;         // total_events x u32
+  uint64_t file_bytes;
+};
+
+SectionLayout ComputeLayout(uint64_t num_events, uint64_t num_sequences,
+                            uint64_t total_events, uint64_t names_bytes) {
+  SectionLayout l;
+  l.name_offsets_off = kHeaderBytes;
+  l.names_off = l.name_offsets_off + 8 * (num_events + 1);
+  l.seq_offsets_off = l.names_off + PadTo8(names_bytes);
+  l.arena_off = l.seq_offsets_off + 8 * (num_sequences + 1);
+  l.file_bytes = l.arena_off + PadTo8(4 * total_events);
+  return l;
+}
+
+Status CheckHostEndianness() {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal(
+        ".smdb files are little-endian; this host is big-endian");
+  }
+  return Status::OK();
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::ParseError("corrupt .smdb file " + path + ": " + what);
+}
+
+}  // namespace
+
+bool IsSmdbPath(const std::string& path) {
+  const std::string ext = kSmdbExtension;
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out) {
+  SPECMINE_RETURN_NOT_OK(CheckHostEndianness());
+  const EventDictionary& dict = db.dictionary();
+  const uint64_t num_events = dict.size();
+  const uint64_t num_sequences = db.size();
+  const uint64_t total_events = db.TotalEvents();
+
+  // Dictionary CSR: name offsets into the concatenated blob.
+  std::vector<uint64_t> name_offsets(num_events + 1, 0);
+  for (uint64_t i = 0; i < num_events; ++i) {
+    name_offsets[i + 1] =
+        name_offsets[i] + dict.Name(static_cast<EventId>(i)).size();
+  }
+  const uint64_t names_bytes = name_offsets[num_events];
+  const SectionLayout layout =
+      ComputeLayout(num_events, num_sequences, total_events, names_bytes);
+
+  SmdbHeader header{};
+  std::memcpy(header.magic, kSmdbMagic, sizeof(kSmdbMagic));
+  header.version = kSmdbVersion;
+  header.num_events = num_events;
+  header.num_sequences = num_sequences;
+  header.total_events = total_events;
+  header.names_bytes = names_bytes;
+  header.file_bytes = layout.file_bytes;
+
+  const char zeros[8] = {};
+  auto write = [&out](const void* data, size_t n) {
+    if (n == 0) return;  // Empty arena: data may be null.
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  };
+  write(&header, sizeof(header));
+  write(zeros, kHeaderBytes - sizeof(header));
+  write(name_offsets.data(), 8 * name_offsets.size());
+  for (uint64_t i = 0; i < num_events; ++i) {
+    const std::string& name = dict.Name(static_cast<EventId>(i));
+    write(name.data(), name.size());
+  }
+  write(zeros, PadTo8(names_bytes) - names_bytes);
+  write(db.offsets(), 8 * (num_sequences + 1));
+  write(db.arena(), 4 * total_events);
+  write(zeros, PadTo8(4 * total_events) - 4 * total_events);
+  if (!out) return Status::IOError("stream error while writing .smdb data");
+  return Status::OK();
+}
+
+Status WriteBinaryDatabaseFile(const SequenceDatabase& db,
+                               const std::string& path) {
+  // Write-then-rename: truncating \p path in place would shear any live
+  // mmap of it (packing a .smdb onto itself = SIGBUS + a destroyed input)
+  // and a mid-write failure would leave a corrupt half-file behind.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open output file: " + tmp);
+    Status written = WriteBinaryDatabase(db, out);
+    if (written.ok()) {
+      out.flush();
+      if (!out) written = Status::IOError("stream error while writing " + tmp);
+    }
+    if (!written.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return written;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<MappedDatabase> MappedDatabase::Open(const std::string& path) {
+  SPECMINE_RETURN_NOT_OK(CheckHostEndianness());
+  MappedDatabase mapped;
+
+#ifdef SPECMINE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open .smdb file: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat .smdb file: " + path);
+  }
+  mapped.map_len_ = static_cast<size_t>(st.st_size);
+  if (mapped.map_len_ > 0) {
+    void* base = ::mmap(nullptr, mapped.map_len_, PROT_READ, MAP_PRIVATE, fd,
+                        0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      return Status::IOError("cannot mmap .smdb file: " + path);
+    }
+    mapped.map_ = base;
+    mapped.mmap_ = true;
+  } else {
+    ::close(fd);
+  }
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open .smdb file: " + path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  mapped.map_len_ = static_cast<size_t>(size);
+  if (mapped.map_len_ > 0) {
+    mapped.map_ = ::operator new(mapped.map_len_);
+    in.read(static_cast<char*>(mapped.map_), size);
+    if (!in) return Status::IOError("cannot read .smdb file: " + path);
+  }
+#endif
+
+  const unsigned char* bytes = static_cast<const unsigned char*>(mapped.map_);
+  if (mapped.map_len_ < kHeaderBytes) {
+    return Corrupt(path, "file is " + std::to_string(mapped.map_len_) +
+                             " bytes, smaller than the 64-byte header");
+  }
+  SmdbHeader header;
+  std::memcpy(&header, bytes, sizeof(header));
+  if (std::memcmp(header.magic, kSmdbMagic, sizeof(kSmdbMagic)) != 0) {
+    return Corrupt(path, "bad magic (not a .smdb file)");
+  }
+  if (header.version != kSmdbVersion) {
+    return Corrupt(path, "unsupported format version " +
+                             std::to_string(header.version) + " (reader is v" +
+                             std::to_string(kSmdbVersion) + ")");
+  }
+  if (header.num_events > kMaxIds || header.num_sequences > kMaxIds ||
+      header.total_events > kMaxBytes || header.names_bytes > kMaxBytes) {
+    return Corrupt(path, "header counts exceed format limits");
+  }
+  const SectionLayout layout =
+      ComputeLayout(header.num_events, header.num_sequences,
+                    header.total_events, header.names_bytes);
+  if (layout.file_bytes != header.file_bytes) {
+    return Corrupt(path, "header size fields are inconsistent");
+  }
+  if (mapped.map_len_ < layout.file_bytes) {
+    return Corrupt(path, "truncated: header promises " +
+                             std::to_string(layout.file_bytes) +
+                             " bytes, file has " +
+                             std::to_string(mapped.map_len_));
+  }
+
+  const uint64_t* name_offsets =
+      reinterpret_cast<const uint64_t*>(bytes + layout.name_offsets_off);
+  const char* names = reinterpret_cast<const char*>(bytes + layout.names_off);
+  const uint64_t* seq_offsets =
+      reinterpret_cast<const uint64_t*>(bytes + layout.seq_offsets_off);
+  const EventId* arena =
+      reinterpret_cast<const EventId*>(bytes + layout.arena_off);
+
+  if (name_offsets[0] != 0 ||
+      name_offsets[header.num_events] != header.names_bytes) {
+    return Corrupt(path, "name offset table does not span the name blob");
+  }
+  for (uint64_t i = 0; i < header.num_events; ++i) {
+    if (name_offsets[i + 1] < name_offsets[i]) {
+      return Corrupt(path, "name offset table is not monotonic at entry " +
+                               std::to_string(i));
+    }
+  }
+  if (seq_offsets[0] != 0 ||
+      seq_offsets[header.num_sequences] != header.total_events) {
+    return Corrupt(path, "trace offset table does not span the event arena");
+  }
+  for (uint64_t s = 0; s < header.num_sequences; ++s) {
+    if (seq_offsets[s + 1] < seq_offsets[s]) {
+      return Corrupt(path, "out-of-bounds trace offset at sequence " +
+                               std::to_string(s));
+    }
+  }
+
+  EventDictionary dictionary;
+  for (uint64_t i = 0; i < header.num_events; ++i) {
+    const std::string_view name(names + name_offsets[i],
+                                name_offsets[i + 1] - name_offsets[i]);
+    if (name.empty()) {
+      return Corrupt(path, "empty event name at id " + std::to_string(i));
+    }
+    if (dictionary.Intern(name) != i) {
+      return Corrupt(path,
+                     "duplicate event name: \"" + std::string(name) + "\"");
+    }
+  }
+
+  mapped.db_ = SequenceDatabase::WrapView(
+      std::move(dictionary), arena, seq_offsets,
+      static_cast<size_t>(header.num_sequences));
+  return mapped;
+}
+
+MappedDatabase::MappedDatabase(MappedDatabase&& other) noexcept
+    : map_(other.map_),
+      map_len_(other.map_len_),
+      mmap_(other.mmap_),
+      db_(std::move(other.db_)) {
+  other.map_ = nullptr;
+  other.map_len_ = 0;
+  other.mmap_ = false;
+}
+
+MappedDatabase& MappedDatabase::operator=(MappedDatabase&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  map_ = other.map_;
+  map_len_ = other.map_len_;
+  mmap_ = other.mmap_;
+  db_ = std::move(other.db_);
+  other.map_ = nullptr;
+  other.map_len_ = 0;
+  other.mmap_ = false;
+  return *this;
+}
+
+MappedDatabase::~MappedDatabase() { Release(); }
+
+void MappedDatabase::Release() {
+  if (map_ == nullptr) return;
+#ifdef SPECMINE_HAVE_MMAP
+  if (mmap_) {
+    ::munmap(map_, map_len_);
+  } else {
+    ::operator delete(map_);
+  }
+#else
+  ::operator delete(map_);
+#endif
+  map_ = nullptr;
+  map_len_ = 0;
+  mmap_ = false;
+}
+
+}  // namespace specmine

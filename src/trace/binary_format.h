@@ -1,0 +1,90 @@
+// The .smdb binary database format: the columnar in-memory layout of
+// SequenceDatabase, verbatim on disk, so loading is an mmap instead of a
+// parse.
+//
+// Layout (little-endian, all sections 8-byte aligned; see README.md,
+// "Storage layout & binary format"):
+//
+//     [0,  64)  header: magic "SMDB\r\n\x1a\n", version, counts, sizes
+//     name offsets   (num_events + 1) x u64   CSR into the name blob
+//     name blob      names_bytes raw bytes, padded to 8
+//     trace offsets  (num_sequences + 1) x u64  CSR into the arena
+//     event arena    total_events x u32 EventId
+//
+// The trace offsets + arena sections are byte-identical to the in-memory
+// representation, so MappedDatabase points a SequenceDatabase view straight
+// into the mapping — only the (small) dictionary is materialized. The
+// reader validates magic, version, section bounds against the real file
+// size, and offset-table monotonicity, returning Status on truncation or
+// corruption rather than crashing on a hostile file.
+
+#ifndef SPECMINE_TRACE_BINARY_FORMAT_H_
+#define SPECMINE_TRACE_BINARY_FORMAT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/support/status.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief The canonical .smdb file extension.
+inline constexpr const char* kSmdbExtension = ".smdb";
+
+/// \brief The 8-byte magic. The PNG-style \r\n\x1a\n tail catches files
+/// mangled by text-mode transfers.
+inline constexpr unsigned char kSmdbMagic[8] = {'S',  'M',  'D',  'B',
+                                                0x0d, 0x0a, 0x1a, 0x0a};
+
+/// \brief Current format version.
+inline constexpr uint32_t kSmdbVersion = 1;
+
+/// \brief True iff \p path names a .smdb file (case-sensitive suffix test;
+/// the CLI uses it to accept packed databases everywhere traces are).
+bool IsSmdbPath(const std::string& path);
+
+/// \brief Writes \p db as a .smdb stream.
+Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out);
+
+/// \brief Writes \p db as a .smdb file at \p path.
+Status WriteBinaryDatabaseFile(const SequenceDatabase& db,
+                               const std::string& path);
+
+/// \brief A .smdb file mapped into memory, exposing its contents as a
+/// zero-copy SequenceDatabase view.
+///
+/// Open() validates the header and offset tables before anything trusts
+/// the bytes. The view in db() (and any copy of it) points into the
+/// mapping, so the MappedDatabase must outlive every reader. Move-only.
+class MappedDatabase {
+ public:
+  /// \brief Maps and validates the .smdb file at \p path.
+  static Result<MappedDatabase> Open(const std::string& path);
+
+  MappedDatabase(MappedDatabase&& other) noexcept;
+  MappedDatabase& operator=(MappedDatabase&& other) noexcept;
+  MappedDatabase(const MappedDatabase&) = delete;
+  MappedDatabase& operator=(const MappedDatabase&) = delete;
+  ~MappedDatabase();
+
+  /// \brief The mapped database. Valid while this object is alive.
+  const SequenceDatabase& db() const { return db_; }
+
+  /// \brief Size of the underlying mapping in bytes.
+  size_t mapped_bytes() const { return map_len_; }
+
+ private:
+  MappedDatabase() = default;
+  void Release();
+
+  void* map_ = nullptr;   // mmap base (or heap buffer when mmap_ is false).
+  size_t map_len_ = 0;
+  bool mmap_ = false;     // True when map_ came from mmap(2).
+  SequenceDatabase db_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_BINARY_FORMAT_H_

@@ -57,7 +57,7 @@ Status MalformedRow(size_t line_no, std::string_view row,
 
 Result<SequenceDatabase> ReadCsvTraces(std::istream& in,
                                        const CsvTraceOptions& options) {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder builder;
   // Group key -> sequence under construction, in first-appearance order.
   std::unordered_map<std::string, size_t> group_index;
   std::vector<std::string> group_order;
@@ -93,14 +93,14 @@ Result<SequenceDatabase> ReadCsvTraces(std::istream& in,
       groups.emplace_back();
     }
     groups[it->second].Append(
-        db.mutable_dictionary()->Intern(fields[options.event_column]));
+        builder.mutable_dictionary()->Intern(fields[options.event_column]));
   }
   if (in.bad()) {
     return Status::IOError("stream error while reading CSV traces at line " +
                            std::to_string(line_no));
   }
-  for (Sequence& seq : groups) db.AddSequence(std::move(seq));
-  return db;
+  for (const Sequence& seq : groups) builder.AddSequence(seq);
+  return builder.Build();
 }
 
 Result<SequenceDatabase> ReadCsvTraceFile(const std::string& path,

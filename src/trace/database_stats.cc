@@ -11,7 +11,7 @@ DatabaseStats ComputeStats(const SequenceDatabase& db) {
   st.num_sequences = db.size();
   st.num_distinct_events = db.dictionary().size();
   st.min_length = db.empty() ? 0 : std::numeric_limits<size_t>::max();
-  for (const Sequence& s : db.sequences()) {
+  for (EventSpan s : db) {
     st.total_events += s.size();
     st.min_length = std::min(st.min_length, s.size());
     st.max_length = std::max(st.max_length, s.size());

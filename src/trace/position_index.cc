@@ -15,11 +15,12 @@ Status CheckIndexable(const SequenceDatabase& db) {
         "database has " + std::to_string(db.TotalEvents()) +
         " events, beyond the 2^32-2 the index's uint32 offsets can address");
   }
+  const uint64_t* offsets = db.offsets();
   for (SeqId s = 0; s < db.size(); ++s) {
-    if (db[s].size() >= kNoPos) {
+    const uint64_t len = offsets[s + 1] - offsets[s];
+    if (len >= kNoPos) {
       return Status::OutOfRange(
-          "sequence " + std::to_string(s) + " has " +
-          std::to_string(db[s].size()) +
+          "sequence " + std::to_string(s) + " has " + std::to_string(len) +
           " events, beyond the uint32 position range");
     }
   }
@@ -53,13 +54,16 @@ PositionIndex::PositionIndex(const SequenceDatabase& db,
 
 void PositionIndex::BuildDense() {
   const size_t num_cells = num_events_ * num_seqs_;
+  // Both passes run straight over the flat arena: no per-sequence objects,
+  // one linear scan each, with the CSR offsets supplying trace boundaries.
+  const EventId* arena = db_->arena();
+  const uint64_t* offsets = db_->offsets();
   // Pass 1: per-cell counts, stored one slot ahead so the inclusive prefix
   // sum below turns cell_ends_[c] into the *start* of cell c.
   cell_ends_.assign(num_cells + 1, 0);
   for (SeqId s = 0; s < num_seqs_; ++s) {
-    const Sequence& seq = (*db_)[s];
-    for (Pos p = 0; p < seq.size(); ++p) {
-      EventId ev = seq[p];
+    for (uint64_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      EventId ev = arena[i];
       if (ev >= num_events_) continue;  // Defensive; ids come from dict.
       ++cell_ends_[static_cast<size_t>(ev) * num_seqs_ + s + 1];
       ++total_counts_[ev];
@@ -71,12 +75,11 @@ void PositionIndex::BuildDense() {
   // its cell's exclusive end, which is exactly the lookup invariant:
   // cell c spans [cell_ends_[c-1], cell_ends_[c]).
   for (SeqId s = 0; s < num_seqs_; ++s) {
-    const Sequence& seq = (*db_)[s];
-    for (Pos p = 0; p < seq.size(); ++p) {
-      EventId ev = seq[p];
+    for (uint64_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      EventId ev = arena[i];
       if (ev >= num_events_) continue;
       const size_t cell = static_cast<size_t>(ev) * num_seqs_ + s;
-      positions_[cell_ends_[cell]++] = p;
+      positions_[cell_ends_[cell]++] = static_cast<Pos>(i - offsets[s]);
     }
   }
   cell_ends_.pop_back();  // The sentinel is dead after the scatter.
@@ -94,12 +97,13 @@ void PositionIndex::BuildDense() {
 }
 
 void PositionIndex::BuildSparse() {
+  const EventId* arena = db_->arena();
+  const uint64_t* offsets = db_->offsets();
   // Pass 1: per-event totals and distinct-sequence counts.
   std::vector<SeqId> last_seq(num_events_, static_cast<SeqId>(-1));
   for (SeqId s = 0; s < num_seqs_; ++s) {
-    const Sequence& seq = (*db_)[s];
-    for (Pos p = 0; p < seq.size(); ++p) {
-      EventId ev = seq[p];
+    for (uint64_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      EventId ev = arena[i];
       if (ev >= num_events_) continue;
       ++total_counts_[ev];
       if (last_seq[ev] != s) {
@@ -127,9 +131,8 @@ void PositionIndex::BuildSparse() {
                                      entry_begin_.end() - 1);
   std::fill(last_seq.begin(), last_seq.end(), static_cast<SeqId>(-1));
   for (SeqId s = 0; s < num_seqs_; ++s) {
-    const Sequence& seq = (*db_)[s];
-    for (Pos p = 0; p < seq.size(); ++p) {
-      EventId ev = seq[p];
+    for (uint64_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      EventId ev = arena[i];
       if (ev >= num_events_) continue;
       if (last_seq[ev] != s) {
         last_seq[ev] = s;
@@ -137,7 +140,7 @@ void PositionIndex::BuildSparse() {
         entry_offset_[entry_cursor[ev]] = pos_cursor[ev];
         ++entry_cursor[ev];
       }
-      positions_[pos_cursor[ev]++] = p;
+      positions_[pos_cursor[ev]++] = static_cast<Pos>(i - offsets[s]);
     }
   }
 }

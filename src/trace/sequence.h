@@ -1,4 +1,12 @@
-// A Sequence is one program execution trace: an ordered list of events.
+// EventSpan — the zero-copy view of one program execution trace — and
+// Sequence, the small owning buffer used while a trace is being assembled.
+//
+// Since the columnar storage refactor all traces live in one flat event
+// arena inside SequenceDatabase; reading code sees them only through
+// EventSpan views (two pointers into the arena, nothing owned, trivially
+// copyable). Sequence remains as the mutable staging type the builders and
+// collectors append into before the events are copied into an arena; it
+// converts implicitly to EventSpan so read helpers take spans only.
 
 #ifndef SPECMINE_TRACE_SEQUENCE_H_
 #define SPECMINE_TRACE_SEQUENCE_H_
@@ -11,10 +19,58 @@
 
 namespace specmine {
 
-/// \brief An ordered list of events; one program execution trace.
+/// \brief A non-owning view of a contiguous run of events; one program
+/// execution trace as stored in a database arena.
 ///
 /// Positions are 0-based throughout the library (the paper indexes from 1;
-/// the translation is made only when printing).
+/// the translation is made only when printing). A span is two pointers —
+/// pass it by value. It is valid as long as the storage it points into
+/// (a SequenceDatabase, a Sequence, or an mmap) is alive and unmodified.
+class EventSpan {
+ public:
+  EventSpan() = default;
+  EventSpan(const EventId* begin, const EventId* end)
+      : begin_(begin), end_(end) {}
+  EventSpan(const EventId* data, size_t size)
+      : begin_(data), end_(data + size) {}
+  /// \brief Views a vector's contents (the vector must outlive the span).
+  explicit EventSpan(const std::vector<EventId>& events)
+      : begin_(events.data()), end_(events.data() + events.size()) {}
+
+  /// \brief Number of events.
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  /// \brief True iff the trace has no events.
+  bool empty() const { return begin_ == end_; }
+  /// \brief Event at position \p i (0-based, unchecked).
+  EventId operator[](size_t i) const { return begin_[i]; }
+  EventId front() const { return *begin_; }
+  EventId back() const { return *(end_ - 1); }
+
+  const EventId* begin() const { return begin_; }
+  const EventId* end() const { return end_; }
+  const EventId* data() const { return begin_; }
+
+  /// \brief The sub-span [from, from + count) (unchecked).
+  EventSpan subspan(size_t from, size_t count) const {
+    return EventSpan(begin_ + from, begin_ + from + count);
+  }
+
+ private:
+  const EventId* begin_ = nullptr;
+  const EventId* end_ = nullptr;
+};
+
+inline bool operator==(EventSpan s, EventSpan t) {
+  if (s.size() != t.size()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != t[i]) return false;
+  }
+  return true;
+}
+inline bool operator!=(EventSpan s, EventSpan t) { return !(s == t); }
+
+/// \brief An owning, growable list of events: the staging buffer a trace is
+/// assembled in before it is copied into a database arena.
 class Sequence {
  public:
   Sequence() = default;
@@ -30,9 +86,16 @@ class Sequence {
 
   /// \brief Appends one event.
   void Append(EventId ev) { events_.push_back(ev); }
+  /// \brief Drops all events.
+  void Clear() { events_.clear(); }
 
   /// \brief Underlying storage (read-only).
   const std::vector<EventId>& events() const { return events_; }
+
+  /// \brief Zero-copy view of the buffered events (valid until the next
+  /// mutation of this Sequence).
+  EventSpan span() const { return EventSpan(events_); }
+  operator EventSpan() const { return span(); }  // NOLINT(runtime/explicit)
 
   bool operator==(const Sequence& other) const = default;
 
@@ -42,6 +105,9 @@ class Sequence {
  private:
   std::vector<EventId> events_;
 };
+
+inline bool operator==(EventSpan s, const Sequence& t) { return s == t.span(); }
+inline bool operator==(const Sequence& s, EventSpan t) { return s.span() == t; }
 
 }  // namespace specmine
 

@@ -10,20 +10,20 @@
 namespace specmine {
 
 Result<SequenceDatabase> ReadTextTraces(std::istream& in) {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder builder;
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped.front() == '#') continue;
-    db.AddTraceFromString(stripped);
+    builder.AddTraceFromString(stripped);
   }
   if (in.bad()) {
     return Status::IOError("stream error while reading traces at line " +
                            std::to_string(line_no));
   }
-  return db;
+  return builder.Build();
 }
 
 Result<SequenceDatabase> ReadTextTraceFile(const std::string& path) {
@@ -33,7 +33,7 @@ Result<SequenceDatabase> ReadTextTraceFile(const std::string& path) {
 }
 
 Status WriteTextTraces(const SequenceDatabase& db, std::ostream& out) {
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     for (size_t i = 0; i < seq.size(); ++i) {
       if (i > 0) out << ' ';
       out << db.dictionary().NameOrPlaceholder(seq[i]);
@@ -75,13 +75,13 @@ Result<SequenceDatabase> ReadSpmTraces(std::istream& in) {
   hdr >> tag >> num_events;
   if (tag != "!events" || hdr.fail()) return err("malformed '!events' line");
 
-  SequenceDatabase db;
+  SequenceDatabaseBuilder builder;
   for (size_t i = 0; i < num_events; ++i) {
     if (!std::getline(in, line)) return err("truncated event table");
     ++line_no;
     std::string_view name = StripWhitespace(line);
     if (name.empty()) return err("empty event name");
-    EventId id = db.mutable_dictionary()->Intern(name);
+    EventId id = builder.mutable_dictionary()->Intern(name);
     if (id != i) return err("duplicate event name: " + std::string(name));
   }
 
@@ -99,10 +99,10 @@ Result<SequenceDatabase> ReadSpmTraces(std::istream& in) {
       seq.Append(static_cast<EventId>(id));
     }
     if (seq.size() != declared) return err("trace length mismatch");
-    db.AddSequence(std::move(seq));
+    builder.AddSequence(seq);
   }
   if (in.bad()) return Status::IOError("stream error while reading traces");
-  return db;
+  return builder.Build();
 }
 
 Status WriteSpmTraces(const SequenceDatabase& db, std::ostream& out) {
@@ -111,7 +111,7 @@ Status WriteSpmTraces(const SequenceDatabase& db, std::ostream& out) {
   for (size_t i = 0; i < db.dictionary().size(); ++i) {
     out << db.dictionary().Name(static_cast<EventId>(i)) << '\n';
   }
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     out << "!trace " << seq.size();
     for (EventId ev : seq) out << ' ' << ev;
     out << '\n';

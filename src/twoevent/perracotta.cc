@@ -29,7 +29,7 @@ const char* PairTemplateName(PairTemplate t) {
 namespace {
 
 // The projection of a sequence onto {a, b} as a string of 'a'/'b' chars.
-std::string Project(const Sequence& seq, EventId a, EventId b) {
+std::string Project(EventSpan seq, EventId a, EventId b) {
   std::string s;
   for (EventId ev : seq) {
     if (ev == a) s.push_back('a');
@@ -103,7 +103,7 @@ constexpr PairTemplate kByStrictness[] = {
 
 }  // namespace
 
-bool MatchesTemplate(const Sequence& seq, EventId a, EventId b,
+bool MatchesTemplate(EventSpan seq, EventId a, EventId b,
                      PairTemplate t) {
   return MatchProjected(Project(seq, a, b), t);
 }
@@ -126,7 +126,7 @@ std::vector<TwoEventRule> MinePerracotta(const SequenceDatabase& db,
       uint64_t relevant = 0;
       uint64_t base_satisfying = 0;
       std::vector<std::string> projections;
-      for (const Sequence& seq : db.sequences()) {
+      for (EventSpan seq : db) {
         std::string proj = Project(seq, a, b);
         if (proj.empty()) continue;
         ++relevant;

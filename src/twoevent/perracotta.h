@@ -43,7 +43,7 @@ enum class PairTemplate {
 const char* PairTemplateName(PairTemplate t);
 
 /// \brief True iff the projection of \p seq onto {a, b} matches \p t.
-bool MatchesTemplate(const Sequence& seq, EventId a, EventId b,
+bool MatchesTemplate(EventSpan seq, EventId a, EventId b,
                      PairTemplate t);
 
 /// \brief A mined two-event rule.

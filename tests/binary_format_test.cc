@@ -1,0 +1,294 @@
+// Tests for the .smdb binary database format: round-trip fidelity (packed
+// databases mine byte-identically to in-memory ones) and the reader's
+// rejection of corrupt files (bad magic, wrong version, truncation,
+// out-of-bounds offsets).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/trace/binary_format.h"
+#include "src/trace/sequence_database.h"
+#include "src/trace/trace_io.h"
+
+namespace specmine {
+namespace {
+
+SequenceDatabase SampleDb() {
+  SequenceDatabaseBuilder builder;
+  builder.AddTraceFromString("lock read write unlock lock write unlock");
+  builder.AddTraceFromString("open read close lock unlock");
+  builder.AddTraceFromString("lock read unlock open read read close");
+  builder.AddTraceFromString("open write close open read close");
+  builder.AddTraceFromString("lock unlock lock read write unlock");
+  return builder.Build();
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SmdbPathTest, SuffixDetection) {
+  EXPECT_TRUE(IsSmdbPath("traces.smdb"));
+  EXPECT_TRUE(IsSmdbPath("/a/b/c.smdb"));
+  EXPECT_FALSE(IsSmdbPath("traces.txt"));
+  EXPECT_FALSE(IsSmdbPath("smdb"));
+  EXPECT_FALSE(IsSmdbPath(""));
+}
+
+TEST(BinaryFormatTest, RoundTripPreservesEverything) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("roundtrip.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+
+  Result<MappedDatabase> mapped = MappedDatabase::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const SequenceDatabase& rt = mapped->db();
+  EXPECT_FALSE(rt.owns_storage());  // Zero-copy view into the mapping.
+  ASSERT_EQ(rt.size(), db.size());
+  ASSERT_EQ(rt.TotalEvents(), db.TotalEvents());
+  ASSERT_EQ(rt.dictionary().size(), db.dictionary().size());
+  for (size_t i = 0; i < db.dictionary().size(); ++i) {
+    EXPECT_EQ(rt.dictionary().Name(static_cast<EventId>(i)),
+              db.dictionary().Name(static_cast<EventId>(i)));
+  }
+  for (SeqId s = 0; s < db.size(); ++s) {
+    EXPECT_EQ(rt[s], db[s]);  // Ids preserved exactly.
+  }
+  // The arena bytes in the file are the in-memory layout, verbatim.
+  EXPECT_EQ(std::memcmp(rt.arena(), db.arena(),
+                        db.TotalEvents() * sizeof(EventId)),
+            0);
+}
+
+TEST(BinaryFormatTest, EmptyAndEmptyTraceDatabasesRoundTrip) {
+  SequenceDatabaseBuilder builder;
+  builder.AddSequence({});
+  builder.AddTraceFromString("a");
+  builder.AddSequence({});
+  SequenceDatabase db = builder.Build();
+  const std::string path = TempPath("empties.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  Result<MappedDatabase> mapped = MappedDatabase::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->db().size(), 3u);
+  EXPECT_TRUE(mapped->db()[0].empty());
+  EXPECT_EQ(mapped->db()[1].size(), 1u);
+  EXPECT_TRUE(mapped->db()[2].empty());
+
+  SequenceDatabase empty;
+  const std::string empty_path = TempPath("empty.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(empty, empty_path).ok());
+  Result<MappedDatabase> mapped_empty = MappedDatabase::Open(empty_path);
+  ASSERT_TRUE(mapped_empty.ok()) << mapped_empty.status().ToString();
+  EXPECT_TRUE(mapped_empty->db().empty());
+}
+
+// The acceptance property: mining a packed-and-mapped database produces
+// byte-identical output to mining the in-memory database it came from.
+TEST(BinaryFormatTest, MappedMiningIsByteIdenticalToInMemory) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("mine.smdb");
+
+  Result<Engine> memory = Engine::Create(db);
+  ASSERT_TRUE(memory.ok());
+  ASSERT_TRUE(memory->SaveBinary(path).ok());
+  Result<Engine> mapped = Engine::FromBinaryFile(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->memory_mapped());
+  EXPECT_FALSE(memory->memory_mapped());
+
+  ClosedTask closed;
+  closed.options.min_support = 2;
+  Result<PatternSet> p_mem = memory->CollectPatterns(closed);
+  Result<PatternSet> p_map = mapped->CollectPatterns(closed);
+  ASSERT_TRUE(p_mem.ok());
+  ASSERT_TRUE(p_map.ok());
+  EXPECT_GT(p_mem->size(), 0u);
+  EXPECT_EQ(p_mem->ToString(memory->database().dictionary()),
+            p_map->ToString(mapped->database().dictionary()));
+
+  RulesTask rules;
+  rules.options.min_s_support = 2;
+  rules.options.min_confidence = 0.8;
+  Result<RuleSet> r_mem = memory->CollectRules(rules);
+  Result<RuleSet> r_map = mapped->CollectRules(rules);
+  ASSERT_TRUE(r_mem.ok());
+  ASSERT_TRUE(r_map.ok());
+  ASSERT_EQ(r_mem->size(), r_map->size());
+  for (size_t i = 0; i < r_mem->size(); ++i) {
+    EXPECT_EQ((*r_mem)[i].ToString(memory->database().dictionary()),
+              (*r_map)[i].ToString(mapped->database().dictionary()));
+  }
+}
+
+// Property over generated shapes: text parse and .smdb mmap agree span for
+// span on databases with empty traces, repeated names, varying lengths.
+TEST(BinaryFormatTest, TextAndBinaryLoadsAgree) {
+  SequenceDatabaseBuilder builder;
+  for (int s = 0; s < 50; ++s) {
+    std::string line;
+    for (int k = 0; k < s % 7; ++k) {
+      line += "ev" + std::to_string((s * 31 + k * 17) % 13) + " ";
+    }
+    builder.AddTraceFromString(line);
+  }
+  SequenceDatabase db = builder.Build();
+  const std::string text_path = TempPath("agree.txt");
+  const std::string smdb_path = TempPath("agree.smdb");
+  ASSERT_TRUE(WriteTextTraceFile(db, text_path).ok());
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, smdb_path).ok());
+
+  Result<SequenceDatabase> from_text = ReadTextTraceFile(text_path);
+  Result<MappedDatabase> from_smdb = MappedDatabase::Open(smdb_path);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(from_smdb.ok());
+  // The text reader drops blank lines (empty traces), the binary format
+  // keeps them — compare only the non-empty traces, in order.
+  std::vector<std::string> text_lines, smdb_lines;
+  for (EventSpan seq : *from_text) {
+    std::string line;
+    for (EventId ev : seq) line += from_text->dictionary().Name(ev) + " ";
+    text_lines.push_back(line);
+  }
+  for (EventSpan seq : from_smdb->db()) {
+    if (seq.empty()) continue;
+    std::string line;
+    for (EventId ev : seq) line += from_smdb->db().dictionary().Name(ev) + " ";
+    smdb_lines.push_back(line);
+  }
+  EXPECT_EQ(text_lines, smdb_lines);
+}
+
+TEST(BinaryFormatTest, RejectsBadMagic) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("badmagic.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  bytes[0] = 'X';
+  WriteAll(path, bytes);
+  Result<MappedDatabase> r = MappedDatabase::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsWrongVersion) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("badversion.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  const uint32_t bogus = 99;  // Version field sits at byte 8.
+  std::memcpy(bytes.data() + 8, &bogus, sizeof(bogus));
+  WriteAll(path, bytes);
+  Result<MappedDatabase> r = MappedDatabase::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsTruncatedArena) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("truncated.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  bytes.resize(bytes.size() - 8);  // Chop the arena's tail.
+  WriteAll(path, bytes);
+  Result<MappedDatabase> r = MappedDatabase::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsFileSmallerThanHeader) {
+  const std::string path = TempPath("tiny.smdb");
+  WriteAll(path, std::vector<char>{'S', 'M', 'D', 'B'});
+  Result<MappedDatabase> r = MappedDatabase::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("header"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsOutOfBoundsTraceOffsets) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("badoffsets.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  // Recompute the layout the writer used to find the trace offset table.
+  const uint64_t num_events = db.dictionary().size();
+  uint64_t names_bytes = 0;
+  for (uint64_t i = 0; i < num_events; ++i) {
+    names_bytes += db.dictionary().Name(static_cast<EventId>(i)).size();
+  }
+  const uint64_t names_padded = (names_bytes + 7) & ~uint64_t{7};
+  const size_t seq_offsets_off =
+      static_cast<size_t>(64 + 8 * (num_events + 1) + names_padded);
+  // Overwrite the second trace offset with a value past the arena end (and
+  // past the next offset): both the monotonicity and span checks must
+  // refuse to build spans from it.
+  const uint64_t huge = db.TotalEvents() + 1000;
+  std::memcpy(bytes.data() + seq_offsets_off + 8, &huge, sizeof(huge));
+  WriteAll(path, bytes);
+  Result<MappedDatabase> r = MappedDatabase::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+
+  // And the final offset must land exactly on the arena end.
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  bytes = ReadAll(path);
+  const uint64_t short_end = db.TotalEvents() - 1;
+  std::memcpy(bytes.data() + seq_offsets_off + 8 * db.size(), &short_end,
+              sizeof(short_end));
+  WriteAll(path, bytes);
+  r = MappedDatabase::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(BinaryFormatTest, RejectsInconsistentHeaderSizes) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("badheader.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  // Inflate num_sequences (byte 24) without growing the file.
+  const uint64_t bogus = db.size() + 7;
+  std::memcpy(bytes.data() + 24, &bogus, sizeof(bogus));
+  WriteAll(path, bytes);
+  Result<MappedDatabase> r = MappedDatabase::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(BinaryFormatTest, OpenMissingFileIsIOError) {
+  Result<MappedDatabase> r = MappedDatabase::Open("/nonexistent/db.smdb");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryFormatTest, EngineFromBinaryFileRejectsCorruptFile) {
+  const std::string path = TempPath("engine_bad.smdb");
+  WriteAll(path, std::vector<char>(128, 'Z'));
+  Result<Engine> r = Engine::FromBinaryFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace specmine

@@ -59,6 +59,68 @@ TEST_F(CliTest, StatsMissingFileFails) {
   EXPECT_NE(err_.str().find("IOError"), std::string::npos);
 }
 
+TEST_F(CliTest, StatsTracePrintsOneTrace) {
+  EXPECT_EQ(Run({"stats", path_, "--trace", "0"}), 0);
+  EXPECT_NE(out_.str().find("trace 0: lock use unlock"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsTraceOutOfRangeIsAnErrorNotACrash) {
+  EXPECT_EQ(Run({"stats", path_, "--trace", "17"}), 1);
+  EXPECT_NE(err_.str().find("OutOfRange"), std::string::npos);
+  EXPECT_NE(err_.str().find("17"), std::string::npos);
+}
+
+TEST_F(CliTest, PackThenMineFromSmdbMatchesTextOutput) {
+  const std::string packed = ::testing::TempDir() + "cli_test_traces.smdb";
+  EXPECT_EQ(Run({"pack", path_, packed}), 0);
+  EXPECT_NE(out_.str().find("packed"), std::string::npos);
+
+  EXPECT_EQ(Run({"mine-patterns", path_, "--min-sup", "0.6"}), 0);
+  const std::string from_text = out_.str();
+  EXPECT_EQ(Run({"mine-patterns", packed, "--min-sup", "0.6"}), 0);
+  const std::string from_smdb = out_.str();
+  // Identical output except the timing line (wall-clock differs).
+  auto strip_timing = [](std::string s) {
+    const size_t pos = s.find("timing:");
+    const size_t end = s.find('\n', pos);
+    return s.substr(0, pos) + s.substr(end + 1);
+  };
+  EXPECT_EQ(strip_timing(from_text), strip_timing(from_smdb));
+
+  EXPECT_EQ(Run({"stats", packed}), 0);
+  EXPECT_NE(out_.str().find("3 sequences"), std::string::npos);
+  std::remove(packed.c_str());
+}
+
+TEST_F(CliTest, PackOntoItselfDoesNotDestroyTheInput) {
+  const std::string packed = ::testing::TempDir() + "cli_test_selfpack.smdb";
+  ASSERT_EQ(Run({"pack", path_, packed}), 0);
+  // Repacking a mapped database onto its own path must neither crash nor
+  // corrupt it (the writer goes through a temp file + rename).
+  EXPECT_EQ(Run({"pack", packed, packed}), 0);
+  EXPECT_EQ(Run({"stats", packed}), 0);
+  EXPECT_NE(out_.str().find("3 sequences"), std::string::npos);
+  std::remove(packed.c_str());
+}
+
+TEST_F(CliTest, StatsTraceHugeIdReportsTheRequestedId) {
+  EXPECT_EQ(Run({"stats", path_, "--trace", "5000000000"}), 1);
+  EXPECT_NE(err_.str().find("5000000000"), std::string::npos);
+}
+
+TEST_F(CliTest, PackMissingOutputPathFails) {
+  EXPECT_EQ(Run({"pack", path_}), 2);
+  EXPECT_NE(err_.str().find("usage"), std::string::npos);
+}
+
+TEST_F(CliTest, MineFromCorruptSmdbFailsCleanly) {
+  const std::string bogus = ::testing::TempDir() + "cli_test_bogus.smdb";
+  std::ofstream(bogus) << "this is not a binary database";
+  EXPECT_EQ(Run({"mine-rules", bogus}), 1);
+  EXPECT_NE(err_.str().find("ParseError"), std::string::npos);
+  std::remove(bogus.c_str());
+}
+
 TEST_F(CliTest, MinePatternsClosed) {
   EXPECT_EQ(Run({"mine-patterns", path_, "--min-sup", "0.9"}), 0);
   EXPECT_NE(out_.str().find("<lock, unlock>"), std::string::npos);

@@ -23,13 +23,13 @@ namespace specmine {
 namespace {
 
 SequenceDatabase SmallDb() {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   db.AddTraceFromString("lock read write unlock lock write unlock");
   db.AddTraceFromString("open read close lock unlock");
   db.AddTraceFromString("lock read unlock open read read close");
   db.AddTraceFromString("open write close open read close");
   db.AddTraceFromString("lock unlock lock read write unlock");
-  return db;
+  return db.Build();
 }
 
 // ---------------------------------------------------------------------------

@@ -15,9 +15,9 @@ namespace specmine {
 namespace {
 
 SequenceDatabase MakeDb(const std::vector<std::string>& traces) {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (const auto& t : traces) db.AddTraceFromString(t);
-  return db;
+  return db.Build();
 }
 
 Pattern P(const SequenceDatabase& db, const std::string& names) {
@@ -34,7 +34,7 @@ Pattern P(const SequenceDatabase& db, const std::string& names) {
 uint64_t OracleWindows(const Pattern& episode, const SequenceDatabase& db,
                        size_t w) {
   uint64_t count = 0;
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     int64_t len = static_cast<int64_t>(seq.size());
     for (int64_t t = -(static_cast<int64_t>(w) - 1); t <= len - 1; ++t) {
       int64_t lo = std::max<int64_t>(0, t);

@@ -27,7 +27,7 @@ struct RandomDbParams {
 
 SequenceDatabase RandomDb(const RandomDbParams& p) {
   Rng rng(p.seed);
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (size_t i = 0; i < p.alphabet; ++i) {
     db.mutable_dictionary()->Intern("e" + std::to_string(i));
   }
@@ -37,9 +37,9 @@ SequenceDatabase RandomDb(const RandomDbParams& p) {
     for (size_t k = 0; k < len; ++k) {
       seq.Append(static_cast<EventId>(rng.Uniform(p.alphabet)));
     }
-    db.AddSequence(std::move(seq));
+    db.AddSequence(seq);
   }
-  return db;
+  return db.Build();
 }
 
 std::map<Pattern, uint64_t> ToMap(const PatternSet& set) {

@@ -13,9 +13,9 @@ namespace specmine {
 namespace {
 
 SequenceDatabase MakeDb(const std::vector<std::string>& traces) {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (const auto& t : traces) db.AddTraceFromString(t);
-  return db;
+  return db.Build();
 }
 
 Pattern P(const SequenceDatabase& db, const std::string& names) {
@@ -196,7 +196,7 @@ TEST(CheckerTest, XNeededForRepeatedConsequentEvents) {
 
 TEST(CheckerTest, DatabaseOverloadsAndCounting) {
   SequenceDatabase db = MakeDb({"a b", "a x", "y"});
-  EventDictionary& dict = *db.mutable_dictionary();
+  const EventDictionary& dict = db.dictionary();
   LtlPtr f = RuleToLtl(Pattern{dict.Lookup("a")}, Pattern{dict.Lookup("b")},
                        dict);
   EXPECT_TRUE(EvaluateLtl(f, db, 0));

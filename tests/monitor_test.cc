@@ -12,9 +12,9 @@ namespace specmine {
 namespace {
 
 SequenceDatabase MakeDb(const std::vector<std::string>& traces) {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (const auto& t : traces) db.AddTraceFromString(t);
-  return db;
+  return db.Build();
 }
 
 Pattern P(const SequenceDatabase& db, const std::string& names) {
@@ -36,7 +36,7 @@ Rule MakeRule(const SequenceDatabase& db, const std::string& pre,
 }
 
 void Feed(SpecificationMonitor* monitor, const SequenceDatabase& db) {
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     monitor->BeginTrace();
     for (EventId ev : seq) monitor->OnEvent(ev);
     monitor->EndTrace();

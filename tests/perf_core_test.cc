@@ -30,7 +30,7 @@ struct RandomDbParams {
 
 SequenceDatabase RandomDb(const RandomDbParams& p) {
   Rng rng(p.seed);
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   // Intern the whole alphabet so event ids exist even for events that
   // never occur (the index must answer empty for those).
   for (size_t e = 0; e < p.alphabet; ++e) {
@@ -42,9 +42,9 @@ SequenceDatabase RandomDb(const RandomDbParams& p) {
     for (size_t i = 0; i < len; ++i) {
       seq.Append(static_cast<EventId>(rng.Uniform(p.alphabet)));
     }
-    db.AddSequence(std::move(seq));
+    db.AddSequence(seq);
   }
-  return db;
+  return db.Build();
 }
 
 // ---------------------------------------------------------------------------
@@ -53,7 +53,7 @@ SequenceDatabase RandomDb(const RandomDbParams& p) {
 std::vector<Pos> NaivePositions(const SequenceDatabase& db, EventId ev,
                                 SeqId s) {
   std::vector<Pos> out;
-  const Sequence& seq = db[s];
+  const EventSpan seq = db[s];
   for (Pos p = 0; p < seq.size(); ++p) {
     if (seq[p] == ev) out.push_back(p);
   }

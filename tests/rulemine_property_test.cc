@@ -23,7 +23,7 @@ struct RandomDbParams {
 
 SequenceDatabase RandomDb(const RandomDbParams& p) {
   Rng rng(p.seed);
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (size_t i = 0; i < p.alphabet; ++i) {
     db.mutable_dictionary()->Intern("e" + std::to_string(i));
   }
@@ -33,16 +33,16 @@ SequenceDatabase RandomDb(const RandomDbParams& p) {
     for (size_t k = 0; k < len; ++k) {
       seq.Append(static_cast<EventId>(rng.Uniform(p.alphabet)));
     }
-    db.AddSequence(std::move(seq));
+    db.AddSequence(seq);
   }
-  return db;
+  return db.Build();
 }
 
 // --------------------------------------------------------------------------
 // Oracle primitives (independent re-implementations).
 
 // Subsequence embedding into seq[from..to) by direct scan.
-bool OracleEmbeds(const Pattern& p, const Sequence& seq, size_t from,
+bool OracleEmbeds(const Pattern& p, EventSpan seq, size_t from,
                   size_t to) {
   size_t k = 0;
   for (size_t i = from; i < to && k < p.size(); ++i) {
@@ -52,7 +52,7 @@ bool OracleEmbeds(const Pattern& p, const Sequence& seq, size_t from,
 }
 
 // Definition 5.1 occurrence points.
-std::vector<size_t> OraclePoints(const Pattern& p, const Sequence& seq) {
+std::vector<size_t> OraclePoints(const Pattern& p, EventSpan seq) {
   std::vector<size_t> out;
   for (size_t j = 0; j < seq.size(); ++j) {
     if (seq[j] != p[p.size() - 1]) continue;
@@ -76,7 +76,7 @@ OracleStats ComputeOracleStats(const SequenceDatabase& db, const Pattern& pre,
                                const Pattern& post) {
   OracleStats st;
   Pattern concat = pre.Concat(post);
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     std::vector<size_t> points = OraclePoints(pre, seq);
     if (!points.empty()) ++st.s_support;
     st.premise_points += points.size();

@@ -18,9 +18,9 @@ namespace specmine {
 namespace {
 
 SequenceDatabase MakeDb(const std::vector<std::string>& traces) {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (const auto& t : traces) db.AddTraceFromString(t);
-  return db;
+  return db.Build();
 }
 
 Pattern P(const SequenceDatabase& db, const std::string& names) {
@@ -38,7 +38,7 @@ Pattern P(const SequenceDatabase& db, const std::string& names) {
 
 TEST(OccurrenceEngineTest, EarliestEmbeddingEnd) {
   SequenceDatabase db = MakeDb({"a x b x a b"});
-  const Sequence& s = db[0];
+  const EventSpan s = db[0];
   EXPECT_EQ(EarliestEmbeddingEnd(P(db, "a b"), s), 2u);
   EXPECT_EQ(EarliestEmbeddingEnd(P(db, "a b a"), s), 4u);
   EXPECT_EQ(EarliestEmbeddingEnd(P(db, "b a b"), s), 5u);
@@ -51,7 +51,7 @@ TEST(OccurrenceEngineTest, EarliestEmbeddingEnd) {
 TEST(OccurrenceEngineTest, OccurrencePointsDefinition51) {
   // occ(P, S): positions j with S[j] = last(P) and prefix S[0..j] ⊒ P.
   SequenceDatabase db = MakeDb({"a b b a b"});
-  const Sequence& s = db[0];
+  const EventSpan s = db[0];
   // <a, b>: prefix must contain a before the b. b's at 1, 2, 4; all after
   // the first a at 0.
   EXPECT_EQ(OccurrencePoints(P(db, "a b"), s), (std::vector<Pos>{1, 2, 4}));
@@ -67,7 +67,7 @@ TEST(OccurrenceEngineTest, OccurrencePointsDefinition51) {
 
 TEST(OccurrenceEngineTest, OccurrencePointsWithOffset) {
   SequenceDatabase db = MakeDb({"a b a b"});
-  const Sequence& s = db[0];
+  const EventSpan s = db[0];
   EXPECT_EQ(OccurrencePoints(P(db, "a b"), s, 1), (std::vector<Pos>{3}));
   EXPECT_EQ(OccurrencePoints(P(db, "a"), s, 1), (std::vector<Pos>{2}));
 }
@@ -79,7 +79,7 @@ TEST(OccurrenceEngineTest, CountOccurrencesAcrossSequences) {
 
 TEST(OccurrenceEngineTest, LatestEmbeddingStart) {
   SequenceDatabase db = MakeDb({"a b a b a"});
-  const Sequence& s = db[0];
+  const EventSpan s = db[0];
   EXPECT_EQ(LatestEmbeddingStart(P(db, "a b"), s, 0, 4), 2u);
   EXPECT_EQ(LatestEmbeddingStart(P(db, "a b"), s, 0, 3), 2u);
   EXPECT_EQ(LatestEmbeddingStart(P(db, "a b"), s, 0, 2), 0u);
@@ -140,7 +140,7 @@ std::map<Pattern, uint64_t> ToMap(const PatternSet& set) {
 SequenceDatabase RandomDb(uint64_t seed, size_t num_seqs, size_t max_len,
                           size_t alphabet) {
   Rng rng(seed);
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (size_t i = 0; i < alphabet; ++i) {
     db.mutable_dictionary()->Intern("e" + std::to_string(i));
   }
@@ -150,9 +150,9 @@ SequenceDatabase RandomDb(uint64_t seed, size_t num_seqs, size_t max_len,
     for (size_t k = 0; k < len; ++k) {
       seq.Append(static_cast<EventId>(rng.Uniform(alphabet)));
     }
-    db.AddSequence(std::move(seq));
+    db.AddSequence(seq);
   }
-  return db;
+  return db.Build();
 }
 
 // ---------------------------------------------------------------------------

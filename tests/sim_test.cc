@@ -108,7 +108,7 @@ TEST(TransactionComponentTest, CommitRateFollowsProbability) {
   size_t commits = 0;
   EventId commit_ev = db.dictionary().Lookup("TxManager.commit");
   ASSERT_NE(commit_ev, kInvalidEvent);
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     commits += std::count(seq.begin(), seq.end(), commit_ev) > 0 ? 1 : 0;
   }
   EXPECT_NEAR(static_cast<double>(commits) / 200.0, 0.7, 0.1);
@@ -181,7 +181,7 @@ TEST(TestSuiteTest, RunsPerTraceWithinBounds) {
   options.transaction.noise_probability = 0.0;
   SequenceDatabase db = sim::GenerateTransactionTraces(options);
   const size_t run_len = Figure4Pattern().size();
-  for (const Sequence& seq : db.sequences()) {
+  for (EventSpan seq : db) {
     EXPECT_GE(seq.size(), 2 * run_len);
     EXPECT_LE(seq.size(), 4 * run_len);
     EXPECT_EQ(seq.size() % run_len, 0u);

@@ -28,9 +28,9 @@ Pattern NamesToPattern(const SequenceDatabase& db,
 }
 
 TEST(SpecMinerIntegrationTest, AbsoluteSupportConversion) {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (int i = 0; i < 100; ++i) db.AddTraceFromString("a b");
-  SpecMiner miner(std::move(db));
+  SpecMiner miner(db.Build());
   EXPECT_EQ(miner.AbsoluteSupport(0.5), 50u);
   EXPECT_EQ(miner.AbsoluteSupport(0.001), 1u);   // Floors at 1.
   EXPECT_EQ(miner.AbsoluteSupport(0.0), 1u);

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "src/trace/csv_trace_reader.h"
 #include "src/trace/database_stats.h"
@@ -52,9 +54,10 @@ TEST(SequenceTest, BasicAccessors) {
 }
 
 TEST(SequenceDatabaseTest, AddTraceInternsNames) {
-  SequenceDatabase db;
-  SeqId id = db.AddTrace({"a", "b", "a"});
+  SequenceDatabaseBuilder builder;
+  SeqId id = builder.AddTrace({"a", "b", "a"});
   EXPECT_EQ(id, 0u);
+  SequenceDatabase db = builder.Build();
   EXPECT_EQ(db.size(), 1u);
   EXPECT_EQ(db[0].size(), 3u);
   EXPECT_EQ(db[0][0], db[0][2]);
@@ -63,20 +66,103 @@ TEST(SequenceDatabaseTest, AddTraceInternsNames) {
 }
 
 TEST(SequenceDatabaseTest, AddTraceFromString) {
-  SequenceDatabase db;
-  db.AddTraceFromString("  lock   use unlock ");
+  SequenceDatabaseBuilder builder;
+  builder.AddTraceFromString("  lock   use unlock ");
+  SequenceDatabase db = builder.Build();
   ASSERT_EQ(db.size(), 1u);
   EXPECT_EQ(db[0].size(), 3u);
   EXPECT_EQ(db.dictionary().Name(db[0][0]), "lock");
   EXPECT_EQ(db.dictionary().Name(db[0][2]), "unlock");
 }
 
+TEST(SequenceDatabaseTest, ColumnarLayoutIsContiguous) {
+  SequenceDatabaseBuilder builder;
+  builder.AddSequence({0, 1, 0});
+  builder.AddSequence({2});
+  builder.AddSequence({1, 2});
+  SequenceDatabase db = builder.Build();
+  // One flat arena delimited by CSR offsets — the whole point of the
+  // columnar refactor and the invariant the binary format serializes.
+  ASSERT_TRUE(db.owns_storage());
+  EXPECT_EQ(db.offsets()[0], 0u);
+  EXPECT_EQ(db.offsets()[1], 3u);
+  EXPECT_EQ(db.offsets()[2], 4u);
+  EXPECT_EQ(db.offsets()[3], 6u);
+  const std::vector<EventId> arena(db.arena(), db.arena() + db.TotalEvents());
+  EXPECT_EQ(arena, (std::vector<EventId>{0, 1, 0, 2, 1, 2}));
+  // Spans are views straight into the arena, not copies.
+  EXPECT_EQ(db[1].data(), db.arena() + 3);
+}
+
+TEST(SequenceDatabaseTest, AtIsBoundsChecked) {
+  SequenceDatabaseBuilder builder;
+  builder.AddSequence({0, 1});
+  SequenceDatabase db = builder.Build();
+  Result<EventSpan> good = db.at(0);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->size(), 2u);
+  Result<EventSpan> bad = db.at(1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(bad.status().message().find("1"), std::string::npos);
+}
+
+TEST(SequenceDatabaseTest, IterationYieldsSpansInOrder) {
+  SequenceDatabaseBuilder builder;
+  builder.AddSequence({4, 5});
+  builder.AddSequence({});
+  builder.AddSequence({6});
+  SequenceDatabase db = builder.Build();
+  std::vector<size_t> sizes;
+  for (EventSpan seq : db) sizes.push_back(seq.size());
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 0, 1}));
+}
+
+TEST(SequenceDatabaseTest, MoveAndCopyPreserveContents) {
+  SequenceDatabaseBuilder builder;
+  builder.AddTrace({"a", "b"});
+  builder.AddTrace({"b", "c", "b"});
+  SequenceDatabase db = builder.Build();
+  SequenceDatabase copy = db;            // Deep copy of the arena.
+  SequenceDatabase moved = std::move(db);
+  ASSERT_EQ(copy.size(), 2u);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(copy[1], moved[1]);
+  EXPECT_NE(copy.arena(), moved.arena());  // Separate owned storage.
+  EXPECT_EQ(copy.dictionary().size(), 3u);
+}
+
+TEST(SequenceDatabaseBuilderTest, BuildResetsTheBuilder) {
+  SequenceDatabaseBuilder builder;
+  builder.AddTraceFromString("a b");
+  SequenceDatabase first = builder.Build();
+  EXPECT_EQ(builder.size(), 0u);
+  EXPECT_EQ(builder.TotalEvents(), 0u);
+  builder.AddTraceFromString("c");
+  SequenceDatabase second = builder.Build();
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(first.TotalEvents(), 2u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.TotalEvents(), 1u);
+}
+
+TEST(EventSpanTest, EqualityAndSubspan) {
+  const std::vector<EventId> v{1, 2, 3, 2};
+  EventSpan span(v);
+  EXPECT_EQ(span, EventSpan(v.data(), v.size()));
+  EXPECT_NE(span, span.subspan(1, 3));
+  EXPECT_EQ(span.subspan(1, 2), EventSpan(v.data() + 1, 2));
+  EXPECT_EQ(span, Sequence({1, 2, 3, 2}));  // Sequence interop.
+  EXPECT_EQ(span.front(), 1u);
+  EXPECT_EQ(span.back(), 2u);
+}
+
 SequenceDatabase MakeDb() {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   db.AddTraceFromString("a b a c a");
   db.AddTraceFromString("b b c");
   db.AddTraceFromString("c");
-  return db;
+  return db.Build();
 }
 
 TEST(PositionIndexTest, PositionsAreSortedAndComplete) {

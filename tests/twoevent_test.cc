@@ -9,9 +9,9 @@ namespace specmine {
 namespace {
 
 SequenceDatabase MakeDb(const std::vector<std::string>& traces) {
-  SequenceDatabase db;
+  SequenceDatabaseBuilder db;
   for (const auto& t : traces) db.AddTraceFromString(t);
-  return db;
+  return db.Build();
 }
 
 // Helper: check a template against the projection of a single trace.
