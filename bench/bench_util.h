@@ -24,6 +24,7 @@
 #include "src/synth/quest_generator.h"
 #include "src/trace/binary_format.h"
 #include "src/trace/database_stats.h"
+#include "src/trace/shard_set.h"
 #include "src/trace/trace_io.h"
 
 namespace specmine {
@@ -92,6 +93,79 @@ inline LoadBenchFiles WriteLoadBenchFiles(const SequenceDatabase& db,
   if (!text.ok() || !smdb.ok()) {
     std::fprintf(stderr, "cannot write load-bench files: %s / %s\n",
                  text.ToString().c_str(), smdb.ToString().c_str());
+    std::exit(1);
+  }
+  return files;
+}
+
+/// \brief The scaled fig1 corpus, replicated per module with
+/// module-prefixed event names ("m3.ev17") — the modular multi-component
+/// corpus shape sharding serves (each module = one component's traces,
+/// disjoint alphabets). Module m uses the bench QUEST parameters with
+/// seed + m, so modules differ but the whole corpus is reproducible.
+/// \p module_starts, when non-null, receives the trace index at which
+/// each module begins — the shard cut points WriteShardBenchFiles uses.
+inline SequenceDatabase MakeModularBenchDatabase(
+    size_t modules, std::vector<size_t>* module_starts = nullptr) {
+  SequenceDatabaseBuilder builder;
+  for (size_t m = 0; m < modules; ++m) {
+    if (module_starts != nullptr) module_starts->push_back(builder.size());
+    QuestParams params = BenchQuestParams();
+    params.seed += m;
+    Result<SequenceDatabase> module_db = GenerateQuest(params);
+    if (!module_db.ok()) {
+      std::fprintf(stderr, "dataset generation failed: %s\n",
+                   module_db.status().ToString().c_str());
+      std::exit(1);
+    }
+    const std::string prefix = "m" + std::to_string(m) + ".";
+    std::vector<std::string> names;
+    for (EventSpan seq : *module_db) {
+      names.clear();
+      names.reserve(seq.size());
+      for (EventId ev : seq) {
+        names.push_back(prefix + module_db->dictionary().Name(ev));
+      }
+      builder.AddTrace(names);
+    }
+  }
+  SequenceDatabase db = builder.Build();
+  std::printf("modular corpus (%zu modules): %s\n", modules,
+              ComputeStats(db).ToString().c_str());
+  return db;
+}
+
+/// \brief The on-disk twins for the db_shard benchmarks: the modular
+/// corpus as one .smdb and as a .smdbset with one shard per module (the
+/// writer cuts at the \p module_starts boundaries, as per-component
+/// packing runs would).
+struct ShardBenchFiles {
+  std::string smdb_path;
+  std::string smdbset_path;
+};
+
+inline ShardBenchFiles WriteShardBenchFiles(
+    const SequenceDatabase& db, const std::vector<size_t>& module_starts,
+    const std::string& stem) {
+  ShardBenchFiles files{stem + kSmdbExtension, stem + kSmdbSetExtension};
+  Status smdb = WriteBinaryDatabaseFile(db, files.smdb_path);
+  ShardWriter writer(files.smdbset_path);
+  writer.AdoptDictionary(db.dictionary());
+  Status set = Status::OK();
+  size_t next_cut = 0;
+  for (size_t s = 0; s < db.size() && set.ok(); ++s) {
+    if (next_cut < module_starts.size() && s == module_starts[next_cut]) {
+      set = writer.CutShard();
+      ++next_cut;
+    }
+    if (set.ok()) {
+      set = writer.AddSequence(db[static_cast<SeqId>(s)], db.dictionary());
+    }
+  }
+  if (set.ok()) set = writer.Finish();
+  if (!smdb.ok() || !set.ok()) {
+    std::fprintf(stderr, "cannot write shard-bench files: %s / %s\n",
+                 smdb.ToString().c_str(), set.ToString().c_str());
     std::exit(1);
   }
   return files;

@@ -1,0 +1,104 @@
+// Sharded corpus walkthrough: split a multi-module trace corpus into
+// size-bounded .smdb shards with a .smdbset manifest, open it as an
+// Engine session, and mine it both ways — the merged task path and the
+// per-shard parallel MineSharded path — verifying the sharded-equivalence
+// contract (output byte-identical to the unsharded corpus) as it goes.
+//
+//   $ ./sharded_corpus [work_dir]
+//
+// Files are written under work_dir (default: the current directory).
+
+#include <cstdio>
+#include <string>
+
+#include "src/engine/engine.h"
+#include "src/trace/shard_set.h"
+
+namespace {
+
+// Two "modules" with disjoint event alphabets (a transaction API and a
+// file API) — the corpus shape sharding serves best: per-module shards
+// keep local dictionaries small and the cross-shard prune tight.
+specmine::Status WriteCorpus(const std::string& manifest_path) {
+  using namespace specmine;
+  ShardWriterOptions options;
+  options.shard_bytes = 4096;  // Tiny, to show rotation; default is 64 MiB.
+  ShardWriter writer(manifest_path, options);
+  for (int i = 0; i < 40; ++i) {
+    SPECMINE_RETURN_NOT_OK(
+        writer.AddTraceFromString("tx.begin tx.log tx.commit"));
+    SPECMINE_RETURN_NOT_OK(
+        writer.AddTraceFromString("tx.begin tx.log tx.abort tx.begin "
+                                  "tx.log tx.commit"));
+  }
+  SPECMINE_RETURN_NOT_OK(writer.CutShard());  // Module boundary.
+  for (int i = 0; i < 40; ++i) {
+    SPECMINE_RETURN_NOT_OK(
+        writer.AddTraceFromString("file.open file.read file.close"));
+    SPECMINE_RETURN_NOT_OK(
+        writer.AddTraceFromString("file.open file.write file.write "
+                                  "file.close"));
+  }
+  SPECMINE_RETURN_NOT_OK(writer.Finish());
+  std::printf("wrote %zu shards, %zu traces, %zu distinct events -> %s\n",
+              writer.shards_written(), writer.sequences_written(),
+              writer.dictionary().size(), manifest_path.c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace specmine;
+  const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+  const std::string manifest = dir + "sharded_corpus.smdbset";
+
+  Status written = WriteCorpus(manifest);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+
+  Result<Engine> session = Engine::FromShardSet(manifest);
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const Engine& engine = *session;
+  const EventDictionary& dict = engine.database().dictionary();
+  std::printf("opened %zu shards as one corpus: %zu traces, %zu events\n",
+              engine.shard_set().num_shards(), engine.database().size(),
+              engine.database().TotalEvents());
+
+  FullPatternsTask task;
+  task.options.min_support = engine.AbsoluteSupport(0.4);
+  task.options.num_threads = 0;  // One job per shard, all cores.
+
+  // The per-shard parallel path...
+  CollectingPatternSink sharded;
+  Result<RunReport> sharded_run = engine.MineSharded(task, sharded);
+  if (!sharded_run.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 sharded_run.status().ToString().c_str());
+    return 1;
+  }
+  // ...and the merged single-database path must agree byte for byte.
+  CollectingPatternSink merged;
+  Result<RunReport> merged_run = engine.Mine(task, merged);
+  if (!merged_run.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 merged_run.status().ToString().c_str());
+    return 1;
+  }
+  const std::string sharded_text = sharded.set().ToString(dict);
+  if (sharded_text != merged.set().ToString(dict)) {
+    std::fprintf(stderr, "sharded-equivalence contract violated!\n");
+    return 1;
+  }
+  std::printf(
+      "\n%zu frequent patterns, identical on both paths "
+      "(sharded %s)\n%s",
+      sharded.set().size(), sharded_run->ToString().c_str(),
+      sharded_text.c_str());
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/engine/shard_exec.h"
 #include "src/rulemine/backward_rules.h"
 #include "src/support/stopwatch.h"
 #include "src/trace/trace_io.h"
@@ -95,6 +96,23 @@ Result<Engine> Engine::FromBinaryFile(const std::string& path) {
   Engine engine(mapped->db());
   engine.mapping_ =
       std::make_unique<MappedDatabase>(mapped.TakeValueOrDie());
+  return engine;
+}
+
+Result<Engine> Engine::FromShardSet(const std::string& path) {
+  Result<ShardedDatabase> set = ShardedDatabase::Open(path);
+  if (!set.ok()) return set.status();
+  // Every shard must be indexable on its own (MineSharded) and so must
+  // the concatenation (the regular tasks); reject both up front so the
+  // cached-index accessors cannot fail later.
+  for (size_t i = 0; i < set->num_shards(); ++i) {
+    SPECMINE_RETURN_NOT_OK(CheckIndexable(set->shard(i)));
+  }
+  SequenceDatabase merged = set->Merge();
+  SPECMINE_RETURN_NOT_OK(CheckIndexable(merged));
+  Engine engine(std::move(merged));
+  engine.shard_set_ =
+      std::make_unique<ShardedDatabase>(set.TakeValueOrDie());
   return engine;
 }
 
@@ -204,6 +222,72 @@ Result<RunReport> Engine::Mine(const GeneratorsTask& task,
   bool stopped = false;
   report.patterns_emitted = DeliverPatterns(mined, sink, &stopped);
   report.truncated = report.truncated || stopped;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// The sharded execution path.
+
+Status Engine::EnsureShardIndexes(double* build_seconds, ThreadPool* pool,
+                                  size_t num_threads) const {
+  *build_seconds = 0.0;
+  if (!shard_indexes_.empty() || shard_set_->num_shards() == 0) {
+    return Status::OK();
+  }
+  Stopwatch sw;
+  std::vector<std::unique_ptr<PositionIndex>> built(shard_set_->num_shards());
+  auto build_one = [&](size_t i) {
+    built[i] = std::make_unique<PositionIndex>(shard_set_->shard(i));
+  };
+  if (num_threads > 1 && built.size() > 1) {
+    ThreadPool::ParallelForShared(pool, num_threads, built.size(),
+                                  build_one);
+  } else {
+    for (size_t i = 0; i < built.size(); ++i) build_one(i);
+  }
+  shard_indexes_ = std::move(built);
+  *build_seconds = sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
+                                      PatternSink& sink) const {
+  if (shard_set_ == nullptr) {
+    return Status::InvalidArgument(
+        "MineSharded requires a session opened with Engine::FromShardSet");
+  }
+  SPECMINE_RETURN_NOT_OK(Begin(task));
+  ThreadPool* pool = PoolFor(task.options.num_threads);
+  const size_t num_threads =
+      ThreadPool::ResolveThreads(task.options.num_threads);
+  double build_seconds = 0.0;
+  SPECMINE_RETURN_NOT_OK(
+      EnsureShardIndexes(&build_seconds, pool, num_threads));
+  std::vector<const PositionIndex*> indexes;
+  indexes.reserve(shard_indexes_.size());
+  for (const auto& index : shard_indexes_) indexes.push_back(index.get());
+  ShardExecStats stats;
+  PatternSet mined =
+      MineShardedFull(*shard_set_, indexes, task.options, &stats, pool);
+  RunReport report;
+  report.task = "full-patterns-sharded";
+  report.nodes_visited = stats.nodes_visited;
+  report.index_build_seconds = build_seconds;
+  report.mine_seconds = stats.mine_seconds;
+  // Delivery mirrors the single-pass emission stream: same order, same
+  // max_patterns cut point; a sink's false return stops delivery.
+  for (const MinedPattern& item : mined.items()) {
+    ++report.patterns_emitted;
+    if (!sink.Consume(item.pattern, item.support)) {
+      report.truncated = true;
+      break;
+    }
+    if (task.options.max_patterns != 0 &&
+        report.patterns_emitted >= task.options.max_patterns) {
+      report.truncated = true;
+      break;
+    }
+  }
   return report;
 }
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/engine/run_report.h"
 #include "src/engine/sinks.h"
@@ -40,6 +41,7 @@
 #include "src/trace/csv_trace_reader.h"
 #include "src/trace/position_index.h"
 #include "src/trace/sequence_database.h"
+#include "src/trace/shard_set.h"
 
 namespace specmine {
 
@@ -68,6 +70,18 @@ class Engine {
   /// is O(dictionary) and databases larger than RAM page in on demand.
   static Result<Engine> FromBinaryFile(const std::string& path);
 
+  /// \brief Opens a sharded corpus from its .smdbset manifest (see
+  /// shard_set.h): every shard is mmap'ed and validated, the merged
+  /// (remapped, concatenated) database is materialized for the regular
+  /// tasks — which therefore mine byte-identically to the equivalent
+  /// single .smdb — and the shard structure is kept for MineSharded.
+  ///
+  /// The merged arena is materialized eagerly (O(total events) RAM) even
+  /// for sessions that only call MineSharded; deferring it so a
+  /// shards-only session stays at O(dictionary) resident — the shards
+  /// themselves are already mmap'ed views — is known future work.
+  static Result<Engine> FromShardSet(const std::string& path);
+
   /// \brief Writes the session's database as a .smdb file at \p path.
   Status SaveBinary(const std::string& path) const {
     return WriteBinaryDatabaseFile(*db_, path);
@@ -76,6 +90,13 @@ class Engine {
   /// \brief True iff this session mines straight out of an mmap'ed .smdb
   /// file (FromBinaryFile) rather than an in-memory arena.
   bool memory_mapped() const { return mapping_ != nullptr; }
+
+  /// \brief True iff this session was opened from a .smdbset manifest
+  /// (FromShardSet) and so also carries the per-shard structure.
+  bool sharded() const { return shard_set_ != nullptr; }
+
+  /// \brief The open shard set; only valid when sharded().
+  const ShardedDatabase& shard_set() const { return *shard_set_; }
 
   /// \brief The wrapped database (immutable for the session's lifetime).
   const SequenceDatabase& database() const { return *db_; }
@@ -103,6 +124,19 @@ class Engine {
                          PatternSink& sink) const;
   Result<RunReport> Mine(const EpisodeTask& task, PatternSink& sink) const;
   Result<RunReport> Mine(const TwoEventTask& task, TwoEventSink& sink) const;
+
+  /// \brief The sharded execution path (sessions opened with FromShardSet
+  /// only): mines the full-pattern task shard by shard, in parallel on
+  /// the session's pool, with the two-phase partition scheme of
+  /// shard_exec.h. Output — content, supports, and order — is
+  /// byte-identical to Mine(task, sink) on the merged database for any
+  /// non-pruning sink; a sink returning false stops delivery here (like
+  /// the materialized tasks) instead of pruning a subtree, and
+  /// max_patterns cuts delivery at the same pattern the single-pass scan
+  /// would have stopped at. Per-shard indexes are built on first use and
+  /// cached for the session, mirroring index().
+  Result<RunReport> MineSharded(const FullPatternsTask& task,
+                                PatternSink& sink) const;
 
   // -------------------------------------------------------------------------
   // Collecting conveniences: run the task with a collecting sink and
@@ -154,12 +188,22 @@ class Engine {
   template <typename Task>
   Status Begin(const Task& task) const;
 
+  // Builds (once) the cached per-shard indexes — one job per shard on
+  // \p pool when \p num_threads allows; *build_seconds receives the
+  // wall-clock construction time if this call built them, else 0.
+  Status EnsureShardIndexes(double* build_seconds, ThreadPool* pool,
+                            size_t num_threads) const;
+
   // unique_ptr keeps the database (and so the index's back-pointer)
   // address-stable across Engine moves. For FromBinaryFile sessions db_ is
-  // a view into mapping_, which must therefore outlive it.
+  // a view into mapping_, which must therefore outlive it; for
+  // FromShardSet sessions shard_set_ owns the per-shard mappings and db_
+  // is the materialized merged database.
   std::unique_ptr<MappedDatabase> mapping_;
+  std::unique_ptr<ShardedDatabase> shard_set_;
   std::unique_ptr<SequenceDatabase> db_;
   mutable std::unique_ptr<PositionIndex> index_;
+  mutable std::vector<std::unique_ptr<PositionIndex>> shard_indexes_;
   mutable std::unique_ptr<UnitDatabase> units_;
   mutable std::unique_ptr<ThreadPool> pool_;
   mutable size_t index_builds_ = 0;

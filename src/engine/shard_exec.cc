@@ -1,0 +1,242 @@
+#include "src/engine/shard_exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/itermine/qre_verifier.h"
+#include "src/support/stopwatch.h"
+#include "src/support/thread_pool.h"
+
+namespace specmine {
+
+namespace {
+
+// Proportional local threshold: the smallest integer t with
+// t >= S * w / total. Pigeonhole over the additive per-shard counts
+// guarantees any pattern with global count >= S reaches t in some shard.
+uint64_t LocalThreshold(uint64_t global_support, uint64_t shard_weight,
+                        uint64_t total_weight) {
+  if (total_weight == 0) return 1;
+  const unsigned __int128 scaled =
+      static_cast<unsigned __int128>(global_support) * shard_weight;
+  uint64_t t = static_cast<uint64_t>((scaled + total_weight - 1) /
+                                     total_weight);
+  return t > 1 ? t : 1;
+}
+
+// Phase-1 output of one shard: the candidate patterns in *merged* ids with
+// their exact local counts, plus a lookup map for phase 2.
+struct ShardResult {
+  std::vector<MinedPattern> patterns;  // Merged ids, local supports.
+  std::unordered_map<Pattern, uint64_t, PatternHash> support;
+  size_t nodes_visited = 0;
+};
+
+// occ[j][merged_ev]: occurrences of the event in shard j (0 when the
+// event is outside shard j's alphabet). The source of the cross-shard
+// instance-count bound below.
+using OccurrenceTable = std::vector<std::vector<uint64_t>>;
+
+// Sound per-shard cap on instances of a pattern touching every event in
+// \p merged_ids: each instance starts at a distinct occurrence of the
+// first event and contains at least one occurrence of every other, so
+// count_j(P) <= min over the pattern's events of occ_j(event).
+uint64_t ShardInstanceBound(const std::vector<uint64_t>& occ,
+                            const std::vector<EventId>& merged_ids) {
+  uint64_t bound = ~uint64_t{0};
+  for (EventId ev : merged_ids) {
+    bound = std::min(bound, occ[ev]);
+    if (bound == 0) break;
+  }
+  return bound;
+}
+
+// Mines shard \p shard's candidates: a DFS at the proportional local
+// threshold, additionally pruned by the cross-shard upper bound — a node
+// whose local count plus every other shard's instance cap cannot reach
+// the global threshold has no globally frequent descendant (counts only
+// fall and alphabets only grow down the subtree), so the whole subtree is
+// skipped. For modular corpora with (near-)disjoint shard alphabets the
+// cross term is ~0 and each shard effectively mines at the full global
+// threshold.
+void MineOneShard(const ShardedDatabase& set, const PositionIndex& index,
+                  size_t shard, const IterMinerOptions& options,
+                  uint64_t local_threshold, const OccurrenceTable& occ,
+                  ShardResult* out) {
+  IterMinerOptions local = options;
+  local.min_support = local_threshold;
+  local.max_patterns = 0;   // Candidates must be complete.
+  local.num_threads = 1;    // Parallelism lives at the shard level.
+  const std::vector<EventId>& remap = set.remap(shard);
+  const size_t num_shards = set.num_shards();
+  std::vector<EventId> merged_ids;
+  IterMinerStats stats;
+  ScanFrequentIterative(
+      index, local,
+      [&](const Pattern& pattern, uint64_t support) {
+        merged_ids.clear();
+        merged_ids.reserve(pattern.size());
+        for (EventId local_ev : pattern) {
+          merged_ids.push_back(remap[local_ev]);
+        }
+        uint64_t upper_bound = support;
+        for (size_t j = 0; j < num_shards && upper_bound < options.min_support;
+             ++j) {
+          if (j == shard) continue;
+          upper_bound += ShardInstanceBound(occ[j], merged_ids);
+        }
+        if (upper_bound < options.min_support) return false;  // Prune.
+        Pattern merged(merged_ids);
+        out->support.emplace(merged, support);
+        out->patterns.push_back(MinedPattern{std::move(merged), support});
+        return true;
+      },
+      &stats);
+  out->nodes_visited = stats.nodes_visited;
+}
+
+}  // namespace
+
+PatternSet MineShardedFull(const ShardedDatabase& set,
+                           const std::vector<const PositionIndex*>& indexes,
+                           const IterMinerOptions& options,
+                           ShardExecStats* stats, ThreadPool* pool) {
+  ShardExecStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = ShardExecStats{};
+  Stopwatch sw;
+  PatternSet out;
+  const size_t num_shards = set.num_shards();
+  const uint64_t total_weight = set.TotalEvents();
+  if (num_shards == 0 || total_weight == 0) {
+    stats->mine_seconds = sw.ElapsedSeconds();
+    return out;
+  }
+  const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
+
+  // Per-shard occurrence counts by merged event id, for the cross-shard
+  // instance bound (phase 1's subtree prune and phase 2's skip test).
+  OccurrenceTable occ(num_shards);
+  for (size_t j = 0; j < num_shards; ++j) {
+    occ[j].assign(set.dictionary().size(), 0);
+    const std::vector<EventId>& remap = set.remap(j);
+    for (size_t local_ev = 0; local_ev < remap.size(); ++local_ev) {
+      occ[j][remap[local_ev]] =
+          indexes[j]->TotalCount(static_cast<EventId>(local_ev));
+    }
+  }
+
+  // Phase 1: every shard mined independently, one job per shard on the
+  // session pool. Results land in per-shard slots, so the outcome is
+  // identical at every thread count.
+  std::vector<ShardResult> results(num_shards);
+  auto mine_shard = [&](size_t i) {
+    MineOneShard(set, *indexes[i], i, options,
+                 LocalThreshold(options.min_support,
+                                set.shard(i).TotalEvents(), total_weight),
+                 occ, &results[i]);
+  };
+  if (num_threads > 1 && num_shards > 1) {
+    ThreadPool::ParallelForShared(pool, num_threads, num_shards, mine_shard);
+  } else {
+    for (size_t i = 0; i < num_shards; ++i) mine_shard(i);
+  }
+
+  // Candidate union, deterministically ordered: lexicographic merged-id
+  // order is exactly the DFS preorder the single-pass miner emits in
+  // (children ascend by event id, prefixes precede extensions).
+  std::unordered_set<Pattern, PatternHash> seen;
+  std::vector<const Pattern*> candidates;
+  for (const ShardResult& result : results) {
+    stats->nodes_visited += result.nodes_visited;
+    stats->local_patterns += result.patterns.size();
+    for (const MinedPattern& item : result.patterns) {
+      if (seen.insert(item.pattern).second) {
+        candidates.push_back(&item.pattern);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Pattern* a, const Pattern* b) { return *a < *b; });
+  stats->candidates = candidates.size();
+
+  // Phase 2: exact global supports. Local-miner counts are exact where
+  // present; a missing (candidate, shard) pair is first bounded by the
+  // occurrence cap — zero bound (some candidate event absent from the
+  // shard) costs nothing, and a candidate whose exact-plus-bounded total
+  // cannot reach the threshold is dropped without any oracle scan. Only
+  // the remaining pairs are recounted exactly with the QRE oracle.
+  std::vector<std::vector<EventId>> to_local(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    to_local[i].assign(set.dictionary().size(), kInvalidEvent);
+    const std::vector<EventId>& remap = set.remap(i);
+    for (size_t local_ev = 0; local_ev < remap.size(); ++local_ev) {
+      to_local[i][remap[local_ev]] = static_cast<EventId>(local_ev);
+    }
+  }
+  std::vector<uint64_t> totals(candidates.size(), 0);
+  std::atomic<size_t> recounts{0};
+  std::atomic<size_t> bound_skips{0};
+  constexpr uint64_t kNeedsRecount = ~uint64_t{0};
+  auto count_candidate = [&](size_t c) {
+    const Pattern& pattern = *candidates[c];
+    // One pass over the shards: exact counts where phase 1 reported the
+    // pattern, the occurrence cap elsewhere (cached so the recount loop
+    // repeats no lookups).
+    uint64_t known = 0, bounded = 0;
+    std::vector<uint64_t> exact(num_shards, kNeedsRecount);
+    std::vector<uint64_t> bound(num_shards, 0);
+    for (size_t i = 0; i < num_shards; ++i) {
+      auto it = results[i].support.find(pattern);
+      if (it != results[i].support.end()) {
+        exact[i] = it->second;
+        known += it->second;
+      } else {
+        bound[i] = ShardInstanceBound(occ[i], pattern.events());
+        bounded += bound[i];
+      }
+    }
+    if (known + bounded < options.min_support) {
+      bound_skips.fetch_add(1, std::memory_order_relaxed);
+      totals[c] = 0;  // Provably below threshold; never emitted.
+      return;
+    }
+    uint64_t total = known;
+    std::vector<EventId> local_ids(pattern.size());
+    for (size_t i = 0; i < num_shards; ++i) {
+      // bound > 0 implies every candidate event occurs in (so is interned
+      // by) shard i's dictionary — the remap below cannot miss.
+      if (exact[i] != kNeedsRecount || bound[i] == 0) continue;
+      for (size_t k = 0; k < pattern.size(); ++k) {
+        local_ids[k] = to_local[i][pattern[k]];
+      }
+      recounts.fetch_add(1, std::memory_order_relaxed);
+      total += CountInstances(Pattern(local_ids), set.shard(i));
+    }
+    totals[c] = total;
+  };
+  if (num_threads > 1 && candidates.size() > 1) {
+    ThreadPool::ParallelForShared(pool, num_threads, candidates.size(),
+                                  count_candidate);
+  } else {
+    for (size_t c = 0; c < candidates.size(); ++c) count_candidate(c);
+  }
+  stats->bound_skips = bound_skips.load();
+  stats->recounts = recounts.load();
+
+  // Phase 3: the global filter, in the already-canonical order.
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (totals[c] >= options.min_support) {
+      out.Add(*candidates[c], totals[c]);
+    }
+  }
+  stats->mine_seconds = sw.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace specmine

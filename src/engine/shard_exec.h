@@ -1,0 +1,80 @@
+// The sharded execution path: two-phase partition mining of the full
+// frequent-iterative-pattern set over a ShardedDatabase, byte-identical to
+// the single-database pass (docs/architecture.md, "Sharded execution").
+//
+// Phase 1 mines every shard independently — in parallel on the session's
+// ThreadPool — at the proportional local threshold
+//
+//     t_i = max(1, ceil(S * events_i / events_total))
+//
+// with an additional cross-shard subtree prune: every instance of P in
+// shard j starts at a distinct occurrence of P's first event and contains
+// every event of P, so count_j(P) <= min over P's events of their
+// occurrence counts in j. A node whose local count plus that cap summed
+// over the other shards cannot reach the global S has no globally
+// frequent descendant (counts only fall, alphabets only grow down the
+// subtree) and is skipped. Completeness: by the partition (pigeonhole)
+// argument some shard i0 has count_i0(P) >= t_i0 for any globally
+// frequent P, and in that shard the cross-shard bound also clears S —
+// for P and, by monotonicity, every prefix — so shard i0's miner records
+// P; the union over shards is a complete candidate set. For modular
+// corpora with (near-)disjoint shard alphabets the cross term is ~0 and
+// each shard effectively mines at the full global threshold.
+//
+// Phase 2 completes the support counts: for every (candidate, shard)
+// pair the local miner did not report, the occurrence cap is consulted
+// first (zero — some candidate event absent from the shard — costs
+// nothing, and a candidate provably below S is dropped unscanned); only
+// the remaining pairs are recounted exactly with the QRE oracle. Phase 3
+// filters by the global threshold and sorts lexicographically by merged
+// EventIds, which *is* the single-pass DFS preorder — so emission order,
+// content and supports all match the unsharded miner exactly
+// (property-tested in tests/shard_engine_test.cc).
+
+#ifndef SPECMINE_ENGINE_SHARD_EXEC_H_
+#define SPECMINE_ENGINE_SHARD_EXEC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/itermine/full_miner.h"
+#include "src/patterns/pattern_set.h"
+#include "src/trace/position_index.h"
+#include "src/trace/shard_set.h"
+
+namespace specmine {
+
+class ThreadPool;
+
+/// \brief Statistics of one sharded full-pattern run.
+struct ShardExecStats {
+  size_t nodes_visited = 0;    ///< DFS nodes over all shard miners.
+  size_t local_patterns = 0;   ///< Phase-1 emissions over all shards.
+  size_t candidates = 0;       ///< Distinct candidate patterns.
+  size_t bound_skips = 0;      ///< Phase-2 candidates dropped by the bound.
+  size_t recounts = 0;         ///< Phase-2 oracle recounts that scanned.
+  double mine_seconds = 0.0;   ///< Wall clock of the three phases.
+};
+
+/// \brief Mines the full frequent iterative pattern set of \p set with the
+/// two-phase partition scheme.
+///
+/// \p indexes must hold one PositionIndex per shard, in shard order.
+/// \p options.min_support is the *global* absolute threshold;
+/// \p options.max_length is honored; \p options.max_patterns is ignored
+/// here (the caller cuts delivery — the sorted order makes the prefix
+/// identical to single-pass truncation); \p options.num_threads sizes the
+/// shard fan-out (through \p pool when it matches, exactly like the
+/// in-shard miners).
+///
+/// Returns the patterns in merged EventIds with exact global supports, in
+/// the single-pass emission order.
+PatternSet MineShardedFull(const ShardedDatabase& set,
+                           const std::vector<const PositionIndex*>& indexes,
+                           const IterMinerOptions& options,
+                           ShardExecStats* stats = nullptr,
+                           ThreadPool* pool = nullptr);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ENGINE_SHARD_EXEC_H_

@@ -60,7 +60,9 @@ class CollectingPatternSink : public PatternSink {
     set_.Add(pattern, support);
     return true;
   }
+  /// \brief The patterns collected so far, in emission order.
   const PatternSet& set() const { return set_; }
+  /// \brief Moves the collected set out (the sink is left empty).
   PatternSet TakeSet() { return std::move(set_); }
 
  private:
@@ -141,7 +143,9 @@ class CollectingRuleSink : public RuleSink {
     set_.Add(rule);
     return true;
   }
+  /// \brief The rules collected so far, in emission order.
   const RuleSet& set() const { return set_; }
+  /// \brief Moves the collected set out (the sink is left empty).
   RuleSet TakeSet() { return std::move(set_); }
 
  private:
@@ -219,7 +223,9 @@ class CollectingTwoEventSink : public TwoEventSink {
     rules_.push_back(rule);
     return true;
   }
+  /// \brief The rules collected so far, in emission order.
   const std::vector<TwoEventRule>& rules() const { return rules_; }
+  /// \brief Moves the collected rules out (the sink is left empty).
   std::vector<TwoEventRule> TakeRules() { return std::move(rules_); }
 
  private:

@@ -21,54 +21,70 @@
 namespace specmine {
 
 /// \brief Mine every frequent iterative pattern (QRE instance support).
+/// This task streams: the sink sees each pattern as the DFS emits it and
+/// may prune subtrees. It is also the task Engine::MineSharded
+/// parallelizes per shard on .smdbset sessions.
 struct FullPatternsTask {
+  /// Threshold, length/emission caps, and thread count.
   IterMinerOptions options;
 };
 
 /// \brief Mine the closed frequent iterative patterns.
 struct ClosedTask {
+  /// Threshold plus the P1/P2/P3 prune and infix-check toggles.
   ClosedIterMinerOptions options;
 };
 
 /// \brief Mine the frequent iterative generators.
 struct GeneratorsTask {
+  /// Threshold, length cap, and thread count.
   IterGeneratorMinerOptions options;
 };
 
 /// \brief Mine recurrent rules (forward), or past-time rules when
 /// \p backward is set (MineBackwardRules semantics).
 struct RulesTask {
+  /// Supports, confidence, length caps, NR-pipeline and thread options.
   RuleMinerOptions options;
+  /// False: forward rules "pre -> eventually post". True: past-time
+  /// rules "post -> previously pre" (Section 7 of the paper).
   bool backward = false;
 };
 
 /// \brief Mine the full set of frequent sequential patterns (classic
 /// sequence-count support over whole sequences).
 struct SequentialTask {
+  /// Threshold and length cap.
   SeqMinerOptions options;
 };
 
 /// \brief Mine the closed frequent sequential patterns (BIDE-style).
 struct ClosedSequentialTask {
+  /// Threshold and length cap.
   ClosedSeqMinerOptions options;
 };
 
 /// \brief Mine the frequent sequential generators.
 struct SequentialGeneratorsTask {
+  /// Threshold and length cap.
   GeneratorMinerOptions options;
 };
 
 /// \brief Mine serial episodes, WINEPI (window counts) or MINEPI (minimal
 /// occurrences).
 struct EpisodeTask {
+  /// Which episode semantics to run.
   enum class Algorithm { kWinepi, kMinepi };
   Algorithm algorithm = Algorithm::kWinepi;
+  /// Options for Algorithm::kWinepi (ignored under kMinepi).
   WinepiOptions winepi;
+  /// Options for Algorithm::kMinepi (ignored under kWinepi).
   MinepiOptions minepi;
 };
 
 /// \brief Mine Perracotta-style two-event temporal rules.
 struct TwoEventTask {
+  /// Satisfaction-rate threshold and relevance floor.
   PerracottaOptions options;
 };
 

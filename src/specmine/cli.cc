@@ -16,6 +16,7 @@
 #include "src/synth/quest_generator.h"
 #include "src/trace/csv_trace_reader.h"
 #include "src/trace/database_stats.h"
+#include "src/trace/shard_set.h"
 #include "src/trace/trace_io.h"
 
 namespace specmine {
@@ -27,6 +28,9 @@ constexpr const char* kUsage = R"(usage: specmine <command> [options]
 commands:
   stats <traces> [--trace N]        print database shape statistics
   pack <traces> <out.smdb>          pack traces into a binary mmap database
+  pack <traces> <out.smdbset> [--shard-bytes N]
+                                    pack into size-bounded .smdb shards
+                                    plus a .smdbset manifest
   mine-patterns <traces> [options]  mine iterative patterns
   mine-rules <traces> [options]     mine recurrent rules (with LTL forms)
   mine-seq <traces> [options]       mine sequential patterns (PrefixSpan/BIDE)
@@ -38,7 +42,10 @@ commands:
 common options:
   --csv [--group-col N] [--event-col N] [--delim C] [--header]
   <traces> ending in .smdb is opened as a packed binary database (zero-copy
-  mmap; see 'pack') in every command that accepts a trace file.
+  mmap; see 'pack') in every command that accepts a trace file; .smdbset
+  opens a sharded corpus (shards mmap'ed, mining output identical to the
+  equivalent single .smdb — mine-patterns --full runs the parallel
+  per-shard path).
 
 mine-patterns: --min-sup F (0.5) | --full | --generators | --max-len N
                --threads N (0 = all cores)
@@ -121,6 +128,7 @@ class Args {
 // (with their line numbers or corrupt section) come back as a non-OK
 // Result.
 Result<Engine> LoadEngine(const Args& args, const std::string& path) {
+  if (IsSmdbSetPath(path)) return Engine::FromShardSet(path);
   if (IsSmdbPath(path)) return Engine::FromBinaryFile(path);
   if (args.Has("csv")) {
     CsvTraceOptions options;
@@ -146,6 +154,16 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
   }
   const SequenceDatabase& db = engine->database();
   out << ComputeStats(db).ToString() << '\n';
+  if (engine->sharded()) {
+    const ShardedDatabase& set = engine->shard_set();
+    out << set.num_shards() << " shards:\n";
+    for (size_t i = 0; i < set.num_shards(); ++i) {
+      out << "  shard " << i << ": " << set.shard(i).size()
+          << " sequences, " << set.shard(i).TotalEvents() << " events, "
+          << set.shard(i).dictionary().size() << " distinct ("
+          << set.shard_path(i) << ")\n";
+    }
+  }
   if (args.Has("trace")) {
     // Bounds-checked by design: a bad id is a user error, not a crash.
     const uint64_t id = args.GetUint("trace", 0);
@@ -171,15 +189,40 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
 
 int CmdPack(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.positional().size() < 2) {
-    err << "pack: usage: pack <traces> <out.smdb> [--csv ...]\n";
+    err << "pack: usage: pack <traces> <out.smdb|out.smdbset> "
+           "[--shard-bytes N] [--csv ...]\n";
     return 2;
   }
   const std::string& in_path = args.positional()[0];
   const std::string& out_path = args.positional()[1];
+  if (args.Has("shard-bytes") && !IsSmdbSetPath(out_path)) {
+    err << "pack: --shard-bytes requires a .smdbset output path\n";
+    return 2;
+  }
   Result<Engine> engine = LoadEngine(args, in_path);
   if (!engine.ok()) {
     err << engine.status().ToString() << '\n';
     return 1;
+  }
+  if (IsSmdbSetPath(out_path)) {
+    ShardWriterOptions options;
+    options.shard_bytes = args.GetUint("shard-bytes", options.shard_bytes);
+    Status written =
+        WriteShardedDatabase(engine->database(), out_path, options);
+    if (!written.ok()) {
+      err << written.ToString() << '\n';
+      return 1;
+    }
+    // Reopening validates the set end to end and tells us the shard count.
+    Result<ShardedDatabase> set = ShardedDatabase::Open(out_path);
+    if (!set.ok()) {
+      err << set.status().ToString() << '\n';
+      return 1;
+    }
+    out << "packed " << in_path << " -> " << out_path << ": "
+        << set->num_shards() << " shards, "
+        << ComputeStats(engine->database()).ToString() << '\n';
+    return 0;
   }
   Status written = engine->SaveBinary(out_path);
   if (!written.ok()) {
@@ -217,6 +260,15 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
       task.options.min_support = min_support;
       task.options.max_length = args.GetUint("max-len", 0);
       task.options.num_threads = args.GetUint("threads", 0);
+      if (engine->sharded()) {
+        // The per-shard parallel path; output is byte-identical to the
+        // merged pass (the sharded-equivalence contract).
+        CollectingPatternSink sink;
+        Result<RunReport> run = engine->MineSharded(task, sink);
+        if (!run.ok()) return run.status();
+        report = *run;
+        return sink.TakeSet();
+      }
       return engine->CollectPatterns(task, &report);
     }
     ClosedTask task;

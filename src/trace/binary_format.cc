@@ -1,12 +1,13 @@
 #include "src/trace/binary_format.h"
 
-#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <ostream>
 #include <utility>
 #include <vector>
+
+#include "src/trace/format_util.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -43,7 +44,7 @@ constexpr size_t kHeaderBytes = 64;
 constexpr uint64_t kMaxIds = uint64_t{1} << 32;    // EventId / SeqId are u32.
 constexpr uint64_t kMaxBytes = uint64_t{1} << 48;  // names / arena bytes.
 
-uint64_t PadTo8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+using format_util::PadTo8;
 
 struct SectionLayout {
   uint64_t name_offsets_off;  // (num_events + 1) x u64
@@ -65,11 +66,7 @@ SectionLayout ComputeLayout(uint64_t num_events, uint64_t num_sequences,
 }
 
 Status CheckHostEndianness() {
-  if constexpr (std::endian::native != std::endian::little) {
-    return Status::Internal(
-        ".smdb files are little-endian; this host is big-endian");
-  }
-  return Status::OK();
+  return format_util::CheckLittleEndianHost(".smdb");
 }
 
 Status Corrupt(const std::string& path, const std::string& what) {
@@ -77,6 +74,12 @@ Status Corrupt(const std::string& path, const std::string& what) {
 }
 
 }  // namespace
+
+uint64_t SmdbFileBytes(uint64_t num_events, uint64_t num_sequences,
+                       uint64_t total_events, uint64_t names_bytes) {
+  return ComputeLayout(num_events, num_sequences, total_events, names_bytes)
+      .file_bytes;
+}
 
 bool IsSmdbPath(const std::string& path) {
   const std::string ext = kSmdbExtension;
@@ -132,29 +135,9 @@ Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out) {
 
 Status WriteBinaryDatabaseFile(const SequenceDatabase& db,
                                const std::string& path) {
-  // Write-then-rename: truncating \p path in place would shear any live
-  // mmap of it (packing a .smdb onto itself = SIGBUS + a destroyed input)
-  // and a mid-write failure would leave a corrupt half-file behind.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open output file: " + tmp);
-    Status written = WriteBinaryDatabase(db, out);
-    if (written.ok()) {
-      out.flush();
-      if (!out) written = Status::IOError("stream error while writing " + tmp);
-    }
-    if (!written.ok()) {
-      out.close();
-      std::remove(tmp.c_str());
-      return written;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
+  return format_util::AtomicWriteFile(path, [&db](std::ostream& out) {
+    return WriteBinaryDatabase(db, out);
+  });
 }
 
 Result<MappedDatabase> MappedDatabase::Open(const std::string& path) {

@@ -45,6 +45,13 @@ inline constexpr uint32_t kSmdbVersion = 1;
 /// the CLI uses it to accept packed databases everywhere traces are).
 bool IsSmdbPath(const std::string& path);
 
+/// \brief Exact size in bytes of the .smdb file a database with these
+/// counts serializes to (header + all sections, with their 8-byte
+/// padding). The ShardWriter uses it to rotate shards before a size bound
+/// is crossed; docs/smdb_format.md derives the same formula.
+uint64_t SmdbFileBytes(uint64_t num_events, uint64_t num_sequences,
+                       uint64_t total_events, uint64_t names_bytes);
+
 /// \brief Writes \p db as a .smdb stream.
 Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out);
 
@@ -63,6 +70,11 @@ class MappedDatabase {
   /// \brief Maps and validates the .smdb file at \p path.
   static Result<MappedDatabase> Open(const std::string& path);
 
+  /// \brief An empty mapping (no file, empty db()) — a placeholder to
+  /// move-assign an Open() result into (the ShardedDatabase does this per
+  /// shard).
+  MappedDatabase() = default;
+
   MappedDatabase(MappedDatabase&& other) noexcept;
   MappedDatabase& operator=(MappedDatabase&& other) noexcept;
   MappedDatabase(const MappedDatabase&) = delete;
@@ -76,7 +88,6 @@ class MappedDatabase {
   size_t mapped_bytes() const { return map_len_; }
 
  private:
-  MappedDatabase() = default;
   void Release();
 
   void* map_ = nullptr;   // mmap base (or heap buffer when mmap_ is false).

@@ -1,0 +1,71 @@
+// Low-level helpers shared by the .smdb and .smdbset writers/readers:
+// the 8-byte padding rule, the little-endian host guard, and the
+// write-to-temp-then-rename atomic file protocol. One definition each, so
+// the two formats cannot drift apart on disk behavior.
+
+#ifndef SPECMINE_TRACE_FORMAT_UTIL_H_
+#define SPECMINE_TRACE_FORMAT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "src/support/status.h"
+
+namespace specmine {
+namespace format_util {
+
+/// \brief Rounds \p n up to the next multiple of 8 (every section of the
+/// binary formats is 8-byte aligned; see docs/smdb_format.md §1).
+inline uint64_t PadTo8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+/// \brief The binary formats are little-endian *by fiat* — the on-disk
+/// bytes are the in-memory layout. On a big-endian host both reading and
+/// writing must refuse, naming \p format (".smdb" / ".smdbset").
+inline Status CheckLittleEndianHost(const char* format) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal(std::string(format) +
+                            " files are little-endian; this host is "
+                            "big-endian");
+  }
+  return Status::OK();
+}
+
+/// \brief Writes a file atomically: \p write_body streams into
+/// <path>.tmp, which is renamed onto \p path only after a clean flush.
+/// Rationale: truncating \p path in place would shear any live mmap of
+/// the old file (packing a database onto itself = SIGBUS + a destroyed
+/// input), and a mid-write failure must not leave a corrupt half-file at
+/// the final name.
+inline Status AtomicWriteFile(
+    const std::string& path,
+    const std::function<Status(std::ostream&)>& write_body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open output file: " + tmp);
+    Status written = write_body(out);
+    if (written.ok()) {
+      out.flush();
+      if (!out) written = Status::IOError("stream error while writing " + tmp);
+    }
+    if (!written.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return written;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace format_util
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_FORMAT_UTIL_H_

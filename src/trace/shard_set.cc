@@ -1,0 +1,549 @@
+#include "src/trace/shard_set.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+#include <utility>
+
+#include "src/support/strings.h"
+#include "src/trace/format_util.h"
+
+namespace specmine {
+
+namespace {
+
+// Fixed 96-byte manifest header; all multi-byte fields little-endian. The
+// section offsets derive from the counts (docs/smdb_format.md), so a
+// corrupted count can only move the expected file size, which is checked
+// against the real one.
+struct SmdbSetHeader {
+  unsigned char magic[8];
+  uint32_t version;
+  uint32_t reserved0;
+  uint64_t num_shards;
+  uint64_t num_events;       // Merged dictionary size.
+  uint64_t total_sequences;  // Sum over shards.
+  uint64_t total_events;     // Sum over shards.
+  uint64_t names_bytes;      // Merged name blob.
+  uint64_t remap_entries;    // Sum of per-shard local dictionary sizes.
+  uint64_t paths_bytes;      // Concatenated shard path blob.
+  uint64_t file_bytes;
+};
+static_assert(sizeof(SmdbSetHeader) == 80, "header packs to 80 + 16 pad");
+
+constexpr size_t kSetHeaderBytes = 96;
+
+// Per-shard fixed record in the shard table section.
+struct SetShardRecord {
+  uint64_t num_sequences;
+  uint64_t total_events;
+  uint64_t num_local_events;  // Shard dictionary size == remap slice size.
+};
+static_assert(sizeof(SetShardRecord) == 24, "record is 3 x u64");
+
+// Field caps making every offset computation below safe in uint64
+// arithmetic (and rejecting nonsense counts early). Shard/event ids are
+// u32; byte blobs get the same 2^48 cap as .smdb.
+constexpr uint64_t kMaxIds = uint64_t{1} << 32;
+constexpr uint64_t kMaxBytes = uint64_t{1} << 48;
+
+using format_util::PadTo8;
+
+struct SetLayout {
+  uint64_t name_offsets_off;   // (num_events + 1) x u64
+  uint64_t names_off;          // names_bytes, padded to 8
+  uint64_t shard_records_off;  // num_shards x SetShardRecord
+  uint64_t remap_off;          // remap_entries x u32, padded to 8
+  uint64_t path_offsets_off;   // (num_shards + 1) x u64
+  uint64_t paths_off;          // paths_bytes, padded to 8
+  uint64_t file_bytes;
+};
+
+SetLayout ComputeSetLayout(uint64_t num_shards, uint64_t num_events,
+                           uint64_t names_bytes, uint64_t remap_entries,
+                           uint64_t paths_bytes) {
+  SetLayout l;
+  l.name_offsets_off = kSetHeaderBytes;
+  l.names_off = l.name_offsets_off + 8 * (num_events + 1);
+  l.shard_records_off = l.names_off + PadTo8(names_bytes);
+  l.remap_off = l.shard_records_off + sizeof(SetShardRecord) * num_shards;
+  l.path_offsets_off = l.remap_off + PadTo8(4 * remap_entries);
+  l.paths_off = l.path_offsets_off + 8 * (num_shards + 1);
+  l.file_bytes = l.paths_off + PadTo8(paths_bytes);
+  return l;
+}
+
+Status CheckHostEndianness() {
+  return format_util::CheckLittleEndianHost(".smdbset");
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::ParseError("corrupt .smdbset manifest " + path + ": " +
+                            what);
+}
+
+// "/a/b/c.smdbset" -> "/a/b/" (empty when the path has no directory part).
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+// "/a/b/c.smdbset" -> "c" — the stem shard file names are derived from.
+std::string StemOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::string ext = kSmdbSetExtension;
+  if (base.size() > ext.size() &&
+      base.compare(base.size() - ext.size(), ext.size(), ext) == 0) {
+    base.resize(base.size() - ext.size());
+  }
+  return base;
+}
+
+std::string ShardRelativePath(const std::string& manifest_path,
+                              size_t shard_index) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%04zu", shard_index);
+  return StemOf(manifest_path) + suffix + kSmdbExtension;
+}
+
+std::string ResolveShardPath(const std::string& manifest_path,
+                             const std::string& recorded) {
+  if (!recorded.empty() && recorded[0] == '/') return recorded;  // Absolute.
+  return DirOf(manifest_path) + recorded;
+}
+
+}  // namespace
+
+bool IsSmdbSetPath(const std::string& path) {
+  const std::string ext = kSmdbSetExtension;
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDatabase.
+
+Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
+  SPECMINE_RETURN_NOT_OK(CheckHostEndianness());
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open .smdbset manifest: " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("cannot read .smdbset manifest: " + path);
+  }
+
+  if (bytes.size() < kSetHeaderBytes) {
+    return Corrupt(path, "file is " + std::to_string(bytes.size()) +
+                             " bytes, smaller than the 96-byte header");
+  }
+  SmdbSetHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kSmdbSetMagic, sizeof(kSmdbSetMagic)) != 0) {
+    return Corrupt(path, "bad magic (not a .smdbset manifest)");
+  }
+  if (header.version != kSmdbSetVersion) {
+    return Corrupt(path, "unsupported manifest version " +
+                             std::to_string(header.version) + " (reader is v" +
+                             std::to_string(kSmdbSetVersion) + ")");
+  }
+  if (header.num_shards > kMaxIds || header.num_events > kMaxIds ||
+      header.total_sequences > kMaxBytes ||
+      header.total_events > kMaxBytes || header.names_bytes > kMaxBytes ||
+      header.remap_entries > kMaxBytes || header.paths_bytes > kMaxBytes) {
+    return Corrupt(path, "header counts exceed format limits");
+  }
+  const SetLayout layout =
+      ComputeSetLayout(header.num_shards, header.num_events,
+                       header.names_bytes, header.remap_entries,
+                       header.paths_bytes);
+  if (layout.file_bytes != header.file_bytes) {
+    return Corrupt(path, "header size fields are inconsistent");
+  }
+  if (bytes.size() < layout.file_bytes) {
+    return Corrupt(path, "truncated: header promises " +
+                             std::to_string(layout.file_bytes) +
+                             " bytes, file has " +
+                             std::to_string(bytes.size()));
+  }
+
+  const unsigned char* base =
+      reinterpret_cast<const unsigned char*>(bytes.data());
+  const uint64_t* name_offsets =
+      reinterpret_cast<const uint64_t*>(base + layout.name_offsets_off);
+  const char* names =
+      reinterpret_cast<const char*>(base + layout.names_off);
+  const SetShardRecord* shard_records =
+      reinterpret_cast<const SetShardRecord*>(base + layout.shard_records_off);
+  const uint32_t* remap =
+      reinterpret_cast<const uint32_t*>(base + layout.remap_off);
+  const uint64_t* path_offsets =
+      reinterpret_cast<const uint64_t*>(base + layout.path_offsets_off);
+  const char* paths = reinterpret_cast<const char*>(base + layout.paths_off);
+
+  if (name_offsets[0] != 0 ||
+      name_offsets[header.num_events] != header.names_bytes) {
+    return Corrupt(path, "name offset table does not span the name blob");
+  }
+  for (uint64_t i = 0; i < header.num_events; ++i) {
+    if (name_offsets[i + 1] < name_offsets[i]) {
+      return Corrupt(path, "name offset table is not monotonic at entry " +
+                               std::to_string(i));
+    }
+  }
+  if (path_offsets[0] != 0 ||
+      path_offsets[header.num_shards] != header.paths_bytes) {
+    return Corrupt(path, "path offset table does not span the path blob");
+  }
+  for (uint64_t s = 0; s < header.num_shards; ++s) {
+    if (path_offsets[s + 1] < path_offsets[s]) {
+      return Corrupt(path, "path offset table is not monotonic at shard " +
+                               std::to_string(s));
+    }
+  }
+
+  ShardedDatabase set;
+  for (uint64_t i = 0; i < header.num_events; ++i) {
+    const std::string_view name(names + name_offsets[i],
+                                name_offsets[i + 1] - name_offsets[i]);
+    if (name.empty()) {
+      return Corrupt(path, "empty event name at merged id " +
+                               std::to_string(i));
+    }
+    if (set.dictionary_.Intern(name) != i) {
+      return Corrupt(path,
+                     "duplicate event name: \"" + std::string(name) + "\"");
+    }
+  }
+
+  // Cross-check the shard table against the header totals before touching
+  // any shard file.
+  uint64_t sum_sequences = 0, sum_events = 0, sum_locals = 0;
+  for (uint64_t s = 0; s < header.num_shards; ++s) {
+    const SetShardRecord& rec = shard_records[s];
+    if (rec.num_sequences > kMaxIds || rec.total_events > kMaxBytes ||
+        rec.num_local_events > kMaxIds) {
+      return Corrupt(path, "shard " + std::to_string(s) +
+                               " counts exceed format limits");
+    }
+    sum_sequences += rec.num_sequences;
+    sum_events += rec.total_events;
+    sum_locals += rec.num_local_events;
+  }
+  if (sum_sequences != header.total_sequences ||
+      sum_events != header.total_events ||
+      sum_locals != header.remap_entries) {
+    return Corrupt(path, "shard table totals disagree with the header");
+  }
+
+  uint64_t remap_cursor = 0;
+  for (uint64_t s = 0; s < header.num_shards; ++s) {
+    const SetShardRecord& rec = shard_records[s];
+    const std::string recorded(paths + path_offsets[s],
+                               path_offsets[s + 1] - path_offsets[s]);
+    if (recorded.empty()) {
+      return Corrupt(path, "empty path for shard " + std::to_string(s));
+    }
+    Shard shard;
+    shard.path = ResolveShardPath(path, recorded);
+    shard.remap.assign(remap + remap_cursor,
+                       remap + remap_cursor + rec.num_local_events);
+    remap_cursor += rec.num_local_events;
+    for (uint64_t l = 0; l < rec.num_local_events; ++l) {
+      if (shard.remap[l] >= header.num_events) {
+        return Corrupt(path, "shard " + std::to_string(s) +
+                                 " remap entry " + std::to_string(l) +
+                                 " exceeds the merged dictionary");
+      }
+    }
+
+    Result<MappedDatabase> mapped = MappedDatabase::Open(shard.path);
+    if (!mapped.ok()) {
+      // A missing shard stays IOError; corruption (bad magic, wrong
+      // version, truncation) stays ParseError — both with the set context.
+      const std::string what =
+          "shard " + std::to_string(s) + " of " + path + ": " +
+          mapped.status().message();
+      return mapped.status().code() == StatusCode::kIOError
+                 ? Status::IOError(what)
+                 : Status::ParseError(what);
+    }
+    shard.mapped = mapped.TakeValueOrDie();
+    const SequenceDatabase& db = shard.mapped.db();
+    if (db.size() != rec.num_sequences ||
+        db.TotalEvents() != rec.total_events ||
+        db.dictionary().size() != rec.num_local_events) {
+      return Corrupt(path, "shard " + std::to_string(s) + " (" + shard.path +
+                               ") disagrees with its manifest record");
+    }
+    // The remap must translate every local name to the same merged name —
+    // this is what makes the merged ids meaningful.
+    for (uint64_t l = 0; l < rec.num_local_events; ++l) {
+      if (db.dictionary().Name(static_cast<EventId>(l)) !=
+          set.dictionary_.Name(shard.remap[l])) {
+        return Corrupt(path, "shard " + std::to_string(s) +
+                                 " dictionary disagrees with its remap at "
+                                 "local id " +
+                                 std::to_string(l));
+      }
+    }
+    set.shards_.push_back(std::move(shard));
+  }
+
+  set.total_sequences_ = header.total_sequences;
+  set.total_events_ = header.total_events;
+  return set;
+}
+
+SequenceDatabase ShardedDatabase::Merge() const {
+  SequenceDatabaseBuilder builder;
+  builder.Reserve(total_sequences_, total_events_);
+  // Merged dictionary first, in merged-id order, so ids survive exactly.
+  for (size_t i = 0; i < dictionary_.size(); ++i) {
+    builder.mutable_dictionary()->Intern(
+        dictionary_.Name(static_cast<EventId>(i)));
+  }
+  std::vector<EventId> scratch;
+  for (const Shard& shard : shards_) {
+    const SequenceDatabase& db = shard.mapped.db();
+    for (EventSpan seq : db) {
+      scratch.clear();
+      scratch.reserve(seq.size());
+      for (EventId local : seq) scratch.push_back(shard.remap[local]);
+      builder.AddSequence(EventSpan(scratch));
+    }
+  }
+  return builder.Build();
+}
+
+// ---------------------------------------------------------------------------
+// ShardWriter.
+
+ShardWriter::ShardWriter(std::string manifest_path, ShardWriterOptions options)
+    : manifest_path_(std::move(manifest_path)), options_(options) {}
+
+void ShardWriter::AdoptDictionary(const EventDictionary& dict) {
+  for (size_t i = 0; i < dict.size(); ++i) {
+    merged_.Intern(dict.Name(static_cast<EventId>(i)));
+  }
+  if (merged_to_local_.size() < merged_.size()) {
+    merged_to_local_.resize(merged_.size(), kInvalidEvent);
+  }
+}
+
+uint64_t ShardWriter::ProjectedShardBytes(uint64_t extra_sequences,
+                                          uint64_t extra_events,
+                                          uint64_t extra_names,
+                                          uint64_t extra_name_bytes) const {
+  return SmdbFileBytes(current_.dictionary().size() + extra_names,
+                       current_.size() + extra_sequences,
+                       current_.TotalEvents() + extra_events,
+                       current_name_bytes_ + extra_name_bytes);
+}
+
+Status ShardWriter::AddMergedTrace(const std::vector<EventId>& merged_ids) {
+  if (!failed_.ok()) return failed_;
+  if (finished_) {
+    return Status::InvalidArgument(
+        "ShardWriter::Finish() was already called for " + manifest_path_);
+  }
+  if (merged_to_local_.size() < merged_.size()) {
+    merged_to_local_.resize(merged_.size(), kInvalidEvent);
+  }
+
+  // Names this trace would add to the current shard's local dictionary
+  // (each distinct new name counted once).
+  uint64_t extra_names = 0, extra_name_bytes = 0;
+  std::unordered_set<EventId> fresh;
+  for (EventId id : merged_ids) {
+    if (merged_to_local_[id] == kInvalidEvent && fresh.insert(id).second) {
+      ++extra_names;
+      extra_name_bytes += merged_.Name(id).size();
+    }
+  }
+  if (current_.size() > 0 &&
+      ProjectedShardBytes(1, merged_ids.size(), extra_names,
+                          extra_name_bytes) > options_.shard_bytes) {
+    SPECMINE_RETURN_NOT_OK(CutShard());
+  }
+
+  std::vector<EventId> local_ids;
+  local_ids.reserve(merged_ids.size());
+  for (EventId id : merged_ids) {
+    EventId local = merged_to_local_[id];
+    if (local == kInvalidEvent) {
+      local = current_.mutable_dictionary()->Intern(merged_.Name(id));
+      merged_to_local_[id] = local;
+      current_remap_.push_back(id);
+      current_name_bytes_ += merged_.Name(id).size();
+    }
+    local_ids.push_back(local);
+  }
+  current_.AddSequence(EventSpan(local_ids));
+  ++total_sequences_;
+  total_events_ += merged_ids.size();
+  return Status::OK();
+}
+
+Status ShardWriter::AddTrace(const std::vector<std::string>& event_names) {
+  std::vector<EventId> merged_ids;
+  merged_ids.reserve(event_names.size());
+  for (const std::string& name : event_names) {
+    merged_ids.push_back(merged_.Intern(name));
+  }
+  return AddMergedTrace(merged_ids);
+}
+
+Status ShardWriter::AddTraceFromString(std::string_view line) {
+  std::vector<EventId> merged_ids;
+  for (const auto& tok : SplitAndTrim(line, ' ')) {
+    merged_ids.push_back(merged_.Intern(tok));
+  }
+  return AddMergedTrace(merged_ids);
+}
+
+Status ShardWriter::AddSequence(EventSpan events,
+                                const EventDictionary& dict) {
+  std::vector<EventId> merged_ids;
+  merged_ids.reserve(events.size());
+  for (EventId id : events) {
+    if (id >= dict.size()) {
+      return Status::OutOfRange("event id " + std::to_string(id) +
+                                " not in the provided dictionary (size " +
+                                std::to_string(dict.size()) + ")");
+    }
+    merged_ids.push_back(merged_.Intern(dict.Name(id)));
+  }
+  return AddMergedTrace(merged_ids);
+}
+
+Status ShardWriter::CutShard() {
+  if (!failed_.ok()) return failed_;
+  if (current_.size() == 0) return Status::OK();
+  const std::string relative =
+      ShardRelativePath(manifest_path_, records_.size());
+  SequenceDatabase shard_db = current_.Build();  // Resets the builder.
+  Status written = WriteBinaryDatabaseFile(
+      shard_db, DirOf(manifest_path_) + relative);
+  if (!written.ok()) {
+    failed_ = written;
+    return failed_;
+  }
+  ShardRecord record;
+  record.relative_path = relative;
+  record.num_sequences = shard_db.size();
+  record.total_events = shard_db.TotalEvents();
+  record.remap = std::move(current_remap_);
+  records_.push_back(std::move(record));
+  current_remap_.clear();
+  merged_to_local_.assign(merged_.size(), kInvalidEvent);
+  current_name_bytes_ = 0;
+  return Status::OK();
+}
+
+Status ShardWriter::Finish() {
+  if (!failed_.ok()) return failed_;
+  if (finished_) return Status::OK();
+  SPECMINE_RETURN_NOT_OK(CutShard());
+  Status written = WriteManifest();
+  if (!written.ok()) {
+    failed_ = written;
+    return failed_;
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Status ShardWriter::WriteManifest() const {
+  SPECMINE_RETURN_NOT_OK(CheckHostEndianness());
+
+  std::vector<uint64_t> name_offsets(merged_.size() + 1, 0);
+  for (size_t i = 0; i < merged_.size(); ++i) {
+    name_offsets[i + 1] =
+        name_offsets[i] + merged_.Name(static_cast<EventId>(i)).size();
+  }
+  const uint64_t names_bytes = name_offsets[merged_.size()];
+
+  uint64_t remap_entries = 0, paths_bytes = 0;
+  for (const ShardRecord& rec : records_) {
+    remap_entries += rec.remap.size();
+    paths_bytes += rec.relative_path.size();
+  }
+  const SetLayout layout =
+      ComputeSetLayout(records_.size(), merged_.size(), names_bytes,
+                       remap_entries, paths_bytes);
+
+  SmdbSetHeader header{};
+  std::memcpy(header.magic, kSmdbSetMagic, sizeof(kSmdbSetMagic));
+  header.version = kSmdbSetVersion;
+  header.num_shards = records_.size();
+  header.num_events = merged_.size();
+  header.total_sequences = total_sequences_;
+  header.total_events = total_events_;
+  header.names_bytes = names_bytes;
+  header.remap_entries = remap_entries;
+  header.paths_bytes = paths_bytes;
+  header.file_bytes = layout.file_bytes;
+
+  return format_util::AtomicWriteFile(manifest_path_, [&](std::ostream&
+                                                              out) {
+    // Large enough for the biggest gap: the 16-byte header pad (section
+    // pads are at most 7).
+    const char zeros[16] = {};
+    auto write = [&out](const void* data, size_t n) {
+      if (n == 0) return;
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(n));
+    };
+    write(&header, sizeof(header));
+    write(zeros, kSetHeaderBytes - sizeof(header));
+    write(name_offsets.data(), 8 * name_offsets.size());
+    for (size_t i = 0; i < merged_.size(); ++i) {
+      const std::string& name = merged_.Name(static_cast<EventId>(i));
+      write(name.data(), name.size());
+    }
+    write(zeros, PadTo8(names_bytes) - names_bytes);
+    for (const ShardRecord& rec : records_) {
+      SetShardRecord packed{rec.num_sequences, rec.total_events,
+                            rec.remap.size()};
+      write(&packed, sizeof(packed));
+    }
+    for (const ShardRecord& rec : records_) {
+      write(rec.remap.data(), 4 * rec.remap.size());
+    }
+    write(zeros, PadTo8(4 * remap_entries) - 4 * remap_entries);
+    std::vector<uint64_t> path_offsets(records_.size() + 1, 0);
+    for (size_t s = 0; s < records_.size(); ++s) {
+      path_offsets[s + 1] =
+          path_offsets[s] + records_[s].relative_path.size();
+    }
+    write(path_offsets.data(), 8 * path_offsets.size());
+    for (const ShardRecord& rec : records_) {
+      write(rec.relative_path.data(), rec.relative_path.size());
+    }
+    write(zeros, PadTo8(paths_bytes) - paths_bytes);
+    if (!out) {
+      return Status::IOError("stream error while writing the manifest");
+    }
+    return Status::OK();
+  });
+}
+
+Status WriteShardedDatabase(const SequenceDatabase& db,
+                            const std::string& manifest_path,
+                            const ShardWriterOptions& options) {
+  ShardWriter writer(manifest_path, options);
+  // Adopting the dictionary up front makes the set's merged ids exactly
+  // \p db's ids, so ShardedDatabase::Merge() reproduces \p db bit for bit.
+  writer.AdoptDictionary(db.dictionary());
+  for (EventSpan seq : db) {
+    SPECMINE_RETURN_NOT_OK(writer.AddSequence(seq, db.dictionary()));
+  }
+  return writer.Finish();
+}
+
+}  // namespace specmine

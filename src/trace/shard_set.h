@@ -1,0 +1,229 @@
+// Sharded trace corpora: the .smdbset manifest format, the ShardedDatabase
+// reader and the ShardWriter splitter.
+//
+// A corpus too large (or too distributed) for one .smdb file is stored as
+// an ordered set of .smdb *shards* plus one small .smdbset *manifest*
+// (see docs/smdb_format.md for the byte-level spec). Each shard is a fully
+// self-contained .smdb database with its own compact event dictionary —
+// only the names that occur in that shard — so shards can be produced by
+// independent runs and mined on machines that never see the rest of the
+// corpus. The manifest carries what makes the set one corpus:
+//
+//   * the merged event dictionary (the union of all shard alphabets, in
+//     first-appearance order across the stream that produced the set);
+//   * one remap table per shard translating shard-local EventIds to
+//     merged ids;
+//   * per-shard trace/event counts, cross-checked against the shard files
+//     when the set is opened.
+//
+// The logical database of a shard set is the concatenation of its shards,
+// in manifest order, with every event renumbered through the remap — and
+// it is *exactly* equal (dictionary ids included) to the database the same
+// trace stream would have produced unsharded. Every mining result over a
+// merged shard set is therefore byte-identical to mining the equivalent
+// single .smdb; tests/shard_set_test.cc and tests/shard_engine_test.cc pin
+// this down.
+
+#ifndef SPECMINE_TRACE_SHARD_SET_H_
+#define SPECMINE_TRACE_SHARD_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/trace/binary_format.h"
+#include "src/trace/sequence_database.h"
+
+namespace specmine {
+
+/// \brief The canonical .smdbset manifest file extension.
+inline constexpr const char* kSmdbSetExtension = ".smdbset";
+
+/// \brief The manifest's 8-byte magic ("SMDS" + the PNG-style tail that
+/// catches text-mode mangling, as in .smdb).
+inline constexpr unsigned char kSmdbSetMagic[8] = {'S',  'M',  'D',  'S',
+                                                   0x0d, 0x0a, 0x1a, 0x0a};
+
+/// \brief Current manifest format version.
+inline constexpr uint32_t kSmdbSetVersion = 1;
+
+/// \brief True iff \p path names a .smdbset manifest (case-sensitive
+/// suffix test; the CLI uses it to accept shard sets everywhere traces
+/// are).
+bool IsSmdbSetPath(const std::string& path);
+
+/// \brief An open shard set: the parsed manifest plus every shard mapped
+/// read-only (MappedDatabase), validated against the manifest's counts and
+/// dictionary remap. Move-only, like the mappings it owns.
+class ShardedDatabase {
+ public:
+  /// \brief Opens and validates the manifest at \p path, then opens every
+  /// shard (paths resolved relative to the manifest's directory).
+  ///
+  /// Fails with ParseError on a corrupt manifest, IOError naming the shard
+  /// path when a shard file is missing, and ParseError when a shard is
+  /// corrupt, has the wrong format version, or disagrees with the manifest
+  /// (counts, dictionary size, or any name/remap mismatch).
+  static Result<ShardedDatabase> Open(const std::string& path);
+
+  ShardedDatabase(ShardedDatabase&&) noexcept = default;
+  ShardedDatabase& operator=(ShardedDatabase&&) noexcept = default;
+  ShardedDatabase(const ShardedDatabase&) = delete;
+  ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+
+  /// \brief Number of shards (0 for an empty set).
+  size_t num_shards() const { return shards_.size(); }
+
+  /// \brief Shard \p i's database view (shard-local EventIds!). Valid
+  /// while this ShardedDatabase is alive.
+  const SequenceDatabase& shard(size_t i) const {
+    return shards_[i].mapped.db();
+  }
+
+  /// \brief Shard \p i's local-to-merged EventId remap:
+  /// remap(i)[local_id] == merged id. One entry per shard-dictionary name.
+  const std::vector<EventId>& remap(size_t i) const {
+    return shards_[i].remap;
+  }
+
+  /// \brief Shard \p i's resolved (openable) file path.
+  const std::string& shard_path(size_t i) const { return shards_[i].path; }
+
+  /// \brief The merged dictionary over all shards.
+  const EventDictionary& dictionary() const { return dictionary_; }
+
+  /// \brief Total sequences across shards. O(1).
+  size_t TotalSequences() const { return total_sequences_; }
+
+  /// \brief Total events across shards. O(1).
+  size_t TotalEvents() const { return total_events_; }
+
+  /// \brief Materializes the logical (concatenated, remapped) database:
+  /// shard 0's traces first, every event translated to merged ids. The
+  /// result owns its storage and is exactly the database the same trace
+  /// stream would have produced unsharded.
+  SequenceDatabase Merge() const;
+
+ private:
+  struct Shard {
+    MappedDatabase mapped;
+    std::vector<EventId> remap;  // local id -> merged id.
+    std::string path;            // Resolved path, for error messages.
+  };
+
+  ShardedDatabase() = default;
+
+  EventDictionary dictionary_;
+  std::vector<Shard> shards_;
+  size_t total_sequences_ = 0;
+  size_t total_events_ = 0;
+};
+
+/// \brief Options for ShardWriter / WriteShardedDatabase.
+struct ShardWriterOptions {
+  /// Target maximum bytes per shard file. A shard is closed before the
+  /// trace that would push its .smdb size past this bound — except that a
+  /// single trace larger than the bound still becomes a (oversized) shard
+  /// of its own rather than being split or dropped.
+  uint64_t shard_bytes = uint64_t{64} << 20;  // 64 MiB.
+};
+
+/// \brief Splits a trace stream into size-bounded .smdb shards plus a
+/// .smdbset manifest.
+///
+/// Feed traces in corpus order (AddTrace / AddTraceFromString /
+/// AddSequence); the writer interns names into the merged dictionary in
+/// first-appearance order, keeps the current shard's compact local
+/// dictionary and remap, rotates to a new shard file whenever the size
+/// bound would be exceeded (or on an explicit CutShard — e.g. at module or
+/// per-run boundaries, which keeps shard alphabets small), and Finish()
+/// writes the manifest. Shard files are named <manifest stem>.NNNN.smdb
+/// next to the manifest and recorded under their relative names.
+class ShardWriter {
+ public:
+  /// \brief Prepares a writer for the manifest at \p manifest_path.
+  /// Nothing is written until the first rotation or Finish().
+  explicit ShardWriter(std::string manifest_path,
+                       ShardWriterOptions options = {});
+
+  /// \brief Pre-interns every name of \p dict, in id order, into the
+  /// merged dictionary. Call before the first trace to make the merged
+  /// dictionary (and so every merged id) exactly equal to an existing
+  /// database's — the bit-identity guarantee WriteShardedDatabase relies
+  /// on.
+  void AdoptDictionary(const EventDictionary& dict);
+
+  /// \brief Appends one trace of event names.
+  Status AddTrace(const std::vector<std::string>& event_names);
+
+  /// \brief Appends a trace parsed from space-separated event names.
+  Status AddTraceFromString(std::string_view line);
+
+  /// \brief Appends a trace of \p dict-relative event ids (each id is
+  /// resolved to its name and re-interned into the merged dictionary).
+  Status AddSequence(EventSpan events, const EventDictionary& dict);
+
+  /// \brief Closes the current shard now, writing its .smdb file. No-op
+  /// when the current shard holds no traces.
+  Status CutShard();
+
+  /// \brief Flushes the last shard and writes the manifest. The writer
+  /// accepts no further traces afterwards. Idempotent.
+  Status Finish();
+
+  /// \brief The merged dictionary accumulated so far.
+  const EventDictionary& dictionary() const { return merged_; }
+
+  /// \brief Shard files written so far (the current open shard excluded).
+  size_t shards_written() const { return records_.size(); }
+
+  /// \brief Traces accepted so far (across all shards).
+  size_t sequences_written() const { return total_sequences_; }
+
+ private:
+  struct ShardRecord {
+    std::string relative_path;
+    uint64_t num_sequences = 0;
+    uint64_t total_events = 0;
+    std::vector<EventId> remap;  // local -> merged.
+  };
+
+  // The .smdb file size the current shard would have with \p extra_events
+  // more events, \p extra_names more dictionary entries and
+  // \p extra_name_bytes more name-blob bytes appended.
+  uint64_t ProjectedShardBytes(uint64_t extra_sequences,
+                               uint64_t extra_events, uint64_t extra_names,
+                               uint64_t extra_name_bytes) const;
+
+  // Appends a trace of merged ids, rotating first if the size bound says
+  // so.
+  Status AddMergedTrace(const std::vector<EventId>& merged_ids);
+
+  Status WriteManifest() const;
+
+  std::string manifest_path_;
+  ShardWriterOptions options_;
+  EventDictionary merged_;
+  SequenceDatabaseBuilder current_;         // Shard-local ids.
+  std::vector<EventId> current_remap_;      // Local -> merged.
+  std::vector<EventId> merged_to_local_;    // Merged -> local (or invalid).
+  uint64_t current_name_bytes_ = 0;         // Local name blob size.
+  std::vector<ShardRecord> records_;
+  size_t total_sequences_ = 0;
+  size_t total_events_ = 0;
+  bool finished_ = false;
+  Status failed_ = Status::OK();  // Sticky first I/O failure.
+};
+
+/// \brief Packs \p db into size-bounded shards plus a manifest at
+/// \p manifest_path. The shard set's merged dictionary (and so its merged
+/// database) is exactly \p db, ids included.
+Status WriteShardedDatabase(const SequenceDatabase& db,
+                            const std::string& manifest_path,
+                            const ShardWriterOptions& options = {});
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_SHARD_SET_H_

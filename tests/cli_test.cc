@@ -103,6 +103,56 @@ TEST_F(CliTest, PackOntoItselfDoesNotDestroyTheInput) {
   std::remove(packed.c_str());
 }
 
+TEST_F(CliTest, PackShardedThenMineMatchesSmdbOutput) {
+  const std::string packed = ::testing::TempDir() + "cli_test_set.smdb";
+  const std::string sharded = ::testing::TempDir() + "cli_test_set.smdbset";
+  ASSERT_EQ(Run({"pack", path_, packed}), 0);
+  // Tiny bound: several shards with remapped local dictionaries.
+  ASSERT_EQ(Run({"pack", path_, sharded, "--shard-bytes", "200"}), 0);
+  EXPECT_NE(out_.str().find("shards"), std::string::npos);
+
+  EXPECT_EQ(Run({"stats", sharded}), 0);
+  EXPECT_NE(out_.str().find("3 sequences"), std::string::npos);
+  EXPECT_NE(out_.str().find("shards:"), std::string::npos);
+
+  auto strip_timing = [](std::string s) {
+    const size_t pos = s.find("timing:");
+    if (pos == std::string::npos) return s;
+    const size_t end = s.find('\n', pos);
+    return s.substr(0, pos) + s.substr(end + 1);
+  };
+  // Closed (merged path) and --full (per-shard parallel path) both match
+  // the single-file output — the sharded-equivalence contract at the CLI.
+  EXPECT_EQ(Run({"mine-patterns", packed, "--min-sup", "0.6"}), 0);
+  const std::string closed_smdb = out_.str();
+  EXPECT_EQ(Run({"mine-patterns", sharded, "--min-sup", "0.6"}), 0);
+  EXPECT_EQ(strip_timing(closed_smdb), strip_timing(out_.str()));
+
+  EXPECT_EQ(Run({"mine-patterns", packed, "--full", "--min-sup", "0.6"}), 0);
+  const std::string full_smdb = out_.str();
+  EXPECT_EQ(Run({"mine-patterns", sharded, "--full", "--min-sup", "0.6"}),
+            0);
+  EXPECT_EQ(strip_timing(full_smdb), strip_timing(out_.str()));
+
+  EXPECT_EQ(Run({"mine-rules", packed}), 0);
+  const std::string rules_smdb = out_.str();
+  EXPECT_EQ(Run({"mine-rules", sharded}), 0);
+  EXPECT_EQ(rules_smdb, out_.str());
+  std::remove(packed.c_str());
+  std::remove(sharded.c_str());
+}
+
+TEST_F(CliTest, PackShardBytesRequiresSmdbSetOutput) {
+  const std::string packed = ::testing::TempDir() + "cli_test_req.smdb";
+  EXPECT_EQ(Run({"pack", path_, packed, "--shard-bytes", "200"}), 2);
+  EXPECT_NE(err_.str().find(".smdbset"), std::string::npos);
+}
+
+TEST_F(CliTest, MineFromMissingShardSetFailsCleanly) {
+  EXPECT_EQ(Run({"mine-rules", "/no/such/corpus.smdbset"}), 1);
+  EXPECT_NE(err_.str().find("IOError"), std::string::npos);
+}
+
 TEST_F(CliTest, StatsTraceHugeIdReportsTheRequestedId) {
   EXPECT_EQ(Run({"stats", path_, "--trace", "5000000000"}), 1);
   EXPECT_NE(err_.str().find("5000000000"), std::string::npos);

@@ -1,0 +1,212 @@
+// The sharded-equivalence property: a session opened from a .smdbset
+// mines byte-identically to one opened from the equivalent single .smdb —
+// for the regular (merged) tasks and for the two-phase MineSharded path,
+// across randomized corpora, shard-size bounds, thresholds, and thread
+// counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/support/random.h"
+#include "src/trace/shard_set.h"
+
+namespace specmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// A reproducible random corpus: \p num_traces traces of up to
+// \p max_length events over an alphabet of \p alphabet names.
+SequenceDatabase RandomDb(uint64_t seed, size_t num_traces,
+                          size_t max_length, size_t alphabet) {
+  Rng rng(seed);
+  SequenceDatabaseBuilder builder;
+  for (size_t t = 0; t < num_traces; ++t) {
+    std::string line;
+    const size_t len = rng.Uniform(max_length + 1);
+    for (size_t k = 0; k < len; ++k) {
+      line += "ev" + std::to_string(rng.Uniform(alphabet)) + " ";
+    }
+    builder.AddTraceFromString(line);
+  }
+  return builder.Build();
+}
+
+struct EnginePair {
+  Engine single;
+  Engine sharded;
+};
+
+// Packs \p db both ways and opens both sessions.
+EnginePair MakePair(const SequenceDatabase& db, const std::string& stem,
+                    uint64_t shard_bytes) {
+  const std::string smdb = TempPath(stem + ".smdb");
+  const std::string smdbset = TempPath(stem + ".smdbset");
+  EXPECT_TRUE(WriteBinaryDatabaseFile(db, smdb).ok());
+  ShardWriterOptions options;
+  options.shard_bytes = shard_bytes;
+  EXPECT_TRUE(WriteShardedDatabase(db, smdbset, options).ok());
+  Result<Engine> single = Engine::FromBinaryFile(smdb);
+  Result<Engine> sharded = Engine::FromShardSet(smdbset);
+  EXPECT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+  return EnginePair{single.TakeValueOrDie(), sharded.TakeValueOrDie()};
+}
+
+TEST(ShardEngineTest, FromShardSetExposesTheShardStructure) {
+  SequenceDatabase db = RandomDb(7, 30, 10, 6);
+  EnginePair pair = MakePair(db, "expose", 400);
+  EXPECT_FALSE(pair.single.sharded());
+  EXPECT_TRUE(pair.sharded.sharded());
+  EXPECT_FALSE(pair.sharded.memory_mapped());  // Merged db is materialized.
+  EXPECT_GT(pair.sharded.shard_set().num_shards(), 1u);
+  EXPECT_EQ(pair.sharded.database().size(), db.size());
+  EXPECT_EQ(pair.sharded.database().TotalEvents(), db.TotalEvents());
+}
+
+// Every regular task over the merged session matches the single-file one.
+TEST(ShardEngineTest, MergedTasksAreByteIdenticalToSingleFile) {
+  SequenceDatabase db = RandomDb(11, 40, 12, 8);
+  EnginePair pair = MakePair(db, "merged_tasks", 500);
+  const EventDictionary& dict_s = pair.single.database().dictionary();
+  const EventDictionary& dict_m = pair.sharded.database().dictionary();
+
+  ClosedTask closed;
+  closed.options.min_support = 3;
+  Result<PatternSet> c_single = pair.single.CollectPatterns(closed);
+  Result<PatternSet> c_sharded = pair.sharded.CollectPatterns(closed);
+  ASSERT_TRUE(c_single.ok());
+  ASSERT_TRUE(c_sharded.ok());
+  EXPECT_GT(c_single->size(), 0u);
+  EXPECT_EQ(c_single->ToString(dict_s), c_sharded->ToString(dict_m));
+
+  RulesTask rules;
+  rules.options.min_s_support = 3;
+  rules.options.min_confidence = 0.7;
+  Result<RuleSet> r_single = pair.single.CollectRules(rules);
+  Result<RuleSet> r_sharded = pair.sharded.CollectRules(rules);
+  ASSERT_TRUE(r_single.ok());
+  ASSERT_TRUE(r_sharded.ok());
+  ASSERT_EQ(r_single->size(), r_sharded->size());
+  for (size_t i = 0; i < r_single->size(); ++i) {
+    EXPECT_EQ((*r_single)[i].ToString(dict_s),
+              (*r_sharded)[i].ToString(dict_m));
+  }
+}
+
+// The core property: MineSharded == the single-pass full miner — same
+// patterns, same supports, same emission order — over randomized corpora,
+// shard bounds, thresholds and thread counts.
+TEST(ShardEngineTest, MineShardedIsByteIdenticalToSinglePass) {
+  struct Case {
+    uint64_t seed;
+    size_t traces, max_len, alphabet;
+    uint64_t shard_bytes;
+    uint64_t min_support;
+    size_t max_length;
+    size_t threads;
+  };
+  const std::vector<Case> cases = {
+      {1, 30, 10, 5, 300, 2, 0, 1},
+      {2, 40, 12, 8, 500, 3, 5, 3},
+      {3, 25, 8, 3, 250, 4, 0, 2},
+      {4, 50, 9, 10, 400, 2, 4, 1},
+      {5, 12, 14, 4, 10'000'000, 3, 0, 3},  // Single shard.
+      {6, 35, 11, 6, 260, 5, 6, 2},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE("seed " + std::to_string(c.seed));
+    SequenceDatabase db =
+        RandomDb(c.seed, c.traces, c.max_len, c.alphabet);
+    EnginePair pair =
+        MakePair(db, "prop" + std::to_string(c.seed), c.shard_bytes);
+
+    FullPatternsTask task;
+    task.options.min_support = c.min_support;
+    task.options.max_length = c.max_length;
+    task.options.num_threads = c.threads;
+
+    CollectingPatternSink single_sink;
+    Result<RunReport> single = pair.single.Mine(task, single_sink);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+    CollectingPatternSink sharded_sink;
+    Result<RunReport> sharded = pair.sharded.MineSharded(task, sharded_sink);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+    // Same patterns with the same supports, in the same order (ToString
+    // renders both, line by line, in emission order).
+    EXPECT_GT(single->patterns_emitted, 0u);  // Not vacuously identical.
+    EXPECT_EQ(
+        single_sink.set().ToString(pair.single.database().dictionary()),
+        sharded_sink.set().ToString(pair.sharded.database().dictionary()));
+    EXPECT_EQ(single->patterns_emitted, sharded->patterns_emitted);
+  }
+}
+
+// max_patterns cuts the sharded delivery at exactly the pattern the
+// single-pass scan stops at (same order ⇒ same prefix).
+TEST(ShardEngineTest, MaxPatternsTruncatesAtTheSamePattern) {
+  SequenceDatabase db = RandomDb(21, 40, 12, 6);
+  EnginePair pair = MakePair(db, "truncate", 400);
+  FullPatternsTask task;
+  task.options.min_support = 2;
+  task.options.max_patterns = 17;
+
+  CollectingPatternSink single_sink;
+  Result<RunReport> single = pair.single.Mine(task, single_sink);
+  ASSERT_TRUE(single.ok());
+  CollectingPatternSink sharded_sink;
+  Result<RunReport> sharded = pair.sharded.MineSharded(task, sharded_sink);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_TRUE(single->truncated);
+  EXPECT_TRUE(sharded->truncated);
+  EXPECT_EQ(
+      single_sink.set().ToString(pair.single.database().dictionary()),
+      sharded_sink.set().ToString(pair.sharded.database().dictionary()));
+}
+
+TEST(ShardEngineTest, ShardIndexesAreCachedAcrossCalls) {
+  SequenceDatabase db = RandomDb(31, 30, 10, 5);
+  EnginePair pair = MakePair(db, "cache", 300);
+  FullPatternsTask task;
+  task.options.min_support = 2;
+  CollectingPatternSink sink1, sink2;
+  Result<RunReport> first = pair.sharded.MineSharded(task, sink1);
+  Result<RunReport> second = pair.sharded.MineSharded(task, sink2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(first->index_build_seconds, 0.0);
+  EXPECT_EQ(second->index_build_seconds, 0.0);  // Cached per-shard indexes.
+}
+
+TEST(ShardEngineTest, MineShardedOnUnshardedSessionIsAnError) {
+  SequenceDatabase db = RandomDb(41, 10, 8, 4);
+  Result<Engine> engine = Engine::Create(db);
+  ASSERT_TRUE(engine.ok());
+  FullPatternsTask task;
+  task.options.min_support = 2;
+  CollectingPatternSink sink;
+  Result<RunReport> r = engine->MineSharded(task, sink);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardEngineTest, InvalidOptionsAreRejectedBeforeMining) {
+  SequenceDatabase db = RandomDb(51, 10, 8, 4);
+  EnginePair pair = MakePair(db, "invalid", 300);
+  FullPatternsTask task;
+  task.options.min_support = 0;  // Validate() rejects this.
+  CollectingPatternSink sink;
+  Result<RunReport> r = pair.sharded.MineSharded(task, sink);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace specmine

@@ -1,0 +1,355 @@
+// Tests for the .smdbset shard-set format: ShardWriter splitting and
+// rotation, manifest round trips, Merge() bit-identity with the unsharded
+// database, dictionary remap across disjoint/overlapping shard alphabets,
+// and the reader's rejection of corrupt or inconsistent sets (missing
+// shard files, wrong-version shards, broken manifests).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/trace/binary_format.h"
+#include "src/trace/sequence_database.h"
+#include "src/trace/shard_set.h"
+
+namespace specmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+SequenceDatabase SampleDb() {
+  SequenceDatabaseBuilder builder;
+  builder.AddTraceFromString("lock read write unlock lock write unlock");
+  builder.AddTraceFromString("open read close lock unlock");
+  builder.AddTraceFromString("lock read unlock open read read close");
+  builder.AddTraceFromString("open write close open read close");
+  builder.AddTraceFromString("lock unlock lock read write unlock");
+  return builder.Build();
+}
+
+// Asserts that \p merged is bit-for-bit the same database as \p expected:
+// same dictionary in the same id order, same spans with the same ids.
+void ExpectSameDatabase(const SequenceDatabase& merged,
+                        const SequenceDatabase& expected) {
+  ASSERT_EQ(merged.size(), expected.size());
+  ASSERT_EQ(merged.TotalEvents(), expected.TotalEvents());
+  ASSERT_EQ(merged.dictionary().size(), expected.dictionary().size());
+  for (size_t i = 0; i < expected.dictionary().size(); ++i) {
+    EXPECT_EQ(merged.dictionary().Name(static_cast<EventId>(i)),
+              expected.dictionary().Name(static_cast<EventId>(i)));
+  }
+  for (SeqId s = 0; s < expected.size(); ++s) {
+    EXPECT_EQ(merged[s], expected[s]) << "sequence " << s;
+  }
+}
+
+TEST(SmdbSetPathTest, SuffixDetection) {
+  EXPECT_TRUE(IsSmdbSetPath("corpus.smdbset"));
+  EXPECT_TRUE(IsSmdbSetPath("/a/b/c.smdbset"));
+  EXPECT_FALSE(IsSmdbSetPath("corpus.smdb"));
+  EXPECT_FALSE(IsSmdbSetPath("smdbset"));
+  EXPECT_FALSE(IsSmdbSetPath(""));
+}
+
+TEST(ShardWriterTest, SplitsIntoSizeBoundedShardsThatMergeBack) {
+  SequenceDatabase db = SampleDb();
+  const std::string manifest = TempPath("split.smdbset");
+  ShardWriterOptions options;
+  options.shard_bytes = 256;  // Tiny bound: force several shards.
+  ASSERT_TRUE(WriteShardedDatabase(db, manifest, options).ok());
+
+  Result<ShardedDatabase> set = ShardedDatabase::Open(manifest);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_GT(set->num_shards(), 1u);
+  EXPECT_EQ(set->TotalSequences(), db.size());
+  EXPECT_EQ(set->TotalEvents(), db.TotalEvents());
+
+  // Every shard file respects the bound (no sample trace exceeds it on
+  // its own) and is independently a valid .smdb database.
+  for (size_t i = 0; i < set->num_shards(); ++i) {
+    const std::vector<char> bytes = ReadAll(set->shard_path(i));
+    EXPECT_LE(bytes.size(), options.shard_bytes) << set->shard_path(i);
+    Result<MappedDatabase> alone = MappedDatabase::Open(set->shard_path(i));
+    ASSERT_TRUE(alone.ok()) << alone.status().ToString();
+    EXPECT_EQ(alone->db().size(), set->shard(i).size());
+  }
+
+  ExpectSameDatabase(set->Merge(), db);
+}
+
+TEST(ShardWriterTest, SingleShardEqualsPlainSmdb) {
+  SequenceDatabase db = SampleDb();
+  const std::string manifest = TempPath("single.smdbset");
+  ASSERT_TRUE(WriteShardedDatabase(db, manifest).ok());  // Default 64 MiB.
+
+  Result<ShardedDatabase> set = ShardedDatabase::Open(manifest);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set->num_shards(), 1u);
+  // The one shard's file is byte-identical to packing db directly: the
+  // shard-local dictionary saw the same intern order as the original.
+  const std::string direct = TempPath("single_direct.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, direct).ok());
+  EXPECT_EQ(ReadAll(set->shard_path(0)), ReadAll(direct));
+  ExpectSameDatabase(set->Merge(), db);
+}
+
+TEST(ShardWriterTest, EmptyShardSetRoundTrips) {
+  const std::string manifest = TempPath("empty.smdbset");
+  ShardWriter writer(manifest);
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.shards_written(), 0u);
+
+  Result<ShardedDatabase> set = ShardedDatabase::Open(manifest);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->num_shards(), 0u);
+  EXPECT_EQ(set->TotalSequences(), 0u);
+  SequenceDatabase merged = set->Merge();
+  EXPECT_TRUE(merged.empty());
+  EXPECT_TRUE(merged.dictionary().empty());
+}
+
+TEST(ShardWriterTest, CutShardSplitsAtExplicitBoundaries) {
+  const std::string manifest = TempPath("cut.smdbset");
+  ShardWriter writer(manifest);
+  ASSERT_TRUE(writer.AddTraceFromString("a b a").ok());
+  ASSERT_TRUE(writer.CutShard().ok());
+  ASSERT_TRUE(writer.CutShard().ok());  // Empty cut: no empty shard file.
+  ASSERT_TRUE(writer.AddTraceFromString("b c").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.shards_written(), 2u);
+  EXPECT_EQ(writer.sequences_written(), 2u);
+
+  Result<ShardedDatabase> set = ShardedDatabase::Open(manifest);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set->num_shards(), 2u);
+  // Shard dictionaries are compact: only the names each shard uses.
+  EXPECT_EQ(set->shard(0).dictionary().size(), 2u);  // a, b.
+  EXPECT_EQ(set->shard(1).dictionary().size(), 2u);  // b, c.
+  EXPECT_EQ(set->dictionary().size(), 3u);           // a, b, c merged.
+}
+
+// The remap contract with overlapping alphabets: shard-local ids differ
+// from merged ids, and Merge() translates them back to one consistent
+// numbering (first appearance across the whole stream).
+TEST(ShardedDatabaseTest, RemapHandlesOverlappingAlphabets) {
+  const std::string manifest = TempPath("overlap.smdbset");
+  ShardWriter writer(manifest);
+  ASSERT_TRUE(writer.AddTraceFromString("x y x").ok());
+  ASSERT_TRUE(writer.CutShard().ok());
+  ASSERT_TRUE(writer.AddTraceFromString("z y z x").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  Result<ShardedDatabase> set = ShardedDatabase::Open(manifest);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set->num_shards(), 2u);
+  // Shard 1 interned z first (local id 0), but merged id order is the
+  // stream's first-appearance order: x=0, y=1, z=2.
+  EXPECT_EQ(set->dictionary().Lookup("x"), 0u);
+  EXPECT_EQ(set->dictionary().Lookup("y"), 1u);
+  EXPECT_EQ(set->dictionary().Lookup("z"), 2u);
+  EXPECT_EQ(set->shard(1).dictionary().Lookup("z"), 0u);
+  EXPECT_EQ(set->remap(1)[0], 2u);  // local z -> merged z.
+
+  SequenceDatabaseBuilder expected;
+  expected.AddTraceFromString("x y x");
+  expected.AddTraceFromString("z y z x");
+  ExpectSameDatabase(set->Merge(), expected.Build());
+}
+
+TEST(ShardedDatabaseTest, RemapHandlesDisjointAlphabets) {
+  const std::string manifest = TempPath("disjoint.smdbset");
+  ShardWriter writer(manifest);
+  ASSERT_TRUE(writer.AddTraceFromString("a b a b").ok());
+  ASSERT_TRUE(writer.CutShard().ok());
+  ASSERT_TRUE(writer.AddTraceFromString("c d c").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  Result<ShardedDatabase> set = ShardedDatabase::Open(manifest);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set->num_shards(), 2u);
+  EXPECT_EQ(set->shard(0).dictionary().size(), 2u);
+  EXPECT_EQ(set->shard(1).dictionary().size(), 2u);
+  EXPECT_EQ(set->dictionary().size(), 4u);
+  EXPECT_EQ(set->remap(1)[0], 2u);  // local c -> merged id 2.
+  EXPECT_EQ(set->remap(1)[1], 3u);  // local d -> merged id 3.
+
+  SequenceDatabaseBuilder expected;
+  expected.AddTraceFromString("a b a b");
+  expected.AddTraceFromString("c d c");
+  ExpectSameDatabase(set->Merge(), expected.Build());
+}
+
+TEST(ShardedDatabaseTest, EmptyTracesSurviveSharding) {
+  SequenceDatabaseBuilder builder;
+  builder.AddSequence({});
+  builder.AddTraceFromString("a");
+  builder.AddSequence({});
+  SequenceDatabase db = builder.Build();
+  const std::string manifest = TempPath("empties.smdbset");
+  ASSERT_TRUE(WriteShardedDatabase(db, manifest).ok());
+  Result<ShardedDatabase> set = ShardedDatabase::Open(manifest);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ExpectSameDatabase(set->Merge(), db);
+}
+
+TEST(ShardedDatabaseTest, OversizedTraceGetsItsOwnShard) {
+  const std::string manifest = TempPath("oversized.smdbset");
+  ShardWriterOptions options;
+  options.shard_bytes = 200;
+  ShardWriter writer(manifest, options);
+  std::string huge;
+  for (int i = 0; i < 100; ++i) huge += "ev" + std::to_string(i % 7) + " ";
+  ASSERT_TRUE(writer.AddTraceFromString("a b").ok());
+  ASSERT_TRUE(writer.AddTraceFromString(huge).ok());  // > 200 bytes alone.
+  ASSERT_TRUE(writer.AddTraceFromString("a b").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  Result<ShardedDatabase> set = ShardedDatabase::Open(manifest);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->num_shards(), 3u);
+  EXPECT_EQ(set->shard(1).size(), 1u);  // The oversized trace, alone.
+  EXPECT_EQ(set->TotalSequences(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption and inconsistency rejection.
+
+class ShardSetCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    manifest_ = TempPath("corrupt.smdbset");
+    ShardWriterOptions options;
+    options.shard_bytes = 256;
+    ASSERT_TRUE(WriteShardedDatabase(SampleDb(), manifest_, options).ok());
+    Result<ShardedDatabase> set = ShardedDatabase::Open(manifest_);
+    ASSERT_TRUE(set.ok());
+    ASSERT_GT(set->num_shards(), 1u);
+    shard0_path_ = set->shard_path(0);
+  }
+
+  std::string manifest_;
+  std::string shard0_path_;
+};
+
+TEST_F(ShardSetCorruptionTest, MissingShardFileIsIOErrorNamingTheShard) {
+  ASSERT_EQ(std::remove(shard0_path_.c_str()), 0);
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("shard 0"), std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, WrongVersionShardIsRejected) {
+  std::vector<char> bytes = ReadAll(shard0_path_);
+  const uint32_t bogus = 99;  // .smdb version field sits at byte 8.
+  std::memcpy(bytes.data() + 8, &bogus, sizeof(bogus));
+  WriteAll(shard0_path_, bytes);
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, ShardContentMismatchIsRejected) {
+  // Replace shard 0 with a valid .smdb holding different traces: counts
+  // and dictionary no longer match the manifest record.
+  SequenceDatabaseBuilder builder;
+  builder.AddTraceFromString("totally different events");
+  ASSERT_TRUE(
+      WriteBinaryDatabaseFile(builder.Build(), shard0_path_).ok());
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("shard 0"), std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, BadMagicIsRejected) {
+  std::vector<char> bytes = ReadAll(manifest_);
+  bytes[0] = 'X';
+  WriteAll(manifest_, bytes);
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, WrongManifestVersionIsRejected) {
+  std::vector<char> bytes = ReadAll(manifest_);
+  const uint32_t bogus = 42;  // Manifest version field sits at byte 8.
+  std::memcpy(bytes.data() + 8, &bogus, sizeof(bogus));
+  WriteAll(manifest_, bytes);
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, TruncatedManifestIsRejected) {
+  std::vector<char> bytes = ReadAll(manifest_);
+  bytes.resize(bytes.size() - 8);
+  WriteAll(manifest_, bytes);
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, InflatedShardCountIsRejected) {
+  std::vector<char> bytes = ReadAll(manifest_);
+  // num_shards sits at byte 16; growing it without growing the file makes
+  // the size fields inconsistent.
+  uint64_t num_shards = 0;
+  std::memcpy(&num_shards, bytes.data() + 16, sizeof(num_shards));
+  num_shards += 3;
+  std::memcpy(bytes.data() + 16, &num_shards, sizeof(num_shards));
+  WriteAll(manifest_, bytes);
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(ShardSetCorruptionTest, TinyFileIsRejected) {
+  WriteAll(manifest_, std::vector<char>{'S', 'M', 'D', 'S'});
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("header"), std::string::npos);
+}
+
+TEST(ShardSetTest, OpenMissingManifestIsIOError) {
+  Result<ShardedDatabase> r =
+      ShardedDatabase::Open("/nonexistent/corpus.smdbset");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ShardWriterTest, RejectsTracesAfterFinish) {
+  const std::string manifest = TempPath("finished.smdbset");
+  ShardWriter writer(manifest);
+  ASSERT_TRUE(writer.AddTraceFromString("a b").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  Status again = writer.AddTraceFromString("c d");
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(writer.Finish().ok());  // Idempotent.
+}
+
+}  // namespace
+}  // namespace specmine

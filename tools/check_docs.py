@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Documentation checks: markdown link integrity and compilable snippets.
+
+Two checks, run over README.md and docs/*.md:
+
+  1. Links. Every inline markdown link [text](target) whose target is not
+     an external URL or a pure in-page anchor must point at an existing
+     file (resolved relative to the markdown file; #anchors stripped).
+
+  2. Snippets. Every fenced ```cpp block in docs/user_guide.md must be a
+     self-contained translation unit: each is extracted to a temp file
+     and compiled with `$CXX -std=c++20 -fsyntax-only -I<repo>`. Blocks
+     meant as illustration, not code, should use a different info string
+     (```sh, ```text).
+
+Exit status is non-zero, with per-finding messages, when any check fails.
+Usage: tools/check_docs.py [--repo DIR] [--compiler CXX]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# Inline links: [text](target). Skips images by matching the bang
+# separately, and tolerates titles: [t](path "title").
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+
+
+def markdown_files(repo):
+    files = [os.path.join(repo, "README.md")]
+    docs = os.path.join(repo, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def check_links(md_path, repo):
+    errors = []
+    text = open(md_path, encoding="utf-8").read()
+    # Fenced blocks may contain ](...)-shaped noise; strip them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(md_path), path))
+        if not os.path.exists(resolved):
+            errors.append(
+                f"{os.path.relpath(md_path, repo)}: dead link '{target}' "
+                f"(resolved to {os.path.relpath(resolved, repo)})")
+    return errors
+
+
+def cpp_snippets(md_path):
+    """Yields (start_line, code) per ```cpp fence."""
+    snippets, block, lang, start = [], None, None, 0
+    for lineno, line in enumerate(
+            open(md_path, encoding="utf-8"), start=1):
+        fence = FENCE_RE.match(line)
+        if fence and block is None:
+            lang, block, start = fence.group(1), [], lineno
+        elif fence:
+            if lang == "cpp":
+                snippets.append((start, "".join(block)))
+            block, lang = None, None
+        elif block is not None:
+            block.append(line)
+    return snippets
+
+
+def check_snippets(md_path, repo, compiler):
+    errors = []
+    for start, code in cpp_snippets(md_path):
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cc", delete=False) as tmp:
+            tmp.write(code)
+            tmp_path = tmp.name
+        try:
+            proc = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only", "-Wall",
+                 f"-I{repo}", tmp_path],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                errors.append(
+                    f"{os.path.relpath(md_path, repo)}: snippet at line "
+                    f"{start} does not compile:\n{proc.stderr.strip()}")
+        finally:
+            os.unlink(tmp_path)
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
+    args = parser.parse_args()
+
+    errors = []
+    files = markdown_files(args.repo)
+    snippet_total = 0
+    for md in files:
+        errors.extend(check_links(md, args.repo))
+    guide = os.path.join(args.repo, "docs", "user_guide.md")
+    if os.path.isfile(guide):
+        snippet_total = len(cpp_snippets(guide))
+        errors.extend(check_snippets(guide, args.repo, args.compiler))
+    else:
+        errors.append("docs/user_guide.md is missing")
+
+    for err in errors:
+        print(f"check_docs: {err}", file=sys.stderr)
+    print(f"check_docs: {len(files)} markdown files, "
+          f"{snippet_total} compiled snippets, {len(errors)} errors")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
