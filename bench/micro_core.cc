@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "src/engine/engine.h"
+#include "src/itermine/bitmap_index.h"
 #include "src/itermine/projection.h"
 #include "src/itermine/qre_verifier.h"
 #include "src/rulemine/temporal_points.h"
@@ -86,7 +87,7 @@ int Run() {
       [&] { DoNotOptimize(SingleEventInstances(index, hottest).size()); },
       &report);
 
-  RunMicroBenchmark(
+  const double csr_forward_cold_ns = RunMicroBenchmark(
       "ForwardExtensions",
       [&] {
         DoNotOptimize(ForwardExtensions(index, hot, hot_instances).size());
@@ -143,6 +144,122 @@ int Run() {
 
   RunMicroBenchmark(
       "CountOccurrences", [&] { DoNotOptimize(CountOccurrences(hot, db)); },
+      &report);
+
+  // --- the vertical bitmap backend on the same (dense, fig1-style QUEST)
+  // corpus. The cold benchmarks construct a fresh workspace per call like
+  // their CSR twins above; the chooser line documents what `auto` picks.
+  std::printf("--- bitmap backend (auto on this corpus: %s) ---\n",
+              BackendKindName(ChooseBackendKind(db)));
+  BitmapIndex bitmap_index(db);
+  const CountingBackend bitmap_backend(bitmap_index);
+
+  RunMicroBenchmark(
+      "BitmapIndexBuild",
+      [&] {
+        BitmapIndex ix(db);
+        DoNotOptimize(ix.num_events());
+      },
+      &report);
+
+  const double bitmap_forward_cold_ns = RunMicroBenchmark(
+      "BitmapForwardExtensions",
+      [&] {
+        ProjectionWorkspace cold;
+        ForwardExtensionMap out;
+        ForwardExtensions(bitmap_backend, hot, hot_instances, &cold, &out);
+        DoNotOptimize(out.size());
+      },
+      &report);
+
+  ProjectionWorkspace bitmap_ws;
+  ForwardExtensionMap bitmap_forward_out;
+  RunMicroBenchmark(
+      "BitmapForwardExtensionsReuse",
+      [&] {
+        ForwardExtensions(bitmap_backend, hot, hot_instances, &bitmap_ws,
+                          &bitmap_forward_out);
+        DoNotOptimize(bitmap_forward_out.size());
+        bitmap_ws.forward.Recycle(std::move(bitmap_forward_out));
+      },
+      &report);
+
+  RunMicroBenchmark(
+      "BitmapBackwardExtensionsReuse",
+      [&] {
+        DoNotOptimize(
+            BackwardExtensions(bitmap_backend, hot, hot_instances, &bitmap_ws)
+                .size());
+      },
+      &report);
+
+  RunMicroBenchmark(
+      "BitmapQreCountInstances",
+      [&] { DoNotOptimize(CountInstances(bitmap_backend, hot)); }, &report);
+
+  RunMicroBenchmark(
+      "BitmapCountOccurrences",
+      [&] { DoNotOptimize(CountOccurrences(bitmap_backend, hot)); },
+      &report);
+
+  std::printf(
+      "forward cold speedup: %.1fx (csr %.1f us -> bitmap %.1f us)\n",
+      csr_forward_cold_ns / bitmap_forward_cold_ns,
+      csr_forward_cold_ns / 1e3, bitmap_forward_cold_ns / 1e3);
+
+  // --- the sparse synthetic corpus (huge alphabet, rare events — mean
+  // occurrences ~2): the regime where the CSR index wins the miners'
+  // steady state (the bitmap's events x words table falls out of cache,
+  // so every per-event row touch misses) and `auto` must say so. Both
+  // backends are measured workspace-reusing — the state the miners
+  // actually run in — so the crossover `auto` encodes is in the record.
+  std::printf("--- sparse corpus (auto must pick csr) ---\n");
+  const SequenceDatabase sparse = [] {
+    QuestParams p;
+    p.d_sequences_thousands = 2.0;   // 2000 sequences.
+    p.c_avg_sequence_length = 20;
+    p.n_events_thousands = 20.0;     // ~20k distinct events.
+    p.s_avg_pattern_length = 4;
+    p.num_seed_patterns = 40;
+    return GenerateQuest(p).TakeValueOrDie();
+  }();
+  PositionIndex sparse_csr(sparse);
+  BitmapIndex sparse_bitmap(sparse);
+  std::printf(
+      "sparse corpus: auto picks %s (mean occurrences %.2f, bitmap table "
+      "%.1f MB)\n",
+      BackendKindName(ChooseBackendKind(sparse)),
+      static_cast<double>(sparse.TotalEvents()) /
+          static_cast<double>(sparse.dictionary().size()),
+      static_cast<double>(sparse_bitmap.table_bytes()) / 1e6);
+  EventId sparse_hottest = 0;
+  for (EventId e = 0; e < sparse.dictionary().size(); ++e) {
+    if (sparse_csr.TotalCount(e) > sparse_csr.TotalCount(sparse_hottest)) {
+      sparse_hottest = e;
+    }
+  }
+  const Pattern sparse_hot{sparse_hottest};
+  const InstanceList sparse_instances = FindAllInstances(sparse_hot, sparse);
+  ProjectionWorkspace sparse_ws;
+  ForwardExtensionMap sparse_out;
+  RunMicroBenchmark(
+      "SparseForwardExtensionsCsr",
+      [&] {
+        ForwardExtensions(sparse_csr, sparse_hot, sparse_instances,
+                          &sparse_ws, &sparse_out);
+        DoNotOptimize(sparse_out.size());
+        sparse_ws.forward.Recycle(std::move(sparse_out));
+      },
+      &report);
+  ProjectionWorkspace sparse_bitmap_ws;
+  RunMicroBenchmark(
+      "SparseForwardExtensionsBitmap",
+      [&] {
+        ForwardExtensions(CountingBackend(sparse_bitmap), sparse_hot,
+                          sparse_instances, &sparse_bitmap_ws, &sparse_out);
+        DoNotOptimize(sparse_out.size());
+        sparse_bitmap_ws.forward.Recycle(std::move(sparse_out));
+      },
       &report);
 
   // db_load: text parse vs .smdb mmap, on the fig1 corpus (the dataset the

@@ -148,6 +148,39 @@ const PositionIndex& Engine::index() const {
   return **idx;
 }
 
+Result<CountingBackend> Engine::EnsureBackend(BackendChoice choice,
+                                              double* build_seconds) const {
+  *build_seconds = 0.0;
+  const BackendKind kind = ResolveBackendKind(choice, *db_);
+  if (kind == BackendKind::kCsr) {
+    Result<const PositionIndex*> index = EnsureIndex(build_seconds);
+    if (!index.ok()) return index.status();
+    return CountingBackend(**index);
+  }
+  if (bitmap_index_ == nullptr) {
+    SPECMINE_RETURN_NOT_OK(CheckIndexable(*db_));
+    SPECMINE_RETURN_NOT_OK(CheckBitmapIndexable(*db_));
+    Stopwatch sw;
+    bitmap_index_ = std::make_unique<BitmapIndex>(*db_);
+    *build_seconds = sw.ElapsedSeconds();
+    ++index_builds_;
+  }
+  return CountingBackend(*bitmap_index_);
+}
+
+CountingBackend Engine::backend(BackendChoice choice) const {
+  double unused = 0.0;
+  Result<CountingBackend> backend = EnsureBackend(choice, &unused);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "Engine::backend(): %s\n",
+                 backend.status().ToString().c_str());
+    std::abort();  // The checked factories make auto/csr unreachable;
+                   // explicit kBitmap can exceed the table cap — use
+                   // Mine (Status) for untrusted sizes.
+  }
+  return *backend;
+}
+
 const UnitDatabase& Engine::Units() const {
   if (units_ == nullptr) {
     units_ = std::make_unique<UnitDatabase>(
@@ -181,28 +214,33 @@ Result<RunReport> Engine::Mine(const FullPatternsTask& task,
                                PatternSink& sink) const {
   SPECMINE_RETURN_NOT_OK(Begin(task));
   double build_seconds = 0.0;
-  Result<const PositionIndex*> index = EnsureIndex(&build_seconds);
-  if (!index.ok()) return index.status();
+  Result<CountingBackend> backend =
+      EnsureBackend(task.options.backend, &build_seconds);
+  if (!backend.ok()) return backend.status();
   IterMinerStats stats;
   ScanFrequentIterative(
-      **index, task.options,
+      *backend, task.options,
       [&sink](const Pattern& pattern, uint64_t support) {
         return sink.Consume(pattern, support);
       },
       &stats, PoolFor(task.options.num_threads));
-  return FromIterStats("full-patterns", stats, build_seconds);
+  RunReport report = FromIterStats("full-patterns", stats, build_seconds);
+  report.backend = backend->name();
+  return report;
 }
 
 Result<RunReport> Engine::Mine(const ClosedTask& task,
                                PatternSink& sink) const {
   SPECMINE_RETURN_NOT_OK(Begin(task));
   double build_seconds = 0.0;
-  Result<const PositionIndex*> index = EnsureIndex(&build_seconds);
-  if (!index.ok()) return index.status();
+  Result<CountingBackend> backend =
+      EnsureBackend(task.options.backend, &build_seconds);
+  if (!backend.ok()) return backend.status();
   IterMinerStats stats;
-  PatternSet mined = MineClosedIterative(**index, task.options, &stats,
+  PatternSet mined = MineClosedIterative(*backend, task.options, &stats,
                                          PoolFor(task.options.num_threads));
   RunReport report = FromIterStats("closed-patterns", stats, build_seconds);
+  report.backend = backend->name();
   bool stopped = false;
   report.patterns_emitted = DeliverPatterns(mined, sink, &stopped);
   report.truncated = report.truncated || stopped;
@@ -213,12 +251,14 @@ Result<RunReport> Engine::Mine(const GeneratorsTask& task,
                                PatternSink& sink) const {
   SPECMINE_RETURN_NOT_OK(Begin(task));
   double build_seconds = 0.0;
-  Result<const PositionIndex*> index = EnsureIndex(&build_seconds);
-  if (!index.ok()) return index.status();
+  Result<CountingBackend> backend =
+      EnsureBackend(task.options.backend, &build_seconds);
+  if (!backend.ok()) return backend.status();
   IterMinerStats stats;
   PatternSet mined = MineIterativeGenerators(
-      **index, task.options, &stats, PoolFor(task.options.num_threads));
+      *backend, task.options, &stats, PoolFor(task.options.num_threads));
   RunReport report = FromIterStats("generators", stats, build_seconds);
+  report.backend = backend->name();
   bool stopped = false;
   report.patterns_emitted = DeliverPatterns(mined, sink, &stopped);
   report.truncated = report.truncated || stopped;
@@ -228,25 +268,63 @@ Result<RunReport> Engine::Mine(const GeneratorsTask& task,
 // ---------------------------------------------------------------------------
 // The sharded execution path.
 
-Status Engine::EnsureShardIndexes(double* build_seconds, ThreadPool* pool,
-                                  size_t num_threads) const {
+Status Engine::EnsureShardBackends(BackendChoice choice,
+                                   std::vector<CountingBackend>* backends,
+                                   double* build_seconds, ThreadPool* pool,
+                                   size_t num_threads) const {
   *build_seconds = 0.0;
-  if (!shard_indexes_.empty() || shard_set_->num_shards() == 0) {
-    return Status::OK();
+  backends->clear();
+  const size_t num_shards = shard_set_->num_shards();
+  if (num_shards == 0) return Status::OK();
+  // Resolve the representation per shard — the chooser runs on each
+  // shard's own density, so a corpus mixing dense protocol modules with
+  // sparse ones gets the right physical layout for each.
+  std::vector<BackendKind> kinds(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    kinds[i] = ResolveBackendKind(choice, shard_set_->shard(i));
+    if (kinds[i] == BackendKind::kBitmap) {
+      SPECMINE_RETURN_NOT_OK(CheckBitmapIndexable(shard_set_->shard(i)));
+    }
   }
-  Stopwatch sw;
-  std::vector<std::unique_ptr<PositionIndex>> built(shard_set_->num_shards());
-  auto build_one = [&](size_t i) {
-    built[i] = std::make_unique<PositionIndex>(shard_set_->shard(i));
-  };
-  if (num_threads > 1 && built.size() > 1) {
-    ThreadPool::ParallelForShared(pool, num_threads, built.size(),
-                                  build_one);
-  } else {
-    for (size_t i = 0; i < built.size(); ++i) build_one(i);
+  if (shard_indexes_.empty()) shard_indexes_.resize(num_shards);
+  if (shard_bitmap_indexes_.empty()) {
+    shard_bitmap_indexes_.resize(num_shards);
   }
-  shard_indexes_ = std::move(built);
-  *build_seconds = sw.ElapsedSeconds();
+  // Build whatever is missing, one job per shard on the session pool.
+  // Slots are distinct, so the fan-out needs no locking.
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < num_shards; ++i) {
+    if (kinds[i] == BackendKind::kCsr ? shard_indexes_[i] == nullptr
+                                      : shard_bitmap_indexes_[i] == nullptr) {
+      missing.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    Stopwatch sw;
+    auto build_one = [&](size_t m) {
+      const size_t i = missing[m];
+      if (kinds[i] == BackendKind::kCsr) {
+        shard_indexes_[i] =
+            std::make_unique<PositionIndex>(shard_set_->shard(i));
+      } else {
+        shard_bitmap_indexes_[i] =
+            std::make_unique<BitmapIndex>(shard_set_->shard(i));
+      }
+    };
+    if (num_threads > 1 && missing.size() > 1) {
+      ThreadPool::ParallelForShared(pool, num_threads, missing.size(),
+                                    build_one);
+    } else {
+      for (size_t m = 0; m < missing.size(); ++m) build_one(m);
+    }
+    *build_seconds = sw.ElapsedSeconds();
+  }
+  backends->reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    backends->push_back(kinds[i] == BackendKind::kCsr
+                            ? CountingBackend(*shard_indexes_[i])
+                            : CountingBackend(*shard_bitmap_indexes_[i]));
+  }
   return Status::OK();
 }
 
@@ -261,16 +339,23 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
   const size_t num_threads =
       ThreadPool::ResolveThreads(task.options.num_threads);
   double build_seconds = 0.0;
-  SPECMINE_RETURN_NOT_OK(
-      EnsureShardIndexes(&build_seconds, pool, num_threads));
-  std::vector<const PositionIndex*> indexes;
-  indexes.reserve(shard_indexes_.size());
-  for (const auto& index : shard_indexes_) indexes.push_back(index.get());
+  std::vector<CountingBackend> backends;
+  SPECMINE_RETURN_NOT_OK(EnsureShardBackends(
+      task.options.backend, &backends, &build_seconds, pool, num_threads));
   ShardExecStats stats;
   PatternSet mined =
-      MineShardedFull(*shard_set_, indexes, task.options, &stats, pool);
+      MineShardedFull(*shard_set_, backends, task.options, &stats, pool);
   RunReport report;
   report.task = "full-patterns-sharded";
+  if (!backends.empty()) {
+    report.backend = backends.front().name();
+    for (const CountingBackend& b : backends) {
+      if (b.kind() != backends.front().kind()) {
+        report.backend = "mixed";
+        break;
+      }
+    }
+  }
   report.nodes_visited = stats.nodes_visited;
   report.index_build_seconds = build_seconds;
   report.mine_seconds = stats.mine_seconds;
@@ -296,15 +381,35 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
 
 Result<RunReport> Engine::Mine(const RulesTask& task, RuleSink& sink) const {
   SPECMINE_RETURN_NOT_OK(Begin(task));
-  Stopwatch sw;
-  RuleMinerStats stats;
-  RuleSet mined =
-      task.backward
-          ? MineBackwardRules(*db_, task.options, &stats)
-          : MineRecurrentRules(*db_, task.options, &stats,
-                               PoolFor(task.options.num_threads));
+  double build_seconds = 0.0;
   RunReport report;
+  RuleMinerStats stats;
+  Stopwatch sw;
+  RuleSet mined;
+  if (task.backward) {
+    // Backward rules mine the *reversed* database, which the session's
+    // forward indexes do not cover — the scalar path stands.
+    mined = MineBackwardRules(*db_, task.options, &stats);
+  } else if (ResolveBackendKind(task.options.backend, *db_) ==
+                 BackendKind::kCsr &&
+             !task.options.non_redundant) {
+    // With maximality pruning off the CSR arms all reduce to the scalar
+    // scans — don't pay for an index this run would never consult.
+    mined = MineRecurrentRules(*db_, task.options, &stats,
+                               PoolFor(task.options.num_threads));
+    report.backend = BackendKindName(BackendKind::kCsr);
+  } else {
+    Result<CountingBackend> backend =
+        EnsureBackend(task.options.backend, &build_seconds);
+    if (!backend.ok()) return backend.status();
+    sw.Restart();  // Report the build separately from the mining time.
+    mined = MineRecurrentRules(*db_, task.options, &stats,
+                               PoolFor(task.options.num_threads),
+                               &*backend);
+    report.backend = backend->name();
+  }
   report.task = task.backward ? "backward-rules" : "rules";
+  report.index_build_seconds = build_seconds;
   report.premises_enumerated = stats.premises_enumerated;
   report.candidate_rules = stats.candidate_rules;
   report.truncated = stats.truncated;

@@ -34,6 +34,7 @@
 #include "src/engine/run_report.h"
 #include "src/engine/sinks.h"
 #include "src/engine/tasks.h"
+#include "src/itermine/counting_backend.h"
 #include "src/seqmine/prefixspan.h"
 #include "src/support/status.h"
 #include "src/support/thread_pool.h"
@@ -79,7 +80,10 @@ class Engine {
   /// The merged arena is materialized eagerly (O(total events) RAM) even
   /// for sessions that only call MineSharded; deferring it so a
   /// shards-only session stays at O(dictionary) resident — the shards
-  /// themselves are already mmap'ed views — is known future work.
+  /// themselves are already mmap'ed views — is known future work. The
+  /// natural seam for it is the CountingBackend layer (counting_backend.h):
+  /// a lazy merged *backend* over the per-shard indexes would give the
+  /// regular tasks the merged view without ever materializing the arena.
   static Result<Engine> FromShardSet(const std::string& path);
 
   /// \brief Writes the session's database as a .smdb file at \p path.
@@ -158,21 +162,40 @@ class Engine {
   // -------------------------------------------------------------------------
   // Cached infrastructure (exposed for advanced callers and tests).
 
-  /// \brief The session's position index, building it on first use. The
-  /// checked factories guarantee this cannot fail; after the unchecked
+  /// \brief The session's CSR position index, building it on first use.
+  /// The checked factories guarantee this cannot fail; after the unchecked
   /// constructor, prefer Mine (which reports indexability errors as
-  /// Status) before touching this.
+  /// Status) before touching this. Note the session may instead (or also)
+  /// carry a bitmap index — see backend().
   const PositionIndex& index() const;
 
-  /// \brief How many times this session has built its index (1 after any
-  /// index-backed task ran; never more — the cache assertion the tests
-  /// pin down).
+  /// \brief The session's counting backend for \p choice, building the
+  /// physical index on first use (kAuto resolves via ChooseBackendKind).
+  /// Both representations cache independently, so a session mixing
+  /// explicit csr and bitmap tasks builds each at most once. Like
+  /// index(), this accessor aborts if the build fails — which for kAuto /
+  /// kCsr the checked factories make unreachable, but an explicit
+  /// kBitmap request beyond the 1 GB table cap does fail; for untrusted
+  /// sizes run a Mine task instead, which reports the same condition as
+  /// an OutOfRange Status.
+  CountingBackend backend(BackendChoice choice = BackendChoice::kAuto) const;
+
+  /// \brief How many physical index builds (CSR or bitmap) this session
+  /// has paid for — at most one per representation; a single-backend
+  /// session stays at 1 however many tasks it runs (the cache assertion
+  /// the tests pin down).
   size_t index_builds() const { return index_builds_; }
 
  private:
-  // Builds (once) and returns the cached index; *build_seconds receives
-  // the construction time if this call built it, else 0.
+  // Builds (once) and returns the cached CSR index; *build_seconds
+  // receives the construction time if this call built it, else 0.
   Result<const PositionIndex*> EnsureIndex(double* build_seconds) const;
+
+  // Resolves \p choice and returns a backend over the cached physical
+  // index of that kind, building it on first use; *build_seconds receives
+  // the construction time if this call built it, else 0.
+  Result<CountingBackend> EnsureBackend(BackendChoice choice,
+                                        double* build_seconds) const;
 
   // The shared pool for \p requested_threads (options-style: 0 = hardware
   // concurrency). Returns nullptr when the resolved count is 1
@@ -188,11 +211,15 @@ class Engine {
   template <typename Task>
   Status Begin(const Task& task) const;
 
-  // Builds (once) the cached per-shard indexes — one job per shard on
-  // \p pool when \p num_threads allows; *build_seconds receives the
-  // wall-clock construction time if this call built them, else 0.
-  Status EnsureShardIndexes(double* build_seconds, ThreadPool* pool,
-                            size_t num_threads) const;
+  // Fills *backends with one counting backend per shard (kinds resolved
+  // per shard — the chooser runs on each shard's own shape), building any
+  // missing physical index — one job per shard on \p pool when
+  // \p num_threads allows; *build_seconds receives the wall-clock
+  // construction time if this call built anything, else 0.
+  Status EnsureShardBackends(BackendChoice choice,
+                             std::vector<CountingBackend>* backends,
+                             double* build_seconds, ThreadPool* pool,
+                             size_t num_threads) const;
 
   // unique_ptr keeps the database (and so the index's back-pointer)
   // address-stable across Engine moves. For FromBinaryFile sessions db_ is
@@ -203,7 +230,11 @@ class Engine {
   std::unique_ptr<ShardedDatabase> shard_set_;
   std::unique_ptr<SequenceDatabase> db_;
   mutable std::unique_ptr<PositionIndex> index_;
+  mutable std::unique_ptr<BitmapIndex> bitmap_index_;
+  // Per-shard physical indexes; a slot is filled lazily when a sharded
+  // task resolves that shard to the corresponding kind.
   mutable std::vector<std::unique_ptr<PositionIndex>> shard_indexes_;
+  mutable std::vector<std::unique_ptr<BitmapIndex>> shard_bitmap_indexes_;
   mutable std::unique_ptr<UnitDatabase> units_;
   mutable std::unique_ptr<ThreadPool> pool_;
   mutable size_t index_builds_ = 0;

@@ -14,6 +14,7 @@ std::string RunReport::ToString() const {
   if (candidate_rules != 0) os << " candidates=" << candidate_rules;
   if (subtrees_pruned != 0) os << " pruned=" << subtrees_pruned;
   if (truncated) os << " truncated";
+  if (!backend.empty()) os << " backend=" << backend;
   os << " index=" << index_build_seconds << "s mine=" << mine_seconds << "s";
   return os.str();
 }

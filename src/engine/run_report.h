@@ -30,9 +30,16 @@ struct RunReport {
   size_t subtrees_pruned = 0;      ///< Closed miner: P1-P3 subtree prunes.
   bool truncated = false;          ///< A cap or the sink stopped the run.
 
-  /// PositionIndex construction time spent by *this* call. 0 when the
-  /// session's cached index was reused (or the task needs no index) — the
-  /// session-reuse signal the engine tests assert on.
+  /// The physical counting representation the run used: "csr", "bitmap",
+  /// "mixed" (sharded runs whose shards resolved differently), or empty
+  /// for tasks that use no counting index (sequential, episodes,
+  /// two-event, backward rules).
+  std::string backend;
+
+  /// Physical index (CSR or bitmap) construction time spent by *this*
+  /// call. 0 when the session's cached index was reused (or the task
+  /// needs no index) — the session-reuse signal the engine tests assert
+  /// on.
   double index_build_seconds = 0.0;
   /// Mining wall-clock (everything after index construction).
   double mine_seconds = 0.0;

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/itermine/bitmap_projection.h"
 #include "src/itermine/qre_verifier.h"
 #include "src/support/stopwatch.h"
 #include "src/support/thread_pool.h"
@@ -64,7 +65,7 @@ uint64_t ShardInstanceBound(const std::vector<uint64_t>& occ,
 // skipped. For modular corpora with (near-)disjoint shard alphabets the
 // cross term is ~0 and each shard effectively mines at the full global
 // threshold.
-void MineOneShard(const ShardedDatabase& set, const PositionIndex& index,
+void MineOneShard(const ShardedDatabase& set, const CountingBackend& backend,
                   size_t shard, const IterMinerOptions& options,
                   uint64_t local_threshold, const OccurrenceTable& occ,
                   ShardResult* out) {
@@ -77,7 +78,7 @@ void MineOneShard(const ShardedDatabase& set, const PositionIndex& index,
   std::vector<EventId> merged_ids;
   IterMinerStats stats;
   ScanFrequentIterative(
-      index, local,
+      backend, local,
       [&](const Pattern& pattern, uint64_t support) {
         merged_ids.clear();
         merged_ids.reserve(pattern.size());
@@ -103,7 +104,7 @@ void MineOneShard(const ShardedDatabase& set, const PositionIndex& index,
 }  // namespace
 
 PatternSet MineShardedFull(const ShardedDatabase& set,
-                           const std::vector<const PositionIndex*>& indexes,
+                           const std::vector<CountingBackend>& backends,
                            const IterMinerOptions& options,
                            ShardExecStats* stats, ThreadPool* pool) {
   ShardExecStats local_stats;
@@ -127,7 +128,7 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
     const std::vector<EventId>& remap = set.remap(j);
     for (size_t local_ev = 0; local_ev < remap.size(); ++local_ev) {
       occ[j][remap[local_ev]] =
-          indexes[j]->TotalCount(static_cast<EventId>(local_ev));
+          backends[j].TotalCount(static_cast<EventId>(local_ev));
     }
   }
 
@@ -136,7 +137,7 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
   // identical at every thread count.
   std::vector<ShardResult> results(num_shards);
   auto mine_shard = [&](size_t i) {
-    MineOneShard(set, *indexes[i], i, options,
+    MineOneShard(set, backends[i], i, options,
                  LocalThreshold(options.min_support,
                                 set.shard(i).TotalEvents(), total_weight),
                  occ, &results[i]);
@@ -185,6 +186,10 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
   constexpr uint64_t kNeedsRecount = ~uint64_t{0};
   auto count_candidate = [&](size_t c) {
     const Pattern& pattern = *candidates[c];
+    // Workers run candidates concurrently, so the recount scratch (the
+    // alphabet-union row) is per thread, not per candidate — recounts
+    // stay allocation-free after each worker's first.
+    thread_local QreRecountScratch recount;
     // One pass over the shards: exact counts where phase 1 reported the
     // pattern, the occurrence cap elsewhere (cached so the recount loop
     // repeats no lookups).
@@ -216,7 +221,7 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
         local_ids[k] = to_local[i][pattern[k]];
       }
       recounts.fetch_add(1, std::memory_order_relaxed);
-      total += CountInstances(Pattern(local_ids), set.shard(i));
+      total += CountInstances(backends[i], Pattern(local_ids), &recount);
     }
     totals[c] = total;
   };

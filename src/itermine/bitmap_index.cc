@@ -1,0 +1,80 @@
+#include "src/itermine/bitmap_index.h"
+
+#include <string>
+
+namespace specmine {
+
+namespace {
+
+// Auto-chooser thresholds (documented in docs/architecture.md, "Counting
+// backends"). kMinMeanOccurrences is the density gate: below it most row
+// words are empty and word-wise scans lose to the CSR position lists.
+constexpr double kMinMeanOccurrences = 8.0;
+constexpr size_t kMaxAutoTableBytes = size_t{256} << 20;  // 256 MB.
+constexpr size_t kMaxTableBytes = size_t{1} << 30;        // 1 GB, hard cap.
+
+size_t TableBytes(const SequenceDatabase& db) {
+  const size_t words = (db.TotalEvents() + 63) / 64;
+  return db.dictionary().size() * words * sizeof(uint64_t);
+}
+
+}  // namespace
+
+const char* BackendKindName(BackendKind kind) {
+  return kind == BackendKind::kBitmap ? "bitmap" : "csr";
+}
+
+BackendKind ChooseBackendKind(const SequenceDatabase& db) {
+  const size_t num_events = db.dictionary().size();
+  const size_t total = db.TotalEvents();
+  if (num_events == 0 || total == 0) return BackendKind::kCsr;
+  if (TableBytes(db) > kMaxAutoTableBytes) return BackendKind::kCsr;
+  const double mean_occurrences =
+      static_cast<double>(total) / static_cast<double>(num_events);
+  return mean_occurrences >= kMinMeanOccurrences ? BackendKind::kBitmap
+                                                 : BackendKind::kCsr;
+}
+
+Status CheckBitmapIndexable(const SequenceDatabase& db) {
+  const size_t bytes = TableBytes(db);
+  if (bytes > kMaxTableBytes) {
+    return Status::OutOfRange(
+        "bitmap backend table would need " + std::to_string(bytes) +
+        " bytes (" + std::to_string(db.dictionary().size()) + " events x " +
+        std::to_string(db.TotalEvents()) +
+        " positions); use the csr backend for this database");
+  }
+  return Status::OK();
+}
+
+BitmapIndex::BitmapIndex(const SequenceDatabase& db)
+    : db_(&db),
+      num_events_(db.dictionary().size()),
+      words_((db.TotalEvents() + 63) / 64) {
+  bits_.assign(num_events_ * words_, 0);
+  total_counts_.assign(num_events_, 0);
+  sequence_counts_.assign(num_events_, 0);
+  const EventId* arena = db.arena();
+  const size_t total = db.TotalEvents();
+  for (size_t g = 0; g < total; ++g) {
+    const EventId ev = arena[g];
+    if (ev >= num_events_) continue;  // Defensive; ids come from dict.
+    bits_[static_cast<size_t>(ev) * words_ + (g >> 6)] |= uint64_t{1}
+                                                          << (g & 63);
+    ++total_counts_[ev];
+  }
+  // Sequence counts: one pass per sequence over its bit range per touched
+  // event is overkill; a scalar sweep with a last-seen stamp is O(total).
+  std::vector<SeqId> last_seen(num_events_, ~SeqId{0});
+  const uint64_t* offsets = db.offsets();
+  for (SeqId s = 0; s < db.size(); ++s) {
+    for (size_t g = offsets[s]; g < offsets[s + 1]; ++g) {
+      const EventId ev = arena[g];
+      if (ev >= num_events_ || last_seen[ev] == s) continue;
+      last_seen[ev] = s;
+      ++sequence_counts_[ev];
+    }
+  }
+}
+
+}  // namespace specmine

@@ -12,7 +12,7 @@ namespace {
 
 struct Ctx {
   const SequenceDatabase* db;
-  const PositionIndex* index;
+  const CountingBackend* backend;
   const ClosedIterMinerOptions* options;
   PatternSet* out;
   IterMinerStats* stats;
@@ -28,7 +28,7 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
   // projection for pruned subtrees. The result buffer lives in the
   // workspace and is fully consumed before any recursive call.
   const BackwardExtensionMap& backward =
-      BackwardExtensions(*ctx->index, pattern, instances, ctx->ws);
+      BackwardExtensions(*ctx->backend, pattern, instances, ctx->ws);
   bool backward_absorbed = false;
   for (const auto& [ev, ext] : backward) {
     if (ext.support != support) continue;
@@ -43,7 +43,7 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
   }
 
   ForwardExtensionMap forward = ctx->ws->AcquireMap();
-  ForwardExtensions(*ctx->index, pattern, instances, ctx->ws, &forward);
+  ForwardExtensions(*ctx->backend, pattern, instances, ctx->ws, &forward);
   bool forward_absorbed = false;
   for (const auto& [ev, ext_instances] : forward) {
     if (ext_instances.size() == support) {
@@ -84,13 +84,13 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
 
 }  // namespace
 
-PatternSet MineClosedIterative(const PositionIndex& index,
+PatternSet MineClosedIterative(const CountingBackend& backend,
                                const ClosedIterMinerOptions& options,
                                IterMinerStats* stats, ThreadPool* pool) {
   IterMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = IterMinerStats{};
-  const SequenceDatabase& db = index.db();
+  const SequenceDatabase& db = backend.db();
   PatternSet out;
   Stopwatch sw;
   const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
@@ -100,7 +100,7 @@ PatternSet MineClosedIterative(const PositionIndex& index,
     // emission order (and stats) exactly — the closed miner has no
     // truncation or external pruning callback.
     const std::vector<EventId> roots =
-        FrequentRoots(index, options.min_support);
+        FrequentRoots(backend, options.min_support);
     struct Job {
       PatternSet out;
       IterMinerStats stats;
@@ -113,9 +113,9 @@ PatternSet MineClosedIterative(const PositionIndex& index,
     ThreadPool::ParallelForShared(pool, num_threads, roots.size(),
                                   [&](size_t i) {
       Job& job = *jobs[i];
-      Ctx ctx{&db, &index, &options, &job.out, &job.stats, &job.ws};
+      Ctx ctx{&db, &backend, &options, &job.out, &job.stats, &job.ws};
       Pattern p{roots[i]};
-      Grow(&ctx, p, SingleEventInstances(index, roots[i]));
+      Grow(&ctx, p, SingleEventInstances(backend, roots[i]));
     });
     for (const auto& job : jobs) {
       stats->nodes_visited += job->stats.nodes_visited;
@@ -129,14 +129,20 @@ PatternSet MineClosedIterative(const PositionIndex& index,
     return out;
   }
   ProjectionWorkspace ws;
-  Ctx ctx{&db, &index, &options, &out, stats, &ws};
-  for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
-    if (index.TotalCount(ev) < options.min_support) continue;
+  Ctx ctx{&db, &backend, &options, &out, stats, &ws};
+  for (EventId ev = 0; ev < backend.num_events(); ++ev) {
+    if (backend.TotalCount(ev) < options.min_support) continue;
     Pattern p{ev};
-    Grow(&ctx, p, SingleEventInstances(index, ev));
+    Grow(&ctx, p, SingleEventInstances(backend, ev));
   }
   stats->mine_seconds = sw.ElapsedSeconds();
   return out;
+}
+
+PatternSet MineClosedIterative(const PositionIndex& index,
+                               const ClosedIterMinerOptions& options,
+                               IterMinerStats* stats, ThreadPool* pool) {
+  return MineClosedIterative(CountingBackend(index), options, stats, pool);
 }
 
 PatternSet MineClosedIterative(const SequenceDatabase& db,
@@ -144,10 +150,20 @@ PatternSet MineClosedIterative(const SequenceDatabase& db,
                                IterMinerStats* stats) {
   IterMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  const BackendKind kind = ResolveBackendKindClamped(options.backend, db);
   Stopwatch sw;
+  if (kind == BackendKind::kBitmap) {
+    BitmapIndex index(db);
+    const double index_build_seconds = sw.ElapsedSeconds();
+    PatternSet out =
+        MineClosedIterative(CountingBackend(index), options, stats, nullptr);
+    stats->index_build_seconds = index_build_seconds;
+    return out;
+  }
   PositionIndex index(db);
   const double index_build_seconds = sw.ElapsedSeconds();
-  PatternSet out = MineClosedIterative(index, options, stats, nullptr);
+  PatternSet out =
+      MineClosedIterative(CountingBackend(index), options, stats, nullptr);
   stats->index_build_seconds = index_build_seconds;
   return out;
 }

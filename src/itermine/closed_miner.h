@@ -39,6 +39,8 @@ namespace specmine {
 struct ClosedIterMinerOptions {
   /// Minimum number of instances (absolute).
   uint64_t min_support = 1;
+  /// Physical counting representation (see IterMinerOptions::backend).
+  BackendChoice backend = BackendChoice::kAuto;
   /// Maximum pattern length; 0 means unbounded.
   size_t max_length = 0;
   /// Enable the sound P1 subtree prune.
@@ -77,6 +79,13 @@ PatternSet MineClosedIterative(const SequenceDatabase& db,
 /// database). stats->index_build_seconds is left at 0; \p pool, when
 /// non-null and matching the resolved thread count, runs the fan-out.
 PatternSet MineClosedIterative(const PositionIndex& index,
+                               const ClosedIterMinerOptions& options,
+                               IterMinerStats* stats = nullptr,
+                               ThreadPool* pool = nullptr);
+
+/// \brief Backend-reusing variant: mines over either physical counting
+/// representation (the PositionIndex overload wraps the CSR one).
+PatternSet MineClosedIterative(const CountingBackend& backend,
                                const ClosedIterMinerOptions& options,
                                IterMinerStats* stats = nullptr,
                                ThreadPool* pool = nullptr);

@@ -1,0 +1,96 @@
+// CountingBackend: the physical-representation seam between the miners
+// and their counting structure. One handle wraps either the horizontal
+// CSR PositionIndex or the vertical BitmapIndex; the projection engine,
+// the QRE recount, and the occurrence counters dispatch on kind() once
+// per query (never per position), so the CSR paths compile to exactly the
+// pre-seam code and stay byte-identical.
+//
+// A CountingBackend is a tagged pointer pair — copy it by value. The
+// wrapped index (and its database) must outlive every copy.
+
+#ifndef SPECMINE_ITERMINE_COUNTING_BACKEND_H_
+#define SPECMINE_ITERMINE_COUNTING_BACKEND_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "src/itermine/bitmap_index.h"
+#include "src/trace/position_index.h"
+
+namespace specmine {
+
+/// \brief A borrowed handle to one physical counting representation.
+class CountingBackend {
+ public:
+  /// \brief Wraps the CSR position index (the default representation).
+  explicit CountingBackend(const PositionIndex& csr) : csr_(&csr) {}
+
+  /// \brief Wraps the vertical bitmap index.
+  explicit CountingBackend(const BitmapIndex& bitmap) : bitmap_(&bitmap) {}
+
+  /// \brief Which representation this handle wraps.
+  BackendKind kind() const {
+    return bitmap_ != nullptr ? BackendKind::kBitmap : BackendKind::kCsr;
+  }
+
+  /// \brief Short name for reports ("csr" / "bitmap").
+  const char* name() const { return BackendKindName(kind()); }
+
+  /// \brief The wrapped CSR index; kind() must be kCsr.
+  const PositionIndex& csr() const {
+    assert(csr_ != nullptr);
+    return *csr_;
+  }
+
+  /// \brief The wrapped bitmap index; kind() must be kBitmap.
+  const BitmapIndex& bitmap() const {
+    assert(bitmap_ != nullptr);
+    return *bitmap_;
+  }
+
+  /// \brief The indexed database.
+  const SequenceDatabase& db() const {
+    return bitmap_ != nullptr ? bitmap_->db() : csr_->db();
+  }
+
+  /// \brief Number of distinct events the backend knows about.
+  size_t num_events() const {
+    return bitmap_ != nullptr ? bitmap_->num_events() : csr_->num_events();
+  }
+
+  /// \brief Total occurrences of \p ev across the database.
+  uint64_t TotalCount(EventId ev) const {
+    return bitmap_ != nullptr ? bitmap_->TotalCount(ev)
+                              : csr_->TotalCount(ev);
+  }
+
+  /// \brief Number of sequences containing \p ev at least once.
+  size_t SequenceCount(EventId ev) const {
+    return bitmap_ != nullptr ? bitmap_->SequenceCount(ev)
+                              : csr_->SequenceCount(ev);
+  }
+
+  /// \brief True iff \p ev occurs in sequence \p seq within [lo, hi]
+  /// inclusive — the gap-freedom / insertion-window test. Returns false
+  /// when lo > hi.
+  bool AnyInRange(EventId ev, SeqId seq, Pos lo, Pos hi) const {
+    if (lo > hi) return false;
+    if (bitmap_ != nullptr) {
+      if (ev >= bitmap_->num_events()) return false;
+      const uint64_t* offsets = bitmap_->db().offsets();
+      const size_t base = offsets[seq];
+      size_t limit = base + hi + 1;
+      if (limit > offsets[seq + 1]) limit = offsets[seq + 1];
+      return BitmapIndex::AnyInRange(bitmap_->row(ev), base + lo, limit);
+    }
+    return csr_->CountInRange(ev, seq, lo, hi) > 0;
+  }
+
+ private:
+  const PositionIndex* csr_ = nullptr;
+  const BitmapIndex* bitmap_ = nullptr;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ITERMINE_COUNTING_BACKEND_H_

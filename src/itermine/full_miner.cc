@@ -11,7 +11,7 @@ namespace specmine {
 namespace {
 
 struct Ctx {
-  const PositionIndex* index;
+  const CountingBackend* backend;
   const IterMinerOptions* options;
   const std::function<bool(const Pattern&, uint64_t)>* sink;
   IterMinerStats* stats;
@@ -36,7 +36,7 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
     return;
   }
   ForwardExtensionMap extensions = ctx->ws->AcquireMap();
-  ForwardExtensions(*ctx->index, pattern, instances, ctx->ws, &extensions);
+  ForwardExtensions(*ctx->backend, pattern, instances, ctx->ws, &extensions);
   for (auto& [ev, ext_instances] : extensions) {
     if (ctx->stop) break;
     if (ext_instances.size() < ctx->options->min_support) continue;
@@ -59,7 +59,7 @@ struct Emission {
 };
 
 struct SubtreeJob {
-  const PositionIndex* index;
+  const CountingBackend* backend;
   const IterMinerOptions* options;
   ProjectionWorkspace ws;
   std::vector<Emission> emitted;  // DFS preorder.
@@ -79,7 +79,7 @@ struct SubtreeJob {
       return;
     }
     ForwardExtensionMap extensions = ws.AcquireMap();
-    ForwardExtensions(*index, pattern, instances, &ws, &extensions);
+    ForwardExtensions(*backend, pattern, instances, &ws, &extensions);
     for (auto& [ev, ext_instances] : extensions) {
       if (ext_instances.size() < options->min_support) continue;
       Grow(pattern.Extend(ev), ext_instances);
@@ -88,19 +88,21 @@ struct SubtreeJob {
   }
 };
 
-void ScanParallel(const PositionIndex& index, const IterMinerOptions& options,
-                  size_t num_threads, ThreadPool* pool,
+void ScanParallel(const CountingBackend& backend,
+                  const IterMinerOptions& options, size_t num_threads,
+                  ThreadPool* pool,
                   const std::function<bool(const Pattern&, uint64_t)>& sink,
                   IterMinerStats* stats) {
-  const std::vector<EventId> roots = FrequentRoots(index, options.min_support);
+  const std::vector<EventId> roots =
+      FrequentRoots(backend, options.min_support);
   std::vector<std::unique_ptr<SubtreeJob>> jobs(roots.size());
   for (size_t i = 0; i < roots.size(); ++i) {
     jobs[i] = std::make_unique<SubtreeJob>();
-    jobs[i]->index = &index;
+    jobs[i]->backend = &backend;
     jobs[i]->options = &options;
   }
   ThreadPool::ParallelForShared(pool, num_threads, roots.size(), [&](size_t i) {
-    jobs[i]->Grow(Pattern{roots[i]}, SingleEventInstances(index, roots[i]));
+    jobs[i]->Grow(Pattern{roots[i]}, SingleEventInstances(backend, roots[i]));
   });
   // Replay: a sink returning false skips every deeper emission that
   // follows (its subtree — preorder depth equals pattern length). Each
@@ -130,7 +132,7 @@ void ScanParallel(const PositionIndex& index, const IterMinerOptions& options,
 }  // namespace
 
 void ScanFrequentIterative(
-    const PositionIndex& index, const IterMinerOptions& options,
+    const CountingBackend& backend, const IterMinerOptions& options,
     const std::function<bool(const Pattern&, uint64_t)>& sink,
     IterMinerStats* stats, ThreadPool* pool) {
   IterMinerStats local_stats;
@@ -139,20 +141,26 @@ void ScanFrequentIterative(
   Stopwatch sw;
   const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
   if (num_threads > 1) {
-    ScanParallel(index, options, num_threads, pool, sink, stats);
+    ScanParallel(backend, options, num_threads, pool, sink, stats);
     stats->mine_seconds = sw.ElapsedSeconds();
     return;
   }
-  const SequenceDatabase& db = index.db();
   ProjectionWorkspace ws;
-  Ctx ctx{&index, &options, &sink, stats, &ws};
-  for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+  Ctx ctx{&backend, &options, &sink, stats, &ws};
+  for (EventId ev = 0; ev < backend.num_events(); ++ev) {
     if (ctx.stop) break;
-    if (index.TotalCount(ev) < options.min_support) continue;
+    if (backend.TotalCount(ev) < options.min_support) continue;
     Pattern p{ev};
-    Grow(&ctx, p, SingleEventInstances(index, ev));
+    Grow(&ctx, p, SingleEventInstances(backend, ev));
   }
   stats->mine_seconds = sw.ElapsedSeconds();
+}
+
+void ScanFrequentIterative(
+    const PositionIndex& index, const IterMinerOptions& options,
+    const std::function<bool(const Pattern&, uint64_t)>& sink,
+    IterMinerStats* stats, ThreadPool* pool) {
+  ScanFrequentIterative(CountingBackend(index), options, sink, stats, pool);
 }
 
 void ScanFrequentIterative(
@@ -161,25 +169,41 @@ void ScanFrequentIterative(
     IterMinerStats* stats) {
   IterMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  const BackendKind kind = ResolveBackendKindClamped(options.backend, db);
   Stopwatch sw;
+  if (kind == BackendKind::kBitmap) {
+    BitmapIndex index(db);
+    const double index_build_seconds = sw.ElapsedSeconds();
+    ScanFrequentIterative(CountingBackend(index), options, sink, stats,
+                          nullptr);
+    stats->index_build_seconds = index_build_seconds;
+    return;
+  }
   PositionIndex index(db);
   const double index_build_seconds = sw.ElapsedSeconds();
-  ScanFrequentIterative(index, options, sink, stats, nullptr);
+  ScanFrequentIterative(CountingBackend(index), options, sink, stats,
+                        nullptr);
   stats->index_build_seconds = index_build_seconds;
 }
 
-PatternSet MineFrequentIterative(const PositionIndex& index,
+PatternSet MineFrequentIterative(const CountingBackend& backend,
                                  const IterMinerOptions& options,
                                  IterMinerStats* stats, ThreadPool* pool) {
   PatternSet out;
   ScanFrequentIterative(
-      index, options,
+      backend, options,
       [&out](const Pattern& p, uint64_t support) {
         out.Add(p, support);
         return true;
       },
       stats, pool);
   return out;
+}
+
+PatternSet MineFrequentIterative(const PositionIndex& index,
+                                 const IterMinerOptions& options,
+                                 IterMinerStats* stats, ThreadPool* pool) {
+  return MineFrequentIterative(CountingBackend(index), options, stats, pool);
 }
 
 PatternSet MineFrequentIterative(const SequenceDatabase& db,

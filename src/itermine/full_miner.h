@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/itermine/counting_backend.h"
 #include "src/patterns/pattern_set.h"
 #include "src/trace/position_index.h"
 #include "src/trace/sequence_database.h"
@@ -20,6 +21,12 @@ class ThreadPool;
 struct IterMinerOptions {
   /// Minimum number of instances (absolute).
   uint64_t min_support = 1;
+  /// Physical counting representation: kAuto picks per database via
+  /// ChooseBackendKind (density x alphabet heuristic); kCsr / kBitmap
+  /// force one. Honored by the database-level entry points and the
+  /// Engine; the index-reusing overloads mine whatever index they are
+  /// handed. Output is byte-identical across backends.
+  BackendChoice backend = BackendChoice::kAuto;
   /// Maximum pattern length; 0 means unbounded.
   size_t max_length = 0;
   /// Safety valve for the full miner at very low thresholds: stop after
@@ -71,6 +78,13 @@ PatternSet MineFrequentIterative(const PositionIndex& index,
                                  IterMinerStats* stats = nullptr,
                                  ThreadPool* pool = nullptr);
 
+/// \brief Backend-reusing variant: mines over either physical counting
+/// representation (the PositionIndex overloads wrap the CSR one).
+PatternSet MineFrequentIterative(const CountingBackend& backend,
+                                 const IterMinerOptions& options,
+                                 IterMinerStats* stats = nullptr,
+                                 ThreadPool* pool = nullptr);
+
 /// \brief Callback variant: \p sink receives (pattern, support); return
 /// false to skip growing that pattern's subtree.
 ///
@@ -81,9 +95,15 @@ void ScanFrequentIterative(
     const std::function<bool(const Pattern&, uint64_t)>& sink,
     IterMinerStats* stats = nullptr);
 
-/// \brief Index-reusing callback variant (the Engine's workhorse).
+/// \brief Index-reusing callback variant.
 void ScanFrequentIterative(
     const PositionIndex& index, const IterMinerOptions& options,
+    const std::function<bool(const Pattern&, uint64_t)>& sink,
+    IterMinerStats* stats = nullptr, ThreadPool* pool = nullptr);
+
+/// \brief Backend-reusing callback variant (the Engine's workhorse).
+void ScanFrequentIterative(
+    const CountingBackend& backend, const IterMinerOptions& options,
     const std::function<bool(const Pattern&, uint64_t)>& sink,
     IterMinerStats* stats = nullptr, ThreadPool* pool = nullptr);
 

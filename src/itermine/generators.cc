@@ -1,9 +1,24 @@
 #include "src/itermine/generators.h"
 
+#include "src/itermine/bitmap_projection.h"
 #include "src/itermine/qre_verifier.h"
 #include "src/support/stopwatch.h"
 
 namespace specmine {
+
+namespace {
+
+bool IsGeneratorImpl(const CountingBackend& backend, const Pattern& pattern,
+                     uint64_t support, QreRecountScratch* scratch) {
+  for (size_t k = 0; k < pattern.size(); ++k) {
+    Pattern deleted = pattern.Erase(k);
+    if (deleted.empty()) continue;  // Length-1 patterns are generators.
+    if (CountInstances(backend, deleted, scratch) == support) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 bool IsIterativeGenerator(const SequenceDatabase& db, const Pattern& pattern,
                           uint64_t support) {
@@ -15,19 +30,28 @@ bool IsIterativeGenerator(const SequenceDatabase& db, const Pattern& pattern,
   return true;
 }
 
-PatternSet MineIterativeGenerators(const PositionIndex& index,
+bool IsIterativeGenerator(const CountingBackend& backend,
+                          const Pattern& pattern, uint64_t support) {
+  return IsGeneratorImpl(backend, pattern, support, nullptr);
+}
+
+PatternSet MineIterativeGenerators(const CountingBackend& backend,
                                    const IterGeneratorMinerOptions& options,
                                    IterMinerStats* stats, ThreadPool* pool) {
-  const SequenceDatabase& db = index.db();
   PatternSet out;
   IterMinerOptions scan;
   scan.min_support = options.min_support;
   scan.max_length = options.max_length;
   scan.num_threads = options.num_threads;
+  // The sink runs on the calling thread even under the parallel scan, so
+  // one recount scratch serves the whole run.
+  QreRecountScratch scratch;
   ScanFrequentIterative(
-      index, scan,
+      backend, scan,
       [&](const Pattern& p, uint64_t support) {
-        if (IsIterativeGenerator(db, p, support)) out.Add(p, support);
+        if (IsGeneratorImpl(backend, p, support, &scratch)) {
+          out.Add(p, support);
+        }
         // Unlike the sequential case, support equality with a deletion
         // does not propagate structurally to extensions under QRE
         // semantics, so subtrees are always grown.
@@ -37,15 +61,32 @@ PatternSet MineIterativeGenerators(const PositionIndex& index,
   return out;
 }
 
+PatternSet MineIterativeGenerators(const PositionIndex& index,
+                                   const IterGeneratorMinerOptions& options,
+                                   IterMinerStats* stats, ThreadPool* pool) {
+  return MineIterativeGenerators(CountingBackend(index), options, stats,
+                                 pool);
+}
+
 PatternSet MineIterativeGenerators(const SequenceDatabase& db,
                                    const IterGeneratorMinerOptions& options,
                                    IterMinerStats* stats) {
   IterMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  const BackendKind kind = ResolveBackendKindClamped(options.backend, db);
   Stopwatch sw;
+  if (kind == BackendKind::kBitmap) {
+    BitmapIndex index(db);
+    const double index_build_seconds = sw.ElapsedSeconds();
+    PatternSet out = MineIterativeGenerators(CountingBackend(index), options,
+                                             stats, nullptr);
+    stats->index_build_seconds = index_build_seconds;
+    return out;
+  }
   PositionIndex index(db);
   const double index_build_seconds = sw.ElapsedSeconds();
-  PatternSet out = MineIterativeGenerators(index, options, stats, nullptr);
+  PatternSet out = MineIterativeGenerators(CountingBackend(index), options,
+                                           stats, nullptr);
   stats->index_build_seconds = index_build_seconds;
   return out;
 }

@@ -26,6 +26,9 @@ namespace specmine {
 struct IterGeneratorMinerOptions {
   /// Minimum number of instances (absolute).
   uint64_t min_support = 1;
+  /// Physical counting representation (see IterMinerOptions::backend).
+  /// The deletion recounts run on the same backend as the scan.
+  BackendChoice backend = BackendChoice::kAuto;
   /// Maximum pattern length; 0 means unbounded.
   size_t max_length = 0;
   /// Worker threads for the underlying scan (0 = hardware concurrency,
@@ -49,10 +52,22 @@ PatternSet MineIterativeGenerators(const PositionIndex& index,
                                    IterMinerStats* stats = nullptr,
                                    ThreadPool* pool = nullptr);
 
+/// \brief Backend-reusing variant: mines over either physical counting
+/// representation (the PositionIndex overload wraps the CSR one).
+PatternSet MineIterativeGenerators(const CountingBackend& backend,
+                                   const IterGeneratorMinerOptions& options,
+                                   IterMinerStats* stats = nullptr,
+                                   ThreadPool* pool = nullptr);
+
 /// \brief True iff the one-event deletion check declares \p pattern a
 /// generator (exposed for tests and the ranking module).
 bool IsIterativeGenerator(const SequenceDatabase& db, const Pattern& pattern,
                           uint64_t support);
+
+/// \brief Backend-accelerated deletion check: identical verdicts, with
+/// the recounts on \p backend (word-wise under kBitmap).
+bool IsIterativeGenerator(const CountingBackend& backend,
+                          const Pattern& pattern, uint64_t support);
 
 }  // namespace specmine
 

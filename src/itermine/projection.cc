@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/itermine/bitmap_projection.h"
+
 namespace specmine {
 
 InstanceList SingleEventInstances(const PositionIndex& index, EventId ev) {
@@ -169,6 +171,46 @@ bool HasUniformInfixAbsorber(const SequenceDatabase& db,
   result = !common.empty();
   ws->profiles.Recycle(std::move(common));
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Backend dispatch: one branch per query, never per position.
+
+InstanceList SingleEventInstances(const CountingBackend& backend,
+                                  EventId ev) {
+  if (backend.kind() == BackendKind::kBitmap) {
+    return SingleEventInstancesBitmap(backend.bitmap(), ev);
+  }
+  return SingleEventInstances(backend.csr(), ev);
+}
+
+std::vector<EventId> FrequentRoots(const CountingBackend& backend,
+                                   uint64_t min_support) {
+  std::vector<EventId> roots;
+  for (EventId ev = 0; ev < backend.num_events(); ++ev) {
+    if (backend.TotalCount(ev) >= min_support) roots.push_back(ev);
+  }
+  return roots;
+}
+
+void ForwardExtensions(const CountingBackend& backend, const Pattern& pattern,
+                       const InstanceList& instances,
+                       ProjectionWorkspace* ws, ForwardExtensionMap* out) {
+  if (backend.kind() == BackendKind::kBitmap) {
+    ForwardExtensionsBitmap(backend.bitmap(), pattern, instances, ws, out);
+    return;
+  }
+  ForwardExtensions(backend.csr(), pattern, instances, ws, out);
+}
+
+const BackwardExtensionMap& BackwardExtensions(const CountingBackend& backend,
+                                               const Pattern& pattern,
+                                               const InstanceList& instances,
+                                               ProjectionWorkspace* ws) {
+  if (backend.kind() == BackendKind::kBitmap) {
+    return BackwardExtensionsBitmap(backend.bitmap(), pattern, instances, ws);
+  }
+  return BackwardExtensions(backend.csr(), pattern, instances, ws);
 }
 
 ForwardExtensionMap ForwardExtensions(const PositionIndex& index,

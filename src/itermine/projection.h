@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/itermine/counting_backend.h"
 #include "src/itermine/instance.h"
 #include "src/patterns/pattern.h"
 #include "src/support/event_marks.h"
@@ -57,6 +58,32 @@ struct BackwardExtension {
 /// \brief Supports of every one-event backward extension, sorted by event.
 using BackwardExtensionMap = EventMap<BackwardExtension>;
 
+/// \brief Scratch for the vertical (bitmap) projection arm: one alphabet
+/// union row over the event arena, a flat candidate buffer, and the
+/// per-event counting slots the scatter drain sizes buckets from. The
+/// buffers grow once and are reused; every reset is an O(1) epoch bump.
+struct BitmapProjectionScratch {
+  /// OR of the pattern events' rows, valid for the word range of the
+  /// sequence most recently prepared (the queries mask to that range).
+  std::vector<uint64_t> union_words;
+  /// Distinct pattern events (the rows joined into union_words).
+  std::vector<EventId> alphabet;
+
+  /// Forward-extension candidates in discovery order — the flat buffer
+  /// the drain scatters into exact-sized per-event buckets (discovery
+  /// order within an event IS the CSR bucket order, so no K-element sort
+  /// is ever needed).
+  struct ForwardCandidate {
+    EventId ev;
+    IterInstance inst;
+  };
+  std::vector<ForwardCandidate> forward;
+
+  /// Per-event candidate counts during the scan, then the event's entry
+  /// index in the output map during the scatter.
+  EpochSlots<uint32_t> slots;
+};
+
 /// \brief Reusable scratch space for the projection queries: dense mark
 /// sets, extension buckets and result buffers. One per mining thread;
 /// never shared concurrently.
@@ -64,6 +91,9 @@ struct ProjectionWorkspace {
   EventMarkSet alphabet;
   EventMarkSet seen;
   ExtensionAccumulator<IterInstance> forward;
+
+  // Scratch for the bitmap backend's word-wise queries (unused by CSR).
+  BitmapProjectionScratch bitmap;
 
   // Backward extensions: dense per-event slots, epoch-stamped, plus the
   // reused result buffer (consumed before the next call by construction).
@@ -135,6 +165,32 @@ BackwardExtensionMap BackwardExtensions(const PositionIndex& index,
 bool HasUniformInfixAbsorber(const SequenceDatabase& db,
                              const Pattern& pattern,
                              const InstanceList& instances);
+
+// ---------------------------------------------------------------------------
+// Backend-dispatching overloads: the seam the miners run through. Each
+// branches once on backend.kind() — kCsr lands in the functions above
+// unchanged, kBitmap in the word-wise arm (bitmap_projection.h). Outputs
+// are observationally identical across backends (entries, supports,
+// order), property-tested in tests/backend_equivalence_test.cc.
+
+/// \brief Instances of the single-event pattern <ev> on either backend.
+InstanceList SingleEventInstances(const CountingBackend& backend, EventId ev);
+
+/// \brief Frequent subtree roots on either backend (identical lists).
+std::vector<EventId> FrequentRoots(const CountingBackend& backend,
+                                   uint64_t min_support);
+
+/// \brief ForwardExtensions on either backend.
+void ForwardExtensions(const CountingBackend& backend, const Pattern& pattern,
+                       const InstanceList& instances,
+                       ProjectionWorkspace* ws, ForwardExtensionMap* out);
+
+/// \brief BackwardExtensions on either backend; the returned reference
+/// lives in \p ws either way.
+const BackwardExtensionMap& BackwardExtensions(const CountingBackend& backend,
+                                               const Pattern& pattern,
+                                               const InstanceList& instances,
+                                               ProjectionWorkspace* ws);
 
 }  // namespace specmine
 

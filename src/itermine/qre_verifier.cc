@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "src/itermine/bitmap_projection.h"
+
 namespace specmine {
 
 bool IsQreInstance(const Pattern& pattern, EventSpan seq, Pos start,
@@ -67,6 +69,20 @@ InstanceList FindAllInstances(const Pattern& pattern,
 
 uint64_t CountInstances(const Pattern& pattern, const SequenceDatabase& db) {
   return FindAllInstances(pattern, db).size();
+}
+
+uint64_t CountInstances(const CountingBackend& backend, const Pattern& pattern,
+                        QreRecountScratch* scratch) {
+  if (pattern.size() == 1) {
+    // Every occurrence of a single event is an instance — the indexes
+    // already hold the count (the generators' deletion recounts hit this
+    // constantly).
+    return backend.TotalCount(pattern[0]);
+  }
+  if (backend.kind() == BackendKind::kBitmap) {
+    return CountInstancesBitmap(backend.bitmap(), pattern, scratch);
+  }
+  return CountInstances(pattern, backend.db());
 }
 
 }  // namespace specmine

@@ -5,11 +5,14 @@
 #ifndef SPECMINE_ITERMINE_QRE_VERIFIER_H_
 #define SPECMINE_ITERMINE_QRE_VERIFIER_H_
 
+#include "src/itermine/counting_backend.h"
 #include "src/itermine/instance.h"
 #include "src/patterns/pattern.h"
 #include "src/trace/sequence_database.h"
 
 namespace specmine {
+
+struct QreRecountScratch;
 
 /// \brief True iff seq[start..end] matches the QRE
 /// p1;[-alphabet]*;p2;...;[-alphabet]*;pn of \p pattern, checked by direct
@@ -29,6 +32,13 @@ InstanceList FindAllInstances(const Pattern& pattern,
 
 /// \brief Instance count across the database (the paper's support).
 uint64_t CountInstances(const Pattern& pattern, const SequenceDatabase& db);
+
+/// \brief Backend-accelerated instance recount: identical to
+/// CountInstances(pattern, backend.db()). The CSR arm IS that oracle scan;
+/// the bitmap arm chain-walks first-set bits (bitmap_projection.h).
+/// \p scratch, when non-null, keeps recount loops allocation-free.
+uint64_t CountInstances(const CountingBackend& backend, const Pattern& pattern,
+                        QreRecountScratch* scratch = nullptr);
 
 }  // namespace specmine
 

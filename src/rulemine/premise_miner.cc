@@ -26,7 +26,8 @@ bool StemEnd(const Pattern& stem, EventSpan seq, Pos* end) {
 // occurrence of the last event falls in (stem_end, modified_stem_end].
 bool InsertionPreservesPoints(const SequenceDatabase& db,
                               const Pattern& stem, const Pattern& stem_ins,
-                              EventId last, const TemporalPointSet& points) {
+                              EventId last, const TemporalPointSet& points,
+                              const CountingBackend* backend) {
   for (SeqId s = 0; s < db.size(); ++s) {
     if (points.per_seq[s].empty()) continue;  // occ subset of empty: fine.
     const EventSpan seq = db[s];
@@ -37,6 +38,11 @@ bool InsertionPreservesPoints(const SequenceDatabase& db,
     // Any occurrence of `last` in (t, t_ins] is a point of the premise
     // that the extended premise loses.
     Pos from = (t == kNoPos) ? 0 : t + 1;
+    if (backend != nullptr) {
+      // One range-emptiness query instead of the scalar window scan.
+      if (backend->AnyInRange(last, s, from, t_ins)) return false;
+      continue;
+    }
     for (Pos p = from; p <= t_ins && p < seq.size(); ++p) {
       if (seq[p] == last) return false;
     }
@@ -61,7 +67,8 @@ struct InsertionScratch {
 bool InsertionEquivalentExists(const SequenceDatabase& db,
                                const Pattern& premise,
                                const TemporalPointSet& points,
-                               InsertionScratch* scratch) {
+                               InsertionScratch* scratch,
+                               const CountingBackend* backend) {
   const size_t n = premise.size();
   const EventId last = premise.last();
   Pattern stem(std::vector<EventId>(premise.events().begin(),
@@ -98,7 +105,8 @@ bool InsertionEquivalentExists(const SequenceDatabase& db,
     }
     for (EventId x : scratch->candidates) {
       Pattern stem_ins = stem.Insert(slot, x);
-      if (InsertionPreservesPoints(db, stem, stem_ins, last, points)) {
+      if (InsertionPreservesPoints(db, stem, stem_ins, last, points,
+                                   backend)) {
         return true;
       }
     }
@@ -111,7 +119,7 @@ bool InsertionEquivalentExists(const SequenceDatabase& db,
 void ScanPremises(
     const SequenceDatabase& db, const PremiseMinerOptions& options,
     const std::function<bool(const Pattern&, const TemporalPointSet&)>& sink,
-    SeqMinerStats* stats) {
+    SeqMinerStats* stats, const CountingBackend* backend) {
   UnitDatabase units = UnitDatabase::WholeSequences(db);
   SeqMinerOptions scan_options;
   scan_options.min_support = options.min_s_support;
@@ -123,7 +131,7 @@ void ScanPremises(
           const std::vector<uint32_t>& /*supporting*/) {
         TemporalPointSet points = ComputeTemporalPoints(p, db);
         if (options.maximality_pruning &&
-            InsertionEquivalentExists(db, p, points, &scratch)) {
+            InsertionEquivalentExists(db, p, points, &scratch, backend)) {
           // A point-equivalent longer premise exists; its rules dominate
           // this premise's rules under Definition 5.2, and the equivalence
           // propagates to every forward extension — prune the subtree.

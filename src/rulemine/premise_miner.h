@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/itermine/counting_backend.h"
 #include "src/patterns/pattern.h"
 #include "src/rulemine/temporal_points.h"
 #include "src/seqmine/prefixspan.h"
@@ -42,10 +43,15 @@ struct PremiseMinerOptions {
 /// \brief Enumerates premises; \p sink receives each premise with its
 /// temporal points. The sink's return value controls subtree growth
 /// (return false to stop growing — used for external budget caps).
+///
+/// \p backend, when non-null (and indexing \p db), accelerates the
+/// maximality pruning's insertion-window emptiness tests — a range query
+/// per (sequence, slot) instead of a scalar scan. Verdicts are identical
+/// with and without it.
 void ScanPremises(
     const SequenceDatabase& db, const PremiseMinerOptions& options,
     const std::function<bool(const Pattern&, const TemporalPointSet&)>& sink,
-    SeqMinerStats* stats = nullptr);
+    SeqMinerStats* stats = nullptr, const CountingBackend* backend = nullptr);
 
 }  // namespace specmine
 

@@ -22,7 +22,8 @@ struct PremiseJob {
   std::vector<Rule> rules;
 
   void Mine(const SequenceDatabase& db,
-            const ConsequentMinerOptions& consequent_options) {
+            const ConsequentMinerOptions& consequent_options,
+            const CountingBackend* backend) {
     const uint64_t total_points = points.TotalPoints();
     const uint64_t s_support = points.SupportingSequences();
     PatternSet consequents = MineConsequents(db, points, consequent_options);
@@ -34,7 +35,9 @@ struct PremiseJob {
       rule.s_support = s_support;
       rule.premise_points = total_points;
       rule.satisfied_points = post.support;
-      rule.i_support = CountOccurrences(rule.Concatenation(), db);
+      rule.i_support = backend != nullptr
+                           ? CountOccurrences(*backend, rule.Concatenation())
+                           : CountOccurrences(rule.Concatenation(), db);
       rules.push_back(std::move(rule));
     }
   }
@@ -50,7 +53,8 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
 
 RuleSet MineRecurrentRules(const SequenceDatabase& db,
                            const RuleMinerOptions& options,
-                           RuleMinerStats* stats, ThreadPool* pool) {
+                           RuleMinerStats* stats, ThreadPool* pool,
+                           const CountingBackend* backend) {
   RuleMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = RuleMinerStats{};
@@ -80,10 +84,11 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
           jobs.push_back(std::make_unique<PremiseJob>(
               PremiseJob{premise, points, {}}));
           return true;
-        });
+        },
+        nullptr, backend);
     ThreadPool::ParallelForShared(pool, num_threads, jobs.size(),
                                   [&](size_t i) {
-      jobs[i]->Mine(db, consequent_options);
+      jobs[i]->Mine(db, consequent_options, backend);
     });
     for (auto& job : jobs) {
       for (Rule& rule : job->rules) {
@@ -115,7 +120,10 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
             rule.s_support = s_support;
             rule.premise_points = total_points;
             rule.satisfied_points = post.support;
-            rule.i_support = CountOccurrences(rule.Concatenation(), db);
+            rule.i_support =
+                backend != nullptr
+                    ? CountOccurrences(*backend, rule.Concatenation())
+                    : CountOccurrences(rule.Concatenation(), db);
             candidates.Add(std::move(rule));
             ++stats->candidate_rules;
             if (options.max_rules != 0 &&
@@ -125,7 +133,8 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
             }
           }
           return !stats->truncated;
-        });
+        },
+        nullptr, backend);
   }
 
   // Step 4: instance-support filter.

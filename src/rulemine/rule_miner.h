@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "src/itermine/counting_backend.h"
 #include "src/rulemine/redundancy.h"
 #include "src/rulemine/rule.h"
 #include "src/trace/sequence_database.h"
@@ -32,6 +33,11 @@ struct RuleMinerOptions {
   RedundancyOptions redundancy;
   /// Safety valve: stop after this many candidate rules (0 = unbounded).
   size_t max_rules = 0;
+  /// Physical counting representation for the i-support occurrence counts
+  /// and the Step-1 insertion-window tests (see IterMinerOptions::backend).
+  /// Honored by the Engine, which passes its cached backend down; the free
+  /// functions run backend-free (scalar scans) unless handed one.
+  BackendChoice backend = BackendChoice::kAuto;
   /// Worker threads for per-premise consequent mining; 0 = hardware
   /// concurrency, 1 = sequential. Rule sets are identical at every
   /// setting; the parallel path is used only when max_rules == 0 (the
@@ -60,10 +66,13 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
 
 /// \brief Pool-reusing variant: \p pool, when non-null and matching the
 /// resolved thread count, runs the per-premise fan-out instead of a fresh
-/// pool per call.
+/// pool per call. \p backend, when non-null (and indexing \p db),
+/// accelerates the i-support occurrence counts and the premise
+/// maximality tests; the rule set is identical with and without it.
 RuleSet MineRecurrentRules(const SequenceDatabase& db,
                            const RuleMinerOptions& options,
-                           RuleMinerStats* stats, ThreadPool* pool);
+                           RuleMinerStats* stats, ThreadPool* pool,
+                           const CountingBackend* backend = nullptr);
 
 }  // namespace specmine
 

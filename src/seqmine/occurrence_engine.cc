@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/itermine/bitmap_projection.h"
+
 namespace specmine {
 
 Pos EarliestEmbeddingEnd(const Pattern& pattern, EventSpan seq,
@@ -59,6 +61,14 @@ size_t CountOccurrences(const Pattern& pattern, const SequenceDatabase& db) {
     n += OccurrencePoints(pattern, seq).size();
   }
   return n;
+}
+
+size_t CountOccurrences(const CountingBackend& backend,
+                        const Pattern& pattern) {
+  if (backend.kind() == BackendKind::kBitmap) {
+    return CountOccurrencesBitmap(backend.bitmap(), pattern);
+  }
+  return CountOccurrences(pattern, backend.db());
 }
 
 Pos LatestEmbeddingStart(const Pattern& pattern, EventSpan seq,

@@ -48,10 +48,11 @@ common options:
   per-shard path).
 
 mine-patterns: --min-sup F (0.5) | --full | --generators | --max-len N
-               --threads N (0 = all cores)
+               --threads N (0 = all cores) --backend {auto,csr,bitmap}
 mine-rules:    --min-ssup F (0.5) --min-conf F (0.9) --min-isup N (1)
                --full | --backward | --rank
                --max-pre N --max-post N --threads N (0 = all cores)
+               --backend {auto,csr,bitmap}
 mine-seq:      --min-sup F (0.5) | --closed | --generators | --max-len N
 mine-episodes: --minepi | --window N (10) --min-count N (1) --max-len N
 mine-pairs:    --min-sat F (1.0) --min-relevant N (1)
@@ -60,6 +61,13 @@ gen-quest:     --d F --c F --n F --s F --seed N
 All miners run through the specmine::Engine session API; invalid options
 and malformed trace files are reported as errors (non-zero exit), never
 mined around.
+
+--backend selects the physical counting representation: csr (horizontal
+position lists), bitmap (vertical word-packed occurrence rows), or auto
+(default; per-database density heuristic). Outputs are byte-identical
+across backends. Accepted by every mine-* command; mine-seq,
+mine-episodes and mine-pairs use no counting index, so there it only
+validates.
 )";
 
 // Minimal flag parser: positional arguments plus --flag [value] pairs.
@@ -122,6 +130,24 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+// Parses --backend into \p out; false (with a message) on a bad value.
+bool ParseBackendFlag(const Args& args, std::ostream& err,
+                      BackendChoice* out) {
+  const std::string value = args.Get("backend", "auto");
+  if (value.empty() || value == "auto") {
+    *out = BackendChoice::kAuto;
+  } else if (value == "csr") {
+    *out = BackendChoice::kCsr;
+  } else if (value == "bitmap") {
+    *out = BackendChoice::kBitmap;
+  } else {
+    err << "--backend must be auto, csr or bitmap (got '" << value
+        << "')\n";
+    return false;
+  }
+  return true;
+}
+
 // Opens an Engine session over the trace file named by \p path —
 // plain-text by default, CSV instrumentation records with --csv, a packed
 // binary database when the path ends in .smdb. Parse/validation errors
@@ -154,6 +180,8 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
   }
   const SequenceDatabase& db = engine->database();
   out << ComputeStats(db).ToString() << '\n';
+  out << "auto backend: " << BackendKindName(ChooseBackendKind(db))
+      << '\n';
   if (engine->sharded()) {
     const ShardedDatabase& set = engine->shard_set();
     out << set.num_shards() << " shards:\n";
@@ -246,6 +274,8 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
   }
   const uint64_t min_support =
       engine->AbsoluteSupport(args.GetDouble("min-sup", 0.5));
+  BackendChoice backend = BackendChoice::kAuto;
+  if (!ParseBackendFlag(args, err, &backend)) return 2;
   RunReport report;
   Result<PatternSet> mined = [&]() -> Result<PatternSet> {
     if (args.Has("generators")) {
@@ -253,6 +283,7 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
       task.options.min_support = min_support;
       task.options.max_length = args.GetUint("max-len", 0);
       task.options.num_threads = args.GetUint("threads", 0);
+      task.options.backend = backend;
       return engine->CollectPatterns(task, &report);
     }
     if (args.Has("full")) {
@@ -260,6 +291,7 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
       task.options.min_support = min_support;
       task.options.max_length = args.GetUint("max-len", 0);
       task.options.num_threads = args.GetUint("threads", 0);
+      task.options.backend = backend;
       if (engine->sharded()) {
         // The per-shard parallel path; output is byte-identical to the
         // merged pass (the sharded-equivalence contract).
@@ -275,6 +307,7 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
     task.options.min_support = min_support;
     task.options.max_length = args.GetUint("max-len", 0);
     task.options.num_threads = args.GetUint("threads", 0);
+    task.options.backend = backend;
     return engine->CollectPatterns(task, &report);
   }();
   if (!mined.ok()) {
@@ -284,8 +317,9 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
   PatternSet patterns = mined.TakeValueOrDie();
   patterns.SortBySupport();
   out << patterns.size() << " patterns\n";
-  out << "timing: index build " << report.index_build_seconds
-      << " s, mine " << report.mine_seconds << " s\n";
+  out << "timing: backend " << (report.backend.empty() ? "-" : report.backend)
+      << ", index build " << report.index_build_seconds << " s, mine "
+      << report.mine_seconds << " s\n";
   out << patterns.ToString(engine->database().dictionary());
   return 0;
 }
@@ -312,6 +346,7 @@ int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
   task.options.max_premise_length = args.GetUint("max-pre", 0);
   task.options.max_consequent_length = args.GetUint("max-post", 0);
   task.options.num_threads = args.GetUint("threads", 0);
+  if (!ParseBackendFlag(args, err, &task.options.backend)) return 2;
   task.backward = args.Has("backward");
 
   Result<RuleSet> mined = engine.CollectRules(task);
@@ -355,6 +390,9 @@ int CmdMineSeq(const Args& args, std::ostream& out, std::ostream& err) {
   const uint64_t min_support =
       engine->AbsoluteSupport(args.GetDouble("min-sup", 0.5));
   const size_t max_length = args.GetUint("max-len", 0);
+  BackendChoice backend = BackendChoice::kAuto;
+  if (!ParseBackendFlag(args, err, &backend)) return 2;
+  (void)backend;  // The sequential miners use no counting index.
   RunReport report;
   Result<PatternSet> mined = [&]() -> Result<PatternSet> {
     if (args.Has("generators")) {
@@ -395,6 +433,9 @@ int CmdMineEpisodes(const Args& args, std::ostream& out, std::ostream& err) {
     err << engine.status().ToString() << '\n';
     return 1;
   }
+  BackendChoice backend = BackendChoice::kAuto;
+  if (!ParseBackendFlag(args, err, &backend)) return 2;
+  (void)backend;  // The episode miners use no counting index.
   EpisodeTask task;
   if (args.Has("minepi")) {
     task.algorithm = EpisodeTask::Algorithm::kMinepi;
@@ -429,6 +470,9 @@ int CmdMinePairs(const Args& args, std::ostream& out, std::ostream& err) {
     err << engine.status().ToString() << '\n';
     return 1;
   }
+  BackendChoice backend = BackendChoice::kAuto;
+  if (!ParseBackendFlag(args, err, &backend)) return 2;
+  (void)backend;  // The two-event miner uses no counting index.
   TwoEventTask task;
   task.options.min_satisfaction = args.GetDouble("min-sat", 1.0);
   task.options.min_relevant_traces = args.GetUint("min-relevant", 1);

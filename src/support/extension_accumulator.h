@@ -84,6 +84,17 @@ class ExtensionAccumulator {
     touched_.clear();
   }
 
+  /// \brief Takes one empty bucket, reusing pooled capacity — for callers
+  /// that group without the dense stamp table (the bitmap projection's
+  /// sort-based drain) but share this accumulator's recycle pool.
+  Bucket_t AcquireBucket() {
+    if (pool_.empty()) return Bucket_t();
+    Bucket_t b = std::move(pool_.back());
+    pool_.pop_back();
+    b.clear();
+    return b;
+  }
+
   /// \brief Returns a consumed bucket's capacity to the free pool.
   void Recycle(Bucket_t&& b) {
     b.clear();

@@ -30,6 +30,14 @@ inline constexpr EventId kInvalidEvent = ~EventId{0};
 /// expected; lookup by id is O(1).
 class EventDictionary {
  public:
+  /// \brief Pre-sizes the name table and the hash map for \p num_events
+  /// upcoming interns (bulk copies — shard merges, dictionary adoption —
+  /// know the total up front; this skips the rehash/realloc churn).
+  void Reserve(size_t num_events) {
+    names_.reserve(num_events);
+    ids_.reserve(num_events);
+  }
+
   /// \brief Returns the id of \p name, interning it if new.
   EventId Intern(std::string_view name);
 

@@ -301,7 +301,10 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
 
 SequenceDatabase ShardedDatabase::Merge() const {
   SequenceDatabaseBuilder builder;
+  // Everything is pre-reserved from the manifest totals — arena, offsets,
+  // and the dictionary's name table — so the copy loop never reallocates.
   builder.Reserve(total_sequences_, total_events_);
+  builder.mutable_dictionary()->Reserve(dictionary_.size());
   // Merged dictionary first, in merged-id order, so ids survive exactly.
   for (size_t i = 0; i < dictionary_.size(); ++i) {
     builder.mutable_dictionary()->Intern(
@@ -327,6 +330,7 @@ ShardWriter::ShardWriter(std::string manifest_path, ShardWriterOptions options)
     : manifest_path_(std::move(manifest_path)), options_(options) {}
 
 void ShardWriter::AdoptDictionary(const EventDictionary& dict) {
+  merged_.Reserve(dict.size());
   for (size_t i = 0; i < dict.size(); ++i) {
     merged_.Intern(dict.Name(static_cast<EventId>(i)));
   }

@@ -1,0 +1,404 @@
+// The backend-equivalence property: every miner produces byte-identical
+// output — patterns, supports, rules, emission order — on the CSR and the
+// bitmap counting backends, across randomized databases, thresholds,
+// thread counts, and the plain / sharded execution paths. Plus the
+// word-mask edge cases (sequence lengths straddling the 64-bit word
+// boundary) and the adaptive chooser's dense/sparse verdicts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/itermine/bitmap_projection.h"
+#include "src/itermine/closed_miner.h"
+#include "src/itermine/full_miner.h"
+#include "src/itermine/generators.h"
+#include "src/itermine/projection.h"
+#include "src/itermine/qre_verifier.h"
+#include "src/rulemine/rule_miner.h"
+#include "src/seqmine/occurrence_engine.h"
+#include "src/support/random.h"
+#include "src/trace/shard_set.h"
+
+namespace specmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+SequenceDatabase RandomDb(uint64_t seed, size_t num_seqs, size_t max_len,
+                          size_t alphabet) {
+  Rng rng(seed);
+  SequenceDatabaseBuilder db;
+  for (size_t i = 0; i < alphabet; ++i) {
+    db.mutable_dictionary()->Intern("e" + std::to_string(i));
+  }
+  for (size_t s = 0; s < num_seqs; ++s) {
+    Sequence seq;
+    size_t len = 1 + rng.Uniform(max_len);
+    for (size_t k = 0; k < len; ++k) {
+      seq.Append(static_cast<EventId>(rng.Uniform(alphabet)));
+    }
+    db.AddSequence(seq);
+  }
+  return db.Build();
+}
+
+std::string Render(const PatternSet& set, const EventDictionary& dict) {
+  return set.ToString(dict);
+}
+
+// ---------------------------------------------------------------------------
+// Word-wise primitive edge cases: first/last/count with ranges that start,
+// end, and straddle 64-bit word boundaries.
+
+TEST(BitmapIndexTest, ScanPrimitivesHandleWordBoundaries) {
+  // Bits set at 0, 63, 64, 65, 127, 128, 200.
+  std::vector<uint64_t> row(4, 0);
+  for (size_t bit : {0, 63, 64, 65, 127, 128, 200}) {
+    row[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  const uint64_t* r = row.data();
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 0, 256), 0u);
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 1, 256), 63u);
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 64, 256), 64u);
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 66, 256), 127u);
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 129, 256), 200u);
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 201, 256), kNoBit);
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 63, 63), kNoBit);  // Empty.
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 63, 64), 63u);
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 0, 63), 0u);
+  // Limit masks a set bit away.
+  EXPECT_EQ(BitmapIndex::FirstSetAtOrAfter(r, 1, 63), kNoBit);
+
+  EXPECT_EQ(BitmapIndex::LastSetBefore(r, 0, 256), 200u);
+  EXPECT_EQ(BitmapIndex::LastSetBefore(r, 0, 200), 128u);
+  EXPECT_EQ(BitmapIndex::LastSetBefore(r, 0, 128), 127u);
+  EXPECT_EQ(BitmapIndex::LastSetBefore(r, 0, 64), 63u);
+  EXPECT_EQ(BitmapIndex::LastSetBefore(r, 0, 63), 0u);
+  EXPECT_EQ(BitmapIndex::LastSetBefore(r, 1, 63), kNoBit);  // Lo masks 0.
+  EXPECT_EQ(BitmapIndex::LastSetBefore(r, 65, 65), kNoBit);  // Empty.
+  EXPECT_EQ(BitmapIndex::LastSetBefore(r, 64, 65), 64u);
+
+  EXPECT_EQ(BitmapIndex::CountInRange(r, 0, 256), 7u);
+  EXPECT_EQ(BitmapIndex::CountInRange(r, 63, 66), 3u);
+  EXPECT_EQ(BitmapIndex::CountInRange(r, 64, 64), 0u);
+  EXPECT_EQ(BitmapIndex::CountInRange(r, 1, 63), 0u);
+  EXPECT_EQ(BitmapIndex::CountInRange(r, 128, 256), 2u);
+  EXPECT_TRUE(BitmapIndex::AnyInRange(r, 65, 66));
+  EXPECT_FALSE(BitmapIndex::AnyInRange(r, 66, 127));
+}
+
+// Sequences of lengths 63 / 64 / 65 (and an event only in the last,
+// partially-filled word): the unpadded layout's boundary masks must not
+// leak bits across sequences.
+TEST(BitmapIndexTest, WordBoundarySequenceLengths) {
+  for (size_t len : {63u, 64u, 65u}) {
+    SequenceDatabaseBuilder builder;
+    builder.mutable_dictionary()->Intern("a");
+    builder.mutable_dictionary()->Intern("b");
+    builder.mutable_dictionary()->Intern("z");
+    // Sequence 0: a at every position except the last, which holds z —
+    // the "event only in the last word" shape for len 65.
+    Sequence s0;
+    for (size_t k = 0; k + 1 < len; ++k) s0.Append(0);
+    s0.Append(2);
+    builder.AddSequence(s0);
+    // Sequence 1 starts mid-word: b everywhere.
+    Sequence s1;
+    for (size_t k = 0; k < len; ++k) s1.Append(1);
+    builder.AddSequence(s1);
+    SequenceDatabase db = builder.Build();
+    BitmapIndex bitmap(db);
+    PositionIndex csr(db);
+    for (EventId ev = 0; ev < 3; ++ev) {
+      EXPECT_EQ(bitmap.TotalCount(ev), csr.TotalCount(ev)) << "len=" << len;
+      EXPECT_EQ(bitmap.SequenceCount(ev), csr.SequenceCount(ev))
+          << "len=" << len;
+      EXPECT_EQ(SingleEventInstancesBitmap(bitmap, ev),
+                SingleEventInstances(csr, ev))
+          << "len=" << len;
+    }
+    // The z occurrence sits in the last word of sequence 0; sequence 1's
+    // b-run must not bleed into its range queries (and vice versa).
+    CountingBackend bb(bitmap);
+    EXPECT_TRUE(bb.AnyInRange(2, 0, static_cast<Pos>(len - 1),
+                              static_cast<Pos>(len - 1)));
+    EXPECT_FALSE(bb.AnyInRange(1, 0, 0, static_cast<Pos>(len - 1)));
+    EXPECT_FALSE(bb.AnyInRange(0, 1, 0, static_cast<Pos>(len - 1)));
+    // Projection parity on a pattern rooted in each sequence.
+    for (EventId root : {EventId{0}, EventId{1}}) {
+      InstanceList insts = SingleEventInstances(csr, root);
+      Pattern p{root};
+      ForwardExtensionMap csr_fwd = ForwardExtensions(csr, p, insts);
+      ProjectionWorkspace ws;
+      ForwardExtensionMap bitmap_fwd;
+      ForwardExtensionsBitmap(bitmap, p, insts, &ws, &bitmap_fwd);
+      ASSERT_EQ(csr_fwd.size(), bitmap_fwd.size()) << "len=" << len;
+      auto it = bitmap_fwd.begin();
+      for (const auto& [ev, il] : csr_fwd) {
+        EXPECT_EQ(ev, it->first);
+        EXPECT_EQ(il, it->second);
+        ++it;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The adaptive chooser: dense corpora go vertical, sparse corpora stay on
+// the CSR index (the acceptance pins of the auto mode).
+
+TEST(BackendChooserTest, DensePicksBitmapSparsePicksCsr) {
+  // Dense: 40 sequences x 60 events over 12 distinct names.
+  SequenceDatabase dense = RandomDb(1, 40, 60, 12);
+  EXPECT_EQ(ChooseBackendKind(dense), BackendKind::kBitmap);
+  // Sparse: tiny corpus over 500 distinct names (mean occurrences ~1).
+  SequenceDatabase sparse = RandomDb(2, 30, 15, 500);
+  EXPECT_EQ(ChooseBackendKind(sparse), BackendKind::kCsr);
+  // Empty databases default to CSR.
+  EXPECT_EQ(ChooseBackendKind(SequenceDatabase()), BackendKind::kCsr);
+}
+
+// ---------------------------------------------------------------------------
+// Projection-level equivalence on randomized databases: the dispatching
+// overloads agree entry-for-entry between backends.
+
+struct EquivParams {
+  uint64_t seed;
+  size_t num_seqs, max_len, alphabet;
+};
+
+class BackendEquivalenceTest : public ::testing::TestWithParam<EquivParams> {
+};
+
+TEST_P(BackendEquivalenceTest, ProjectionQueriesAgree) {
+  const EquivParams p = GetParam();
+  SequenceDatabase db = RandomDb(p.seed, p.num_seqs, p.max_len, p.alphabet);
+  PositionIndex csr(db);
+  BitmapIndex bitmap(db);
+  CountingBackend cb(csr), bb(bitmap);
+  ASSERT_EQ(cb.num_events(), bb.num_events());
+  ProjectionWorkspace csr_ws, bitmap_ws;
+  for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+    ASSERT_EQ(cb.TotalCount(ev), bb.TotalCount(ev));
+    ASSERT_EQ(cb.SequenceCount(ev), bb.SequenceCount(ev));
+    InstanceList insts = SingleEventInstances(cb, ev);
+    ASSERT_EQ(insts, SingleEventInstances(bb, ev));
+    if (insts.empty()) continue;
+    // Grow a couple of levels and compare the full projection at each.
+    for (EventId second = 0; second < db.dictionary().size(); ++second) {
+      Pattern pat = Pattern{ev}.Extend(second);
+      InstanceList pat_insts = FindAllInstances(pat, db);
+      if (pat_insts.empty()) continue;
+      ForwardExtensionMap csr_fwd, bitmap_fwd;
+      ForwardExtensions(cb, pat, pat_insts, &csr_ws, &csr_fwd);
+      ForwardExtensions(bb, pat, pat_insts, &bitmap_ws, &bitmap_fwd);
+      ASSERT_EQ(csr_fwd.size(), bitmap_fwd.size()) << pat.ToString();
+      auto it = bitmap_fwd.begin();
+      for (const auto& [e, il] : csr_fwd) {
+        ASSERT_EQ(e, it->first) << pat.ToString();
+        ASSERT_EQ(il, it->second) << pat.ToString();
+        ++it;
+      }
+      const BackwardExtensionMap& csr_back =
+          BackwardExtensions(cb, pat, pat_insts, &csr_ws);
+      // Copy: the reference lives in the workspace.
+      BackwardExtensionMap csr_back_copy;
+      for (const auto& [e, ext] : csr_back) csr_back_copy.emplace_back(e, ext);
+      const BackwardExtensionMap& bitmap_back =
+          BackwardExtensions(bb, pat, pat_insts, &bitmap_ws);
+      ASSERT_EQ(csr_back_copy.size(), bitmap_back.size()) << pat.ToString();
+      auto bit = bitmap_back.begin();
+      for (const auto& [e, ext] : csr_back_copy) {
+        ASSERT_EQ(e, bit->first);
+        ASSERT_EQ(ext.support, bit->second.support) << pat.ToString();
+        ASSERT_EQ(ext.all_adjacent, bit->second.all_adjacent)
+            << pat.ToString();
+        ++bit;
+      }
+      // The QRE recount and the occurrence count agree with the oracles.
+      ASSERT_EQ(CountInstances(bb, pat), CountInstances(pat, db));
+      ASSERT_EQ(CountOccurrences(bb, pat), CountOccurrences(pat, db));
+    }
+  }
+}
+
+// Full / closed / generator miners: byte-identical emission across
+// backends x thresholds x thread counts.
+TEST_P(BackendEquivalenceTest, MinersAreByteIdenticalAcrossBackends) {
+  const EquivParams p = GetParam();
+  SequenceDatabase db = RandomDb(p.seed, p.num_seqs, p.max_len, p.alphabet);
+  const EventDictionary& dict = db.dictionary();
+  // min_support 1 is omitted: the *full* pattern tree at support 1 grows
+  // combinatorially on the larger corpora (equally on both backends) —
+  // the low-threshold regime is covered by the smaller projection test.
+  for (uint64_t min_sup : {2u, 4u}) {
+    for (size_t threads : {1u, 4u}) {
+      IterMinerOptions full;
+      full.min_support = min_sup;
+      full.num_threads = threads;
+      full.backend = BackendChoice::kCsr;
+      PatternSet full_csr = MineFrequentIterative(db, full);
+      full.backend = BackendChoice::kBitmap;
+      PatternSet full_bitmap = MineFrequentIterative(db, full);
+      ASSERT_EQ(Render(full_csr, dict), Render(full_bitmap, dict))
+          << "full min_sup=" << min_sup << " threads=" << threads;
+
+      ClosedIterMinerOptions closed;
+      closed.min_support = min_sup;
+      closed.num_threads = threads;
+      closed.backend = BackendChoice::kCsr;
+      PatternSet closed_csr = MineClosedIterative(db, closed);
+      closed.backend = BackendChoice::kBitmap;
+      PatternSet closed_bitmap = MineClosedIterative(db, closed);
+      ASSERT_EQ(Render(closed_csr, dict), Render(closed_bitmap, dict))
+          << "closed min_sup=" << min_sup << " threads=" << threads;
+
+      IterGeneratorMinerOptions gens;
+      gens.min_support = min_sup;
+      gens.num_threads = threads;
+      gens.backend = BackendChoice::kCsr;
+      PatternSet gens_csr = MineIterativeGenerators(db, gens);
+      gens.backend = BackendChoice::kBitmap;
+      PatternSet gens_bitmap = MineIterativeGenerators(db, gens);
+      ASSERT_EQ(Render(gens_csr, dict), Render(gens_bitmap, dict))
+          << "generators min_sup=" << min_sup << " threads=" << threads;
+    }
+  }
+}
+
+// Rules: the backend accelerates i-support counts and premise maximality
+// tests; rule sets must match the backend-free scalar path exactly.
+TEST_P(BackendEquivalenceTest, RulesAreByteIdenticalAcrossBackends) {
+  const EquivParams p = GetParam();
+  SequenceDatabase db = RandomDb(p.seed, p.num_seqs, p.max_len, p.alphabet);
+  const EventDictionary& dict = db.dictionary();
+  PositionIndex csr(db);
+  BitmapIndex bitmap(db);
+  CountingBackend cb(csr), bb(bitmap);
+  for (bool non_redundant : {true, false}) {
+    RuleMinerOptions options;
+    options.min_s_support = 2;
+    options.min_confidence = 0.6;
+    options.non_redundant = non_redundant;
+    options.num_threads = 1;
+    // Length caps keep the premise/consequent enumeration polynomial on
+    // the dense tiny-alphabet corpora (the blowup is backend-independent).
+    options.max_premise_length = 3;
+    options.max_consequent_length = 3;
+    RuleSet scalar = MineRecurrentRules(db, options, nullptr, nullptr);
+    RuleSet with_csr = MineRecurrentRules(db, options, nullptr, nullptr, &cb);
+    RuleSet with_bitmap =
+        MineRecurrentRules(db, options, nullptr, nullptr, &bb);
+    ASSERT_EQ(scalar.size(), with_csr.size());
+    ASSERT_EQ(scalar.size(), with_bitmap.size());
+    for (size_t i = 0; i < scalar.size(); ++i) {
+      ASSERT_EQ(scalar[i].ToString(dict), with_csr[i].ToString(dict));
+      ASSERT_EQ(scalar[i].ToString(dict), with_bitmap[i].ToString(dict));
+      ASSERT_EQ(scalar[i].i_support, with_bitmap[i].i_support);
+    }
+  }
+}
+
+// Sharded execution: forcing either backend on every shard (and mixing,
+// via auto) reproduces the single-pass output byte for byte.
+TEST_P(BackendEquivalenceTest, ShardedMiningAgreesAcrossBackends) {
+  const EquivParams p = GetParam();
+  SequenceDatabase db = RandomDb(p.seed, p.num_seqs, p.max_len, p.alphabet);
+  const std::string stem = "backend_equiv_" + std::to_string(p.seed);
+  const std::string smdbset = TempPath(stem + ".smdbset");
+  ShardWriterOptions shard_options;
+  shard_options.shard_bytes = 1400;
+  ASSERT_TRUE(WriteShardedDatabase(db, smdbset, shard_options).ok());
+  for (size_t threads : {1u, 4u}) {
+    FullPatternsTask task;
+    // High enough that the proportional per-shard thresholds stay above
+    // the support-1 blowup regime on the larger random corpora (the
+    // explosion is backend-independent; PR 4 chose its corpora the same
+    // way).
+    task.options.min_support = 6;
+    task.options.num_threads = threads;
+
+    Result<Engine> plain = Engine::Create(SequenceDatabase(db));
+    ASSERT_TRUE(plain.ok());
+    task.options.backend = BackendChoice::kCsr;
+    Result<PatternSet> reference = plain->CollectPatterns(task);
+    ASSERT_TRUE(reference.ok());
+
+    for (BackendChoice choice : {BackendChoice::kAuto, BackendChoice::kCsr,
+                                 BackendChoice::kBitmap}) {
+      task.options.backend = choice;
+      Result<Engine> sharded = Engine::FromShardSet(smdbset);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      CollectingPatternSink sink;
+      Result<RunReport> run = sharded->MineSharded(task, sink);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(Render(*reference, db.dictionary()),
+                Render(sink.set(), sharded->database().dictionary()))
+          << "threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatabases, BackendEquivalenceTest,
+    ::testing::Values(EquivParams{3, 12, 8, 4}, EquivParams{17, 20, 14, 6},
+                      EquivParams{29, 30, 20, 10}, EquivParams{71, 8, 64, 3},
+                      EquivParams{97, 25, 40, 24}));
+
+// ---------------------------------------------------------------------------
+// Engine-level behavior: per-task override, report stamping, and the
+// one-build-per-representation cache.
+
+TEST(BackendEngineTest, SessionCachesEachRepresentationOnce) {
+  SequenceDatabase db = RandomDb(5, 25, 30, 8);
+  Engine engine{SequenceDatabase(db)};
+  EXPECT_EQ(engine.index_builds(), 0u);
+
+  FullPatternsTask bitmap_task;
+  bitmap_task.options.min_support = 2;
+  bitmap_task.options.backend = BackendChoice::kBitmap;
+  CollectingPatternSink sink1;
+  Result<RunReport> first = engine.Mine(bitmap_task, sink1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->backend, "bitmap");
+  EXPECT_GT(first->index_build_seconds, 0.0);
+  EXPECT_EQ(engine.index_builds(), 1u);
+
+  CollectingPatternSink sink2;
+  Result<RunReport> second = engine.Mine(bitmap_task, sink2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->index_build_seconds, 0.0);  // Cached.
+  EXPECT_EQ(engine.index_builds(), 1u);
+
+  FullPatternsTask csr_task = bitmap_task;
+  csr_task.options.backend = BackendChoice::kCsr;
+  CollectingPatternSink sink3;
+  Result<RunReport> third = engine.Mine(csr_task, sink3);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->backend, "csr");
+  EXPECT_EQ(engine.index_builds(), 2u);  // Second representation.
+
+  EXPECT_EQ(Render(sink1.set(), db.dictionary()),
+            Render(sink3.set(), db.dictionary()));
+}
+
+TEST(BackendEngineTest, RulesReportRecordsTheBackend) {
+  SequenceDatabase db = RandomDb(13, 20, 25, 6);
+  Engine engine{std::move(db)};
+  RulesTask task;
+  task.options.min_s_support = 2;
+  task.options.min_confidence = 0.6;
+  task.options.backend = BackendChoice::kBitmap;
+  CollectingRuleSink sink;
+  Result<RunReport> run = engine.Mine(task, sink);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->backend, "bitmap");
+}
+
+}  // namespace
+}  // namespace specmine
