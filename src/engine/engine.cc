@@ -6,6 +6,8 @@
 
 #include "src/engine/shard_exec.h"
 #include "src/rulemine/backward_rules.h"
+#include "src/support/cancel.h"
+#include "src/support/fault_injection.h"
 #include "src/support/stopwatch.h"
 #include "src/trace/trace_io.h"
 
@@ -64,6 +66,17 @@ RunReport FromSeqStats(const char* task, const SeqMinerStats& stats,
   return report;
 }
 
+// Converts a pool-worker error or a fired cancel token into the task's
+// failure Status; OK when the run completed normally. Checked after
+// mining (and for streaming tasks after the sink saw its prefix), so a
+// cancelled run still returns kCancelled / kDeadlineExceeded through the
+// Result<RunReport> plumbing.
+Status FinishRun(const Status& worker_error, const CancelToken* cancel) {
+  if (!worker_error.ok()) return worker_error;
+  if (cancel != nullptr && cancel->fired()) return cancel->StopStatus();
+  return Status::OK();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -88,7 +101,12 @@ Result<Engine> Engine::FromCsvTraceFile(const std::string& path,
 }
 
 Result<Engine> Engine::FromBinaryFile(const std::string& path) {
-  Result<MappedDatabase> mapped = MappedDatabase::Open(path);
+  return FromBinaryFile(path, SmdbOpenOptions{});
+}
+
+Result<Engine> Engine::FromBinaryFile(const std::string& path,
+                                      const SmdbOpenOptions& options) {
+  Result<MappedDatabase> mapped = MappedDatabase::Open(path, options);
   if (!mapped.ok()) return mapped.status();
   SPECMINE_RETURN_NOT_OK(CheckIndexable(mapped->db()));
   // Copying a view database shares the mapped storage, so the session's
@@ -100,7 +118,12 @@ Result<Engine> Engine::FromBinaryFile(const std::string& path) {
 }
 
 Result<Engine> Engine::FromShardSet(const std::string& path) {
-  Result<ShardedDatabase> set = ShardedDatabase::Open(path);
+  return FromShardSet(path, SetOpenOptions{});
+}
+
+Result<Engine> Engine::FromShardSet(const std::string& path,
+                                    const SetOpenOptions& options) {
+  Result<ShardedDatabase> set = ShardedDatabase::Open(path, options);
   if (!set.ok()) return set.status();
   // Every shard must be indexable on its own (MineSharded) and so must
   // the concatenation (the regular tasks); reject both up front so the
@@ -224,6 +247,9 @@ Result<RunReport> Engine::Mine(const FullPatternsTask& task,
         return sink.Consume(pattern, support);
       },
       &stats, PoolFor(task.options.num_threads));
+  // The sink has already seen its prefix of the deterministic emission
+  // order; a stopped run reports that as a Status.
+  SPECMINE_RETURN_NOT_OK(FinishRun(stats.error, task.options.cancel));
   RunReport report = FromIterStats("full-patterns", stats, build_seconds);
   report.backend = backend->name();
   return report;
@@ -239,6 +265,7 @@ Result<RunReport> Engine::Mine(const ClosedTask& task,
   IterMinerStats stats;
   PatternSet mined = MineClosedIterative(*backend, task.options, &stats,
                                          PoolFor(task.options.num_threads));
+  SPECMINE_RETURN_NOT_OK(FinishRun(stats.error, task.options.cancel));
   RunReport report = FromIterStats("closed-patterns", stats, build_seconds);
   report.backend = backend->name();
   bool stopped = false;
@@ -257,6 +284,7 @@ Result<RunReport> Engine::Mine(const GeneratorsTask& task,
   IterMinerStats stats;
   PatternSet mined = MineIterativeGenerators(
       *backend, task.options, &stats, PoolFor(task.options.num_threads));
+  SPECMINE_RETURN_NOT_OK(FinishRun(stats.error, task.options.cancel));
   RunReport report = FromIterStats("generators", stats, build_seconds);
   report.backend = backend->name();
   bool stopped = false;
@@ -335,6 +363,7 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
         "MineSharded requires a session opened with Engine::FromShardSet");
   }
   SPECMINE_RETURN_NOT_OK(Begin(task));
+  SPECMINE_RETURN_NOT_OK(CheckFault("engine.mine_sharded"));
   ThreadPool* pool = PoolFor(task.options.num_threads);
   const size_t num_threads =
       ThreadPool::ResolveThreads(task.options.num_threads);
@@ -345,8 +374,15 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
   ShardExecStats stats;
   PatternSet mined =
       MineShardedFull(*shard_set_, backends, task.options, &stats, pool);
+  if (!stats.error.ok()) return stats.error;
   RunReport report;
   report.task = "full-patterns-sharded";
+  report.shards_total = shard_set_->open_report().shards_total;
+  report.shards_quarantined = shard_set_->open_report().quarantined.size();
+  for (const QuarantinedShard& q : shard_set_->open_report().quarantined) {
+    report.shard_errors.push_back("shard " + std::to_string(q.index) + " (" +
+                                  q.path + "): " + q.error);
+  }
   if (!backends.empty()) {
     report.backend = backends.front().name();
     for (const CountingBackend& b : backends) {
@@ -360,8 +396,13 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
   report.index_build_seconds = build_seconds;
   report.mine_seconds = stats.mine_seconds;
   // Delivery mirrors the single-pass emission stream: same order, same
-  // max_patterns cut point; a sink's false return stops delivery.
+  // max_patterns cut point; a sink's false return stops delivery. A run
+  // the cancel token stopped delivers its prefix (empty when the token
+  // fired before phase 3) and then reports the stop as a Status.
   for (const MinedPattern& item : mined.items()) {
+    if (task.options.cancel != nullptr && task.options.cancel->ShouldStop()) {
+      break;
+    }
     ++report.patterns_emitted;
     if (!sink.Consume(item.pattern, item.support)) {
       report.truncated = true;
@@ -373,6 +414,7 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
       break;
     }
   }
+  SPECMINE_RETURN_NOT_OK(FinishRun(Status::OK(), task.options.cancel));
   return report;
 }
 
@@ -408,6 +450,7 @@ Result<RunReport> Engine::Mine(const RulesTask& task, RuleSink& sink) const {
                                &*backend);
     report.backend = backend->name();
   }
+  SPECMINE_RETURN_NOT_OK(FinishRun(stats.error, task.options.cancel));
   report.task = task.backward ? "backward-rules" : "rules";
   report.index_build_seconds = build_seconds;
   report.premises_enumerated = stats.premises_enumerated;
@@ -444,6 +487,7 @@ Result<RunReport> Engine::Mine(const SequentialTask& task,
         return sink.Consume(pattern, support);
       },
       &stats);
+  SPECMINE_RETURN_NOT_OK(FinishRun(Status::OK(), task.options.cancel));
   return FromSeqStats("sequential", stats, sw.ElapsedSeconds());
 }
 
@@ -453,6 +497,7 @@ Result<RunReport> Engine::Mine(const ClosedSequentialTask& task,
   Stopwatch sw;
   SeqMinerStats stats;
   PatternSet mined = MineClosedSequential(Units(), task.options, &stats);
+  SPECMINE_RETURN_NOT_OK(FinishRun(Status::OK(), task.options.cancel));
   RunReport report =
       FromSeqStats("closed-sequential", stats, sw.ElapsedSeconds());
   bool stopped = false;
@@ -467,6 +512,7 @@ Result<RunReport> Engine::Mine(const SequentialGeneratorsTask& task,
   Stopwatch sw;
   SeqMinerStats stats;
   PatternSet mined = MineSequentialGenerators(Units(), task.options, &stats);
+  SPECMINE_RETURN_NOT_OK(FinishRun(Status::OK(), task.options.cancel));
   RunReport report =
       FromSeqStats("sequential-generators", stats, sw.ElapsedSeconds());
   bool stopped = false;
@@ -485,6 +531,8 @@ Result<RunReport> Engine::Mine(const EpisodeTask& task,
   const bool winepi = task.algorithm == EpisodeTask::Algorithm::kWinepi;
   PatternSet mined =
       winepi ? MineWinepi(*db_, task.winepi) : MineMinepi(*db_, task.minepi);
+  SPECMINE_RETURN_NOT_OK(FinishRun(
+      Status::OK(), winepi ? task.winepi.cancel : task.minepi.cancel));
   RunReport report;
   report.task = winepi ? "episodes-winepi" : "episodes-minepi";
   report.mine_seconds = sw.ElapsedSeconds();
@@ -499,6 +547,7 @@ Result<RunReport> Engine::Mine(const TwoEventTask& task,
   SPECMINE_RETURN_NOT_OK(Begin(task));
   Stopwatch sw;
   std::vector<TwoEventRule> mined = MinePerracotta(*db_, task.options);
+  SPECMINE_RETURN_NOT_OK(FinishRun(Status::OK(), task.options.cancel));
   RunReport report;
   report.task = "two-event";
   report.mine_seconds = sw.ElapsedSeconds();

@@ -67,9 +67,16 @@ class Engine {
                                          const CsvTraceOptions& options);
 
   /// \brief Opens a packed .smdb database (see binary_format.h) as a
-  /// zero-copy mmap session: the event arena is never copied, so opening
-  /// is O(dictionary) and databases larger than RAM page in on demand.
+  /// zero-copy mmap session: the event arena is range-checked with one
+  /// sequential read but never copied, so resident memory stays
+  /// O(dictionary) and databases larger than RAM page in on demand.
   static Result<Engine> FromBinaryFile(const std::string& path);
+
+  /// \brief Same, with an explicit integrity mode (header-only by
+  /// default; IntegrityMode::kFull re-hashes every section against the
+  /// stored checksums before the session is handed out).
+  static Result<Engine> FromBinaryFile(const std::string& path,
+                                       const SmdbOpenOptions& options);
 
   /// \brief Opens a sharded corpus from its .smdbset manifest (see
   /// shard_set.h): every shard is mmap'ed and validated, the merged
@@ -85,6 +92,16 @@ class Engine {
   /// a lazy merged *backend* over the per-shard indexes would give the
   /// regular tasks the merged view without ever materializing the arena.
   static Result<Engine> FromShardSet(const std::string& path);
+
+  /// \brief Same, with an explicit integrity mode and shard failure
+  /// policy. Under ShardFailurePolicy::kQuarantine a shard that fails to
+  /// open or validate is recorded (shard_set().open_report()) and the
+  /// session mines the healthy subset: the merged database holds only
+  /// healthy shards, so fractional support thresholds rescale to the
+  /// surviving trace count automatically; every MineSharded report carries
+  /// shards_total / shards_quarantined / shard_errors.
+  static Result<Engine> FromShardSet(const std::string& path,
+                                     const SetOpenOptions& options);
 
   /// \brief Writes the session's database as a .smdb file at \p path.
   Status SaveBinary(const std::string& path) const {

@@ -15,6 +15,12 @@ std::string RunReport::ToString() const {
   if (subtrees_pruned != 0) os << " pruned=" << subtrees_pruned;
   if (truncated) os << " truncated";
   if (!backend.empty()) os << " backend=" << backend;
+  if (shards_total != 0) {
+    os << " shards=" << shards_total;
+    if (shards_quarantined != 0) {
+      os << " quarantined=" << shards_quarantined;
+    }
+  }
   os << " index=" << index_build_seconds << "s mine=" << mine_seconds << "s";
   return os.str();
 }

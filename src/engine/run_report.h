@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace specmine {
 
@@ -43,6 +44,16 @@ struct RunReport {
   double index_build_seconds = 0.0;
   /// Mining wall-clock (everything after index construction).
   double mine_seconds = 0.0;
+
+  /// Sharded sessions only: how many shards the manifest lists, how many
+  /// were quarantined at open (ShardFailurePolicy::kQuarantine), and the
+  /// per-shard error strings ("shard 3 (path): header checksum mismatch").
+  /// A degraded run mines the healthy subset; fractional thresholds are
+  /// rescaled to the surviving trace count automatically because the
+  /// merged database only holds healthy shards.
+  size_t shards_total = 0;
+  size_t shards_quarantined = 0;
+  std::vector<std::string> shard_errors;
 
   /// \brief One-line "task=... patterns=... index=...s mine=...s" summary.
   std::string ToString() const;

@@ -10,6 +10,7 @@
 
 #include "src/itermine/bitmap_projection.h"
 #include "src/itermine/qre_verifier.h"
+#include "src/support/cancel.h"
 #include "src/support/stopwatch.h"
 #include "src/support/thread_pool.h"
 
@@ -36,6 +37,7 @@ struct ShardResult {
   std::vector<MinedPattern> patterns;  // Merged ids, local supports.
   std::unordered_map<Pattern, uint64_t, PatternHash> support;
   size_t nodes_visited = 0;
+  StatusCode stopped = StatusCode::kOk;  // Cancel fired inside this shard.
 };
 
 // occ[j][merged_ev]: occurrences of the event in shard j (0 when the
@@ -99,6 +101,7 @@ void MineOneShard(const ShardedDatabase& set, const CountingBackend& backend,
       },
       &stats);
   out->nodes_visited = stats.nodes_visited;
+  out->stopped = stats.stopped;
 }
 
 }  // namespace
@@ -143,9 +146,28 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
                  occ, &results[i]);
   };
   if (num_threads > 1 && num_shards > 1) {
-    ThreadPool::ParallelForShared(pool, num_threads, num_shards, mine_shard);
+    stats->error =
+        ThreadPool::ParallelForShared(pool, num_threads, num_shards,
+                                      mine_shard);
+    if (!stats->error.ok()) {
+      stats->mine_seconds = sw.ElapsedSeconds();
+      return out;
+    }
   } else {
     for (size_t i = 0; i < num_shards; ++i) mine_shard(i);
+  }
+  // A token that fired during phase 1 leaves some shard's candidate set
+  // incomplete; the only output that is still a prefix of the canonical
+  // order is the empty one.
+  for (const ShardResult& result : results) {
+    if (result.stopped != StatusCode::kOk) stats->stopped = result.stopped;
+  }
+  if (options.cancel != nullptr && options.cancel->fired()) {
+    stats->stopped = options.cancel->stop_code();
+  }
+  if (stats->stopped != StatusCode::kOk) {
+    stats->mine_seconds = sw.ElapsedSeconds();
+    return out;
   }
 
   // Candidate union, deterministically ordered: lexicographic merged-id
@@ -185,6 +207,9 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
   std::atomic<size_t> bound_skips{0};
   constexpr uint64_t kNeedsRecount = ~uint64_t{0};
   auto count_candidate = [&](size_t c) {
+    // A fired token skips the remaining recounts; the run then returns the
+    // empty prefix below rather than a support-incomplete subset.
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) return;
     const Pattern& pattern = *candidates[c];
     // Workers run candidates concurrently, so the recount scratch (the
     // alphabet-union row) is per thread, not per candidate — recounts
@@ -226,16 +251,31 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
     totals[c] = total;
   };
   if (num_threads > 1 && candidates.size() > 1) {
-    ThreadPool::ParallelForShared(pool, num_threads, candidates.size(),
-                                  count_candidate);
+    stats->error = ThreadPool::ParallelForShared(
+        pool, num_threads, candidates.size(), count_candidate);
+    if (!stats->error.ok()) {
+      stats->mine_seconds = sw.ElapsedSeconds();
+      return out;
+    }
   } else {
     for (size_t c = 0; c < candidates.size(); ++c) count_candidate(c);
   }
   stats->bound_skips = bound_skips.load();
   stats->recounts = recounts.load();
+  if (options.cancel != nullptr && options.cancel->fired()) {
+    stats->stopped = options.cancel->stop_code();
+    stats->mine_seconds = sw.ElapsedSeconds();
+    return out;  // Empty prefix: some totals may be incomplete.
+  }
 
-  // Phase 3: the global filter, in the already-canonical order.
+  // Phase 3: the global filter, in the already-canonical order. Every
+  // total is exact here, so stopping mid-loop yields a true prefix of the
+  // single-pass emission order.
   for (size_t c = 0; c < candidates.size(); ++c) {
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) {
+      stats->stopped = options.cancel->stop_code();
+      break;
+    }
     if (totals[c] >= options.min_support) {
       out.Add(*candidates[c], totals[c]);
     }

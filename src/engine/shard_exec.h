@@ -54,6 +54,13 @@ struct ShardExecStats {
   size_t bound_skips = 0;      ///< Phase-2 candidates dropped by the bound.
   size_t recounts = 0;         ///< Phase-2 oracle recounts that scanned.
   double mine_seconds = 0.0;   ///< Wall clock of the three phases.
+  /// kCancelled / kDeadlineExceeded when options.cancel stopped the run.
+  /// A run stopped during phase 1 or 2 returns an empty set (the empty
+  /// prefix); one stopped during phase 3 returns a prefix of the canonical
+  /// emission order with exact supports.
+  StatusCode stopped = StatusCode::kOk;
+  /// First error raised by a pool worker (e.g. an escaped exception).
+  Status error = Status::OK();
 };
 
 /// \brief Mines the full frequent iterative pattern set of \p set with the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/support/cancel.h"
+
 namespace specmine {
 
 namespace {
@@ -49,6 +51,7 @@ void GrowMinepi(const SequenceDatabase& db, const MinepiOptions& options,
                 const std::vector<MinimalOccurrence>& mos, PatternSet* out) {
   if (options.max_length != 0 && episode.size() >= options.max_length) return;
   for (EventId ev : alphabet) {
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) return;
     Pattern candidate = episode.Extend(ev);
     std::vector<MinimalOccurrence> ext = ExtendOccurrences(mos, ev, db);
     if (ext.empty()) continue;
@@ -86,6 +89,7 @@ PatternSet MineMinepi(const SequenceDatabase& db,
   std::vector<EventId> alphabet;
   std::vector<std::pair<Pattern, std::vector<MinimalOccurrence>>> singles;
   for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
     Pattern single{ev};
     std::vector<MinimalOccurrence> mos = FindMinimalOccurrences(single, db);
     if (mos.empty()) continue;
@@ -97,6 +101,7 @@ PatternSet MineMinepi(const SequenceDatabase& db,
     }
   }
   for (const auto& [pattern, mos] : singles) {
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
     GrowMinepi(db, options, alphabet, pattern, mos, &out);
   }
   return out;

@@ -19,6 +19,8 @@
 
 namespace specmine {
 
+class CancelToken;
+
 /// \brief One minimal occurrence window [start, end] in a sequence.
 struct MinimalOccurrence {
   SeqId seq = 0;
@@ -36,6 +38,9 @@ struct MinepiOptions {
   uint64_t min_support = 1;
   /// Maximum episode length; 0 means unbounded.
   size_t max_length = 0;
+  /// Optional cooperative stop signal, polled per episode candidate. Not
+  /// owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief All minimal occurrences of \p episode in \p db (any width).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/support/cancel.h"
+
 namespace specmine {
 
 namespace {
@@ -58,6 +60,7 @@ void GrowEpisode(const SequenceDatabase& db, const WinepiOptions& options,
                  PatternSet* out) {
   if (options.max_length != 0 && episode.size() >= options.max_length) return;
   for (EventId ev : alphabet) {
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) return;
     Pattern candidate = episode.Extend(ev);
     uint64_t windows =
         CountSupportingWindows(candidate, db, options.window_width);
@@ -74,6 +77,7 @@ PatternSet MineWinepi(const SequenceDatabase& db,
   PatternSet out;
   std::vector<EventId> alphabet;
   for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
     Pattern single{ev};
     uint64_t windows =
         CountSupportingWindows(single, db, options.window_width);
@@ -87,6 +91,7 @@ PatternSet MineWinepi(const SequenceDatabase& db,
   // candidates to `alphabet` is complete.
   std::vector<MinedPattern> singles = out.items();
   for (const MinedPattern& s : singles) {
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
     GrowEpisode(db, options, alphabet, s.pattern, &out);
   }
   return out;

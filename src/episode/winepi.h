@@ -24,6 +24,8 @@
 
 namespace specmine {
 
+class CancelToken;
+
 /// \brief Options for WINEPI mining.
 struct WinepiOptions {
   /// Window width in events (>= 1).
@@ -32,6 +34,9 @@ struct WinepiOptions {
   uint64_t min_window_count = 1;
   /// Maximum episode length; 0 means unbounded.
   size_t max_length = 0;
+  /// Optional cooperative stop signal, polled per episode candidate. Not
+  /// owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Number of width-w windows of \p db containing \p episode.

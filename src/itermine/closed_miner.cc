@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/itermine/projection.h"
+#include "src/support/cancel.h"
 #include "src/support/stopwatch.h"
 #include "src/support/thread_pool.h"
 
@@ -17,9 +18,17 @@ struct Ctx {
   PatternSet* out;
   IterMinerStats* stats;
   ProjectionWorkspace* ws;
+  bool stop = false;
 };
 
 void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
+  if (ctx->stop) return;
+  const CancelToken* cancel = ctx->options->cancel;
+  if (cancel != nullptr && cancel->ShouldStop()) {
+    ctx->stats->stopped = cancel->stop_code();
+    ctx->stop = true;
+    return;
+  }
   ++ctx->stats->nodes_visited;
   const uint64_t support = instances.size();
 
@@ -75,6 +84,7 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
   if (ctx->options->max_length == 0 ||
       pattern.size() < ctx->options->max_length) {
     for (auto& [ev, ext_instances] : forward) {
+      if (ctx->stop) break;
       if (ext_instances.size() < ctx->options->min_support) continue;
       Grow(ctx, pattern.Extend(ev), ext_instances);
     }
@@ -110,17 +120,20 @@ PatternSet MineClosedIterative(const CountingBackend& backend,
     for (size_t i = 0; i < roots.size(); ++i) {
       jobs[i] = std::make_unique<Job>();
     }
-    ThreadPool::ParallelForShared(pool, num_threads, roots.size(),
-                                  [&](size_t i) {
-      Job& job = *jobs[i];
-      Ctx ctx{&db, &backend, &options, &job.out, &job.stats, &job.ws};
-      Pattern p{roots[i]};
-      Grow(&ctx, p, SingleEventInstances(backend, roots[i]));
-    });
+    stats->error = ThreadPool::ParallelForShared(
+        pool, num_threads, roots.size(), [&](size_t i) {
+          Job& job = *jobs[i];
+          Ctx ctx{&db, &backend, &options, &job.out, &job.stats, &job.ws};
+          Pattern p{roots[i]};
+          Grow(&ctx, p, SingleEventInstances(backend, roots[i]));
+        });
     for (const auto& job : jobs) {
       stats->nodes_visited += job->stats.nodes_visited;
       stats->patterns_emitted += job->stats.patterns_emitted;
       stats->subtrees_pruned += job->stats.subtrees_pruned;
+      if (job->stats.stopped != StatusCode::kOk) {
+        stats->stopped = job->stats.stopped;
+      }
       for (const MinedPattern& item : job->out.items()) {
         out.Add(item.pattern, item.support);
       }
@@ -131,6 +144,7 @@ PatternSet MineClosedIterative(const CountingBackend& backend,
   ProjectionWorkspace ws;
   Ctx ctx{&db, &backend, &options, &out, stats, &ws};
   for (EventId ev = 0; ev < backend.num_events(); ++ev) {
+    if (ctx.stop) break;
     if (backend.TotalCount(ev) < options.min_support) continue;
     Pattern p{ev};
     Grow(&ctx, p, SingleEventInstances(backend, ev));

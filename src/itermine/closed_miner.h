@@ -65,6 +65,10 @@ struct ClosedIterMinerOptions {
   /// concurrency, 1 = sequential. Output and stats are identical at every
   /// setting (per-worker results merge deterministically in root order).
   size_t num_threads = 0;
+  /// Optional cooperative stop signal, polled at subtree granularity; a
+  /// stopped run returns whatever was mined so far and reports the reason
+  /// in IterMinerStats::stopped. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Mines the closed frequent iterative patterns of \p db.

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/itermine/projection.h"
+#include "src/support/cancel.h"
 #include "src/support/stopwatch.h"
 #include "src/support/thread_pool.h"
 
@@ -21,6 +22,12 @@ struct Ctx {
 
 void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
   if (ctx->stop) return;
+  const CancelToken* cancel = ctx->options->cancel;
+  if (cancel != nullptr && cancel->ShouldStop()) {
+    ctx->stats->stopped = cancel->stop_code();
+    ctx->stop = true;
+    return;
+  }
   ++ctx->stats->nodes_visited;
   ++ctx->stats->patterns_emitted;
   bool grow_subtree = (*ctx->sink)(pattern, instances.size());
@@ -64,8 +71,17 @@ struct SubtreeJob {
   ProjectionWorkspace ws;
   std::vector<Emission> emitted;  // DFS preorder.
   size_t nodes_visited = 0;
+  bool cancelled = false;  // Buffer is a prefix of this subtree's preorder.
 
   void Grow(const Pattern& pattern, const InstanceList& instances) {
+    if (cancelled) return;
+    if (options->cancel != nullptr && options->cancel->ShouldStop()) {
+      // The buffered emissions so far are a prefix of this subtree's DFS
+      // preorder; the replay loop stops the global sequence here, keeping
+      // the whole delivered output a prefix of the deterministic order.
+      cancelled = true;
+      return;
+    }
     // No single job can contribute more emissions than the global cap, so
     // stop buffering there — this bounds memory exactly like sequential
     // truncation does for the non-pruning sinks that use max_patterns.
@@ -81,6 +97,7 @@ struct SubtreeJob {
     ForwardExtensionMap extensions = ws.AcquireMap();
     ForwardExtensions(*backend, pattern, instances, &ws, &extensions);
     for (auto& [ev, ext_instances] : extensions) {
+      if (cancelled) break;
       if (ext_instances.size() < options->min_support) continue;
       Grow(pattern.Extend(ev), ext_instances);
     }
@@ -101,9 +118,12 @@ void ScanParallel(const CountingBackend& backend,
     jobs[i]->backend = &backend;
     jobs[i]->options = &options;
   }
-  ThreadPool::ParallelForShared(pool, num_threads, roots.size(), [&](size_t i) {
-    jobs[i]->Grow(Pattern{roots[i]}, SingleEventInstances(backend, roots[i]));
-  });
+  stats->error = ThreadPool::ParallelForShared(
+      pool, num_threads, roots.size(), [&](size_t i) {
+        jobs[i]->Grow(Pattern{roots[i]},
+                      SingleEventInstances(backend, roots[i]));
+      });
+  if (!stats->error.ok()) return;  // A worker task threw: deliver nothing.
   // Replay: a sink returning false skips every deeper emission that
   // follows (its subtree — preorder depth equals pattern length). Each
   // job's buffer is freed as soon as it is replayed, so peak memory is
@@ -112,6 +132,13 @@ void ScanParallel(const CountingBackend& backend,
   for (auto& job : jobs) {
     stats->nodes_visited += job->nodes_visited;
     for (const Emission& e : job->emitted) {
+      // A fired token ends the delivered sequence here — everything
+      // already replayed (complete earlier jobs + this job's prefix) is a
+      // prefix of the deterministic global order.
+      if (options.cancel != nullptr && options.cancel->ShouldStop()) {
+        stats->stopped = options.cancel->stop_code();
+        return;
+      }
       if (skip_below != 0) {
         if (e.pattern.size() > skip_below) continue;
         skip_below = 0;
@@ -125,7 +152,14 @@ void ScanParallel(const CountingBackend& backend,
       }
       if (!grow_subtree) skip_below = e.pattern.size();
     }
+    const bool job_cancelled = job->cancelled;
     job.reset();
+    if (job_cancelled) {
+      stats->stopped = options.cancel != nullptr
+                           ? options.cancel->stop_code()
+                           : StatusCode::kCancelled;
+      return;
+    }
   }
 }
 

@@ -10,11 +10,13 @@
 
 #include "src/itermine/counting_backend.h"
 #include "src/patterns/pattern_set.h"
+#include "src/support/status.h"
 #include "src/trace/position_index.h"
 #include "src/trace/sequence_database.h"
 
 namespace specmine {
 
+class CancelToken;
 class ThreadPool;
 
 /// \brief Options shared by the iterative pattern miners.
@@ -45,6 +47,11 @@ struct IterMinerOptions {
   /// before replay-side skips are known (no in-tree caller combines the
   /// two; set num_threads = 1 if you must).
   size_t num_threads = 0;
+  /// Optional cooperative stop signal, polled at subtree granularity. A
+  /// stopped run's sink output is a prefix of the uncancelled run's
+  /// deterministic emission order (at every thread count); the reason is
+  /// reported in IterMinerStats::stopped. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Statistics describing one miner run.
@@ -55,6 +62,12 @@ struct IterMinerStats {
   bool truncated = false;       ///< True iff max_patterns stopped the run.
   double index_build_seconds = 0.0;  ///< PositionIndex construction time.
   double mine_seconds = 0.0;         ///< Pattern-growth time.
+  /// kCancelled / kDeadlineExceeded when the run's CancelToken stopped it
+  /// early; kOk otherwise.
+  StatusCode stopped = StatusCode::kOk;
+  /// First internal failure of a parallel fan-out (an exception escaping
+  /// a worker task, converted by the ThreadPool); OK otherwise.
+  Status error = Status::OK();
 };
 
 /// \brief Mines every frequent iterative pattern of \p db.

@@ -43,6 +43,7 @@ PatternSet MineIterativeGenerators(const CountingBackend& backend,
   scan.min_support = options.min_support;
   scan.max_length = options.max_length;
   scan.num_threads = options.num_threads;
+  scan.cancel = options.cancel;
   // The sink runs on the calling thread even under the parallel scan, so
   // one recount scratch serves the whole run.
   QreRecountScratch scratch;

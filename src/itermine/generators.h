@@ -34,6 +34,9 @@ struct IterGeneratorMinerOptions {
   /// Worker threads for the underlying scan (0 = hardware concurrency,
   /// 1 = sequential); output is identical at every setting.
   size_t num_threads = 0;
+  /// Optional cooperative stop signal, forwarded to the underlying scan
+  /// (see IterMinerOptions::cancel). Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Mines the frequent iterative generators of \p db.

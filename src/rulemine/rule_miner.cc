@@ -7,6 +7,7 @@
 #include "src/rulemine/consequent_miner.h"
 #include "src/rulemine/premise_miner.h"
 #include "src/seqmine/occurrence_engine.h"
+#include "src/support/cancel.h"
 #include "src/support/thread_pool.h"
 
 namespace specmine {
@@ -23,7 +24,9 @@ struct PremiseJob {
 
   void Mine(const SequenceDatabase& db,
             const ConsequentMinerOptions& consequent_options,
-            const CountingBackend* backend) {
+            const CountingBackend* backend, const CancelToken* cancel) {
+    // Per-premise granularity: a fired token skips the whole job.
+    if (cancel != nullptr && cancel->ShouldStopExact()) return;
     const uint64_t total_points = points.TotalPoints();
     const uint64_t s_support = points.SupportingSequences();
     PatternSet consequents = MineConsequents(db, points, consequent_options);
@@ -79,6 +82,10 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
     ScanPremises(
         db, premise_options,
         [&](const Pattern& premise, const TemporalPointSet& points) {
+          if (options.cancel != nullptr && options.cancel->ShouldStop()) {
+            stats->stopped = options.cancel->stop_code();
+            return false;
+          }
           ++stats->premises_enumerated;
           if (points.TotalPoints() == 0) return true;
           jobs.push_back(std::make_unique<PremiseJob>(
@@ -86,10 +93,13 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
           return true;
         },
         nullptr, backend);
-    ThreadPool::ParallelForShared(pool, num_threads, jobs.size(),
-                                  [&](size_t i) {
-      jobs[i]->Mine(db, consequent_options, backend);
-    });
+    stats->error = ThreadPool::ParallelForShared(
+        pool, num_threads, jobs.size(), [&](size_t i) {
+          jobs[i]->Mine(db, consequent_options, backend, options.cancel);
+        });
+    if (options.cancel != nullptr && options.cancel->fired()) {
+      stats->stopped = options.cancel->stop_code();
+    }
     for (auto& job : jobs) {
       for (Rule& rule : job->rules) {
         candidates.Add(std::move(rule));
@@ -103,6 +113,11 @@ RuleSet MineRecurrentRules(const SequenceDatabase& db,
         db, premise_options,
         [&](const Pattern& premise, const TemporalPointSet& points) {
           if (stats->truncated) return false;
+          if (options.cancel != nullptr &&
+              options.cancel->ShouldStopExact()) {
+            stats->stopped = options.cancel->stop_code();
+            return false;
+          }
           ++stats->premises_enumerated;
           const uint64_t total_points = points.TotalPoints();
           const uint64_t s_support = points.SupportingSequences();

@@ -9,9 +9,12 @@
 #include "src/itermine/counting_backend.h"
 #include "src/rulemine/redundancy.h"
 #include "src/rulemine/rule.h"
+#include "src/support/status.h"
 #include "src/trace/sequence_database.h"
 
 namespace specmine {
+
+class CancelToken;
 
 /// \brief Options for recurrent rule mining.
 struct RuleMinerOptions {
@@ -43,6 +46,10 @@ struct RuleMinerOptions {
   /// setting; the parallel path is used only when max_rules == 0 (the
   /// truncating path stays sequential to preserve its early stop).
   size_t num_threads = 0;
+  /// Optional cooperative stop signal, polled per premise (the rule
+  /// miner's subtree granularity). A stopped run reports the reason in
+  /// RuleMinerStats::stopped. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Statistics describing one rule-miner run.
@@ -51,6 +58,10 @@ struct RuleMinerStats {
   size_t candidate_rules = 0;   ///< Rules before Steps 4-5.
   size_t rules_emitted = 0;     ///< Final output size.
   bool truncated = false;       ///< True iff max_rules stopped the run.
+  /// kCancelled / kDeadlineExceeded when a CancelToken stopped the run.
+  StatusCode stopped = StatusCode::kOk;
+  /// First internal failure of the per-premise fan-out; OK otherwise.
+  Status error = Status::OK();
 };
 
 class ThreadPool;

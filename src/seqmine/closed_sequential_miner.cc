@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/seqmine/occurrence_engine.h"
+#include "src/support/cancel.h"
 
 namespace specmine {
 
@@ -21,6 +22,7 @@ struct Ctx {
   const ClosedSeqMinerOptions* options;
   PatternSet* out;
   SeqMinerStats* stats;
+  bool stop = false;
 };
 
 // Greedy earliest embedding of `pattern` into seq[begin..]; fills ee[i] with
@@ -137,6 +139,12 @@ bool BackScanPrunable(const Ctx& ctx, const Pattern& pattern,
 
 void Grow(Ctx* ctx, const Pattern& prefix, const std::vector<Entry>& entries,
           bool at_root) {
+  const CancelToken* cancel = ctx->options->cancel;
+  if (cancel != nullptr && cancel->ShouldStop()) {
+    ctx->stats->stopped = cancel->stop_code();
+    ctx->stop = true;
+    return;
+  }
   ++ctx->stats->nodes_visited;
   const SequenceDatabase& db = ctx->units->db();
   std::map<EventId, std::vector<Entry>> extensions;
@@ -169,6 +177,7 @@ void Grow(Ctx* ctx, const Pattern& prefix, const std::vector<Entry>& entries,
   }
 
   for (const auto& [ev, proj] : extensions) {
+    if (ctx->stop) break;
     if (proj.size() < ctx->options->min_support) continue;
     Pattern candidate = prefix.Extend(ev);
     if (ctx->options->max_length != 0 &&

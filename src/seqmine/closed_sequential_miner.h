@@ -32,6 +32,9 @@ struct ClosedSeqMinerOptions {
   size_t max_length = 0;
   /// Enable BackScan subtree pruning (sound; large speedups).
   bool backscan_pruning = true;
+  /// Optional cooperative stop signal, polled per DFS subtree. Not owned;
+  /// may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Mines the closed frequent sequential patterns over \p units.

@@ -35,6 +35,7 @@ PatternSet MineSequentialGenerators(const UnitDatabase& units,
   SeqMinerOptions scan_options;
   scan_options.min_support = options.min_support;
   scan_options.max_length = options.max_length;
+  scan_options.cancel = options.cancel;
   ScanFrequentSequential(
       units, scan_options,
       [&](const Pattern& p, uint64_t support, const std::vector<uint32_t>&) {

@@ -26,6 +26,9 @@ struct GeneratorMinerOptions {
   /// Prune subtrees whose projected database coincides with that of a
   /// one-event deletion (sound: every descendant is then a non-generator).
   bool projection_pruning = true;
+  /// Optional cooperative stop signal, forwarded to the underlying scan.
+  /// Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Mines the frequent sequential generators over \p units.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/cancel.h"
 #include "src/support/extension_accumulator.h"
 #include "src/support/flat_event_map.h"
 
@@ -82,6 +83,12 @@ void CollectExtensions(MinerContext* ctx,
 void Grow(MinerContext* ctx, Pattern* prefix,
           const std::vector<Entry>& projection, bool at_root) {
   if (ctx->stop) return;
+  const CancelToken* cancel = ctx->options->cancel;
+  if (cancel != nullptr && cancel->ShouldStop()) {
+    ctx->stats->stopped = cancel->stop_code();
+    ctx->stop = true;
+    return;
+  }
   ++ctx->stats->nodes_visited;
   ExtensionMap extensions = ctx->AcquireMap();
   CollectExtensions(ctx, projection, at_root, &extensions);

@@ -15,10 +15,13 @@
 #include <vector>
 
 #include "src/patterns/pattern_set.h"
+#include "src/support/status.h"
 #include "src/trace/position_index.h"
 #include "src/trace/sequence_database.h"
 
 namespace specmine {
+
+class CancelToken;
 
 /// \brief A suffix view seq[start..] of one database sequence.
 struct Unit {
@@ -57,6 +60,10 @@ struct SeqMinerOptions {
   /// Full-set miners can explode at low thresholds; the benchmark harness
   /// sets a generous cap and reports when it is hit.
   size_t max_patterns = 0;
+  /// Optional cooperative stop signal, polled at subtree granularity. A
+  /// stopped run's output is a prefix of the full deterministic emission
+  /// order; the reason lands in SeqMinerStats::stopped. Not owned.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Statistics describing one miner run.
@@ -64,6 +71,8 @@ struct SeqMinerStats {
   size_t nodes_visited = 0;    ///< DFS nodes expanded.
   size_t patterns_emitted = 0; ///< Patterns written to the output set.
   bool truncated = false;      ///< True iff max_patterns stopped the run.
+  /// kCancelled / kDeadlineExceeded when a CancelToken stopped the run.
+  StatusCode stopped = StatusCode::kOk;
 };
 
 /// \brief Mines the full set of frequent sequential patterns over \p units.

@@ -1,5 +1,6 @@
 #include "src/specmine/cli.h"
 
+#include <chrono>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -8,6 +9,7 @@
 #include <sstream>
 
 #include "src/engine/engine.h"
+#include "src/support/cancel.h"
 #include "src/ltl/checker.h"
 #include "src/ltl/parser.h"
 #include "src/ltl/translate.h"
@@ -36,11 +38,20 @@ commands:
   mine-seq <traces> [options]       mine sequential patterns (PrefixSpan/BIDE)
   mine-episodes <traces> [options]  mine serial episodes (WINEPI/MINEPI)
   mine-pairs <traces> [options]     mine two-event rules (Perracotta)
+  verify <file.smdb|.smdbset>       re-hash every stored checksum (full
+                                    integrity pass over all sections and,
+                                    for a set, every shard)
   check <traces> --ltl <formula>    evaluate an LTL formula on every trace
   gen-quest <out> [options]         generate a QUEST-style dataset
 
 common options:
   --csv [--group-col N] [--event-col N] [--delim C] [--header]
+  --integrity {off,header,full}     checksum verification when opening
+                                    .smdb/.smdbset inputs (default header)
+  --quarantine                      .smdbset only: skip shards that fail to
+                                    open or validate instead of failing the
+                                    whole corpus; mining runs over the
+                                    healthy subset (degraded mode)
   <traces> ending in .smdb is opened as a packed binary database (zero-copy
   mmap; see 'pack') in every command that accepts a trace file; .smdbset
   opens a sharded corpus (shards mmap'ed, mining output identical to the
@@ -58,9 +69,15 @@ mine-episodes: --minepi | --window N (10) --min-count N (1) --max-len N
 mine-pairs:    --min-sat F (1.0) --min-relevant N (1)
 gen-quest:     --d F --c F --n F --s F --seed N
 
+Every mine-* command accepts --timeout-ms N: the run is cancelled
+cooperatively when the wall-clock budget passes, any patterns already
+streamed are kept, and the process exits with code 6.
+
 All miners run through the specmine::Engine session API; invalid options
 and malformed trace files are reported as errors (non-zero exit), never
-mined around.
+mined around. Exit codes: 0 success, 2 usage, 3 invalid argument,
+4 parse error / corruption, 5 I/O error, 6 cancelled or deadline
+exceeded, 1 anything else.
 
 --backend selects the physical counting representation: csr (horizontal
 position lists), bitmap (vertical word-packed occurrence rows), or auto
@@ -130,6 +147,66 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+// Process exit codes (documented in kUsage): one bucket per failure class
+// so scripts can tell bad flags from corrupt inputs from interrupted runs.
+constexpr int kExitUsage = 2;
+constexpr int kExitInvalidArgument = 3;
+constexpr int kExitCorruptInput = 4;
+constexpr int kExitIOError = 5;
+constexpr int kExitInterrupted = 6;
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return kExitInvalidArgument;
+    case StatusCode::kParseError:
+      return kExitCorruptInput;
+    case StatusCode::kIOError:
+    case StatusCode::kNotFound:
+      return kExitIOError;
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+      return kExitInterrupted;
+    default:
+      return 1;
+  }
+}
+
+// Prints \p status and returns its exit code.
+int Fail(std::ostream& err, const Status& status) {
+  err << status.ToString() << '\n';
+  return ExitCodeFor(status);
+}
+
+// Arms \p token from --timeout-ms and returns it, or null when the flag is
+// absent (the miners treat a null cancel pointer as "never stop").
+const CancelToken* ArmTimeout(const Args& args, CancelToken* token) {
+  if (!args.Has("timeout-ms")) return nullptr;
+  token->SetDeadline(std::chrono::milliseconds(args.GetUint("timeout-ms", 0)));
+  return token;
+}
+
+// Parses --integrity into \p out; false (with a message) on a bad value.
+bool ParseIntegrityFlag(const Args& args, std::ostream& err,
+                        IntegrityMode* out) {
+  const std::string value = args.Get("integrity", "header");
+  if (value.empty() || value == "header") {
+    *out = IntegrityMode::kHeader;
+  } else if (value == "off") {
+    *out = IntegrityMode::kOff;
+  } else if (value == "full") {
+    *out = IntegrityMode::kFull;
+  } else {
+    err << "--integrity must be off, header or full (got '" << value
+        << "')\n";
+    return false;
+  }
+  return true;
+}
+
 // Parses --backend into \p out; false (with a message) on a bad value.
 bool ParseBackendFlag(const Args& args, std::ostream& err,
                       BackendChoice* out) {
@@ -153,9 +230,37 @@ bool ParseBackendFlag(const Args& args, std::ostream& err,
 // binary database when the path ends in .smdb. Parse/validation errors
 // (with their line numbers or corrupt section) come back as a non-OK
 // Result.
-Result<Engine> LoadEngine(const Args& args, const std::string& path) {
-  if (IsSmdbSetPath(path)) return Engine::FromShardSet(path);
-  if (IsSmdbPath(path)) return Engine::FromBinaryFile(path);
+Result<Engine> LoadEngine(const Args& args, const std::string& path,
+                          std::ostream& err) {
+  IntegrityMode integrity = IntegrityMode::kHeader;
+  {
+    std::ostringstream bad;
+    if (!ParseIntegrityFlag(args, bad, &integrity)) {
+      return Status::InvalidArgument(bad.str());
+    }
+  }
+  if (IsSmdbSetPath(path)) {
+    SetOpenOptions options;
+    options.integrity = integrity;
+    options.policy = args.Has("quarantine") ? ShardFailurePolicy::kQuarantine
+                                            : ShardFailurePolicy::kFail;
+    Result<Engine> engine = Engine::FromShardSet(path, options);
+    if (engine.ok()) {
+      // A degraded open must be loud: every quarantined shard goes to
+      // stderr so no script mistakes a partial corpus for the whole one.
+      for (const QuarantinedShard& q :
+           engine->shard_set().open_report().quarantined) {
+        err << "warning: quarantined shard " << q.index << " (" << q.path
+            << "): " << q.error << '\n';
+      }
+    }
+    return engine;
+  }
+  if (IsSmdbPath(path)) {
+    SmdbOpenOptions options;
+    options.integrity = integrity;
+    return Engine::FromBinaryFile(path, options);
+  }
   if (args.Has("csv")) {
     CsvTraceOptions options;
     options.group_column = args.GetUint("group-col", 0);
@@ -173,11 +278,8 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
     err << "stats: missing trace file\n";
     return 2;
   }
-  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
-  if (!engine.ok()) {
-    err << engine.status().ToString() << '\n';
-    return 1;
-  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0], err);
+  if (!engine.ok()) return Fail(err, engine.status());
   const SequenceDatabase& db = engine->database();
   out << ComputeStats(db).ToString() << '\n';
   out << "auto backend: " << BackendKindName(ChooseBackendKind(db))
@@ -196,18 +298,14 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
     // Bounds-checked by design: a bad id is a user error, not a crash.
     const uint64_t id = args.GetUint("trace", 0);
     if (id > std::numeric_limits<SeqId>::max()) {
-      err << Status::OutOfRange("sequence id " + std::to_string(id) +
-                                " out of range (database has " +
-                                std::to_string(db.size()) + " sequences)")
-                 .ToString()
-          << '\n';
-      return 1;
+      return Fail(err,
+                  Status::OutOfRange("sequence id " + std::to_string(id) +
+                                     " out of range (database has " +
+                                     std::to_string(db.size()) +
+                                     " sequences)"));
     }
     Result<EventSpan> trace = db.at(static_cast<SeqId>(id));
-    if (!trace.ok()) {
-      err << trace.status().ToString() << '\n';
-      return 1;
-    }
+    if (!trace.ok()) return Fail(err, trace.status());
     out << "trace " << id << ':';
     for (EventId ev : *trace) out << ' ' << db.dictionary().NameOrPlaceholder(ev);
     out << '\n';
@@ -227,36 +325,24 @@ int CmdPack(const Args& args, std::ostream& out, std::ostream& err) {
     err << "pack: --shard-bytes requires a .smdbset output path\n";
     return 2;
   }
-  Result<Engine> engine = LoadEngine(args, in_path);
-  if (!engine.ok()) {
-    err << engine.status().ToString() << '\n';
-    return 1;
-  }
+  Result<Engine> engine = LoadEngine(args, in_path, err);
+  if (!engine.ok()) return Fail(err, engine.status());
   if (IsSmdbSetPath(out_path)) {
     ShardWriterOptions options;
     options.shard_bytes = args.GetUint("shard-bytes", options.shard_bytes);
     Status written =
         WriteShardedDatabase(engine->database(), out_path, options);
-    if (!written.ok()) {
-      err << written.ToString() << '\n';
-      return 1;
-    }
+    if (!written.ok()) return Fail(err, written);
     // Reopening validates the set end to end and tells us the shard count.
     Result<ShardedDatabase> set = ShardedDatabase::Open(out_path);
-    if (!set.ok()) {
-      err << set.status().ToString() << '\n';
-      return 1;
-    }
+    if (!set.ok()) return Fail(err, set.status());
     out << "packed " << in_path << " -> " << out_path << ": "
         << set->num_shards() << " shards, "
         << ComputeStats(engine->database()).ToString() << '\n';
     return 0;
   }
   Status written = engine->SaveBinary(out_path);
-  if (!written.ok()) {
-    err << written.ToString() << '\n';
-    return 1;
-  }
+  if (!written.ok()) return Fail(err, written);
   out << "packed " << in_path << " -> " << out_path << ": "
       << ComputeStats(engine->database()).ToString() << '\n';
   return 0;
@@ -267,15 +353,14 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
     err << "mine-patterns: missing trace file\n";
     return 2;
   }
-  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
-  if (!engine.ok()) {
-    err << engine.status().ToString() << '\n';
-    return 1;
-  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0], err);
+  if (!engine.ok()) return Fail(err, engine.status());
   const uint64_t min_support =
       engine->AbsoluteSupport(args.GetDouble("min-sup", 0.5));
   BackendChoice backend = BackendChoice::kAuto;
-  if (!ParseBackendFlag(args, err, &backend)) return 2;
+  if (!ParseBackendFlag(args, err, &backend)) return kExitInvalidArgument;
+  CancelToken timeout;
+  const CancelToken* cancel = ArmTimeout(args, &timeout);
   RunReport report;
   Result<PatternSet> mined = [&]() -> Result<PatternSet> {
     if (args.Has("generators")) {
@@ -284,6 +369,7 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
       task.options.max_length = args.GetUint("max-len", 0);
       task.options.num_threads = args.GetUint("threads", 0);
       task.options.backend = backend;
+      task.options.cancel = cancel;
       return engine->CollectPatterns(task, &report);
     }
     if (args.Has("full")) {
@@ -292,6 +378,7 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
       task.options.max_length = args.GetUint("max-len", 0);
       task.options.num_threads = args.GetUint("threads", 0);
       task.options.backend = backend;
+      task.options.cancel = cancel;
       if (engine->sharded()) {
         // The per-shard parallel path; output is byte-identical to the
         // merged pass (the sharded-equivalence contract).
@@ -308,12 +395,10 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
     task.options.max_length = args.GetUint("max-len", 0);
     task.options.num_threads = args.GetUint("threads", 0);
     task.options.backend = backend;
+    task.options.cancel = cancel;
     return engine->CollectPatterns(task, &report);
   }();
-  if (!mined.ok()) {
-    err << mined.status().ToString() << '\n';
-    return 2;
-  }
+  if (!mined.ok()) return Fail(err, mined.status());
   PatternSet patterns = mined.TakeValueOrDie();
   patterns.SortBySupport();
   out << patterns.size() << " patterns\n";
@@ -329,11 +414,8 @@ int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
     err << "mine-rules: missing trace file\n";
     return 2;
   }
-  Result<Engine> loaded = LoadEngine(args, args.positional()[0]);
-  if (!loaded.ok()) {
-    err << loaded.status().ToString() << '\n';
-    return 1;
-  }
+  Result<Engine> loaded = LoadEngine(args, args.positional()[0], err);
+  if (!loaded.ok()) return Fail(err, loaded.status());
   const Engine& engine = *loaded;
   const SequenceDatabase& db = engine.database();
 
@@ -346,14 +428,15 @@ int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
   task.options.max_premise_length = args.GetUint("max-pre", 0);
   task.options.max_consequent_length = args.GetUint("max-post", 0);
   task.options.num_threads = args.GetUint("threads", 0);
-  if (!ParseBackendFlag(args, err, &task.options.backend)) return 2;
+  if (!ParseBackendFlag(args, err, &task.options.backend)) {
+    return kExitInvalidArgument;
+  }
   task.backward = args.Has("backward");
+  CancelToken timeout;
+  task.options.cancel = ArmTimeout(args, &timeout);
 
   Result<RuleSet> mined = engine.CollectRules(task);
-  if (!mined.ok()) {
-    err << mined.status().ToString() << '\n';
-    return 2;
-  }
+  if (!mined.ok()) return Fail(err, mined.status());
   RuleSet rules = mined.TakeValueOrDie();
   out << rules.size() << (task.backward ? " backward" : "") << " rules\n";
   if (args.Has("rank") && !task.backward) {
@@ -382,40 +465,39 @@ int CmdMineSeq(const Args& args, std::ostream& out, std::ostream& err) {
     err << "mine-seq: missing trace file\n";
     return 2;
   }
-  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
-  if (!engine.ok()) {
-    err << engine.status().ToString() << '\n';
-    return 1;
-  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0], err);
+  if (!engine.ok()) return Fail(err, engine.status());
   const uint64_t min_support =
       engine->AbsoluteSupport(args.GetDouble("min-sup", 0.5));
   const size_t max_length = args.GetUint("max-len", 0);
   BackendChoice backend = BackendChoice::kAuto;
-  if (!ParseBackendFlag(args, err, &backend)) return 2;
+  if (!ParseBackendFlag(args, err, &backend)) return kExitInvalidArgument;
   (void)backend;  // The sequential miners use no counting index.
+  CancelToken timeout;
+  const CancelToken* cancel = ArmTimeout(args, &timeout);
   RunReport report;
   Result<PatternSet> mined = [&]() -> Result<PatternSet> {
     if (args.Has("generators")) {
       SequentialGeneratorsTask task;
       task.options.min_support = min_support;
       task.options.max_length = max_length;
+      task.options.cancel = cancel;
       return engine->CollectPatterns(task, &report);
     }
     if (args.Has("closed")) {
       ClosedSequentialTask task;
       task.options.min_support = min_support;
       task.options.max_length = max_length;
+      task.options.cancel = cancel;
       return engine->CollectPatterns(task, &report);
     }
     SequentialTask task;
     task.options.min_support = min_support;
     task.options.max_length = max_length;
+    task.options.cancel = cancel;
     return engine->CollectPatterns(task, &report);
   }();
-  if (!mined.ok()) {
-    err << mined.status().ToString() << '\n';
-    return 2;
-  }
+  if (!mined.ok()) return Fail(err, mined.status());
   PatternSet patterns = mined.TakeValueOrDie();
   patterns.SortBySupport();
   out << patterns.size() << " sequential patterns (" << report.task << ")\n";
@@ -428,31 +510,29 @@ int CmdMineEpisodes(const Args& args, std::ostream& out, std::ostream& err) {
     err << "mine-episodes: missing trace file\n";
     return 2;
   }
-  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
-  if (!engine.ok()) {
-    err << engine.status().ToString() << '\n';
-    return 1;
-  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0], err);
+  if (!engine.ok()) return Fail(err, engine.status());
   BackendChoice backend = BackendChoice::kAuto;
-  if (!ParseBackendFlag(args, err, &backend)) return 2;
+  if (!ParseBackendFlag(args, err, &backend)) return kExitInvalidArgument;
   (void)backend;  // The episode miners use no counting index.
+  CancelToken timeout;
+  const CancelToken* cancel = ArmTimeout(args, &timeout);
   EpisodeTask task;
   if (args.Has("minepi")) {
     task.algorithm = EpisodeTask::Algorithm::kMinepi;
     task.minepi.max_window = args.GetUint("window", 10);
     task.minepi.min_support = args.GetUint("min-count", 1);
     task.minepi.max_length = args.GetUint("max-len", 0);
+    task.minepi.cancel = cancel;
   } else {
     task.winepi.window_width = args.GetUint("window", 10);
     task.winepi.min_window_count = args.GetUint("min-count", 1);
     task.winepi.max_length = args.GetUint("max-len", 0);
+    task.winepi.cancel = cancel;
   }
   RunReport report;
   Result<PatternSet> mined = engine->CollectPatterns(task, &report);
-  if (!mined.ok()) {
-    err << mined.status().ToString() << '\n';
-    return 2;
-  }
+  if (!mined.ok()) return Fail(err, mined.status());
   PatternSet episodes = mined.TakeValueOrDie();
   episodes.SortBySupport();
   out << episodes.size() << " episodes (" << report.task << ")\n";
@@ -465,23 +545,19 @@ int CmdMinePairs(const Args& args, std::ostream& out, std::ostream& err) {
     err << "mine-pairs: missing trace file\n";
     return 2;
   }
-  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
-  if (!engine.ok()) {
-    err << engine.status().ToString() << '\n';
-    return 1;
-  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0], err);
+  if (!engine.ok()) return Fail(err, engine.status());
   BackendChoice backend = BackendChoice::kAuto;
-  if (!ParseBackendFlag(args, err, &backend)) return 2;
+  if (!ParseBackendFlag(args, err, &backend)) return kExitInvalidArgument;
   (void)backend;  // The two-event miner uses no counting index.
+  CancelToken timeout;
   TwoEventTask task;
   task.options.min_satisfaction = args.GetDouble("min-sat", 1.0);
   task.options.min_relevant_traces = args.GetUint("min-relevant", 1);
+  task.options.cancel = ArmTimeout(args, &timeout);
   CollectingTwoEventSink sink;
   Result<RunReport> report = engine->Mine(task, sink);
-  if (!report.ok()) {
-    err << report.status().ToString() << '\n';
-    return 2;
-  }
+  if (!report.ok()) return Fail(err, report.status());
   out << sink.rules().size() << " two-event rules\n";
   for (const TwoEventRule& rule : sink.rules()) {
     out << rule.ToString(engine->database().dictionary()) << '\n';
@@ -489,22 +565,73 @@ int CmdMinePairs(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// Re-hashes every stored checksum of a packed file: a full-integrity open
+// of the .smdb (or of the manifest and every shard of a .smdbset). With
+// --quarantine a set verify reports bad shards instead of failing on the
+// first one; any quarantined shard still makes the exit code non-zero, so
+// scripts can use `specmine verify` as a boolean health probe.
+int CmdVerify(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "verify: usage: verify <file.smdb|file.smdbset> [--quarantine]\n";
+    return kExitUsage;
+  }
+  const std::string& path = args.positional()[0];
+  if (IsSmdbSetPath(path)) {
+    SetOpenOptions options;
+    options.integrity = IntegrityMode::kFull;
+    options.policy = args.Has("quarantine") ? ShardFailurePolicy::kQuarantine
+                                            : ShardFailurePolicy::kFail;
+    Result<ShardedDatabase> set = ShardedDatabase::Open(path, options);
+    if (!set.ok()) return Fail(err, set.status());
+    const SetOpenReport& report = set->open_report();
+    out << path << ": " << set->num_shards() << " / " << report.shards_total
+        << " shards verified, " << set->TotalSequences() << " sequences, "
+        << set->TotalEvents() << " events, " << set->dictionary().size()
+        << " distinct events\n";
+    for (const QuarantinedShard& q : report.quarantined) {
+      out << "  QUARANTINED shard " << q.index << " (" << q.path
+          << "): " << q.error << '\n';
+    }
+    if (!report.quarantined.empty()) {
+      return Fail(err, Status::ParseError(
+                           std::to_string(report.quarantined.size()) +
+                           " of " + std::to_string(report.shards_total) +
+                           " shards failed verification"));
+    }
+    out << "OK\n";
+    return 0;
+  }
+  if (IsSmdbPath(path)) {
+    SmdbOpenOptions options;
+    options.integrity = IntegrityMode::kFull;
+    Result<MappedDatabase> mapped = MappedDatabase::Open(path, options);
+    if (!mapped.ok()) return Fail(err, mapped.status());
+    out << path << ": format v" << mapped->file_version() << ", "
+        << mapped->db().size() << " sequences, " << mapped->db().TotalEvents()
+        << " events, " << mapped->db().dictionary().size()
+        << " distinct events\n";
+    if (mapped->file_version() < kSmdbVersion) {
+      out << "note: legacy v" << mapped->file_version()
+          << " file carries no checksums; only structural validation ran "
+             "(repack to add checksums)\n";
+    }
+    out << "OK\n";
+    return 0;
+  }
+  err << "verify: expected a .smdb or .smdbset path, got '" << path << "'\n";
+  return kExitUsage;
+}
+
 int CmdCheck(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.positional().empty() || !args.Has("ltl")) {
     err << "check: usage: check <traces> --ltl <formula>\n";
     return 2;
   }
-  Result<Engine> engine = LoadEngine(args, args.positional()[0]);
-  if (!engine.ok()) {
-    err << engine.status().ToString() << '\n';
-    return 1;
-  }
+  Result<Engine> engine = LoadEngine(args, args.positional()[0], err);
+  if (!engine.ok()) return Fail(err, engine.status());
   const SequenceDatabase& db = engine->database();
   Result<LtlPtr> formula = ParseLtl(args.Get("ltl", ""));
-  if (!formula.ok()) {
-    err << formula.status().ToString() << '\n';
-    return 1;
-  }
+  if (!formula.ok()) return Fail(err, formula.status());
   size_t holding = 0;
   for (SeqId s = 0; s < db.size(); ++s) {
     bool ok = EvaluateLtl(*formula, db, s);
@@ -528,15 +655,9 @@ int CmdGenQuest(const Args& args, std::ostream& out, std::ostream& err) {
   params.s_avg_pattern_length = args.GetDouble("s", 6.0);
   params.seed = args.GetUint("seed", params.seed);
   Result<SequenceDatabase> db = GenerateQuest(params);
-  if (!db.ok()) {
-    err << db.status().ToString() << '\n';
-    return 1;
-  }
+  if (!db.ok()) return Fail(err, db.status());
   Status written = WriteTextTraceFile(*db, args.positional()[0]);
-  if (!written.ok()) {
-    err << written.ToString() << '\n';
-    return 1;
-  }
+  if (!written.ok()) return Fail(err, written);
   out << "wrote " << params.Label() << ": " << ComputeStats(*db).ToString()
       << '\n';
   return 0;
@@ -559,6 +680,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "mine-seq") return CmdMineSeq(parsed, out, err);
   if (command == "mine-episodes") return CmdMineEpisodes(parsed, out, err);
   if (command == "mine-pairs") return CmdMinePairs(parsed, out, err);
+  if (command == "verify") return CmdVerify(parsed, out, err);
   if (command == "check") return CmdCheck(parsed, out, err);
   if (command == "gen-quest") return CmdGenQuest(parsed, out, err);
   err << "unknown command: " << command << '\n' << kUsage;

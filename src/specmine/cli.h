@@ -4,14 +4,30 @@
 //
 // Commands:
 //   stats <traces>                        database shape statistics
+//   pack <traces> <out.smdb|.smdbset>     pack into a binary database
 //   mine-patterns <traces> [options]      iterative patterns
 //   mine-rules <traces> [options]         recurrent rules (+LTL)
+//   mine-seq / mine-episodes / mine-pairs sequential / episode / pair miners
+//   verify <file.smdb|.smdbset>           full-integrity checksum pass
 //   check <traces> --ltl <formula>        evaluate an LTL formula per trace
 //   gen-quest <out> [options]             synthesize a QUEST dataset
 //
 // Common options:
 //   --csv [--group-col N] [--event-col N] [--delim C] [--header]
 //       read <traces> as grouped CSV instead of one-trace-per-line text
+//   --integrity {off,header,full}
+//       checksum verification when opening .smdb/.smdbset inputs (header)
+//   --quarantine
+//       .smdbset only: mine the healthy subset when shards fail to open,
+//       instead of failing the whole corpus (degraded mode)
+//   --timeout-ms N   (every mine-* command)
+//       cancel the run cooperatively once the wall-clock budget passes;
+//       already-streamed output is kept and the exit code is 6
+//
+// Exit codes (one bucket per failure class, for scripts):
+//   0 success, 2 usage, 3 invalid argument, 4 parse error / corruption,
+//   5 I/O error, 6 cancelled or deadline exceeded, 1 anything else.
+//
 // Pattern options:
 //   --min-sup F      support threshold as a fraction of |DB|   (0.5)
 //   --full           mine the full frequent set instead of the closed set

@@ -1,0 +1,112 @@
+// Cooperative cancellation and deadlines.
+//
+// A CancelToken is an externally-owned stop signal the mining loops poll
+// at subtree granularity. It is either cancelled explicitly (Cancel(),
+// from any thread) or implicitly when an optional wall-clock deadline
+// passes. Polling is cheap: the explicit flag is one relaxed atomic load,
+// and the deadline clock is only consulted every kDeadlineStride polls so
+// a tight DFS never pays a steady_clock read per node.
+//
+// The token reports *why* it fired (kCancelled vs kDeadlineExceeded) so
+// the Engine can surface the right StatusCode through Result<RunReport>.
+// All members are safe to call concurrently.
+
+#ifndef SPECMINE_SUPPORT_CANCEL_H_
+#define SPECMINE_SUPPORT_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "src/support/status.h"
+
+namespace specmine {
+
+/// \brief A cooperative stop signal with an optional deadline.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// \brief Arms a wall-clock deadline \p timeout from now. Call before
+  /// handing the token to a miner; replaces any earlier deadline. A
+  /// non-positive budget fires the token immediately (so an expired
+  /// deadline stops the run even if the miner would finish before the
+  /// poll strobe ever consults the clock).
+  void SetDeadline(std::chrono::steady_clock::duration timeout) {
+    deadline_ = std::chrono::steady_clock::now() + timeout;
+    has_deadline_.store(true, std::memory_order_release);
+    CheckDeadlineNow();
+  }
+
+  /// \brief Requests cancellation. Thread-safe, idempotent.
+  void Cancel() { Fire(StatusCode::kCancelled); }
+
+  /// \brief True once the token has fired (cancel or deadline). The fast
+  /// path is one relaxed atomic load; the deadline is checked every
+  /// kDeadlineStride calls (per thread) to keep polling cheap.
+  bool ShouldStop() const {
+    if (stopped_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_.load(std::memory_order_relaxed)) return false;
+    thread_local uint32_t strobe = 0;
+    if (++strobe % kDeadlineStride != 0) return false;
+    return CheckDeadlineNow();
+  }
+
+  /// \brief Like ShouldStop() but always consults the deadline clock. Use
+  /// at coarse boundaries (per shard, per premise) where an extra clock
+  /// read is negligible.
+  bool ShouldStopExact() const {
+    if (stopped_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_.load(std::memory_order_relaxed)) return false;
+    return CheckDeadlineNow();
+  }
+
+  /// \brief True once fired; never consults the clock.
+  bool fired() const { return stopped_.load(std::memory_order_acquire); }
+
+  /// \brief Why the token fired; kOk while it has not.
+  StatusCode stop_code() const {
+    return static_cast<StatusCode>(code_.load(std::memory_order_acquire));
+  }
+
+  /// \brief The Status a stopped run should return: Cancelled or
+  /// DeadlineExceeded (OK while the token has not fired).
+  Status StopStatus() const {
+    switch (stop_code()) {
+      case StatusCode::kCancelled:
+        return Status::Cancelled("mining cancelled");
+      case StatusCode::kDeadlineExceeded:
+        return Status::DeadlineExceeded("mining deadline exceeded");
+      default:
+        return Status::OK();
+    }
+  }
+
+ private:
+  static constexpr uint32_t kDeadlineStride = 64;
+
+  bool CheckDeadlineNow() const {
+    if (std::chrono::steady_clock::now() < deadline_) return false;
+    const_cast<CancelToken*>(this)->Fire(StatusCode::kDeadlineExceeded);
+    return true;
+  }
+
+  void Fire(StatusCode why) {
+    uint8_t expected = static_cast<uint8_t>(StatusCode::kOk);
+    code_.compare_exchange_strong(expected, static_cast<uint8_t>(why),
+                                  std::memory_order_acq_rel);
+    stopped_.store(true, std::memory_order_release);
+  }
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<uint8_t> code_{static_cast<uint8_t>(StatusCode::kOk)};
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_CANCEL_H_

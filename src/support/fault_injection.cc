@@ -1,0 +1,81 @@
+#include "src/support/fault_injection.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace specmine {
+namespace {
+
+struct Entry {
+  int countdown = 0;
+  bool throws = false;
+  Status fault;
+  bool spent = false;
+};
+
+// Slow-path state, only touched when armed_ is true.
+std::mutex& Mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, Entry>& Sites() {
+  static std::map<std::string, Entry> sites;
+  return sites;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(const std::string& site, int countdown,
+                        Status fault) {
+  std::lock_guard<std::mutex> lock(Mu());
+  Entry& e = Sites()[site];
+  e.countdown = countdown;
+  e.throws = false;
+  e.fault = std::move(fault);
+  e.spent = false;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmThrow(const std::string& site, int countdown) {
+  std::lock_guard<std::mutex> lock(Mu());
+  Entry& e = Sites()[site];
+  e.countdown = countdown;
+  e.throws = true;
+  e.fault = Status::Internal("injected throw");
+  e.spent = false;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mu());
+  Sites().clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+Status FaultInjector::Check(const char* site) {
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  bool throw_now = false;
+  Status fault = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(Mu());
+    auto it = Sites().find(site);
+    if (it == Sites().end() || it->second.spent) return Status::OK();
+    Entry& e = it->second;
+    if (e.countdown-- > 0) return Status::OK();
+    e.spent = true;
+    throw_now = e.throws;
+    fault = e.fault;
+  }
+  if (throw_now) throw std::runtime_error(std::string("injected fault at ") + site);
+  return fault;
+}
+
+}  // namespace specmine

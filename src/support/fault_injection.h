@@ -1,0 +1,76 @@
+// Deterministic fault injection for robustness tests.
+//
+// FaultInjector is a process-wide singleton compiled into every build. It
+// is a no-op unless a test (or the CLI under SPECMINE_FAULT env control)
+// arms a named *site*: the fast path is one relaxed atomic load, so the
+// hooks cost nothing in production. Sites are string keys chosen at the
+// call site, e.g. "trace_io.open", "shard_set.shard_open",
+// "format_util.rename", "thread_pool.task".
+//
+// Two kinds of faults:
+//   * Status faults (Arm): Check(site) returns the armed Status after the
+//     countdown reaches zero, modelling a failed open/read/rename.
+//   * Throw faults (ArmThrow): Check(site) throws std::runtime_error,
+//     modelling a misbehaving user callback escaping into a worker thread.
+//
+// The countdown makes "fail the Nth open" scenarios deterministic. Tests
+// must Disarm() (or use ScopedFault) so state never leaks across cases.
+
+#ifndef SPECMINE_SUPPORT_FAULT_INJECTION_H_
+#define SPECMINE_SUPPORT_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/support/status.h"
+
+namespace specmine {
+
+/// \brief Process-wide injection registry. All members thread-safe.
+class FaultInjector {
+ public:
+  /// \brief The singleton instance.
+  static FaultInjector& Instance();
+
+  /// \brief Arms \p site: the (countdown+1)-th Check(site) call returns
+  /// \p fault (countdown 0 = the next call). Replaces any earlier arming.
+  void Arm(const std::string& site, int countdown, Status fault);
+
+  /// \brief Arms \p site to throw std::runtime_error at the
+  /// (countdown+1)-th Check(site) call.
+  void ArmThrow(const std::string& site, int countdown);
+
+  /// \brief Disarms every site.
+  void DisarmAll();
+
+  /// \brief The hook: OK and near-free when nothing is armed.
+  Status Check(const char* site);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+};
+
+/// \brief RAII arming: disarms everything on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(const std::string& site, int countdown, Status fault) {
+    FaultInjector::Instance().Arm(site, countdown, std::move(fault));
+  }
+  ~ScopedFault() { FaultInjector::Instance().DisarmAll(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+/// \brief Call-site hook; returns OK unless \p site is armed and due.
+inline Status CheckFault(const char* site) {
+  return FaultInjector::Instance().Check(site);
+}
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_FAULT_INJECTION_H_

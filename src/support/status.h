@@ -24,6 +24,8 @@ enum class StatusCode : uint8_t {
   kParseError = 4,
   kOutOfRange = 5,
   kInternal = 6,
+  kCancelled = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK", "IOError"...).
@@ -66,6 +68,14 @@ class Status {
   /// \brief Returns an Internal error with the given message.
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// \brief Returns a Cancelled error with the given message.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// \brief Returns a DeadlineExceeded error with the given message.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// \brief True iff the status represents success.

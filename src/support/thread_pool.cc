@@ -1,7 +1,11 @@
 #include "src/support/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 #include <utility>
+
+#include "src/support/fault_injection.h"
 
 namespace specmine {
 
@@ -65,9 +69,28 @@ void ThreadPool::WorkerLoop(size_t worker) {
                     [&] { return TryPop(worker, &task) || shutdown_; });
       if (!task) return;  // Shutdown with nothing left to run.
     }
-    task();
+    // An exception escaping a task body (a throwing user sink, a bad
+    // allocation deep in a miner subtree) must not std::terminate the
+    // process: record the first one as a kInternal Status for the owner
+    // of the fan-out to pick up via TakeError().
+    Status failed = Status::OK();
+    try {
+      Status injected = CheckFault("thread_pool.task");
+      if (!injected.ok()) {
+        failed = injected;
+      } else {
+        task();
+      }
+    } catch (const std::exception& e) {
+      failed = Status::Internal(
+          std::string("exception escaped a worker task: ") + e.what());
+    } catch (...) {
+      failed = Status::Internal(
+          "non-standard exception escaped a worker task");
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (!failed.ok() && error_.ok()) error_ = failed;
       if (--pending_ == 0) idle_cv_.notify_all();
     }
   }
@@ -76,6 +99,13 @@ void ThreadPool::WorkerLoop(size_t worker) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+Status ThreadPool::TakeError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status out = std::move(error_);
+  error_ = Status::OK();
+  return out;
 }
 
 }  // namespace specmine

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/support/status.h"
+
 namespace specmine {
 
 /// \brief Fixed-size work-stealing thread pool.
@@ -38,6 +40,12 @@ class ThreadPool {
   /// \brief Blocks until every submitted task has finished.
   void Wait();
 
+  /// \brief Returns (and clears) the first exception any worker caught
+  /// since the last call, converted to a kInternal Status — OK when every
+  /// task body returned normally. An exception escaping a task no longer
+  /// std::terminates the process; it fails the owning fan-out instead.
+  Status TakeError();
+
   /// \brief Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
 
@@ -54,24 +62,26 @@ class ThreadPool {
   }
 
   /// \brief Runs fn(i) for every i in [0, n) on this pool's workers and
-  /// blocks until all calls finish. The pool must be otherwise idle (the
+  /// blocks until all calls finish, returning the first error a task body
+  /// threw (converted to kInternal). The pool must be otherwise idle (the
   /// miners run one fan-out at a time; an Engine session serializes its
   /// tasks).
   template <typename Fn>
-  void ParallelFor(size_t n, Fn&& fn) {
+  Status ParallelFor(size_t n, Fn&& fn) {
     for (size_t i = 0; i < n; ++i) {
       Submit([i, &fn] { fn(i); });
     }
     Wait();
+    return TakeError();
   }
 
   /// \brief Runs fn(i) for every i in [0, n) on a fresh pool of
   /// \p num_threads workers and blocks until all calls finish — the
   /// shared scaffold of the miners' per-root-job fan-out.
   template <typename Fn>
-  static void ParallelFor(size_t num_threads, size_t n, Fn&& fn) {
+  static Status ParallelFor(size_t num_threads, size_t n, Fn&& fn) {
     ThreadPool pool(num_threads);
-    pool.ParallelFor(n, std::forward<Fn>(fn));
+    return pool.ParallelFor(n, std::forward<Fn>(fn));
   }
 
   /// \brief ParallelFor on \p shared when it matches the requested worker
@@ -79,13 +89,12 @@ class ThreadPool {
   /// miners route every fan-out through this so a long-lived session
   /// amortizes thread spawns across requests.
   template <typename Fn>
-  static void ParallelForShared(ThreadPool* shared, size_t num_threads,
-                                size_t n, Fn&& fn) {
+  static Status ParallelForShared(ThreadPool* shared, size_t num_threads,
+                                  size_t n, Fn&& fn) {
     if (shared != nullptr && shared->num_threads() == num_threads) {
-      shared->ParallelFor(n, std::forward<Fn>(fn));
-      return;
+      return shared->ParallelFor(n, std::forward<Fn>(fn));
     }
-    ParallelFor(num_threads, n, std::forward<Fn>(fn));
+    return ParallelFor(num_threads, n, std::forward<Fn>(fn));
   }
 
  private:
@@ -100,6 +109,7 @@ class ThreadPool {
   size_t pending_ = 0;             // Submitted but not yet finished.
   size_t next_queue_ = 0;          // Round-robin submission cursor.
   bool shutdown_ = false;
+  Status error_ = Status::OK();    // First caught task exception.
 };
 
 }  // namespace specmine

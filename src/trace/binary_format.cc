@@ -21,10 +21,12 @@ namespace specmine {
 
 namespace {
 
-// Fixed 64-byte header. All multi-byte fields are little-endian; the
+// Fixed-size header. All multi-byte fields are little-endian; the
 // section offsets are derived from the counts, so corrupting a count can
 // only shrink/grow the expected file size, which is checked against the
-// real one.
+// real one. v1 headers are the first 56 bytes padded to 64; v2 headers
+// are 96 bytes: the same 56, then four per-section XXH64 digests at
+// [56, 88), then a header checksum over bytes [0, 88) at [88, 96).
 struct SmdbHeader {
   unsigned char magic[8];
   uint32_t version;
@@ -35,9 +37,26 @@ struct SmdbHeader {
   uint64_t names_bytes;
   uint64_t file_bytes;
 };
-static_assert(sizeof(SmdbHeader) == 56, "header packs to 56 + 8 pad");
+static_assert(sizeof(SmdbHeader) == 56, "header packs to 56 + pad");
 
-constexpr size_t kHeaderBytes = 64;
+// v2 checksum block, stored at byte 56 of the header.
+struct SmdbChecksums {
+  uint64_t name_offsets;  // XXH64 of the name-offset table (unpadded).
+  uint64_t names;         // XXH64 of the name blob (unpadded).
+  uint64_t seq_offsets;   // XXH64 of the trace-offset table.
+  uint64_t arena;         // XXH64 of the event arena (unpadded).
+  uint64_t header;        // XXH64 of header bytes [0, 88).
+};
+static_assert(sizeof(SmdbChecksums) == 40, "five u64 digests");
+
+constexpr size_t kHeaderBytesV1 = 64;
+constexpr size_t kHeaderBytesV2 = 96;
+constexpr size_t kChecksumsOffset = 56;
+constexpr size_t kHeaderChecksumSpan = 88;  // header digest covers [0, 88).
+
+constexpr size_t HeaderBytes(uint32_t version) {
+  return version >= 2 ? kHeaderBytesV2 : kHeaderBytesV1;
+}
 
 // Field caps that make every section-offset computation below safe in
 // uint64 arithmetic (and reject nonsense counts early).
@@ -54,10 +73,11 @@ struct SectionLayout {
   uint64_t file_bytes;
 };
 
-SectionLayout ComputeLayout(uint64_t num_events, uint64_t num_sequences,
-                            uint64_t total_events, uint64_t names_bytes) {
+SectionLayout ComputeLayout(uint32_t version, uint64_t num_events,
+                            uint64_t num_sequences, uint64_t total_events,
+                            uint64_t names_bytes) {
   SectionLayout l;
-  l.name_offsets_off = kHeaderBytes;
+  l.name_offsets_off = HeaderBytes(version);
   l.names_off = l.name_offsets_off + 8 * (num_events + 1);
   l.seq_offsets_off = l.names_off + PadTo8(names_bytes);
   l.arena_off = l.seq_offsets_off + 8 * (num_sequences + 1);
@@ -77,8 +97,21 @@ Status Corrupt(const std::string& path, const std::string& what) {
 
 uint64_t SmdbFileBytes(uint64_t num_events, uint64_t num_sequences,
                        uint64_t total_events, uint64_t names_bytes) {
-  return ComputeLayout(num_events, num_sequences, total_events, names_bytes)
+  return ComputeLayout(kSmdbVersion, num_events, num_sequences, total_events,
+                       names_bytes)
       .file_bytes;
+}
+
+const char* IntegrityModeName(IntegrityMode mode) {
+  switch (mode) {
+    case IntegrityMode::kOff:
+      return "off";
+    case IntegrityMode::kHeader:
+      return "header";
+    case IntegrityMode::kFull:
+      return "full";
+  }
+  return "unknown";
 }
 
 bool IsSmdbPath(const std::string& path) {
@@ -87,26 +120,34 @@ bool IsSmdbPath(const std::string& path) {
          path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
 }
 
-Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out) {
+Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out,
+                           uint32_t version) {
   SPECMINE_RETURN_NOT_OK(CheckHostEndianness());
+  if (version != kSmdbVersionLegacy && version != kSmdbVersion) {
+    return Status::InvalidArgument("unsupported .smdb write version " +
+                                   std::to_string(version));
+  }
   const EventDictionary& dict = db.dictionary();
   const uint64_t num_events = dict.size();
   const uint64_t num_sequences = db.size();
   const uint64_t total_events = db.TotalEvents();
 
-  // Dictionary CSR: name offsets into the concatenated blob.
+  // Dictionary CSR: name offsets into the concatenated blob. The blob is
+  // materialized so the v2 section digest hashes contiguous bytes.
   std::vector<uint64_t> name_offsets(num_events + 1, 0);
+  std::string name_blob;
   for (uint64_t i = 0; i < num_events; ++i) {
-    name_offsets[i + 1] =
-        name_offsets[i] + dict.Name(static_cast<EventId>(i)).size();
+    const std::string& name = dict.Name(static_cast<EventId>(i));
+    name_offsets[i + 1] = name_offsets[i] + name.size();
+    name_blob += name;
   }
   const uint64_t names_bytes = name_offsets[num_events];
-  const SectionLayout layout =
-      ComputeLayout(num_events, num_sequences, total_events, names_bytes);
+  const SectionLayout layout = ComputeLayout(
+      version, num_events, num_sequences, total_events, names_bytes);
 
   SmdbHeader header{};
   std::memcpy(header.magic, kSmdbMagic, sizeof(kSmdbMagic));
-  header.version = kSmdbVersion;
+  header.version = version;
   header.num_events = num_events;
   header.num_sequences = num_sequences;
   header.total_events = total_events;
@@ -119,12 +160,25 @@ Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out) {
     out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
   };
   write(&header, sizeof(header));
-  write(zeros, kHeaderBytes - sizeof(header));
-  write(name_offsets.data(), 8 * name_offsets.size());
-  for (uint64_t i = 0; i < num_events; ++i) {
-    const std::string& name = dict.Name(static_cast<EventId>(i));
-    write(name.data(), name.size());
+  if (version >= 2) {
+    using format_util::XXH64;
+    SmdbChecksums sums{};
+    sums.name_offsets = XXH64(name_offsets.data(), 8 * name_offsets.size());
+    sums.names = XXH64(name_blob.data(), name_blob.size());
+    sums.seq_offsets = XXH64(db.offsets(), 8 * (num_sequences + 1));
+    sums.arena = XXH64(db.arena(), 4 * total_events);
+    // The header digest covers the 56 packed bytes plus the four section
+    // digests — i.e. everything before itself, with the struct pad zeroed.
+    unsigned char head_bytes[kHeaderChecksumSpan] = {};
+    std::memcpy(head_bytes, &header, sizeof(header));
+    std::memcpy(head_bytes + kChecksumsOffset, &sums, 4 * sizeof(uint64_t));
+    sums.header = XXH64(head_bytes, kHeaderChecksumSpan);
+    write(&sums, sizeof(sums));
+  } else {
+    write(zeros, kHeaderBytesV1 - sizeof(header));
   }
+  write(name_offsets.data(), 8 * name_offsets.size());
+  write(name_blob.data(), name_blob.size());
   write(zeros, PadTo8(names_bytes) - names_bytes);
   write(db.offsets(), 8 * (num_sequences + 1));
   write(db.arena(), 4 * total_events);
@@ -134,14 +188,21 @@ Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out) {
 }
 
 Status WriteBinaryDatabaseFile(const SequenceDatabase& db,
-                               const std::string& path) {
-  return format_util::AtomicWriteFile(path, [&db](std::ostream& out) {
-    return WriteBinaryDatabase(db, out);
-  });
+                               const std::string& path, uint32_t version) {
+  return format_util::AtomicWriteFile(
+      path, [&db, version](std::ostream& out) {
+        return WriteBinaryDatabase(db, out, version);
+      });
 }
 
 Result<MappedDatabase> MappedDatabase::Open(const std::string& path) {
+  return Open(path, SmdbOpenOptions{});
+}
+
+Result<MappedDatabase> MappedDatabase::Open(const std::string& path,
+                                            const SmdbOpenOptions& options) {
   SPECMINE_RETURN_NOT_OK(CheckHostEndianness());
+  SPECMINE_RETURN_NOT_OK(CheckFault("binary_format.open"));
   MappedDatabase mapped;
 
 #ifdef SPECMINE_HAVE_MMAP
@@ -179,7 +240,7 @@ Result<MappedDatabase> MappedDatabase::Open(const std::string& path) {
 #endif
 
   const unsigned char* bytes = static_cast<const unsigned char*>(mapped.map_);
-  if (mapped.map_len_ < kHeaderBytes) {
+  if (mapped.map_len_ < kHeaderBytesV1) {
     return Corrupt(path, "file is " + std::to_string(mapped.map_len_) +
                              " bytes, smaller than the 64-byte header");
   }
@@ -188,17 +249,33 @@ Result<MappedDatabase> MappedDatabase::Open(const std::string& path) {
   if (std::memcmp(header.magic, kSmdbMagic, sizeof(kSmdbMagic)) != 0) {
     return Corrupt(path, "bad magic (not a .smdb file)");
   }
-  if (header.version != kSmdbVersion) {
+  if (header.version != kSmdbVersionLegacy && header.version != kSmdbVersion) {
     return Corrupt(path, "unsupported format version " +
                              std::to_string(header.version) + " (reader is v" +
                              std::to_string(kSmdbVersion) + ")");
+  }
+  mapped.file_version_ = header.version;
+  SmdbChecksums sums{};
+  if (header.version >= 2) {
+    if (mapped.map_len_ < kHeaderBytesV2) {
+      return Corrupt(path, "file is " + std::to_string(mapped.map_len_) +
+                               " bytes, smaller than the 96-byte v2 header");
+    }
+    std::memcpy(&sums, bytes + kChecksumsOffset, sizeof(sums));
+    // Verify the header digest before trusting any count field: a flipped
+    // bit anywhere in the header surfaces as a checksum mismatch rather
+    // than a downstream structural error.
+    if (options.integrity != IntegrityMode::kOff &&
+        format_util::XXH64(bytes, kHeaderChecksumSpan) != sums.header) {
+      return Corrupt(path, "header checksum mismatch");
+    }
   }
   if (header.num_events > kMaxIds || header.num_sequences > kMaxIds ||
       header.total_events > kMaxBytes || header.names_bytes > kMaxBytes) {
     return Corrupt(path, "header counts exceed format limits");
   }
   const SectionLayout layout =
-      ComputeLayout(header.num_events, header.num_sequences,
+      ComputeLayout(header.version, header.num_events, header.num_sequences,
                     header.total_events, header.names_bytes);
   if (layout.file_bytes != header.file_bytes) {
     return Corrupt(path, "header size fields are inconsistent");
@@ -218,6 +295,24 @@ Result<MappedDatabase> MappedDatabase::Open(const std::string& path) {
   const EventId* arena =
       reinterpret_cast<const EventId*>(bytes + layout.arena_off);
 
+  if (header.version >= 2 && options.integrity == IntegrityMode::kFull) {
+    using format_util::XXH64;
+    if (XXH64(name_offsets, 8 * (header.num_events + 1)) !=
+        sums.name_offsets) {
+      return Corrupt(path, "name offset table checksum mismatch");
+    }
+    if (XXH64(names, header.names_bytes) != sums.names) {
+      return Corrupt(path, "name blob checksum mismatch");
+    }
+    if (XXH64(seq_offsets, 8 * (header.num_sequences + 1)) !=
+        sums.seq_offsets) {
+      return Corrupt(path, "trace offset table checksum mismatch");
+    }
+    if (XXH64(arena, 4 * header.total_events) != sums.arena) {
+      return Corrupt(path, "event arena checksum mismatch");
+    }
+  }
+
   if (name_offsets[0] != 0 ||
       name_offsets[header.num_events] != header.names_bytes) {
     return Corrupt(path, "name offset table does not span the name blob");
@@ -236,6 +331,19 @@ Result<MappedDatabase> MappedDatabase::Open(const std::string& path) {
     if (seq_offsets[s + 1] < seq_offsets[s]) {
       return Corrupt(path, "out-of-bounds trace offset at sequence " +
                                std::to_string(s));
+    }
+  }
+  // Every event id in the arena must name a dictionary entry: all
+  // downstream consumers (index builds, shard remaps, name lookups)
+  // index by these ids without further checks, so an out-of-range id
+  // here would be undefined behaviour later instead of a clean error.
+  for (uint64_t e = 0; e < header.total_events; ++e) {
+    if (arena[e] >= header.num_events) {
+      return Corrupt(path, "event id " + std::to_string(arena[e]) +
+                               " at arena index " + std::to_string(e) +
+                               " is outside the dictionary (" +
+                               std::to_string(header.num_events) +
+                               " entries)");
     }
   }
 
@@ -262,10 +370,12 @@ MappedDatabase::MappedDatabase(MappedDatabase&& other) noexcept
     : map_(other.map_),
       map_len_(other.map_len_),
       mmap_(other.mmap_),
+      file_version_(other.file_version_),
       db_(std::move(other.db_)) {
   other.map_ = nullptr;
   other.map_len_ = 0;
   other.mmap_ = false;
+  other.file_version_ = 0;
 }
 
 MappedDatabase& MappedDatabase::operator=(MappedDatabase&& other) noexcept {
@@ -274,10 +384,12 @@ MappedDatabase& MappedDatabase::operator=(MappedDatabase&& other) noexcept {
   map_ = other.map_;
   map_len_ = other.map_len_;
   mmap_ = other.mmap_;
+  file_version_ = other.file_version_;
   db_ = std::move(other.db_);
   other.map_ = nullptr;
   other.map_len_ = 0;
   other.mmap_ = false;
+  other.file_version_ = 0;
   return *this;
 }
 

@@ -5,7 +5,9 @@
 // Layout (little-endian, all sections 8-byte aligned; see README.md,
 // "Storage layout & binary format"):
 //
-//     [0,  64)  header: magic "SMDB\r\n\x1a\n", version, counts, sizes
+//     [0,  96)  header: magic "SMDB\r\n\x1a\n", version, counts, sizes,
+//               four per-section XXH64 checksums, header checksum (v2;
+//               v1 headers are 64 bytes and carry no checksums)
 //     name offsets   (num_events + 1) x u64   CSR into the name blob
 //     name blob      names_bytes raw bytes, padded to 8
 //     trace offsets  (num_sequences + 1) x u64  CSR into the arena
@@ -16,7 +18,11 @@
 // into the mapping — only the (small) dictionary is materialized. The
 // reader validates magic, version, section bounds against the real file
 // size, and offset-table monotonicity, returning Status on truncation or
-// corruption rather than crashing on a hostile file.
+// corruption rather than crashing on a hostile file. Payload integrity is
+// governed by IntegrityMode: kHeader (default) additionally verifies the
+// v2 header checksum, kFull re-hashes every section against the stored
+// XXH64 digests, kOff skips both. v1 files (no checksums) still open
+// under every mode with structural validation only.
 
 #ifndef SPECMINE_TRACE_BINARY_FORMAT_H_
 #define SPECMINE_TRACE_BINARY_FORMAT_H_
@@ -38,26 +44,56 @@ inline constexpr const char* kSmdbExtension = ".smdb";
 inline constexpr unsigned char kSmdbMagic[8] = {'S',  'M',  'D',  'B',
                                                 0x0d, 0x0a, 0x1a, 0x0a};
 
-/// \brief Current format version.
-inline constexpr uint32_t kSmdbVersion = 1;
+/// \brief Current format version (96-byte header with XXH64 checksums).
+inline constexpr uint32_t kSmdbVersion = 2;
+
+/// \brief The checksum-less legacy version (64-byte header). Still
+/// readable; WriteBinaryDatabase can still produce it for compat tests.
+inline constexpr uint32_t kSmdbVersionLegacy = 1;
+
+/// \brief How much integrity checking Open() performs beyond the
+/// structural validation (magic, bounds, monotonicity) that always runs.
+enum class IntegrityMode : uint8_t {
+  /// Structural validation only; stored checksums are ignored.
+  kOff,
+  /// Also verify the header checksum (v2+; a v1 file has none, so this
+  /// degrades to structural-only). The default: O(1) extra work.
+  kHeader,
+  /// Also re-hash every section against its stored digest. O(file size);
+  /// use for `specmine verify` and paranoid opens.
+  kFull,
+};
+
+/// \brief Human-readable integrity-mode name ("off"/"header"/"full").
+const char* IntegrityModeName(IntegrityMode mode);
 
 /// \brief True iff \p path names a .smdb file (case-sensitive suffix test;
 /// the CLI uses it to accept packed databases everywhere traces are).
 bool IsSmdbPath(const std::string& path);
 
 /// \brief Exact size in bytes of the .smdb file a database with these
-/// counts serializes to (header + all sections, with their 8-byte
-/// padding). The ShardWriter uses it to rotate shards before a size bound
-/// is crossed; docs/smdb_format.md derives the same formula.
+/// counts serializes to at the current version (header + all sections,
+/// with their 8-byte padding). The ShardWriter uses it to rotate shards
+/// before a size bound is crossed; docs/smdb_format.md derives the same
+/// formula.
 uint64_t SmdbFileBytes(uint64_t num_events, uint64_t num_sequences,
                        uint64_t total_events, uint64_t names_bytes);
 
-/// \brief Writes \p db as a .smdb stream.
-Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out);
+/// \brief Writes \p db as a .smdb stream at the current format version.
+/// Pass \p version = kSmdbVersionLegacy to produce a checksum-less v1
+/// file (compatibility tests only).
+Status WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out,
+                           uint32_t version = kSmdbVersion);
 
 /// \brief Writes \p db as a .smdb file at \p path.
 Status WriteBinaryDatabaseFile(const SequenceDatabase& db,
-                               const std::string& path);
+                               const std::string& path,
+                               uint32_t version = kSmdbVersion);
+
+/// \brief Options for MappedDatabase::Open.
+struct SmdbOpenOptions {
+  IntegrityMode integrity = IntegrityMode::kHeader;
+};
 
 /// \brief A .smdb file mapped into memory, exposing its contents as a
 /// zero-copy SequenceDatabase view.
@@ -67,8 +103,14 @@ Status WriteBinaryDatabaseFile(const SequenceDatabase& db,
 /// mapping, so the MappedDatabase must outlive every reader. Move-only.
 class MappedDatabase {
  public:
-  /// \brief Maps and validates the .smdb file at \p path.
+  /// \brief Maps and validates the .smdb file at \p path with default
+  /// options (IntegrityMode::kHeader).
   static Result<MappedDatabase> Open(const std::string& path);
+
+  /// \brief Maps and validates with explicit integrity options. A
+  /// checksum mismatch is reported as ParseError naming the section.
+  static Result<MappedDatabase> Open(const std::string& path,
+                                     const SmdbOpenOptions& options);
 
   /// \brief An empty mapping (no file, empty db()) — a placeholder to
   /// move-assign an Open() result into (the ShardedDatabase does this per
@@ -87,12 +129,16 @@ class MappedDatabase {
   /// \brief Size of the underlying mapping in bytes.
   size_t mapped_bytes() const { return map_len_; }
 
+  /// \brief The on-disk format version of the opened file (1 or 2).
+  uint32_t file_version() const { return file_version_; }
+
  private:
   void Release();
 
   void* map_ = nullptr;   // mmap base (or heap buffer when mmap_ is false).
   size_t map_len_ = 0;
   bool mmap_ = false;     // True when map_ came from mmap(2).
+  uint32_t file_version_ = 0;
   SequenceDatabase db_;
 };
 

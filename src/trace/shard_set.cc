@@ -16,7 +16,9 @@ namespace {
 // Fixed 96-byte manifest header; all multi-byte fields little-endian. The
 // section offsets derive from the counts (docs/smdb_format.md), so a
 // corrupted count can only move the expected file size, which is checked
-// against the real one.
+// against the real one. v1 pads the 80 packed bytes with 16 zeros; v2
+// stores a payload digest at [80, 88) (XXH64 over bytes
+// [96, file_bytes)) and a header digest at [88, 96) (XXH64 over [0, 88)).
 struct SmdbSetHeader {
   unsigned char magic[8];
   uint32_t version;
@@ -33,6 +35,9 @@ struct SmdbSetHeader {
 static_assert(sizeof(SmdbSetHeader) == 80, "header packs to 80 + 16 pad");
 
 constexpr size_t kSetHeaderBytes = 96;
+constexpr size_t kSetPayloadChecksumOffset = 80;
+constexpr size_t kSetHeaderChecksumOffset = 88;
+constexpr size_t kSetHeaderChecksumSpan = 88;  // Digest covers [0, 88).
 
 // Per-shard fixed record in the shard table section.
 struct SetShardRecord {
@@ -127,7 +132,13 @@ bool IsSmdbSetPath(const std::string& path) {
 // ShardedDatabase.
 
 Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
+  return Open(path, SetOpenOptions{});
+}
+
+Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
+                                              const SetOpenOptions& options) {
   SPECMINE_RETURN_NOT_OK(CheckHostEndianness());
+  SPECMINE_RETURN_NOT_OK(CheckFault("shard_set.manifest_open"));
 
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open .smdbset manifest: " + path);
@@ -146,10 +157,22 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
   if (std::memcmp(header.magic, kSmdbSetMagic, sizeof(kSmdbSetMagic)) != 0) {
     return Corrupt(path, "bad magic (not a .smdbset manifest)");
   }
-  if (header.version != kSmdbSetVersion) {
+  if (header.version != kSmdbSetVersionLegacy &&
+      header.version != kSmdbSetVersion) {
     return Corrupt(path, "unsupported manifest version " +
                              std::to_string(header.version) + " (reader is v" +
                              std::to_string(kSmdbSetVersion) + ")");
+  }
+  if (header.version >= 2 && options.integrity != IntegrityMode::kOff) {
+    // Header digest first, so a flipped header bit is always reported as
+    // a checksum mismatch rather than a downstream structural error.
+    uint64_t stored_header_sum = 0;
+    std::memcpy(&stored_header_sum,
+                bytes.data() + kSetHeaderChecksumOffset, 8);
+    if (format_util::XXH64(bytes.data(), kSetHeaderChecksumSpan) !=
+        stored_header_sum) {
+      return Corrupt(path, "header checksum mismatch");
+    }
   }
   if (header.num_shards > kMaxIds || header.num_events > kMaxIds ||
       header.total_sequences > kMaxBytes ||
@@ -169,6 +192,16 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
                              std::to_string(layout.file_bytes) +
                              " bytes, file has " +
                              std::to_string(bytes.size()));
+  }
+  if (header.version >= 2 && options.integrity == IntegrityMode::kFull) {
+    uint64_t stored_payload_sum = 0;
+    std::memcpy(&stored_payload_sum,
+                bytes.data() + kSetPayloadChecksumOffset, 8);
+    if (format_util::XXH64(bytes.data() + kSetHeaderBytes,
+                           layout.file_bytes - kSetHeaderBytes) !=
+        stored_payload_sum) {
+      return Corrupt(path, "payload checksum mismatch");
+    }
   }
 
   const unsigned char* base =
@@ -240,6 +273,10 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
     return Corrupt(path, "shard table totals disagree with the header");
   }
 
+  set.report_.shards_total = header.num_shards;
+  const bool quarantine =
+      options.policy == ShardFailurePolicy::kQuarantine;
+  uint64_t healthy_sequences = 0, healthy_events = 0;
   uint64_t remap_cursor = 0;
   for (uint64_t s = 0; s < header.num_shards; ++s) {
     const SetShardRecord& rec = shard_records[s];
@@ -253,49 +290,84 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
     shard.remap.assign(remap + remap_cursor,
                        remap + remap_cursor + rec.num_local_events);
     remap_cursor += rec.num_local_events;
-    for (uint64_t l = 0; l < rec.num_local_events; ++l) {
+
+    // Everything from here down is scoped to this one shard, so under
+    // ShardFailurePolicy::kQuarantine a failure excludes the shard
+    // instead of failing the set.
+    Status shard_status = Status::OK();
+    for (uint64_t l = 0; shard_status.ok() && l < rec.num_local_events;
+         ++l) {
       if (shard.remap[l] >= header.num_events) {
-        return Corrupt(path, "shard " + std::to_string(s) +
-                                 " remap entry " + std::to_string(l) +
-                                 " exceeds the merged dictionary");
+        shard_status = Corrupt(path, "shard " + std::to_string(s) +
+                                         " remap entry " + std::to_string(l) +
+                                         " exceeds the merged dictionary");
+      }
+    }
+    if (shard_status.ok()) {
+      shard_status = CheckFault("shard_set.shard_open");
+    }
+    if (shard_status.ok()) {
+      SmdbOpenOptions shard_options;
+      shard_options.integrity = options.integrity;
+      Result<MappedDatabase> mapped =
+          MappedDatabase::Open(shard.path, shard_options);
+      if (!mapped.ok()) {
+        // A missing shard stays IOError; corruption (bad magic, wrong
+        // version, truncation, checksum mismatch) stays ParseError — both
+        // with the set context.
+        const std::string what =
+            "shard " + std::to_string(s) + " of " + path + ": " +
+            mapped.status().message();
+        shard_status = mapped.status().code() == StatusCode::kIOError
+                           ? Status::IOError(what)
+                           : Status::ParseError(what);
+      } else {
+        shard.mapped = mapped.TakeValueOrDie();
+      }
+    }
+    if (shard_status.ok()) {
+      const SequenceDatabase& db = shard.mapped.db();
+      if (db.size() != rec.num_sequences ||
+          db.TotalEvents() != rec.total_events ||
+          db.dictionary().size() != rec.num_local_events) {
+        shard_status =
+            Corrupt(path, "shard " + std::to_string(s) + " (" + shard.path +
+                              ") disagrees with its manifest record");
+      }
+    }
+    if (shard_status.ok()) {
+      // The remap must translate every local name to the same merged name
+      // — this is what makes the merged ids meaningful.
+      const SequenceDatabase& db = shard.mapped.db();
+      for (uint64_t l = 0; shard_status.ok() && l < rec.num_local_events;
+           ++l) {
+        if (db.dictionary().Name(static_cast<EventId>(l)) !=
+            set.dictionary_.Name(shard.remap[l])) {
+          shard_status =
+              Corrupt(path, "shard " + std::to_string(s) +
+                                " dictionary disagrees with its remap at "
+                                "local id " +
+                                std::to_string(l));
+        }
       }
     }
 
-    Result<MappedDatabase> mapped = MappedDatabase::Open(shard.path);
-    if (!mapped.ok()) {
-      // A missing shard stays IOError; corruption (bad magic, wrong
-      // version, truncation) stays ParseError — both with the set context.
-      const std::string what =
-          "shard " + std::to_string(s) + " of " + path + ": " +
-          mapped.status().message();
-      return mapped.status().code() == StatusCode::kIOError
-                 ? Status::IOError(what)
-                 : Status::ParseError(what);
+    if (!shard_status.ok()) {
+      if (!quarantine) return shard_status;
+      set.report_.quarantined.push_back(QuarantinedShard{
+          static_cast<size_t>(s), shard.path, shard_status.message()});
+      continue;
     }
-    shard.mapped = mapped.TakeValueOrDie();
-    const SequenceDatabase& db = shard.mapped.db();
-    if (db.size() != rec.num_sequences ||
-        db.TotalEvents() != rec.total_events ||
-        db.dictionary().size() != rec.num_local_events) {
-      return Corrupt(path, "shard " + std::to_string(s) + " (" + shard.path +
-                               ") disagrees with its manifest record");
-    }
-    // The remap must translate every local name to the same merged name —
-    // this is what makes the merged ids meaningful.
-    for (uint64_t l = 0; l < rec.num_local_events; ++l) {
-      if (db.dictionary().Name(static_cast<EventId>(l)) !=
-          set.dictionary_.Name(shard.remap[l])) {
-        return Corrupt(path, "shard " + std::to_string(s) +
-                                 " dictionary disagrees with its remap at "
-                                 "local id " +
-                                 std::to_string(l));
-      }
-    }
+    healthy_sequences += rec.num_sequences;
+    healthy_events += rec.total_events;
     set.shards_.push_back(std::move(shard));
   }
 
-  set.total_sequences_ = header.total_sequences;
-  set.total_events_ = header.total_events;
+  // Healthy-subset totals: equal to the header totals when nothing was
+  // quarantined (the shard table was cross-checked above), smaller
+  // otherwise — so fractional support thresholds rescale automatically.
+  set.total_sequences_ = healthy_sequences;
+  set.total_events_ = healthy_events;
   return set;
 }
 
@@ -493,48 +565,64 @@ Status ShardWriter::WriteManifest() const {
   header.paths_bytes = paths_bytes;
   header.file_bytes = layout.file_bytes;
 
-  return format_util::AtomicWriteFile(manifest_path_, [&](std::ostream&
-                                                              out) {
-    // Large enough for the biggest gap: the 16-byte header pad (section
-    // pads are at most 7).
-    const char zeros[16] = {};
-    auto write = [&out](const void* data, size_t n) {
-      if (n == 0) return;
-      out.write(static_cast<const char*>(data),
-                static_cast<std::streamsize>(n));
-    };
-    write(&header, sizeof(header));
-    write(zeros, kSetHeaderBytes - sizeof(header));
-    write(name_offsets.data(), 8 * name_offsets.size());
-    for (size_t i = 0; i < merged_.size(); ++i) {
-      const std::string& name = merged_.Name(static_cast<EventId>(i));
-      write(name.data(), name.size());
-    }
-    write(zeros, PadTo8(names_bytes) - names_bytes);
-    for (const ShardRecord& rec : records_) {
-      SetShardRecord packed{rec.num_sequences, rec.total_events,
-                            rec.remap.size()};
-      write(&packed, sizeof(packed));
-    }
-    for (const ShardRecord& rec : records_) {
-      write(rec.remap.data(), 4 * rec.remap.size());
-    }
-    write(zeros, PadTo8(4 * remap_entries) - 4 * remap_entries);
-    std::vector<uint64_t> path_offsets(records_.size() + 1, 0);
-    for (size_t s = 0; s < records_.size(); ++s) {
-      path_offsets[s + 1] =
-          path_offsets[s] + records_[s].relative_path.size();
-    }
-    write(path_offsets.data(), 8 * path_offsets.size());
-    for (const ShardRecord& rec : records_) {
-      write(rec.relative_path.data(), rec.relative_path.size());
-    }
-    write(zeros, PadTo8(paths_bytes) - paths_bytes);
-    if (!out) {
-      return Status::IOError("stream error while writing the manifest");
-    }
-    return Status::OK();
-  });
+  // The payload (everything after the header) is assembled in memory —
+  // manifests are metadata-sized — so the v2 payload digest hashes one
+  // contiguous buffer, then header and payload are streamed out.
+  std::string payload;
+  payload.reserve(layout.file_bytes - kSetHeaderBytes);
+  const char zeros[8] = {};
+  auto append = [&payload](const void* data, size_t n) {
+    if (n == 0) return;
+    payload.append(static_cast<const char*>(data), n);
+  };
+  append(name_offsets.data(), 8 * name_offsets.size());
+  for (size_t i = 0; i < merged_.size(); ++i) {
+    const std::string& name = merged_.Name(static_cast<EventId>(i));
+    append(name.data(), name.size());
+  }
+  append(zeros, PadTo8(names_bytes) - names_bytes);
+  for (const ShardRecord& rec : records_) {
+    SetShardRecord packed{rec.num_sequences, rec.total_events,
+                          rec.remap.size()};
+    append(&packed, sizeof(packed));
+  }
+  for (const ShardRecord& rec : records_) {
+    append(rec.remap.data(), 4 * rec.remap.size());
+  }
+  append(zeros, PadTo8(4 * remap_entries) - 4 * remap_entries);
+  std::vector<uint64_t> path_offsets(records_.size() + 1, 0);
+  for (size_t s = 0; s < records_.size(); ++s) {
+    path_offsets[s + 1] = path_offsets[s] + records_[s].relative_path.size();
+  }
+  append(path_offsets.data(), 8 * path_offsets.size());
+  for (const ShardRecord& rec : records_) {
+    append(rec.relative_path.data(), rec.relative_path.size());
+  }
+  append(zeros, PadTo8(paths_bytes) - paths_bytes);
+  if (payload.size() != layout.file_bytes - kSetHeaderBytes) {
+    return Status::Internal("manifest payload size disagrees with layout");
+  }
+
+  unsigned char head_bytes[kSetHeaderBytes] = {};
+  std::memcpy(head_bytes, &header, sizeof(header));
+  const uint64_t payload_sum =
+      format_util::XXH64(payload.data(), payload.size());
+  std::memcpy(head_bytes + kSetPayloadChecksumOffset, &payload_sum, 8);
+  const uint64_t header_sum =
+      format_util::XXH64(head_bytes, kSetHeaderChecksumSpan);
+  std::memcpy(head_bytes + kSetHeaderChecksumOffset, &header_sum, 8);
+
+  return format_util::AtomicWriteFile(
+      manifest_path_, [&](std::ostream& out) {
+        out.write(reinterpret_cast<const char*>(head_bytes),
+                  kSetHeaderBytes);
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        if (!out) {
+          return Status::IOError("stream error while writing the manifest");
+        }
+        return Status::OK();
+      });
 }
 
 Status WriteShardedDatabase(const SequenceDatabase& db,

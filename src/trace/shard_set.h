@@ -46,8 +46,48 @@ inline constexpr const char* kSmdbSetExtension = ".smdbset";
 inline constexpr unsigned char kSmdbSetMagic[8] = {'S',  'M',  'D',  'S',
                                                    0x0d, 0x0a, 0x1a, 0x0a};
 
-/// \brief Current manifest format version.
-inline constexpr uint32_t kSmdbSetVersion = 1;
+/// \brief Current manifest format version (v2 adds a payload checksum
+/// and a header checksum in the previously-reserved header pad).
+inline constexpr uint32_t kSmdbSetVersion = 2;
+
+/// \brief The checksum-less legacy manifest version. Still readable.
+inline constexpr uint32_t kSmdbSetVersionLegacy = 1;
+
+/// \brief What to do when one shard of a set fails to open or validate.
+enum class ShardFailurePolicy : uint8_t {
+  /// Any bad shard fails the whole Open (the historical behavior).
+  kFail,
+  /// Bad shards (missing, corrupt, wrong version, checksum mismatch,
+  /// manifest disagreement) are quarantined: recorded in the open report
+  /// and excluded, and the set presents only the healthy subset. Totals
+  /// reflect surviving shards, so fractional support thresholds rescale
+  /// to the surviving trace count automatically.
+  kQuarantine,
+};
+
+/// \brief One shard excluded by ShardFailurePolicy::kQuarantine.
+struct QuarantinedShard {
+  /// Manifest position of the shard (0-based).
+  size_t index = 0;
+  /// Resolved shard file path.
+  std::string path;
+  /// Why it was excluded (the underlying Status message).
+  std::string error;
+};
+
+/// \brief Options for ShardedDatabase::Open.
+struct SetOpenOptions {
+  /// Integrity checking for the manifest and every shard.
+  IntegrityMode integrity = IntegrityMode::kHeader;
+  /// Per-shard failure handling.
+  ShardFailurePolicy policy = ShardFailurePolicy::kFail;
+};
+
+/// \brief What Open found: total shard count and any quarantined shards.
+struct SetOpenReport {
+  size_t shards_total = 0;
+  std::vector<QuarantinedShard> quarantined;
+};
 
 /// \brief True iff \p path names a .smdbset manifest (case-sensitive
 /// suffix test; the CLI uses it to accept shard sets everywhere traces
@@ -67,6 +107,17 @@ class ShardedDatabase {
   /// corrupt, has the wrong format version, or disagrees with the manifest
   /// (counts, dictionary size, or any name/remap mismatch).
   static Result<ShardedDatabase> Open(const std::string& path);
+
+  /// \brief Open with explicit integrity mode and shard-failure policy.
+  /// Under ShardFailurePolicy::kQuarantine, per-shard failures are
+  /// recorded in open_report() instead of failing the whole set; manifest
+  /// corruption still fails regardless of policy.
+  static Result<ShardedDatabase> Open(const std::string& path,
+                                      const SetOpenOptions& options);
+
+  /// \brief The open report: manifest shard count and quarantined shards
+  /// (always empty under ShardFailurePolicy::kFail).
+  const SetOpenReport& open_report() const { return report_; }
 
   ShardedDatabase(ShardedDatabase&&) noexcept = default;
   ShardedDatabase& operator=(ShardedDatabase&&) noexcept = default;
@@ -94,10 +145,10 @@ class ShardedDatabase {
   /// \brief The merged dictionary over all shards.
   const EventDictionary& dictionary() const { return dictionary_; }
 
-  /// \brief Total sequences across shards. O(1).
+  /// \brief Total sequences across open (healthy) shards. O(1).
   size_t TotalSequences() const { return total_sequences_; }
 
-  /// \brief Total events across shards. O(1).
+  /// \brief Total events across open (healthy) shards. O(1).
   size_t TotalEvents() const { return total_events_; }
 
   /// \brief Materializes the logical (concatenated, remapped) database:
@@ -119,6 +170,7 @@ class ShardedDatabase {
   std::vector<Shard> shards_;
   size_t total_sequences_ = 0;
   size_t total_events_ = 0;
+  SetOpenReport report_;
 };
 
 /// \brief Options for ShardWriter / WriteShardedDatabase.

@@ -5,11 +5,13 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/support/fault_injection.h"
 #include "src/support/strings.h"
 
 namespace specmine {
 
 Result<SequenceDatabase> ReadTextTraces(std::istream& in) {
+  SPECMINE_RETURN_NOT_OK(CheckFault("trace_io.read"));
   SequenceDatabaseBuilder builder;
   std::string line;
   size_t line_no = 0;
@@ -27,6 +29,7 @@ Result<SequenceDatabase> ReadTextTraces(std::istream& in) {
 }
 
 Result<SequenceDatabase> ReadTextTraceFile(const std::string& path) {
+  SPECMINE_RETURN_NOT_OK(CheckFault("trace_io.open"));
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open trace file: " + path);
   return ReadTextTraces(in);

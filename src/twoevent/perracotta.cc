@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/support/cancel.h"
+
 namespace specmine {
 
 const char* PairTemplateName(PairTemplate t) {
@@ -121,8 +123,10 @@ std::vector<TwoEventRule> MinePerracotta(const SequenceDatabase& db,
   std::vector<TwoEventRule> out;
   const size_t num_events = db.dictionary().size();
   for (EventId a = 0; a < num_events; ++a) {
+    if (options.cancel != nullptr && options.cancel->ShouldStopExact()) break;
     for (EventId b = 0; b < num_events; ++b) {
       if (a == b) continue;
+      if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
       uint64_t relevant = 0;
       uint64_t base_satisfying = 0;
       std::vector<std::string> projections;

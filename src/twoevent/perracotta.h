@@ -27,6 +27,8 @@
 
 namespace specmine {
 
+class CancelToken;
+
 /// \brief The Perracotta template hierarchy.
 enum class PairTemplate {
   kResponse,
@@ -76,6 +78,9 @@ struct PerracottaOptions {
   /// Template to check; the miner reports the strictest satisfied template
   /// at or above this one in permissiveness.
   PairTemplate base_template = PairTemplate::kResponse;
+  /// Optional cooperative stop signal, polled per event pair. Not owned;
+  /// may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Enumerates all ordered pairs of events and reports those whose

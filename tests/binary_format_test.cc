@@ -238,7 +238,7 @@ TEST(BinaryFormatTest, RejectsOutOfBoundsTraceOffsets) {
   }
   const uint64_t names_padded = (names_bytes + 7) & ~uint64_t{7};
   const size_t seq_offsets_off =
-      static_cast<size_t>(64 + 8 * (num_events + 1) + names_padded);
+      static_cast<size_t>(96 + 8 * (num_events + 1) + names_padded);
   // Overwrite the second trace offset with a value past the arena end (and
   // past the next offset): both the monotonicity and span checks must
   // refuse to build spans from it.
@@ -260,6 +260,83 @@ TEST(BinaryFormatTest, RejectsOutOfBoundsTraceOffsets) {
   r = MappedDatabase::Open(path);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(BinaryFormatTest, V2FilesCarryVerifiableChecksums) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("checksums.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  SmdbOpenOptions full;
+  full.integrity = IntegrityMode::kFull;
+  Result<MappedDatabase> r = MappedDatabase::Open(path, full);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->file_version(), kSmdbVersion);
+  EXPECT_EQ(r->db().size(), db.size());
+}
+
+TEST(BinaryFormatTest, HeaderBitFlipIsCaughtByDefaultOpen) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("headerflip.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  // Corrupt a count field (num_sequences, byte 24). The header checksum —
+  // verified before any count is trusted — must report it, not the
+  // downstream structural checks.
+  bytes[24] ^= 0x01;
+  WriteAll(path, bytes);
+  Result<MappedDatabase> r = MappedDatabase::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+  // kOff skips checksums; the structural size check still refuses it.
+  SmdbOpenOptions off;
+  off.integrity = IntegrityMode::kOff;
+  EXPECT_FALSE(MappedDatabase::Open(path, off).ok());
+}
+
+TEST(BinaryFormatTest, PayloadBitFlipIsCaughtByFullIntegrity) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("payloadflip.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  // Flip the low bit of the first arena id: the result is still a valid
+  // dictionary id (the sample alphabet has an even size), so structural
+  // validation cannot see it — only the kFull digest can.
+  const size_t arena_begin = bytes.size() - db.TotalEvents() * 4;
+  bytes[arena_begin] ^= 0x01;
+  WriteAll(path, bytes);
+  // Header-only open cannot see it (the arena still parses structurally).
+  Result<MappedDatabase> lax = MappedDatabase::Open(path);
+  ASSERT_TRUE(lax.ok()) << lax.status().ToString();
+  // Full integrity re-hashes the sections and refuses.
+  SmdbOpenOptions full;
+  full.integrity = IntegrityMode::kFull;
+  Result<MappedDatabase> r = MappedDatabase::Open(path, full);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, LegacyV1FilesStillOpenUnderEveryMode) {
+  SequenceDatabase db = SampleDb();
+  const std::string path = TempPath("legacy.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, path, kSmdbVersionLegacy).ok());
+  for (IntegrityMode mode :
+       {IntegrityMode::kOff, IntegrityMode::kHeader, IntegrityMode::kFull}) {
+    SmdbOpenOptions options;
+    options.integrity = mode;
+    Result<MappedDatabase> r = MappedDatabase::Open(path, options);
+    ASSERT_TRUE(r.ok()) << IntegrityModeName(mode) << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r->file_version(), kSmdbVersionLegacy);
+    ASSERT_EQ(r->db().size(), db.size());
+    for (SeqId s = 0; s < db.size(); ++s) EXPECT_EQ(r->db()[s], db[s]);
+  }
+  // And a v1 file is 32 bytes smaller than the v2 encoding of the same db.
+  std::vector<char> v1 = ReadAll(path);
+  const std::string v2_path = TempPath("legacy_v2.smdb");
+  ASSERT_TRUE(WriteBinaryDatabaseFile(db, v2_path).ok());
+  EXPECT_EQ(ReadAll(v2_path).size(), v1.size() + 32);
 }
 
 TEST(BinaryFormatTest, RejectsInconsistentHeaderSizes) {

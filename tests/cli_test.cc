@@ -55,7 +55,7 @@ TEST_F(CliTest, StatsPrintsShape) {
 }
 
 TEST_F(CliTest, StatsMissingFileFails) {
-  EXPECT_EQ(Run({"stats", "/no/such/file"}), 1);
+  EXPECT_EQ(Run({"stats", "/no/such/file"}), 5);
   EXPECT_NE(err_.str().find("IOError"), std::string::npos);
 }
 
@@ -65,7 +65,7 @@ TEST_F(CliTest, StatsTracePrintsOneTrace) {
 }
 
 TEST_F(CliTest, StatsTraceOutOfRangeIsAnErrorNotACrash) {
-  EXPECT_EQ(Run({"stats", path_, "--trace", "17"}), 1);
+  EXPECT_EQ(Run({"stats", path_, "--trace", "17"}), 3);
   EXPECT_NE(err_.str().find("OutOfRange"), std::string::npos);
   EXPECT_NE(err_.str().find("17"), std::string::npos);
 }
@@ -149,12 +149,12 @@ TEST_F(CliTest, PackShardBytesRequiresSmdbSetOutput) {
 }
 
 TEST_F(CliTest, MineFromMissingShardSetFailsCleanly) {
-  EXPECT_EQ(Run({"mine-rules", "/no/such/corpus.smdbset"}), 1);
+  EXPECT_EQ(Run({"mine-rules", "/no/such/corpus.smdbset"}), 5);
   EXPECT_NE(err_.str().find("IOError"), std::string::npos);
 }
 
 TEST_F(CliTest, StatsTraceHugeIdReportsTheRequestedId) {
-  EXPECT_EQ(Run({"stats", path_, "--trace", "5000000000"}), 1);
+  EXPECT_EQ(Run({"stats", path_, "--trace", "5000000000"}), 3);
   EXPECT_NE(err_.str().find("5000000000"), std::string::npos);
 }
 
@@ -166,7 +166,7 @@ TEST_F(CliTest, PackMissingOutputPathFails) {
 TEST_F(CliTest, MineFromCorruptSmdbFailsCleanly) {
   const std::string bogus = ::testing::TempDir() + "cli_test_bogus.smdb";
   std::ofstream(bogus) << "this is not a binary database";
-  EXPECT_EQ(Run({"mine-rules", bogus}), 1);
+  EXPECT_EQ(Run({"mine-rules", bogus}), 4);
   EXPECT_NE(err_.str().find("ParseError"), std::string::npos);
   std::remove(bogus.c_str());
 }
@@ -218,7 +218,7 @@ TEST_F(CliTest, CheckViolationReturnsOne) {
 }
 
 TEST_F(CliTest, CheckBadFormulaFails) {
-  EXPECT_EQ(Run({"check", path_, "--ltl", "G(lock -> "}), 1);
+  EXPECT_EQ(Run({"check", path_, "--ltl", "G(lock -> "}), 4);
   EXPECT_NE(err_.str().find("ParseError"), std::string::npos);
 }
 
@@ -239,7 +239,7 @@ TEST_F(CliTest, MalformedCsvFailsWithLineNumber) {
     std::ofstream out(csv_path);
     out << "t1,lock\nt1,unlock\nbroken-row\n";
   }
-  EXPECT_EQ(Run({"stats", csv_path, "--csv"}), 1);
+  EXPECT_EQ(Run({"stats", csv_path, "--csv"}), 4);
   EXPECT_NE(err_.str().find("ParseError"), std::string::npos);
   EXPECT_NE(err_.str().find("line 3"), std::string::npos);
   std::remove(csv_path.c_str());
@@ -248,7 +248,7 @@ TEST_F(CliTest, MalformedCsvFailsWithLineNumber) {
 TEST_F(CliTest, OutOfRangeConfidenceFails) {
   EXPECT_EQ(Run({"mine-rules", path_, "--min-ssup", "0.9", "--min-conf",
                  "1.5"}),
-            2);
+            3);
   EXPECT_NE(err_.str().find("InvalidArgument"), std::string::npos);
   EXPECT_NE(err_.str().find("min_confidence"), std::string::npos);
 }
@@ -267,7 +267,7 @@ TEST_F(CliTest, MineEpisodes) {
 }
 
 TEST_F(CliTest, MineEpisodesZeroWindowFails) {
-  EXPECT_EQ(Run({"mine-episodes", path_, "--window", "0"}), 2);
+  EXPECT_EQ(Run({"mine-episodes", path_, "--window", "0"}), 3);
   EXPECT_NE(err_.str().find("window_width"), std::string::npos);
 }
 
@@ -275,6 +275,104 @@ TEST_F(CliTest, MinePairs) {
   EXPECT_EQ(Run({"mine-pairs", path_, "--min-sat", "1.0"}), 0);
   EXPECT_NE(out_.str().find("two-event rules"), std::string::npos);
   EXPECT_NE(out_.str().find("lock"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyWithoutArgsIsUsageError) {
+  EXPECT_EQ(Run({"verify"}), 2);
+  EXPECT_NE(err_.str().find("usage"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyGoodSmdbPasses) {
+  const std::string packed = ::testing::TempDir() + "cli_test_verify.smdb";
+  ASSERT_EQ(Run({"pack", path_, packed}), 0);
+  EXPECT_EQ(Run({"verify", packed}), 0);
+  EXPECT_NE(out_.str().find("OK"), std::string::npos);
+  EXPECT_NE(out_.str().find("format v2"), std::string::npos);
+  std::remove(packed.c_str());
+}
+
+TEST_F(CliTest, VerifyCorruptSmdbFailsWithCorruptionExitCode) {
+  const std::string packed = ::testing::TempDir() + "cli_test_verify2.smdb";
+  ASSERT_EQ(Run({"pack", path_, packed}), 0);
+  {
+    std::fstream f(packed, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(24);  // Inside the counts block: caught by the header digest.
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(24);
+    b ^= 0x01;
+    f.write(&b, 1);
+  }
+  EXPECT_EQ(Run({"verify", packed}), 4);
+  EXPECT_NE(err_.str().find("checksum"), std::string::npos);
+  std::remove(packed.c_str());
+}
+
+TEST_F(CliTest, VerifyQuarantineReportsBadShardsAndFailsNonZero) {
+  const std::string sharded = ::testing::TempDir() + "cli_test_vq.smdbset";
+  const std::string shard0 = ::testing::TempDir() + "cli_test_vq.0000.smdb";
+  ASSERT_EQ(Run({"pack", path_, sharded, "--shard-bytes", "200"}), 0);
+  {
+    std::ofstream f(shard0, std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  // kFail (default): hard error on the bad shard.
+  EXPECT_NE(Run({"verify", sharded}), 0);
+  // kQuarantine: the report names the shard; exit is still non-zero so
+  // scripts can use verify as a health probe.
+  EXPECT_EQ(Run({"verify", sharded, "--quarantine"}), 4);
+  EXPECT_NE(out_.str().find("QUARANTINED shard 0"), std::string::npos);
+  for (int i = 0; i < 8; ++i) {
+    std::string shard = ::testing::TempDir() + "cli_test_vq.000" +
+                        std::to_string(i) + ".smdb";
+    std::remove(shard.c_str());
+  }
+  std::remove(sharded.c_str());
+}
+
+TEST_F(CliTest, QuarantineMinesTheHealthySubset) {
+  const std::string sharded = ::testing::TempDir() + "cli_test_dq.smdbset";
+  const std::string shard0 = ::testing::TempDir() + "cli_test_dq.0000.smdb";
+  ASSERT_EQ(Run({"pack", path_, sharded, "--shard-bytes", "200"}), 0);
+  {
+    std::ofstream f(shard0, std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  // Without --quarantine the corrupt shard fails the whole run.
+  EXPECT_EQ(Run({"mine-patterns", sharded, "--min-sup", "0.9"}), 4);
+  // Degraded mode: the healthy subset still mines.
+  EXPECT_EQ(
+      Run({"mine-patterns", sharded, "--min-sup", "0.9", "--quarantine"}),
+      0);
+  EXPECT_NE(out_.str().find("patterns"), std::string::npos);
+  for (int i = 0; i < 8; ++i) {
+    std::string shard = ::testing::TempDir() + "cli_test_dq.000" +
+                        std::to_string(i) + ".smdb";
+    std::remove(shard.c_str());
+  }
+  std::remove(sharded.c_str());
+}
+
+TEST_F(CliTest, BadIntegrityFlagIsAnInvalidArgument) {
+  EXPECT_EQ(Run({"stats", path_, "--integrity", "paranoid"}), 3);
+  EXPECT_NE(err_.str().find("--integrity"), std::string::npos);
+}
+
+TEST_F(CliTest, ExpiredTimeoutCancelsMiningWithExitSix) {
+  // A zero budget has already passed when mining starts, so the run stops
+  // at the first cancellation point — deterministic, corpus-independent.
+  EXPECT_EQ(Run({"mine-patterns", path_, "--min-sup", "0.9", "--timeout-ms",
+                 "0"}),
+            6);
+  EXPECT_NE(err_.str().find("deadline"), std::string::npos);
+}
+
+TEST_F(CliTest, ExpiredTimeoutOnEveryMineCommand) {
+  for (const char* cmd :
+       {"mine-rules", "mine-seq", "mine-episodes", "mine-pairs"}) {
+    EXPECT_EQ(Run({cmd, path_, "--timeout-ms", "0"}), 6) << cmd;
+    EXPECT_NE(err_.str().find("deadline"), std::string::npos) << cmd;
+  }
 }
 
 TEST_F(CliTest, CsvInput) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -183,6 +184,61 @@ TEST(ShardEngineTest, ShardIndexesAreCachedAcrossCalls) {
   ASSERT_TRUE(second.ok());
   EXPECT_GT(first->index_build_seconds, 0.0);
   EXPECT_EQ(second->index_build_seconds, 0.0);  // Cached per-shard indexes.
+}
+
+// Degraded mode end to end: one corrupted shard, quarantine policy, and
+// the session mines the healthy subset while the report says what was
+// lost.
+TEST(ShardEngineTest, QuarantinedShardIsReportedAndMiningSucceeds) {
+  SequenceDatabase db = RandomDb(61, 40, 10, 6);
+  const std::string smdbset = TempPath("quarantine.smdbset");
+  ShardWriterOptions options;
+  options.shard_bytes = 400;
+  ASSERT_TRUE(WriteShardedDatabase(db, smdbset, options).ok());
+  std::string shard0;
+  size_t shards_total = 0;
+  {
+    Result<ShardedDatabase> probe = ShardedDatabase::Open(smdbset);
+    ASSERT_TRUE(probe.ok());
+    ASSERT_GT(probe->num_shards(), 1u);
+    shard0 = probe->shard_path(0);
+    shards_total = probe->num_shards();
+  }
+  {  // Corrupt shard 0 beyond recognition.
+    std::ofstream f(shard0, std::ios::binary | std::ios::trunc);
+    f << "not an smdb";
+  }
+
+  // Default policy: the session refuses to open.
+  ASSERT_FALSE(Engine::FromShardSet(smdbset).ok());
+
+  SetOpenOptions open_options;
+  open_options.policy = ShardFailurePolicy::kQuarantine;
+  Result<Engine> engine = Engine::FromShardSet(smdbset, open_options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->shard_set().num_shards(), shards_total - 1);
+
+  FullPatternsTask task;
+  task.options.min_support = 2;
+  CollectingPatternSink sink;
+  Result<RunReport> run = engine->MineSharded(task, sink);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->shards_total, shards_total);
+  EXPECT_EQ(run->shards_quarantined, 1u);
+  ASSERT_EQ(run->shard_errors.size(), 1u);
+  EXPECT_NE(run->shard_errors[0].find("shard 0"), std::string::npos);
+  EXPECT_NE(run->ToString().find("quarantined=1"), std::string::npos);
+
+  // The degraded output equals mining the healthy subset directly — i.e.
+  // thresholds rescale to the surviving traces, nothing silently counts
+  // the lost shard.
+  Result<Engine> healthy = Engine::Create(engine->shard_set().Merge());
+  ASSERT_TRUE(healthy.ok());
+  CollectingPatternSink expected;
+  ASSERT_TRUE(healthy->Mine(task, expected).ok());
+  EXPECT_EQ(
+      sink.set().ToString(engine->database().dictionary()),
+      expected.set().ToString(healthy->database().dictionary()));
 }
 
 TEST(ShardEngineTest, MineShardedOnUnshardedSessionIsAnError) {

@@ -333,6 +333,127 @@ TEST_F(ShardSetCorruptionTest, TinyFileIsRejected) {
   EXPECT_NE(r.status().message().find("header"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Checksums (v2) and quarantine.
+
+TEST_F(ShardSetCorruptionTest, ManifestHeaderBitFlipFailsTheChecksum) {
+  std::vector<char> bytes = ReadAll(manifest_);
+  bytes[20] = static_cast<char>(bytes[20] ^ 0x04);  // Inside num_shards.
+  WriteAll(manifest_, bytes);
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, ManifestPayloadBitFlipIsCaughtByFullMode) {
+  std::vector<char> bytes = ReadAll(manifest_);
+  // Flip one payload bit (the name blob / remap region past the header).
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x10);
+  WriteAll(manifest_, bytes);
+  SetOpenOptions full;
+  full.integrity = IntegrityMode::kFull;
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_, full);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, QuarantinePolicySkipsTheBadShard) {
+  Result<ShardedDatabase> healthy = ShardedDatabase::Open(manifest_);
+  ASSERT_TRUE(healthy.ok());
+  const size_t full_shards = healthy->num_shards();
+  const size_t full_sequences = healthy->TotalSequences();
+  const size_t shard0_sequences = healthy->shard(0).size();
+  healthy = Status::IOError("released");  // Unmap before corrupting.
+
+  WriteAll(shard0_path_, std::vector<char>{'g', 'a', 'r', 'b', 'a', 'g', 'e'});
+
+  // kFail (default): the bad shard fails the whole open.
+  Result<ShardedDatabase> strict = ShardedDatabase::Open(manifest_);
+  ASSERT_FALSE(strict.ok());
+
+  // kQuarantine: the set opens over the healthy subset; the report names
+  // the excluded shard and totals rescale to the survivors.
+  SetOpenOptions options;
+  options.policy = ShardFailurePolicy::kQuarantine;
+  Result<ShardedDatabase> degraded = ShardedDatabase::Open(manifest_, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->num_shards(), full_shards - 1);
+  EXPECT_EQ(degraded->open_report().shards_total, full_shards);
+  ASSERT_EQ(degraded->open_report().quarantined.size(), 1u);
+  EXPECT_EQ(degraded->open_report().quarantined[0].index, 0u);
+  EXPECT_EQ(degraded->open_report().quarantined[0].path, shard0_path_);
+  EXPECT_FALSE(degraded->open_report().quarantined[0].error.empty());
+  EXPECT_EQ(degraded->TotalSequences(), full_sequences - shard0_sequences);
+  // The merged database holds only surviving traces.
+  EXPECT_EQ(degraded->Merge().size(), full_sequences - shard0_sequences);
+}
+
+TEST_F(ShardSetCorruptionTest, QuarantineCoversMissingShardFiles) {
+  ASSERT_EQ(std::remove(shard0_path_.c_str()), 0);
+  SetOpenOptions options;
+  options.policy = ShardFailurePolicy::kQuarantine;
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->open_report().quarantined.size(), 1u);
+  EXPECT_EQ(r->open_report().quarantined[0].index, 0u);
+}
+
+TEST_F(ShardSetCorruptionTest, QuarantineDoesNotExcuseManifestCorruption) {
+  std::vector<char> bytes = ReadAll(manifest_);
+  bytes.resize(bytes.size() - 8);  // Truncated manifest.
+  WriteAll(manifest_, bytes);
+  SetOpenOptions options;
+  options.policy = ShardFailurePolicy::kQuarantine;
+  Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_, options);
+  ASSERT_FALSE(r.ok());  // The manifest itself has no quarantine.
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(ShardSetCorruptionTest, ShardChecksumMismatchQuarantinesUnderFull) {
+  // Flip a byte in shard 0's name-offset table (past the 96-byte header):
+  // the full-integrity re-hash reports it as a section checksum mismatch.
+  std::vector<char> bytes = ReadAll(shard0_path_);
+  bytes[97] = static_cast<char>(bytes[97] ^ 0x20);
+  WriteAll(shard0_path_, bytes);
+
+  SetOpenOptions full_fail;
+  full_fail.integrity = IntegrityMode::kFull;
+  Result<ShardedDatabase> strict = ShardedDatabase::Open(manifest_, full_fail);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("checksum"), std::string::npos);
+
+  SetOpenOptions full_quarantine;
+  full_quarantine.integrity = IntegrityMode::kFull;
+  full_quarantine.policy = ShardFailurePolicy::kQuarantine;
+  Result<ShardedDatabase> degraded =
+      ShardedDatabase::Open(manifest_, full_quarantine);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_EQ(degraded->open_report().quarantined.size(), 1u);
+  EXPECT_NE(degraded->open_report().quarantined[0].error.find("checksum"),
+            std::string::npos);
+}
+
+TEST_F(ShardSetCorruptionTest, LegacyV1ManifestStillOpens) {
+  // A v1 manifest is the same layout with a zeroed pad instead of
+  // checksums; patching the version field down and clearing the checksum
+  // block reproduces one bit-for-bit.
+  std::vector<char> bytes = ReadAll(manifest_);
+  const uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 8, &v1, sizeof(v1));
+  std::memset(bytes.data() + 80, 0, 16);  // The v2 checksum block.
+  WriteAll(manifest_, bytes);
+  for (IntegrityMode mode : {IntegrityMode::kOff, IntegrityMode::kHeader,
+                             IntegrityMode::kFull}) {
+    SetOpenOptions options;
+    options.integrity = mode;
+    Result<ShardedDatabase> r = ShardedDatabase::Open(manifest_, options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->TotalSequences(), SampleDb().size());
+  }
+}
+
 TEST(ShardSetTest, OpenMissingManifestIsIOError) {
   Result<ShardedDatabase> r =
       ShardedDatabase::Open("/nonexistent/corpus.smdbset");

@@ -1,17 +1,21 @@
 // Unit tests for src/support: Status/Result, RNG & samplers, strings,
-// stopwatch.
+// stopwatch, thread pool error capture, fault injection.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "src/support/fault_injection.h"
 #include "src/support/random.h"
 #include "src/support/status.h"
 #include "src/support/stopwatch.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace specmine {
 namespace {
@@ -253,6 +257,74 @@ TEST(StringsTest, StartsWith) {
   EXPECT_TRUE(StartsWith("TxManager.begin", "TxManager"));
   EXPECT_FALSE(StartsWith("Tx", "TxManager"));
   EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  Status s = ThreadPool::ParallelFor(4, hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(s.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// The regression the fault-tolerance work pins down: an exception escaping
+// a task body (a misbehaving user callback on a worker thread) becomes a
+// kInternal Status from the fan-out instead of std::terminate.
+TEST(ThreadPoolTest, TaskExceptionBecomesInternalStatus) {
+  Status s = ThreadPool::ParallelFor(3, 16, [](size_t i) {
+    if (i == 7) throw std::runtime_error("sink blew up");
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("sink blew up"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, TakeErrorClearsAfterReporting) {
+  ThreadPool pool(2);
+  Status first = pool.ParallelFor(4, [](size_t i) {
+    if (i == 0) throw std::runtime_error("once");
+  });
+  EXPECT_EQ(first.code(), StatusCode::kInternal);
+  Status second = pool.ParallelFor(4, [](size_t) {});
+  EXPECT_TRUE(second.ok());  // The earlier error does not leak forward.
+}
+
+TEST(ThreadPoolTest, NonExceptionThrowIsStillCaught) {
+  Status s = ThreadPool::ParallelFor(2, 4, [](size_t i) {
+    if (i == 1) throw 42;  // Not derived from std::exception.
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(FaultInjectionTest, UnarmedSiteIsFree) {
+  EXPECT_TRUE(CheckFault("support_test.nowhere").ok());
+}
+
+TEST(FaultInjectionTest, CountdownFiresOnTheNthCall) {
+  ScopedFault fault("support_test.site", 2, Status::IOError("injected"));
+  EXPECT_TRUE(CheckFault("support_test.site").ok());
+  EXPECT_TRUE(CheckFault("support_test.site").ok());
+  Status hit = CheckFault("support_test.site");
+  ASSERT_FALSE(hit.ok());
+  EXPECT_EQ(hit.code(), StatusCode::kIOError);
+  EXPECT_NE(hit.message().find("injected"), std::string::npos);
+}
+
+TEST(FaultInjectionTest, DisarmAllRestoresTheFastPath) {
+  FaultInjector::Instance().Arm("support_test.other", 0,
+                                Status::IOError("boom"));
+  FaultInjector::Instance().DisarmAll();
+  EXPECT_TRUE(CheckFault("support_test.other").ok());
+}
+
+TEST(FaultInjectionTest, ArmedThrowSurfacesThroughThePool) {
+  FaultInjector::Instance().ArmThrow("thread_pool.task", 0);
+  Status s = ThreadPool::ParallelFor(2, 8, [](size_t) {});
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
 }
 
 }  // namespace

@@ -1,0 +1,253 @@
+// Deterministic corruption fuzzer for the .smdb / .smdbset readers.
+//
+// Builds a small synthetic corpus, packs it both ways, then applies N
+// seeded mutations (bit flips, truncations, byte splats) to the packed
+// bytes and re-opens the result under every IntegrityMode (and, for sets,
+// both ShardFailurePolicy values). The contract under test: every open
+// either succeeds or returns a clean Status — it never crashes, reads out
+// of bounds, or trips a sanitizer. Successful opens are walked end to end
+// so a structurally-accepted-but-bogus mapping would still fault under
+// ASan/UBSan rather than slip through.
+//
+//   fuzz_smdb [--iterations N] [--seed N] [--dir PATH]
+//
+// The default 500 iterations with the default seed is the CI
+// configuration (run under -fsanitize=address,undefined); any non-zero
+// exit or sanitizer report is a bug in the readers, not in the fuzzer.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/trace/binary_format.h"
+#include "src/trace/sequence_database.h"
+#include "src/trace/shard_set.h"
+
+namespace specmine {
+namespace {
+
+// Reads a whole file; empty optional-style via ok flag is overkill here —
+// the fuzzer controls every path it reads.
+std::vector<char> Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void Spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Consumes every byte a successful open exposes, so lazily-faulting
+// mappings are actually touched while the sanitizers watch.
+uint64_t WalkDatabase(const SequenceDatabase& db) {
+  uint64_t acc = db.size();
+  for (EventSpan seq : db) {
+    for (EventId ev : seq) acc = acc * 1099511628211ull + ev;
+  }
+  for (size_t i = 0; i < db.dictionary().size(); ++i) {
+    for (char c : db.dictionary().Name(static_cast<EventId>(i))) {
+      acc = acc * 31 + static_cast<unsigned char>(c);
+    }
+  }
+  return acc;
+}
+
+struct FuzzStats {
+  size_t opens = 0;
+  size_t accepted = 0;
+  size_t rejected = 0;
+  uint64_t sink = 0;  // Defeats dead-code elimination of the walks.
+};
+
+void TryOpenSmdb(const std::string& path, FuzzStats* stats) {
+  for (IntegrityMode mode :
+       {IntegrityMode::kOff, IntegrityMode::kHeader, IntegrityMode::kFull}) {
+    SmdbOpenOptions options;
+    options.integrity = mode;
+    Result<MappedDatabase> mapped = MappedDatabase::Open(path, options);
+    ++stats->opens;
+    if (mapped.ok()) {
+      ++stats->accepted;
+      stats->sink ^= WalkDatabase(mapped->db());
+    } else {
+      ++stats->rejected;
+      stats->sink ^= mapped.status().ToString().size();
+    }
+  }
+}
+
+void TryOpenSet(const std::string& path, FuzzStats* stats) {
+  for (IntegrityMode mode :
+       {IntegrityMode::kOff, IntegrityMode::kHeader, IntegrityMode::kFull}) {
+    for (ShardFailurePolicy policy :
+         {ShardFailurePolicy::kFail, ShardFailurePolicy::kQuarantine}) {
+      SetOpenOptions options;
+      options.integrity = mode;
+      options.policy = policy;
+      Result<ShardedDatabase> set = ShardedDatabase::Open(path, options);
+      ++stats->opens;
+      if (set.ok()) {
+        ++stats->accepted;
+        for (size_t s = 0; s < set->num_shards(); ++s) {
+          stats->sink ^= WalkDatabase(set->shard(s));
+        }
+        stats->sink ^= WalkDatabase(set->Merge());
+      } else {
+        ++stats->rejected;
+        stats->sink ^= set.status().ToString().size();
+      }
+    }
+  }
+}
+
+// One seeded mutation of \p pristine: bit flip, byte splat, or truncation.
+std::vector<char> Mutate(const std::vector<char>& pristine,
+                         std::mt19937_64* rng) {
+  std::vector<char> bytes = pristine;
+  if (bytes.empty()) return bytes;
+  switch ((*rng)() % 4) {
+    case 0: {  // Single bit flip.
+      const size_t at = (*rng)() % bytes.size();
+      bytes[at] = static_cast<char>(bytes[at] ^ (1u << ((*rng)() % 8)));
+      break;
+    }
+    case 1: {  // Byte splat.
+      const size_t at = (*rng)() % bytes.size();
+      bytes[at] = static_cast<char>((*rng)());
+      break;
+    }
+    case 2: {  // Truncate to a random prefix (possibly empty).
+      bytes.resize((*rng)() % bytes.size());
+      break;
+    }
+    default: {  // A short burst of flips — compound corruption.
+      const size_t flips = 1 + (*rng)() % 8;
+      for (size_t i = 0; i < flips; ++i) {
+        const size_t at = (*rng)() % bytes.size();
+        bytes[at] = static_cast<char>(bytes[at] ^ (1u << ((*rng)() % 8)));
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+int RunFuzz(size_t iterations, uint64_t seed, const std::string& dir) {
+  // A deterministic corpus: enough shape for several shards and a
+  // non-trivial dictionary, small enough that 500 iterations stay fast.
+  std::mt19937_64 gen(seed ^ 0x9e3779b97f4a7c15ull);
+  SequenceDatabaseBuilder builder;
+  for (size_t t = 0; t < 120; ++t) {
+    std::vector<EventId> seq;
+    const size_t len = 3 + gen() % 24;
+    for (size_t i = 0; i < len; ++i) {
+      const std::string name = "ev" + std::to_string(gen() % 40);
+      seq.push_back(builder.mutable_dictionary()->Intern(name));
+    }
+    builder.AddSequence(EventSpan(seq.data(), seq.data() + seq.size()));
+  }
+  SequenceDatabase db = builder.Build();
+
+  const std::string smdb = dir + "/fuzz_base.smdb";
+  const std::string set = dir + "/fuzz_base.smdbset";
+  const std::string mutated_smdb = dir + "/fuzz_mut.smdb";
+  const std::string mutated_set = dir + "/fuzz_mut.smdbset";
+  Status packed = WriteBinaryDatabaseFile(db, smdb);
+  if (!packed.ok()) {
+    std::fprintf(stderr, "pack smdb failed: %s\n",
+                 packed.ToString().c_str());
+    return 1;
+  }
+  ShardWriterOptions shard_options;
+  shard_options.shard_bytes = 4096;  // Forces several shards.
+  packed = WriteShardedDatabase(db, set, shard_options);
+  if (!packed.ok()) {
+    std::fprintf(stderr, "pack smdbset failed: %s\n",
+                 packed.ToString().c_str());
+    return 1;
+  }
+
+  // Mutation targets: the .smdb, the manifest, and every shard file. The
+  // shard files are mutated in place (restored after each iteration) so
+  // the set's relative-path resolution still finds them.
+  const std::vector<char> smdb_bytes = Slurp(smdb);
+  const std::vector<char> manifest_bytes = Slurp(set);
+  std::vector<std::string> shard_paths;
+  std::vector<std::vector<char>> shard_bytes;
+  {  // Scoped: unmap the set before mutating shard files in place.
+    Result<ShardedDatabase> opened = ShardedDatabase::Open(set);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "reopen smdbset failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t s = 0; s < opened->num_shards(); ++s) {
+      shard_paths.push_back(opened->shard_path(s));
+      shard_bytes.push_back(Slurp(opened->shard_path(s)));
+    }
+  }
+
+  std::mt19937_64 rng(seed);
+  FuzzStats stats;
+  for (size_t i = 0; i < iterations; ++i) {
+    switch (rng() % 3) {
+      case 0: {  // Mutate the standalone .smdb.
+        Spit(mutated_smdb, Mutate(smdb_bytes, &rng));
+        TryOpenSmdb(mutated_smdb, &stats);
+        break;
+      }
+      case 1: {  // Mutate the manifest (shards stay pristine).
+        Spit(mutated_set, Mutate(manifest_bytes, &rng));
+        // The mutated manifest resolves shards relative to its own
+        // directory, which is where the real shard files live — exactly
+        // the mixed-corruption case we want.
+        TryOpenSet(mutated_set, &stats);
+        break;
+      }
+      default: {  // Mutate one shard under the pristine manifest.
+        const size_t victim = rng() % shard_paths.size();
+        Spit(shard_paths[victim], Mutate(shard_bytes[victim], &rng));
+        TryOpenSet(set, &stats);
+        Spit(shard_paths[victim], shard_bytes[victim]);  // Restore.
+        break;
+      }
+    }
+  }
+
+  std::printf(
+      "fuzz_smdb: %zu mutations, %zu opens (%zu accepted, %zu rejected), "
+      "sink %llx\n",
+      iterations, stats.opens, stats.accepted, stats.rejected,
+      static_cast<unsigned long long>(stats.sink));
+  return 0;
+}
+
+}  // namespace
+}  // namespace specmine
+
+int main(int argc, char** argv) {
+  size_t iterations = 500;
+  uint64_t seed = 0x5eedf00dull;
+  std::string dir = ".";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--iterations") == 0) {
+      iterations = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dir") == 0) {
+      dir = argv[i + 1];
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_smdb [--iterations N] [--seed N] "
+                   "[--dir PATH]\n");
+      return 2;
+    }
+  }
+  return specmine::RunFuzz(iterations, seed, dir);
+}
