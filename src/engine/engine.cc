@@ -150,12 +150,16 @@ uint64_t Engine::AbsoluteSupport(double fraction) const {
 
 Result<const PositionIndex*> Engine::EnsureIndex(double* build_seconds) const {
   *build_seconds = 0.0;
+  // Concurrent cold callers serialize here; exactly one pays the build
+  // and the rest observe the published cache (a zero build_seconds — the
+  // cache-hit signal the server's metrics count).
+  std::lock_guard<std::mutex> lock(sync_->cache_mu);
   if (index_ == nullptr) {
     SPECMINE_RETURN_NOT_OK(CheckIndexable(*db_));
     Stopwatch sw;
     index_ = std::make_unique<PositionIndex>(*db_);
     *build_seconds = sw.ElapsedSeconds();
-    ++index_builds_;
+    sync_->index_builds.fetch_add(1, std::memory_order_acq_rel);
   }
   return index_.get();
 }
@@ -180,13 +184,14 @@ Result<CountingBackend> Engine::EnsureBackend(BackendChoice choice,
     if (!index.ok()) return index.status();
     return CountingBackend(**index);
   }
+  std::lock_guard<std::mutex> lock(sync_->cache_mu);
   if (bitmap_index_ == nullptr) {
     SPECMINE_RETURN_NOT_OK(CheckIndexable(*db_));
     SPECMINE_RETURN_NOT_OK(CheckBitmapIndexable(*db_));
     Stopwatch sw;
     bitmap_index_ = std::make_unique<BitmapIndex>(*db_);
     *build_seconds = sw.ElapsedSeconds();
-    ++index_builds_;
+    sync_->index_builds.fetch_add(1, std::memory_order_acq_rel);
   }
   return CountingBackend(*bitmap_index_);
 }
@@ -205,6 +210,7 @@ CountingBackend Engine::backend(BackendChoice choice) const {
 }
 
 const UnitDatabase& Engine::Units() const {
+  std::lock_guard<std::mutex> lock(sync_->cache_mu);
   if (units_ == nullptr) {
     units_ = std::make_unique<UnitDatabase>(
         UnitDatabase::WholeSequences(*db_));
@@ -212,13 +218,38 @@ const UnitDatabase& Engine::Units() const {
   return *units_;
 }
 
-ThreadPool* Engine::PoolFor(size_t requested_threads) const {
+Engine::PoolLease Engine::LeasePool(size_t requested_threads) const {
   const size_t resolved = ThreadPool::ResolveThreads(requested_threads);
-  if (resolved <= 1) return nullptr;
-  if (pool_ == nullptr || pool_->num_threads() != resolved) {
-    pool_ = std::make_unique<ThreadPool>(resolved);
+  if (resolved <= 1) return PoolLease(this, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(sync_->pool_mu);
+    for (auto it = idle_pools_.begin(); it != idle_pools_.end(); ++it) {
+      if ((*it)->num_threads() == resolved) {
+        std::unique_ptr<ThreadPool> pool = std::move(*it);
+        idle_pools_.erase(it);
+        return PoolLease(this, std::move(pool));
+      }
+    }
   }
-  return pool_.get();
+  // No matching idle pool: spawn outside the lock (thread creation is the
+  // expensive part and must not serialize other leases).
+  return PoolLease(this, std::make_unique<ThreadPool>(resolved));
+}
+
+void Engine::ReturnPool(std::unique_ptr<ThreadPool> pool) const {
+  // Bound the idle cache: a burst of concurrent mines must not leave a
+  // pile of sleeping worker threads behind for the session's lifetime.
+  constexpr size_t kMaxIdlePools = 4;
+  std::lock_guard<std::mutex> lock(sync_->pool_mu);
+  if (idle_pools_.size() < kMaxIdlePools) {
+    idle_pools_.push_back(std::move(pool));
+  }
+  // Else: the pool is destroyed here (workers join) as `pool` goes out of
+  // scope.
+}
+
+Engine::PoolLease::~PoolLease() {
+  if (pool_ != nullptr) session_->ReturnPool(std::move(pool_));
 }
 
 template <typename Task>
@@ -241,12 +272,13 @@ Result<RunReport> Engine::Mine(const FullPatternsTask& task,
       EnsureBackend(task.options.backend, &build_seconds);
   if (!backend.ok()) return backend.status();
   IterMinerStats stats;
+  PoolLease lease = LeasePool(task.options.num_threads);
   ScanFrequentIterative(
       *backend, task.options,
       [&sink](const Pattern& pattern, uint64_t support) {
         return sink.Consume(pattern, support);
       },
-      &stats, PoolFor(task.options.num_threads));
+      &stats, lease.pool());
   // The sink has already seen its prefix of the deterministic emission
   // order; a stopped run reports that as a Status.
   SPECMINE_RETURN_NOT_OK(FinishRun(stats.error, task.options.cancel));
@@ -263,8 +295,9 @@ Result<RunReport> Engine::Mine(const ClosedTask& task,
       EnsureBackend(task.options.backend, &build_seconds);
   if (!backend.ok()) return backend.status();
   IterMinerStats stats;
-  PatternSet mined = MineClosedIterative(*backend, task.options, &stats,
-                                         PoolFor(task.options.num_threads));
+  PoolLease lease = LeasePool(task.options.num_threads);
+  PatternSet mined =
+      MineClosedIterative(*backend, task.options, &stats, lease.pool());
   SPECMINE_RETURN_NOT_OK(FinishRun(stats.error, task.options.cancel));
   RunReport report = FromIterStats("closed-patterns", stats, build_seconds);
   report.backend = backend->name();
@@ -282,8 +315,9 @@ Result<RunReport> Engine::Mine(const GeneratorsTask& task,
       EnsureBackend(task.options.backend, &build_seconds);
   if (!backend.ok()) return backend.status();
   IterMinerStats stats;
-  PatternSet mined = MineIterativeGenerators(
-      *backend, task.options, &stats, PoolFor(task.options.num_threads));
+  PoolLease lease = LeasePool(task.options.num_threads);
+  PatternSet mined =
+      MineIterativeGenerators(*backend, task.options, &stats, lease.pool());
   SPECMINE_RETURN_NOT_OK(FinishRun(stats.error, task.options.cancel));
   RunReport report = FromIterStats("generators", stats, build_seconds);
   report.backend = backend->name();
@@ -302,6 +336,10 @@ Status Engine::EnsureShardBackends(BackendChoice choice,
                                    size_t num_threads) const {
   *build_seconds = 0.0;
   backends->clear();
+  // Serializes concurrent sharded tasks racing into cold shards: one
+  // caller builds the missing per-shard indexes (in parallel on its own
+  // pool — the workers never touch cache_mu), the rest reuse them.
+  std::lock_guard<std::mutex> lock(sync_->cache_mu);
   const size_t num_shards = shard_set_->num_shards();
   if (num_shards == 0) return Status::OK();
   // Resolve the representation per shard — the chooser runs on each
@@ -364,7 +402,8 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
   }
   SPECMINE_RETURN_NOT_OK(Begin(task));
   SPECMINE_RETURN_NOT_OK(CheckFault("engine.mine_sharded"));
-  ThreadPool* pool = PoolFor(task.options.num_threads);
+  PoolLease lease = LeasePool(task.options.num_threads);
+  ThreadPool* pool = lease.pool();
   const size_t num_threads =
       ThreadPool::ResolveThreads(task.options.num_threads);
   double build_seconds = 0.0;
@@ -428,6 +467,7 @@ Result<RunReport> Engine::Mine(const RulesTask& task, RuleSink& sink) const {
   RuleMinerStats stats;
   Stopwatch sw;
   RuleSet mined;
+  PoolLease lease = LeasePool(task.options.num_threads);
   if (task.backward) {
     // Backward rules mine the *reversed* database, which the session's
     // forward indexes do not cover — the scalar path stands.
@@ -437,16 +477,14 @@ Result<RunReport> Engine::Mine(const RulesTask& task, RuleSink& sink) const {
              !task.options.non_redundant) {
     // With maximality pruning off the CSR arms all reduce to the scalar
     // scans — don't pay for an index this run would never consult.
-    mined = MineRecurrentRules(*db_, task.options, &stats,
-                               PoolFor(task.options.num_threads));
+    mined = MineRecurrentRules(*db_, task.options, &stats, lease.pool());
     report.backend = BackendKindName(BackendKind::kCsr);
   } else {
     Result<CountingBackend> backend =
         EnsureBackend(task.options.backend, &build_seconds);
     if (!backend.ok()) return backend.status();
     sw.Restart();  // Report the build separately from the mining time.
-    mined = MineRecurrentRules(*db_, task.options, &stats,
-                               PoolFor(task.options.num_threads),
+    mined = MineRecurrentRules(*db_, task.options, &stats, lease.pool(),
                                &*backend);
     report.backend = backend->name();
   }

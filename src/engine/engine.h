@@ -19,15 +19,24 @@
 // garbage. Emission order and content are byte-identical to the legacy
 // per-miner free functions (which remain as thin deprecated wrappers).
 //
-// Thread-safety: an Engine serializes its own tasks; call Mine from one
-// thread at a time. The cached index is immutable once built, so separate
-// Engines over separate databases scale across threads freely.
+// Thread-safety: Mine is safe to call concurrently from multiple threads
+// on one Engine (the specmined server shares one session per corpus
+// across its connection threads). The lazily built caches — CSR/bitmap
+// index, per-shard indexes, unit view — are constructed under a mutex, so
+// N requests racing into a cold corpus pay for exactly one build
+// (index_builds() == 1; the concurrent hammer test pins this down), and
+// every cache is immutable once published. Worker pools are handed out as
+// exclusive leases: concurrent multi-threaded tasks each get their own
+// pool (idle pools are cached and reused), because a ThreadPool fan-out
+// requires the pool to itself be otherwise idle.
 
 #ifndef SPECMINE_ENGINE_ENGINE_H_
 #define SPECMINE_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -198,26 +207,56 @@ class Engine {
   CountingBackend backend(BackendChoice choice = BackendChoice::kAuto) const;
 
   /// \brief How many physical index builds (CSR or bitmap) this session
-  /// has paid for — at most one per representation; a single-backend
+  /// has paid for — at most one per representation, *including* under
+  /// concurrent Mine calls racing into a cold session; a single-backend
   /// session stays at 1 however many tasks it runs (the cache assertion
   /// the tests pin down).
-  size_t index_builds() const { return index_builds_; }
+  size_t index_builds() const {
+    return sync_->index_builds.load(std::memory_order_acquire);
+  }
 
  private:
+  // An exclusive lease on a worker pool for one task run. pool() is null
+  // when the resolved thread count is 1 (sequential). The destructor
+  // returns the pool to the session's idle cache so a sequential request
+  // stream still amortizes thread spawns across tasks.
+  class PoolLease {
+   public:
+    PoolLease(PoolLease&&) noexcept = default;
+    PoolLease& operator=(PoolLease&&) = delete;
+    ~PoolLease();
+
+    ThreadPool* pool() const { return pool_.get(); }
+
+   private:
+    friend class Engine;
+    PoolLease(const Engine* session, std::unique_ptr<ThreadPool> pool)
+        : session_(session), pool_(std::move(pool)) {}
+
+    const Engine* session_;
+    std::unique_ptr<ThreadPool> pool_;
+  };
   // Builds (once) and returns the cached CSR index; *build_seconds
   // receives the construction time if this call built it, else 0.
+  // Thread-safe: concurrent cold callers serialize on cache_mu_ and all
+  // but one observe a cache hit.
   Result<const PositionIndex*> EnsureIndex(double* build_seconds) const;
 
   // Resolves \p choice and returns a backend over the cached physical
   // index of that kind, building it on first use; *build_seconds receives
-  // the construction time if this call built it, else 0.
+  // the construction time if this call built it, else 0. Thread-safe like
+  // EnsureIndex.
   Result<CountingBackend> EnsureBackend(BackendChoice choice,
                                         double* build_seconds) const;
 
-  // The shared pool for \p requested_threads (options-style: 0 = hardware
-  // concurrency). Returns nullptr when the resolved count is 1
-  // (sequential). Rebuilt only when a task requests a different width.
-  ThreadPool* PoolFor(size_t requested_threads) const;
+  // Leases a pool sized for \p requested_threads (options-style: 0 =
+  // hardware concurrency); lease.pool() is nullptr when the resolved
+  // count is 1 (sequential). Matching idle pools are reused; concurrent
+  // tasks never share a live pool.
+  PoolLease LeasePool(size_t requested_threads) const;
+
+  // Returns a leased pool to the idle cache (called by ~PoolLease).
+  void ReturnPool(std::unique_ptr<ThreadPool> pool) const;
 
   // The cached whole-sequence unit view the sequential miners run over,
   // built on first use (one Unit per sequence — O(sequences), cached so a
@@ -246,6 +285,18 @@ class Engine {
   std::unique_ptr<MappedDatabase> mapping_;
   std::unique_ptr<ShardedDatabase> shard_set_;
   std::unique_ptr<SequenceDatabase> db_;
+  // The mutexes and the build counter live behind one heap allocation
+  // because an Engine must stay movable (the factories return by value);
+  // mutexes and atomics are not. cache_mu guards every lazy cache build
+  // (index_, bitmap_index_, the per-shard index vectors, units_); once a
+  // cache is published it is immutable and read without the lock. pool_mu
+  // guards the idle pool cache.
+  struct Sync {
+    std::mutex cache_mu;
+    std::mutex pool_mu;
+    std::atomic<size_t> index_builds{0};
+  };
+  mutable std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
   mutable std::unique_ptr<PositionIndex> index_;
   mutable std::unique_ptr<BitmapIndex> bitmap_index_;
   // Per-shard physical indexes; a slot is filled lazily when a sharded
@@ -253,8 +304,8 @@ class Engine {
   mutable std::vector<std::unique_ptr<PositionIndex>> shard_indexes_;
   mutable std::vector<std::unique_ptr<BitmapIndex>> shard_bitmap_indexes_;
   mutable std::unique_ptr<UnitDatabase> units_;
-  mutable std::unique_ptr<ThreadPool> pool_;
-  mutable size_t index_builds_ = 0;
+  // Idle worker pools awaiting a LeasePool checkout (any mix of widths).
+  mutable std::vector<std::unique_ptr<ThreadPool>> idle_pools_;
 };
 
 }  // namespace specmine

@@ -1,0 +1,56 @@
+#include "src/server/admission.h"
+
+#include <algorithm>
+
+namespace specmine {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  options_.max_concurrent = std::max<size_t>(1, options_.max_concurrent);
+}
+
+bool AdmissionController::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return false;
+  if (running_ < options_.max_concurrent) {
+    ++running_;
+    return true;
+  }
+  if (waiting_ >= options_.max_queued) return false;
+  ++waiting_;
+  slot_free_.wait(lock, [this] {
+    return shutdown_ || running_ < options_.max_concurrent;
+  });
+  --waiting_;
+  if (shutdown_) return false;
+  ++running_;
+  return true;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  slot_free_.notify_one();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  slot_free_.notify_all();
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+}  // namespace specmine

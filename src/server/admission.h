@@ -1,0 +1,88 @@
+// Request admission for specmined's mining routes: a concurrency limit
+// plus a bounded wait queue in front of it.
+//
+// Mining requests are CPU-bound and can each fan out over the whole
+// machine, so running every accepted connection at once would thrash;
+// instead at most max_concurrent mines run, up to max_queued more wait
+// their turn (FIFO via the condition variable), and anything beyond that
+// is rejected immediately — the server answers 429 with a Retry-After
+// hint rather than queueing without bound (load shedding beats collapse).
+//
+// Admission is a counting gate, deliberately not a work queue: the
+// connection thread itself blocks in Acquire() and then runs the mine on
+// its own stack, so no task handoff or future plumbing is needed.
+
+#ifndef SPECMINE_SERVER_ADMISSION_H_
+#define SPECMINE_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace specmine {
+
+/// \brief Capacity knobs for the mining-route gate.
+struct AdmissionOptions {
+  /// Mines running at once (minimum 1).
+  size_t max_concurrent = 2;
+  /// Requests allowed to wait for a slot; past this, reject.
+  size_t max_queued = 8;
+  /// The Retry-After hint (seconds) sent with a rejection.
+  unsigned retry_after_seconds = 1;
+};
+
+/// \brief A concurrency-limited admission gate with a bounded queue.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// \brief Takes a slot, waiting in the queue if one is not free.
+  /// Returns false without waiting when the queue is already full (the
+  /// caller answers 429) or when Shutdown() has been called.
+  bool Acquire();
+
+  /// \brief Returns a slot taken by a successful Acquire().
+  void Release();
+
+  /// \brief Wakes every queued waiter and makes all future Acquire()
+  /// calls fail; used to drain the server on shutdown.
+  void Shutdown();
+
+  /// \brief Mines currently holding a slot (metrics gauge).
+  size_t in_flight() const;
+  /// \brief Requests currently waiting for a slot (metrics gauge).
+  size_t queue_depth() const;
+
+  unsigned retry_after_seconds() const { return options_.retry_after_seconds; }
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  size_t running_ = 0;
+  size_t waiting_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief RAII slot: releases on destruction if acquired.
+class AdmissionPermit {
+ public:
+  explicit AdmissionPermit(AdmissionController* gate)
+      : gate_(gate), admitted_(gate->Acquire()) {}
+  ~AdmissionPermit() {
+    if (admitted_) gate_->Release();
+  }
+  AdmissionPermit(const AdmissionPermit&) = delete;
+  AdmissionPermit& operator=(const AdmissionPermit&) = delete;
+
+  /// \brief False means the request was shed — answer 429.
+  bool admitted() const { return admitted_; }
+
+ private:
+  AdmissionController* gate_;
+  bool admitted_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SERVER_ADMISSION_H_

@@ -1,0 +1,99 @@
+#include "src/server/corpus_registry.h"
+
+#include <utility>
+
+namespace specmine {
+
+namespace {
+
+Result<Engine> OpenCorpus(const std::string& path,
+                          const CorpusOpenOptions& options) {
+  if (IsSmdbSetPath(path)) {
+    SetOpenOptions open;
+    open.integrity = options.integrity;
+    open.policy = options.quarantine ? ShardFailurePolicy::kQuarantine
+                                     : ShardFailurePolicy::kFail;
+    return Engine::FromShardSet(path, open);
+  }
+  if (IsSmdbPath(path)) {
+    SmdbOpenOptions open;
+    open.integrity = options.integrity;
+    return Engine::FromBinaryFile(path, open);
+  }
+  return Engine::FromTextTraceFile(path);
+}
+
+}  // namespace
+
+Status CorpusRegistry::Register(const std::string& name,
+                                const std::string& path,
+                                const CorpusOpenOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("corpus name must be non-empty");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (corpora_.count(name) > 0) {
+      return Status::InvalidArgument("corpus '" + name +
+                                     "' is already registered");
+    }
+  }
+  // Open outside the lock: .smdbset validation can be slow and must not
+  // block lookups for in-flight requests.
+  Result<Engine> opened = OpenCorpus(path, options);
+  if (!opened.ok()) return opened.status();
+
+  Entry entry;
+  entry.engine = std::make_unique<Engine>(opened.TakeValueOrDie());
+  const SequenceDatabase& db = entry.engine->database();
+  entry.info.name = name;
+  entry.info.path = path;
+  entry.info.sequences = db.size();
+  entry.info.events = db.TotalEvents();
+  entry.info.distinct_events = db.dictionary().size();
+  if (entry.engine->sharded()) {
+    const ShardedDatabase& set = entry.engine->shard_set();
+    entry.info.shards = set.num_shards();
+    entry.info.quarantined_shards = set.open_report().quarantined.size();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Two concurrent registrations of the same name can both pass the
+  // early check; the second insert loses and reports the duplicate.
+  auto [it, inserted] = corpora_.emplace(name, std::move(entry));
+  if (!inserted) {
+    return Status::InvalidArgument("corpus '" + name +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+const Engine* CorpusRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = corpora_.find(name);
+  return it == corpora_.end() ? nullptr : it->second.engine.get();
+}
+
+std::vector<CorpusInfo> CorpusRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CorpusInfo> out;
+  out.reserve(corpora_.size());
+  for (const auto& [name, entry] : corpora_) out.push_back(entry.info);
+  return out;
+}
+
+size_t CorpusRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corpora_.size();
+}
+
+uint64_t CorpusRegistry::quarantined_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, entry] : corpora_) {
+    total += entry.info.quarantined_shards;
+  }
+  return total;
+}
+
+}  // namespace specmine

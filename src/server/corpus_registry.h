@@ -1,0 +1,81 @@
+// The server's corpus table: name -> long-lived Engine session.
+//
+// Each registered corpus is opened once (text traces, CSV, packed .smdb,
+// or sharded .smdbset — the same dispatch the CLI uses) and its Engine is
+// cached for the lifetime of the process, so every request against that
+// corpus shares the warm index/pool caches (the whole point of the
+// server: pay for index construction once, not per request). Engines are
+// never removed or replaced, so the pointer a handler takes stays valid
+// without reference counting; Engine::Mine is safe for concurrent
+// readers.
+
+#ifndef SPECMINE_SERVER_CORPUS_REGISTRY_H_
+#define SPECMINE_SERVER_CORPUS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/support/status.h"
+#include "src/trace/binary_format.h"
+#include "src/trace/shard_set.h"
+
+namespace specmine {
+
+/// \brief How to open a corpus (mirrors the CLI's --integrity and
+/// --quarantine flags).
+struct CorpusOpenOptions {
+  IntegrityMode integrity = IntegrityMode::kHeader;
+  /// .smdbset only: mine the healthy subset instead of failing the open.
+  bool quarantine = false;
+};
+
+/// \brief A registered corpus.
+struct CorpusInfo {
+  std::string name;
+  std::string path;
+  uint64_t sequences = 0;
+  uint64_t events = 0;
+  uint64_t distinct_events = 0;
+  uint64_t shards = 0;              // 0 for unsharded corpora.
+  uint64_t quarantined_shards = 0;
+};
+
+/// \brief Thread-safe name -> Engine table.
+class CorpusRegistry {
+ public:
+  /// \brief Opens \p path and registers it as \p name. Fails with
+  /// InvalidArgument on a duplicate or empty name; open failures pass
+  /// through (NotFound / ParseError / ...).
+  Status Register(const std::string& name, const std::string& path,
+                  const CorpusOpenOptions& options);
+
+  /// \brief The session for \p name, or nullptr. The pointer stays valid
+  /// for the registry's lifetime.
+  const Engine* Find(const std::string& name) const;
+
+  /// \brief Every registered corpus, in name order.
+  std::vector<CorpusInfo> List() const;
+
+  size_t size() const;
+
+  /// \brief Total quarantined shards across all corpora (metrics gauge).
+  uint64_t quarantined_shards() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Engine> engine;
+    CorpusInfo info;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> corpora_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SERVER_CORPUS_REGISTRY_H_

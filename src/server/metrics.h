@@ -1,0 +1,87 @@
+// Prometheus-style observability for specmined: a small metric registry
+// with per-route request counters and latency histograms, mining-specific
+// counters (backend chosen, patterns/rules emitted, index-cache hits),
+// and a text-exposition renderer for GET /metrics.
+//
+// This is not a general metrics library — the metric set is fixed at
+// compile time (the catalog in docs/server.md documents every series), so
+// the registry is a handful of atomics plus one mutex-guarded map keyed
+// by route. Recording on the request path is lock-light: the route map is
+// append-only and histogram observation is lock-free.
+
+#ifndef SPECMINE_SERVER_METRICS_H_
+#define SPECMINE_SERVER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/support/histogram.h"
+
+namespace specmine {
+
+/// \brief Gauges whose source of truth lives outside the registry,
+/// sampled at scrape time (admission gate, corpus registry).
+struct ScrapeGauges {
+  size_t mines_in_flight = 0;
+  size_t mine_queue_depth = 0;
+  size_t corpora = 0;
+  uint64_t quarantined_shards = 0;
+};
+
+/// \brief The specmined metric registry. Thread-safe.
+class ServerMetrics {
+ public:
+  ServerMetrics() = default;
+
+  /// \brief Records one finished request: bumps
+  /// specmined_requests_total{route,code} and observes \p seconds in the
+  /// route's latency histogram.
+  void RecordRequest(const std::string& route, int http_status,
+                     double seconds);
+
+  /// \brief HTTP-level in-flight gauge (all routes, admission included).
+  void RequestStarted() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  void RequestFinished() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// \brief One request shed by the admission gate (answered 429).
+  void RecordRejected() {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// \brief Accounting for one completed mine: which physical backend ran
+  /// (empty for miners that use no counting index), whether the session's
+  /// index cache was already warm (nullopt for index-free miners, which
+  /// count in neither series), and how much was emitted.
+  void RecordMine(const std::string& backend,
+                  std::optional<bool> index_cache_hit,
+                  uint64_t patterns_emitted, uint64_t rules_emitted);
+
+  /// \brief Renders the whole registry in Prometheus text exposition
+  /// format (deterministic series order).
+  std::string Render(const ScrapeGauges& gauges) const;
+
+ private:
+  struct RouteSeries {
+    std::map<int, uint64_t> requests_by_status;
+    BucketHistogram latency{BucketHistogram::DefaultLatencyBounds()};
+  };
+
+  mutable std::mutex mu_;  // Guards routes_ / backends_ map shape.
+  std::map<std::string, std::unique_ptr<RouteSeries>> routes_;
+  std::map<std::string, uint64_t> backends_;
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> index_cache_hits_{0};
+  std::atomic<uint64_t> index_cache_misses_{0};
+  std::atomic<uint64_t> patterns_emitted_{0};
+  std::atomic<uint64_t> rules_emitted_{0};
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SERVER_METRICS_H_

@@ -1,0 +1,576 @@
+#include "src/server/server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <ctime>
+#include <optional>
+#include <utility>
+
+#include "src/engine/json_results.h"
+#include "src/support/cancel.h"
+#include "src/support/json_reader.h"
+#include "src/support/json_writer.h"
+#include "src/support/version.h"
+
+namespace specmine {
+
+namespace {
+
+HttpResponse ErrorResponse(const Status& status) {
+  HttpResponse response;
+  response.status = StatusToHttp(status.code());
+  JsonWriter writer(&response.body);
+  writer.BeginObject();
+  writer.Key("error").BeginObject();
+  writer.Field("status", StatusCodeName(status.code()));
+  writer.Field("http", static_cast<int64_t>(response.status));
+  writer.Field("message", status.message());
+  writer.EndObject();
+  writer.EndObject();
+  writer.Finish();
+  return response;
+}
+
+HttpResponse SimpleError(int http_status, std::string_view message) {
+  HttpResponse response;
+  response.status = http_status;
+  JsonWriter writer(&response.body);
+  writer.BeginObject();
+  writer.Key("error").BeginObject();
+  writer.Field("status", "Http");
+  writer.Field("http", static_cast<int64_t>(http_status));
+  writer.Field("message", message);
+  writer.EndObject();
+  writer.EndObject();
+  writer.Finish();
+  return response;
+}
+
+HttpResponse JsonOk(std::string body, int status = 200) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+// Decodes the fields shared by every mining request body.
+struct MineCommon {
+  std::string corpus;
+  BackendChoice backend = BackendChoice::kAuto;
+  uint64_t timeout_ms = 0;  // 0 = none.
+};
+
+Status DecodeBackend(const JsonValue& body, BackendChoice* out) {
+  std::string value = "auto";
+  Status status = body.GetString("backend", &value);
+  if (!status.ok()) return status;
+  if (value == "auto" || value.empty()) {
+    *out = BackendChoice::kAuto;
+  } else if (value == "csr") {
+    *out = BackendChoice::kCsr;
+  } else if (value == "bitmap") {
+    *out = BackendChoice::kBitmap;
+  } else {
+    return Status::InvalidArgument("field 'backend' must be auto, csr or "
+                                   "bitmap (got '" +
+                                   value + "')");
+  }
+  return Status::OK();
+}
+
+Status DecodeCommon(const JsonValue& body, MineCommon* out) {
+  Status status = body.GetString("corpus", &out->corpus);
+  if (!status.ok()) return status;
+  if (out->corpus.empty()) {
+    return Status::InvalidArgument("field 'corpus' is required");
+  }
+  status = DecodeBackend(body, &out->backend);
+  if (!status.ok()) return status;
+  return body.GetUint("timeout_ms", &out->timeout_ms);
+}
+
+// Arms \p token when the request carried a timeout; mirrors the CLI's
+// --timeout-ms (the miners treat null as "never stop").
+const CancelToken* ArmTimeout(const MineCommon& common, CancelToken* token) {
+  if (common.timeout_ms == 0) return nullptr;
+  token->SetDeadline(std::chrono::milliseconds(common.timeout_ms));
+  return token;
+}
+
+std::string NowIso8601() {
+  using std::chrono::system_clock;
+  std::time_t now = system_clock::to_time_t(system_clock::now());
+  std::tm tm_utc;
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+Server::Server(CorpusRegistry* corpora, ServerOptions options)
+    : corpora_(corpora),
+      options_(std::move(options)),
+      admission_(options_.admission) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  Result<Listener> listener = Listener::Listen(options_.host, options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = listener.TakeValueOrDie();
+  port_ = listener_.port();
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  admission_.Shutdown();
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Unblock every connection thread parked in a socket read; the
+    // threads observe stopping_ and exit their serve loops.
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      // Shutdown() fails the pending accept; anything else (e.g. EMFILE)
+      // is transient — keep accepting unless we are stopping.
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    Socket socket = accepted.TakeValueOrDie();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    live_fds_.insert(socket.fd());
+    connections_.emplace_back(
+        [this, s = std::move(socket)]() mutable { ServeConnection(std::move(s)); });
+  }
+}
+
+void Server::ServeConnection(Socket socket) {
+  const int fd = socket.fd();
+  HttpRequestParser parser(options_.limits);
+  std::string pending;  // Bytes read but not yet consumed (pipelining).
+  char buffer[16 * 1024];
+
+  bool keep_alive = true;
+  while (keep_alive && !stopping_.load(std::memory_order_acquire)) {
+    // Feed buffered bytes first, then read more as needed.
+    HttpRequestParser::State state = HttpRequestParser::State::kNeedMore;
+    while (true) {
+      if (!pending.empty()) {
+        size_t consumed = 0;
+        state = parser.Feed(pending, &consumed);
+        pending.erase(0, consumed);
+        if (state != HttpRequestParser::State::kNeedMore) break;
+      }
+      Result<size_t> n = socket.Read(buffer, sizeof(buffer));
+      if (!n.ok() || *n == 0) {
+        state = HttpRequestParser::State::kNeedMore;
+        keep_alive = false;  // Peer closed or connection broke.
+        break;
+      }
+      pending.append(buffer, *n);
+    }
+    if (!keep_alive && state == HttpRequestParser::State::kNeedMore) break;
+
+    if (state == HttpRequestParser::State::kError) {
+      HttpResponse response =
+          SimpleError(parser.error_status(), parser.error());
+      metrics_.RecordRequest("other", response.status, 0.0);
+      (void)socket.WriteAll(response.Serialize(/*keep_alive=*/false));
+      break;  // Framing is unrecoverable after a parse error.
+    }
+
+    const HttpRequest& request = parser.request();
+    keep_alive = request.KeepAlive();
+
+    metrics_.RequestStarted();
+    const auto started = std::chrono::steady_clock::now();
+    std::string route_label;
+    HttpResponse response = Route(request, &route_label);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    metrics_.RequestFinished();
+    metrics_.RecordRequest(route_label, response.status, seconds);
+    LogRequest(request, response, seconds);
+
+    if (!socket.WriteAll(response.Serialize(keep_alive)).ok()) break;
+    parser.Reset();
+  }
+
+  // Deregister before closing so Stop() can never shutdown() a reused
+  // descriptor number.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_fds_.erase(fd);
+  }
+  socket.Close();
+}
+
+HttpResponse Server::Route(const HttpRequest& request,
+                           std::string* route_label) {
+  const std::string path = request.Path();
+  *route_label = "other";
+  if (path == "/healthz") {
+    *route_label = path;
+    if (request.method != "GET") return SimpleError(405, "use GET");
+    return HandleHealthz();
+  }
+  if (path == "/metrics") {
+    *route_label = path;
+    if (request.method != "GET") return SimpleError(405, "use GET");
+    return HandleMetrics();
+  }
+  if (path == "/corpora") {
+    *route_label = path;
+    if (request.method == "GET") return HandleListCorpora();
+    if (request.method == "POST") return HandleRegisterCorpus(request);
+    return SimpleError(405, "use GET or POST");
+  }
+  if (path == "/mine/patterns" || path == "/mine/rules" ||
+      path == "/mine/seq" || path == "/mine/episodes" ||
+      path == "/mine/pairs") {
+    *route_label = path;
+    if (request.method != "POST") return SimpleError(405, "use POST");
+    return HandleMine(path, request);
+  }
+  return SimpleError(404, "no route for '" + path + "'");
+}
+
+HttpResponse Server::HandleHealthz() const {
+  std::string body;
+  JsonWriter writer(&body);
+  writer.BeginObject();
+  writer.Field("status", "ok");
+  writer.Field("version", VersionString());
+  writer.Field("revision", GitRevision());
+  writer.Field("corpora", static_cast<uint64_t>(corpora_->size()));
+  writer.EndObject();
+  writer.Finish();
+  return JsonOk(std::move(body));
+}
+
+HttpResponse Server::HandleMetrics() const {
+  ScrapeGauges gauges;
+  gauges.mines_in_flight = admission_.in_flight();
+  gauges.mine_queue_depth = admission_.queue_depth();
+  gauges.corpora = corpora_->size();
+  gauges.quarantined_shards = corpora_->quarantined_shards();
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = metrics_.Render(gauges);
+  return response;
+}
+
+HttpResponse Server::HandleListCorpora() const {
+  std::string body;
+  JsonWriter writer(&body);
+  writer.BeginObject();
+  writer.Key("corpora").BeginArray();
+  for (const CorpusInfo& info : corpora_->List()) {
+    writer.BeginObject();
+    writer.Field("name", info.name);
+    writer.Field("path", info.path);
+    writer.Field("sequences", info.sequences);
+    writer.Field("events", info.events);
+    writer.Field("distinct_events", info.distinct_events);
+    writer.Field("shards", info.shards);
+    writer.Field("quarantined_shards", info.quarantined_shards);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  writer.Finish();
+  return JsonOk(std::move(body));
+}
+
+HttpResponse Server::HandleRegisterCorpus(const HttpRequest& request) const {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  std::string name, path, integrity = "header";
+  bool quarantine = false;
+  Status status = body->GetString("name", &name);
+  if (status.ok()) status = body->GetString("path", &path);
+  if (status.ok()) status = body->GetString("integrity", &integrity);
+  if (status.ok()) status = body->GetBool("quarantine", &quarantine);
+  if (!status.ok()) return ErrorResponse(status);
+  if (name.empty() || path.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("fields 'name' and 'path' are required"));
+  }
+  CorpusOpenOptions options;
+  options.quarantine = quarantine;
+  if (integrity == "off") {
+    options.integrity = IntegrityMode::kOff;
+  } else if (integrity == "header" || integrity.empty()) {
+    options.integrity = IntegrityMode::kHeader;
+  } else if (integrity == "full") {
+    options.integrity = IntegrityMode::kFull;
+  } else {
+    return ErrorResponse(Status::InvalidArgument(
+        "field 'integrity' must be off, header or full (got '" + integrity +
+        "')"));
+  }
+  status = corpora_->Register(name, path, options);
+  if (!status.ok()) return ErrorResponse(status);
+
+  std::string out;
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Field("registered", name);
+  writer.Field("path", path);
+  writer.EndObject();
+  writer.Finish();
+  return JsonOk(std::move(out), 201);
+}
+
+HttpResponse Server::HandleMine(const std::string& path,
+                                const HttpRequest& request) {
+  AdmissionPermit permit(&admission_);
+  if (!permit.admitted()) {
+    metrics_.RecordRejected();
+    HttpResponse response =
+        SimpleError(429, "mining capacity exhausted; retry later");
+    response.headers.emplace_back(
+        "Retry-After", std::to_string(admission_.retry_after_seconds()));
+    return response;
+  }
+
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const JsonValue& body = *parsed;
+  MineCommon common;
+  Status status = DecodeCommon(body, &common);
+  if (!status.ok()) return ErrorResponse(status);
+  const Engine* engine = corpora_->Find(common.corpus);
+  if (engine == nullptr) {
+    return ErrorResponse(
+        Status::NotFound("no corpus named '" + common.corpus + "'"));
+  }
+  const EventDictionary& dict = engine->database().dictionary();
+  CancelToken token;
+  const CancelToken* cancel = ArmTimeout(common, &token);
+
+  // Index-cache accounting: a mine that raised index_builds() paid for a
+  // build; an unchanged counter on an index-backed mine was a warm hit.
+  const size_t builds_before = engine->index_builds();
+  const auto record = [&](const RunReport& report, uint64_t patterns,
+                          uint64_t rules) {
+    std::optional<bool> hit;
+    if (!report.backend.empty()) {
+      hit = engine->index_builds() == builds_before;
+    }
+    metrics_.RecordMine(report.backend, hit, patterns, rules);
+  };
+
+  if (path == "/mine/patterns") {
+    double min_sup = 0.5;
+    uint64_t max_len = 0, threads = 0;
+    bool full = false, generators = false;
+    status = body.GetDouble("min_sup", &min_sup);
+    if (status.ok()) status = body.GetUint("max_len", &max_len);
+    if (status.ok()) status = body.GetUint("threads", &threads);
+    if (status.ok()) status = body.GetBool("full", &full);
+    if (status.ok()) status = body.GetBool("generators", &generators);
+    if (!status.ok()) return ErrorResponse(status);
+    const uint64_t min_support = engine->AbsoluteSupport(min_sup);
+    RunReport report;
+    Result<PatternSet> mined = [&]() -> Result<PatternSet> {
+      if (generators) {
+        GeneratorsTask task;
+        task.options.min_support = min_support;
+        task.options.max_length = max_len;
+        task.options.num_threads = threads;
+        task.options.backend = common.backend;
+        task.options.cancel = cancel;
+        return engine->CollectPatterns(task, &report);
+      }
+      FullPatternsTask full_task;
+      full_task.options.min_support = min_support;
+      full_task.options.max_length = max_len;
+      full_task.options.num_threads = threads;
+      full_task.options.backend = common.backend;
+      full_task.options.cancel = cancel;
+      if (full) {
+        if (engine->sharded()) {
+          // The parallel per-shard path (byte-identical output by the
+          // sharded-equivalence contract) — same dispatch as the CLI.
+          CollectingPatternSink sink;
+          Result<RunReport> run = engine->MineSharded(full_task, sink);
+          if (!run.ok()) return run.status();
+          report = *run;
+          return sink.TakeSet();
+        }
+        return engine->CollectPatterns(full_task, &report);
+      }
+      ClosedTask task;
+      task.options.min_support = min_support;
+      task.options.max_length = max_len;
+      task.options.num_threads = threads;
+      task.options.backend = common.backend;
+      task.options.cancel = cancel;
+      return engine->CollectPatterns(task, &report);
+    }();
+    if (!mined.ok()) return ErrorResponse(mined.status());
+    PatternSet patterns = mined.TakeValueOrDie();
+    patterns.SortBySupport();
+    record(report, patterns.size(), 0);
+    return JsonOk(PatternsResultToJson(report, patterns, dict));
+  }
+
+  if (path == "/mine/rules") {
+    RulesTask task;
+    double min_ssup = 0.5, min_conf = 0.9;
+    uint64_t min_isup = 1, max_pre = 0, max_post = 0, threads = 0;
+    bool full = false, backward = false;
+    status = body.GetDouble("min_ssup", &min_ssup);
+    if (status.ok()) status = body.GetDouble("min_conf", &min_conf);
+    if (status.ok()) status = body.GetUint("min_isup", &min_isup);
+    if (status.ok()) status = body.GetUint("max_pre", &max_pre);
+    if (status.ok()) status = body.GetUint("max_post", &max_post);
+    if (status.ok()) status = body.GetUint("threads", &threads);
+    if (status.ok()) status = body.GetBool("full", &full);
+    if (status.ok()) status = body.GetBool("backward", &backward);
+    if (!status.ok()) return ErrorResponse(status);
+    task.options.min_s_support = engine->AbsoluteSupport(min_ssup);
+    task.options.min_confidence = min_conf;
+    task.options.min_i_support = min_isup;
+    task.options.non_redundant = !full;
+    task.options.max_premise_length = max_pre;
+    task.options.max_consequent_length = max_post;
+    task.options.num_threads = threads;
+    task.options.backend = common.backend;
+    task.options.cancel = cancel;
+    task.backward = backward;
+    RunReport report;
+    Result<RuleSet> mined = engine->CollectRules(task, &report);
+    if (!mined.ok()) return ErrorResponse(mined.status());
+    RuleSet rules = mined.TakeValueOrDie();
+    rules.SortByQuality();
+    record(report, 0, rules.size());
+    return JsonOk(RulesResultToJson(report, rules, dict));
+  }
+
+  if (path == "/mine/seq") {
+    double min_sup = 0.5;
+    uint64_t max_len = 0;
+    bool closed = false, generators = false;
+    status = body.GetDouble("min_sup", &min_sup);
+    if (status.ok()) status = body.GetUint("max_len", &max_len);
+    if (status.ok()) status = body.GetBool("closed", &closed);
+    if (status.ok()) status = body.GetBool("generators", &generators);
+    if (!status.ok()) return ErrorResponse(status);
+    const uint64_t min_support = engine->AbsoluteSupport(min_sup);
+    RunReport report;
+    Result<PatternSet> mined = [&]() -> Result<PatternSet> {
+      if (generators) {
+        SequentialGeneratorsTask task;
+        task.options.min_support = min_support;
+        task.options.max_length = max_len;
+        task.options.cancel = cancel;
+        return engine->CollectPatterns(task, &report);
+      }
+      if (closed) {
+        ClosedSequentialTask task;
+        task.options.min_support = min_support;
+        task.options.max_length = max_len;
+        task.options.cancel = cancel;
+        return engine->CollectPatterns(task, &report);
+      }
+      SequentialTask task;
+      task.options.min_support = min_support;
+      task.options.max_length = max_len;
+      task.options.cancel = cancel;
+      return engine->CollectPatterns(task, &report);
+    }();
+    if (!mined.ok()) return ErrorResponse(mined.status());
+    PatternSet patterns = mined.TakeValueOrDie();
+    patterns.SortBySupport();
+    record(report, patterns.size(), 0);
+    return JsonOk(PatternsResultToJson(report, patterns, dict));
+  }
+
+  if (path == "/mine/episodes") {
+    uint64_t window = 10, min_count = 1, max_len = 0;
+    bool minepi = false;
+    status = body.GetUint("window", &window);
+    if (status.ok()) status = body.GetUint("min_count", &min_count);
+    if (status.ok()) status = body.GetUint("max_len", &max_len);
+    if (status.ok()) status = body.GetBool("minepi", &minepi);
+    if (!status.ok()) return ErrorResponse(status);
+    EpisodeTask task;
+    if (minepi) {
+      task.algorithm = EpisodeTask::Algorithm::kMinepi;
+      task.minepi.max_window = window;
+      task.minepi.min_support = min_count;
+      task.minepi.max_length = max_len;
+      task.minepi.cancel = cancel;
+    } else {
+      task.winepi.window_width = window;
+      task.winepi.min_window_count = min_count;
+      task.winepi.max_length = max_len;
+      task.winepi.cancel = cancel;
+    }
+    RunReport report;
+    Result<PatternSet> mined = engine->CollectPatterns(task, &report);
+    if (!mined.ok()) return ErrorResponse(mined.status());
+    PatternSet episodes = mined.TakeValueOrDie();
+    episodes.SortBySupport();
+    record(report, episodes.size(), 0);
+    return JsonOk(PatternsResultToJson(report, episodes, dict));
+  }
+
+  // /mine/pairs.
+  TwoEventTask task;
+  double min_sat = 1.0;
+  uint64_t min_relevant = 1;
+  status = body.GetDouble("min_sat", &min_sat);
+  if (status.ok()) status = body.GetUint("min_relevant", &min_relevant);
+  if (!status.ok()) return ErrorResponse(status);
+  task.options.min_satisfaction = min_sat;
+  task.options.min_relevant_traces = min_relevant;
+  task.options.cancel = cancel;
+  CollectingTwoEventSink sink;
+  Result<RunReport> report = engine->Mine(task, sink);
+  if (!report.ok()) return ErrorResponse(report.status());
+  record(*report, 0, sink.rules().size());
+  return JsonOk(TwoEventResultToJson(*report, sink.rules(), dict));
+}
+
+void Server::LogRequest(const HttpRequest& request,
+                        const HttpResponse& response, double seconds) {
+  if (options_.log == nullptr) return;
+  // Hand-assembled compact JSON: the pretty-printing JsonWriter is for
+  // result documents; a log line must stay one line.
+  std::string line = "{\"ts\":\"" + NowIso8601() + "\",\"method\":\"" +
+                     JsonEscape(request.method) + "\",\"path\":\"" +
+                     JsonEscape(request.Path()) + "\",\"status\":" +
+                     std::to_string(response.status) + ",\"seconds\":" +
+                     JsonDouble(seconds) + ",\"bytes_out\":" +
+                     std::to_string(response.body.size()) + "}";
+  std::lock_guard<std::mutex> lock(log_mu_);
+  *options_.log << line << '\n' << std::flush;
+}
+
+}  // namespace specmine

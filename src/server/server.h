@@ -1,0 +1,124 @@
+// specmined's HTTP server core: socket accept loop, routing, request
+// decoding, and the mining handlers.
+//
+// Threading model: one acceptor thread plus one thread per connection
+// (mining requests are long-running and CPU-bound, so the per-connection
+// thread simply blocks — first in the admission gate, then in the miner —
+// and the kernel's scheduler does the rest; no event loop is warranted at
+// this request scale). Concurrency toward the Engine is safe by
+// construction: Engine::Mine supports concurrent readers and the
+// admission gate bounds how many mines run at once.
+//
+// Routes (documented in docs/server.md, exercised one-per-route by the CI
+// smoke step):
+//   GET  /healthz         liveness + build info
+//   GET  /metrics         Prometheus text exposition
+//   GET  /corpora         registered corpora
+//   POST /corpora         register a corpus at runtime
+//   POST /mine/patterns   iterative patterns (closed | full | generators)
+//   POST /mine/rules      recurrent rules (forward | backward)
+//   POST /mine/seq        sequential patterns (full | closed | generators)
+//   POST /mine/episodes   serial episodes (WINEPI | MINEPI)
+//   POST /mine/pairs      two-event rules (Perracotta)
+//
+// Success bodies for the mine routes are exactly the shared JSON result
+// documents of src/engine/json_results.h — the same bytes the CLI's
+// --json flag prints, which the end-to-end test diffs. Errors are a JSON
+// envelope {"error": {"status", "http", "message"}} with the HTTP code
+// from the single StatusToHttp mapping.
+
+#ifndef SPECMINE_SERVER_SERVER_H_
+#define SPECMINE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/admission.h"
+#include "src/server/corpus_registry.h"
+#include "src/server/http.h"
+#include "src/server/metrics.h"
+#include "src/support/net.h"
+#include "src/support/status.h"
+
+namespace specmine {
+
+/// \brief Server configuration (capacity knobs in docs/server.md).
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (port() reports the real one).
+  uint16_t port = 0;
+  AdmissionOptions admission;
+  HttpLimits limits;
+  /// JSON-lines request log (one object per finished request); null
+  /// disables logging.
+  std::ostream* log = nullptr;
+};
+
+/// \brief The specmined HTTP server. Construct, Start(), Stop().
+class Server {
+ public:
+  /// \brief \p corpora is shared, not owned (the binary registers
+  /// startup corpora into it first), and must outlive the server.
+  Server(CorpusRegistry* corpora, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Binds and starts the acceptor thread.
+  Status Start();
+
+  /// \brief The bound port; valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+  /// \brief Stops accepting, unblocks and joins every connection thread.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  /// \brief The admission gate (exposed so tests can pin down the 429
+  /// path deterministically by exhausting slots from outside).
+  AdmissionController& admission() { return admission_; }
+
+  ServerMetrics& metrics() { return metrics_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(Socket socket);
+
+  // Routing + handlers. The returned route_label is the bounded-
+  // cardinality metrics label ("other" for unmatched paths).
+  HttpResponse Route(const HttpRequest& request, std::string* route_label);
+  HttpResponse HandleHealthz() const;
+  HttpResponse HandleMetrics() const;
+  HttpResponse HandleListCorpora() const;
+  HttpResponse HandleRegisterCorpus(const HttpRequest& request) const;
+  HttpResponse HandleMine(const std::string& path,
+                          const HttpRequest& request);
+
+  void LogRequest(const HttpRequest& request, const HttpResponse& response,
+                  double seconds);
+
+  CorpusRegistry* corpora_;
+  ServerOptions options_;
+  ServerMetrics metrics_;
+  AdmissionController admission_;
+  Listener listener_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex mu_;                       // Guards the two members below.
+  std::vector<std::thread> connections_;
+  std::set<int> live_fds_;              // For Stop() to shutdown().
+  std::atomic<bool> stopping_{false};
+  std::mutex log_mu_;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SERVER_SERVER_H_

@@ -9,7 +9,9 @@
 #include <sstream>
 
 #include "src/engine/engine.h"
+#include "src/engine/json_results.h"
 #include "src/support/cancel.h"
+#include "src/support/version.h"
 #include "src/ltl/checker.h"
 #include "src/ltl/parser.h"
 #include "src/ltl/translate.h"
@@ -43,6 +45,7 @@ commands:
                                     for a set, every shard)
   check <traces> --ltl <formula>    evaluate an LTL formula on every trace
   gen-quest <out> [options]         generate a QUEST-style dataset
+  version                           print version and build revision
 
 common options:
   --csv [--group-col N] [--event-col N] [--delim C] [--header]
@@ -72,6 +75,11 @@ gen-quest:     --d F --c F --n F --s F --seed N
 Every mine-* command accepts --timeout-ms N: the run is cancelled
 cooperatively when the wall-clock budget passes, any patterns already
 streamed are kept, and the process exits with code 6.
+
+Every mine-* command also accepts --json: results are printed as the
+canonical JSON document — the same serializer (and therefore the same
+bytes, timing fields aside) as the specmined server's response for the
+matching route (see docs/server.md).
 
 All miners run through the specmine::Engine session API; invalid options
 and malformed trace files are reported as errors (non-zero exit), never
@@ -401,6 +409,11 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
   if (!mined.ok()) return Fail(err, mined.status());
   PatternSet patterns = mined.TakeValueOrDie();
   patterns.SortBySupport();
+  if (args.Has("json")) {
+    out << PatternsResultToJson(report, patterns,
+                                engine->database().dictionary());
+    return 0;
+  }
   out << patterns.size() << " patterns\n";
   out << "timing: backend " << (report.backend.empty() ? "-" : report.backend)
       << ", index build " << report.index_build_seconds << " s, mine "
@@ -435,9 +448,15 @@ int CmdMineRules(const Args& args, std::ostream& out, std::ostream& err) {
   CancelToken timeout;
   task.options.cancel = ArmTimeout(args, &timeout);
 
-  Result<RuleSet> mined = engine.CollectRules(task);
+  RunReport report;
+  Result<RuleSet> mined = engine.CollectRules(task, &report);
   if (!mined.ok()) return Fail(err, mined.status());
   RuleSet rules = mined.TakeValueOrDie();
+  if (args.Has("json")) {
+    rules.SortByQuality();
+    out << RulesResultToJson(report, rules, db.dictionary());
+    return 0;
+  }
   out << rules.size() << (task.backward ? " backward" : "") << " rules\n";
   if (args.Has("rank") && !task.backward) {
     for (const RankedRule& rr : RankRules(rules, db)) {
@@ -500,6 +519,11 @@ int CmdMineSeq(const Args& args, std::ostream& out, std::ostream& err) {
   if (!mined.ok()) return Fail(err, mined.status());
   PatternSet patterns = mined.TakeValueOrDie();
   patterns.SortBySupport();
+  if (args.Has("json")) {
+    out << PatternsResultToJson(report, patterns,
+                                engine->database().dictionary());
+    return 0;
+  }
   out << patterns.size() << " sequential patterns (" << report.task << ")\n";
   out << patterns.ToString(engine->database().dictionary());
   return 0;
@@ -535,6 +559,11 @@ int CmdMineEpisodes(const Args& args, std::ostream& out, std::ostream& err) {
   if (!mined.ok()) return Fail(err, mined.status());
   PatternSet episodes = mined.TakeValueOrDie();
   episodes.SortBySupport();
+  if (args.Has("json")) {
+    out << PatternsResultToJson(report, episodes,
+                                engine->database().dictionary());
+    return 0;
+  }
   out << episodes.size() << " episodes (" << report.task << ")\n";
   out << episodes.ToString(engine->database().dictionary());
   return 0;
@@ -558,6 +587,11 @@ int CmdMinePairs(const Args& args, std::ostream& out, std::ostream& err) {
   CollectingTwoEventSink sink;
   Result<RunReport> report = engine->Mine(task, sink);
   if (!report.ok()) return Fail(err, report.status());
+  if (args.Has("json")) {
+    out << TwoEventResultToJson(*report, sink.rules(),
+                                engine->database().dictionary());
+    return 0;
+  }
   out << sink.rules().size() << " two-event rules\n";
   for (const TwoEventRule& rule : sink.rules()) {
     out << rule.ToString(engine->database().dictionary()) << '\n';
@@ -670,6 +704,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     out << kUsage;
     return args.empty() ? 2 : 0;
+  }
+  if (args[0] == "version" || args[0] == "--version") {
+    out << VersionLine() << '\n';
+    return 0;
   }
   const std::string& command = args[0];
   Args parsed(args, 1);

@@ -1,0 +1,67 @@
+#include "src/support/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace specmine {
+
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  assert(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(
+      upper_bounds_.size() + 1);  // +1: the +Inf bucket.
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> BucketHistogram::DefaultLatencyBounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0,
+          30.0,   60.0};
+}
+
+void BucketHistogram::Observe(double value) {
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(upper_bounds_.begin(),
+                                           upper_bounds_.end(), value) -
+                          upper_bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      observed, DoubleToBits(BitsToDouble(observed) + value),
+      std::memory_order_relaxed)) {
+  }
+}
+
+BucketHistogram::Snapshot BucketHistogram::Snap() const {
+  Snapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.bucket_counts.reserve(upper_bounds_.size() + 1);
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    snap.bucket_counts.push_back(buckets_[i].load(std::memory_order_relaxed));
+  }
+  snap.sum = BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+  snap.count = count_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace specmine

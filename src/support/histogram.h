@@ -1,0 +1,58 @@
+// A fixed-bucket histogram safe for concurrent observation — the
+// Prometheus client-library shape: cumulative bucket counts, a running
+// sum, and a total count, all lock-free.
+//
+// Buckets are chosen at construction and never change, so Observe is a
+// binary search plus one relaxed fetch_add; Snapshot is a consistent-
+// enough read for scraping (Prometheus tolerates torn scrapes by design —
+// counters are monotone, so a scrape can only under-report in-flight
+// increments, never see garbage).
+
+#ifndef SPECMINE_SUPPORT_HISTOGRAM_H_
+#define SPECMINE_SUPPORT_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace specmine {
+
+/// \brief Concurrent fixed-bucket histogram (Prometheus semantics).
+class BucketHistogram {
+ public:
+  /// \brief \p upper_bounds must be strictly increasing; an implicit +Inf
+  /// bucket is appended. The default set spans 100us..60s request
+  /// latencies.
+  explicit BucketHistogram(std::vector<double> upper_bounds);
+
+  /// \brief The default latency bounds (seconds), 100us through 60s.
+  static std::vector<double> DefaultLatencyBounds();
+
+  /// \brief Records one observation. Thread-safe, lock-free.
+  void Observe(double value);
+
+  /// \brief A point-in-time copy for rendering.
+  struct Snapshot {
+    /// Upper bounds, excluding the trailing +Inf bucket.
+    std::vector<double> upper_bounds;
+    /// Per-bucket (non-cumulative) counts; one extra entry for +Inf.
+    std::vector<uint64_t> bucket_counts;
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+  Snapshot Snap() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  // unique_ptr array because std::atomic is not movable.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  // Sum as bit-cast double updated by CAS loop (no atomic<double> fetch_add
+  // until C++20 libstdc++ catches up everywhere).
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_HISTOGRAM_H_

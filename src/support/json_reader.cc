@@ -1,0 +1,395 @@
+#include "src/support/json_reader.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace specmine {
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue value;
+  value.type_ = Type::kBool;
+  value.bool_ = v;
+  return value;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue value;
+  value.type_ = Type::kNumber;
+  value.number_ = v;
+  return value;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue value;
+  value.type_ = Type::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> v) {
+  JsonValue value;
+  value.type_ = Type::kArray;
+  value.array_ = std::move(v);
+  return value;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> v) {
+  JsonValue value;
+  value.type_ = Type::kObject;
+  value.object_ = std::move(v);
+  return value;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Status JsonValue::GetString(std::string_view key, std::string* out) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr) return Status::OK();
+  if (!member->is_string()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a string");
+  }
+  *out = member->AsString();
+  return Status::OK();
+}
+
+Status JsonValue::GetDouble(std::string_view key, double* out) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr) return Status::OK();
+  if (!member->is_number()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a number");
+  }
+  *out = member->AsDouble();
+  return Status::OK();
+}
+
+Status JsonValue::GetUint(std::string_view key, uint64_t* out) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr) return Status::OK();
+  if (!member->is_number()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a non-negative integer");
+  }
+  const double v = member->AsDouble();
+  // 2^53: beyond this a double no longer identifies one integer.
+  if (v < 0 || v != std::floor(v) || v > 9007199254740992.0) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a non-negative integer");
+  }
+  *out = static_cast<uint64_t>(v);
+  return Status::OK();
+}
+
+Status JsonValue::GetBool(std::string_view key, bool* out) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr) return Status::OK();
+  if (!member->is_bool()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be true or false");
+  }
+  *out = member->AsBool();
+  return Status::OK();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    JsonValue value;
+    SPECMINE_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  // Defense against "[[[[[..." stack exhaustion.
+  static constexpr size_t kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("JSON: " + what + " at byte " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("expected '" + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > kMaxDepth) return Error("nesting deeper than 64 levels");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        SPECMINE_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        SPECMINE_RETURN_NOT_OK(Expect("true"));
+        *out = JsonValue::MakeBool(true);
+        return Status::OK();
+      case 'f':
+        SPECMINE_RETURN_NOT_OK(Expect("false"));
+        *out = JsonValue::MakeBool(false);
+        return Status::OK();
+      case 'n':
+        SPECMINE_RETURN_NOT_OK(Expect("null"));
+        *out = JsonValue::MakeNull();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected an object key");
+      }
+      std::string key;
+      SPECMINE_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after an object key");
+      JsonValue value;
+      SPECMINE_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      members[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in an object");
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> elements;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray(std::move(elements));
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      SPECMINE_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      elements.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in an array");
+    }
+    *out = JsonValue::MakeArray(std::move(elements));
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("raw control byte in a string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      switch (text_[pos_]) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          SPECMINE_RETURN_NOT_OK(ParseUnicodeEscape(out));
+          continue;  // ParseUnicodeEscape advanced past the digits.
+        }
+        default:
+          return Error("bad escape sequence");
+      }
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  // pos_ is at the 'u'. Decodes \uXXXX (and a following low surrogate when
+  // needed) to UTF-8.
+  Status ParseUnicodeEscape(std::string* out) {
+    uint32_t code = 0;
+    SPECMINE_RETURN_NOT_OK(ParseHex4(&code));
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return Error("unpaired surrogate");
+      }
+      pos_ += 2;
+      uint32_t low = 0;
+      SPECMINE_RETURN_NOT_OK(ParseHex4(&low));
+      if (low < 0xDC00 || low > 0xDFFF) return Error("unpaired surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      return Error("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return Status::OK();
+  }
+
+  // pos_ is at the 'u'; advances past the four hex digits.
+  Status ParseHex4(uint32_t* out) {
+    ++pos_;  // 'u'
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // Sign only.
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("expected a value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("expected digits after the decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("expected exponent digits");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = JsonValue::MakeNumber(std::strtod(token.c_str(), nullptr));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace specmine

@@ -1,0 +1,89 @@
+// A small recursive-descent JSON parser for the specmined request bodies.
+//
+// Parses one complete RFC 8259 document into a JsonValue tree. The parser
+// is strict (no comments, no trailing commas, no bare NaN/Infinity) and
+// every syntax error comes back as a kParseError Status naming the byte
+// offset — malformed client input must map to an HTTP 400/422 envelope,
+// never to UB or a partial parse silently treated as complete.
+//
+// Depth is capped so an adversarial "[[[[..." body cannot overflow the
+// stack; documents past the cap fail cleanly.
+
+#ifndef SPECMINE_SUPPORT_JSON_READER_H_
+#define SPECMINE_SUPPORT_JSON_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace specmine {
+
+/// \brief One parsed JSON value (tree-owning).
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// \brief The boolean payload; value must be a bool.
+  bool AsBool() const { return bool_; }
+  /// \brief The numeric payload; value must be a number.
+  double AsDouble() const { return number_; }
+  /// \brief The string payload; value must be a string.
+  const std::string& AsString() const { return string_; }
+  /// \brief The elements; value must be an array.
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  /// \brief The members in key order; value must be an object.
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  /// \brief Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // -------------------------------------------------------------------------
+  // Checked option accessors — the shape the request decoders want: a
+  // missing member yields the default, a present member of the wrong type
+  // (or a non-integral / out-of-range number where an integer is needed)
+  // is an InvalidArgument Status naming the field.
+
+  Status GetString(std::string_view key, std::string* out) const;
+  Status GetDouble(std::string_view key, double* out) const;
+  Status GetUint(std::string_view key, uint64_t* out) const;
+  Status GetBool(std::string_view key, bool* out) const;
+
+  // Construction (used by the parser and by tests).
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> v);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// \brief Parses exactly one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_JSON_READER_H_

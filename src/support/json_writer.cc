@@ -1,0 +1,181 @@
+#include "src/support/json_writer.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace specmine {
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+void JsonWriter::Indent() {
+  out_->append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  assert(!finished_ && "value after Finish()");
+  if (stack_.empty()) return;  // Top-level value.
+  if (stack_.back() == Frame::kObject) {
+    assert(pending_key_ && "object member without Key()");
+    pending_key_ = false;
+    return;  // Key() already wrote the separator and indent.
+  }
+  if (has_members_.back()) out_->append(",\n");
+  has_members_.back() = true;
+  Indent();
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  assert(!pending_key_ && "two Key() calls in a row");
+  if (has_members_.back()) out_->append(",\n");
+  has_members_.back() = true;
+  Indent();
+  out_->push_back('"');
+  out_->append(JsonEscape(name));
+  out_->append("\": ");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_->append("{\n");
+  stack_.push_back(Frame::kObject);
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  const bool had_members = has_members_.back();
+  stack_.pop_back();
+  has_members_.pop_back();
+  if (had_members) {
+    out_->push_back('\n');
+    Indent();
+    out_->push_back('}');
+  } else {
+    // Roll the "{\n" back to an empty "{}" on one line.
+    out_->pop_back();
+    out_->push_back('}');
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_->append("[\n");
+  stack_.push_back(Frame::kArray);
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Frame::kArray);
+  const bool had_members = has_members_.back();
+  stack_.pop_back();
+  has_members_.pop_back();
+  if (had_members) {
+    out_->push_back('\n');
+    Indent();
+    out_->push_back(']');
+  } else {
+    out_->pop_back();
+    out_->push_back(']');
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_->push_back('"');
+  out_->append(JsonEscape(value));
+  out_->push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_->append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_->append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  out_->append(JsonDouble(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_->append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_->append("null");
+  return *this;
+}
+
+void JsonWriter::Finish() {
+  assert(stack_.empty() && "Finish() inside an open container");
+  if (!finished_) {
+    out_->push_back('\n');
+    finished_ = true;
+  }
+}
+
+}  // namespace specmine

@@ -1,0 +1,103 @@
+// A minimal streaming JSON emitter with deterministic formatting.
+//
+// The writer exists so every JSON surface of the project — the specmined
+// HTTP envelopes and the CLI's --json output — renders through one code
+// path and therefore can never drift byte-for-byte (the server/CLI
+// equivalence the end-to-end tests diff). Output is pretty-printed with
+// two-space indentation and one key or element per line, which also makes
+// it greppable: a test can strip a field by dropping its line.
+//
+// Formatting contract (part of the API, pinned by json_test):
+//   * keys and elements are emitted in call order, never reordered;
+//   * strings are escaped per RFC 8259 (", \, control bytes as \u00XX);
+//   * doubles render via std::to_chars shortest round-trip form, so the
+//     same value always produces the same bytes;
+//   * integers are emitted as decimal, never in floating form.
+//
+// The writer is allocation-light (one level stack) and not thread-safe;
+// build one per document.
+
+#ifndef SPECMINE_SUPPORT_JSON_WRITER_H_
+#define SPECMINE_SUPPORT_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specmine {
+
+/// \brief Escapes \p raw as the contents of a JSON string (no quotes).
+std::string JsonEscape(std::string_view raw);
+
+/// \brief Renders \p value in shortest round-trip decimal form ("0.5",
+/// "1e-09"); non-finite values render as null per RFC 8259.
+std::string JsonDouble(double value);
+
+/// \brief Streaming pretty-printer for one JSON document.
+class JsonWriter {
+ public:
+  /// \brief Appends output to \p out (not owned; must outlive the writer).
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // Containers. A document is exactly one top-level value; nested
+  // containers open inside a Key (in objects) or as elements (in arrays).
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// \brief Emits the key of the next object member.
+  JsonWriter& Key(std::string_view name);
+
+  // Scalar values.
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// \brief Convenience: Key(name) + the value.
+  JsonWriter& Field(std::string_view name, std::string_view value) {
+    return Key(name).String(value);
+  }
+  JsonWriter& Field(std::string_view name, const char* value) {
+    return Key(name).String(value);
+  }
+  JsonWriter& Field(std::string_view name, uint64_t value) {
+    return Key(name).UInt(value);
+  }
+  JsonWriter& Field(std::string_view name, int64_t value) {
+    return Key(name).Int(value);
+  }
+  JsonWriter& Field(std::string_view name, double value) {
+    return Key(name).Double(value);
+  }
+  JsonWriter& Field(std::string_view name, bool value) {
+    return Key(name).Bool(value);
+  }
+
+  /// \brief Finishes the document: appends the trailing newline every
+  /// complete document carries (so documents concatenate line-cleanly).
+  void Finish();
+
+ private:
+  enum class Frame : uint8_t { kObject, kArray };
+
+  void BeforeValue();
+  void Indent();
+
+  std::string* out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_members_;
+  bool pending_key_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_JSON_WRITER_H_

@@ -1,0 +1,21 @@
+#include "src/support/version.h"
+
+#ifndef SPECMINE_BUILD_VERSION
+#define SPECMINE_BUILD_VERSION "unknown"
+#endif
+#ifndef SPECMINE_BUILD_GIT_REVISION
+#define SPECMINE_BUILD_GIT_REVISION "unknown"
+#endif
+
+namespace specmine {
+
+const char* VersionString() { return SPECMINE_BUILD_VERSION; }
+
+const char* GitRevision() { return SPECMINE_BUILD_GIT_REVISION; }
+
+std::string VersionLine() {
+  return std::string("specmine ") + VersionString() + " (" + GitRevision() +
+         ")";
+}
+
+}  // namespace specmine

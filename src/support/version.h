@@ -1,0 +1,29 @@
+// Compile-time build identification, for fleet debugging: `specmine
+// --version`, the specmined /healthz envelope, and log preambles all
+// report the same strings. The values are injected by CMake
+// (SPECMINE_BUILD_VERSION / SPECMINE_BUILD_GIT_REVISION compile
+// definitions, the latter from `git describe --always --dirty` at
+// configure time) and fall back to "unknown" in builds outside a git
+// checkout.
+
+#ifndef SPECMINE_SUPPORT_VERSION_H_
+#define SPECMINE_SUPPORT_VERSION_H_
+
+#include <string>
+
+namespace specmine {
+
+/// \brief The release version ("0.7.0").
+const char* VersionString();
+
+/// \brief The git revision this binary was configured from ("1067dcb",
+/// "476fe5b-dirty", or "unknown" outside a checkout).
+const char* GitRevision();
+
+/// \brief "specmine <version> (<revision>)" — the one-line form the CLI
+/// prints and /healthz embeds.
+std::string VersionLine();
+
+}  // namespace specmine
+
+#endif  // SPECMINE_SUPPORT_VERSION_H_

@@ -1,0 +1,132 @@
+// Concurrent-reader safety for the Engine session façade — the property
+// the specmined server leans on (one cached Engine per corpus, shared by
+// every connection thread).
+//
+// The hammer test races many threads into a *cold* session running a mix
+// of tasks and pins down the cache contract: exactly one physical index
+// build however many requests arrive at once (index_builds() == 1), and
+// every concurrent result byte-identical to a sequential baseline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+
+namespace specmine {
+namespace {
+
+SequenceDatabase HammerDb() {
+  SequenceDatabaseBuilder db;
+  db.AddTraceFromString("lock read write unlock lock write unlock");
+  db.AddTraceFromString("open read close lock unlock");
+  db.AddTraceFromString("lock read unlock open read read close");
+  db.AddTraceFromString("open write close open read close");
+  db.AddTraceFromString("lock unlock lock read write unlock");
+  db.AddTraceFromString("open lock read write unlock close");
+  return db.Build();
+}
+
+std::string ClosedBaseline(const Engine& engine) {
+  ClosedTask task;
+  task.options.min_support = 3;
+  CollectingPatternSink sink;
+  Result<RunReport> run = engine.Mine(task, sink);
+  EXPECT_TRUE(run.ok());
+  PatternSet set = sink.TakeSet();
+  set.SortBySupport();
+  return set.ToString(engine.database().dictionary());
+}
+
+std::string RulesBaseline(const Engine& engine) {
+  RulesTask task;
+  task.options.min_s_support = 3;
+  task.options.min_confidence = 0.5;
+  CollectingRuleSink sink;
+  Result<RunReport> run = engine.Mine(task, sink);
+  EXPECT_TRUE(run.ok());
+  RuleSet rules = sink.TakeSet();
+  rules.SortByQuality();
+  std::string out;
+  for (const Rule& r : rules.rules()) {
+    out += r.ToString(engine.database().dictionary());
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(EngineConcurrencyTest, ColdSessionHammerBuildsTheIndexOnce) {
+  Engine engine(HammerDb());
+  // Baselines from a separate warm session (same database) so the session
+  // under test stays cold until the hammer hits it.
+  Engine reference(HammerDb());
+  const std::string closed_expected = ClosedBaseline(reference);
+  const std::string rules_expected = RulesBaseline(reference);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 4;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        if ((t + round) % 2 == 0) {
+          if (ClosedBaseline(engine) != closed_expected) ++mismatches;
+        } else {
+          if (RulesBaseline(engine) != rules_expected) ++mismatches;
+        }
+        if (::testing::Test::HasFailure()) ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // The contract the server's index-cache metrics depend on: N requests
+  // racing into a cold corpus pay for exactly one build.
+  EXPECT_EQ(engine.index_builds(), 1u);
+}
+
+TEST(EngineConcurrencyTest, ConcurrentMultiThreadedTasksGetExclusivePools) {
+  // Multi-threaded tasks running concurrently must not share a live pool
+  // (a ThreadPool fan-out requires an otherwise-idle pool). Exercise the
+  // lease path from several threads at once and recheck determinism.
+  Engine engine(HammerDb());
+  Engine reference(HammerDb());
+  GeneratorsTask task;
+  task.options.min_support = 2;
+  task.options.num_threads = 2;
+
+  const auto mine = [&](const Engine& session) {
+    CollectingPatternSink sink;
+    Result<RunReport> run = session.Mine(task, sink);
+    EXPECT_TRUE(run.ok());
+    PatternSet set = sink.TakeSet();
+    set.SortBySupport();
+    return set.ToString(session.database().dictionary());
+  };
+  const std::string expected = mine(reference);
+
+  constexpr int kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        if (mine(engine) != expected) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(engine.index_builds(), 1u);
+}
+
+}  // namespace
+}  // namespace specmine

@@ -1,0 +1,225 @@
+// Tests for the server's HTTP message layer: the incremental request
+// parser (framing, limits, pipelining), the response serializer, and the
+// exhaustive Status -> HTTP mapping every handler routes errors through.
+
+#include "src/server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace specmine {
+namespace {
+
+using State = HttpRequestParser::State;
+
+State FeedAll(HttpRequestParser& parser, std::string_view data,
+              size_t* leftover = nullptr) {
+  size_t consumed = 0;
+  State state = parser.Feed(data, &consumed);
+  if (leftover != nullptr) *leftover = data.size() - consumed;
+  return state;
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            State::kComplete);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "x");
+  EXPECT_TRUE(request.KeepAlive());
+}
+
+TEST(HttpParserTest, ParsesPostWithBody) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "POST /mine/patterns HTTP/1.1\r\n"
+                    "Content-Length: 11\r\n\r\n"
+                    "{\"a\": true}"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().body, "{\"a\": true}");
+}
+
+TEST(HttpParserTest, ReassemblesAcrossArbitrarySplits) {
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\nX-A: b\r\n\r\nhello";
+  // Any byte-level split must produce the same parse (the connection loop
+  // feeds whatever the socket returns).
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    HttpRequestParser parser;
+    size_t consumed = 0;
+    State first = parser.Feed(std::string_view(wire).substr(0, split),
+                              &consumed);
+    ASSERT_EQ(consumed, split);
+    if (first == State::kComplete) {
+      ASSERT_EQ(split, wire.size());
+      break;
+    }
+    ASSERT_EQ(first, State::kNeedMore);
+    ASSERT_EQ(FeedAll(parser, std::string_view(wire).substr(split)),
+              State::kComplete)
+        << "split at " << split;
+    EXPECT_EQ(parser.request().body, "hello");
+    EXPECT_EQ(parser.request().headers.size(), 2u);
+  }
+}
+
+TEST(HttpParserTest, PipelinedKeepAliveRequestsLeaveTheTail) {
+  HttpRequestParser parser;
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+  size_t consumed = 0;
+  ASSERT_EQ(parser.Feed(two, &consumed), State::kComplete);
+  EXPECT_EQ(parser.request().target, "/a");
+  EXPECT_TRUE(parser.request().KeepAlive());
+  // The second request's bytes are untouched; Reset + refeed parses it.
+  parser.Reset();
+  ASSERT_EQ(FeedAll(parser, std::string_view(two).substr(consumed)),
+            State::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+  EXPECT_FALSE(parser.request().KeepAlive());
+}
+
+TEST(HttpParserTest, MalformedRequestLineIs400) {
+  for (const char* wire :
+       {"GARBAGE\r\n\r\n", "GET /x\r\n\r\n", "GET  HTTP/1.1\r\n\r\n",
+        "GE T /x HTTP/1.1\r\n\r\n"}) {
+    HttpRequestParser parser;
+    ASSERT_EQ(FeedAll(parser, wire), State::kError) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParserTest, UnsupportedVersionIs505) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET / HTTP/2.0\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParserTest, MalformedHeaderIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET / HTTP/1.1\r\nno colon here\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, WhitespaceBeforeColonIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET / HTTP/1.1\r\nHost : x\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, BadContentLengthIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(
+      FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n"),
+      State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  HttpRequestParser parser(limits);
+  // Rejected from the declared length alone — no body bytes are buffered.
+  ASSERT_EQ(FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, BodyAtTheLimitIsAccepted) {
+  HttpLimits limits;
+  limits.max_body_bytes = 4;
+  HttpRequestParser parser(limits);
+  ASSERT_EQ(
+      FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"),
+      State::kComplete);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpParserTest, OversizedHeaderBlockIs431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  HttpRequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 8; ++i) {
+    wire += "X-Padding-" + std::to_string(i) + ": aaaaaaaaaaaaaaaa\r\n";
+  }
+  wire += "\r\n";
+  ASSERT_EQ(FeedAll(parser, wire), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, ChunkedEncodingIs501) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, Http10DefaultsToClose) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET / HTTP/1.0\r\n\r\n"), State::kComplete);
+  EXPECT_FALSE(parser.request().KeepAlive());
+  parser.Reset();
+  ASSERT_EQ(FeedAll(parser,
+                    "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+            State::kComplete);
+  EXPECT_TRUE(parser.request().KeepAlive());
+}
+
+TEST(HttpParserTest, QueryStringIsStrippedByPath) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET /corpora?verbose=1 HTTP/1.1\r\n\r\n"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().target, "/corpora?verbose=1");
+  EXPECT_EQ(parser.request().Path(), "/corpora");
+}
+
+TEST(HttpResponseTest, SerializesStatusHeadersAndBody) {
+  HttpResponse response;
+  response.status = 429;
+  response.body = "{}";
+  response.headers.emplace_back("Retry-After", "1");
+  std::string wire = response.Serialize(/*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 2), "{}");
+}
+
+// The single Status -> HTTP mapping, pinned exhaustively: adding a
+// StatusCode without deciding its HTTP face should fail here.
+TEST(StatusToHttpTest, MapsEveryCode) {
+  EXPECT_EQ(StatusToHttp(StatusCode::kOk), 200);
+  EXPECT_EQ(StatusToHttp(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(StatusToHttp(StatusCode::kOutOfRange), 400);
+  EXPECT_EQ(StatusToHttp(StatusCode::kNotFound), 404);
+  EXPECT_EQ(StatusToHttp(StatusCode::kParseError), 422);
+  EXPECT_EQ(StatusToHttp(StatusCode::kCancelled), 499);
+  EXPECT_EQ(StatusToHttp(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(StatusToHttp(StatusCode::kIOError), 500);
+  EXPECT_EQ(StatusToHttp(StatusCode::kInternal), 500);
+}
+
+TEST(StatusToHttpTest, ReasonPhrasesForEveryMappedStatus) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kParseError, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded, StatusCode::kIOError,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(HttpReasonPhrase(StatusToHttp(code)), "Unknown")
+        << StatusCodeName(code);
+  }
+}
+
+}  // namespace
+}  // namespace specmine

@@ -1,0 +1,154 @@
+// specmined — the long-lived specification-mining server.
+//
+// Registers one or more corpora at startup, binds an HTTP port, and
+// serves the mining API until SIGINT/SIGTERM (clean exit 0, which the CI
+// smoke step asserts). The bound address is printed to stdout as the
+// first line, so scripts launching with --port 0 can scrape the ephemeral
+// port:
+//
+//   $ specmined --port 0 --corpus demo=traces.txt
+//   listening on http://127.0.0.1:40123
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/server.h"
+#include "src/support/version.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: specmined [options]
+
+options:
+  --host H              bind address (default 127.0.0.1)
+  --port P              TCP port; 0 picks an ephemeral port (default 8080)
+  --corpus NAME=PATH    register a corpus at startup (repeatable); PATH may
+                        be plain-text traces, .smdb, or .smdbset
+  --integrity MODE      off | header | full checksum verification for
+                        .smdb/.smdbset corpora (default header)
+  --quarantine          .smdbset corpora: mine the healthy shard subset
+                        instead of failing on a bad shard
+  --max-concurrent N    mining tasks running at once (default 2)
+  --max-queue N         mining requests allowed to wait for a slot; beyond
+                        this the server answers 429 (default 8)
+  --max-body-bytes N    request body cap, answered 413 past it (default 4MiB)
+  --quiet               suppress the per-request JSON log on stderr
+  --version             print version and exit
+
+Corpora can also be registered at runtime via POST /corpora. The API and
+metrics catalog are documented in docs/server.md.
+)";
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  specmine::ServerOptions options;
+  options.port = 8080;
+  options.log = &std::cerr;
+  specmine::CorpusOpenOptions corpus_options;
+  std::vector<std::pair<std::string, std::string>> corpora;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--version") {
+      std::cout << specmine::VersionLine() << '\n';
+      return 0;
+    }
+    if (arg == "--quiet") {
+      options.log = nullptr;
+      continue;
+    }
+    if (arg == "--quarantine") {
+      corpus_options.quarantine = true;
+      continue;
+    }
+    const char* value = next();
+    if (value == nullptr) {
+      std::cerr << "specmined: " << arg << " needs a value\n" << kUsage;
+      return 2;
+    }
+    if (arg == "--host") {
+      options.host = value;
+    } else if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (arg == "--corpus") {
+      const char* eq = std::strchr(value, '=');
+      if (eq == nullptr || eq == value || eq[1] == '\0') {
+        std::cerr << "specmined: --corpus wants NAME=PATH, got '" << value
+                  << "'\n";
+        return 2;
+      }
+      corpora.emplace_back(std::string(value, eq), std::string(eq + 1));
+    } else if (arg == "--integrity") {
+      const std::string mode = value;
+      if (mode == "off") {
+        corpus_options.integrity = specmine::IntegrityMode::kOff;
+      } else if (mode == "header") {
+        corpus_options.integrity = specmine::IntegrityMode::kHeader;
+      } else if (mode == "full") {
+        corpus_options.integrity = specmine::IntegrityMode::kFull;
+      } else {
+        std::cerr << "specmined: --integrity must be off, header or full\n";
+        return 2;
+      }
+    } else if (arg == "--max-concurrent") {
+      options.admission.max_concurrent = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--max-queue") {
+      options.admission.max_queued = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--max-body-bytes") {
+      options.limits.max_body_bytes = std::strtoull(value, nullptr, 10);
+    } else {
+      std::cerr << "specmined: unknown option " << arg << '\n' << kUsage;
+      return 2;
+    }
+  }
+
+  specmine::CorpusRegistry registry;
+  for (const auto& [name, path] : corpora) {
+    specmine::Status status = registry.Register(name, path, corpus_options);
+    if (!status.ok()) {
+      std::cerr << "specmined: failed to register corpus '" << name
+                << "': " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cerr << "registered corpus '" << name << "' from " << path << '\n';
+  }
+
+  specmine::Server server(&registry, options);
+  specmine::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "specmined: " << started.ToString() << '\n';
+    return 1;
+  }
+  std::cout << "listening on http://" << options.host << ':' << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  // SIGPIPE must not kill the server when a client hangs up mid-response.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "specmined: shutting down\n";
+  server.Stop();
+  return 0;
+}
