@@ -122,7 +122,19 @@ bool HttpRequestParser::BeginBody() {
     Fail(501, "chunked transfer encoding is not supported");
     return false;
   }
-  const std::string* length = request_.FindHeader("content-length");
+  // RFC 9112 §6.3: conflicting Content-Length values are a request-
+  // smuggling vector when a proxy and this server frame differently —
+  // reject every repeated header outright (the digits-only check below
+  // already rejects the list form "5, 5" in a single header).
+  const std::string* length = nullptr;
+  for (const auto& [name, value] : request_.headers) {
+    if (name != "content-length") continue;
+    if (length != nullptr) {
+      Fail(400, "multiple Content-Length headers");
+      return false;
+    }
+    length = &value;
+  }
   if (length == nullptr) {
     body_expected_ = 0;
     return true;

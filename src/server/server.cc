@@ -90,11 +90,14 @@ Status DecodeCommon(const JsonValue& body, MineCommon* out) {
   return body.GetUint("timeout_ms", &out->timeout_ms);
 }
 
-// Arms \p token when the request carried a timeout; mirrors the CLI's
-// --timeout-ms (the miners treat null as "never stop").
+// Arms \p token's deadline when the request carried a timeout, mirroring
+// the CLI's --timeout-ms. The token itself is always handed to the miner
+// (unarmed it never fires on its own) so that Stop() can cancel a mine
+// that carried no deadline.
 const CancelToken* ArmTimeout(const MineCommon& common, CancelToken* token) {
-  if (common.timeout_ms == 0) return nullptr;
-  token->SetDeadline(std::chrono::milliseconds(common.timeout_ms));
+  if (common.timeout_ms != 0) {
+    token->SetDeadline(std::chrono::milliseconds(common.timeout_ms));
+  }
   return token;
 }
 
@@ -137,19 +140,61 @@ void Server::Stop() {
   std::vector<std::thread> connections;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Stop the CPU-bound work first: a mine with no deadline would
+    // otherwise block its connection thread (and this join) forever.
+    for (CancelToken* token : active_mines_) token->Cancel();
     // Unblock every connection thread parked in a socket read; the
     // threads observe stopping_ and exit their serve loops.
     for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
-    connections.swap(connections_);
+    for (auto& [id, thread] : connections_) {
+      connections.push_back(std::move(thread));
+    }
+    connections_.clear();
+    for (std::thread& thread : finished_) {
+      connections.push_back(std::move(thread));
+    }
+    finished_.clear();
   }
   for (std::thread& t : connections) {
     if (t.joinable()) t.join();
   }
 }
 
+size_t Server::connection_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_.size() + finished_.size();
+}
+
+void Server::ReapFinished() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished.swap(finished_);
+  }
+  // These threads have already moved their handle here from their own
+  // epilogue, so each join returns (almost) immediately.
+  for (std::thread& t : finished) t.join();
+}
+
+Server::MineRegistration::MineRegistration(Server* server, CancelToken* token)
+    : server_(server), token_(token) {
+  std::lock_guard<std::mutex> lock(server_->mu_);
+  server_->active_mines_.insert(token_);
+  // A mine slipping in after Stop() swept active_mines_ must not run.
+  if (server_->stopping_.load(std::memory_order_acquire)) token_->Cancel();
+}
+
+Server::MineRegistration::~MineRegistration() {
+  std::lock_guard<std::mutex> lock(server_->mu_);
+  server_->active_mines_.erase(token_);
+}
+
 void Server::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     Result<Socket> accepted = listener_.Accept();
+    // Join whatever connections finished since the last accept, so a
+    // long-lived server never accumulates exited threads.
+    ReapFinished();
     if (!accepted.ok()) {
       // Shutdown() fails the pending accept; anything else (e.g. EMFILE)
       // is transient — keep accepting unless we are stopping.
@@ -157,15 +202,31 @@ void Server::AcceptLoop() {
       continue;
     }
     Socket socket = accepted.TakeValueOrDie();
+    if (options_.idle_timeout_seconds != 0) {
+      socket.SetReadTimeout(options_.idle_timeout_seconds);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_.load(std::memory_order_acquire)) break;
+    if (connections_.size() >= options_.max_connections) {
+      // Shed in-line, never spawning past the cap (the tiny response
+      // fits the socket send buffer, so this cannot stall the acceptor).
+      HttpResponse response =
+          SimpleError(503, "connection limit reached; retry later");
+      metrics_.RecordRequest("other", response.status, 0.0);
+      (void)socket.WriteAll(response.Serialize(/*keep_alive=*/false));
+      continue;  // `socket` closes as it goes out of scope.
+    }
+    const uint64_t id = next_connection_id_++;
     live_fds_.insert(socket.fd());
-    connections_.emplace_back(
-        [this, s = std::move(socket)]() mutable { ServeConnection(std::move(s)); });
+    connections_[id] = std::thread(
+        [this, id, s = std::move(socket)]() mutable {
+          ServeConnection(id, std::move(s));
+        });
   }
+  ReapFinished();
 }
 
-void Server::ServeConnection(Socket socket) {
+void Server::ServeConnection(uint64_t id, Socket socket) {
   const int fd = socket.fd();
   HttpRequestParser parser(options_.limits);
   std::string pending;  // Bytes read but not yet consumed (pipelining).
@@ -220,10 +281,17 @@ void Server::ServeConnection(Socket socket) {
   }
 
   // Deregister before closing so Stop() can never shutdown() a reused
-  // descriptor number.
+  // descriptor number, and hand this thread's own handle to the reap
+  // list — the acceptor (or Stop()) joins it, releasing the stack.
   {
     std::lock_guard<std::mutex> lock(mu_);
     live_fds_.erase(fd);
+    auto it = connections_.find(id);
+    if (it != connections_.end()) {
+      finished_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    // Not found: Stop() already moved the handle and will join it.
   }
   socket.Close();
 }
@@ -370,16 +438,18 @@ HttpResponse Server::HandleMine(const std::string& path,
   }
   const EventDictionary& dict = engine->database().dictionary();
   CancelToken token;
+  MineRegistration registration(this, &token);  // Stop() cancels us.
   const CancelToken* cancel = ArmTimeout(common, &token);
 
-  // Index-cache accounting: a mine that raised index_builds() paid for a
-  // build; an unchanged counter on an index-backed mine was a warm hit.
-  const size_t builds_before = engine->index_builds();
+  // Index-cache accounting: report.index_build_seconds is non-zero only
+  // for the call that actually paid a build, so it is a per-call signal —
+  // unlike a diff of the global index_builds() counter, it cannot
+  // misattribute a concurrent request's build to this one.
   const auto record = [&](const RunReport& report, uint64_t patterns,
                           uint64_t rules) {
     std::optional<bool> hit;
     if (!report.backend.empty()) {
-      hit = engine->index_builds() == builds_before;
+      hit = report.index_build_seconds == 0.0;
     }
     metrics_.RecordMine(report.backend, hit, patterns, rules);
   };

@@ -9,6 +9,16 @@
 // construction: Engine::Mine supports concurrent readers and the
 // admission gate bounds how many mines run at once.
 //
+// Connection-thread lifecycle: a finishing connection moves its own
+// std::thread handle onto a finished list, which the acceptor joins
+// before each accept — a long-lived server never accumulates exited
+// threads. Accepts past max_connections are answered 503 and closed
+// without spawning, and idle_timeout_seconds bounds how long an idle
+// keep-alive connection may hold its thread. Stop() cancels every
+// in-flight mine through its registered CancelToken (so a request
+// without a deadline cannot stall shutdown), shuts the live sockets
+// down, and joins everything.
+//
 // Routes (documented in docs/server.md, exercised one-per-route by the CI
 // smoke step):
 //   GET  /healthz         liveness + build info
@@ -38,6 +48,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/server/admission.h"
@@ -49,6 +60,8 @@
 
 namespace specmine {
 
+class CancelToken;
+
 /// \brief Server configuration (capacity knobs in docs/server.md).
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -56,6 +69,12 @@ struct ServerOptions {
   uint16_t port = 0;
   AdmissionOptions admission;
   HttpLimits limits;
+  /// Connection threads alive at once; accepts past this are answered
+  /// 503 and closed without spawning a thread.
+  size_t max_connections = 256;
+  /// An idle keep-alive connection (no request bytes for this long) is
+  /// closed so it cannot hold a connection slot forever; 0 disables.
+  unsigned idle_timeout_seconds = 60;
   /// JSON-lines request log (one object per finished request); null
   /// disables logging.
   std::ostream* log = nullptr;
@@ -88,9 +107,30 @@ class Server {
 
   ServerMetrics& metrics() { return metrics_; }
 
+  /// \brief Connection threads currently tracked (live + finished but not
+  /// yet reaped); exposed so tests can pin down that completed
+  /// connections are actually released.
+  size_t connection_threads() const;
+
  private:
+  // RAII entry in active_mines_ for one mine's CancelToken, so Stop()
+  // can fire it; registering once Stop() has begun cancels immediately.
+  class MineRegistration {
+   public:
+    MineRegistration(Server* server, CancelToken* token);
+    ~MineRegistration();
+    MineRegistration(const MineRegistration&) = delete;
+    MineRegistration& operator=(const MineRegistration&) = delete;
+
+   private:
+    Server* server_;
+    CancelToken* token_;
+  };
+
   void AcceptLoop();
-  void ServeConnection(Socket socket);
+  void ServeConnection(uint64_t id, Socket socket);
+  // Joins connection threads that have moved themselves onto finished_.
+  void ReapFinished();
 
   // Routing + handlers. The returned route_label is the bounded-
   // cardinality metrics label ("other" for unmatched paths).
@@ -112,9 +152,12 @@ class Server {
   Listener listener_;
   uint16_t port_ = 0;
   std::thread acceptor_;
-  std::mutex mu_;                       // Guards the two members below.
-  std::vector<std::thread> connections_;
+  mutable std::mutex mu_;  // Guards the connection/mine tracking below.
+  std::unordered_map<uint64_t, std::thread> connections_;  // Live, by id.
+  std::vector<std::thread> finished_;   // Exited, awaiting a join.
   std::set<int> live_fds_;              // For Stop() to shutdown().
+  std::set<CancelToken*> active_mines_;  // For Stop() to Cancel().
+  uint64_t next_connection_id_ = 0;
   std::atomic<bool> stopping_{false};
   std::mutex log_mu_;
 };

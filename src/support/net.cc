@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -26,6 +27,12 @@ Result<size_t> Socket::Read(char* buffer, size_t capacity) const {
     if (errno == EINTR) continue;
     return Errno("recv");
   }
+}
+
+void Socket::SetReadTimeout(unsigned seconds) const {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 Status Socket::WriteAll(std::string_view data) const {

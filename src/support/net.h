@@ -42,8 +42,14 @@ class Socket {
   int fd() const { return fd_; }
 
   /// \brief Reads up to \p capacity bytes. Returns the count read; 0 means
-  /// the peer closed the connection. Retries EINTR.
+  /// the peer closed the connection. Retries EINTR. With a read timeout
+  /// armed, an idle wait past it fails with an IOError (EAGAIN).
   Result<size_t> Read(char* buffer, size_t capacity) const;
+
+  /// \brief Arms SO_RCVTIMEO: a Read() blocked longer than \p seconds
+  /// fails instead of waiting forever (how the server sheds idle
+  /// keep-alive connections). 0 restores the blocking default.
+  void SetReadTimeout(unsigned seconds) const;
 
   /// \brief Writes all of \p data (looping over partial writes).
   Status WriteAll(std::string_view data) const;

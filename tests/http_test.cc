@@ -122,6 +122,26 @@ TEST(HttpParserTest, BadContentLengthIs400) {
   EXPECT_EQ(parser.error_status(), 400);
 }
 
+// RFC 9112 §6.3: repeated Content-Length headers are a request-smuggling
+// vector behind a proxy that frames by a different one — reject even
+// when the values agree.
+TEST(HttpParserTest, DuplicateContentLengthIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                    "Content-Length: 5\r\n\r\nhello"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, ListValuedContentLengthIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(
+      FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello"),
+      State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
 TEST(HttpParserTest, OversizedBodyIs413) {
   HttpLimits limits;
   limits.max_body_bytes = 16;

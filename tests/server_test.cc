@@ -17,11 +17,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/specmine/cli.h"
@@ -287,6 +289,145 @@ TEST_F(ServerTest, RegisterCorpusAtRuntimeThenMineIt) {
             400);
   std::string list = Get(port(), "/corpora");
   EXPECT_NE(BodyOf(list).find("\"second\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServerTest, ConnectionsPastTheCapAreShedWith503) {
+  ServerOptions options;
+  options.port = 0;
+  options.max_connections = 1;
+  Server capped(&registry_, options);
+  ASSERT_TRUE(capped.Start().ok());
+  // Occupy the single slot with a live keep-alive connection; its served
+  // response proves the connection thread is registered.
+  Result<Socket> held = ConnectTcp("127.0.0.1", capped.port());
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(held->WriteAll("GET /healthz HTTP/1.1\r\n\r\n").ok());
+  char buffer[4096];
+  Result<size_t> first = held->Read(buffer, sizeof(buffer));
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(*first, 0u);
+  // The next connection is shed by the acceptor before any request.
+  Result<Socket> shed = ConnectTcp("127.0.0.1", capped.port());
+  ASSERT_TRUE(shed.ok());
+  std::string response;
+  while (true) {
+    Result<size_t> n = shed->Read(buffer, sizeof(buffer));
+    if (!n.ok() || *n == 0) break;
+    response.append(buffer, *n);
+  }
+  EXPECT_EQ(StatusOf(response), 503);
+  capped.Stop();
+}
+
+TEST_F(ServerTest, FinishedConnectionThreadsAreReaped) {
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(StatusOf(Get(port(), "/healthz")), 200);
+  }
+  // Each accept joins the connections that finished before it; keep
+  // poking the server until the tracked-thread count collapses (the
+  // closed connections above must not linger until Stop()).
+  size_t tracked = server_->connection_threads();
+  for (int i = 0; i < 200 && tracked > 2; ++i) {
+    (void)Get(port(), "/healthz");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    tracked = server_->connection_threads();
+  }
+  EXPECT_LE(tracked, 2u);
+}
+
+TEST_F(ServerTest, IdleConnectionsAreClosedAfterTheTimeout) {
+  ServerOptions options;
+  options.port = 0;
+  options.idle_timeout_seconds = 1;
+  Server impatient(&registry_, options);
+  ASSERT_TRUE(impatient.Start().ok());
+  Result<Socket> socket = ConnectTcp("127.0.0.1", impatient.port());
+  ASSERT_TRUE(socket.ok());
+  // Send nothing: the server must hang up on its own, so this read ends
+  // with EOF (or a reset) instead of blocking forever.
+  char buffer[64];
+  Result<size_t> n = socket->Read(buffer, sizeof(buffer));
+  EXPECT_TRUE(!n.ok() || *n == 0);
+  impatient.Stop();
+}
+
+TEST_F(ServerTest, StopCancelsAnInFlightMineWithoutADeadline) {
+  // A pathological corpus — two long sequences of distinct events make
+  // full-pattern mining combinatorial (every subsequence is frequent at
+  // min_sup 0.5), so the mine cannot finish on its own here; Stop() must
+  // cancel it through the registered token rather than wait.
+  const std::string path = ::testing::TempDir() + "server_test_explosive.txt";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 2; ++i) {
+      for (char e = 'a'; e <= 'z'; ++e) out << e << ' ';
+      out << '\n';
+    }
+  }
+  CorpusRegistry registry;
+  ASSERT_TRUE(registry.Register("explosive", path, CorpusOpenOptions()).ok());
+  ServerOptions options;
+  options.port = 0;
+  Server server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  Result<Socket> socket = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(socket.ok());
+  const std::string body =
+      R"({"corpus": "explosive", "full": true, "min_sup": 0.5})";
+  ASSERT_TRUE(socket
+                  ->WriteAll("POST /mine/patterns HTTP/1.1\r\n"
+                             "Content-Length: " +
+                             std::to_string(body.size()) + "\r\n\r\n" + body)
+                  .ok());
+  // Give the mine time to get properly underway, then shut down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const auto started = std::chrono::steady_clock::now();
+  server.Stop();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  EXPECT_LT(seconds, 30.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServerTest, ConcurrentColdMinesReportOneMissAndOneHit) {
+  // Two requests race into a cold corpus: exactly one pays the index
+  // build (a miss) and the other observes the published cache (a hit) —
+  // the per-call index_build_seconds signal cannot misattribute the
+  // concurrent build the way a global-counter diff could.
+  const std::string path = ::testing::TempDir() + "server_test_cold.txt";
+  {
+    std::ofstream out(path);
+    out << "a b c a b c\nc a b a\n";
+  }
+  CorpusRegistry registry;
+  ASSERT_TRUE(registry.Register("cold", path, CorpusOpenOptions()).ok());
+  ServerOptions options;
+  options.port = 0;
+  Server cold(&registry, options);
+  ASSERT_TRUE(cold.Start().ok());
+  std::thread first([&] {
+    EXPECT_EQ(StatusOf(PostJson(cold.port(), "/mine/patterns",
+                                R"({"corpus": "cold"})")),
+              200);
+  });
+  std::thread second([&] {
+    EXPECT_EQ(StatusOf(PostJson(cold.port(), "/mine/patterns",
+                                R"({"corpus": "cold"})")),
+              200);
+  });
+  first.join();
+  second.join();
+  const std::string body = BodyOf(Get(cold.port(), "/metrics"));
+  EXPECT_NE(body.find("specmined_index_cache_misses_total 1"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("specmined_index_cache_hits_total 1"),
+            std::string::npos)
+      << body;
+  cold.Stop();
   std::remove(path.c_str());
 }
 

@@ -37,6 +37,10 @@ options:
   --max-concurrent N    mining tasks running at once (default 2)
   --max-queue N         mining requests allowed to wait for a slot; beyond
                         this the server answers 429 (default 8)
+  --max-connections N   connection threads alive at once; accepts past this
+                        are answered 503 and closed (default 256)
+  --idle-timeout N      close a keep-alive connection idle for N seconds;
+                        0 disables (default 60)
   --max-body-bytes N    request body cap, answered 413 past it (default 4MiB)
   --quiet               suppress the per-request JSON log on stderr
   --version             print version and exit
@@ -112,6 +116,11 @@ int main(int argc, char** argv) {
       options.admission.max_concurrent = std::strtoull(value, nullptr, 10);
     } else if (arg == "--max-queue") {
       options.admission.max_queued = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--max-connections") {
+      options.max_connections = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--idle-timeout") {
+      options.idle_timeout_seconds =
+          static_cast<unsigned>(std::strtoul(value, nullptr, 10));
     } else if (arg == "--max-body-bytes") {
       options.limits.max_body_bytes = std::strtoull(value, nullptr, 10);
     } else {
