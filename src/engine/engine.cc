@@ -125,22 +125,34 @@ Result<Engine> Engine::FromShardSet(const std::string& path,
                                     const SetOpenOptions& options) {
   Result<ShardedDatabase> set = ShardedDatabase::Open(path, options);
   if (!set.ok()) return set.status();
-  // Every shard must be indexable on its own (MineSharded) and so must
-  // the concatenation (the regular tasks); reject both up front so the
-  // cached-index accessors cannot fail later.
+  // Every shard must be indexable on its own (MineSharded, and the lazy
+  // merged backend delegates into per-shard indexes) and so must the
+  // concatenation; both are rejected up front so the cached-index
+  // accessors cannot fail later. The concatenation bound needs no merged
+  // arena: total events come from the manifest, and per-sequence lengths
+  // are unchanged by merging (each shard's own check covers them).
   for (size_t i = 0; i < set->num_shards(); ++i) {
     SPECMINE_RETURN_NOT_OK(CheckIndexable(set->shard(i)));
   }
-  SequenceDatabase merged = set->Merge();
-  SPECMINE_RETURN_NOT_OK(CheckIndexable(merged));
-  Engine engine(std::move(merged));
+  if (set->TotalEvents() >= kNoPos) {
+    return Status::OutOfRange(
+        "shard set has " + std::to_string(set->TotalEvents()) +
+        " events merged, beyond the 2^32-2 the index's uint32 offsets can "
+        "address");
+  }
+  // The merged arena itself stays unmaterialized: regular tasks under the
+  // auto backend run on the lazy merged backend, and MaterializeLocked()
+  // builds the arena on first use by the tasks that genuinely need it.
+  Engine engine;
   engine.shard_set_ =
       std::make_unique<ShardedDatabase>(set.TakeValueOrDie());
   return engine;
 }
 
 uint64_t Engine::AbsoluteSupport(double fraction) const {
-  double raw = fraction * static_cast<double>(db_->size());
+  // num_sequences() reads manifest metadata on sharded sessions, so the
+  // threshold never forces a merge (and never races materialization).
+  double raw = fraction * static_cast<double>(num_sequences());
   uint64_t abs = static_cast<uint64_t>(std::ceil(raw - 1e-9));
   return abs > 1 ? abs : 1;
 }
@@ -148,12 +160,28 @@ uint64_t Engine::AbsoluteSupport(double fraction) const {
 // ---------------------------------------------------------------------------
 // Cached infrastructure.
 
+void Engine::MaterializeLocked() const {
+  if (db_ != nullptr) return;
+  db_ = std::make_unique<SequenceDatabase>(shard_set_->Merge());
+}
+
+const SequenceDatabase& Engine::database() const {
+  {
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    MaterializeLocked();
+  }
+  // Published caches are immutable and never reset, so the reference
+  // stays valid after the lock drops.
+  return *db_;
+}
+
 Result<const PositionIndex*> Engine::EnsureIndex(double* build_seconds) const {
   *build_seconds = 0.0;
   // Concurrent cold callers serialize here; exactly one pays the build
   // and the rest observe the published cache (a zero build_seconds — the
   // cache-hit signal the server's metrics count).
   std::lock_guard<std::mutex> lock(sync_->cache_mu);
+  MaterializeLocked();
   if (index_ == nullptr) {
     SPECMINE_RETURN_NOT_OK(CheckIndexable(*db_));
     Stopwatch sw;
@@ -178,6 +206,27 @@ const PositionIndex& Engine::index() const {
 Result<CountingBackend> Engine::EnsureBackend(BackendChoice choice,
                                               double* build_seconds) const {
   *build_seconds = 0.0;
+  // Lazy merged path: a sharded session under the default/auto choice
+  // answers every regular task through the per-shard indexes — the merged
+  // arena is never materialized. Explicit csr/bitmap/hybrid choices fall
+  // through to the materialized arms below (the documented escape hatch).
+  if (shard_set_ != nullptr && choice == BackendChoice::kAuto) {
+    std::vector<CountingBackend> backends;
+    SPECMINE_RETURN_NOT_OK(EnsureShardBackends(
+        BackendChoice::kAuto, &backends, build_seconds, nullptr, 1));
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    if (merged_index_ == nullptr) {
+      Stopwatch sw;
+      merged_index_ = std::make_unique<MergedCountingIndex>(
+          *shard_set_, std::move(backends));
+      *build_seconds += sw.ElapsedSeconds();
+    }
+    return CountingBackend(*merged_index_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    MaterializeLocked();
+  }
   const BackendKind kind = ResolveBackendKind(choice, *db_);
   if (kind == BackendKind::kCsr) {
     Result<const PositionIndex*> index = EnsureIndex(build_seconds);
@@ -185,6 +234,16 @@ Result<CountingBackend> Engine::EnsureBackend(BackendChoice choice,
     return CountingBackend(**index);
   }
   std::lock_guard<std::mutex> lock(sync_->cache_mu);
+  if (kind == BackendKind::kHybrid) {
+    if (hybrid_index_ == nullptr) {
+      SPECMINE_RETURN_NOT_OK(CheckIndexable(*db_));
+      Stopwatch sw;
+      hybrid_index_ = std::make_unique<HybridIndex>(*db_);
+      *build_seconds = sw.ElapsedSeconds();
+      sync_->index_builds.fetch_add(1, std::memory_order_acq_rel);
+    }
+    return CountingBackend(*hybrid_index_);
+  }
   if (bitmap_index_ == nullptr) {
     SPECMINE_RETURN_NOT_OK(CheckIndexable(*db_));
     SPECMINE_RETURN_NOT_OK(CheckBitmapIndexable(*db_));
@@ -211,6 +270,7 @@ CountingBackend Engine::backend(BackendChoice choice) const {
 
 const UnitDatabase& Engine::Units() const {
   std::lock_guard<std::mutex> lock(sync_->cache_mu);
+  MaterializeLocked();  // The unit view needs the merged arena.
   if (units_ == nullptr) {
     units_ = std::make_unique<UnitDatabase>(
         UnitDatabase::WholeSequences(*db_));
@@ -255,7 +315,9 @@ Engine::PoolLease::~PoolLease() {
 template <typename Task>
 Status Engine::Begin(const Task& task) const {
   SPECMINE_RETURN_NOT_OK(Validate(task));
-  if (db_->empty()) {
+  // num_sequences() reads manifest metadata on sharded sessions — the
+  // preamble must not force a merge.
+  if (num_sequences() == 0) {
     return Status::InvalidArgument("database is empty; nothing to mine");
   }
   return Status::OK();
@@ -356,25 +418,42 @@ Status Engine::EnsureShardBackends(BackendChoice choice,
   if (shard_bitmap_indexes_.empty()) {
     shard_bitmap_indexes_.resize(num_shards);
   }
+  if (shard_hybrid_indexes_.empty()) {
+    shard_hybrid_indexes_.resize(num_shards);
+  }
   // Build whatever is missing, one job per shard on the session pool.
   // Slots are distinct, so the fan-out needs no locking.
+  const auto slot_empty = [&](size_t i) {
+    switch (kinds[i]) {
+      case BackendKind::kBitmap:
+        return shard_bitmap_indexes_[i] == nullptr;
+      case BackendKind::kHybrid:
+        return shard_hybrid_indexes_[i] == nullptr;
+      default:
+        return shard_indexes_[i] == nullptr;
+    }
+  };
   std::vector<size_t> missing;
   for (size_t i = 0; i < num_shards; ++i) {
-    if (kinds[i] == BackendKind::kCsr ? shard_indexes_[i] == nullptr
-                                      : shard_bitmap_indexes_[i] == nullptr) {
-      missing.push_back(i);
-    }
+    if (slot_empty(i)) missing.push_back(i);
   }
   if (!missing.empty()) {
     Stopwatch sw;
     auto build_one = [&](size_t m) {
       const size_t i = missing[m];
-      if (kinds[i] == BackendKind::kCsr) {
-        shard_indexes_[i] =
-            std::make_unique<PositionIndex>(shard_set_->shard(i));
-      } else {
-        shard_bitmap_indexes_[i] =
-            std::make_unique<BitmapIndex>(shard_set_->shard(i));
+      switch (kinds[i]) {
+        case BackendKind::kBitmap:
+          shard_bitmap_indexes_[i] =
+              std::make_unique<BitmapIndex>(shard_set_->shard(i));
+          break;
+        case BackendKind::kHybrid:
+          shard_hybrid_indexes_[i] =
+              std::make_unique<HybridIndex>(shard_set_->shard(i));
+          break;
+        default:
+          shard_indexes_[i] =
+              std::make_unique<PositionIndex>(shard_set_->shard(i));
+          break;
       }
     };
     if (num_threads > 1 && missing.size() > 1) {
@@ -387,9 +466,17 @@ Status Engine::EnsureShardBackends(BackendChoice choice,
   }
   backends->reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    backends->push_back(kinds[i] == BackendKind::kCsr
-                            ? CountingBackend(*shard_indexes_[i])
-                            : CountingBackend(*shard_bitmap_indexes_[i]));
+    switch (kinds[i]) {
+      case BackendKind::kBitmap:
+        backends->push_back(CountingBackend(*shard_bitmap_indexes_[i]));
+        break;
+      case BackendKind::kHybrid:
+        backends->push_back(CountingBackend(*shard_hybrid_indexes_[i]));
+        break;
+      default:
+        backends->push_back(CountingBackend(*shard_indexes_[i]));
+        break;
+    }
   }
   return Status::OK();
 }
@@ -462,6 +549,9 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
 
 Result<RunReport> Engine::Mine(const RulesTask& task, RuleSink& sink) const {
   SPECMINE_RETURN_NOT_OK(Begin(task));
+  // The rule miners scan the arena directly (and the backward miner needs
+  // the reversed view), so a lazy sharded session materializes here.
+  const SequenceDatabase& db = database();
   double build_seconds = 0.0;
   RunReport report;
   RuleMinerStats stats;
@@ -471,20 +561,20 @@ Result<RunReport> Engine::Mine(const RulesTask& task, RuleSink& sink) const {
   if (task.backward) {
     // Backward rules mine the *reversed* database, which the session's
     // forward indexes do not cover — the scalar path stands.
-    mined = MineBackwardRules(*db_, task.options, &stats);
-  } else if (ResolveBackendKind(task.options.backend, *db_) ==
+    mined = MineBackwardRules(db, task.options, &stats);
+  } else if (ResolveBackendKind(task.options.backend, db) ==
                  BackendKind::kCsr &&
              !task.options.non_redundant) {
     // With maximality pruning off the CSR arms all reduce to the scalar
     // scans — don't pay for an index this run would never consult.
-    mined = MineRecurrentRules(*db_, task.options, &stats, lease.pool());
+    mined = MineRecurrentRules(db, task.options, &stats, lease.pool());
     report.backend = BackendKindName(BackendKind::kCsr);
   } else {
     Result<CountingBackend> backend =
         EnsureBackend(task.options.backend, &build_seconds);
     if (!backend.ok()) return backend.status();
     sw.Restart();  // Report the build separately from the mining time.
-    mined = MineRecurrentRules(*db_, task.options, &stats, lease.pool(),
+    mined = MineRecurrentRules(db, task.options, &stats, lease.pool(),
                                &*backend);
     report.backend = backend->name();
   }
@@ -565,10 +655,11 @@ Result<RunReport> Engine::Mine(const SequentialGeneratorsTask& task,
 Result<RunReport> Engine::Mine(const EpisodeTask& task,
                                PatternSink& sink) const {
   SPECMINE_RETURN_NOT_OK(Begin(task));
+  const SequenceDatabase& db = database();  // Episode miners scan the arena.
   Stopwatch sw;
   const bool winepi = task.algorithm == EpisodeTask::Algorithm::kWinepi;
   PatternSet mined =
-      winepi ? MineWinepi(*db_, task.winepi) : MineMinepi(*db_, task.minepi);
+      winepi ? MineWinepi(db, task.winepi) : MineMinepi(db, task.minepi);
   SPECMINE_RETURN_NOT_OK(FinishRun(
       Status::OK(), winepi ? task.winepi.cancel : task.minepi.cancel));
   RunReport report;
@@ -583,8 +674,9 @@ Result<RunReport> Engine::Mine(const EpisodeTask& task,
 Result<RunReport> Engine::Mine(const TwoEventTask& task,
                                TwoEventSink& sink) const {
   SPECMINE_RETURN_NOT_OK(Begin(task));
+  const SequenceDatabase& db = database();  // Scans the arena directly.
   Stopwatch sw;
-  std::vector<TwoEventRule> mined = MinePerracotta(*db_, task.options);
+  std::vector<TwoEventRule> mined = MinePerracotta(db, task.options);
   SPECMINE_RETURN_NOT_OK(FinishRun(Status::OK(), task.options.cancel));
   RunReport report;
   report.task = "two-event";

@@ -44,6 +44,7 @@
 #include "src/engine/sinks.h"
 #include "src/engine/tasks.h"
 #include "src/itermine/counting_backend.h"
+#include "src/itermine/merged_index.h"
 #include "src/seqmine/prefixspan.h"
 #include "src/support/status.h"
 #include "src/support/thread_pool.h"
@@ -88,18 +89,28 @@ class Engine {
                                        const SmdbOpenOptions& options);
 
   /// \brief Opens a sharded corpus from its .smdbset manifest (see
-  /// shard_set.h): every shard is mmap'ed and validated, the merged
-  /// (remapped, concatenated) database is materialized for the regular
-  /// tasks — which therefore mine byte-identically to the equivalent
-  /// single .smdb — and the shard structure is kept for MineSharded.
+  /// shard_set.h): every shard is mmap'ed and validated, and the shard
+  /// structure is kept for MineSharded. The merged (remapped,
+  /// concatenated) arena is NOT materialized: regular tasks under the
+  /// default/auto backend run on the lazy merged backend
+  /// (MergedCountingIndex, merged_index.h), which answers merged-view
+  /// queries straight over the per-shard indexes. Contract table:
   ///
-  /// The merged arena is materialized eagerly (O(total events) RAM) even
-  /// for sessions that only call MineSharded; deferring it so a
-  /// shards-only session stays at O(dictionary) resident — the shards
-  /// themselves are already mmap'ed views — is known future work. The
-  /// natural seam for it is the CountingBackend layer (counting_backend.h):
-  /// a lazy merged *backend* over the per-shard indexes would give the
-  /// regular tasks the merged view without ever materializing the arena.
+  ///   task / accessor            | merged arena materialized?
+  ///   ---------------------------|----------------------------------------
+  ///   Mine (auto backend)        | never — lazy merged backend
+  ///   MineSharded                | never — per-shard execution
+  ///   dictionary(), counts       | never — manifest metadata
+  ///   Mine (explicit csr/bitmap/ | yes, on first use (the documented
+  ///     hybrid), rules, seq-     | escape hatch: these need a physical
+  ///     uential, episodes, two-  | index or arena over the merged view)
+  ///     event, database(), Save- |
+  ///     Binary                   |
+  ///
+  /// Either way every task mines byte-identically to the equivalent
+  /// single .smdb — the lazy-merged-vs-eager arm of
+  /// tests/backend_equivalence_test.cc pins this, quarantined sets
+  /// included.
   static Result<Engine> FromShardSet(const std::string& path);
 
   /// \brief Same, with an explicit integrity mode and shard failure
@@ -112,9 +123,10 @@ class Engine {
   static Result<Engine> FromShardSet(const std::string& path,
                                      const SetOpenOptions& options);
 
-  /// \brief Writes the session's database as a .smdb file at \p path.
+  /// \brief Writes the session's database as a .smdb file at \p path
+  /// (materializes the merged arena on a lazy sharded session).
   Status SaveBinary(const std::string& path) const {
-    return WriteBinaryDatabaseFile(*db_, path);
+    return WriteBinaryDatabaseFile(database(), path);
   }
 
   /// \brief True iff this session mines straight out of an mmap'ed .smdb
@@ -128,8 +140,30 @@ class Engine {
   /// \brief The open shard set; only valid when sharded().
   const ShardedDatabase& shard_set() const { return *shard_set_; }
 
-  /// \brief The wrapped database (immutable for the session's lifetime).
-  const SequenceDatabase& database() const { return *db_; }
+  /// \brief The wrapped database (immutable once published). On a lazy
+  /// sharded session this materializes the merged arena on first call —
+  /// prefer dictionary() / num_sequences() / total_events() when the
+  /// metadata is all that is needed.
+  const SequenceDatabase& database() const;
+
+  /// \brief The session's event dictionary, without materializing the
+  /// merged arena (the shard manifest already carries the merged
+  /// dictionary).
+  const EventDictionary& dictionary() const {
+    return shard_set_ != nullptr ? shard_set_->dictionary()
+                                 : db_->dictionary();
+  }
+
+  /// \brief Number of sequences, without materializing the merged arena.
+  size_t num_sequences() const {
+    return shard_set_ != nullptr ? shard_set_->TotalSequences() : db_->size();
+  }
+
+  /// \brief Total events, without materializing the merged arena.
+  size_t total_events() const {
+    return shard_set_ != nullptr ? shard_set_->TotalEvents()
+                                 : db_->TotalEvents();
+  }
 
   /// \brief Converts a fraction-of-sequences threshold to an absolute one
   /// (at least 1) — the paper reports thresholds as fractions.
@@ -196,14 +230,15 @@ class Engine {
   const PositionIndex& index() const;
 
   /// \brief The session's counting backend for \p choice, building the
-  /// physical index on first use (kAuto resolves via ChooseBackendKind).
-  /// Both representations cache independently, so a session mixing
-  /// explicit csr and bitmap tasks builds each at most once. Like
-  /// index(), this accessor aborts if the build fails — which for kAuto /
-  /// kCsr the checked factories make unreachable, but an explicit
-  /// kBitmap request beyond the 1 GB table cap does fail; for untrusted
-  /// sizes run a Mine task instead, which reports the same condition as
-  /// an OutOfRange Status.
+  /// physical index on first use (kAuto resolves via ChooseBackendKind;
+  /// on a lazy sharded session kAuto yields the lazy merged backend over
+  /// the per-shard indexes). Representations cache independently, so a
+  /// session mixing explicit csr, bitmap and hybrid tasks builds each at
+  /// most once. Like index(), this accessor aborts if the build fails —
+  /// which for kAuto / kCsr the checked factories make unreachable, but
+  /// an explicit kBitmap request beyond the 1 GB table cap does fail; for
+  /// untrusted sizes run a Mine task instead, which reports the same
+  /// condition as an OutOfRange Status.
   CountingBackend backend(BackendChoice choice = BackendChoice::kAuto) const;
 
   /// \brief How many physical index builds (CSR or bitmap) this session
@@ -236,6 +271,16 @@ class Engine {
     const Engine* session_;
     std::unique_ptr<ThreadPool> pool_;
   };
+  // Lazy sharded sessions only: the private default state (db_ null until
+  // a task needs the materialized merged arena).
+  Engine() = default;
+
+  // Materializes the merged arena from the shard set if not yet present.
+  // Requires cache_mu held. No-op for non-sharded sessions (db_ is always
+  // set) and for already-materialized ones. Infallible: FromShardSet
+  // validated the merged-view bounds up front.
+  void MaterializeLocked() const;
+
   // Builds (once) and returns the cached CSR index; *build_seconds
   // receives the construction time if this call built it, else 0.
   // Thread-safe: concurrent cold callers serialize on cache_mu_ and all
@@ -284,7 +329,9 @@ class Engine {
   // is the materialized merged database.
   std::unique_ptr<MappedDatabase> mapping_;
   std::unique_ptr<ShardedDatabase> shard_set_;
-  std::unique_ptr<SequenceDatabase> db_;
+  // mutable: lazy sharded sessions publish the merged arena on first use
+  // by a task that needs it (MaterializeLocked, under cache_mu).
+  mutable std::unique_ptr<SequenceDatabase> db_;
   // The mutexes and the build counter live behind one heap allocation
   // because an Engine must stay movable (the factories return by value);
   // mutexes and atomics are not. cache_mu guards every lazy cache build
@@ -299,10 +346,16 @@ class Engine {
   mutable std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
   mutable std::unique_ptr<PositionIndex> index_;
   mutable std::unique_ptr<BitmapIndex> bitmap_index_;
+  mutable std::unique_ptr<HybridIndex> hybrid_index_;
   // Per-shard physical indexes; a slot is filled lazily when a sharded
   // task resolves that shard to the corresponding kind.
   mutable std::vector<std::unique_ptr<PositionIndex>> shard_indexes_;
   mutable std::vector<std::unique_ptr<BitmapIndex>> shard_bitmap_indexes_;
+  mutable std::vector<std::unique_ptr<HybridIndex>> shard_hybrid_indexes_;
+  // The lazy merged backend (kAuto on a sharded session): answers
+  // merged-view queries over the cached per-shard indexes, so regular
+  // tasks never pay for Merge().
+  mutable std::unique_ptr<MergedCountingIndex> merged_index_;
   mutable std::unique_ptr<UnitDatabase> units_;
   // Idle worker pools awaiting a LeasePool checkout (any mix of widths).
   mutable std::vector<std::unique_ptr<ThreadPool>> idle_pools_;

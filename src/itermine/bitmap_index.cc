@@ -8,8 +8,12 @@ namespace {
 
 // Auto-chooser thresholds (documented in docs/architecture.md, "Counting
 // backends"). kMinMeanOccurrences is the density gate: below it most row
-// words are empty and word-wise scans lose to the CSR position lists.
+// words are empty and word-wise scans lose to the CSR position lists —
+// unless the arena is big enough (kMinHybridArenaEvents) that the hybrid
+// format's cache-resident rare-event lists beat both, which is where the
+// full bitmap table thrashes and CSR pays its per-position overhead.
 constexpr double kMinMeanOccurrences = 8.0;
+constexpr size_t kMinHybridArenaEvents = 4096;
 constexpr size_t kMaxAutoTableBytes = size_t{256} << 20;  // 256 MB.
 constexpr size_t kMaxTableBytes = size_t{1} << 30;        // 1 GB, hard cap.
 
@@ -21,18 +25,35 @@ size_t TableBytes(const SequenceDatabase& db) {
 }  // namespace
 
 const char* BackendKindName(BackendKind kind) {
-  return kind == BackendKind::kBitmap ? "bitmap" : "csr";
+  switch (kind) {
+    case BackendKind::kBitmap:
+      return "bitmap";
+    case BackendKind::kHybrid:
+      return "hybrid";
+    case BackendKind::kMerged:
+      return "lazy-merged";
+    case BackendKind::kCsr:
+      break;
+  }
+  return "csr";
 }
 
 BackendKind ChooseBackendKind(const SequenceDatabase& db) {
   const size_t num_events = db.dictionary().size();
   const size_t total = db.TotalEvents();
   if (num_events == 0 || total == 0) return BackendKind::kCsr;
-  if (TableBytes(db) > kMaxAutoTableBytes) return BackendKind::kCsr;
   const double mean_occurrences =
       static_cast<double>(total) / static_cast<double>(num_events);
-  return mean_occurrences >= kMinMeanOccurrences ? BackendKind::kBitmap
-                                                 : BackendKind::kCsr;
+  if (mean_occurrences >= kMinMeanOccurrences &&
+      TableBytes(db) <= kMaxAutoTableBytes) {
+    return BackendKind::kBitmap;
+  }
+  // Sparse regime: rows too empty (or the dense table too large) for the
+  // full bitmap. Large arenas go hybrid — its footprint is bounded by the
+  // corpus, so no table cap applies; tiny corpora keep CSR, whose
+  // constant factors win when everything fits in cache anyway.
+  return total >= kMinHybridArenaEvents ? BackendKind::kHybrid
+                                        : BackendKind::kCsr;
 }
 
 Status CheckBitmapIndexable(const SequenceDatabase& db) {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/itermine/simd_kernels.h"
 #include "src/support/status.h"
 #include "src/trace/position_index.h"
 #include "src/trace/sequence_database.h"
@@ -35,13 +36,18 @@ namespace specmine {
 inline constexpr size_t kNoBit = ~size_t{0};
 
 /// \brief Which physical counting representation backs a miner run.
-enum class BackendKind { kCsr, kBitmap };
+/// kMerged is the lazy merged view over per-shard indexes (never chosen
+/// directly; the Engine selects it for sharded sessions — see
+/// merged_index.h).
+enum class BackendKind { kCsr, kBitmap, kHybrid, kMerged };
 
 /// \brief Backend selection in miner options: an explicit representation
-/// or the adaptive per-database chooser.
-enum class BackendChoice { kAuto, kCsr, kBitmap };
+/// or the adaptive per-database chooser. (kMerged has no explicit choice:
+/// it is an Engine-internal representation of the same logical corpus.)
+enum class BackendChoice { kAuto, kCsr, kBitmap, kHybrid };
 
-/// \brief Short lowercase name ("csr" / "bitmap") for reports and flags.
+/// \brief Short lowercase name ("csr" / "bitmap" / "hybrid" /
+/// "lazy-merged") for reports and flags.
 const char* BackendKindName(BackendKind kind);
 
 /// \brief The adaptive chooser: picks the physical representation for
@@ -51,8 +57,12 @@ const char* BackendKindName(BackendKind kind);
 /// several occurrences worth of scan work: the heuristic is
 /// mean occurrences per event (TotalEvents / alphabet size) >= 8, with the
 /// alphabet size entering a second time through the table-size cap
-/// (alphabet x TotalEvents / 8 bytes <= 256 MB). Everything else — huge
-/// or cold alphabets, near-empty rows — stays on the CSR position index.
+/// (alphabet x TotalEvents / 8 bytes <= 256 MB). Sparse corpora with a
+/// large enough arena (>= 4096 events) go to the hybrid sparse/dense row
+/// format, whose footprint is bounded by the corpus (not alphabet x
+/// arena) and whose rare-event lists stay cache-resident where full
+/// bitmap rows thrash. Everything else — tiny corpora, near-empty rows —
+/// stays on the CSR position index.
 BackendKind ChooseBackendKind(const SequenceDatabase& db);
 
 /// \brief Resolves a BackendChoice against \p db: explicit choices pass
@@ -61,6 +71,7 @@ inline BackendKind ResolveBackendKind(BackendChoice choice,
                                       const SequenceDatabase& db) {
   if (choice == BackendChoice::kCsr) return BackendKind::kCsr;
   if (choice == BackendChoice::kBitmap) return BackendKind::kBitmap;
+  if (choice == BackendChoice::kHybrid) return BackendKind::kHybrid;
   return ChooseBackendKind(db);
 }
 
@@ -181,6 +192,55 @@ class BitmapIndex {
     const unsigned top = (limit - 1) & 63;
     word &= (top == 63 ? ~uint64_t{0} : (uint64_t{1} << (top + 1)) - 1);
     return count + static_cast<size_t>(std::popcount(word));
+  }
+
+  // -------------------------------------------------------------------------
+  // The per-event query interface of the vertical projection template
+  // (vertical_projection_impl.h): same contracts as the statics above,
+  // routed through the runtime-dispatched kernel table, with the event id
+  // resolved to this index's physical row. HybridIndex implements the
+  // same five members over its sparse/dense split.
+
+  /// \brief First occurrence of \p ev in global bits [from, limit), or
+  /// kNoBit; ev must be < num_events().
+  size_t FirstOfEventAtOrAfter(EventId ev, size_t from, size_t limit) const {
+    return Kernels().first_set(row(ev), from, limit);
+  }
+
+  /// \brief True iff \p ev occurs in global bits [from, limit).
+  bool AnyOfEventInRange(EventId ev, size_t from, size_t limit) const {
+    return Kernels().any_range(row(ev), from, limit);
+  }
+
+  /// \brief Occurrences of \p ev in global bits [from, limit).
+  size_t CountOfEventInRange(EventId ev, size_t from, size_t limit) const {
+    return Kernels().count_range(row(ev), from, limit);
+  }
+
+  /// \brief ORs the \p alphabet events' occurrence rows into *union_words
+  /// (resized to words_per_row() on growth) over the word range covering
+  /// global bits [base, limit). Only that word range is written; queries
+  /// must mask to it (shared boundary words carry neighbor-sequence bits).
+  void BuildUnionForRange(const std::vector<EventId>& alphabet, size_t base,
+                          size_t limit,
+                          std::vector<uint64_t>* union_words) const {
+    if (union_words->size() < words_) union_words->resize(words_, 0);
+    if (base >= limit) return;
+    const size_t wb = base >> 6;
+    const size_t we = ((limit - 1) >> 6) + 1;
+    uint64_t* out = union_words->data();
+    // The kernel takes a row-pointer array; patterns are short, so a
+    // fixed stack chunk covers every real alphabet, with a scalar
+    // OR-accumulate tail for pathological ones.
+    constexpr size_t kChunk = 16;
+    const uint64_t* rows[kChunk];
+    const size_t n = alphabet.size() < kChunk ? alphabet.size() : kChunk;
+    for (size_t i = 0; i < n; ++i) rows[i] = row(alphabet[i]);
+    Kernels().union_rows(rows, n, wb, we, out);
+    for (size_t i = kChunk; i < alphabet.size(); ++i) {
+      const uint64_t* r = row(alphabet[i]);
+      for (size_t w = wb; w < we; ++w) out[w] |= r[w];
+    }
   }
 
  private:

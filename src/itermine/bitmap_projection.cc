@@ -1,73 +1,44 @@
+// The bitmap (dense-row) instantiations of the vertical projection
+// template. The bodies — shared with the hybrid sparse/dense format —
+// live in vertical_projection_impl.h; the word primitives they bottom out
+// in go through the runtime-dispatched kernel table (simd_kernels.h), so
+// these arms run AVX2 when the host supports it and the always-built
+// scalar fallback otherwise, with byte-identical results either way.
+
 #include "src/itermine/bitmap_projection.h"
 
 #include <algorithm>
 
+#include "src/itermine/hybrid_index.h"
+#include "src/itermine/vertical_projection_impl.h"
+
 namespace specmine {
-
-namespace {
-
-// Collects the distinct pattern events into *alphabet (cleared first).
-// Patterns are short, so the quadratic dedup beats any table.
-void DistinctAlphabet(const Pattern& pattern, size_t num_events,
-                      std::vector<EventId>* alphabet) {
-  alphabet->clear();
-  for (EventId ev : pattern) {
-    if (ev >= num_events) continue;  // Defensive; ids come from dict.
-    if (std::find(alphabet->begin(), alphabet->end(), ev) ==
-        alphabet->end()) {
-      alphabet->push_back(ev);
-    }
-  }
-}
-
-// ORs the alphabet rows into scratch->union_words over the word range
-// covering global bits [base, limit). Only that range is written; queries
-// must mask to it (shared boundary words carry neighbor-sequence bits).
-void BuildUnionForRange(const BitmapIndex& index,
-                        const std::vector<EventId>& alphabet, size_t base,
-                        size_t limit, std::vector<uint64_t>* union_words) {
-  if (union_words->size() < index.words_per_row()) {
-    union_words->resize(index.words_per_row(), 0);
-  }
-  if (base >= limit) return;
-  const size_t wb = base >> 6;
-  const size_t we = ((limit - 1) >> 6) + 1;
-  uint64_t* out = union_words->data();
-  for (size_t w = wb; w < we; ++w) {
-    uint64_t u = 0;
-    for (EventId a : alphabet) u |= index.row(a)[w];
-    out[w] = u;
-  }
-}
-
-// True iff `ev` occurs strictly inside the instance span (a gap) — the
-// word-wise twin of projection.cc's OccursInGaps. `base` is the global
-// bit offset of the instance's sequence.
-bool OccursInGapsBitmap(const BitmapIndex& index, EventId ev, size_t base,
-                        const IterInstance& inst) {
-  if (inst.end <= inst.start + 1) return false;
-  return BitmapIndex::AnyInRange(index.row(ev), base + inst.start + 1,
-                                 base + inst.end);
-}
-
-}  // namespace
 
 InstanceList SingleEventInstancesBitmap(const BitmapIndex& index,
                                         EventId ev) {
+  return internal::SingleEventInstancesVertical(index, ev);
+}
+
+InstanceList SingleEventInstancesHybrid(const HybridIndex& index, EventId ev) {
+  if (ev >= index.num_events() || index.is_dense(ev)) {
+    return internal::SingleEventInstancesVertical(index, ev);
+  }
   InstanceList out;
-  if (ev >= index.num_events()) return out;
-  out.reserve(index.TotalCount(ev));
-  const uint64_t* row = index.row(ev);
+  const uint32_t* it = index.sparse_begin(ev);
+  const uint32_t* end = index.sparse_end(ev);
+  out.reserve(static_cast<size_t>(end - it));
   const SequenceDatabase& db = index.db();
   const uint64_t* offsets = db.offsets();
-  for (SeqId s = 0; s < db.size(); ++s) {
-    const size_t base = offsets[s];
-    const size_t limit = offsets[s + 1];
-    for (size_t g = BitmapIndex::FirstSetAtOrAfter(row, base, limit);
-         g != kNoBit; g = BitmapIndex::FirstSetAtOrAfter(row, g + 1, limit)) {
-      const Pos p = static_cast<Pos>(g - base);
-      out.push_back(IterInstance{s, p, p});
-    }
+  const size_t num_seqs = db.size();
+  SeqId s = 0;
+  for (; it != end; ++it) {
+    // Positions ascend, so each sequence lookup resumes past the last hit.
+    s = static_cast<SeqId>(
+        std::upper_bound(offsets + s + 1, offsets + num_seqs + 1,
+                         static_cast<uint64_t>(*it)) -
+        offsets - 1);
+    const Pos p = static_cast<Pos>(*it - offsets[s]);
+    out.push_back(IterInstance{s, p, p});
   }
   return out;
 }
@@ -76,204 +47,23 @@ void ForwardExtensionsBitmap(const BitmapIndex& index, const Pattern& pattern,
                              const InstanceList& instances,
                              ProjectionWorkspace* ws,
                              ForwardExtensionMap* out) {
-  BitmapProjectionScratch& sc = ws->bitmap;
-  const size_t num_events = index.num_events();
-  const SequenceDatabase& db = index.db();
-  const EventId* arena = db.arena();
-  const uint64_t* offsets = db.offsets();
-  DistinctAlphabet(pattern, num_events, &sc.alphabet);
-  sc.forward.clear();
-  sc.slots.Reset(num_events);
-  ws->seen.EnsureSize(num_events);
-
-  SeqId prepared = ~SeqId{0};
-  size_t base = 0, limit = 0;
-  for (const IterInstance& inst : instances) {
-    if (inst.seq != prepared) {
-      prepared = inst.seq;
-      base = offsets[inst.seq];
-      limit = offsets[inst.seq + 1];
-      BuildUnionForRange(index, sc.alphabet, base, limit, &sc.union_words);
-    }
-    const size_t from = base + inst.end + 1;
-    // First alphabet(P) event after the instance: bounds the candidate
-    // window — everything before it is out-of-alphabet by construction —
-    // and is itself the unique alphabet extension endpoint.
-    const size_t stop =
-        BitmapIndex::FirstSetAtOrAfter(sc.union_words.data(), from, limit);
-    const size_t window_end = stop == kNoBit ? limit : stop;
-    ws->seen.Clear();
-    for (size_t g = from; g < window_end; ++g) {
-      const EventId ev = arena[g];
-      if (ev >= num_events) continue;  // Defensive; ids come from dict.
-      if (!ws->seen.TestAndSet(ev)) continue;  // First occurrence only.
-      if (OccursInGapsBitmap(index, ev, base, inst)) continue;
-      ++sc.slots.Slot(ev);
-      sc.forward.push_back(BitmapProjectionScratch::ForwardCandidate{
-          ev, IterInstance{inst.seq, inst.start, static_cast<Pos>(g - base)}});
-    }
-    if (stop != kNoBit) {
-      ++sc.slots.Slot(arena[stop]);
-      sc.forward.push_back(BitmapProjectionScratch::ForwardCandidate{
-          arena[stop],
-          IterInstance{inst.seq, inst.start, static_cast<Pos>(stop - base)}});
-    }
-  }
-
-  // Count-and-scatter drain: the touched-event list gives exact bucket
-  // sizes, so each bucket is reserved once (no realloc churn — the CSR
-  // cold path's dominant cost) and the flat buffer is scattered in
-  // discovery order, which within an event IS the CSR bucket order. Only
-  // the distinct-event list (small) is ever sorted, never the K
-  // candidates.
-  std::vector<EventId>& touched = sc.slots.touched();
-  std::sort(touched.begin(), touched.end());
-  out->clear();
-  out->entries().reserve(touched.size());
-  for (size_t i = 0; i < touched.size(); ++i) {
-    const EventId ev = touched[i];
-    InstanceList bucket = ws->forward.AcquireBucket();
-    bucket.reserve(sc.slots.At(ev));
-    out->emplace_back(ev, std::move(bucket));
-    // Repurpose the slot as the event's entry index for the scatter.
-    sc.slots.Slot(ev) = static_cast<uint32_t>(i);
-  }
-  auto& entries = out->entries();
-  for (const BitmapProjectionScratch::ForwardCandidate& cand : sc.forward) {
-    entries[sc.slots.At(cand.ev)].second.push_back(cand.inst);
-  }
+  internal::ForwardExtensionsVertical(index, pattern, instances, ws, out);
 }
 
 const BackwardExtensionMap& BackwardExtensionsBitmap(
     const BitmapIndex& index, const Pattern& pattern,
     const InstanceList& instances, ProjectionWorkspace* ws) {
-  BitmapProjectionScratch& sc = ws->bitmap;
-  const size_t num_events = index.num_events();
-  const SequenceDatabase& db = index.db();
-  const EventId* arena = db.arena();
-  const uint64_t* offsets = db.offsets();
-  DistinctAlphabet(pattern, num_events, &sc.alphabet);
-  ws->back.Reset(num_events);
-  ws->seen.EnsureSize(num_events);
-
-  SeqId prepared = ~SeqId{0};
-  size_t base = 0, limit = 0;
-  for (const IterInstance& inst : instances) {
-    if (inst.seq != prepared) {
-      prepared = inst.seq;
-      base = offsets[inst.seq];
-      limit = offsets[inst.seq + 1];
-      BuildUnionForRange(index, sc.alphabet, base, limit, &sc.union_words);
-    }
-    const size_t gstart = base + inst.start;
-    // Last alphabet(P) event before the instance start bounds the window;
-    // it is itself the unique alphabet backward extension.
-    const size_t stop =
-        BitmapIndex::LastSetBefore(sc.union_words.data(), base, gstart);
-    const size_t window_begin = stop == kNoBit ? base : stop + 1;
-    ws->seen.Clear();
-    for (size_t g = gstart; g-- > window_begin;) {
-      const EventId ev = arena[g];
-      if (ev >= num_events) continue;  // Defensive; ids come from dict.
-      if (!ws->seen.TestAndSet(ev)) continue;  // Nearest-to-start only.
-      if (OccursInGapsBitmap(index, ev, base, inst)) continue;
-      BackwardExtension& ext = ws->back.Slot(ev);
-      ++ext.support;
-      ext.all_adjacent = ext.all_adjacent && (g + 1 == gstart);
-    }
-    if (stop != kNoBit) {
-      BackwardExtension& ext = ws->back.Slot(arena[stop]);
-      ++ext.support;
-      ext.all_adjacent = ext.all_adjacent && (stop + 1 == gstart);
-    }
-  }
-
-  std::vector<EventId>& touched = ws->back.touched();
-  std::sort(touched.begin(), touched.end());
-  ws->back_result.clear();
-  for (EventId ev : touched) {
-    ws->back_result.emplace_back(ev, ws->back.At(ev));
-  }
-  return ws->back_result;
+  return internal::BackwardExtensionsVertical(index, pattern, instances, ws);
 }
 
 uint64_t CountInstancesBitmap(const BitmapIndex& index, const Pattern& pattern,
                               QreRecountScratch* scratch) {
-  if (pattern.empty()) return 0;
-  QreRecountScratch local;
-  if (scratch == nullptr) scratch = &local;
-  const size_t num_events = index.num_events();
-  if (pattern[0] >= num_events) return 0;  // First event never occurs.
-  DistinctAlphabet(pattern, num_events, &scratch->alphabet);
-  const SequenceDatabase& db = index.db();
-  const EventId* arena = db.arena();
-  const uint64_t* offsets = db.offsets();
-  const uint64_t* head_row = index.row(pattern[0]);
-  uint64_t count = 0;
-  for (SeqId s = 0; s < db.size(); ++s) {
-    const size_t base = offsets[s];
-    const size_t limit = offsets[s + 1];
-    size_t g = BitmapIndex::FirstSetAtOrAfter(head_row, base, limit);
-    if (g == kNoBit) continue;
-    BuildUnionForRange(index, scratch->alphabet, base, limit,
-                       &scratch->union_words);
-    const uint64_t* union_row = scratch->union_words.data();
-    for (; g != kNoBit;
-         g = BitmapIndex::FirstSetAtOrAfter(head_row, g + 1, limit)) {
-      // Deterministic chain (Definition 4.1): each next pattern event must
-      // be the first alphabet event after the previous one.
-      size_t cur = g;
-      bool ok = true;
-      for (size_t k = 1; k < pattern.size(); ++k) {
-        const size_t a =
-            BitmapIndex::FirstSetAtOrAfter(union_row, cur + 1, limit);
-        if (a == kNoBit || arena[a] != pattern[k]) {
-          ok = false;
-          break;
-        }
-        cur = a;
-      }
-      if (ok) ++count;
-    }
-  }
-  return count;
+  return internal::CountInstancesVertical(index, pattern, scratch);
 }
 
 size_t CountOccurrencesBitmap(const BitmapIndex& index,
                               const Pattern& pattern) {
-  if (pattern.empty()) return 0;
-  const size_t num_events = index.num_events();
-  const SequenceDatabase& db = index.db();
-  const uint64_t* offsets = db.offsets();
-  const EventId last = pattern.last();
-  if (last >= num_events) return 0;
-  const uint64_t* last_row = index.row(last);
-  size_t count = 0;
-  for (SeqId s = 0; s < db.size(); ++s) {
-    const size_t base = offsets[s];
-    const size_t limit = offsets[s + 1];
-    // Greedy earliest embedding of the prefix, one first-set-bit per
-    // event; the remaining occurrences of the last event are the temporal
-    // points (Definition 5.1).
-    size_t from = base;
-    bool embedded = true;
-    for (size_t k = 0; k + 1 < pattern.size(); ++k) {
-      if (pattern[k] >= num_events) {
-        embedded = false;
-        break;
-      }
-      const size_t g =
-          BitmapIndex::FirstSetAtOrAfter(index.row(pattern[k]), from, limit);
-      if (g == kNoBit) {
-        embedded = false;
-        break;
-      }
-      from = g + 1;
-    }
-    if (!embedded) continue;
-    count += BitmapIndex::CountInRange(last_row, from, limit);
-  }
-  return count;
+  return internal::CountOccurrencesVertical(index, pattern);
 }
 
 }  // namespace specmine

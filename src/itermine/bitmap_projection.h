@@ -27,9 +27,18 @@
 
 namespace specmine {
 
+class HybridIndex;
+
 /// \brief Bitmap arm of SingleEventInstances: every occurrence of \p ev,
 /// enumerated word-wise in (sequence, position) order.
 InstanceList SingleEventInstancesBitmap(const BitmapIndex& index, EventId ev);
+
+/// \brief Hybrid arm of SingleEventInstances. Dense events enumerate their
+/// bitmap row like the bitmap arm; sparse events walk their sorted ID-list
+/// directly — O(occurrences x log sequences) instead of the per-sequence
+/// scan both pure formats pay, which is what makes low-support root
+/// expansion cheap on huge-alphabet corpora.
+InstanceList SingleEventInstancesHybrid(const HybridIndex& index, EventId ev);
 
 /// \brief Bitmap arm of ForwardExtensions. Same output contract: \p out
 /// holds the instances of every P++<e>, ascending by event, each bucket in

@@ -12,7 +12,6 @@ namespace specmine {
 namespace {
 
 struct Ctx {
-  const SequenceDatabase* db;
   const CountingBackend* backend;
   const ClosedIterMinerOptions* options;
   PatternSet* out;
@@ -67,7 +66,7 @@ void Grow(Ctx* ctx, const Pattern& pattern, const InstanceList& instances) {
        (ctx->options->infix_check && !backward_absorbed &&
         !forward_absorbed))) {
     infix_absorbed =
-        HasUniformInfixAbsorber(*ctx->db, pattern, instances, ctx->ws);
+        HasUniformInfixAbsorber(*ctx->backend, pattern, instances, ctx->ws);
     if (infix_absorbed && ctx->options->infix_prune) {
       ++ctx->stats->subtrees_pruned;
       ctx->ws->ReleaseMap(std::move(forward));
@@ -100,7 +99,6 @@ PatternSet MineClosedIterative(const CountingBackend& backend,
   IterMinerStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = IterMinerStats{};
-  const SequenceDatabase& db = backend.db();
   PatternSet out;
   Stopwatch sw;
   const size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
@@ -123,7 +121,7 @@ PatternSet MineClosedIterative(const CountingBackend& backend,
     stats->error = ThreadPool::ParallelForShared(
         pool, num_threads, roots.size(), [&](size_t i) {
           Job& job = *jobs[i];
-          Ctx ctx{&db, &backend, &options, &job.out, &job.stats, &job.ws};
+          Ctx ctx{&backend, &options, &job.out, &job.stats, &job.ws};
           Pattern p{roots[i]};
           Grow(&ctx, p, SingleEventInstances(backend, roots[i]));
         });
@@ -142,7 +140,7 @@ PatternSet MineClosedIterative(const CountingBackend& backend,
     return out;
   }
   ProjectionWorkspace ws;
-  Ctx ctx{&db, &backend, &options, &out, stats, &ws};
+  Ctx ctx{&backend, &options, &out, stats, &ws};
   for (EventId ev = 0; ev < backend.num_events(); ++ev) {
     if (ctx.stop) break;
     if (backend.TotalCount(ev) < options.min_support) continue;
@@ -168,6 +166,14 @@ PatternSet MineClosedIterative(const SequenceDatabase& db,
   Stopwatch sw;
   if (kind == BackendKind::kBitmap) {
     BitmapIndex index(db);
+    const double index_build_seconds = sw.ElapsedSeconds();
+    PatternSet out =
+        MineClosedIterative(CountingBackend(index), options, stats, nullptr);
+    stats->index_build_seconds = index_build_seconds;
+    return out;
+  }
+  if (kind == BackendKind::kHybrid) {
+    HybridIndex index(db);
     const double index_build_seconds = sw.ElapsedSeconds();
     PatternSet out =
         MineClosedIterative(CountingBackend(index), options, stats, nullptr);

@@ -1,12 +1,19 @@
 // CountingBackend: the physical-representation seam between the miners
-// and their counting structure. One handle wraps either the horizontal
-// CSR PositionIndex or the vertical BitmapIndex; the projection engine,
-// the QRE recount, and the occurrence counters dispatch on kind() once
-// per query (never per position), so the CSR paths compile to exactly the
-// pre-seam code and stay byte-identical.
+// and their counting structure. One handle wraps the horizontal CSR
+// PositionIndex, the vertical BitmapIndex, the sparse/dense HybridIndex,
+// or the lazy MergedCountingIndex over per-shard indexes; the projection
+// engine, the QRE recount, and the occurrence counters dispatch on kind()
+// once per query (never per position), so the CSR paths compile to
+// exactly the pre-seam code and stay byte-identical.
 //
-// A CountingBackend is a tagged pointer pair — copy it by value. The
-// wrapped index (and its database) must outlive every copy.
+// A CountingBackend is a tagged pointer — copy it by value. The wrapped
+// index (and its database) must outlive every copy.
+//
+// The merged backend answers every counting and projection query without
+// a materialized merged database, so db() is the one member it does NOT
+// support (asserted); the only db() consumers are the CSR oracle
+// fallbacks and the absorber check, which dispatch away from kMerged
+// first (see HasUniformInfixAbsorber(backend, ...) in projection.h).
 
 #ifndef SPECMINE_ITERMINE_COUNTING_BACKEND_H_
 #define SPECMINE_ITERMINE_COUNTING_BACKEND_H_
@@ -15,26 +22,48 @@
 #include <cstdint>
 
 #include "src/itermine/bitmap_index.h"
+#include "src/itermine/hybrid_index.h"
 #include "src/trace/position_index.h"
 
 namespace specmine {
+
+class MergedCountingIndex;
+
+// Out-of-line accessors for the merged backend (defined in
+// merged_index.cc; merged_index.h needs CountingBackend for its per-shard
+// handles, so the full type cannot be included here).
+uint64_t MergedIndexTotalCount(const MergedCountingIndex& merged, EventId ev);
+size_t MergedIndexSequenceCount(const MergedCountingIndex& merged,
+                                EventId ev);
+size_t MergedIndexNumEvents(const MergedCountingIndex& merged);
+bool MergedIndexAnyInRange(const MergedCountingIndex& merged, EventId ev,
+                           SeqId seq, Pos lo, Pos hi);
 
 /// \brief A borrowed handle to one physical counting representation.
 class CountingBackend {
  public:
   /// \brief Wraps the CSR position index (the default representation).
-  explicit CountingBackend(const PositionIndex& csr) : csr_(&csr) {}
+  explicit CountingBackend(const PositionIndex& csr)
+      : kind_(BackendKind::kCsr), csr_(&csr) {}
 
   /// \brief Wraps the vertical bitmap index.
-  explicit CountingBackend(const BitmapIndex& bitmap) : bitmap_(&bitmap) {}
+  explicit CountingBackend(const BitmapIndex& bitmap)
+      : kind_(BackendKind::kBitmap), bitmap_(&bitmap) {}
+
+  /// \brief Wraps the sparse/dense hybrid index.
+  explicit CountingBackend(const HybridIndex& hybrid)
+      : kind_(BackendKind::kHybrid), hybrid_(&hybrid) {}
+
+  /// \brief Wraps the lazy merged view over per-shard indexes.
+  explicit CountingBackend(const MergedCountingIndex& merged)
+      : kind_(BackendKind::kMerged), merged_(&merged) {}
 
   /// \brief Which representation this handle wraps.
-  BackendKind kind() const {
-    return bitmap_ != nullptr ? BackendKind::kBitmap : BackendKind::kCsr;
-  }
+  BackendKind kind() const { return kind_; }
 
-  /// \brief Short name for reports ("csr" / "bitmap").
-  const char* name() const { return BackendKindName(kind()); }
+  /// \brief Short name for reports ("csr" / "bitmap" / "hybrid" /
+  /// "lazy-merged").
+  const char* name() const { return BackendKindName(kind_); }
 
   /// \brief The wrapped CSR index; kind() must be kCsr.
   const PositionIndex& csr() const {
@@ -48,26 +77,72 @@ class CountingBackend {
     return *bitmap_;
   }
 
-  /// \brief The indexed database.
+  /// \brief The wrapped hybrid index; kind() must be kHybrid.
+  const HybridIndex& hybrid() const {
+    assert(hybrid_ != nullptr);
+    return *hybrid_;
+  }
+
+  /// \brief The wrapped merged index; kind() must be kMerged.
+  const MergedCountingIndex& merged() const {
+    assert(merged_ != nullptr);
+    return *merged_;
+  }
+
+  /// \brief The indexed database. Not supported by the merged backend —
+  /// its whole point is that no merged database exists.
   const SequenceDatabase& db() const {
-    return bitmap_ != nullptr ? bitmap_->db() : csr_->db();
+    assert(kind_ != BackendKind::kMerged);
+    switch (kind_) {
+      case BackendKind::kBitmap:
+        return bitmap_->db();
+      case BackendKind::kHybrid:
+        return hybrid_->db();
+      default:
+        return csr_->db();
+    }
   }
 
   /// \brief Number of distinct events the backend knows about.
   size_t num_events() const {
-    return bitmap_ != nullptr ? bitmap_->num_events() : csr_->num_events();
+    switch (kind_) {
+      case BackendKind::kBitmap:
+        return bitmap_->num_events();
+      case BackendKind::kHybrid:
+        return hybrid_->num_events();
+      case BackendKind::kMerged:
+        return MergedIndexNumEvents(*merged_);
+      default:
+        return csr_->num_events();
+    }
   }
 
   /// \brief Total occurrences of \p ev across the database.
   uint64_t TotalCount(EventId ev) const {
-    return bitmap_ != nullptr ? bitmap_->TotalCount(ev)
-                              : csr_->TotalCount(ev);
+    switch (kind_) {
+      case BackendKind::kBitmap:
+        return bitmap_->TotalCount(ev);
+      case BackendKind::kHybrid:
+        return hybrid_->TotalCount(ev);
+      case BackendKind::kMerged:
+        return MergedIndexTotalCount(*merged_, ev);
+      default:
+        return csr_->TotalCount(ev);
+    }
   }
 
   /// \brief Number of sequences containing \p ev at least once.
   size_t SequenceCount(EventId ev) const {
-    return bitmap_ != nullptr ? bitmap_->SequenceCount(ev)
-                              : csr_->SequenceCount(ev);
+    switch (kind_) {
+      case BackendKind::kBitmap:
+        return bitmap_->SequenceCount(ev);
+      case BackendKind::kHybrid:
+        return hybrid_->SequenceCount(ev);
+      case BackendKind::kMerged:
+        return MergedIndexSequenceCount(*merged_, ev);
+      default:
+        return csr_->SequenceCount(ev);
+    }
   }
 
   /// \brief True iff \p ev occurs in sequence \p seq within [lo, hi]
@@ -75,20 +150,36 @@ class CountingBackend {
   /// when lo > hi.
   bool AnyInRange(EventId ev, SeqId seq, Pos lo, Pos hi) const {
     if (lo > hi) return false;
-    if (bitmap_ != nullptr) {
-      if (ev >= bitmap_->num_events()) return false;
-      const uint64_t* offsets = bitmap_->db().offsets();
-      const size_t base = offsets[seq];
-      size_t limit = base + hi + 1;
-      if (limit > offsets[seq + 1]) limit = offsets[seq + 1];
-      return BitmapIndex::AnyInRange(bitmap_->row(ev), base + lo, limit);
+    switch (kind_) {
+      case BackendKind::kBitmap: {
+        if (ev >= bitmap_->num_events()) return false;
+        const uint64_t* offsets = bitmap_->db().offsets();
+        const size_t base = offsets[seq];
+        size_t limit = base + hi + 1;
+        if (limit > offsets[seq + 1]) limit = offsets[seq + 1];
+        return bitmap_->AnyOfEventInRange(ev, base + lo, limit);
+      }
+      case BackendKind::kHybrid: {
+        if (ev >= hybrid_->num_events()) return false;
+        const uint64_t* offsets = hybrid_->db().offsets();
+        const size_t base = offsets[seq];
+        size_t limit = base + hi + 1;
+        if (limit > offsets[seq + 1]) limit = offsets[seq + 1];
+        return hybrid_->AnyOfEventInRange(ev, base + lo, limit);
+      }
+      case BackendKind::kMerged:
+        return MergedIndexAnyInRange(*merged_, ev, seq, lo, hi);
+      default:
+        return csr_->CountInRange(ev, seq, lo, hi) > 0;
     }
-    return csr_->CountInRange(ev, seq, lo, hi) > 0;
   }
 
  private:
+  BackendKind kind_;
   const PositionIndex* csr_ = nullptr;
   const BitmapIndex* bitmap_ = nullptr;
+  const HybridIndex* hybrid_ = nullptr;
+  const MergedCountingIndex* merged_ = nullptr;
 };
 
 }  // namespace specmine

@@ -213,6 +213,14 @@ void ScanFrequentIterative(
     stats->index_build_seconds = index_build_seconds;
     return;
   }
+  if (kind == BackendKind::kHybrid) {
+    HybridIndex index(db);
+    const double index_build_seconds = sw.ElapsedSeconds();
+    ScanFrequentIterative(CountingBackend(index), options, sink, stats,
+                          nullptr);
+    stats->index_build_seconds = index_build_seconds;
+    return;
+  }
   PositionIndex index(db);
   const double index_build_seconds = sw.ElapsedSeconds();
   ScanFrequentIterative(CountingBackend(index), options, sink, stats,

@@ -84,6 +84,14 @@ PatternSet MineIterativeGenerators(const SequenceDatabase& db,
     stats->index_build_seconds = index_build_seconds;
     return out;
   }
+  if (kind == BackendKind::kHybrid) {
+    HybridIndex index(db);
+    const double index_build_seconds = sw.ElapsedSeconds();
+    PatternSet out = MineIterativeGenerators(CountingBackend(index), options,
+                                             stats, nullptr);
+    stats->index_build_seconds = index_build_seconds;
+    return out;
+  }
   PositionIndex index(db);
   const double index_build_seconds = sw.ElapsedSeconds();
   PatternSet out = MineIterativeGenerators(CountingBackend(index), options,

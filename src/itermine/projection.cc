@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "src/itermine/bitmap_projection.h"
+#include "src/itermine/merged_index.h"
+#include "src/itermine/vertical_projection_impl.h"
 
 namespace specmine {
 
@@ -178,10 +180,16 @@ bool HasUniformInfixAbsorber(const SequenceDatabase& db,
 
 InstanceList SingleEventInstances(const CountingBackend& backend,
                                   EventId ev) {
-  if (backend.kind() == BackendKind::kBitmap) {
-    return SingleEventInstancesBitmap(backend.bitmap(), ev);
+  switch (backend.kind()) {
+    case BackendKind::kBitmap:
+      return SingleEventInstancesBitmap(backend.bitmap(), ev);
+    case BackendKind::kHybrid:
+      return SingleEventInstancesHybrid(backend.hybrid(), ev);
+    case BackendKind::kMerged:
+      return SingleEventInstancesMerged(backend.merged(), ev);
+    default:
+      return SingleEventInstances(backend.csr(), ev);
   }
-  return SingleEventInstances(backend.csr(), ev);
 }
 
 std::vector<EventId> FrequentRoots(const CountingBackend& backend,
@@ -196,21 +204,51 @@ std::vector<EventId> FrequentRoots(const CountingBackend& backend,
 void ForwardExtensions(const CountingBackend& backend, const Pattern& pattern,
                        const InstanceList& instances,
                        ProjectionWorkspace* ws, ForwardExtensionMap* out) {
-  if (backend.kind() == BackendKind::kBitmap) {
-    ForwardExtensionsBitmap(backend.bitmap(), pattern, instances, ws, out);
-    return;
+  switch (backend.kind()) {
+    case BackendKind::kBitmap:
+      ForwardExtensionsBitmap(backend.bitmap(), pattern, instances, ws, out);
+      return;
+    case BackendKind::kHybrid:
+      internal::ForwardExtensionsVertical(backend.hybrid(), pattern,
+                                          instances, ws, out);
+      return;
+    case BackendKind::kMerged:
+      ForwardExtensionsMerged(backend.merged(), pattern, instances, ws, out);
+      return;
+    default:
+      ForwardExtensions(backend.csr(), pattern, instances, ws, out);
+      return;
   }
-  ForwardExtensions(backend.csr(), pattern, instances, ws, out);
 }
 
 const BackwardExtensionMap& BackwardExtensions(const CountingBackend& backend,
                                                const Pattern& pattern,
                                                const InstanceList& instances,
                                                ProjectionWorkspace* ws) {
-  if (backend.kind() == BackendKind::kBitmap) {
-    return BackwardExtensionsBitmap(backend.bitmap(), pattern, instances, ws);
+  switch (backend.kind()) {
+    case BackendKind::kBitmap:
+      return BackwardExtensionsBitmap(backend.bitmap(), pattern, instances,
+                                      ws);
+    case BackendKind::kHybrid:
+      return internal::BackwardExtensionsVertical(backend.hybrid(), pattern,
+                                                  instances, ws);
+    case BackendKind::kMerged:
+      return BackwardExtensionsMerged(backend.merged(), pattern, instances,
+                                      ws);
+    default:
+      return BackwardExtensions(backend.csr(), pattern, instances, ws);
   }
-  return BackwardExtensions(backend.csr(), pattern, instances, ws);
+}
+
+bool HasUniformInfixAbsorber(const CountingBackend& backend,
+                             const Pattern& pattern,
+                             const InstanceList& instances,
+                             ProjectionWorkspace* ws) {
+  if (backend.kind() == BackendKind::kMerged) {
+    return HasUniformInfixAbsorberMerged(backend.merged(), pattern, instances,
+                                         ws);
+  }
+  return HasUniformInfixAbsorber(backend.db(), pattern, instances, ws);
 }
 
 ForwardExtensionMap ForwardExtensions(const PositionIndex& index,

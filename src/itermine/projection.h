@@ -32,6 +32,7 @@
 #define SPECMINE_ITERMINE_PROJECTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/itermine/counting_backend.h"
@@ -82,6 +83,12 @@ struct BitmapProjectionScratch {
   /// Per-event candidate counts during the scan, then the event's entry
   /// index in the output map during the scatter.
   EpochSlots<uint32_t> slots;
+
+  /// Events occurring strictly inside the current instance's gap, marked
+  /// once per instance by one sequential arena walk — the gap-freedom
+  /// test is then an O(1) membership lookup per candidate instead of a
+  /// per-candidate row probe.
+  EventMarkSet gap_events;
 };
 
 /// \brief Reusable scratch space for the projection queries: dense mark
@@ -106,6 +113,19 @@ struct ProjectionWorkspace {
 
   // Free pool for ForwardExtensionMap shells (the entry vectors).
   std::vector<ForwardExtensionMap> map_pool;
+
+  // Child workspace for the merged backend's per-shard delegation: shard
+  // queries run in shard-local event space, so they need their own mark
+  // sets and buckets. Lazily created; unused by the other backends.
+  std::unique_ptr<ProjectionWorkspace> shard_ws;
+  // Reused shard-local instance buffer for the same delegation.
+  InstanceList shard_instances;
+
+  /// \brief The lazily-created child workspace for shard-local queries.
+  ProjectionWorkspace& ShardWorkspace() {
+    if (shard_ws == nullptr) shard_ws = std::make_unique<ProjectionWorkspace>();
+    return *shard_ws;
+  }
 
   /// \brief Takes a cleared ForwardExtensionMap, reusing pooled capacity.
   ForwardExtensionMap AcquireMap() {
@@ -191,6 +211,15 @@ const BackwardExtensionMap& BackwardExtensions(const CountingBackend& backend,
                                                const Pattern& pattern,
                                                const InstanceList& instances,
                                                ProjectionWorkspace* ws);
+
+/// \brief HasUniformInfixAbsorber on any backend. The materialized
+/// backends run the db-level check above on backend.db(); the merged
+/// backend walks the shard-local arenas through the remap tables instead,
+/// so the closed miner needs no merged database either.
+bool HasUniformInfixAbsorber(const CountingBackend& backend,
+                             const Pattern& pattern,
+                             const InstanceList& instances,
+                             ProjectionWorkspace* ws);
 
 }  // namespace specmine
 

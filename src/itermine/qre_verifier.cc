@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "src/itermine/bitmap_projection.h"
+#include "src/itermine/merged_index.h"
+#include "src/itermine/vertical_projection_impl.h"
 
 namespace specmine {
 
@@ -79,10 +81,17 @@ uint64_t CountInstances(const CountingBackend& backend, const Pattern& pattern,
     // constantly).
     return backend.TotalCount(pattern[0]);
   }
-  if (backend.kind() == BackendKind::kBitmap) {
-    return CountInstancesBitmap(backend.bitmap(), pattern, scratch);
+  switch (backend.kind()) {
+    case BackendKind::kBitmap:
+      return CountInstancesBitmap(backend.bitmap(), pattern, scratch);
+    case BackendKind::kHybrid:
+      return internal::CountInstancesVertical(backend.hybrid(), pattern,
+                                              scratch);
+    case BackendKind::kMerged:
+      return CountInstancesMerged(backend.merged(), pattern, scratch);
+    default:
+      return CountInstances(pattern, backend.db());
   }
-  return CountInstances(pattern, backend.db());
 }
 
 }  // namespace specmine

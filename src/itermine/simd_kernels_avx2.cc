@@ -1,0 +1,181 @@
+// The AVX2/BMI2/POPCNT kernel table. This is the only translation unit
+// built with -mavx2 -mbmi2 -mpopcnt (see SPECMINE_ENABLE_AVX2 in
+// CMakeLists.txt); nothing here runs unless Avx2KernelsOrNull() confirmed
+// the CPU support at dispatch time, so the rest of the binary stays
+// baseline-x86-64 clean. When the option is off (non-x86 targets), the
+// fallback definition at the bottom keeps the symbol present and the
+// dispatch resolves to scalar.
+
+#include "src/itermine/simd_kernels.h"
+
+#if defined(SPECMINE_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace specmine {
+
+namespace {
+
+constexpr size_t kNone = ~size_t{0};
+
+inline uint64_t LowMask(size_t from) { return ~uint64_t{0} << (from & 63); }
+
+inline uint64_t HighMask(size_t last_bit) {
+  const unsigned top = last_bit & 63;
+  return top == 63 ? ~uint64_t{0} : (uint64_t{1} << (top + 1)) - 1;
+}
+
+size_t FirstSetAvx2(const uint64_t* row, size_t from, size_t limit) {
+  if (from >= limit) return kNone;
+  size_t w = from >> 6;
+  const size_t last = (limit - 1) >> 6;
+  const uint64_t head = row[w] & LowMask(from);
+  if (head != 0) {
+    const size_t bit = (w << 6) + static_cast<size_t>(_tzcnt_u64(head));
+    return bit < limit ? bit : kNone;
+  }
+  ++w;
+  // The projection queries mostly find the next occurrence within a word
+  // or two, so probe a few words scalar before paying the 256-bit setup;
+  // long zero runs then skip four words at a time below.
+  const size_t probe_end = last + 1 < w + 3 ? last + 1 : w + 3;
+  for (; w < probe_end; ++w) {
+    if (row[w] != 0) {
+      const size_t bit = (w << 6) + static_cast<size_t>(_tzcnt_u64(row[w]));
+      return bit < limit ? bit : kNone;
+    }
+  }
+  while (w + 4 <= last + 1) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    if (!_mm256_testz_si256(v, v)) break;
+    w += 4;
+  }
+  for (; w <= last; ++w) {
+    if (row[w] != 0) {
+      const size_t bit = (w << 6) + static_cast<size_t>(_tzcnt_u64(row[w]));
+      return bit < limit ? bit : kNone;
+    }
+  }
+  return kNone;
+}
+
+size_t LastSetAvx2(const uint64_t* row, size_t lo, size_t before) {
+  if (lo >= before) return kNone;
+  size_t w = (before - 1) >> 6;
+  const size_t first = lo >> 6;
+  const uint64_t head = row[w] & HighMask(before - 1);
+  if (head != 0) {
+    const size_t bit = (w << 6) + 63 - static_cast<size_t>(_lzcnt_u64(head));
+    return bit >= lo ? bit : kNone;
+  }
+  // Skip zero word blocks downwards; a nonzero block falls through to the
+  // scalar tail.
+  while (w >= first + 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w - 4));
+    if (!_mm256_testz_si256(v, v)) break;
+    w -= 4;
+  }
+  while (w != first) {
+    --w;
+    if (row[w] != 0) {
+      const size_t bit =
+          (w << 6) + 63 - static_cast<size_t>(_lzcnt_u64(row[w]));
+      return bit >= lo ? bit : kNone;
+    }
+  }
+  return kNone;
+}
+
+bool AnyRangeAvx2(const uint64_t* row, size_t from, size_t limit) {
+  if (from >= limit) return false;
+  size_t w = from >> 6;
+  const size_t last = (limit - 1) >> 6;
+  if (w == last) {
+    return (row[w] & LowMask(from) & HighMask(limit - 1)) != 0;
+  }
+  if ((row[w] & LowMask(from)) != 0) return true;
+  ++w;
+  while (w + 4 <= last) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    if (!_mm256_testz_si256(v, v)) return true;
+    w += 4;
+  }
+  for (; w < last; ++w) {
+    if (row[w] != 0) return true;
+  }
+  return (row[last] & HighMask(limit - 1)) != 0;
+}
+
+size_t CountRangeAvx2(const uint64_t* row, size_t from, size_t limit) {
+  if (from >= limit) return 0;
+  size_t w = from >> 6;
+  const size_t last = (limit - 1) >> 6;
+  if (w == last) {
+    return static_cast<size_t>(
+        _mm_popcnt_u64(row[w] & LowMask(from) & HighMask(limit - 1)));
+  }
+  size_t count = static_cast<size_t>(_mm_popcnt_u64(row[w] & LowMask(from)));
+  ++w;
+  // Full middle words: 4-way unrolled hardware popcount (this TU carries
+  // -mpopcnt, so these are single popcnt instructions, not libcalls).
+  while (w + 4 <= last) {
+    count += static_cast<size_t>(_mm_popcnt_u64(row[w])) +
+             static_cast<size_t>(_mm_popcnt_u64(row[w + 1])) +
+             static_cast<size_t>(_mm_popcnt_u64(row[w + 2])) +
+             static_cast<size_t>(_mm_popcnt_u64(row[w + 3]));
+    w += 4;
+  }
+  for (; w < last; ++w) {
+    count += static_cast<size_t>(_mm_popcnt_u64(row[w]));
+  }
+  return count +
+         static_cast<size_t>(_mm_popcnt_u64(row[last] & HighMask(limit - 1)));
+}
+
+void UnionRowsAvx2(const uint64_t* const* rows, size_t n, size_t wb,
+                   size_t we, uint64_t* out) {
+  size_t w = wb;
+  for (; w + 4 <= we; w += 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (size_t i = 0; i < n; ++i) {
+      acc = _mm256_or_si256(
+          acc, _mm256_loadu_si256(
+                   reinterpret_cast<const __m256i*>(rows[i] + w)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), acc);
+  }
+  for (; w < we; ++w) {
+    uint64_t u = 0;
+    for (size_t i = 0; i < n; ++i) u |= rows[i][w];
+    out[w] = u;
+  }
+}
+
+constexpr SimdKernels kAvx2Kernels = {
+    "avx2",        FirstSetAvx2,  LastSetAvx2,
+    AnyRangeAvx2,  CountRangeAvx2, UnionRowsAvx2,
+};
+
+}  // namespace
+
+const SimdKernels* Avx2KernelsOrNull() {
+  static const bool supported = __builtin_cpu_supports("avx2") &&
+                                __builtin_cpu_supports("bmi2") &&
+                                __builtin_cpu_supports("popcnt");
+  return supported ? &kAvx2Kernels : nullptr;
+}
+
+}  // namespace specmine
+
+#else  // !SPECMINE_HAVE_AVX2
+
+namespace specmine {
+
+const SimdKernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace specmine
+
+#endif  // SPECMINE_HAVE_AVX2

@@ -1,0 +1,348 @@
+// Internal: the templated bodies of the vertical projection queries.
+//
+// The algorithms here are the word-wise arms documented in
+// bitmap_projection.h, templated over the physical row format so that
+// BitmapIndex (dense rows) and HybridIndex (dense rows + sorted
+// rare-event ID lists) share one implementation. The Index parameter must
+// provide:
+//
+//   const SequenceDatabase& db() const;
+//   size_t num_events() const;
+//   uint64_t TotalCount(EventId ev) const;
+//   size_t FirstOfEventAtOrAfter(EventId ev, size_t from, size_t limit);
+//   bool AnyOfEventInRange(EventId ev, size_t from, size_t limit);
+//   size_t CountOfEventInRange(EventId ev, size_t from, size_t limit);
+//   void BuildUnionForRange(const std::vector<EventId>& alphabet,
+//                           size_t base, size_t limit,
+//                           std::vector<uint64_t>* union_words);
+//
+// with the global-bit conventions of bitmap_index.h (bit g = arena
+// position g, ranges half-open, kNoBit = none). Union rows are always
+// word-packed — rare hybrid events are scattered into the union as bits —
+// so the union-row scans go through the runtime-dispatched kernel table
+// (simd_kernels.h) directly.
+//
+// Callers outside bitmap_projection.cc / hybrid_index.cc should use the
+// CountingBackend dispatch layer, not this header.
+
+#ifndef SPECMINE_ITERMINE_VERTICAL_PROJECTION_IMPL_H_
+#define SPECMINE_ITERMINE_VERTICAL_PROJECTION_IMPL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/itermine/bitmap_projection.h"
+#include "src/itermine/projection.h"
+#include "src/itermine/simd_kernels.h"
+
+namespace specmine {
+namespace internal {
+
+// Whether an instance list spanning `distinct_seqs` sequences should build
+// the alphabet union row once over the whole arena instead of once per
+// sequence. Per-sequence builds are dominated by call-and-mask overhead on
+// short ranges (~16 word-ops each), while the single long build is exactly
+// the row shape the union kernel vectorizes; union_rows overwrites its
+// range, so both strategies leave identical bits in every probed range.
+inline bool UseWholeRowUnion(size_t distinct_seqs, size_t total_words) {
+  return distinct_seqs * 16 >= total_words;
+}
+
+// Number of distinct sequences in an instance list (instances arrive
+// grouped by sequence, so transitions count them exactly).
+inline size_t DistinctSequences(const InstanceList& instances) {
+  size_t distinct = 0;
+  SeqId prev = ~SeqId{0};
+  for (const IterInstance& inst : instances) {
+    if (inst.seq != prev) {
+      prev = inst.seq;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+// Collects the distinct pattern events into *alphabet (cleared first).
+// Patterns are short, so the quadratic dedup beats any table.
+inline void DistinctAlphabet(const Pattern& pattern, size_t num_events,
+                             std::vector<EventId>* alphabet) {
+  alphabet->clear();
+  for (EventId ev : pattern) {
+    if (ev >= num_events) continue;  // Defensive; ids come from dict.
+    if (std::find(alphabet->begin(), alphabet->end(), ev) ==
+        alphabet->end()) {
+      alphabet->push_back(ev);
+    }
+  }
+}
+
+// Marks every event occurring strictly inside the instance span (the
+// gaps) into *gap_events (cleared first) with one sequential arena walk.
+// Gap-freedom per candidate then costs one O(1) membership test instead
+// of a per-candidate row probe — the probes were ~5 single-word kernel
+// calls per instance, pure call-and-mask overhead. `base` is the global
+// bit offset of the instance's sequence.
+inline void MarkGapEvents(const EventId* arena, size_t num_events,
+                          size_t base, const IterInstance& inst,
+                          EventMarkSet* gap_events) {
+  gap_events->Clear();
+  const size_t gap_end = base + inst.end;
+  for (size_t g = base + inst.start + 1; g < gap_end; ++g) {
+    if (arena[g] < num_events) gap_events->Set(arena[g]);
+  }
+}
+
+template <typename Index>
+InstanceList SingleEventInstancesVertical(const Index& index, EventId ev) {
+  InstanceList out;
+  if (ev >= index.num_events()) return out;
+  out.reserve(index.TotalCount(ev));
+  const SequenceDatabase& db = index.db();
+  const uint64_t* offsets = db.offsets();
+  for (SeqId s = 0; s < db.size(); ++s) {
+    const size_t base = offsets[s];
+    const size_t limit = offsets[s + 1];
+    for (size_t g = index.FirstOfEventAtOrAfter(ev, base, limit);
+         g != kNoBit; g = index.FirstOfEventAtOrAfter(ev, g + 1, limit)) {
+      const Pos p = static_cast<Pos>(g - base);
+      out.push_back(IterInstance{s, p, p});
+    }
+  }
+  return out;
+}
+
+template <typename Index>
+void ForwardExtensionsVertical(const Index& index, const Pattern& pattern,
+                               const InstanceList& instances,
+                               ProjectionWorkspace* ws,
+                               ForwardExtensionMap* out) {
+  BitmapProjectionScratch& sc = ws->bitmap;
+  const SimdKernels& kern = Kernels();
+  const size_t num_events = index.num_events();
+  const SequenceDatabase& db = index.db();
+  const EventId* arena = db.arena();
+  const uint64_t* offsets = db.offsets();
+  DistinctAlphabet(pattern, num_events, &sc.alphabet);
+  sc.forward.clear();
+  sc.slots.Reset(num_events);
+  ws->seen.EnsureSize(num_events);
+  // One-event patterns have no gaps, so the gap set stays untouched.
+  const bool has_gaps = pattern.size() > 1;
+  if (has_gaps) sc.gap_events.EnsureSize(num_events);
+
+  const size_t total_bits = offsets[db.size()];
+  const bool whole_row =
+      UseWholeRowUnion(DistinctSequences(instances), (total_bits + 63) >> 6);
+  if (whole_row) {
+    index.BuildUnionForRange(sc.alphabet, 0, total_bits, &sc.union_words);
+  }
+  SeqId prepared = ~SeqId{0};
+  size_t base = 0, limit = 0;
+  for (const IterInstance& inst : instances) {
+    if (inst.seq != prepared) {
+      prepared = inst.seq;
+      base = offsets[inst.seq];
+      limit = offsets[inst.seq + 1];
+      if (!whole_row) {
+        index.BuildUnionForRange(sc.alphabet, base, limit, &sc.union_words);
+      }
+    }
+    if (has_gaps) {
+      MarkGapEvents(arena, num_events, base, inst, &sc.gap_events);
+    }
+    const size_t from = base + inst.end + 1;
+    // First alphabet(P) event after the instance: bounds the candidate
+    // window — everything before it is out-of-alphabet by construction —
+    // and is itself the unique alphabet extension endpoint.
+    const size_t stop = kern.first_set(sc.union_words.data(), from, limit);
+    const size_t window_end = stop == kNoBit ? limit : stop;
+    ws->seen.Clear();
+    for (size_t g = from; g < window_end; ++g) {
+      const EventId ev = arena[g];
+      if (ev >= num_events) continue;  // Defensive; ids come from dict.
+      if (!ws->seen.TestAndSet(ev)) continue;  // First occurrence only.
+      if (has_gaps && sc.gap_events.Test(ev)) continue;
+      ++sc.slots.Slot(ev);
+      sc.forward.push_back(BitmapProjectionScratch::ForwardCandidate{
+          ev, IterInstance{inst.seq, inst.start, static_cast<Pos>(g - base)}});
+    }
+    if (stop != kNoBit) {
+      ++sc.slots.Slot(arena[stop]);
+      sc.forward.push_back(BitmapProjectionScratch::ForwardCandidate{
+          arena[stop],
+          IterInstance{inst.seq, inst.start, static_cast<Pos>(stop - base)}});
+    }
+  }
+
+  // Count-and-scatter drain: the touched-event list gives exact bucket
+  // sizes, so each bucket is reserved once (no realloc churn — the CSR
+  // cold path's dominant cost) and the flat buffer is scattered in
+  // discovery order, which within an event IS the CSR bucket order. Only
+  // the distinct-event list (small) is ever sorted, never the K
+  // candidates.
+  std::vector<EventId>& touched = sc.slots.touched();
+  std::sort(touched.begin(), touched.end());
+  out->clear();
+  out->entries().reserve(touched.size());
+  for (size_t i = 0; i < touched.size(); ++i) {
+    const EventId ev = touched[i];
+    InstanceList bucket = ws->forward.AcquireBucket();
+    bucket.reserve(sc.slots.At(ev));
+    out->emplace_back(ev, std::move(bucket));
+    // Repurpose the slot as the event's entry index for the scatter.
+    sc.slots.Slot(ev) = static_cast<uint32_t>(i);
+  }
+  auto& entries = out->entries();
+  for (const BitmapProjectionScratch::ForwardCandidate& cand : sc.forward) {
+    entries[sc.slots.At(cand.ev)].second.push_back(cand.inst);
+  }
+}
+
+template <typename Index>
+const BackwardExtensionMap& BackwardExtensionsVertical(
+    const Index& index, const Pattern& pattern, const InstanceList& instances,
+    ProjectionWorkspace* ws) {
+  BitmapProjectionScratch& sc = ws->bitmap;
+  const SimdKernels& kern = Kernels();
+  const size_t num_events = index.num_events();
+  const SequenceDatabase& db = index.db();
+  const EventId* arena = db.arena();
+  const uint64_t* offsets = db.offsets();
+  DistinctAlphabet(pattern, num_events, &sc.alphabet);
+  ws->back.Reset(num_events);
+  ws->seen.EnsureSize(num_events);
+  const bool has_gaps = pattern.size() > 1;
+  if (has_gaps) sc.gap_events.EnsureSize(num_events);
+
+  const size_t total_bits = offsets[db.size()];
+  const bool whole_row =
+      UseWholeRowUnion(DistinctSequences(instances), (total_bits + 63) >> 6);
+  if (whole_row) {
+    index.BuildUnionForRange(sc.alphabet, 0, total_bits, &sc.union_words);
+  }
+  SeqId prepared = ~SeqId{0};
+  size_t base = 0, limit = 0;
+  for (const IterInstance& inst : instances) {
+    if (inst.seq != prepared) {
+      prepared = inst.seq;
+      base = offsets[inst.seq];
+      limit = offsets[inst.seq + 1];
+      if (!whole_row) {
+        index.BuildUnionForRange(sc.alphabet, base, limit, &sc.union_words);
+      }
+    }
+    if (has_gaps) {
+      MarkGapEvents(arena, num_events, base, inst, &sc.gap_events);
+    }
+    const size_t gstart = base + inst.start;
+    // Last alphabet(P) event before the instance start bounds the window;
+    // it is itself the unique alphabet backward extension.
+    const size_t stop = kern.last_set(sc.union_words.data(), base, gstart);
+    const size_t window_begin = stop == kNoBit ? base : stop + 1;
+    ws->seen.Clear();
+    for (size_t g = gstart; g-- > window_begin;) {
+      const EventId ev = arena[g];
+      if (ev >= num_events) continue;  // Defensive; ids come from dict.
+      if (!ws->seen.TestAndSet(ev)) continue;  // Nearest-to-start only.
+      if (has_gaps && sc.gap_events.Test(ev)) continue;
+      BackwardExtension& ext = ws->back.Slot(ev);
+      ++ext.support;
+      ext.all_adjacent = ext.all_adjacent && (g + 1 == gstart);
+    }
+    if (stop != kNoBit) {
+      BackwardExtension& ext = ws->back.Slot(arena[stop]);
+      ++ext.support;
+      ext.all_adjacent = ext.all_adjacent && (stop + 1 == gstart);
+    }
+  }
+
+  std::vector<EventId>& touched = ws->back.touched();
+  std::sort(touched.begin(), touched.end());
+  ws->back_result.clear();
+  for (EventId ev : touched) {
+    ws->back_result.emplace_back(ev, ws->back.At(ev));
+  }
+  return ws->back_result;
+}
+
+template <typename Index>
+uint64_t CountInstancesVertical(const Index& index, const Pattern& pattern,
+                                QreRecountScratch* scratch) {
+  if (pattern.empty()) return 0;
+  QreRecountScratch local;
+  if (scratch == nullptr) scratch = &local;
+  const SimdKernels& kern = Kernels();
+  const size_t num_events = index.num_events();
+  if (pattern[0] >= num_events) return 0;  // First event never occurs.
+  DistinctAlphabet(pattern, num_events, &scratch->alphabet);
+  const SequenceDatabase& db = index.db();
+  const EventId* arena = db.arena();
+  const uint64_t* offsets = db.offsets();
+  const EventId head = pattern[0];
+  uint64_t count = 0;
+  for (SeqId s = 0; s < db.size(); ++s) {
+    const size_t base = offsets[s];
+    const size_t limit = offsets[s + 1];
+    size_t g = index.FirstOfEventAtOrAfter(head, base, limit);
+    if (g == kNoBit) continue;
+    index.BuildUnionForRange(scratch->alphabet, base, limit,
+                             &scratch->union_words);
+    const uint64_t* union_row = scratch->union_words.data();
+    for (; g != kNoBit; g = index.FirstOfEventAtOrAfter(head, g + 1, limit)) {
+      // Deterministic chain (Definition 4.1): each next pattern event must
+      // be the first alphabet event after the previous one.
+      size_t cur = g;
+      bool ok = true;
+      for (size_t k = 1; k < pattern.size(); ++k) {
+        const size_t a = kern.first_set(union_row, cur + 1, limit);
+        if (a == kNoBit || arena[a] != pattern[k]) {
+          ok = false;
+          break;
+        }
+        cur = a;
+      }
+      if (ok) ++count;
+    }
+  }
+  return count;
+}
+
+template <typename Index>
+size_t CountOccurrencesVertical(const Index& index, const Pattern& pattern) {
+  if (pattern.empty()) return 0;
+  const size_t num_events = index.num_events();
+  const SequenceDatabase& db = index.db();
+  const uint64_t* offsets = db.offsets();
+  const EventId last = pattern.last();
+  if (last >= num_events) return 0;
+  size_t count = 0;
+  for (SeqId s = 0; s < db.size(); ++s) {
+    const size_t base = offsets[s];
+    const size_t limit = offsets[s + 1];
+    // Greedy earliest embedding of the prefix, one first-set-bit per
+    // event; the remaining occurrences of the last event are the temporal
+    // points (Definition 5.1).
+    size_t from = base;
+    bool embedded = true;
+    for (size_t k = 0; k + 1 < pattern.size(); ++k) {
+      if (pattern[k] >= num_events) {
+        embedded = false;
+        break;
+      }
+      const size_t g = index.FirstOfEventAtOrAfter(pattern[k], from, limit);
+      if (g == kNoBit) {
+        embedded = false;
+        break;
+      }
+      from = g + 1;
+    }
+    if (!embedded) continue;
+    count += index.CountOfEventInRange(last, from, limit);
+  }
+  return count;
+}
+
+}  // namespace internal
+}  // namespace specmine
+
+#endif  // SPECMINE_ITERMINE_VERTICAL_PROJECTION_IMPL_H_

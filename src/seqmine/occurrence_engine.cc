@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/itermine/bitmap_projection.h"
+#include "src/itermine/merged_index.h"
+#include "src/itermine/vertical_projection_impl.h"
 
 namespace specmine {
 
@@ -65,10 +67,16 @@ size_t CountOccurrences(const Pattern& pattern, const SequenceDatabase& db) {
 
 size_t CountOccurrences(const CountingBackend& backend,
                         const Pattern& pattern) {
-  if (backend.kind() == BackendKind::kBitmap) {
-    return CountOccurrencesBitmap(backend.bitmap(), pattern);
+  switch (backend.kind()) {
+    case BackendKind::kBitmap:
+      return CountOccurrencesBitmap(backend.bitmap(), pattern);
+    case BackendKind::kHybrid:
+      return internal::CountOccurrencesVertical(backend.hybrid(), pattern);
+    case BackendKind::kMerged:
+      return CountOccurrencesMerged(backend.merged(), pattern);
+    default:
+      return CountOccurrences(pattern, backend.db());
   }
-  return CountOccurrences(pattern, backend.db());
 }
 
 Pos LatestEmbeddingStart(const Pattern& pattern, EventSpan seq,

@@ -45,12 +45,13 @@ Status CorpusRegistry::Register(const std::string& name,
 
   Entry entry;
   entry.engine = std::make_unique<Engine>(opened.TakeValueOrDie());
-  const SequenceDatabase& db = entry.engine->database();
   entry.info.name = name;
   entry.info.path = path;
-  entry.info.sequences = db.size();
-  entry.info.events = db.TotalEvents();
-  entry.info.distinct_events = db.dictionary().size();
+  // Metadata accessors, not database(): a sharded corpus registers
+  // without ever materializing its merged arena.
+  entry.info.sequences = entry.engine->num_sequences();
+  entry.info.events = entry.engine->total_events();
+  entry.info.distinct_events = entry.engine->dictionary().size();
   if (entry.engine->sharded()) {
     const ShardedDatabase& set = entry.engine->shard_set();
     entry.info.shards = set.num_shards();

@@ -71,9 +71,11 @@ Status DecodeBackend(const JsonValue& body, BackendChoice* out) {
     *out = BackendChoice::kCsr;
   } else if (value == "bitmap") {
     *out = BackendChoice::kBitmap;
+  } else if (value == "hybrid") {
+    *out = BackendChoice::kHybrid;
   } else {
-    return Status::InvalidArgument("field 'backend' must be auto, csr or "
-                                   "bitmap (got '" +
+    return Status::InvalidArgument("field 'backend' must be auto, csr, "
+                                   "bitmap or hybrid (got '" +
                                    value + "')");
   }
   return Status::OK();
@@ -436,7 +438,9 @@ HttpResponse Server::HandleMine(const std::string& path,
     return ErrorResponse(
         Status::NotFound("no corpus named '" + common.corpus + "'"));
   }
-  const EventDictionary& dict = engine->database().dictionary();
+  // dictionary(), not database(): mining a sharded corpus must not
+  // materialize its merged arena just to render event names.
+  const EventDictionary& dict = engine->dictionary();
   CancelToken token;
   MineRegistration registration(this, &token);  // Stop() cancels us.
   const CancelToken* cancel = ArmTimeout(common, &token);

@@ -62,11 +62,12 @@ common options:
   per-shard path).
 
 mine-patterns: --min-sup F (0.5) | --full | --generators | --max-len N
-               --threads N (0 = all cores) --backend {auto,csr,bitmap}
+               --threads N (0 = all cores)
+               --backend {auto,csr,bitmap,hybrid}
 mine-rules:    --min-ssup F (0.5) --min-conf F (0.9) --min-isup N (1)
                --full | --backward | --rank
                --max-pre N --max-post N --threads N (0 = all cores)
-               --backend {auto,csr,bitmap}
+               --backend {auto,csr,bitmap,hybrid}
 mine-seq:      --min-sup F (0.5) | --closed | --generators | --max-len N
 mine-episodes: --minepi | --window N (10) --min-count N (1) --max-len N
 mine-pairs:    --min-sat F (1.0) --min-relevant N (1)
@@ -88,11 +89,16 @@ mined around. Exit codes: 0 success, 2 usage, 3 invalid argument,
 exceeded, 1 anything else.
 
 --backend selects the physical counting representation: csr (horizontal
-position lists), bitmap (vertical word-packed occurrence rows), or auto
-(default; per-database density heuristic). Outputs are byte-identical
-across backends. Accepted by every mine-* command; mine-seq,
-mine-episodes and mine-pairs use no counting index, so there it only
-validates.
+position lists), bitmap (vertical word-packed occurrence rows), hybrid
+(bitmap rows for dense events, sorted ID-lists for rare ones), or auto
+(default; per-database density heuristic — on a sharded corpus auto
+mines through the lazy merged backend over the per-shard indexes, never
+materializing the merged arena). Outputs are byte-identical across
+backends. The word-wise backends run through SIMD kernels resolved once
+at startup (AVX2 when the host supports it; set SPECMINE_FORCE_SCALAR=1
+to pin the scalar fallback — the timing line reports the level in
+effect). Accepted by every mine-* command; mine-seq, mine-episodes and
+mine-pairs use no counting index, so there it only validates.
 )";
 
 // Minimal flag parser: positional arguments plus --flag [value] pairs.
@@ -225,8 +231,10 @@ bool ParseBackendFlag(const Args& args, std::ostream& err,
     *out = BackendChoice::kCsr;
   } else if (value == "bitmap") {
     *out = BackendChoice::kBitmap;
+  } else if (value == "hybrid") {
+    *out = BackendChoice::kHybrid;
   } else {
-    err << "--backend must be auto, csr or bitmap (got '" << value
+    err << "--backend must be auto, csr, bitmap or hybrid (got '" << value
         << "')\n";
     return false;
   }
@@ -290,8 +298,19 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
   if (!engine.ok()) return Fail(err, engine.status());
   const SequenceDatabase& db = engine->database();
   out << ComputeStats(db).ToString() << '\n';
-  out << "auto backend: " << BackendKindName(ChooseBackendKind(db))
-      << '\n';
+  const BackendKind chosen = ChooseBackendKind(db);
+  out << "auto backend: " << BackendKindName(chosen) << '\n';
+  out << "simd dispatch: " << SimdDispatchLevel() << '\n';
+  if (chosen == BackendKind::kHybrid) {
+    // Show the sparse/dense split the hybrid layout would use — the
+    // knob --backend=hybrid tuning starts from (docs/user_guide.md).
+    const HybridIndex hybrid(db);
+    out << "hybrid split: " << hybrid.num_dense_events()
+        << " dense events (bitmap rows), "
+        << (hybrid.num_events() - hybrid.num_dense_events())
+        << " sparse (ID-lists), cutoff " << hybrid.dense_cutoff()
+        << " occurrences\n";
+  }
   if (engine->sharded()) {
     const ShardedDatabase& set = engine->shard_set();
     out << set.num_shards() << " shards:\n";
@@ -411,14 +430,15 @@ int CmdMinePatterns(const Args& args, std::ostream& out, std::ostream& err) {
   patterns.SortBySupport();
   if (args.Has("json")) {
     out << PatternsResultToJson(report, patterns,
-                                engine->database().dictionary());
+                                engine->dictionary());
     return 0;
   }
   out << patterns.size() << " patterns\n";
   out << "timing: backend " << (report.backend.empty() ? "-" : report.backend)
-      << ", index build " << report.index_build_seconds << " s, mine "
-      << report.mine_seconds << " s\n";
-  out << patterns.ToString(engine->database().dictionary());
+      << ", simd " << SimdDispatchLevel() << ", index build "
+      << report.index_build_seconds << " s, mine " << report.mine_seconds
+      << " s\n";
+  out << patterns.ToString(engine->dictionary());
   return 0;
 }
 
@@ -521,11 +541,11 @@ int CmdMineSeq(const Args& args, std::ostream& out, std::ostream& err) {
   patterns.SortBySupport();
   if (args.Has("json")) {
     out << PatternsResultToJson(report, patterns,
-                                engine->database().dictionary());
+                                engine->dictionary());
     return 0;
   }
   out << patterns.size() << " sequential patterns (" << report.task << ")\n";
-  out << patterns.ToString(engine->database().dictionary());
+  out << patterns.ToString(engine->dictionary());
   return 0;
 }
 
@@ -561,11 +581,11 @@ int CmdMineEpisodes(const Args& args, std::ostream& out, std::ostream& err) {
   episodes.SortBySupport();
   if (args.Has("json")) {
     out << PatternsResultToJson(report, episodes,
-                                engine->database().dictionary());
+                                engine->dictionary());
     return 0;
   }
   out << episodes.size() << " episodes (" << report.task << ")\n";
-  out << episodes.ToString(engine->database().dictionary());
+  out << episodes.ToString(engine->dictionary());
   return 0;
 }
 
@@ -589,12 +609,12 @@ int CmdMinePairs(const Args& args, std::ostream& out, std::ostream& err) {
   if (!report.ok()) return Fail(err, report.status());
   if (args.Has("json")) {
     out << TwoEventResultToJson(*report, sink.rules(),
-                                engine->database().dictionary());
+                                engine->dictionary());
     return 0;
   }
   out << sink.rules().size() << " two-event rules\n";
   for (const TwoEventRule& rule : sink.rules()) {
-    out << rule.ToString(engine->database().dictionary()) << '\n';
+    out << rule.ToString(engine->dictionary()) << '\n';
   }
   return 0;
 }

@@ -1,17 +1,23 @@
 // The backend-equivalence property: every miner produces byte-identical
-// output — patterns, supports, rules, emission order — on the CSR and the
-// bitmap counting backends, across randomized databases, thresholds,
-// thread counts, and the plain / sharded execution paths. Plus the
-// word-mask edge cases (sequence lengths straddling the 64-bit word
-// boundary) and the adaptive chooser's dense/sparse verdicts.
+// output — patterns, supports, rules, emission order — on the CSR, the
+// bitmap, and the hybrid counting backends, across randomized databases,
+// thresholds, thread counts, and the plain / sharded execution paths —
+// and the lazy merged backend a sharded session answers merged-view
+// queries through reproduces the eager-merge output exactly, including
+// in quarantined-shard degraded mode. Plus the word-mask edge cases
+// (sequence lengths straddling the 64-bit word boundary) and the
+// adaptive chooser's dense/sparse/hybrid verdicts.
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/engine/engine.h"
 #include "src/itermine/bitmap_projection.h"
+#include "src/itermine/hybrid_index.h"
 #include "src/itermine/closed_miner.h"
 #include "src/itermine/full_miner.h"
 #include "src/itermine/generators.h"
@@ -156,9 +162,15 @@ TEST(BackendChooserTest, DensePicksBitmapSparsePicksCsr) {
   // Dense: 40 sequences x 60 events over 12 distinct names.
   SequenceDatabase dense = RandomDb(1, 40, 60, 12);
   EXPECT_EQ(ChooseBackendKind(dense), BackendKind::kBitmap);
-  // Sparse: tiny corpus over 500 distinct names (mean occurrences ~1).
+  // Sparse AND tiny: the hybrid split can't amortize its arena, so the
+  // CSR index wins (mean occurrences ~1, a few hundred events total).
   SequenceDatabase sparse = RandomDb(2, 30, 15, 500);
   EXPECT_EQ(ChooseBackendKind(sparse), BackendKind::kCsr);
+  // Sparse but big: thousands of events over a wide alphabet — the
+  // hybrid format keeps the rare tail as ID-lists instead of paying a
+  // full bitmap row per event.
+  SequenceDatabase wide = RandomDb(4, 300, 30, 3000);
+  EXPECT_EQ(ChooseBackendKind(wide), BackendKind::kHybrid);
   // Empty databases default to CSR.
   EXPECT_EQ(ChooseBackendKind(SequenceDatabase()), BackendKind::kCsr);
 }
@@ -180,49 +192,71 @@ TEST_P(BackendEquivalenceTest, ProjectionQueriesAgree) {
   SequenceDatabase db = RandomDb(p.seed, p.num_seqs, p.max_len, p.alphabet);
   PositionIndex csr(db);
   BitmapIndex bitmap(db);
-  CountingBackend cb(csr), bb(bitmap);
-  ASSERT_EQ(cb.num_events(), bb.num_events());
-  ProjectionWorkspace csr_ws, bitmap_ws;
+  HybridIndex hybrid(db);
+  // Also a hybrid forced to keep a sparse tail on every corpus: a huge
+  // cutoff pushes *all* events onto the ID-list side, so the sparse
+  // scatter path is exercised even where auto-tuning would go all-dense.
+  HybridIndex all_sparse(db, ~uint64_t{0});
+  CountingBackend cb(csr);
+  std::array<CountingBackend, 3> alts = {CountingBackend(bitmap),
+                                         CountingBackend(hybrid),
+                                         CountingBackend(all_sparse)};
+  std::array<ProjectionWorkspace, 3> alt_ws;
+  ProjectionWorkspace csr_ws;
+  for (const CountingBackend& alt : alts) {
+    ASSERT_EQ(cb.num_events(), alt.num_events());
+  }
   for (EventId ev = 0; ev < db.dictionary().size(); ++ev) {
-    ASSERT_EQ(cb.TotalCount(ev), bb.TotalCount(ev));
-    ASSERT_EQ(cb.SequenceCount(ev), bb.SequenceCount(ev));
     InstanceList insts = SingleEventInstances(cb, ev);
-    ASSERT_EQ(insts, SingleEventInstances(bb, ev));
+    for (const CountingBackend& alt : alts) {
+      ASSERT_EQ(cb.TotalCount(ev), alt.TotalCount(ev)) << alt.name();
+      ASSERT_EQ(cb.SequenceCount(ev), alt.SequenceCount(ev)) << alt.name();
+      ASSERT_EQ(insts, SingleEventInstances(alt, ev)) << alt.name();
+    }
     if (insts.empty()) continue;
     // Grow a couple of levels and compare the full projection at each.
     for (EventId second = 0; second < db.dictionary().size(); ++second) {
       Pattern pat = Pattern{ev}.Extend(second);
       InstanceList pat_insts = FindAllInstances(pat, db);
       if (pat_insts.empty()) continue;
-      ForwardExtensionMap csr_fwd, bitmap_fwd;
+      ForwardExtensionMap csr_fwd;
       ForwardExtensions(cb, pat, pat_insts, &csr_ws, &csr_fwd);
-      ForwardExtensions(bb, pat, pat_insts, &bitmap_ws, &bitmap_fwd);
-      ASSERT_EQ(csr_fwd.size(), bitmap_fwd.size()) << pat.ToString();
-      auto it = bitmap_fwd.begin();
-      for (const auto& [e, il] : csr_fwd) {
-        ASSERT_EQ(e, it->first) << pat.ToString();
-        ASSERT_EQ(il, it->second) << pat.ToString();
-        ++it;
-      }
       const BackwardExtensionMap& csr_back =
           BackwardExtensions(cb, pat, pat_insts, &csr_ws);
       // Copy: the reference lives in the workspace.
       BackwardExtensionMap csr_back_copy;
       for (const auto& [e, ext] : csr_back) csr_back_copy.emplace_back(e, ext);
-      const BackwardExtensionMap& bitmap_back =
-          BackwardExtensions(bb, pat, pat_insts, &bitmap_ws);
-      ASSERT_EQ(csr_back_copy.size(), bitmap_back.size()) << pat.ToString();
-      auto bit = bitmap_back.begin();
-      for (const auto& [e, ext] : csr_back_copy) {
-        ASSERT_EQ(e, bit->first);
-        ASSERT_EQ(ext.support, bit->second.support) << pat.ToString();
-        ASSERT_EQ(ext.all_adjacent, bit->second.all_adjacent)
-            << pat.ToString();
-        ++bit;
+      for (size_t a = 0; a < alts.size(); ++a) {
+        const CountingBackend& alt = alts[a];
+        ForwardExtensionMap alt_fwd;
+        ForwardExtensions(alt, pat, pat_insts, &alt_ws[a], &alt_fwd);
+        ASSERT_EQ(csr_fwd.size(), alt_fwd.size())
+            << alt.name() << " " << pat.ToString();
+        auto it = alt_fwd.begin();
+        for (const auto& [e, il] : csr_fwd) {
+          ASSERT_EQ(e, it->first) << alt.name() << " " << pat.ToString();
+          ASSERT_EQ(il, it->second) << alt.name() << " " << pat.ToString();
+          ++it;
+        }
+        const BackwardExtensionMap& alt_back =
+            BackwardExtensions(alt, pat, pat_insts, &alt_ws[a]);
+        ASSERT_EQ(csr_back_copy.size(), alt_back.size())
+            << alt.name() << " " << pat.ToString();
+        auto bit = alt_back.begin();
+        for (const auto& [e, ext] : csr_back_copy) {
+          ASSERT_EQ(e, bit->first) << alt.name();
+          ASSERT_EQ(ext.support, bit->second.support)
+              << alt.name() << " " << pat.ToString();
+          ASSERT_EQ(ext.all_adjacent, bit->second.all_adjacent)
+              << alt.name() << " " << pat.ToString();
+          ++bit;
+        }
+        // The QRE recount and the occurrence count agree with the oracles.
+        ASSERT_EQ(CountInstances(alt, pat), CountInstances(pat, db))
+            << alt.name();
+        ASSERT_EQ(CountOccurrences(alt, pat), CountOccurrences(pat, db))
+            << alt.name();
       }
-      // The QRE recount and the occurrence count agree with the oracles.
-      ASSERT_EQ(CountInstances(bb, pat), CountInstances(pat, db));
-      ASSERT_EQ(CountOccurrences(bb, pat), CountOccurrences(pat, db));
     }
   }
 }
@@ -247,6 +281,10 @@ TEST_P(BackendEquivalenceTest, MinersAreByteIdenticalAcrossBackends) {
       PatternSet full_bitmap = MineFrequentIterative(db, full);
       ASSERT_EQ(Render(full_csr, dict), Render(full_bitmap, dict))
           << "full min_sup=" << min_sup << " threads=" << threads;
+      full.backend = BackendChoice::kHybrid;
+      PatternSet full_hybrid = MineFrequentIterative(db, full);
+      ASSERT_EQ(Render(full_csr, dict), Render(full_hybrid, dict))
+          << "full/hybrid min_sup=" << min_sup << " threads=" << threads;
 
       ClosedIterMinerOptions closed;
       closed.min_support = min_sup;
@@ -257,6 +295,10 @@ TEST_P(BackendEquivalenceTest, MinersAreByteIdenticalAcrossBackends) {
       PatternSet closed_bitmap = MineClosedIterative(db, closed);
       ASSERT_EQ(Render(closed_csr, dict), Render(closed_bitmap, dict))
           << "closed min_sup=" << min_sup << " threads=" << threads;
+      closed.backend = BackendChoice::kHybrid;
+      PatternSet closed_hybrid = MineClosedIterative(db, closed);
+      ASSERT_EQ(Render(closed_csr, dict), Render(closed_hybrid, dict))
+          << "closed/hybrid min_sup=" << min_sup << " threads=" << threads;
 
       IterGeneratorMinerOptions gens;
       gens.min_support = min_sup;
@@ -267,6 +309,11 @@ TEST_P(BackendEquivalenceTest, MinersAreByteIdenticalAcrossBackends) {
       PatternSet gens_bitmap = MineIterativeGenerators(db, gens);
       ASSERT_EQ(Render(gens_csr, dict), Render(gens_bitmap, dict))
           << "generators min_sup=" << min_sup << " threads=" << threads;
+      gens.backend = BackendChoice::kHybrid;
+      PatternSet gens_hybrid = MineIterativeGenerators(db, gens);
+      ASSERT_EQ(Render(gens_csr, dict), Render(gens_hybrid, dict))
+          << "generators/hybrid min_sup=" << min_sup
+          << " threads=" << threads;
     }
   }
 }
@@ -279,7 +326,8 @@ TEST_P(BackendEquivalenceTest, RulesAreByteIdenticalAcrossBackends) {
   const EventDictionary& dict = db.dictionary();
   PositionIndex csr(db);
   BitmapIndex bitmap(db);
-  CountingBackend cb(csr), bb(bitmap);
+  HybridIndex hybrid(db);
+  CountingBackend cb(csr), bb(bitmap), hb(hybrid);
   for (bool non_redundant : {true, false}) {
     RuleMinerOptions options;
     options.min_s_support = 2;
@@ -294,12 +342,17 @@ TEST_P(BackendEquivalenceTest, RulesAreByteIdenticalAcrossBackends) {
     RuleSet with_csr = MineRecurrentRules(db, options, nullptr, nullptr, &cb);
     RuleSet with_bitmap =
         MineRecurrentRules(db, options, nullptr, nullptr, &bb);
+    RuleSet with_hybrid =
+        MineRecurrentRules(db, options, nullptr, nullptr, &hb);
     ASSERT_EQ(scalar.size(), with_csr.size());
     ASSERT_EQ(scalar.size(), with_bitmap.size());
+    ASSERT_EQ(scalar.size(), with_hybrid.size());
     for (size_t i = 0; i < scalar.size(); ++i) {
       ASSERT_EQ(scalar[i].ToString(dict), with_csr[i].ToString(dict));
       ASSERT_EQ(scalar[i].ToString(dict), with_bitmap[i].ToString(dict));
+      ASSERT_EQ(scalar[i].ToString(dict), with_hybrid[i].ToString(dict));
       ASSERT_EQ(scalar[i].i_support, with_bitmap[i].i_support);
+      ASSERT_EQ(scalar[i].i_support, with_hybrid[i].i_support);
     }
   }
 }
@@ -329,8 +382,9 @@ TEST_P(BackendEquivalenceTest, ShardedMiningAgreesAcrossBackends) {
     Result<PatternSet> reference = plain->CollectPatterns(task);
     ASSERT_TRUE(reference.ok());
 
-    for (BackendChoice choice : {BackendChoice::kAuto, BackendChoice::kCsr,
-                                 BackendChoice::kBitmap}) {
+    for (BackendChoice choice :
+         {BackendChoice::kAuto, BackendChoice::kCsr, BackendChoice::kBitmap,
+          BackendChoice::kHybrid}) {
       task.options.backend = choice;
       Result<Engine> sharded = Engine::FromShardSet(smdbset);
       ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
@@ -344,11 +398,151 @@ TEST_P(BackendEquivalenceTest, ShardedMiningAgreesAcrossBackends) {
   }
 }
 
+// Lazy merged view: a sharded session answers regular (non-sharded)
+// tasks through a merged *view* over the per-shard indexes — the report
+// says so ("lazy-merged"), and the emission is byte-identical to eagerly
+// merging the shards into one arena and mining it, across every miner
+// family and thread count.
+TEST_P(BackendEquivalenceTest, LazyMergedViewMatchesEagerMerge) {
+  const EquivParams p = GetParam();
+  SequenceDatabase db = RandomDb(p.seed, p.num_seqs, p.max_len, p.alphabet);
+  const std::string smdbset =
+      TempPath("lazy_merged_" + std::to_string(p.seed) + ".smdbset");
+  ShardWriterOptions shard_options;
+  // Tiny shards: even the smallest corpus in the matrix splits, so the
+  // merged view always has real seq-base offsets and remap tables.
+  shard_options.shard_bytes = 200;
+  ASSERT_TRUE(WriteShardedDatabase(db, smdbset, shard_options).ok());
+
+  Result<Engine> eager = Engine::Create(SequenceDatabase(db));
+  ASSERT_TRUE(eager.ok());
+  Result<Engine> lazy = Engine::FromShardSet(smdbset);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  ASSERT_GT(lazy->shard_set().num_shards(), 1u);
+  // Session metadata flows from the shard manifest, not the merged arena.
+  ASSERT_EQ(lazy->num_sequences(), db.size());
+  ASSERT_EQ(lazy->total_events(), db.TotalEvents());
+  ASSERT_EQ(lazy->dictionary().size(), db.dictionary().size());
+
+  for (size_t threads : {1u, 4u}) {
+    {
+      FullPatternsTask task;
+      task.options.min_support = 3;
+      task.options.num_threads = threads;
+      task.options.backend = BackendChoice::kCsr;
+      CollectingPatternSink want;
+      ASSERT_TRUE(eager->Mine(task, want).ok());
+      task.options.backend = BackendChoice::kAuto;
+      CollectingPatternSink got;
+      Result<RunReport> run = lazy->Mine(task, got);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run->backend, "lazy-merged");
+      EXPECT_EQ(Render(want.set(), db.dictionary()),
+                Render(got.set(), lazy->dictionary()))
+          << "full threads=" << threads;
+    }
+    {
+      ClosedTask task;
+      task.options.min_support = 3;
+      task.options.num_threads = threads;
+      task.options.backend = BackendChoice::kCsr;
+      CollectingPatternSink want;
+      ASSERT_TRUE(eager->Mine(task, want).ok());
+      task.options.backend = BackendChoice::kAuto;
+      CollectingPatternSink got;
+      Result<RunReport> run = lazy->Mine(task, got);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run->backend, "lazy-merged");
+      EXPECT_EQ(Render(want.set(), db.dictionary()),
+                Render(got.set(), lazy->dictionary()))
+          << "closed threads=" << threads;
+    }
+    {
+      GeneratorsTask task;
+      task.options.min_support = 3;
+      task.options.num_threads = threads;
+      task.options.backend = BackendChoice::kCsr;
+      CollectingPatternSink want;
+      ASSERT_TRUE(eager->Mine(task, want).ok());
+      task.options.backend = BackendChoice::kAuto;
+      CollectingPatternSink got;
+      Result<RunReport> run = lazy->Mine(task, got);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run->backend, "lazy-merged");
+      EXPECT_EQ(Render(want.set(), db.dictionary()),
+                Render(got.set(), lazy->dictionary()))
+          << "generators threads=" << threads;
+    }
+  }
+
+  // Explicit materialized backends stay available on the sharded session
+  // (the documented escape hatch): forcing one merges the arena on first
+  // use, stamps the report with that backend, and agrees byte for byte.
+  FullPatternsTask task;
+  task.options.min_support = 3;
+  task.options.backend = BackendChoice::kCsr;
+  CollectingPatternSink want;
+  ASSERT_TRUE(eager->Mine(task, want).ok());
+  task.options.backend = BackendChoice::kBitmap;
+  CollectingPatternSink via_bitmap;
+  Result<RunReport> run = lazy->Mine(task, via_bitmap);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->backend, "bitmap");
+  EXPECT_EQ(Render(want.set(), db.dictionary()),
+            Render(via_bitmap.set(), lazy->dictionary()));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     RandomDatabases, BackendEquivalenceTest,
     ::testing::Values(EquivParams{3, 12, 8, 4}, EquivParams{17, 20, 14, 6},
                       EquivParams{29, 30, 20, 10}, EquivParams{71, 8, 64, 3},
                       EquivParams{97, 25, 40, 24}));
+
+// Degraded mode: with a quarantined shard, the lazy merged view spans
+// exactly the healthy shards — its output equals eagerly merging the
+// surviving subset, and the report still says "lazy-merged".
+TEST(LazyMergedEngineTest, QuarantinedShardsStayLazyAndMatchHealthySubset) {
+  SequenceDatabase db = RandomDb(83, 40, 12, 6);
+  const std::string smdbset = TempPath("lazy_quarantine.smdbset");
+  ShardWriterOptions options;
+  options.shard_bytes = 400;
+  ASSERT_TRUE(WriteShardedDatabase(db, smdbset, options).ok());
+  {
+    Result<ShardedDatabase> probe = ShardedDatabase::Open(smdbset);
+    ASSERT_TRUE(probe.ok());
+    ASSERT_GT(probe->num_shards(), 2u);
+    // Corrupt shard 1 beyond recognition.
+    std::ofstream f(probe->shard_path(1), std::ios::binary | std::ios::trunc);
+    f << "not an smdb";
+  }
+
+  SetOpenOptions open_options;
+  open_options.policy = ShardFailurePolicy::kQuarantine;
+  Result<Engine> lazy = Engine::FromShardSet(smdbset, open_options);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  ASSERT_EQ(lazy->shard_set().open_report().quarantined.size(), 1u);
+
+  // The eager reference mines the healthy subset merged into one arena.
+  Result<Engine> healthy = Engine::Create(lazy->shard_set().Merge());
+  ASSERT_TRUE(healthy.ok());
+
+  for (size_t threads : {1u, 4u}) {
+    FullPatternsTask task;
+    task.options.min_support = 2;
+    task.options.num_threads = threads;
+    task.options.backend = BackendChoice::kCsr;
+    CollectingPatternSink want;
+    ASSERT_TRUE(healthy->Mine(task, want).ok());
+    task.options.backend = BackendChoice::kAuto;
+    CollectingPatternSink got;
+    Result<RunReport> run = lazy->Mine(task, got);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->backend, "lazy-merged");
+    EXPECT_EQ(Render(want.set(), healthy->dictionary()),
+              Render(got.set(), lazy->dictionary()))
+        << "threads=" << threads;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Engine-level behavior: per-task override, report stamping, and the
@@ -383,8 +577,23 @@ TEST(BackendEngineTest, SessionCachesEachRepresentationOnce) {
   EXPECT_EQ(third->backend, "csr");
   EXPECT_EQ(engine.index_builds(), 2u);  // Second representation.
 
+  FullPatternsTask hybrid_task = bitmap_task;
+  hybrid_task.options.backend = BackendChoice::kHybrid;
+  CollectingPatternSink sink4;
+  Result<RunReport> fourth = engine.Mine(hybrid_task, sink4);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(fourth->backend, "hybrid");
+  EXPECT_EQ(engine.index_builds(), 3u);  // Third representation.
+  CollectingPatternSink sink5;
+  Result<RunReport> fifth = engine.Mine(hybrid_task, sink5);
+  ASSERT_TRUE(fifth.ok());
+  EXPECT_EQ(fifth->index_build_seconds, 0.0);  // Cached.
+  EXPECT_EQ(engine.index_builds(), 3u);
+
   EXPECT_EQ(Render(sink1.set(), db.dictionary()),
             Render(sink3.set(), db.dictionary()));
+  EXPECT_EQ(Render(sink1.set(), db.dictionary()),
+            Render(sink4.set(), db.dictionary()));
 }
 
 TEST(BackendEngineTest, RulesReportRecordsTheBackend) {

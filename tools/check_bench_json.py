@@ -29,6 +29,13 @@ REQUIRED = [
     "BitmapCountOccurrences",
     "SparseForwardExtensionsCsr",
     "SparseForwardExtensionsBitmap",
+    "HybridSparseForwardExtensions",
+    "SimdForwardExtensions",
+    "SimdForwardExtensionsReuse",
+    "LazyMergedQueryForwardExtensions",
+    "LazyMergedQueryCountInstances",
+    "EagerMergePeakRssKb",
+    "LazyMergePeakRssKb",
     "DbLoadSmdbMmap",
     "DbShardParallel",
 ]
