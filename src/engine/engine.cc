@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/engine/phase1_cache.h"
 #include "src/engine/shard_exec.h"
 #include "src/rulemine/backward_rules.h"
 #include "src/support/cancel.h"
@@ -481,6 +482,17 @@ Status Engine::EnsureShardBackends(BackendChoice choice,
   return Status::OK();
 }
 
+const std::vector<uint64_t>& Engine::ShardDigests() const {
+  std::lock_guard<std::mutex> lock(sync_->cache_mu);
+  if (shard_digests_.size() != shard_set_->num_shards()) {
+    shard_digests_.resize(shard_set_->num_shards());
+    for (size_t i = 0; i < shard_digests_.size(); ++i) {
+      shard_digests_[i] = shard_set_->ComputeShardDigest(i);
+    }
+  }
+  return shard_digests_;
+}
+
 Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
                                       PatternSink& sink) const {
   if (shard_set_ == nullptr) {
@@ -497,10 +509,53 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
   std::vector<CountingBackend> backends;
   SPECMINE_RETURN_NOT_OK(EnsureShardBackends(
       task.options.backend, &backends, &build_seconds, pool, num_threads));
+  // The phase-1 candidate cache lives beside the manifest. Loading
+  // tolerates anything (missing, torn, foreign — all mean "empty"): the
+  // cache only accelerates, it never decides output.
+  const bool use_cache =
+      task.phase1_cache && !shard_set_->manifest_path().empty();
+  const std::string cache_path =
+      use_cache ? Phase1CachePath(shard_set_->manifest_path()) : std::string();
+  Phase1Cache cache_loaded;
+  Phase1Cache cache_updated;
+  ShardCacheIO cache_io;
+  if (use_cache) {
+    Result<Phase1Cache> from_disk = LoadPhase1Cache(cache_path);
+    if (from_disk.ok()) cache_loaded = std::move(*from_disk);
+    cache_io.loaded = &cache_loaded;
+    cache_io.updated = &cache_updated;
+    cache_io.shard_digests = ShardDigests();
+  }
   ShardExecStats stats;
   PatternSet mined =
-      MineShardedFull(*shard_set_, backends, task.options, &stats, pool);
+      MineShardedFull(*shard_set_, backends, task.options, &stats, pool,
+                      use_cache ? &cache_io : nullptr);
   if (!stats.error.ok()) return stats.error;
+  if (use_cache && !cache_updated.entries.empty()) {
+    // Carry over loaded entries for shards that still exist but were
+    // mined under a different fingerprint (another threshold's cache
+    // stays warm); entries for shards no longer in the set are dropped —
+    // that rewrite is the cache's garbage collection.
+    for (Phase1CacheEntry& old : cache_loaded.entries) {
+      bool current_shard = false;
+      for (size_t i = 0; i < cache_io.shard_digests.size(); ++i) {
+        if (cache_io.shard_digests[i] == old.shard_digest) {
+          current_shard = true;
+          break;
+        }
+      }
+      if (current_shard &&
+          cache_updated.Find(old.shard_digest, old.remap_digest,
+                             old.options_fingerprint) == nullptr) {
+        cache_updated.entries.push_back(std::move(old));
+      }
+    }
+    // A failed save (disk full, injected fault) costs the next run a
+    // re-scan, nothing more — never fail the mine for it.
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    Status saved = SavePhase1Cache(cache_path, cache_updated);
+    (void)saved;
+  }
   RunReport report;
   report.task = "full-patterns-sharded";
   report.shards_total = shard_set_->open_report().shards_total;
@@ -519,6 +574,12 @@ Result<RunReport> Engine::MineSharded(const FullPatternsTask& task,
     }
   }
   report.nodes_visited = stats.nodes_visited;
+  report.shards_scanned = stats.shards_scanned;
+  report.shards_cached = stats.shards_cached;
+  report.shard_phase1_nodes.reserve(stats.shard_scans.size());
+  for (const ShardScanStat& scan : stats.shard_scans) {
+    report.shard_phase1_nodes.push_back(scan.nodes_visited);
+  }
   report.index_build_seconds = build_seconds;
   report.mine_seconds = stats.mine_seconds;
   // Delivery mirrors the single-pass emission stream: same order, same

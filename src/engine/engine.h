@@ -312,6 +312,10 @@ class Engine {
   template <typename Task>
   Status Begin(const Task& task) const;
 
+  // The memoized per-shard content digests (the phase-1 cache keys),
+  // computed once per session under cache_mu. Sharded sessions only.
+  const std::vector<uint64_t>& ShardDigests() const;
+
   // Fills *backends with one counting backend per shard (kinds resolved
   // per shard — the chooser runs on each shard's own shape), building any
   // missing physical index — one job per shard on \p pool when
@@ -357,6 +361,10 @@ class Engine {
   // tasks never pay for Merge().
   mutable std::unique_ptr<MergedCountingIndex> merged_index_;
   mutable std::unique_ptr<UnitDatabase> units_;
+  // Memoized per-shard content digests (built under cache_mu on the first
+  // cache-enabled MineSharded; the shard files are immutable for the
+  // session's lifetime).
+  mutable std::vector<uint64_t> shard_digests_;
   // Idle worker pools awaiting a LeasePool checkout (any mix of widths).
   mutable std::vector<std::unique_ptr<ThreadPool>> idle_pools_;
 };

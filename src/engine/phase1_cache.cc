@@ -1,0 +1,241 @@
+#include "src/engine/phase1_cache.h"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <ostream>
+
+#include "src/support/fault_injection.h"
+#include "src/trace/format_util.h"
+
+namespace specmine {
+
+namespace {
+
+// File layout (little-endian by fiat, like the .smdb/.smdbset formats):
+//
+//   [ 0,  8)  magic "SMP1\r\n\x1a\n"
+//   [ 8, 12)  format version (u32) = 2
+//   [12, 16)  reserved (u32) = 0
+//   [16, 24)  entry count (u64)
+//   [24, 32)  XXH64 over everything from offset 32 to EOF
+//   [32, ...) entries, each:
+//       shard_digest u64 | remap_digest u64 | options_fingerprint u64 |
+//       threshold u64 |
+//       epoch count u64 | epoch x shard digest (u64) |
+//       margin count u64 | margins, each: event u32 | margin u64 |
+//       pattern count u64 | patterns, each:
+//           support u64 | length u32 | length x EventId (u32)
+//
+// The whole-file payload digest (not per-entry) keeps the reader simple:
+// the file is either wholly trusted or wholly ignored.
+constexpr char kMagic[8] = {'S', 'M', 'P', '1', '\r', '\n', '\x1a', '\n'};
+constexpr uint32_t kFormatVersion = 2;
+constexpr size_t kHeaderBytes = 32;
+constexpr size_t kPayloadDigestOffset = 24;
+
+// Caps keep a corrupt count field from turning into a giant allocation
+// before the bounds checks below would catch it.
+constexpr uint64_t kMaxEntries = uint64_t{1} << 20;
+constexpr uint64_t kMaxEpochShards = uint64_t{1} << 20;
+constexpr uint64_t kMaxMargins = uint64_t{1} << 24;
+constexpr uint64_t kMaxPatterns = uint64_t{1} << 32;
+constexpr uint64_t kMaxPatternLength = uint64_t{1} << 20;
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::ParseError("corrupt phase-1 cache " + path + ": " + what);
+}
+
+// Bounds-checked little-endian cursor over the loaded file bytes.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  bool Read(void* out, size_t n) {
+    if (static_cast<size_t>(end - p) < n) return false;
+    std::memcpy(out, p, n);
+    p += n;
+    return true;
+  }
+  bool ReadU64(uint64_t* out) { return Read(out, 8); }
+  bool ReadU32(uint32_t* out) { return Read(out, 4); }
+};
+
+template <typename T>
+void Put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+}  // namespace
+
+const Phase1CacheEntry* Phase1Cache::Find(uint64_t shard_digest,
+                                          uint64_t remap_digest,
+                                          uint64_t options_fingerprint) const {
+  for (const Phase1CacheEntry& entry : entries) {
+    if (entry.shard_digest == shard_digest &&
+        entry.remap_digest == remap_digest &&
+        entry.options_fingerprint == options_fingerprint) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::string Phase1CachePath(const std::string& manifest_path) {
+  return manifest_path + ".p1c";
+}
+
+uint64_t Phase1OptionsFingerprint(uint64_t min_support, uint64_t max_length) {
+  // Any scan-shaping option must feed this digest; the format version is
+  // folded in so a layout bump invalidates every old file.
+  const uint64_t words[3] = {min_support, max_length, kFormatVersion};
+  return format_util::XXH64(words, sizeof(words), /*seed=*/0x70316361);
+}
+
+uint64_t RemapDigest(const std::vector<EventId>& remap) {
+  return format_util::XXH64(remap.data(), remap.size() * sizeof(EventId));
+}
+
+Result<Phase1Cache> LoadPhase1Cache(const std::string& path) {
+  SPECMINE_RETURN_NOT_OK(format_util::CheckLittleEndianHost(".p1c"));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no phase-1 cache at " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("cannot read phase-1 cache: " + path);
+  }
+  if (bytes.size() < kHeaderBytes) {
+    return Corrupt(path, "smaller than the 32-byte header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(path, "bad magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  if (version != kFormatVersion) {
+    return Corrupt(path, "unsupported version " + std::to_string(version));
+  }
+  uint64_t num_entries = 0;
+  std::memcpy(&num_entries, bytes.data() + 16, 8);
+  if (num_entries > kMaxEntries) {
+    return Corrupt(path, "implausible entry count");
+  }
+  uint64_t stored_digest = 0;
+  std::memcpy(&stored_digest, bytes.data() + kPayloadDigestOffset, 8);
+  if (format_util::XXH64(bytes.data() + kHeaderBytes,
+                         bytes.size() - kHeaderBytes) != stored_digest) {
+    return Corrupt(path, "payload checksum mismatch");
+  }
+
+  Phase1Cache cache;
+  cache.entries.reserve(static_cast<size_t>(num_entries));
+  Cursor cur{bytes.data() + kHeaderBytes, bytes.data() + bytes.size()};
+  std::vector<EventId> ids;
+  for (uint64_t e = 0; e < num_entries; ++e) {
+    Phase1CacheEntry entry;
+    uint64_t num_patterns = 0;
+    if (!cur.ReadU64(&entry.shard_digest) ||
+        !cur.ReadU64(&entry.remap_digest) ||
+        !cur.ReadU64(&entry.options_fingerprint) ||
+        !cur.ReadU64(&entry.threshold)) {
+      return Corrupt(path, "truncated entry header");
+    }
+    if (entry.threshold == 0) return Corrupt(path, "zero threshold");
+    uint64_t num_epoch = 0;
+    if (!cur.ReadU64(&num_epoch) || num_epoch > kMaxEpochShards) {
+      return Corrupt(path, "implausible epoch shard count");
+    }
+    entry.epoch_digests.resize(static_cast<size_t>(num_epoch));
+    if (!cur.Read(entry.epoch_digests.data(), size_t{8} * num_epoch)) {
+      return Corrupt(path, "truncated epoch digests");
+    }
+    uint64_t num_margins = 0;
+    if (!cur.ReadU64(&num_margins) || num_margins > kMaxMargins) {
+      return Corrupt(path, "implausible margin count");
+    }
+    entry.margins.reserve(static_cast<size_t>(num_margins));
+    for (uint64_t m = 0; m < num_margins; ++m) {
+      Phase1PruneMargin margin;
+      if (!cur.ReadU32(&margin.event) || !cur.ReadU64(&margin.margin)) {
+        return Corrupt(path, "truncated margin");
+      }
+      // A pruned node's upper bound is strictly below the global support,
+      // so a recorded margin of zero cannot have come from this writer.
+      if (margin.margin == 0) return Corrupt(path, "zero prune margin");
+      entry.margins.push_back(margin);
+    }
+    if (!cur.ReadU64(&num_patterns)) {
+      return Corrupt(path, "truncated pattern count");
+    }
+    if (num_patterns > kMaxPatterns) {
+      return Corrupt(path, "implausible pattern count");
+    }
+    entry.patterns.reserve(static_cast<size_t>(num_patterns));
+    for (uint64_t k = 0; k < num_patterns; ++k) {
+      uint64_t support = 0;
+      uint32_t length = 0;
+      if (!cur.ReadU64(&support) || !cur.ReadU32(&length)) {
+        return Corrupt(path, "truncated pattern header");
+      }
+      if (length == 0 || length > kMaxPatternLength) {
+        return Corrupt(path, "implausible pattern length");
+      }
+      ids.resize(length);
+      if (!cur.Read(ids.data(), size_t{length} * sizeof(EventId))) {
+        return Corrupt(path, "truncated pattern events");
+      }
+      entry.patterns.push_back(MinedPattern{Pattern(ids), support});
+    }
+    cache.entries.push_back(std::move(entry));
+  }
+  if (cur.p != cur.end) return Corrupt(path, "trailing bytes after entries");
+  return cache;
+}
+
+Status SavePhase1Cache(const std::string& path, const Phase1Cache& cache) {
+  SPECMINE_RETURN_NOT_OK(format_util::CheckLittleEndianHost(".p1c"));
+  SPECMINE_RETURN_NOT_OK(CheckFault("phase1_cache.save"));
+
+  // Serialize the payload first: the header's digest covers it.
+  std::string payload;
+  auto put = [&payload](const void* data, size_t n) {
+    payload.append(static_cast<const char*>(data), n);
+  };
+  auto put64 = [&](uint64_t v) { put(&v, 8); };
+  auto put32 = [&](uint32_t v) { put(&v, 4); };
+  for (const Phase1CacheEntry& entry : cache.entries) {
+    put64(entry.shard_digest);
+    put64(entry.remap_digest);
+    put64(entry.options_fingerprint);
+    put64(entry.threshold);
+    put64(entry.epoch_digests.size());
+    put(entry.epoch_digests.data(), entry.epoch_digests.size() * 8);
+    put64(entry.margins.size());
+    for (const Phase1PruneMargin& margin : entry.margins) {
+      put32(margin.event);
+      put64(margin.margin);
+    }
+    put64(entry.patterns.size());
+    for (const MinedPattern& item : entry.patterns) {
+      put64(item.support);
+      put32(static_cast<uint32_t>(item.pattern.size()));
+      put(item.pattern.events().data(),
+          item.pattern.size() * sizeof(EventId));
+    }
+  }
+  const uint64_t digest = format_util::XXH64(payload.data(), payload.size());
+
+  return format_util::AtomicWriteFile(path, [&](std::ostream& out) {
+    out.write(kMagic, sizeof(kMagic));
+    Put<uint32_t>(out, kFormatVersion);
+    Put<uint32_t>(out, 0);  // reserved
+    Put<uint64_t>(out, cache.entries.size());
+    Put<uint64_t>(out, digest);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) return Status::IOError("stream error writing phase-1 cache");
+    return Status::OK();
+  });
+}
+
+}  // namespace specmine

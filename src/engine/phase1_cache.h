@@ -1,0 +1,125 @@
+// The phase-1 candidate cache: per-shard scan results persisted beside a
+// .smdbset manifest so that mining after an append re-scans only the new
+// shards (docs/smdb_format.md, "Phase-1 candidate cache").
+//
+// A cache entry records one shard's phase-1 candidate set — the patterns
+// (in merged EventIds) the shard-local DFS at a frozen local threshold
+// emitted, with their exact local supports. The entry is keyed by
+//
+//   * the shard's content digest (XXH64 over the entire .smdb file bytes —
+//     any bit of the file changing invalidates the entry, including payload
+//     bits a kHeader-integrity open would not itself verify);
+//   * a digest of the shard's merged-id remap (appends can extend the
+//     merged dictionary; existing ids never change, but the remap identity
+//     is what makes the recorded merged ids meaningful);
+//   * an options fingerprint covering everything that shapes a phase-1
+//     scan: the global min_support, max_length, and the cache format
+//     version. Changing the threshold or scan options misses the cache.
+//
+// Scans run *with* the cross-shard subtree prune (the occurrence-cap bound
+// is what keeps low local thresholds tractable), which makes an entry's
+// omissions relative to the corpus it was scanned against. Two extra
+// fields make reuse after an append sound:
+//
+//   * epoch_digests — the content digests of every shard present at scan
+//     time. An entry is reusable only in a corpus that still contains all
+//     of them (append-only evolution); anything else is a miss.
+//   * margins — for each merged event appearing in any pruned subtree
+//     root, the minimum over those roots of (min_support - upper_bound):
+//     how many additional instances the closest pruned pattern would have
+//     needed to reach the global threshold. A pruned pattern (and every
+//     descendant) gains at most min over its events of the occurrences
+//     that post-epoch shards add, so the entry stays sound while every
+//     margined event's added occurrences stay strictly below its margin.
+//     An empty margins list means the scan never pruned: the entry is a
+//     complete scan at its threshold and is reusable under any append.
+//
+// Soundness contract (see shard_exec.cc for the mining-side half):
+//   * entries hold clean scans only — a cancelled or failed scan is never
+//     persisted;
+//   * each entry's frozen threshold t satisfies the budget invariant
+//     sum over all entries of (t - 1) <= min_support - 1, which is what
+//     the pigeonhole completeness argument needs across append epochs.
+//
+// The cache file is a pure accelerator: a missing, torn, or corrupt file
+// loads as empty and mining falls back to full scans with identical
+// output. Saving rewrites the whole file atomically with only the entries
+// for shards that currently exist, so entries for deleted or rewritten
+// shards are garbage-collected on the next save.
+
+#ifndef SPECMINE_ENGINE_PHASE1_CACHE_H_
+#define SPECMINE_ENGINE_PHASE1_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/patterns/pattern_set.h"
+#include "src/support/status.h"
+#include "src/trace/event_dictionary.h"
+
+namespace specmine {
+
+/// \brief Prune evidence for one merged event: the smallest distance to
+/// the global threshold over every pruned subtree root containing it.
+struct Phase1PruneMargin {
+  EventId event = 0;    ///< Merged event id.
+  uint64_t margin = 1;  ///< min over pruned roots of (S - upper_bound).
+};
+
+/// \brief One shard's persisted phase-1 scan.
+struct Phase1CacheEntry {
+  /// XXH64 over the shard's entire .smdb file bytes.
+  uint64_t shard_digest = 0;
+  /// XXH64 over the shard's local-to-merged remap vector.
+  uint64_t remap_digest = 0;
+  /// Phase1OptionsFingerprint() of the producing run.
+  uint64_t options_fingerprint = 0;
+  /// The frozen local threshold the scan ran at (>= 1). Reusing the entry
+  /// consumes (threshold - 1) of the global pigeonhole budget.
+  uint64_t threshold = 1;
+  /// Content digests of every shard in the corpus the scan ran against.
+  /// Reuse requires all of them to still be present.
+  std::vector<uint64_t> epoch_digests;
+  /// Sparse per-event prune margins, ascending by event id. Empty means
+  /// the scan never pruned (complete at `threshold`).
+  std::vector<Phase1PruneMargin> margins;
+  /// The candidate set: merged EventIds with exact local supports, in the
+  /// shard DFS emission order.
+  std::vector<MinedPattern> patterns;
+};
+
+/// \brief An in-memory phase-1 cache (the parsed .p1c file).
+struct Phase1Cache {
+  std::vector<Phase1CacheEntry> entries;
+
+  /// \brief The entry matching all three key digests, or nullptr.
+  const Phase1CacheEntry* Find(uint64_t shard_digest, uint64_t remap_digest,
+                               uint64_t options_fingerprint) const;
+};
+
+/// \brief Where the cache for \p manifest_path lives: `<manifest>.p1c`,
+/// beside the manifest so it travels (and is deleted) with the set.
+std::string Phase1CachePath(const std::string& manifest_path);
+
+/// \brief Fingerprint of every option that shapes a phase-1 scan. Bump the
+/// internal format version whenever scan semantics or the file layout
+/// change — old files then miss cleanly.
+uint64_t Phase1OptionsFingerprint(uint64_t min_support, uint64_t max_length);
+
+/// \brief XXH64 over a shard's local-to-merged remap vector.
+uint64_t RemapDigest(const std::vector<EventId>& remap);
+
+/// \brief Parses the cache file at \p path. A missing file is NotFound; a
+/// file that fails any structural or checksum test is Corrupt. Callers
+/// treat every failure as an empty cache — the file is an accelerator,
+/// never a source of truth.
+Result<Phase1Cache> LoadPhase1Cache(const std::string& path);
+
+/// \brief Atomically rewrites the cache file at \p path with exactly
+/// \p cache's entries. Fault-injection site: "phase1_cache.save".
+Status SavePhase1Cache(const std::string& path, const Phase1Cache& cache);
+
+}  // namespace specmine
+
+#endif  // SPECMINE_ENGINE_PHASE1_CACHE_H_

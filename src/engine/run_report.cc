@@ -20,6 +20,9 @@ std::string RunReport::ToString() const {
     if (shards_quarantined != 0) {
       os << " quarantined=" << shards_quarantined;
     }
+    if (shards_cached != 0) {
+      os << " scanned=" << shards_scanned << " cached=" << shards_cached;
+    }
   }
   os << " index=" << index_build_seconds << "s mine=" << mine_seconds << "s";
   return os.str();

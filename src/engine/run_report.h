@@ -55,6 +55,16 @@ struct RunReport {
   size_t shards_quarantined = 0;
   std::vector<std::string> shard_errors;
 
+  /// Sharded full-pattern runs only: phase-1 provenance. A shard is
+  /// *scanned* when its phase-1 DFS actually ran and *cached* when its
+  /// candidates were replayed from the phase-1 candidate cache
+  /// (phase1_cache.h) — after an append, a warm re-mine scans exactly the
+  /// new shards (the incremental acceptance test pins old shards at 0
+  /// nodes in shard_phase1_nodes, which is in shard order).
+  size_t shards_scanned = 0;
+  size_t shards_cached = 0;
+  std::vector<size_t> shard_phase1_nodes;
+
   /// \brief One-line "task=... patterns=... index=...s mine=...s" summary.
   std::string ToString() const;
 };

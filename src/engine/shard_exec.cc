@@ -32,10 +32,15 @@ uint64_t LocalThreshold(uint64_t global_support, uint64_t shard_weight,
 }
 
 // Phase-1 output of one shard: the candidate patterns in *merged* ids with
-// their exact local counts, plus a lookup map for phase 2.
+// their exact local counts, plus a lookup map for phase 2 and the prune
+// margins that make the scan reusable across appends.
 struct ShardResult {
   std::vector<MinedPattern> patterns;  // Merged ids, local supports.
   std::unordered_map<Pattern, uint64_t, PatternHash> support;
+  // For each merged event in any pruned subtree root, the minimum over
+  // those roots of (global S - upper bound). Empty = the scan never
+  // pruned and is complete at its local threshold.
+  std::unordered_map<EventId, uint64_t> margins;
   size_t nodes_visited = 0;
   StatusCode stopped = StatusCode::kOk;  // Cancel fired inside this shard.
 };
@@ -59,14 +64,24 @@ uint64_t ShardInstanceBound(const std::vector<uint64_t>& occ,
   return bound;
 }
 
-// Mines shard \p shard's candidates: a DFS at the proportional local
-// threshold, additionally pruned by the cross-shard upper bound — a node
-// whose local count plus every other shard's instance cap cannot reach
-// the global threshold has no globally frequent descendant (counts only
-// fall and alphabets only grow down the subtree), so the whole subtree is
-// skipped. For modular corpora with (near-)disjoint shard alphabets the
-// cross term is ~0 and each shard effectively mines at the full global
-// threshold.
+// Mines shard \p shard's candidates: a DFS at the local threshold,
+// pruned by the cross-shard upper bound — a node whose local count plus
+// every other shard's instance cap cannot reach the global threshold has
+// no globally frequent descendant (counts only fall and alphabets only
+// grow down the subtree), so the whole subtree is skipped. For modular
+// corpora with (near-)disjoint shard alphabets the cross term is ~0 and
+// each shard effectively mines at the full global threshold — without the
+// prune, the low local thresholds the pigeonhole budget forces are
+// combinatorially intractable on exactly those corpora.
+//
+// The prune bakes in the *other* shards' occurrence tables, which the
+// next append changes, so each prune leaves evidence behind: for every
+// event of the pruned root, the distance (S - upper_bound) to the global
+// threshold. A cached scan is reusable only while the occurrences added
+// since stay below every recorded margin (see the reuse check in
+// MineShardedFull); the prune itself only removes patterns whose global
+// support provably misses the threshold, so the final filtered output is
+// identical with or without it.
 void MineOneShard(const ShardedDatabase& set, const CountingBackend& backend,
                   size_t shard, const IterMinerOptions& options,
                   uint64_t local_threshold, const OccurrenceTable& occ,
@@ -88,12 +103,26 @@ void MineOneShard(const ShardedDatabase& set, const CountingBackend& backend,
           merged_ids.push_back(remap[local_ev]);
         }
         uint64_t upper_bound = support;
-        for (size_t j = 0; j < num_shards && upper_bound < options.min_support;
-             ++j) {
+        for (size_t j = 0;
+             j < num_shards && upper_bound < options.min_support; ++j) {
           if (j == shard) continue;
           upper_bound += ShardInstanceBound(occ[j], merged_ids);
         }
-        if (upper_bound < options.min_support) return false;  // Prune.
+        if (upper_bound < options.min_support) {
+          // Prune the subtree, leaving its reuse evidence: the loop ran to
+          // completion (the bound never reached S), so upper_bound is the
+          // full cross-shard sum and the margin is exact.
+          const uint64_t margin = options.min_support - upper_bound;
+          for (EventId ev : merged_ids) {
+            auto it = out->margins.find(ev);
+            if (it == out->margins.end()) {
+              out->margins.emplace(ev, margin);
+            } else if (margin < it->second) {
+              it->second = margin;
+            }
+          }
+          return false;
+        }
         Pattern merged(merged_ids);
         out->support.emplace(merged, support);
         out->patterns.push_back(MinedPattern{std::move(merged), support});
@@ -109,7 +138,8 @@ void MineOneShard(const ShardedDatabase& set, const CountingBackend& backend,
 PatternSet MineShardedFull(const ShardedDatabase& set,
                            const std::vector<CountingBackend>& backends,
                            const IterMinerOptions& options,
-                           ShardExecStats* stats, ThreadPool* pool) {
+                           ShardExecStats* stats, ThreadPool* pool,
+                           ShardCacheIO* cache) {
   ShardExecStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = ShardExecStats{};
@@ -135,15 +165,133 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
     }
   }
 
+  // Resolve the phase-1 cache: look up each shard, validate each hit's
+  // reuse evidence, then fix every local threshold up front. Cache-less
+  // runs use the proportional ceiling; cache-fed runs use the frozen
+  // budget split — reused entries consume their stored (t - 1) of the
+  // pigeonhole budget S - 1, and the shards left to scan split the
+  // remainder proportionally by event weight (floors keep the sum within
+  // the remainder, so the completeness invariant
+  // sum of (t_i - 1) <= S - 1  holds across append epochs).
+  const bool caching =
+      cache != nullptr && cache->shard_digests.size() == num_shards;
+  std::vector<const Phase1CacheEntry*> hits(num_shards, nullptr);
+  std::vector<uint64_t> remap_digests(num_shards, 0);
+  std::vector<uint64_t> legacy(num_shards, 1);
+  for (size_t i = 0; i < num_shards; ++i) {
+    legacy[i] = LocalThreshold(options.min_support,
+                               set.shard(i).TotalEvents(), total_weight);
+  }
+  std::vector<uint64_t> thresholds = legacy;
+  uint64_t options_fp = 0;
+  if (caching) {
+    options_fp =
+        Phase1OptionsFingerprint(options.min_support, options.max_length);
+
+    // An entry's prune omissions were justified against the corpus it was
+    // scanned in (the cross-shard bound reads the other shards). It is
+    // reusable here only if (a) every shard of that epoch is still
+    // present — digests matched as a multiset, so a duplicated shard
+    // cannot mask an absent one — and (b) for every margined event, the
+    // occurrences the post-epoch shards add stay strictly below the
+    // recorded margin. A pruned root p gains at most
+    // min over its events of occ_added(event) instances from new shards
+    // (each instance consumes a distinct occurrence of every event), and
+    // its descendants gain no more, so (b) keeps every pruned pattern
+    // provably below the global threshold in the current corpus.
+    auto reusable = [&](const Phase1CacheEntry& entry) {
+      std::unordered_map<uint64_t, int> pending;
+      for (uint64_t d : entry.epoch_digests) ++pending[d];
+      std::vector<bool> in_epoch(num_shards, false);
+      size_t matched = 0;
+      for (size_t j = 0; j < num_shards; ++j) {
+        auto it = pending.find(cache->shard_digests[j]);
+        if (it != pending.end() && it->second > 0) {
+          --it->second;
+          in_epoch[j] = true;
+          ++matched;
+        }
+      }
+      if (matched != entry.epoch_digests.size()) return false;
+      for (const Phase1PruneMargin& m : entry.margins) {
+        if (m.event >= set.dictionary().size()) return false;
+        uint64_t added = 0;
+        for (size_t j = 0; j < num_shards; ++j) {
+          if (in_epoch[j]) continue;
+          added += occ[j][m.event];
+          if (added >= m.margin) return false;
+        }
+      }
+      return true;
+    };
+    for (size_t i = 0; i < num_shards; ++i) {
+      remap_digests[i] = RemapDigest(set.remap(i));
+      if (cache->loaded != nullptr) {
+        const Phase1CacheEntry* entry = cache->loaded->Find(
+            cache->shard_digests[i], remap_digests[i], options_fp);
+        if (entry != nullptr && reusable(*entry)) hits[i] = entry;
+      }
+    }
+    const uint64_t budget =
+        options.min_support > 0 ? options.min_support - 1 : 0;
+    // Two attempts: reuse what the budget allows, but when accumulated
+    // entries leave so little budget that a scanned shard would run far
+    // below its proportional threshold (scan cost grows steeply as the
+    // threshold falls), drop every hit and rescan the whole set instead —
+    // a near-proportional full scan that also resets the budget split for
+    // future appends.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      uint64_t consumed = 0;
+      for (const Phase1CacheEntry* hit : hits) {
+        if (hit != nullptr) consumed += hit->threshold - 1;
+      }
+      if (consumed > budget) {
+        // Entries that overspend the budget cannot all be sound together
+        // (they were not written by this scheme); scan everything instead.
+        std::fill(hits.begin(), hits.end(), nullptr);
+        consumed = 0;
+      }
+      uint64_t scan_weight = 0;
+      for (size_t i = 0; i < num_shards; ++i) {
+        if (hits[i] == nullptr) scan_weight += set.shard(i).TotalEvents();
+      }
+      const uint64_t leftover = budget - consumed;
+      bool degenerate = false;
+      for (size_t i = 0; i < num_shards; ++i) {
+        if (hits[i] != nullptr) {
+          thresholds[i] = hits[i]->threshold;
+          continue;
+        }
+        thresholds[i] = 1;
+        if (scan_weight > 0) {
+          const unsigned __int128 scaled =
+              static_cast<unsigned __int128>(leftover) *
+              set.shard(i).TotalEvents();
+          thresholds[i] = 1 + static_cast<uint64_t>(scaled / scan_weight);
+        }
+        if (thresholds[i] < (legacy[i] + 1) / 2) degenerate = true;
+      }
+      if (!degenerate || attempt == 1) break;
+      std::fill(hits.begin(), hits.end(), nullptr);
+    }
+  }
+
   // Phase 1: every shard mined independently, one job per shard on the
   // session pool. Results land in per-shard slots, so the outcome is
-  // identical at every thread count.
+  // identical at every thread count. A cache hit replays the stored scan
+  // instead of running the DFS.
   std::vector<ShardResult> results(num_shards);
   auto mine_shard = [&](size_t i) {
-    MineOneShard(set, backends[i], i, options,
-                 LocalThreshold(options.min_support,
-                                set.shard(i).TotalEvents(), total_weight),
-                 occ, &results[i]);
+    if (hits[i] != nullptr) {
+      results[i].patterns = hits[i]->patterns;
+      results[i].support.reserve(results[i].patterns.size());
+      for (const MinedPattern& item : results[i].patterns) {
+        results[i].support.emplace(item.pattern, item.support);
+      }
+      return;
+    }
+    MineOneShard(set, backends[i], i, options, thresholds[i], occ,
+                 &results[i]);
   };
   if (num_threads > 1 && num_shards > 1) {
     stats->error =
@@ -165,9 +313,34 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
   if (options.cancel != nullptr && options.cancel->fired()) {
     stats->stopped = options.cancel->stop_code();
   }
+  stats->shard_scans.resize(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    ShardScanStat& scan = stats->shard_scans[i];
+    scan.cached = hits[i] != nullptr;
+    scan.threshold = thresholds[i];
+    scan.nodes_visited = results[i].nodes_visited;
+    scan.local_patterns = results[i].patterns.size();
+    if (scan.cached) {
+      ++stats->shards_cached;
+    } else {
+      ++stats->shards_scanned;
+    }
+  }
   if (stats->stopped != StatusCode::kOk) {
     stats->mine_seconds = sw.ElapsedSeconds();
     return out;
+  }
+
+  // Shards whose scan (or replayed entry) never pruned ran a complete DFS
+  // at thresholds[i]: absence from their output proves the local count is
+  // below the threshold, which phase 2 exploits below. A pruned scan
+  // proves no such thing — the absent pattern may have been pruned with a
+  // count at or above the threshold.
+  std::vector<bool> scan_complete(num_shards, false);
+  for (size_t i = 0; i < num_shards; ++i) {
+    scan_complete[i] =
+        caching && (hits[i] != nullptr ? hits[i]->margins.empty()
+                                       : results[i].margins.empty());
   }
 
   // Candidate union, deterministically ordered: lexicographic merged-id
@@ -228,6 +401,13 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
         known += it->second;
       } else {
         bound[i] = ShardInstanceBound(occ[i], pattern.events());
+        if (scan_complete[i]) {
+          // This shard's scan (or replayed entry) was complete at
+          // thresholds[i], so absence from its output proves
+          // count_i <= thresholds[i] - 1 — often 0, which skips the
+          // oracle recount outright.
+          bound[i] = std::min(bound[i], thresholds[i] - 1);
+        }
         bounded += bound[i];
       }
     }
@@ -278,6 +458,44 @@ PatternSet MineShardedFull(const ShardedDatabase& set,
     }
     if (totals[c] >= options.min_support) {
       out.Add(*candidates[c], totals[c]);
+    }
+  }
+
+  // Hand back the refreshed cache — the entries for exactly the current
+  // shards, hits and fresh scans alike. Only a clean, unstopped run is
+  // persistable: a cancelled scan's candidate set is incomplete and must
+  // never be reused. (Moving results[i].patterns is safe here: phase 3 is
+  // done with the candidate pointers into them.)
+  if (caching && cache->updated != nullptr &&
+      stats->stopped == StatusCode::kOk) {
+    cache->updated->entries.clear();
+    cache->updated->entries.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      Phase1CacheEntry entry;
+      entry.shard_digest = cache->shard_digests[i];
+      entry.remap_digest = remap_digests[i];
+      entry.options_fingerprint = options_fp;
+      entry.threshold = thresholds[i];
+      if (hits[i] != nullptr) {
+        // A replayed entry keeps its original epoch and margins: its
+        // prune omissions are relative to the corpus it was scanned
+        // against, and the reuse check re-validates them on every load.
+        entry.epoch_digests = hits[i]->epoch_digests;
+        entry.margins = hits[i]->margins;
+      } else {
+        entry.epoch_digests = cache->shard_digests;
+        entry.margins.reserve(results[i].margins.size());
+        for (const auto& margin : results[i].margins) {
+          entry.margins.push_back(
+              Phase1PruneMargin{margin.first, margin.second});
+        }
+        std::sort(entry.margins.begin(), entry.margins.end(),
+                  [](const Phase1PruneMargin& a, const Phase1PruneMargin& b) {
+                    return a.event < b.event;
+                  });
+      }
+      entry.patterns = std::move(results[i].patterns);
+      cache->updated->entries.push_back(std::move(entry));
     }
   }
   stats->mine_seconds = sw.ElapsedSeconds();

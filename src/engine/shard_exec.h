@@ -35,8 +35,10 @@
 #define SPECMINE_ENGINE_SHARD_EXEC_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "src/engine/phase1_cache.h"
 #include "src/itermine/full_miner.h"
 #include "src/patterns/pattern_set.h"
 #include "src/trace/position_index.h"
@@ -46,6 +48,14 @@ namespace specmine {
 
 class ThreadPool;
 
+/// \brief How one shard's phase-1 candidates were obtained.
+struct ShardScanStat {
+  bool cached = false;          ///< Served from the phase-1 cache.
+  uint64_t threshold = 0;       ///< Local threshold (frozen for hits).
+  size_t nodes_visited = 0;     ///< Phase-1 DFS nodes (0 for cache hits).
+  size_t local_patterns = 0;    ///< Candidates this shard contributed.
+};
+
 /// \brief Statistics of one sharded full-pattern run.
 struct ShardExecStats {
   size_t nodes_visited = 0;    ///< DFS nodes over all shard miners.
@@ -53,6 +63,12 @@ struct ShardExecStats {
   size_t candidates = 0;       ///< Distinct candidate patterns.
   size_t bound_skips = 0;      ///< Phase-2 candidates dropped by the bound.
   size_t recounts = 0;         ///< Phase-2 oracle recounts that scanned.
+  size_t shards_scanned = 0;   ///< Shards whose phase-1 DFS actually ran.
+  size_t shards_cached = 0;    ///< Shards served from the phase-1 cache.
+  /// Per-shard phase-1 provenance, in shard order. The incremental
+  /// acceptance test pins "append one shard, re-mine" to exactly one
+  /// scanned shard with every old shard at 0 phase-1 nodes.
+  std::vector<ShardScanStat> shard_scans;
   double mine_seconds = 0.0;   ///< Wall clock of the three phases.
   /// kCancelled / kDeadlineExceeded when options.cancel stopped the run.
   /// A run stopped during phase 1 or 2 returns an empty set (the empty
@@ -61,6 +77,44 @@ struct ShardExecStats {
   StatusCode stopped = StatusCode::kOk;
   /// First error raised by a pool worker (e.g. an escaped exception).
   Status error = Status::OK();
+};
+
+/// \brief Cache wiring for MineShardedFull. With this in play the run
+/// reuses loaded entries (skipping those shards' phase-1 DFS entirely) and
+/// reports back a fresh entry set covering exactly the current shards.
+///
+/// Soundness differs from the cache-less path in two deliberate ways, both
+/// output-preserving (tests/append_test.cc pins byte-identity):
+///
+///   * scans keep the cross-shard subtree prune (it is what makes low
+///     local thresholds tractable), and each entry carries the evidence
+///     that makes its pruned omissions checkable later: the digests of
+///     every shard present at scan time plus per-event prune margins —
+///     the minimum distance any pruned subtree root had to the global
+///     threshold. An entry is reused only if its epoch's shards are all
+///     still present and the occurrences added since stay strictly below
+///     every margin; otherwise the shard is rescanned. The prune only
+///     ever removes patterns whose global support is provably below the
+///     threshold, so phases 2/3 erase the difference.
+///   * local thresholds come from a frozen budget split rather than the
+///     proportional ceiling: completeness needs only
+///     sum over shards of (t_i - 1) <= min_support - 1 (pigeonhole).
+///     Reused entries consume their stored (t - 1); scanned shards split
+///     the leftover proportionally by event weight. The invariant holds
+///     inductively across append epochs, so entries written generations
+///     ago stay sound. When accumulated entries would squeeze a scanned
+///     shard below half its proportional threshold, every hit is dropped
+///     and the whole set rescans — a self-healing reset of the split.
+struct ShardCacheIO {
+  /// Entries loaded from disk to consult; may be null or empty.
+  const Phase1Cache* loaded = nullptr;
+  /// Out: entries for the current shards (reused + freshly scanned),
+  /// ready for SavePhase1Cache. Filled only on a clean, unstopped run.
+  Phase1Cache* updated = nullptr;
+  /// Per-shard content digests (MappedDatabase::ComputeContentDigest),
+  /// one per shard of the set, in shard order. Size mismatch disables
+  /// caching for the run.
+  std::vector<uint64_t> shard_digests;
 };
 
 /// \brief Mines the full frequent iterative pattern set of \p set with the
@@ -79,11 +133,15 @@ struct ShardExecStats {
 ///
 /// Returns the patterns in merged EventIds with exact global supports, in
 /// the single-pass emission order.
+/// When \p cache is non-null, phase 1 consults and refreshes the phase-1
+/// candidate cache as described on ShardCacheIO; output stays
+/// byte-identical to the cache-less run.
 PatternSet MineShardedFull(const ShardedDatabase& set,
                            const std::vector<CountingBackend>& backends,
                            const IterMinerOptions& options,
                            ShardExecStats* stats = nullptr,
-                           ThreadPool* pool = nullptr);
+                           ThreadPool* pool = nullptr,
+                           ShardCacheIO* cache = nullptr);
 
 }  // namespace specmine
 

@@ -27,6 +27,12 @@ namespace specmine {
 struct FullPatternsTask {
   /// Threshold, length/emission caps, and thread count.
   IterMinerOptions options;
+  /// Engine::MineSharded only: consult and refresh the on-disk phase-1
+  /// candidate cache (`<manifest>.p1c`, see phase1_cache.h), so re-mining
+  /// after an append scans only the new shards. Output is byte-identical
+  /// either way; set false to force full scans (e.g. for benchmarking the
+  /// cold path). Ignored by the non-sharded Mine.
+  bool phase1_cache = true;
 };
 
 /// \brief Mine the closed frequent iterative patterns.

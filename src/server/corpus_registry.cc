@@ -25,6 +25,31 @@ Result<Engine> OpenCorpus(const std::string& path,
 
 }  // namespace
 
+Result<CorpusRegistry::Entry> CorpusRegistry::OpenEntry(
+    const std::string& name, const std::string& path,
+    const CorpusOpenOptions& options) {
+  Result<Engine> opened = OpenCorpus(path, options);
+  if (!opened.ok()) return opened.status();
+
+  Entry entry;
+  entry.engine = std::make_shared<const Engine>(opened.TakeValueOrDie());
+  entry.options = options;
+  entry.info.name = name;
+  entry.info.path = path;
+  // Metadata accessors, not database(): a sharded corpus registers
+  // without ever materializing its merged arena.
+  entry.info.sequences = entry.engine->num_sequences();
+  entry.info.events = entry.engine->total_events();
+  entry.info.distinct_events = entry.engine->dictionary().size();
+  if (entry.engine->sharded()) {
+    const ShardedDatabase& set = entry.engine->shard_set();
+    entry.info.shards = set.num_shards();
+    entry.info.quarantined_shards = set.open_report().quarantined.size();
+    entry.info.generation = set.generation();
+  }
+  return entry;
+}
+
 Status CorpusRegistry::Register(const std::string& name,
                                 const std::string& path,
                                 const CorpusOpenOptions& options) {
@@ -40,28 +65,13 @@ Status CorpusRegistry::Register(const std::string& name,
   }
   // Open outside the lock: .smdbset validation can be slow and must not
   // block lookups for in-flight requests.
-  Result<Engine> opened = OpenCorpus(path, options);
-  if (!opened.ok()) return opened.status();
-
-  Entry entry;
-  entry.engine = std::make_unique<Engine>(opened.TakeValueOrDie());
-  entry.info.name = name;
-  entry.info.path = path;
-  // Metadata accessors, not database(): a sharded corpus registers
-  // without ever materializing its merged arena.
-  entry.info.sequences = entry.engine->num_sequences();
-  entry.info.events = entry.engine->total_events();
-  entry.info.distinct_events = entry.engine->dictionary().size();
-  if (entry.engine->sharded()) {
-    const ShardedDatabase& set = entry.engine->shard_set();
-    entry.info.shards = set.num_shards();
-    entry.info.quarantined_shards = set.open_report().quarantined.size();
-  }
+  Result<Entry> entry = OpenEntry(name, path, options);
+  if (!entry.ok()) return entry.status();
 
   std::lock_guard<std::mutex> lock(mu_);
   // Two concurrent registrations of the same name can both pass the
   // early check; the second insert loses and reports the duplicate.
-  auto [it, inserted] = corpora_.emplace(name, std::move(entry));
+  auto [it, inserted] = corpora_.emplace(name, entry.TakeValueOrDie());
   if (!inserted) {
     return Status::InvalidArgument("corpus '" + name +
                                    "' is already registered");
@@ -69,10 +79,43 @@ Status CorpusRegistry::Register(const std::string& name,
   return Status::OK();
 }
 
-const Engine* CorpusRegistry::Find(const std::string& name) const {
+Status CorpusRegistry::Reopen(const std::string& name) {
+  std::string path;
+  CorpusOpenOptions options;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = corpora_.find(name);
+    if (it == corpora_.end()) {
+      return Status::NotFound("corpus '" + name + "' is not registered");
+    }
+    path = it->second.info.path;
+    options = it->second.options;
+  }
+  // Open outside the lock, then swap: in-flight mines keep their old
+  // shared_ptr, new lookups see the new generation.
+  Result<Entry> fresh = OpenEntry(name, path, options);
+  if (!fresh.ok()) return fresh.status();
+
   std::lock_guard<std::mutex> lock(mu_);
   auto it = corpora_.find(name);
-  return it == corpora_.end() ? nullptr : it->second.engine.get();
+  if (it == corpora_.end()) {
+    return Status::NotFound("corpus '" + name + "' is not registered");
+  }
+  it->second = fresh.TakeValueOrDie();
+  return Status::OK();
+}
+
+std::shared_ptr<const Engine> CorpusRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = corpora_.find(name);
+  return it == corpora_.end() ? nullptr : it->second.engine;
+}
+
+std::string CorpusRegistry::PathOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = corpora_.find(name);
+  return it == corpora_.end() ? std::string() : it->second.info.path;
 }
 
 std::vector<CorpusInfo> CorpusRegistry::List() const {

@@ -4,10 +4,12 @@
 // or sharded .smdbset — the same dispatch the CLI uses) and its Engine is
 // cached for the lifetime of the process, so every request against that
 // corpus shares the warm index/pool caches (the whole point of the
-// server: pay for index construction once, not per request). Engines are
-// never removed or replaced, so the pointer a handler takes stays valid
-// without reference counting; Engine::Mine is safe for concurrent
-// readers.
+// server: pay for index construction once, not per request). Sessions are
+// handed out as shared_ptr<const Engine>: an append (POST
+// /corpora/{name}/append) swaps in a freshly opened session at the new
+// generation via Reopen(), and any mine still running against the old
+// generation keeps its reference alive until it finishes —
+// Engine::Mine is safe for concurrent readers of one session.
 
 #ifndef SPECMINE_SERVER_CORPUS_REGISTRY_H_
 #define SPECMINE_SERVER_CORPUS_REGISTRY_H_
@@ -43,6 +45,9 @@ struct CorpusInfo {
   uint64_t distinct_events = 0;
   uint64_t shards = 0;              // 0 for unsharded corpora.
   uint64_t quarantined_shards = 0;
+  /// Manifest generation (sharded corpora only; bumped by every committed
+  /// append). 0 for unsharded corpora and freshly packed sets.
+  uint64_t generation = 0;
 };
 
 /// \brief Thread-safe name -> Engine table.
@@ -54,9 +59,19 @@ class CorpusRegistry {
   Status Register(const std::string& name, const std::string& path,
                   const CorpusOpenOptions& options);
 
-  /// \brief The session for \p name, or nullptr. The pointer stays valid
-  /// for the registry's lifetime.
-  const Engine* Find(const std::string& name) const;
+  /// \brief The session for \p name, or nullptr. The returned reference
+  /// keeps the session alive even if an append swaps in a newer
+  /// generation mid-request.
+  std::shared_ptr<const Engine> Find(const std::string& name) const;
+
+  /// \brief Re-opens \p name's path (same open options as registration)
+  /// and atomically swaps the fresh session in. In-flight requests holding
+  /// the old shared_ptr continue against the old generation; new Find()
+  /// calls see the new one. Called after an append commits.
+  Status Reopen(const std::string& name);
+
+  /// \brief The path \p name was registered from (empty if unknown).
+  std::string PathOf(const std::string& name) const;
 
   /// \brief Every registered corpus, in name order.
   std::vector<CorpusInfo> List() const;
@@ -68,9 +83,15 @@ class CorpusRegistry {
 
  private:
   struct Entry {
-    std::unique_ptr<Engine> engine;
+    std::shared_ptr<const Engine> engine;
     CorpusInfo info;
+    CorpusOpenOptions options;  // For Reopen() after an append.
   };
+
+  // Opens path and fills a complete Entry (no lock held).
+  static Result<Entry> OpenEntry(const std::string& name,
+                                 const std::string& path,
+                                 const CorpusOpenOptions& options);
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> corpora_;

@@ -148,6 +148,25 @@ std::string ServerMetrics::Render(const ScrapeGauges& gauges) const {
   out += "specmined_rules_emitted_total";
   AppendValue(out, rules_emitted_.load(std::memory_order_relaxed));
 
+  AppendHelp(out, "specmined_corpus_appends_total", "counter",
+             "Committed corpus appends (POST /corpora/{name}/append).");
+  out += "specmined_corpus_appends_total";
+  AppendValue(out, appends_.load(std::memory_order_relaxed));
+
+  AppendHelp(out, "specmined_corpus_appended_traces_total", "counter",
+             "Traces appended across all committed appends.");
+  out += "specmined_corpus_appended_traces_total";
+  AppendValue(out, appended_traces_.load(std::memory_order_relaxed));
+
+  AppendHelp(out, "specmined_corpus_generation", "gauge",
+             "Manifest generation per registered corpus (bumped by every "
+             "committed append; 0 for unsharded corpora).");
+  for (const auto& [corpus, generation] : gauges.corpus_generations) {
+    out += "specmined_corpus_generation{corpus=\"" + JsonEscape(corpus) +
+           "\"}";
+    AppendValue(out, generation);
+  }
+
   AppendHelp(out, "specmined_corpora", "gauge",
              "Corpora currently registered.");
   out += "specmined_corpora";

@@ -19,6 +19,8 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/support/histogram.h"
 
@@ -31,6 +33,9 @@ struct ScrapeGauges {
   size_t mine_queue_depth = 0;
   size_t corpora = 0;
   uint64_t quarantined_shards = 0;
+  /// (corpus name, manifest generation) per registered corpus, in name
+  /// order — rendered as specmined_corpus_generation{corpus="..."}.
+  std::vector<std::pair<std::string, uint64_t>> corpus_generations;
 };
 
 /// \brief The specmined metric registry. Thread-safe.
@@ -51,6 +56,13 @@ class ServerMetrics {
   /// \brief One request shed by the admission gate (answered 429).
   void RecordRejected() {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// \brief One committed corpus append: bumps
+  /// specmined_corpus_appends_total and the appended-trace total.
+  void RecordAppend(uint64_t traces) {
+    appends_.fetch_add(1, std::memory_order_relaxed);
+    appended_traces_.fetch_add(traces, std::memory_order_relaxed);
   }
 
   /// \brief Accounting for one completed mine: which physical backend ran
@@ -80,6 +92,8 @@ class ServerMetrics {
   std::atomic<uint64_t> index_cache_misses_{0};
   std::atomic<uint64_t> patterns_emitted_{0};
   std::atomic<uint64_t> rules_emitted_{0};
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> appended_traces_{0};
 };
 
 }  // namespace specmine

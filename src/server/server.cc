@@ -9,6 +9,7 @@
 
 #include "src/engine/json_results.h"
 #include "src/support/cancel.h"
+#include "src/trace/append_session.h"
 #include "src/support/json_reader.h"
 #include "src/support/json_writer.h"
 #include "src/support/version.h"
@@ -318,6 +319,20 @@ HttpResponse Server::Route(const HttpRequest& request,
     if (request.method == "POST") return HandleRegisterCorpus(request);
     return SimpleError(405, "use GET or POST");
   }
+  constexpr std::string_view kCorporaPrefix = "/corpora/";
+  constexpr std::string_view kAppendSuffix = "/append";
+  if (path.size() > kCorporaPrefix.size() + kAppendSuffix.size() &&
+      path.compare(0, kCorporaPrefix.size(), kCorporaPrefix) == 0 &&
+      path.compare(path.size() - kAppendSuffix.size(), kAppendSuffix.size(),
+                   kAppendSuffix) == 0) {
+    // Bounded-cardinality label: the corpus name stays out of it.
+    *route_label = "/corpora/{name}/append";
+    if (request.method != "POST") return SimpleError(405, "use POST");
+    const std::string name =
+        path.substr(kCorporaPrefix.size(),
+                    path.size() - kCorporaPrefix.size() - kAppendSuffix.size());
+    return HandleAppendCorpus(name, request);
+  }
   if (path == "/mine/patterns" || path == "/mine/rules" ||
       path == "/mine/seq" || path == "/mine/episodes" ||
       path == "/mine/pairs") {
@@ -347,6 +362,9 @@ HttpResponse Server::HandleMetrics() const {
   gauges.mine_queue_depth = admission_.queue_depth();
   gauges.corpora = corpora_->size();
   gauges.quarantined_shards = corpora_->quarantined_shards();
+  for (const CorpusInfo& info : corpora_->List()) {
+    gauges.corpus_generations.emplace_back(info.name, info.generation);
+  }
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body = metrics_.Render(gauges);
@@ -415,6 +433,97 @@ HttpResponse Server::HandleRegisterCorpus(const HttpRequest& request) const {
   return JsonOk(std::move(out), 201);
 }
 
+HttpResponse Server::HandleAppendCorpus(const std::string& name,
+                                        const HttpRequest& request) {
+  // Appends share the mines' admission gate: they are real IO + commit
+  // work and must not be free under load.
+  AdmissionPermit permit(&admission_);
+  if (!permit.admitted()) {
+    metrics_.RecordRejected();
+    HttpResponse response =
+        SimpleError(429, "mining capacity exhausted; retry later");
+    response.headers.emplace_back(
+        "Retry-After", std::to_string(admission_.retry_after_seconds()));
+    return response;
+  }
+
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const JsonValue* traces = parsed->Find("traces");
+  if (traces == nullptr || !traces->is_array()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "field 'traces' (array of space-separated event-name strings) is "
+        "required"));
+  }
+  uint64_t shard_bytes = 0;
+  bool seal = false;
+  Status status = parsed->GetUint("shard_bytes", &shard_bytes);
+  if (status.ok()) status = parsed->GetBool("seal", &seal);
+  if (!status.ok()) return ErrorResponse(status);
+
+  const std::string path = corpora_->PathOf(name);
+  if (path.empty()) {
+    return ErrorResponse(Status::NotFound("no corpus named '" + name + "'"));
+  }
+  if (!IsSmdbSetPath(path)) {
+    return ErrorResponse(Status::InvalidArgument(
+        "corpus '" + name + "' is not a sharded .smdbset corpus (append "
+        "requires one; repack with 'specmine pack ... out.smdbset')"));
+  }
+
+  uint64_t generation = 0;
+  uint64_t appended = 0;
+  {
+    // One append at a time: AppendSession assumes a single writer per set.
+    std::lock_guard<std::mutex> lock(append_mu_);
+    AppendOptions options;
+    if (shard_bytes != 0) options.writer.shard_bytes = shard_bytes;
+    Result<AppendSession> opened = AppendSession::Open(path, options);
+    if (!opened.ok()) return ErrorResponse(opened.status());
+    AppendSession session = opened.TakeValueOrDie();
+    for (const JsonValue& line : traces->AsArray()) {
+      if (!line.is_string()) {
+        return ErrorResponse(Status::InvalidArgument(
+            "field 'traces' must contain only strings"));
+      }
+      Status added = session.AddTraceFromString(line.AsString());
+      if (!added.ok()) return ErrorResponse(added);
+    }
+    if (seal) {
+      Status sealed = session.Seal();
+      if (!sealed.ok()) return ErrorResponse(sealed);
+    }
+    Status committed = session.Commit();
+    if (!committed.ok()) return ErrorResponse(committed);
+    generation = session.committed_generation();
+    appended = session.appended_sequences();
+  }
+
+  // Swap the fresh generation in; mines already running keep their old
+  // session alive through their shared_ptr.
+  Status reopened = corpora_->Reopen(name);
+  if (!reopened.ok()) return ErrorResponse(reopened);
+  metrics_.RecordAppend(appended);
+
+  std::shared_ptr<const Engine> engine = corpora_->Find(name);
+  std::string out;
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Field("corpus", name);
+  writer.Field("appended", appended);
+  writer.Field("generation", generation);
+  if (engine != nullptr) {
+    writer.Field("sequences", static_cast<uint64_t>(engine->num_sequences()));
+    if (engine->sharded()) {
+      writer.Field("shards",
+                   static_cast<uint64_t>(engine->shard_set().num_shards()));
+    }
+  }
+  writer.EndObject();
+  writer.Finish();
+  return JsonOk(std::move(out));
+}
+
 HttpResponse Server::HandleMine(const std::string& path,
                                 const HttpRequest& request) {
   AdmissionPermit permit(&admission_);
@@ -433,7 +542,7 @@ HttpResponse Server::HandleMine(const std::string& path,
   MineCommon common;
   Status status = DecodeCommon(body, &common);
   if (!status.ok()) return ErrorResponse(status);
-  const Engine* engine = corpora_->Find(common.corpus);
+  std::shared_ptr<const Engine> engine = corpora_->Find(common.corpus);
   if (engine == nullptr) {
     return ErrorResponse(
         Status::NotFound("no corpus named '" + common.corpus + "'"));

@@ -25,6 +25,11 @@
 //   GET  /metrics         Prometheus text exposition
 //   GET  /corpora         registered corpora
 //   POST /corpora         register a corpus at runtime
+//   POST /corpora/{name}/append
+//                         append traces to a sharded corpus (commits the
+//                         manifest at the next generation, then swaps the
+//                         fresh session in; in-flight mines finish
+//                         against the old generation)
 //   POST /mine/patterns   iterative patterns (closed | full | generators)
 //   POST /mine/rules      recurrent rules (forward | backward)
 //   POST /mine/seq        sequential patterns (full | closed | generators)
@@ -139,6 +144,8 @@ class Server {
   HttpResponse HandleMetrics() const;
   HttpResponse HandleListCorpora() const;
   HttpResponse HandleRegisterCorpus(const HttpRequest& request) const;
+  HttpResponse HandleAppendCorpus(const std::string& name,
+                                  const HttpRequest& request);
   HttpResponse HandleMine(const std::string& path,
                           const HttpRequest& request);
 
@@ -160,6 +167,10 @@ class Server {
   uint64_t next_connection_id_ = 0;
   std::atomic<bool> stopping_{false};
   std::mutex log_mu_;
+  // Serializes appends: AppendSession assumes one writer per set, and one
+  // process-wide lock keeps concurrent POST .../append requests from
+  // interleaving tail shards (appends are rare and fast next to mines).
+  std::mutex append_mu_;
 };
 
 }  // namespace specmine

@@ -18,6 +18,7 @@
 #include "src/rulemine/backward_rules.h"
 #include "src/specmine/ranking.h"
 #include "src/synth/quest_generator.h"
+#include "src/trace/append_session.h"
 #include "src/trace/csv_trace_reader.h"
 #include "src/trace/database_stats.h"
 #include "src/trace/shard_set.h"
@@ -35,6 +36,11 @@ commands:
   pack <traces> <out.smdbset> [--shard-bytes N]
                                     pack into size-bounded .smdb shards
                                     plus a .smdbset manifest
+  pack --append <traces> <set.smdbset>
+                                    append traces to an existing shard set
+                                    without rewriting sealed shards (the
+                                    manifest commits atomically at the
+                                    next generation)
   mine-patterns <traces> [options]  mine iterative patterns
   mine-rules <traces> [options]     mine recurrent rules (with LTL forms)
   mine-seq <traces> [options]       mine sequential patterns (PrefixSpan/BIDE)
@@ -341,19 +347,56 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int CmdPack(const Args& args, std::ostream& out, std::ostream& err) {
-  if (args.positional().size() < 2) {
-    err << "pack: usage: pack <traces> <out.smdb|out.smdbset> "
+  // The flag parser greedily binds the token after --append as its value
+  // ("pack --append traces.txt set.smdbset"); fold it back into the
+  // positional list so the documented ordering works.
+  std::vector<std::string> positional = args.positional();
+  if (args.Has("append")) {
+    const std::string value = args.Get("append", "");
+    if (!value.empty()) positional.insert(positional.begin(), value);
+  }
+  if (positional.size() < 2) {
+    err << "pack: usage: pack [--append] <traces> <out.smdb|out.smdbset> "
            "[--shard-bytes N] [--csv ...]\n";
     return 2;
   }
-  const std::string& in_path = args.positional()[0];
-  const std::string& out_path = args.positional()[1];
+  const std::string& in_path = positional[0];
+  const std::string& out_path = positional[1];
   if (args.Has("shard-bytes") && !IsSmdbSetPath(out_path)) {
     err << "pack: --shard-bytes requires a .smdbset output path\n";
     return 2;
   }
   Result<Engine> engine = LoadEngine(args, in_path, err);
   if (!engine.ok()) return Fail(err, engine.status());
+  if (args.Has("append")) {
+    if (!IsSmdbSetPath(out_path)) {
+      err << "pack: --append requires a .smdbset target\n";
+      return 2;
+    }
+    AppendOptions options;
+    options.writer.shard_bytes =
+        args.GetUint("shard-bytes", options.writer.shard_bytes);
+    Result<AppendSession> opened = AppendSession::Open(out_path, options);
+    if (!opened.ok()) return Fail(err, opened.status());
+    AppendSession session = opened.TakeValueOrDie();
+    const SequenceDatabase& db = engine->database();
+    for (size_t i = 0; i < db.size(); ++i) {
+      Result<EventSpan> trace = db.at(static_cast<SeqId>(i));
+      if (!trace.ok()) return Fail(err, trace.status());
+      Status added = session.AddSequence(*trace, db.dictionary());
+      if (!added.ok()) return Fail(err, added);
+    }
+    Status committed = session.Commit();
+    if (!committed.ok()) return Fail(err, committed);
+    // Reopening validates the appended set end to end.
+    Result<ShardedDatabase> set = ShardedDatabase::Open(out_path);
+    if (!set.ok()) return Fail(err, set.status());
+    out << "appended " << db.size() << " traces from " << in_path << " -> "
+        << out_path << ": generation " << session.committed_generation()
+        << ", " << set->num_shards() << " shards, "
+        << set->TotalSequences() << " sequences\n";
+    return 0;
+  }
   if (IsSmdbSetPath(out_path)) {
     ShardWriterOptions options;
     options.shard_bytes = args.GetUint("shard-bytes", options.shard_bytes);

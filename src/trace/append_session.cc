@@ -1,0 +1,79 @@
+#include "src/trace/append_session.h"
+
+#include <utility>
+
+namespace specmine {
+
+AppendSession::AppendSession(std::string manifest_path, AppendOptions options)
+    : manifest_path_(std::move(manifest_path)),
+      options_(options),
+      writer_(manifest_path_, options_.writer) {}
+
+Result<AppendSession> AppendSession::Open(const std::string& manifest_path,
+                                          const AppendOptions& options) {
+  if (!IsSmdbSetPath(manifest_path)) {
+    return Status::InvalidArgument(
+        "append target must be a .smdbset manifest: " + manifest_path);
+  }
+  Result<ShardSetManifest> manifest =
+      ReadShardSetManifest(manifest_path, options.integrity);
+  if (!manifest.ok()) return manifest.status();
+
+  AppendSession session(manifest_path, options);
+  session.base_generation_ = manifest->generation;
+  session.committed_generation_ = manifest->generation;
+  SPECMINE_RETURN_NOT_OK(session.writer_.SeedFromManifest(*manifest));
+  session.tail_open_for_.Restart();
+  return session;
+}
+
+Status AppendSession::MaybeSealByTime() {
+  if (options_.seal_after_seconds <= 0.0) return Status::OK();
+  if (writer_.tail_sequences() == 0) {
+    // An empty tail has no age; the clock starts at its first trace.
+    tail_open_for_.Restart();
+    return Status::OK();
+  }
+  if (tail_open_for_.ElapsedSeconds() < options_.seal_after_seconds) {
+    return Status::OK();
+  }
+  return Seal();
+}
+
+Status AppendSession::AddTrace(const std::vector<std::string>& event_names) {
+  SPECMINE_RETURN_NOT_OK(MaybeSealByTime());
+  SPECMINE_RETURN_NOT_OK(writer_.AddTrace(event_names));
+  ++appended_sequences_;
+  return Status::OK();
+}
+
+Status AppendSession::AddTraceFromString(std::string_view line) {
+  SPECMINE_RETURN_NOT_OK(MaybeSealByTime());
+  SPECMINE_RETURN_NOT_OK(writer_.AddTraceFromString(line));
+  ++appended_sequences_;
+  return Status::OK();
+}
+
+Status AppendSession::AddSequence(EventSpan events,
+                                  const EventDictionary& dict) {
+  SPECMINE_RETURN_NOT_OK(MaybeSealByTime());
+  SPECMINE_RETURN_NOT_OK(writer_.AddSequence(events, dict));
+  ++appended_sequences_;
+  return Status::OK();
+}
+
+Status AppendSession::Seal() {
+  SPECMINE_RETURN_NOT_OK(writer_.CutShard());
+  tail_open_for_.Restart();
+  return Status::OK();
+}
+
+Status AppendSession::Commit() {
+  SPECMINE_RETURN_NOT_OK(writer_.Commit());
+  // Commit() wrote (and then advanced past) this generation.
+  committed_generation_ = writer_.next_generation() - 1;
+  tail_open_for_.Restart();
+  return Status::OK();
+}
+
+}  // namespace specmine

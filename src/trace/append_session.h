@@ -1,0 +1,132 @@
+// Log-structured appends to an existing .smdbset corpus.
+//
+// An AppendSession opens a packed shard set and accepts new traces
+// without rewriting any sealed shard: the existing shards stay immutable
+// history, new traces stream into an active *tail* shard (the same
+// size-bounded ShardWriter rotation regular packing uses), and the
+// manifest — the set's single commit point — is atomically rewritten at
+// the next generation when the session commits. The merged dictionary is
+// extended in place: existing merged ids never change, new names get the
+// next ids, so append-then-mine is byte-identical to repacking the whole
+// corpus from scratch (tests/append_test.cc pins this down).
+//
+// Tail-shard seal boundaries, mirroring a log-structured store's segment
+// roll policy:
+//   * size    — the ShardWriter rotates before the tail's projected
+//               .smdb size would cross options.writer.shard_bytes;
+//   * time    — a tail left open longer than options.seal_after_seconds
+//               is sealed before the next trace is appended (0 = off);
+//   * explicit — Seal() cuts the tail now (e.g. at a module boundary).
+//
+// Crash atomicity: shard files are written (fsync + rename) before the
+// manifest is; the manifest write is itself atomic. A crash anywhere in
+// an append therefore leaves the old manifest — and so the old
+// generation — fully intact; at worst an unreferenced tail shard file
+// remains, which the next append overwrites (shard numbering continues
+// from the manifest's shard count). A clean Commit() failure goes one
+// step further and deletes the unreferenced files.
+
+#ifndef SPECMINE_TRACE_APPEND_SESSION_H_
+#define SPECMINE_TRACE_APPEND_SESSION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/support/stopwatch.h"
+#include "src/trace/binary_format.h"
+#include "src/trace/shard_set.h"
+
+namespace specmine {
+
+/// \brief Options for AppendSession::Open.
+struct AppendOptions {
+  /// Tail-shard size bound (and any other writer knobs).
+  ShardWriterOptions writer;
+  /// Seal the tail before the next append once it has been open this
+  /// long. 0 disables the time boundary (size/explicit seals still
+  /// apply).
+  double seal_after_seconds = 0.0;
+  /// Integrity checking for the manifest read at Open().
+  IntegrityMode integrity = IntegrityMode::kHeader;
+};
+
+/// \brief An open append transaction against a .smdbset corpus.
+///
+/// Open -> AddTrace*/Seal* -> Commit (repeatable) -> destruction. Nothing
+/// the session wrote is visible to readers until Commit() rewrites the
+/// manifest; a session dropped without a successful Commit leaves the set
+/// exactly at its base generation. Not thread-safe; concurrent appends to
+/// the same set must be serialized by the caller (specmined holds one
+/// append lock per process).
+class AppendSession {
+ public:
+  /// \brief Opens the manifest at \p manifest_path and prepares a tail
+  /// shard after its existing shards. Fails if the manifest is missing or
+  /// corrupt; shard files are not opened (appending never reads them).
+  static Result<AppendSession> Open(const std::string& manifest_path,
+                                    const AppendOptions& options = {});
+
+  AppendSession(AppendSession&&) = default;
+  AppendSession& operator=(AppendSession&&) = default;
+  AppendSession(const AppendSession&) = delete;
+  AppendSession& operator=(const AppendSession&) = delete;
+
+  /// \brief Appends one trace of event names.
+  Status AddTrace(const std::vector<std::string>& event_names);
+
+  /// \brief Appends a trace parsed from space-separated event names.
+  Status AddTraceFromString(std::string_view line);
+
+  /// \brief Appends a trace of \p dict-relative event ids.
+  Status AddSequence(EventSpan events, const EventDictionary& dict);
+
+  /// \brief Explicit seal boundary: cuts the tail shard now (writes its
+  /// .smdb file). The manifest is untouched until Commit().
+  Status Seal();
+
+  /// \brief Seals the tail and atomically rewrites the manifest at the
+  /// next generation. On success the committed generation advances and
+  /// the session stays open for further appends; on failure the on-disk
+  /// set is still the last committed generation and the session is dead
+  /// (the first failure is sticky, uncommitted tail files are removed).
+  Status Commit();
+
+  /// \brief The generation of the manifest this session opened.
+  uint64_t base_generation() const { return base_generation_; }
+
+  /// \brief The generation of the last successful Commit(), or
+  /// base_generation() before the first one.
+  uint64_t committed_generation() const { return committed_generation_; }
+
+  /// \brief Traces appended by this session so far.
+  size_t appended_sequences() const { return appended_sequences_; }
+
+  /// \brief Shard files this set will have once committed (sealed shards
+  /// plus a pending tail, if any).
+  size_t shards() const {
+    return writer_.shards_written() + (writer_.tail_sequences() > 0 ? 1 : 0);
+  }
+
+  /// \brief The merged dictionary (base names plus anything appended).
+  const EventDictionary& dictionary() const { return writer_.dictionary(); }
+
+ private:
+  AppendSession(std::string manifest_path, AppendOptions options);
+
+  // Applies the time boundary: seals a stale tail before the next append.
+  Status MaybeSealByTime();
+
+  std::string manifest_path_;
+  AppendOptions options_;
+  ShardWriter writer_;
+  Stopwatch tail_open_for_;
+  uint64_t base_generation_ = 0;
+  uint64_t committed_generation_ = 0;
+  size_t appended_sequences_ = 0;
+};
+
+}  // namespace specmine
+
+#endif  // SPECMINE_TRACE_APPEND_SESSION_H_

@@ -395,6 +395,11 @@ MappedDatabase& MappedDatabase::operator=(MappedDatabase&& other) noexcept {
 
 MappedDatabase::~MappedDatabase() { Release(); }
 
+uint64_t MappedDatabase::ComputeContentDigest() const {
+  if (map_ == nullptr || map_len_ == 0) return 0;
+  return format_util::XXH64(map_, map_len_);
+}
+
 void MappedDatabase::Release() {
   if (map_ == nullptr) return;
 #ifdef SPECMINE_HAVE_MMAP

@@ -132,6 +132,13 @@ class MappedDatabase {
   /// \brief The on-disk format version of the opened file (1 or 2).
   uint32_t file_version() const { return file_version_; }
 
+  /// \brief XXH64 over the entire mapped byte range — a content identity
+  /// for this shard file (the phase-1 candidate cache keys on it). Any
+  /// byte change, header or payload, changes the digest. O(file size) and
+  /// not memoized: callers that need it repeatedly should keep the value
+  /// (the Engine does, under its cache lock). 0 for an empty mapping.
+  uint64_t ComputeContentDigest() const;
+
  private:
   void Release();
 

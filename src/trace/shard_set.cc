@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 
@@ -19,10 +20,14 @@ namespace {
 // against the real one. v1 pads the 80 packed bytes with 16 zeros; v2
 // stores a payload digest at [80, 88) (XXH64 over bytes
 // [96, file_bytes)) and a header digest at [88, 96) (XXH64 over [0, 88)).
+// The generation counter lives in what used to be the reserved pad after
+// the version, so every manifest ever written reads back consistently
+// (older files carry 0 there) and the field is covered by the v2 header
+// digest.
 struct SmdbSetHeader {
   unsigned char magic[8];
   uint32_t version;
-  uint32_t reserved0;
+  uint32_t generation;
   uint64_t num_shards;
   uint64_t num_events;       // Merged dictionary size.
   uint64_t total_sequences;  // Sum over shards.
@@ -129,14 +134,10 @@ bool IsSmdbSetPath(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
-// ShardedDatabase.
+// ReadShardSetManifest.
 
-Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
-  return Open(path, SetOpenOptions{});
-}
-
-Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
-                                              const SetOpenOptions& options) {
+Result<ShardSetManifest> ReadShardSetManifest(const std::string& path,
+                                              IntegrityMode integrity) {
   SPECMINE_RETURN_NOT_OK(CheckHostEndianness());
   SPECMINE_RETURN_NOT_OK(CheckFault("shard_set.manifest_open"));
 
@@ -163,7 +164,7 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
                              std::to_string(header.version) + " (reader is v" +
                              std::to_string(kSmdbSetVersion) + ")");
   }
-  if (header.version >= 2 && options.integrity != IntegrityMode::kOff) {
+  if (header.version >= 2 && integrity != IntegrityMode::kOff) {
     // Header digest first, so a flipped header bit is always reported as
     // a checksum mismatch rather than a downstream structural error.
     uint64_t stored_header_sum = 0;
@@ -193,7 +194,7 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
                              " bytes, file has " +
                              std::to_string(bytes.size()));
   }
-  if (header.version >= 2 && options.integrity == IntegrityMode::kFull) {
+  if (header.version >= 2 && integrity == IntegrityMode::kFull) {
     uint64_t stored_payload_sum = 0;
     std::memcpy(&stored_payload_sum,
                 bytes.data() + kSetPayloadChecksumOffset, 8);
@@ -239,7 +240,11 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
     }
   }
 
-  ShardedDatabase set;
+  ShardSetManifest manifest;
+  manifest.version = header.version;
+  manifest.generation = header.generation;
+  manifest.total_sequences = header.total_sequences;
+  manifest.total_events = header.total_events;
   for (uint64_t i = 0; i < header.num_events; ++i) {
     const std::string_view name(names + name_offsets[i],
                                 name_offsets[i + 1] - name_offsets[i]);
@@ -247,7 +252,7 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
       return Corrupt(path, "empty event name at merged id " +
                                std::to_string(i));
     }
-    if (set.dictionary_.Intern(name) != i) {
+    if (manifest.dictionary.Intern(name) != i) {
       return Corrupt(path,
                      "duplicate event name: \"" + std::string(name) + "\"");
     }
@@ -273,31 +278,62 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
     return Corrupt(path, "shard table totals disagree with the header");
   }
 
-  set.report_.shards_total = header.num_shards;
-  const bool quarantine =
-      options.policy == ShardFailurePolicy::kQuarantine;
-  uint64_t healthy_sequences = 0, healthy_events = 0;
+  manifest.shards.reserve(header.num_shards);
   uint64_t remap_cursor = 0;
   for (uint64_t s = 0; s < header.num_shards; ++s) {
     const SetShardRecord& rec = shard_records[s];
-    const std::string recorded(paths + path_offsets[s],
+    ShardSetManifest::Shard shard;
+    shard.recorded_path.assign(paths + path_offsets[s],
                                path_offsets[s + 1] - path_offsets[s]);
-    if (recorded.empty()) {
+    if (shard.recorded_path.empty()) {
       return Corrupt(path, "empty path for shard " + std::to_string(s));
     }
-    Shard shard;
-    shard.path = ResolveShardPath(path, recorded);
+    shard.resolved_path = ResolveShardPath(path, shard.recorded_path);
+    shard.num_sequences = rec.num_sequences;
+    shard.total_events = rec.total_events;
     shard.remap.assign(remap + remap_cursor,
                        remap + remap_cursor + rec.num_local_events);
     remap_cursor += rec.num_local_events;
+    manifest.shards.push_back(std::move(shard));
+  }
+  return manifest;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDatabase.
+
+Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path) {
+  return Open(path, SetOpenOptions{});
+}
+
+Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
+                                              const SetOpenOptions& options) {
+  Result<ShardSetManifest> parsed =
+      ReadShardSetManifest(path, options.integrity);
+  if (!parsed.ok()) return parsed.status();
+  ShardSetManifest manifest = parsed.TakeValueOrDie();
+  const size_t num_events = manifest.dictionary.size();
+
+  ShardedDatabase set;
+  set.dictionary_ = std::move(manifest.dictionary);
+  set.manifest_path_ = path;
+  set.generation_ = manifest.generation;
+  set.report_.shards_total = manifest.shards.size();
+  const bool quarantine =
+      options.policy == ShardFailurePolicy::kQuarantine;
+  uint64_t healthy_sequences = 0, healthy_events = 0;
+  for (size_t s = 0; s < manifest.shards.size(); ++s) {
+    ShardSetManifest::Shard& rec = manifest.shards[s];
+    Shard shard;
+    shard.path = rec.resolved_path;
+    shard.remap = std::move(rec.remap);
 
     // Everything from here down is scoped to this one shard, so under
     // ShardFailurePolicy::kQuarantine a failure excludes the shard
     // instead of failing the set.
     Status shard_status = Status::OK();
-    for (uint64_t l = 0; shard_status.ok() && l < rec.num_local_events;
-         ++l) {
-      if (shard.remap[l] >= header.num_events) {
+    for (size_t l = 0; shard_status.ok() && l < shard.remap.size(); ++l) {
+      if (shard.remap[l] >= num_events) {
         shard_status = Corrupt(path, "shard " + std::to_string(s) +
                                          " remap entry " + std::to_string(l) +
                                          " exceeds the merged dictionary");
@@ -329,7 +365,7 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
       const SequenceDatabase& db = shard.mapped.db();
       if (db.size() != rec.num_sequences ||
           db.TotalEvents() != rec.total_events ||
-          db.dictionary().size() != rec.num_local_events) {
+          db.dictionary().size() != shard.remap.size()) {
         shard_status =
             Corrupt(path, "shard " + std::to_string(s) + " (" + shard.path +
                               ") disagrees with its manifest record");
@@ -339,8 +375,7 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
       // The remap must translate every local name to the same merged name
       // — this is what makes the merged ids meaningful.
       const SequenceDatabase& db = shard.mapped.db();
-      for (uint64_t l = 0; shard_status.ok() && l < rec.num_local_events;
-           ++l) {
+      for (size_t l = 0; shard_status.ok() && l < shard.remap.size(); ++l) {
         if (db.dictionary().Name(static_cast<EventId>(l)) !=
             set.dictionary_.Name(shard.remap[l])) {
           shard_status =
@@ -354,8 +389,8 @@ Result<ShardedDatabase> ShardedDatabase::Open(const std::string& path,
 
     if (!shard_status.ok()) {
       if (!quarantine) return shard_status;
-      set.report_.quarantined.push_back(QuarantinedShard{
-          static_cast<size_t>(s), shard.path, shard_status.message()});
+      set.report_.quarantined.push_back(
+          QuarantinedShard{s, shard.path, shard_status.message()});
       continue;
     }
     healthy_sequences += rec.num_sequences;
@@ -409,6 +444,37 @@ void ShardWriter::AdoptDictionary(const EventDictionary& dict) {
   if (merged_to_local_.size() < merged_.size()) {
     merged_to_local_.resize(merged_.size(), kInvalidEvent);
   }
+}
+
+Status ShardWriter::SeedFromManifest(const ShardSetManifest& manifest) {
+  if (!failed_.ok()) return failed_;
+  if (finished_) {
+    return Status::InvalidArgument(
+        "ShardWriter::Finish() was already called for " + manifest_path_);
+  }
+  if (merged_.size() > 0 || !records_.empty() || total_sequences_ > 0 ||
+      current_.size() > 0) {
+    return Status::InvalidArgument(
+        "SeedFromManifest requires a fresh writer (nothing adopted or "
+        "added yet) for " + manifest_path_);
+  }
+  AdoptDictionary(manifest.dictionary);
+  records_.reserve(manifest.shards.size());
+  for (const ShardSetManifest::Shard& shard : manifest.shards) {
+    ShardRecord record;
+    record.relative_path = shard.recorded_path;
+    record.num_sequences = shard.num_sequences;
+    record.total_events = shard.total_events;
+    record.remap = shard.remap;
+    records_.push_back(std::move(record));
+  }
+  total_sequences_ = manifest.total_sequences;
+  total_events_ = manifest.total_events;
+  // The existing shards are already committed by the on-disk manifest;
+  // only shards this writer produces are cleanup candidates, and the
+  // next manifest write supersedes the base generation.
+  next_generation_ = manifest.generation + 1;
+  return Status::OK();
 }
 
 uint64_t ShardWriter::ProjectedShardBytes(uint64_t extra_sequences,
@@ -515,21 +581,49 @@ Status ShardWriter::CutShard() {
   record.total_events = shard_db.TotalEvents();
   record.remap = std::move(current_remap_);
   records_.push_back(std::move(record));
+  uncommitted_shards_.push_back(DirOf(manifest_path_) + relative);
   current_remap_.clear();
   merged_to_local_.assign(merged_.size(), kInvalidEvent);
   current_name_bytes_ = 0;
   return Status::OK();
 }
 
-Status ShardWriter::Finish() {
-  if (!failed_.ok()) return failed_;
-  if (finished_) return Status::OK();
-  SPECMINE_RETURN_NOT_OK(CutShard());
+void ShardWriter::RemoveUncommittedShards() {
+  for (const std::string& path : uncommitted_shards_) {
+    std::remove(path.c_str());
+  }
+  uncommitted_shards_.clear();
+}
+
+Status ShardWriter::Commit() {
+  if (!failed_.ok()) {
+    RemoveUncommittedShards();
+    return failed_;
+  }
+  if (finished_) {
+    return Status::InvalidArgument(
+        "ShardWriter::Finish() was already called for " + manifest_path_);
+  }
+  Status cut = CutShard();
+  if (!cut.ok()) {
+    RemoveUncommittedShards();
+    return cut;
+  }
   Status written = WriteManifest();
   if (!written.ok()) {
     failed_ = written;
+    RemoveUncommittedShards();
     return failed_;
   }
+  uncommitted_shards_.clear();
+  ++next_generation_;
+  return Status::OK();
+}
+
+Status ShardWriter::Finish() {
+  if (finished_) return Status::OK();
+  Status committed = Commit();
+  if (!committed.ok()) return committed;
   finished_ = true;
   return Status::OK();
 }
@@ -553,9 +647,13 @@ Status ShardWriter::WriteManifest() const {
       ComputeSetLayout(records_.size(), merged_.size(), names_bytes,
                        remap_entries, paths_bytes);
 
+  if (next_generation_ > std::numeric_limits<uint32_t>::max()) {
+    return Status::Internal("manifest generation counter overflow");
+  }
   SmdbSetHeader header{};
   std::memcpy(header.magic, kSmdbSetMagic, sizeof(kSmdbSetMagic));
   header.version = kSmdbSetVersion;
+  header.generation = static_cast<uint32_t>(next_generation_);
   header.num_shards = records_.size();
   header.num_events = merged_.size();
   header.total_sequences = total_sequences_;

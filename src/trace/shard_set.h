@@ -94,6 +94,42 @@ struct SetOpenReport {
 /// are).
 bool IsSmdbSetPath(const std::string& path);
 
+/// \brief The parsed manifest of a shard set, without any shard file
+/// opened — what an AppendSession resumes from and what crash-recovery
+/// checks inspect. Produced by ReadShardSetManifest; ShardedDatabase::Open
+/// is layered on top of the same parse.
+struct ShardSetManifest {
+  /// On-disk manifest format version (1 or 2).
+  uint32_t version = kSmdbSetVersion;
+  /// Manifest generation: 0 for a freshly packed set, +1 per committed
+  /// append rewrite. v1 manifests (and v2 files written before the field
+  /// existed) read as generation 0.
+  uint64_t generation = 0;
+  /// The merged dictionary, in merged-id order.
+  EventDictionary dictionary;
+  struct Shard {
+    /// The path exactly as recorded in the manifest (usually relative).
+    std::string recorded_path;
+    /// The openable path (resolved against the manifest's directory).
+    std::string resolved_path;
+    uint64_t num_sequences = 0;
+    uint64_t total_events = 0;
+    std::vector<EventId> remap;  // local id -> merged id.
+  };
+  std::vector<Shard> shards;
+  uint64_t total_sequences = 0;
+  uint64_t total_events = 0;
+};
+
+/// \brief Reads and validates the manifest at \p path without opening any
+/// shard file. Validation covers magic/version, the v2 checksums per
+/// \p integrity, the layout/size cross-checks, dictionary well-formedness
+/// and the shard-table totals — everything except the per-shard file
+/// checks ShardedDatabase::Open adds.
+Result<ShardSetManifest> ReadShardSetManifest(
+    const std::string& path,
+    IntegrityMode integrity = IntegrityMode::kHeader);
+
 /// \brief An open shard set: the parsed manifest plus every shard mapped
 /// read-only (MappedDatabase), validated against the manifest's counts and
 /// dictionary remap. Move-only, like the mappings it owns.
@@ -142,6 +178,20 @@ class ShardedDatabase {
   /// \brief Shard \p i's resolved (openable) file path.
   const std::string& shard_path(size_t i) const { return shards_[i].path; }
 
+  /// \brief XXH64 over shard \p i's entire file bytes — the content
+  /// identity the phase-1 candidate cache keys on. O(shard size) per
+  /// call (not memoized; the Engine caches the values).
+  uint64_t ComputeShardDigest(size_t i) const {
+    return shards_[i].mapped.ComputeContentDigest();
+  }
+
+  /// \brief The manifest path this set was opened from.
+  const std::string& manifest_path() const { return manifest_path_; }
+
+  /// \brief The manifest generation (0 for a freshly packed set, +1 per
+  /// committed append).
+  uint64_t generation() const { return generation_; }
+
   /// \brief The merged dictionary over all shards.
   const EventDictionary& dictionary() const { return dictionary_; }
 
@@ -170,6 +220,8 @@ class ShardedDatabase {
   std::vector<Shard> shards_;
   size_t total_sequences_ = 0;
   size_t total_events_ = 0;
+  std::string manifest_path_;
+  uint64_t generation_ = 0;
   SetOpenReport report_;
 };
 
@@ -207,6 +259,22 @@ class ShardWriter {
   /// on.
   void AdoptDictionary(const EventDictionary& dict);
 
+  /// \brief Resumes writing an existing set from its parsed \p manifest
+  /// (log-structured append): adopts the merged dictionary, the sealed
+  /// shard records and the totals, so new traces continue in a fresh tail
+  /// shard numbered after the existing ones, and the next manifest write
+  /// carries generation manifest.generation + 1. Must be called before
+  /// any trace is added; \p manifest must be the manifest at this
+  /// writer's manifest_path.
+  Status SeedFromManifest(const ShardSetManifest& manifest);
+
+  /// \brief Seals the tail shard (CutShard) and atomically rewrites the
+  /// manifest at the next generation — a durable commit point after which
+  /// the set reopens with everything added so far. Unlike Finish() the
+  /// writer stays open for more traces; each successful Commit bumps the
+  /// generation the next manifest write will carry.
+  Status Commit();
+
   /// \brief Appends one trace of event names.
   Status AddTrace(const std::vector<std::string>& event_names);
 
@@ -222,7 +290,11 @@ class ShardWriter {
   Status CutShard();
 
   /// \brief Flushes the last shard and writes the manifest. The writer
-  /// accepts no further traces afterwards. Idempotent.
+  /// accepts no further traces afterwards. Idempotent. On a terminal
+  /// failure (the sticky failed state), shard files written since the
+  /// last successful Commit() are deleted: no manifest will ever
+  /// reference them, so leaving them behind would shadow the paths the
+  /// next (re)pack or append writes.
   Status Finish();
 
   /// \brief The merged dictionary accumulated so far.
@@ -233,6 +305,14 @@ class ShardWriter {
 
   /// \brief Traces accepted so far (across all shards).
   size_t sequences_written() const { return total_sequences_; }
+
+  /// \brief Traces currently buffered in the open (uncut) tail shard.
+  size_t tail_sequences() const { return current_.size(); }
+
+  /// \brief The generation the next manifest write will carry (0 for a
+  /// fresh writer; base generation + 1 after SeedFromManifest; +1 per
+  /// successful Commit).
+  uint64_t next_generation() const { return next_generation_; }
 
  private:
   struct ShardRecord {
@@ -255,6 +335,10 @@ class ShardWriter {
 
   Status WriteManifest() const;
 
+  // Deletes shard files written since the last successful manifest write
+  // (the sticky-failure path: no manifest will ever reference them).
+  void RemoveUncommittedShards();
+
   std::string manifest_path_;
   ShardWriterOptions options_;
   EventDictionary merged_;
@@ -263,8 +347,10 @@ class ShardWriter {
   std::vector<EventId> merged_to_local_;    // Merged -> local (or invalid).
   uint64_t current_name_bytes_ = 0;         // Local name blob size.
   std::vector<ShardRecord> records_;
+  std::vector<std::string> uncommitted_shards_;  // Paths pending a commit.
   size_t total_sequences_ = 0;
   size_t total_events_ = 0;
+  uint64_t next_generation_ = 0;
   bool finished_ = false;
   Status failed_ = Status::OK();  // Sticky first I/O failure.
 };

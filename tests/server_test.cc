@@ -28,6 +28,7 @@
 
 #include "src/specmine/cli.h"
 #include "src/support/net.h"
+#include "src/trace/shard_set.h"
 
 namespace specmine {
 namespace {
@@ -290,6 +291,59 @@ TEST_F(ServerTest, RegisterCorpusAtRuntimeThenMineIt) {
   std::string list = Get(port(), "/corpora");
   EXPECT_NE(BodyOf(list).find("\"second\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST_F(ServerTest, AppendRouteCommitsAndBumpsTheGeneration) {
+  // A sharded corpus to append to (the route is .smdbset-only).
+  const std::string path = ::testing::TempDir() + "server_test_append.smdbset";
+  {
+    SequenceDatabaseBuilder builder;
+    builder.AddTraceFromString("lock use unlock");
+    builder.AddTraceFromString("lock unlock");
+    ASSERT_TRUE(WriteShardedDatabase(builder.Build(), path).ok());
+  }
+  ASSERT_EQ(StatusOf(PostJson(
+                port(), "/corpora",
+                R"({"name": "shards", "path": ")" + path + R"("})")),
+            201);
+
+  std::string response =
+      PostJson(port(), "/corpora/shards/append",
+               R"({"traces": ["lock use use unlock", "use unlock"]})");
+  EXPECT_EQ(StatusOf(response), 200);
+  const std::string body = BodyOf(response);
+  EXPECT_NE(body.find("\"appended\": 2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"generation\": 1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"sequences\": 4"), std::string::npos) << body;
+
+  // The registry swapped the new generation in: mines see 4 traces.
+  std::string mined = PostJson(port(), "/mine/patterns",
+                               R"({"corpus": "shards", "min_support": 4})");
+  EXPECT_EQ(StatusOf(mined), 200);
+  EXPECT_NE(BodyOf(mined).find("\"unlock\""), std::string::npos);
+
+  // Appends are observable: counters plus the per-corpus generation.
+  const std::string metrics = BodyOf(Get(port(), "/metrics"));
+  for (const char* series :
+       {"specmined_corpus_appends_total 1",
+        "specmined_corpus_appended_traces_total 2",
+        "specmined_corpus_generation{corpus=\"shards\"} 1"}) {
+    EXPECT_NE(metrics.find(series), std::string::npos) << series;
+  }
+
+  // Error contract: unsharded corpus, unknown corpus, wrong method.
+  EXPECT_EQ(StatusOf(PostJson(port(), "/corpora/demo/append",
+                              R"({"traces": ["a b"]})")),
+            400);
+  EXPECT_EQ(StatusOf(PostJson(port(), "/corpora/nope/append",
+                              R"({"traces": ["a b"]})")),
+            404);
+  EXPECT_EQ(StatusOf(Get(port(), "/corpora/shards/append")), 405);
+  std::remove(path.c_str());
+  std::remove((path + ".p1c").c_str());
+  for (const char* shard : {".0000.smdb", ".0001.smdb"}) {
+    std::remove((::testing::TempDir() + "server_test_append" + shard).c_str());
+  }
 }
 
 TEST_F(ServerTest, ConnectionsPastTheCapAreShedWith503) {

@@ -38,6 +38,8 @@ REQUIRED = [
     "LazyMergePeakRssKb",
     "DbLoadSmdbMmap",
     "DbShardParallel",
+    "IncrementalRemine",
+    "ColdRemine",
 ]
 
 

@@ -1,13 +1,16 @@
 // Deterministic corruption fuzzer for the .smdb / .smdbset readers.
 //
-// Builds a small synthetic corpus, packs it both ways, then applies N
-// seeded mutations (bit flips, truncations, byte splats) to the packed
-// bytes and re-opens the result under every IntegrityMode (and, for sets,
-// both ShardFailurePolicy values). The contract under test: every open
-// either succeeds or returns a clean Status — it never crashes, reads out
-// of bounds, or trips a sanitizer. Successful opens are walked end to end
+// Builds a small synthetic corpus, packs it both ways — plus an
+// appended-generation set (AppendSession commit) with a real phase-1
+// candidate cache (`.p1c`) beside it — then applies N seeded mutations
+// (bit flips, truncations, byte splats) to the packed bytes and re-opens
+// the result under every IntegrityMode (and, for sets, both
+// ShardFailurePolicy values). The contract under test: every open either
+// succeeds or returns a clean Status — it never crashes, reads out of
+// bounds, or trips a sanitizer. Successful opens are walked end to end
 // so a structurally-accepted-but-bogus mapping would still fault under
-// ASan/UBSan rather than slip through.
+// ASan/UBSan rather than slip through; a mutated cache file must load as
+// a clean error (callers then treat it as empty), never crash.
 //
 //   fuzz_smdb [--iterations N] [--seed N] [--dir PATH]
 //
@@ -23,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/engine.h"
+#include "src/engine/phase1_cache.h"
+#include "src/trace/append_session.h"
 #include "src/trace/binary_format.h"
 #include "src/trace/sequence_database.h"
 #include "src/trace/shard_set.h"
@@ -106,6 +112,27 @@ void TryOpenSet(const std::string& path, FuzzStats* stats) {
   }
 }
 
+void TryLoadCache(const std::string& path, FuzzStats* stats) {
+  Result<Phase1Cache> cache = LoadPhase1Cache(path);
+  ++stats->opens;
+  if (cache.ok()) {
+    ++stats->accepted;
+    for (const Phase1CacheEntry& entry : cache->entries) {
+      stats->sink ^= entry.shard_digest ^ entry.remap_digest ^
+                     entry.options_fingerprint ^ entry.threshold;
+      for (const MinedPattern& mined : entry.patterns) {
+        stats->sink = stats->sink * 1099511628211ull + mined.support;
+        for (EventId ev : mined.pattern.events()) {
+          stats->sink = stats->sink * 31 + ev;
+        }
+      }
+    }
+  } else {
+    ++stats->rejected;
+    stats->sink ^= cache.status().ToString().size();
+  }
+}
+
 // One seeded mutation of \p pristine: bit flip, byte splat, or truncation.
 std::vector<char> Mutate(const std::vector<char>& pristine,
                          std::mt19937_64* rng) {
@@ -173,6 +200,65 @@ int RunFuzz(size_t iterations, uint64_t seed, const std::string& dir) {
     return 1;
   }
 
+  // An appended-generation set with a warm phase-1 cache beside it: the
+  // same corpus packed, appended once (tail shard + generation-1
+  // manifest), and mined once so a real .p1c file exists to mutate.
+  const std::string appended = dir + "/fuzz_appended.smdbset";
+  packed = WriteShardedDatabase(db, appended, shard_options);
+  if (!packed.ok()) {
+    std::fprintf(stderr, "pack appended base failed: %s\n",
+                 packed.ToString().c_str());
+    return 1;
+  }
+  {
+    Result<AppendSession> opened = AppendSession::Open(appended);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "append open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    AppendSession session = opened.TakeValueOrDie();
+    for (size_t t = 0; t < 10; ++t) {
+      std::string line;
+      const size_t len = 2 + gen() % 12;
+      for (size_t i = 0; i < len; ++i) {
+        line += "ev" + std::to_string(gen() % 48) + " ";
+      }
+      if (!session.AddTraceFromString(line).ok()) break;
+    }
+    Status committed = session.Commit();
+    if (!committed.ok()) {
+      std::fprintf(stderr, "append commit failed: %s\n",
+                   committed.ToString().c_str());
+      return 1;
+    }
+  }
+  {
+    Result<Engine> engine = Engine::FromShardSet(appended);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "open appended failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    FullPatternsTask task;
+    task.options.min_support = 8;
+    CollectingPatternSink sink;
+    Result<RunReport> mined = engine->MineSharded(task, sink);
+    if (!mined.ok()) {
+      std::fprintf(stderr, "warm-up mine failed: %s\n",
+                   mined.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const std::vector<char> appended_manifest_bytes = Slurp(appended);
+  const std::vector<char> cache_bytes = Slurp(Phase1CachePath(appended));
+  if (cache_bytes.empty()) {
+    std::fprintf(stderr, "warm-up mine left no phase-1 cache\n");
+    return 1;
+  }
+  const std::string mutated_appended = dir + "/fuzz_mut_appended.smdbset";
+  const std::string mutated_cache = dir + "/fuzz_mut.p1c";
+
   // Mutation targets: the .smdb, the manifest, and every shard file. The
   // shard files are mutated in place (restored after each iteration) so
   // the set's relative-path resolution still finds them.
@@ -196,7 +282,7 @@ int RunFuzz(size_t iterations, uint64_t seed, const std::string& dir) {
   std::mt19937_64 rng(seed);
   FuzzStats stats;
   for (size_t i = 0; i < iterations; ++i) {
-    switch (rng() % 3) {
+    switch (rng() % 5) {
       case 0: {  // Mutate the standalone .smdb.
         Spit(mutated_smdb, Mutate(smdb_bytes, &rng));
         TryOpenSmdb(mutated_smdb, &stats);
@@ -208,6 +294,16 @@ int RunFuzz(size_t iterations, uint64_t seed, const std::string& dir) {
         // directory, which is where the real shard files live — exactly
         // the mixed-corruption case we want.
         TryOpenSet(mutated_set, &stats);
+        break;
+      }
+      case 2: {  // Mutate the appended-generation manifest.
+        Spit(mutated_appended, Mutate(appended_manifest_bytes, &rng));
+        TryOpenSet(mutated_appended, &stats);
+        break;
+      }
+      case 3: {  // Mutate the phase-1 candidate cache.
+        Spit(mutated_cache, Mutate(cache_bytes, &rng));
+        TryLoadCache(mutated_cache, &stats);
         break;
       }
       default: {  // Mutate one shard under the pristine manifest.

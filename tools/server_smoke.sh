@@ -54,6 +54,23 @@ curl -fsS "$BASE/corpora" | grep -q '"second"'
 curl -fsS -d '{"corpus": "second", "min_sup": 0.4}' \
   "$BASE/mine/patterns" | grep -q '"patterns"'
 
+# Append route: pack a sharded corpus, register it, append traces, and
+# check the committed generation both in the response and on re-mine.
+./specmine pack server_smoke_traces.txt server_smoke_append.smdbset --shard-bytes 256
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -d '{"name": "growing", "path": "server_smoke_append.smdbset"}' "$BASE/corpora")
+[ "$code" = 201 ]
+curl -fsS -d '{"traces": ["lock write unlock", "open read close"], "seal": true}' \
+  "$BASE/corpora/growing/append" > append.json
+grep -q '"appended": 2' append.json
+grep -q '"generation": 1' append.json
+curl -fsS -d '{"corpus": "growing", "min_sup": 0.4}' \
+  "$BASE/mine/patterns" | grep -q '"patterns"'
+# Appending to a non-sharded corpus is a clean client error.
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -d '{"traces": ["a b"]}' "$BASE/corpora/demo/append")
+[ "$code" = 400 ]
+
 # Error envelope: unknown corpus is 404 with the JSON error body.
 curl -s -d '{"corpus": "nope"}' "$BASE/mine/patterns" > notfound.json
 grep -q '"http": 404' notfound.json
@@ -66,7 +83,10 @@ curl -fsS "$BASE/metrics" > metrics.out
 grep -q '^specmined_requests_total{route="/mine/patterns",code="200"}' metrics.out
 grep -q '^specmined_index_cache_misses_total' metrics.out
 grep -q '^specmined_mine_backend_total' metrics.out
-grep -q '^specmined_corpora 2' metrics.out
+grep -q '^specmined_corpora 3' metrics.out
+grep -q '^specmined_corpus_appends_total 1' metrics.out
+grep -q '^specmined_corpus_appended_traces_total 2' metrics.out
+grep -q '^specmined_corpus_generation{corpus="growing"} 1' metrics.out
 
 # Clean shutdown: SIGTERM must exit 0.
 kill -TERM "$SPECMINED_PID"
